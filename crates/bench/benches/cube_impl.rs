@@ -1,0 +1,83 @@
+//! Ablation: the two data-cube implementations (DESIGN.md §5).
+//!
+//! Subset-enumeration touches `2^d` cells per input row; lattice roll-up
+//! groups to finest cells first and rolls up level by level, so it wins
+//! when the number of distinct cells is far below `rows × 2^d` — the
+//! low-cardinality natality setting. COUNT(DISTINCT) carries key sets in
+//! its roll-up states, so the gap narrows there.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exq_bench::{natality_db, natality_dims};
+use exq_relstore::aggregate::AggFunc;
+use exq_relstore::cube::{compute, CubeStrategy};
+use exq_relstore::{Predicate, Universal};
+
+fn count_star(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cube_impl_count_star_20k");
+    group.sample_size(10);
+    let db = natality_db(20_000);
+    let u = Universal::compute(&db, &db.full_view());
+    for d in [2usize, 4, 6, 8] {
+        let dims = natality_dims(&db, d);
+        group.bench_with_input(BenchmarkId::new("subset_enumeration", d), &d, |b, _| {
+            b.iter(|| {
+                compute(
+                    &db,
+                    &u,
+                    &Predicate::True,
+                    &dims,
+                    &AggFunc::CountStar,
+                    CubeStrategy::SubsetEnumeration,
+                )
+                .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lattice_rollup", d), &d, |b, _| {
+            b.iter(|| {
+                compute(
+                    &db,
+                    &u,
+                    &Predicate::True,
+                    &dims,
+                    &AggFunc::CountStar,
+                    CubeStrategy::LatticeRollup,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn count_distinct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cube_impl_count_distinct_20k");
+    group.sample_size(10);
+    let db = natality_db(20_000);
+    let u = Universal::compute(&db, &db.full_view());
+    let id = db.schema().attr("Natality", "id").unwrap();
+    for d in [2usize, 4, 6] {
+        let dims = natality_dims(&db, d);
+        for (name, strategy) in [
+            ("subset_enumeration", CubeStrategy::SubsetEnumeration),
+            ("lattice_rollup", CubeStrategy::LatticeRollup),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, d), &d, |b, _| {
+                b.iter(|| {
+                    compute(
+                        &db,
+                        &u,
+                        &Predicate::True,
+                        &dims,
+                        &AggFunc::CountDistinct(id),
+                        strategy,
+                    )
+                    .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, count_star, count_distinct);
+criterion_main!(benches);

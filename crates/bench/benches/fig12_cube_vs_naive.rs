@@ -1,0 +1,61 @@
+//! Figure 12 — benefits of the data-cube optimization.
+//!
+//! Compares Algorithm 1 ("Cube") against the naive per-candidate
+//! evaluation ("No Cube") for `Q_Race`: (a) varying the data size at two
+//! explanation attributes, (b) varying the number of attributes at a
+//! fixed size. The paper's result — cube wins by orders of magnitude and
+//! the gap widens with both axes — should reproduce in shape; absolute
+//! times differ (in-memory engine vs SQL Server 2012).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exq_bench::{natality_db, natality_dims, q_race};
+use exq_core::cube_algo::{explanation_table, CubeAlgoConfig};
+use exq_core::intervention::InterventionEngine;
+use exq_core::naive::explanation_table_naive;
+use exq_relstore::Universal;
+
+fn fig12a_data_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12a_data_size_d2");
+    group.sample_size(10);
+    for rows in [1_000usize, 5_000, 20_000] {
+        let db = natality_db(rows);
+        let u = Universal::compute(&db, &db.full_view());
+        let question = q_race(&db);
+        let dims = natality_dims(&db, 2);
+
+        group.bench_with_input(BenchmarkId::new("cube", rows), &rows, |b, _| {
+            b.iter(|| {
+                explanation_table(&db, &u, &question, &dims, CubeAlgoConfig::checked()).unwrap()
+            })
+        });
+        let engine = InterventionEngine::with_universal(&db, u.clone());
+        group.bench_with_input(BenchmarkId::new("no_cube", rows), &rows, |b, _| {
+            b.iter(|| explanation_table_naive(&db, &engine, &question, &dims).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn fig12b_attributes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12b_attributes_5k_rows");
+    group.sample_size(10);
+    let db = natality_db(5_000);
+    let u = Universal::compute(&db, &db.full_view());
+    let question = q_race(&db);
+    for d in 1..=4usize {
+        let dims = natality_dims(&db, d);
+        group.bench_with_input(BenchmarkId::new("cube", d), &d, |b, _| {
+            b.iter(|| {
+                explanation_table(&db, &u, &question, &dims, CubeAlgoConfig::checked()).unwrap()
+            })
+        });
+        let engine = InterventionEngine::with_universal(&db, u.clone());
+        group.bench_with_input(BenchmarkId::new("no_cube", d), &d, |b, _| {
+            b.iter(|| explanation_table_naive(&db, &engine, &question, &dims).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig12a_data_size, fig12b_attributes);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 13 — time to compute the degrees of all explanations (table M)
+//! with Algorithm 1: (a) data size vs time for `Q_Race` (two sub-queries)
+//! and `Q_Marital` (four sub-queries), (b) number of explanation
+//! attributes vs time (exponential growth in d expected).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exq_bench::{natality_db, natality_dims, q_marital, q_race};
+use exq_core::cube_algo::{explanation_table, CubeAlgoConfig};
+use exq_relstore::Universal;
+
+fn fig13a_data_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13a_data_size_d4");
+    group.sample_size(10);
+    for rows in [10_000usize, 50_000, 200_000] {
+        let db = natality_db(rows);
+        let u = Universal::compute(&db, &db.full_view());
+        let dims = natality_dims(&db, 4);
+        let race = q_race(&db);
+        let marital = q_marital(&db);
+        group.bench_with_input(BenchmarkId::new("q_race_m2", rows), &rows, |b, _| {
+            b.iter(|| explanation_table(&db, &u, &race, &dims, CubeAlgoConfig::checked()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("q_marital_m4", rows), &rows, |b, _| {
+            b.iter(|| {
+                explanation_table(&db, &u, &marital, &dims, CubeAlgoConfig::checked()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig13b_attributes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13b_attributes_50k_rows");
+    group.sample_size(10);
+    let db = natality_db(50_000);
+    let u = Universal::compute(&db, &db.full_view());
+    let race = q_race(&db);
+    let marital = q_marital(&db);
+    for d in [2usize, 4, 6, 8] {
+        let dims = natality_dims(&db, d);
+        group.bench_with_input(BenchmarkId::new("q_race_m2", d), &d, |b, _| {
+            b.iter(|| explanation_table(&db, &u, &race, &dims, CubeAlgoConfig::checked()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("q_marital_m4", d), &d, |b, _| {
+            b.iter(|| {
+                explanation_table(&db, &u, &marital, &dims, CubeAlgoConfig::checked()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig13a_data_size, fig13b_attributes);
+criterion_main!(benches);

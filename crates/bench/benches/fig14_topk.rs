@@ -1,0 +1,50 @@
+//! Figure 14 — time to compute the minimal top-K explanations from a
+//! materialized table M, comparing the three strategies of Section 4.3:
+//! No-Minimal, Minimal-self-join, Minimal-append, for K ∈ {1, 10} and a
+//! growing number of explanation attributes. The paper's crossover —
+//! self-join competitive at few attributes, append much better at many —
+//! should reproduce.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exq_bench::{natality_db, natality_dims, q_race};
+use exq_core::cube_algo::{explanation_table, CubeAlgoConfig};
+use exq_core::prelude::*;
+use exq_core::topk::top_k;
+use exq_relstore::Universal;
+
+fn fig14_strategies(c: &mut Criterion) {
+    let db = natality_db(100_000);
+    let u = Universal::compute(&db, &db.full_view());
+    let question = q_race(&db);
+
+    for k in [1usize, 10] {
+        let mut group = c.benchmark_group(format!("fig14_top{k}"));
+        group.sample_size(10);
+        for d in [2usize, 4, 6, 8] {
+            let dims = natality_dims(&db, d);
+            let m =
+                explanation_table(&db, &u, &question, &dims, CubeAlgoConfig::checked()).unwrap();
+            for (name, strategy) in [
+                ("no_minimal", TopKStrategy::NoMinimal),
+                ("minimal_self_join", TopKStrategy::MinimalSelfJoin),
+                ("minimal_append", TopKStrategy::MinimalAppend),
+            ] {
+                group.bench_with_input(BenchmarkId::new(name, d), &d, |b, _| {
+                    b.iter(|| {
+                        top_k(
+                            &m,
+                            DegreeKind::Intervention,
+                            k,
+                            strategy,
+                            MinimalityPolarity::PreferGeneral,
+                        )
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig14_strategies);
+criterion_main!(benches);

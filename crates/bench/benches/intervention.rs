@@ -1,0 +1,88 @@
+//! Program **P** microbenchmarks: fixpoint cost on the adversarial
+//! Example 3.7 chain (iterations grow linearly with the data) and on the
+//! DBLP schema (bounded iterations via Proposition 3.11), plus the
+//! underlying semijoin-reduction primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exq_core::explanation::Explanation;
+use exq_core::intervention::InterventionEngine;
+use exq_datagen::{chain, dblp};
+use exq_relstore::{semijoin, Atom, Universal};
+
+fn chain_fixpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intervention_chain");
+    group.sample_size(10);
+    for p in [8usize, 32, 128] {
+        let db = chain::chain(p);
+        let engine = InterventionEngine::new(&db);
+        let phi = Explanation::new(chain::chain_phi(&db).atoms.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| engine.compute(&phi))
+        });
+    }
+    group.finish();
+}
+
+fn dblp_fixpoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intervention_dblp");
+    group.sample_size(10);
+    for base in [20usize, 60] {
+        let db = dblp::generate(&dblp::DblpConfig {
+            papers_per_year_base: base,
+            ..dblp::DblpConfig::default()
+        });
+        let engine = InterventionEngine::new(&db);
+        let inst = db.schema().attr("Author", "inst").unwrap();
+        let phi = Explanation::new(vec![Atom::eq(inst, "ibm.com")]);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(db.total_tuples()),
+            &base,
+            |b, _| b.iter(|| engine.compute(&phi)),
+        );
+    }
+    group.finish();
+}
+
+fn unrolled_vs_fixpoint(c: &mut Criterion) {
+    // Section 3.3 ablation: the non-recursive pipeline skips the
+    // convergence test and the final confirming iteration.
+    let mut group = c.benchmark_group("intervention_unrolled_vs_fixpoint");
+    group.sample_size(10);
+    let db = dblp::generate(&dblp::DblpConfig::default());
+    let engine = InterventionEngine::new(&db);
+    let inst = db.schema().attr("Author", "inst").unwrap();
+    let phi = Explanation::new(vec![Atom::eq(inst, "ibm.com")]);
+    group.bench_function("fixpoint", |b| b.iter(|| engine.compute(&phi)));
+    group.bench_function("unrolled", |b| {
+        b.iter(|| {
+            engine
+                .compute_unrolled(&phi)
+                .expect("dblp schema is unrollable")
+        })
+    });
+    group.finish();
+}
+
+fn semijoin_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semijoin_reduce_dblp");
+    group.sample_size(10);
+    let db = dblp::generate(&dblp::DblpConfig::default());
+    // Remove 10% of publications so the reducer has real work.
+    let publication = db.schema().relation_index("Publication").unwrap();
+    let mut view = db.full_view();
+    for row in (0..db.relation_len(publication)).step_by(10) {
+        view.live[publication].remove(row);
+    }
+    group.bench_function("reduce", |b| b.iter(|| semijoin::reduce(&db, &view)));
+    group.bench_function("universal", |b| b.iter(|| Universal::compute(&db, &view)));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    chain_fixpoint,
+    dblp_fixpoint,
+    unrolled_vs_fixpoint,
+    semijoin_reduce
+);
+criterion_main!(benches);

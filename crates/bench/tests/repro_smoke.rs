@@ -1,0 +1,57 @@
+//! Smoke tests for the `repro` harness binary: every fast experiment runs
+//! to completion and prints its headline content.
+
+use std::process::Command;
+
+fn run(experiment: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg(experiment)
+        .output()
+        .expect("repro runs");
+    assert!(
+        out.status.success(),
+        "repro {experiment} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn ex41_prints_the_cube() {
+    let text = run("ex41");
+    assert!(text.contains("RR       2001            2"), "{text}");
+    assert!(text.contains("null     null            6"), "{text}");
+}
+
+#[test]
+fn ex37_prints_iteration_counts() {
+    let text = run("ex37");
+    assert!(
+        text.contains("  32    129         127      127        129"),
+        "{text}"
+    );
+}
+
+#[test]
+fn fig6_prints_both_graphs() {
+    let text = run("fig6");
+    assert!(text.contains("Authored ┄┄▶ Publication"), "{text}");
+    assert!(text.contains("Author[0](A1,JG,C.edu,edu)"), "{text}");
+}
+
+#[test]
+fn hybrid_prints_divergence() {
+    let text = run("hybrid");
+    assert!(text.contains("[name = RR]"), "{text}");
+    assert!(text.contains("mu_hybrid"), "{text}");
+}
+
+#[test]
+fn unknown_experiment_fails() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("fig99")
+        .output()
+        .expect("repro runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+}

@@ -1,0 +1,311 @@
+//! Algorithm 1: computing all degrees with data cubes (Section 4.2).
+//!
+//! For an intervention-additive numerical query `Q = E(q_1, …, q_m)`:
+//!
+//! 1. compute `u_j = q_j(D)` for every sub-query;
+//! 2. compute one data cube `C_j` per sub-query over the explanation
+//!    attributes `A'`, so each cube row holds `v_j(φ) = q_j(D_φ)`;
+//! 3. full-outer-join the cubes into the table `M` (missing explanations
+//!    count as zero) — implemented with the paper's dummy-value
+//!    optimization so the join is a plain hash equi-join;
+//! 4. per row, `μ_interv(φ) = sign · E(u_1 − v_1, …, u_m − v_m)` and
+//!    `μ_aggr(φ) = sign · E(v_1, …, v_m)`.
+
+use crate::additivity::check_query;
+use crate::error::{Error, Result};
+use crate::question::UserQuestion;
+use crate::table_m::{ExplanationRow, ExplanationTable};
+use exq_relstore::cube::{self, Coord, CubeStrategy};
+use exq_relstore::{AttrRef, Database, Universal, Value};
+use std::collections::HashMap;
+
+/// Configuration for Algorithm 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CubeAlgoConfig {
+    /// Which cube implementation to use.
+    pub strategy: CubeStrategy,
+    /// When `true` (the safe default is `true`), refuse queries failing
+    /// both additivity conditions. Setting it to `false` computes `M`
+    /// anyway — the μ_interv column is then an *approximation* (the
+    /// μ_aggr column is always exact).
+    pub enforce_additivity: bool,
+}
+
+impl CubeAlgoConfig {
+    /// The checked default configuration.
+    pub fn checked() -> CubeAlgoConfig {
+        CubeAlgoConfig {
+            strategy: CubeStrategy::default(),
+            enforce_additivity: true,
+        }
+    }
+
+    /// An unchecked configuration (μ_interv approximate if not additive).
+    pub fn unchecked() -> CubeAlgoConfig {
+        CubeAlgoConfig {
+            strategy: CubeStrategy::default(),
+            enforce_additivity: false,
+        }
+    }
+}
+
+/// Run Algorithm 1, producing the explanation table `M`.
+///
+/// `u` must be the universal relation of the full database.
+pub fn explanation_table(
+    db: &Database,
+    u: &Universal,
+    question: &UserQuestion,
+    dims: &[AttrRef],
+    config: CubeAlgoConfig,
+) -> Result<ExplanationTable> {
+    if config.enforce_additivity {
+        let checks = check_query(db, u, &question.query);
+        let failing: Vec<usize> = checks
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.is_additive())
+            .map(|(i, _)| i)
+            .collect();
+        if !failing.is_empty() {
+            return Err(Error::NotInterventionAdditive { failing });
+        }
+    }
+
+    // Line 1: totals u_j.
+    let totals = question.query.aggregate_values(db, u)?;
+
+    // Line 2: per-sub-query cubes.
+    let m = question.query.arity();
+    let mut joined: HashMap<Coord, Vec<f64>> = HashMap::new();
+    for (j, q) in question.query.aggregates.iter().enumerate() {
+        let c = cube::compute(db, u, &q.selection, dims, &q.func, config.strategy)?;
+        // Line 3: full outer join via the dummy-value trick — null
+        // coordinates are replaced by the reserved dummy so the hash join
+        // key is a plain value vector (Section 4.2's optimization).
+        for (coord, value) in c.cells {
+            let key: Coord = coord
+                .iter()
+                .map(|v| {
+                    if v.is_null() {
+                        Value::dummy()
+                    } else {
+                        v.clone()
+                    }
+                })
+                .collect();
+            joined.entry(key).or_insert_with(|| vec![0.0; m])[j] = value;
+        }
+    }
+
+    // Lines 4-5: degree columns.
+    let interv_sign = question.direction.interv_sign();
+    let aggr_sign = question.direction.aggr_sign();
+    let mut rows: Vec<ExplanationRow> = joined
+        .into_iter()
+        .filter_map(|(key, values)| {
+            // Undo the dummy mapping.
+            let coord: Coord = key
+                .iter()
+                .map(|v| if v.is_dummy() { Value::Null } else { v.clone() })
+                .collect();
+            if coord.iter().all(Value::is_null) {
+                return None; // trivial explanation, excluded from M
+            }
+            let residual_vals: Vec<f64> = totals
+                .iter()
+                .zip(&values)
+                .map(|(u_j, v_j)| u_j - v_j)
+                .collect();
+            Some(ExplanationRow {
+                coord,
+                mu_interv: interv_sign * question.query.combine(&residual_vals),
+                mu_aggr: aggr_sign * question.query.combine(&values),
+                values,
+            })
+        })
+        .collect();
+    rows.sort_by(|a, b| a.coord.cmp(&b.coord));
+
+    Ok(ExplanationTable {
+        dims: dims.to_vec(),
+        totals,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::question::{AggregateQuery, Direction, NumericalQuery};
+    use exq_relstore::aggregate::AggFunc;
+    use exq_relstore::{Predicate, SchemaBuilder, ValueType as T};
+
+    /// Single-table instance: no back-and-forth keys, COUNT(*) additive.
+    fn flat_db() -> Database {
+        let schema = SchemaBuilder::new()
+            .relation(
+                "R",
+                &[
+                    ("id", T::Int),
+                    ("g", T::Str),
+                    ("h", T::Str),
+                    ("outcome", T::Str),
+                ],
+                &["id"],
+            )
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let rows = [
+            ("a", "x", "good"),
+            ("a", "x", "good"),
+            ("a", "y", "good"),
+            ("a", "y", "poor"),
+            ("b", "x", "good"),
+            ("b", "y", "poor"),
+            ("b", "y", "poor"),
+        ];
+        for (i, (g, h, o)) in rows.iter().enumerate() {
+            db.insert(
+                "R",
+                vec![(i as i64).into(), (*g).into(), (*h).into(), (*o).into()],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn question(db: &Database) -> UserQuestion {
+        let outcome = db.schema().attr("R", "outcome").unwrap();
+        // Q = #good / #poor, observed "high".
+        UserQuestion::new(
+            NumericalQuery::ratio(
+                AggregateQuery::count_star(Predicate::eq(outcome, "good")),
+                AggregateQuery::count_star(Predicate::eq(outcome, "poor")),
+            )
+            .with_smoothing(1e-4),
+            Direction::High,
+        )
+    }
+
+    fn dims(db: &Database) -> Vec<AttrRef> {
+        vec![
+            db.schema().attr("R", "g").unwrap(),
+            db.schema().attr("R", "h").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn table_shape_and_totals() {
+        let db = flat_db();
+        let u = Universal::compute(&db, &db.full_view());
+        let t = explanation_table(
+            &db,
+            &u,
+            &question(&db),
+            &dims(&db),
+            CubeAlgoConfig::checked(),
+        )
+        .unwrap();
+        assert_eq!(t.totals, vec![4.0, 3.0]);
+        // Coordinates: (a,x),(a,y),(b,x),(b,y) + 2 g-only + 2 h-only = 8,
+        // trivial excluded.
+        assert_eq!(t.len(), 8);
+        assert!(t.find(&[Value::Null, Value::Null]).is_none());
+    }
+
+    #[test]
+    fn values_column_is_q_of_d_phi() {
+        let db = flat_db();
+        let u = Universal::compute(&db, &db.full_view());
+        let t = explanation_table(
+            &db,
+            &u,
+            &question(&db),
+            &dims(&db),
+            CubeAlgoConfig::checked(),
+        )
+        .unwrap();
+        let row = t.find(&[Value::str("a"), Value::Null]).unwrap();
+        assert_eq!(row.values, vec![3.0, 1.0], "g=a has 3 good, 1 poor");
+        let row = t.find(&[Value::str("b"), Value::str("y")]).unwrap();
+        assert_eq!(row.values, vec![0.0, 2.0], "missing from the good-cube → 0");
+    }
+
+    #[test]
+    fn degrees_match_direct_formulas() {
+        let db = flat_db();
+        let u = Universal::compute(&db, &db.full_view());
+        let q = question(&db);
+        let t = explanation_table(&db, &u, &q, &dims(&db), CubeAlgoConfig::checked()).unwrap();
+        let row = t.find(&[Value::str("a"), Value::Null]).unwrap();
+        // μ_interv = -( (4-3+ε) / (3-1+ε) ), μ_aggr = +( (3+ε)/(1+ε) ).
+        let eps = 1e-4;
+        assert!((row.mu_interv - (-(1.0 + eps) / (2.0 + eps))).abs() < 1e-12);
+        assert!((row.mu_aggr - (3.0 + eps) / (1.0 + eps)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cube_strategies_agree() {
+        let db = flat_db();
+        let u = Universal::compute(&db, &db.full_view());
+        let q = question(&db);
+        let a = explanation_table(
+            &db,
+            &u,
+            &q,
+            &dims(&db),
+            CubeAlgoConfig {
+                strategy: CubeStrategy::SubsetEnumeration,
+                enforce_additivity: true,
+            },
+        )
+        .unwrap();
+        let b = explanation_table(
+            &db,
+            &u,
+            &q,
+            &dims(&db),
+            CubeAlgoConfig {
+                strategy: CubeStrategy::LatticeRollup,
+                enforce_additivity: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_additive_query_rejected_when_enforcing() {
+        let db = flat_db();
+        let u = Universal::compute(&db, &db.full_view());
+        let id = db.schema().attr("R", "id").unwrap();
+        let q = UserQuestion::new(
+            NumericalQuery::single(AggregateQuery {
+                func: AggFunc::Sum(id),
+                selection: Predicate::True,
+            }),
+            Direction::High,
+        );
+        let err =
+            explanation_table(&db, &u, &q, &dims(&db), CubeAlgoConfig::checked()).unwrap_err();
+        assert_eq!(err, Error::NotInterventionAdditive { failing: vec![0] });
+        // Unchecked mode computes anyway.
+        assert!(explanation_table(&db, &u, &q, &dims(&db), CubeAlgoConfig::unchecked()).is_ok());
+    }
+
+    #[test]
+    fn direction_flips_interv_sign() {
+        let db = flat_db();
+        let u = Universal::compute(&db, &db.full_view());
+        let mut q = question(&db);
+        let t_high = explanation_table(&db, &u, &q, &dims(&db), CubeAlgoConfig::checked()).unwrap();
+        q.direction = Direction::Low;
+        let t_low = explanation_table(&db, &u, &q, &dims(&db), CubeAlgoConfig::checked()).unwrap();
+        for (a, b) in t_high.rows.iter().zip(&t_low.rows) {
+            assert_eq!(a.mu_interv, -b.mu_interv);
+            assert_eq!(a.mu_aggr, -b.mu_aggr);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for the explanation engine.
+
+use std::fmt;
+
+/// Errors raised by the explanation pipelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An error from the relational substrate.
+    Store(exq_relstore::Error),
+    /// Algorithm 1 was requested for a numerical query that fails both
+    /// sufficient intervention-additivity conditions (Section 4.1). Use the
+    /// naive engine, or the back-and-forth elimination transform.
+    NotInterventionAdditive {
+        /// Indices of the failing aggregate sub-queries.
+        failing: Vec<usize>,
+    },
+    /// The back-and-forth elimination transform's structural preconditions
+    /// were not met.
+    TransformPrecondition(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Store(e) => write!(f, "{e}"),
+            Error::NotInterventionAdditive { failing } => write!(
+                f,
+                "numerical query is not intervention-additive (aggregates {failing:?} fail both \
+                 sufficient conditions); use the naive engine or the copy transform"
+            ),
+            Error::TransformPrecondition(msg) => {
+                write!(f, "back-and-forth elimination precondition failed: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<exq_relstore::Error> for Error {
+    fn from(e: exq_relstore::Error) -> Error {
+        Error::Store(e)
+    }
+}
+
+/// Result alias for the explanation engine.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let store: Error = exq_relstore::Error::UnknownRelation("X".to_string()).into();
+        assert!(store.to_string().contains("unknown relation"));
+        let add = Error::NotInterventionAdditive {
+            failing: vec![1, 3],
+        };
+        assert!(add.to_string().contains("[1, 3]"));
+        let tp = Error::TransformPrecondition("no".into());
+        assert!(tp.to_string().contains("no"));
+        use std::error::Error as _;
+        assert!(store.source().is_some());
+        assert!(add.source().is_none());
+    }
+}

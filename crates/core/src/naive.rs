@@ -1,0 +1,304 @@
+//! The naive ("No Cube") baseline of Figure 12.
+//!
+//! Enumerates every candidate equality explanation over `A'` and, for each
+//! one, runs program **P** and re-evaluates `Q` on the residual database.
+//! Exact for *any* numerical query — no additivity needed — but every
+//! candidate costs a fixpoint computation plus a universal-relation
+//! evaluation, which is why the paper's Figure 12 shows the cube winning
+//! dramatically. Used here both as the benchmark baseline and as ground
+//! truth in the cube-correctness tests.
+
+use crate::degree::{mu_aggr, mu_interv_of};
+use crate::error::Result;
+use crate::explanation::{enumerate_candidates, Explanation};
+use crate::intervention::InterventionEngine;
+use crate::question::UserQuestion;
+use crate::table_m::{ExplanationRow, ExplanationTable};
+use exq_relstore::aggregate::evaluate;
+use exq_relstore::{AttrRef, Database, Predicate};
+
+/// Compute the explanation table `M` by brute force.
+pub fn explanation_table_naive(
+    db: &Database,
+    engine: &InterventionEngine<'_>,
+    question: &UserQuestion,
+    dims: &[AttrRef],
+) -> Result<ExplanationTable> {
+    let u = engine.universal();
+    let totals = question.query.aggregate_values(db, u)?;
+    // Same candidate set as Algorithm 1: explanations observed under at
+    // least one sub-query selection.
+    let relevance = Predicate::or(
+        question
+            .query
+            .aggregates
+            .iter()
+            .map(|q| q.selection.clone()),
+    );
+    let candidates = enumerate_candidates(db, u, dims, &relevance);
+
+    let mut rows = Vec::with_capacity(candidates.len());
+    for phi in &candidates {
+        // μ_interv: program P then direct evaluation of Q(D − Δ^φ).
+        let iv = engine.compute(phi);
+        let mu_i = mu_interv_of(db, question, &iv)?;
+
+        // μ_aggr and the v_j values over σ_φ(U).
+        let phi_pred = phi.conjunction().to_predicate();
+        let mut values = Vec::with_capacity(question.query.arity());
+        for q in &question.query.aggregates {
+            let sel = Predicate::and([phi_pred.clone(), q.selection.clone()]);
+            values.push(evaluate(db, u, &sel, &q.func)?);
+        }
+        let mu_a = mu_aggr(db, u, question, phi)?;
+
+        rows.push(ExplanationRow {
+            coord: phi
+                .to_coord(dims)
+                .expect("enumerated candidates are equality-only over dims"),
+            values,
+            mu_interv: mu_i,
+            mu_aggr: mu_a,
+        });
+    }
+    rows.sort_by(|a, b| a.coord.cmp(&b.coord));
+    Ok(ExplanationTable {
+        dims: dims.to_vec(),
+        totals,
+        rows,
+    })
+}
+
+/// [`explanation_table_naive`] with the per-candidate work fanned out
+/// over `threads` OS threads — the Section 6(i) "optimize the iterative
+/// algorithm" direction. Program **P** runs against shared immutable
+/// state (`&Database`, the pre-computed universal relation, the
+/// backward-cascade maps), so candidates partition embarrassingly; each
+/// worker builds its own row set and the results are stitched back in
+/// candidate order, making the output bit-identical to the sequential
+/// path.
+pub fn explanation_table_naive_parallel(
+    db: &Database,
+    engine: &InterventionEngine<'_>,
+    question: &UserQuestion,
+    dims: &[AttrRef],
+    threads: usize,
+) -> Result<ExplanationTable> {
+    assert!(threads >= 1, "need at least one worker");
+    let u = engine.universal();
+    let totals = question.query.aggregate_values(db, u)?;
+    let relevance = Predicate::or(
+        question
+            .query
+            .aggregates
+            .iter()
+            .map(|q| q.selection.clone()),
+    );
+    let candidates = enumerate_candidates(db, u, dims, &relevance);
+
+    let chunk = candidates.len().div_ceil(threads.max(1)).max(1);
+    let results: Vec<Result<Vec<ExplanationRow>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|chunk| {
+                scope.spawn(move || -> Result<Vec<ExplanationRow>> {
+                    let mut rows = Vec::with_capacity(chunk.len());
+                    for phi in chunk {
+                        let iv = engine.compute(phi);
+                        let mu_i = mu_interv_of(db, question, &iv)?;
+                        let phi_pred = phi.conjunction().to_predicate();
+                        let mut values = Vec::with_capacity(question.query.arity());
+                        for q in &question.query.aggregates {
+                            let sel = Predicate::and([phi_pred.clone(), q.selection.clone()]);
+                            values.push(exq_relstore::aggregate::evaluate(db, u, &sel, &q.func)?);
+                        }
+                        let mu_a = mu_aggr(db, u, question, phi)?;
+                        rows.push(ExplanationRow {
+                            coord: phi
+                                .to_coord(dims)
+                                .expect("enumerated candidates are equality-only over dims"),
+                            values,
+                            mu_interv: mu_i,
+                            mu_aggr: mu_a,
+                        });
+                    }
+                    Ok(rows)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker does not panic"))
+            .collect()
+    });
+
+    let mut rows = Vec::with_capacity(candidates.len());
+    for r in results {
+        rows.extend(r?);
+    }
+    rows.sort_by(|a, b| a.coord.cmp(&b.coord));
+    Ok(ExplanationTable {
+        dims: dims.to_vec(),
+        totals,
+        rows,
+    })
+}
+
+/// Compute the degrees of a *single* explanation exactly (the drill-down
+/// path: a user clicks one explanation and wants its exact effect).
+pub fn degrees_of(
+    db: &Database,
+    engine: &InterventionEngine<'_>,
+    question: &UserQuestion,
+    phi: &Explanation,
+) -> Result<(f64, f64)> {
+    let iv = engine.compute(phi);
+    let mu_i = mu_interv_of(db, question, &iv)?;
+    let mu_a = mu_aggr(db, engine.universal(), question, phi)?;
+    Ok((mu_i, mu_a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube_algo::{explanation_table, CubeAlgoConfig};
+    use crate::question::{AggregateQuery, Direction, NumericalQuery};
+    use exq_relstore::{SchemaBuilder, Universal, Value, ValueType as T};
+
+    fn flat_db() -> Database {
+        let schema = SchemaBuilder::new()
+            .relation(
+                "R",
+                &[
+                    ("id", T::Int),
+                    ("g", T::Str),
+                    ("h", T::Str),
+                    ("outcome", T::Str),
+                ],
+                &["id"],
+            )
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let rows = [
+            ("a", "x", "good"),
+            ("a", "x", "good"),
+            ("a", "y", "good"),
+            ("a", "y", "poor"),
+            ("b", "x", "good"),
+            ("b", "y", "poor"),
+            ("b", "y", "poor"),
+        ];
+        for (i, (g, h, o)) in rows.iter().enumerate() {
+            db.insert(
+                "R",
+                vec![(i as i64).into(), (*g).into(), (*h).into(), (*o).into()],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn question(db: &Database) -> UserQuestion {
+        let outcome = db.schema().attr("R", "outcome").unwrap();
+        UserQuestion::new(
+            NumericalQuery::ratio(
+                AggregateQuery::count_star(Predicate::eq(outcome, "good")),
+                AggregateQuery::count_star(Predicate::eq(outcome, "poor")),
+            )
+            .with_smoothing(1e-4),
+            Direction::High,
+        )
+    }
+
+    /// On a single-table schema with no foreign keys, COUNT(*) is
+    /// intervention-additive, so the cube and naive tables must agree
+    /// exactly — this is the headline correctness test for Algorithm 1.
+    #[test]
+    fn naive_and_cube_tables_agree_when_additive() {
+        let db = flat_db();
+        let engine = InterventionEngine::new(&db);
+        let q = question(&db);
+        let dims = vec![
+            db.schema().attr("R", "g").unwrap(),
+            db.schema().attr("R", "h").unwrap(),
+        ];
+
+        let naive = explanation_table_naive(&db, &engine, &q, &dims).unwrap();
+        let u = Universal::compute(&db, &db.full_view());
+        let cube = explanation_table(&db, &u, &q, &dims, CubeAlgoConfig::checked()).unwrap();
+
+        assert_eq!(naive.totals, cube.totals);
+        assert_eq!(naive.len(), cube.len());
+        for (n, c) in naive.rows.iter().zip(&cube.rows) {
+            assert_eq!(n.coord, c.coord);
+            assert_eq!(n.values, c.values, "v_j mismatch at {:?}", n.coord);
+            assert!(
+                (n.mu_interv - c.mu_interv).abs() < 1e-9,
+                "μ_interv mismatch at {:?}: naive {} cube {}",
+                n.coord,
+                n.mu_interv,
+                c.mu_interv
+            );
+            assert!(
+                (n.mu_aggr - c.mu_aggr).abs() < 1e-9,
+                "μ_aggr mismatch at {:?}",
+                n.coord
+            );
+        }
+    }
+
+    #[test]
+    fn single_explanation_drilldown() {
+        let db = flat_db();
+        let engine = InterventionEngine::new(&db);
+        let q = question(&db);
+        let g = db.schema().attr("R", "g").unwrap();
+        let phi = Explanation::new(vec![exq_relstore::Atom::eq(g, "a")]);
+        let (mu_i, mu_a) = degrees_of(&db, &engine, &q, &phi).unwrap();
+        // Removing g=a leaves 1 good, 2 poor: μ_interv = -(1+ε)/(2+ε).
+        let eps = 1e-4;
+        assert!((mu_i - (-(1.0 + eps) / (2.0 + eps))).abs() < 1e-12);
+        assert!((mu_a - (3.0 + eps) / (1.0 + eps)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_naive_matches_sequential() {
+        let db = flat_db();
+        let engine = InterventionEngine::new(&db);
+        let q = question(&db);
+        let dims = vec![
+            db.schema().attr("R", "g").unwrap(),
+            db.schema().attr("R", "h").unwrap(),
+        ];
+        let sequential = explanation_table_naive(&db, &engine, &q, &dims).unwrap();
+        for threads in [1, 2, 5, 16] {
+            let parallel =
+                explanation_table_naive_parallel(&db, &engine, &q, &dims, threads).unwrap();
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn naive_handles_non_additive_queries() {
+        // SUM over a single table: the cube pipeline refuses, the naive
+        // engine answers.
+        let db = flat_db();
+        let engine = InterventionEngine::new(&db);
+        let id = db.schema().attr("R", "id").unwrap();
+        let q = UserQuestion::new(
+            NumericalQuery::single(AggregateQuery {
+                func: exq_relstore::aggregate::AggFunc::Sum(id),
+                selection: Predicate::True,
+            }),
+            Direction::Low,
+        );
+        let dims = vec![db.schema().attr("R", "g").unwrap()];
+        let t = explanation_table_naive(&db, &engine, &q, &dims).unwrap();
+        // ids: g=a → {0,1,2,3} sums to 6; g=b → {4,5,6} sums to 15.
+        // μ_interv(g=a) = +Q(D−Δ) = 15 (dir low).
+        let row = t.find(&[Value::str("a")]).unwrap();
+        assert_eq!(row.mu_interv, 15.0);
+        assert_eq!(row.values, vec![6.0]);
+    }
+}

@@ -1,0 +1,528 @@
+//! Text format for user questions.
+//!
+//! A *question file* declares the aggregate sub-queries, the combining
+//! arithmetic expression, the direction, and (optionally) the smoothing
+//! constant — everything in Definition 2.1 — so a question can live in
+//! configuration instead of Rust code:
+//!
+//! ```text
+//! # Q_Marital (Section 5.1)
+//! agg q1 = count(*) where marital = 'married' and ap = 'good'
+//! agg q2 = count(*) where marital = 'married' and ap = 'poor'
+//! agg q3 = count(*) where marital = 'unmarried' and ap = 'good'
+//! agg q4 = count(*) where marital = 'unmarried' and ap = 'poor'
+//! expr (q1 / q2) / (q3 / q4)
+//! dir high
+//! smoothing 0.0001
+//! ```
+//!
+//! Aggregates: `count(*)`, `count(distinct Attr)`, `sum(Attr)`,
+//! `avg(Attr)`, `min(Attr)`, `max(Attr)`, each with an optional `where`
+//! clause in the [`exq_relstore::parse`] predicate language. Expressions
+//! support `+ - * /`, unary `-`, `log(…)`, `exp(…)`, parentheses, numeric
+//! literals, and the declared aggregate names.
+
+use crate::error::{Error, Result};
+use crate::question::{AggregateQuery, Direction, NumExpr, NumericalQuery, UserQuestion};
+use exq_relstore::aggregate::AggFunc;
+use exq_relstore::parse::{parse_predicate, resolve_attr};
+use exq_relstore::{DatabaseSchema, Predicate};
+
+fn perr(line: usize, message: impl Into<String>) -> Error {
+    Error::Store(exq_relstore::Error::Parse {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parse a question file against a schema.
+pub fn parse_question(schema: &DatabaseSchema, text: &str) -> Result<UserQuestion> {
+    let mut names: Vec<String> = Vec::new();
+    let mut aggregates: Vec<AggregateQuery> = Vec::new();
+    let mut expr: Option<NumExpr> = None;
+    let mut dir: Option<Direction> = None;
+    let mut smoothing = 0.0f64;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("agg ") {
+            let (name, spec) = rest
+                .split_once('=')
+                .ok_or_else(|| perr(line_no, "expected `agg name = function(...)`"))?;
+            let name = name.trim().to_string();
+            if name.is_empty() || names.contains(&name) {
+                return Err(perr(
+                    line_no,
+                    format!("missing or duplicate aggregate name `{name}`"),
+                ));
+            }
+            aggregates.push(parse_aggregate(schema, spec.trim(), line_no)?);
+            names.push(name);
+        } else if let Some(rest) = line.strip_prefix("expr ") {
+            expr = Some(parse_num_expr(rest.trim(), &names, line_no)?);
+        } else if let Some(rest) = line.strip_prefix("dir ") {
+            dir = Some(match rest.trim() {
+                "high" => Direction::High,
+                "low" => Direction::Low,
+                other => {
+                    return Err(perr(
+                        line_no,
+                        format!("direction must be high|low, got `{other}`"),
+                    ))
+                }
+            });
+        } else if let Some(rest) = line.strip_prefix("smoothing ") {
+            smoothing = rest
+                .trim()
+                .parse()
+                .map_err(|_| perr(line_no, format!("bad smoothing constant `{}`", rest.trim())))?;
+        } else {
+            return Err(perr(
+                line_no,
+                format!("expected agg/expr/dir/smoothing, got `{line}`"),
+            ));
+        }
+    }
+
+    let dir = dir.ok_or_else(|| perr(0, "missing `dir high|low`"))?;
+    let expr = match expr {
+        Some(e) => e,
+        // Default: single aggregate.
+        None if aggregates.len() == 1 => NumExpr::Agg(0),
+        None => {
+            return Err(perr(
+                0,
+                "missing `expr …` (required with several aggregates)",
+            ))
+        }
+    };
+    let query = NumericalQuery::new(aggregates, expr)?.with_smoothing(smoothing);
+    Ok(UserQuestion::new(query, dir))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_quote: Option<char> = None;
+    for (i, c) in line.char_indices() {
+        match in_quote {
+            Some(q) if c == q => in_quote = None,
+            Some(_) => {}
+            None if c == '\'' || c == '"' => in_quote = Some(c),
+            None if c == '#' => return &line[..i],
+            None => {}
+        }
+    }
+    line
+}
+
+/// `function(args) [where predicate]`
+fn parse_aggregate(schema: &DatabaseSchema, spec: &str, line: usize) -> Result<AggregateQuery> {
+    let (func_part, where_part) = match spec_split_where(spec) {
+        Some((f, w)) => (f.trim(), Some(w.trim())),
+        None => (spec.trim(), None),
+    };
+    let open = func_part
+        .find('(')
+        .ok_or_else(|| perr(line, "expected `(` in aggregate function"))?;
+    if !func_part.ends_with(')') {
+        return Err(perr(line, "expected `)` after aggregate arguments"));
+    }
+    let fname = func_part[..open].trim().to_ascii_lowercase();
+    let arg = func_part[open + 1..func_part.len() - 1].trim();
+    let attr_of = |name: &str| resolve_attr(schema, name).map_err(Error::Store);
+    let func = match fname.as_str() {
+        "count" => {
+            if arg == "*" {
+                AggFunc::CountStar
+            } else if let Some(a) = arg.strip_prefix("distinct ") {
+                AggFunc::CountDistinct(attr_of(a.trim())?)
+            } else {
+                return Err(perr(line, "count takes `*` or `distinct Attr`"));
+            }
+        }
+        "sum" => AggFunc::Sum(attr_of(arg)?),
+        "avg" => AggFunc::Avg(attr_of(arg)?),
+        "min" => AggFunc::Min(attr_of(arg)?),
+        "max" => AggFunc::Max(attr_of(arg)?),
+        other => return Err(perr(line, format!("unknown aggregate `{other}`"))),
+    };
+    let selection = match where_part {
+        Some(w) => parse_predicate(schema, w)?,
+        None => Predicate::True,
+    };
+    Ok(AggregateQuery { func, selection })
+}
+
+/// Split at the top-level ` where ` keyword (outside quotes).
+fn spec_split_where(spec: &str) -> Option<(&str, &str)> {
+    let lower = spec.to_ascii_lowercase();
+    let mut in_quote: Option<char> = None;
+    let bytes = lower.as_bytes();
+    for i in 0..bytes.len() {
+        let c = bytes[i] as char;
+        match in_quote {
+            Some(q) if c == q => in_quote = None,
+            Some(_) => {}
+            None if c == '\'' || c == '"' => in_quote = Some(c),
+            None => {
+                if lower[i..].starts_with("where ")
+                    && (i == 0 || bytes[i - 1].is_ascii_whitespace())
+                {
+                    return Some((&spec[..i], &spec[i + "where ".len()..]));
+                }
+            }
+        }
+    }
+    None
+}
+
+// --------------------------------------------------------------------
+// Arithmetic expressions over aggregate names
+// --------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum ETok {
+    Num(f64),
+    Name(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    Log,
+    Exp,
+}
+
+fn etokenize(text: &str, line: usize) -> Result<Vec<ETok>> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '+' => {
+                out.push(ETok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(ETok::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(ETok::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(ETok::Slash);
+                i += 1;
+            }
+            '(' => {
+                out.push(ETok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(ETok::RParen);
+                i += 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.push(ETok::Num(
+                    text.parse()
+                        .map_err(|_| perr(line, format!("bad number `{text}`")))?,
+                ));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                match word.as_str() {
+                    "log" => out.push(ETok::Log),
+                    "exp" => out.push(ETok::Exp),
+                    _ => out.push(ETok::Name(word)),
+                }
+            }
+            other => {
+                return Err(perr(
+                    line,
+                    format!("unexpected character `{other}` in expr"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct EParser<'a> {
+    tokens: Vec<ETok>,
+    names: &'a [String],
+    pos: usize,
+    line: usize,
+}
+
+impl EParser<'_> {
+    fn peek(&self) -> Option<&ETok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<ETok> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expr(&mut self) -> Result<NumExpr> {
+        let mut acc = self.term()?;
+        loop {
+            match self.peek() {
+                Some(ETok::Plus) => {
+                    self.next();
+                    acc = NumExpr::Add(Box::new(acc), Box::new(self.term()?));
+                }
+                Some(ETok::Minus) => {
+                    self.next();
+                    acc = NumExpr::Sub(Box::new(acc), Box::new(self.term()?));
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<NumExpr> {
+        let mut acc = self.factor()?;
+        loop {
+            match self.peek() {
+                Some(ETok::Star) => {
+                    self.next();
+                    acc = NumExpr::Mul(Box::new(acc), Box::new(self.factor()?));
+                }
+                Some(ETok::Slash) => {
+                    self.next();
+                    acc = NumExpr::Div(Box::new(acc), Box::new(self.factor()?));
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<NumExpr> {
+        match self.next() {
+            Some(ETok::Minus) => Ok(NumExpr::Neg(Box::new(self.factor()?))),
+            Some(ETok::Num(n)) => Ok(NumExpr::Const(n)),
+            Some(ETok::Name(name)) => {
+                let idx =
+                    self.names.iter().position(|n| *n == name).ok_or_else(|| {
+                        perr(self.line, format!("unknown aggregate name `{name}`"))
+                    })?;
+                Ok(NumExpr::Agg(idx))
+            }
+            Some(ETok::LParen) => {
+                let inner = self.expr()?;
+                match self.next() {
+                    Some(ETok::RParen) => Ok(inner),
+                    _ => Err(perr(self.line, "expected `)` in expr")),
+                }
+            }
+            Some(ETok::Log) => Ok(NumExpr::Log(Box::new(self.parenthesized()?))),
+            Some(ETok::Exp) => Ok(NumExpr::Exp(Box::new(self.parenthesized()?))),
+            other => Err(perr(
+                self.line,
+                format!("unexpected token in expr: {other:?}"),
+            )),
+        }
+    }
+
+    fn parenthesized(&mut self) -> Result<NumExpr> {
+        match self.next() {
+            Some(ETok::LParen) => {}
+            _ => return Err(perr(self.line, "expected `(` after log/exp")),
+        }
+        let inner = self.expr()?;
+        match self.next() {
+            Some(ETok::RParen) => Ok(inner),
+            _ => Err(perr(self.line, "expected `)` after log/exp argument")),
+        }
+    }
+}
+
+fn parse_num_expr(text: &str, names: &[String], line: usize) -> Result<NumExpr> {
+    let tokens = etokenize(text, line)?;
+    let mut parser = EParser {
+        tokens,
+        names,
+        pos: 0,
+        line,
+    };
+    let expr = parser.expr()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(perr(line, "trailing tokens in expr"));
+    }
+    Ok(expr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exq_relstore::parse::parse_schema;
+    use exq_relstore::Database;
+
+    fn schema() -> DatabaseSchema {
+        parse_schema("relation R(id: int key, marital: str, ap: str, x: int)").unwrap()
+    }
+
+    fn sample_db() -> Database {
+        let mut db = Database::new(schema());
+        for (i, (m, ap, x)) in [
+            ("married", "good", 10),
+            ("married", "poor", 2),
+            ("unmarried", "good", 5),
+            ("unmarried", "poor", 5),
+        ]
+        .iter()
+        .enumerate()
+        {
+            db.insert(
+                "R",
+                vec![(i as i64).into(), (*m).into(), (*ap).into(), (*x).into()],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    const Q_MARITAL: &str = "
+# Q_Marital
+agg q1 = count(*) where marital = 'married' and ap = 'good'
+agg q2 = count(*) where marital = 'married' and ap = 'poor'
+agg q3 = count(*) where marital = 'unmarried' and ap = 'good'
+agg q4 = count(*) where marital = 'unmarried' and ap = 'poor'
+expr (q1 / q2) / (q3 / q4)
+dir high
+smoothing 0.0001
+";
+
+    #[test]
+    fn parses_and_evaluates_q_marital() {
+        let db = sample_db();
+        let q = parse_question(db.schema(), Q_MARITAL).unwrap();
+        assert_eq!(q.direction, Direction::High);
+        assert_eq!(q.query.arity(), 4);
+        assert_eq!(q.query.smoothing, 1e-4);
+        // (1/... counts: married 1 good? No: 1 row each → (1/1)/(1/1)=1.
+        let v = q.query.eval(&db).unwrap();
+        assert!((v - 1.0).abs() < 1e-3, "Q = {v}");
+    }
+
+    #[test]
+    fn single_aggregate_defaults_expr() {
+        let db = sample_db();
+        let q = parse_question(db.schema(), "agg n = count(*)\ndir low\n").unwrap();
+        assert_eq!(q.query.eval(&db).unwrap(), 4.0);
+        assert_eq!(q.direction, Direction::Low);
+    }
+
+    #[test]
+    fn all_aggregate_functions_parse() {
+        let s = schema();
+        for spec in [
+            "count(*)",
+            "count(distinct R.marital)",
+            "count(distinct marital)",
+            "sum(x)",
+            "avg(R.x)",
+            "min(x)",
+            "max(x)",
+        ] {
+            parse_aggregate(&s, spec, 1).unwrap_or_else(|e| panic!("`{spec}`: {e}"));
+        }
+    }
+
+    #[test]
+    fn where_clause_optional_and_quoted_where_safe() {
+        let s = schema();
+        let a = parse_aggregate(&s, "count(*) where marital = 'where '", 1).unwrap();
+        assert_ne!(a.selection, Predicate::True);
+        let b = parse_aggregate(&s, "count(*)", 1).unwrap();
+        assert_eq!(b.selection, Predicate::True);
+    }
+
+    #[test]
+    fn expression_grammar() {
+        let names = vec!["a".to_string(), "b".to_string()];
+        for (text, vals, expected) in [
+            ("a + b", [2.0, 3.0], 5.0),
+            ("a - b * 2", [10.0, 3.0], 4.0),
+            ("(a - b) * 2", [10.0, 3.0], 14.0),
+            ("-a / b", [6.0, 3.0], -2.0),
+            ("log(exp(a))", [2.5, 0.0], 2.5),
+            ("a / b / 2", [8.0, 2.0], 2.0),
+            ("0.5 * a", [8.0, 0.0], 4.0),
+        ] {
+            let e = parse_num_expr(text, &names, 1).unwrap();
+            assert!((e.eval(&vals) - expected).abs() < 1e-12, "`{text}`");
+        }
+    }
+
+    #[test]
+    fn question_errors() {
+        let s = schema();
+        for (text, fragment) in [
+            ("agg q1 = count(*)\n", "missing `dir"),
+            (
+                "agg q = count(*)\nagg q = count(*)\ndir high",
+                "duplicate aggregate name",
+            ),
+            (
+                "agg a = count(*)\nagg b = count(*)\ndir high",
+                "missing `expr",
+            ),
+            (
+                "agg a = count(*)\nexpr a + zz\ndir high",
+                "unknown aggregate name",
+            ),
+            ("dir sideways", "high|low"),
+            ("bogus line", "expected agg/expr/dir/smoothing"),
+            ("agg a = frobnicate(x)\ndir high", "unknown aggregate"),
+            ("agg a = count(x)\ndir high", "count takes"),
+            ("agg a = count(*)\nsmoothing abc\ndir high", "bad smoothing"),
+            (
+                "agg a = count(*)\nexpr a +\ndir high",
+                "unexpected token in expr",
+            ),
+            ("agg a = count(*)\nexpr a b\ndir high", "trailing tokens"),
+        ] {
+            let err = parse_question(&s, text).unwrap_err().to_string();
+            assert!(
+                err.contains(fragment),
+                "`{text}` → `{err}` (wanted `{fragment}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn regression_style_expression() {
+        // A hand-written slope over three window counts.
+        let db = sample_db();
+        let q = parse_question(
+            db.schema(),
+            "agg w1 = count(*) where x >= 10\n\
+             agg w2 = count(*) where x = 5\n\
+             expr w2 - w1\n\
+             dir high",
+        )
+        .unwrap();
+        assert_eq!(q.query.eval(&db).unwrap(), 1.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! The adversarial chain of Example 3.7 / Figure 5.
+//!
+//! Schema `R1(a)`, `R2(b)`, `R3(c, a, b)` with two back-and-forth keys
+//! `R3.a ↪ R1.a` and `R3.b ↪ R2.b`. With `p` segments the instance has
+//! `n = 4p + 1` tuples:
+//!
+//! * `R1 = {r_1, …, r_p}`,
+//! * `R2 = {t_0, …, t_p}`,
+//! * `R3 = {s_1a, s_1b, …, s_pa, s_pb}` where `s_ia = (c_ia, r_i, t_{i−1})`
+//!   and `s_ib = (c_ib, r_i, t_i)`.
+//!
+//! For `φ: [R3.c = c_1a]`, program **P** alternates Rules (ii) and (iii)
+//! down the chain and needs exactly `n − 1 = 4p` iterations — the witness
+//! that the Proposition 3.4 bound is essentially tight and that recursion
+//! is unavoidable when a relation carries two back-and-forth keys
+//! (Section 3.3).
+
+use exq_relstore::{Database, SchemaBuilder, Value, ValueType as T};
+
+/// The Example 3.7 schema.
+pub fn chain_schema() -> exq_relstore::DatabaseSchema {
+    SchemaBuilder::new()
+        .relation("R1", &[("a", T::Str)], &["a"])
+        .relation("R2", &[("b", T::Str)], &["b"])
+        .relation("R3", &[("c", T::Str), ("a", T::Str), ("b", T::Str)], &["c"])
+        .back_and_forth_fk("R3", &["a"], "R1")
+        .back_and_forth_fk("R3", &["b"], "R2")
+        .build()
+        .expect("static schema is valid")
+}
+
+/// Build the chain instance with `p ≥ 1` segments (`4p + 1` tuples).
+pub fn chain(p: usize) -> Database {
+    assert!(p >= 1, "need at least one segment");
+    let mut db = Database::new(chain_schema());
+    for i in 1..=p {
+        db.insert("R1", vec![Value::str(format!("r{i}"))]).unwrap();
+    }
+    for i in 0..=p {
+        db.insert("R2", vec![Value::str(format!("t{i}"))]).unwrap();
+    }
+    for i in 1..=p {
+        db.insert(
+            "R3",
+            vec![
+                Value::str(format!("c{i}a")),
+                Value::str(format!("r{i}")),
+                Value::str(format!("t{}", i - 1)),
+            ],
+        )
+        .unwrap();
+        db.insert(
+            "R3",
+            vec![
+                Value::str(format!("c{i}b")),
+                Value::str(format!("r{i}")),
+                Value::str(format!("t{i}")),
+            ],
+        )
+        .unwrap();
+    }
+    db.validate().expect("chain instance is valid");
+    db
+}
+
+/// The explanation `φ: [R3.c = c1a]` that triggers the full cascade.
+pub fn chain_phi(db: &Database) -> exq_relstore::Conjunction {
+    let c = db.schema().attr("R3", "c").expect("chain schema");
+    exq_relstore::Conjunction::new(vec![exq_relstore::Atom::eq(c, "c1a")])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exq_relstore::Universal;
+
+    #[test]
+    fn sizes_match_formula() {
+        for p in [1, 2, 5, 10] {
+            let db = chain(p);
+            assert_eq!(db.total_tuples(), 4 * p + 1, "n = 4p + 1 for p={p}");
+            assert_eq!(db.relation_len(0), p);
+            assert_eq!(db.relation_len(1), p + 1);
+            assert_eq!(db.relation_len(2), 2 * p);
+        }
+    }
+
+    #[test]
+    fn instance_is_semijoin_reduced() {
+        let db = chain(3);
+        let view = db.full_view();
+        assert!(exq_relstore::semijoin::is_reduced(&db, &view));
+        let u = Universal::compute(&db, &view);
+        assert_eq!(u.len(), 2 * 3, "one universal tuple per R3 row");
+    }
+
+    #[test]
+    fn schema_requires_recursion() {
+        let db = chain(2);
+        let g = db.schema().causal_graph();
+        assert_eq!(g.max_back_and_forth_per_relation(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segments_rejected() {
+        chain(0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The exact instances used in the paper's running examples: Figure 3
+//! (Example 2.2), Example 2.9, and Example 2.10.
+
+use exq_relstore::{Database, Result, SchemaBuilder, ValueType as T};
+
+/// The running example's schema with the Eq. (2) foreign keys:
+/// `Authored.id → Author.id` (standard) and
+/// `Authored.pubid ↪ Publication.pubid` (back-and-forth).
+pub fn dblp_schema() -> exq_relstore::DatabaseSchema {
+    SchemaBuilder::new()
+        .relation(
+            "Author",
+            &[
+                ("id", T::Str),
+                ("name", T::Str),
+                ("inst", T::Str),
+                ("dom", T::Str),
+            ],
+            &["id"],
+        )
+        .relation(
+            "Authored",
+            &[("id", T::Str), ("pubid", T::Str)],
+            &["id", "pubid"],
+        )
+        .relation(
+            "Publication",
+            &[("pubid", T::Str), ("year", T::Int), ("venue", T::Str)],
+            &["pubid"],
+        )
+        .standard_fk("Authored", &["id"], "Author")
+        .back_and_forth_fk("Authored", &["pubid"], "Publication")
+        .build()
+        .expect("static schema is valid")
+}
+
+/// The same schema with both keys standard (for the Example 2.8 contrast).
+pub fn dblp_schema_standard_only() -> exq_relstore::DatabaseSchema {
+    SchemaBuilder::new()
+        .relation(
+            "Author",
+            &[
+                ("id", T::Str),
+                ("name", T::Str),
+                ("inst", T::Str),
+                ("dom", T::Str),
+            ],
+            &["id"],
+        )
+        .relation(
+            "Authored",
+            &[("id", T::Str), ("pubid", T::Str)],
+            &["id", "pubid"],
+        )
+        .relation(
+            "Publication",
+            &[("pubid", T::Str), ("year", T::Int), ("venue", T::Str)],
+            &["pubid"],
+        )
+        .standard_fk("Authored", &["id"], "Author")
+        .standard_fk("Authored", &["pubid"], "Publication")
+        .build()
+        .expect("static schema is valid")
+}
+
+fn fill_figure3(db: &mut Database) -> Result<()> {
+    for (id, name, inst, dom) in [
+        ("A1", "JG", "C.edu", "edu"),
+        ("A2", "RR", "M.com", "com"),
+        ("A3", "CM", "I.com", "com"),
+    ] {
+        db.insert(
+            "Author",
+            vec![id.into(), name.into(), inst.into(), dom.into()],
+        )?;
+    }
+    // Row ids match the paper's s1..s6.
+    for (id, pubid) in [
+        ("A1", "P1"),
+        ("A2", "P1"),
+        ("A1", "P2"),
+        ("A3", "P2"),
+        ("A2", "P3"),
+        ("A3", "P3"),
+    ] {
+        db.insert("Authored", vec![id.into(), pubid.into()])?;
+    }
+    // t1..t3.
+    for (pubid, year, venue) in [
+        ("P1", 2001, "SIGMOD"),
+        ("P2", 2011, "VLDB"),
+        ("P3", 2001, "SIGMOD"),
+    ] {
+        db.insert("Publication", vec![pubid.into(), year.into(), venue.into()])?;
+    }
+    db.validate()
+}
+
+/// The Figure 3 instance (three authors, three publications, six
+/// authorship records), semijoin-reduced, with the Eq. (2) foreign keys.
+pub fn figure3() -> Database {
+    let mut db = Database::new(dblp_schema());
+    fill_figure3(&mut db).expect("static instance is valid");
+    db
+}
+
+/// The Figure 3 instance over the standard-only schema.
+pub fn figure3_standard_only() -> Database {
+    let mut db = Database::new(dblp_schema_standard_only());
+    fill_figure3(&mut db).expect("static instance is valid");
+    db
+}
+
+/// Example 2.9's path schema and instance:
+/// `D = {R1(a), S1(a,b), R2(b), S2(b,c), R3(c)}` with four standard keys.
+pub fn example_29() -> Database {
+    let schema = SchemaBuilder::new()
+        .relation("R1", &[("x", T::Str)], &["x"])
+        .relation("S1", &[("x", T::Str), ("y", T::Str)], &["x", "y"])
+        .relation("R2", &[("y", T::Str)], &["y"])
+        .relation("S2", &[("y", T::Str), ("z", T::Str)], &["y", "z"])
+        .relation("R3", &[("z", T::Str)], &["z"])
+        .standard_fk("S1", &["x"], "R1")
+        .standard_fk("S1", &["y"], "R2")
+        .standard_fk("S2", &["y"], "R2")
+        .standard_fk("S2", &["z"], "R3")
+        .build()
+        .expect("static schema is valid");
+    let mut db = Database::new(schema);
+    db.insert("R1", vec!["a".into()]).unwrap();
+    db.insert("S1", vec!["a".into(), "b".into()]).unwrap();
+    db.insert("R2", vec!["b".into()]).unwrap();
+    db.insert("S2", vec!["b".into(), "c".into()]).unwrap();
+    db.insert("R3", vec!["c".into()]).unwrap();
+    db.validate().expect("static instance is valid");
+    db
+}
+
+/// Example 2.10: Example 2.9 plus `S1(a,b')`, `R2(b')`, `S2(b',c)` — the
+/// instance showing `Δ^φ` is *non-monotone* in the input database.
+pub fn example_210() -> Database {
+    let mut db = example_29();
+    db.insert("S1", vec!["a".into(), "b2".into()]).unwrap();
+    db.insert("R2", vec!["b2".into()]).unwrap();
+    db.insert("S2", vec!["b2".into(), "c".into()]).unwrap();
+    db.validate().expect("static instance is valid");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exq_relstore::Universal;
+
+    #[test]
+    fn figure3_matches_figure4() {
+        let db = figure3();
+        assert_eq!(db.total_tuples(), 12);
+        let u = Universal::compute(&db, &db.full_view());
+        assert_eq!(u.len(), 6, "Figure 4 has six universal tuples");
+        assert!(db.schema().has_back_and_forth());
+    }
+
+    #[test]
+    fn standard_variant_differs_only_in_fk_kind() {
+        let db = figure3_standard_only();
+        assert!(!db.schema().has_back_and_forth());
+        assert_eq!(db.total_tuples(), 12);
+        let u = Universal::compute(&db, &db.full_view());
+        assert_eq!(u.len(), 6);
+    }
+
+    #[test]
+    fn example_29_is_reduced_path() {
+        let db = example_29();
+        assert_eq!(db.total_tuples(), 5);
+        let u = Universal::compute(&db, &db.full_view());
+        assert_eq!(u.len(), 1, "a single join path a-b-c");
+    }
+
+    #[test]
+    fn example_210_has_two_paths() {
+        let db = example_210();
+        assert_eq!(db.total_tuples(), 8);
+        let u = Universal::compute(&db, &db.full_view());
+        assert_eq!(u.len(), 2, "paths a-b-c and a-b2-c");
+    }
+}

@@ -1,0 +1,205 @@
+//! Random tree-schema databases for property-based testing.
+//!
+//! Generates an arbitrary acyclic schema (a random tree over `k`
+//! relations, each foreign key independently standard or back-and-forth)
+//! and a random instance, then semijoin-reduces and materializes it so the
+//! result satisfies the paper's standing assumptions (referential
+//! integrity, global consistency). This exercises program **P** far beyond
+//! the fixed DBLP shape: multiple back-and-forth keys per relation
+//! (recursion required), deep cascades, mixed key kinds.
+
+use exq_relstore::{semijoin, Database, SchemaBuilder, Value, ValueType as T};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the random generator.
+#[derive(Debug, Clone)]
+pub struct RandomDbConfig {
+    /// Number of relations (≥ 1); the schema is a random tree over them.
+    pub relations: usize,
+    /// Rows generated per relation before reduction.
+    pub rows_per_relation: usize,
+    /// Distinct primary-key values per relation (smaller → denser joins).
+    pub key_domain: usize,
+    /// Probability that a foreign key is back-and-forth.
+    pub back_and_forth_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDbConfig {
+    fn default() -> RandomDbConfig {
+        RandomDbConfig {
+            relations: 4,
+            rows_per_relation: 12,
+            key_domain: 8,
+            back_and_forth_probability: 0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Generate a random, validated, semijoin-reduced instance. Returns
+/// `None` when the reduction empties the instance (possible for sparse
+/// draws) — callers typically resample.
+pub fn random_tree_db(config: &RandomDbConfig) -> Option<Database> {
+    assert!(config.relations >= 1);
+    assert!(config.key_domain >= 1);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let k = config.relations;
+
+    // Random tree: parent(i) ∈ [0, i) for i ≥ 1. Relation i has a pk
+    // `id`, a data attribute, and one fk column per *child* — no: fks go
+    // from child to parent, so relation i (i ≥ 1) carries `parent_id`.
+    let parents: Vec<usize> = (0..k)
+        .map(|i| if i == 0 { 0 } else { rng.random_range(0..i) })
+        .collect();
+
+    let mut b = SchemaBuilder::new();
+    for i in 0..k {
+        let name = format!("R{i}");
+        if i == 0 {
+            b = b.relation(&name, &[("id", T::Int), ("data", T::Str)], &["id"]);
+        } else {
+            b = b.relation(
+                &name,
+                &[("id", T::Int), ("parent_id", T::Int), ("data", T::Str)],
+                &["id"],
+            );
+        }
+    }
+    let mut kinds = Vec::with_capacity(k);
+    kinds.push(false);
+    for (i, &parent_idx) in parents.iter().enumerate().skip(1) {
+        let name = format!("R{i}");
+        let parent = format!("R{parent_idx}");
+        let bf = rng.random::<f64>() < config.back_and_forth_probability;
+        kinds.push(bf);
+        b = if bf {
+            b.back_and_forth_fk(&name, &["parent_id"], &parent)
+        } else {
+            b.standard_fk(&name, &["parent_id"], &parent)
+        };
+    }
+    let schema = b.build().expect("random tree schema is acyclic");
+    let mut db = Database::new(schema);
+
+    // Instance: distinct pk values per relation; children reference
+    // random *existing* parent keys so referential integrity holds by
+    // construction.
+    let mut keys_of: Vec<Vec<i64>> = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut keys: Vec<i64> = (0..config.key_domain as i64).collect();
+        // Keep a random non-empty subset.
+        keys.retain(|_| rng.random::<f64>() < 0.8);
+        if keys.is_empty() {
+            keys.push(0);
+        }
+        keys.truncate(config.rows_per_relation);
+        keys_of.push(keys);
+    }
+    for i in 0..k {
+        let name = format!("R{i}");
+        // Clone the key list to appease the borrow checker (parent keys
+        // are read while inserting child rows).
+        let keys = keys_of[i].clone();
+        for &key in &keys {
+            let data = Value::str(format!("v{}", rng.random_range(0..4)));
+            if i == 0 {
+                db.insert(&name, vec![Value::Int(key), data]).unwrap();
+            } else {
+                let parent_keys = &keys_of[parents[i]];
+                let parent = parent_keys[rng.random_range(0..parent_keys.len())];
+                db.insert(&name, vec![Value::Int(key), Value::Int(parent), data])
+                    .unwrap();
+            }
+        }
+    }
+    db.validate().expect("generated instance has valid keys");
+
+    // Reduce and materialize so the instance is globally consistent.
+    let reduced = semijoin::reduce(&db, &db.full_view());
+    if reduced.live.iter().any(|l| l.is_empty()) {
+        return None;
+    }
+    let db = db.materialize(&reduced);
+    db.validate().expect("reduced instance stays valid");
+    debug_assert!(semijoin::is_reduced(&db, &db.full_view()));
+    Some(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exq_relstore::Universal;
+
+    #[test]
+    fn generated_instances_are_reduced_and_valid() {
+        let mut produced = 0;
+        for seed in 0..30 {
+            let cfg = RandomDbConfig {
+                seed,
+                relations: 1 + (seed as usize % 5),
+                ..Default::default()
+            };
+            if let Some(db) = random_tree_db(&cfg) {
+                produced += 1;
+                db.validate().unwrap();
+                assert!(exq_relstore::semijoin::is_reduced(&db, &db.full_view()));
+                let u = Universal::compute(&db, &db.full_view());
+                assert!(!u.is_empty());
+            }
+        }
+        assert!(
+            produced >= 20,
+            "generator should rarely come up empty, got {produced}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomDbConfig {
+            seed: 7,
+            ..Default::default()
+        };
+        let a = random_tree_db(&cfg).unwrap();
+        let b = random_tree_db(&cfg).unwrap();
+        assert_eq!(a.total_tuples(), b.total_tuples());
+        for rel in 0..a.schema().relation_count() {
+            for row in 0..a.relation_len(rel) {
+                assert_eq!(a.relation(rel).row(row), b.relation(rel).row(row));
+            }
+        }
+    }
+
+    #[test]
+    fn schema_variety() {
+        // Across seeds we should see both key kinds and varying depth.
+        let mut saw_bf = false;
+        let mut saw_std = false;
+        for seed in 0..20 {
+            let cfg = RandomDbConfig {
+                seed,
+                relations: 4,
+                ..Default::default()
+            };
+            if let Some(db) = random_tree_db(&cfg) {
+                saw_bf |= db.schema().has_back_and_forth();
+                saw_std |= db.schema().back_and_forth_count() < db.schema().foreign_keys().len();
+            }
+        }
+        assert!(saw_bf && saw_std);
+    }
+
+    #[test]
+    fn single_relation_works() {
+        let cfg = RandomDbConfig {
+            relations: 1,
+            seed: 3,
+            ..Default::default()
+        };
+        let db = random_tree_db(&cfg).unwrap();
+        assert_eq!(db.schema().relation_count(), 1);
+        assert!(db.relation_len(0) > 0);
+    }
+}

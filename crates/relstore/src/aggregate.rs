@@ -1,0 +1,373 @@
+//! Aggregate functions over (filtered) universal relations.
+//!
+//! Each of the paper's sub-queries `q_j` is a single-aggregate SQL query
+//! over the universal relation: `SELECT agg(…) FROM R_1 ⋈ … ⋈ R_k WHERE
+//! selection`. [`AggFunc`] is the aggregate; evaluation filters universal
+//! tuples by the selection predicate and folds an [`AggState`].
+
+use crate::database::Database;
+use crate::error::{Error, Result};
+use crate::join::Universal;
+use crate::predicate::Predicate;
+use crate::schema::{AttrRef, DatabaseSchema};
+use crate::value::{Value, ValueType};
+use std::collections::HashSet;
+
+/// An aggregate function.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` over universal tuples.
+    CountStar,
+    /// `COUNT(DISTINCT attr)`.
+    CountDistinct(AttrRef),
+    /// `SUM(attr)` (numeric attr).
+    Sum(AttrRef),
+    /// `AVG(attr)` (numeric attr).
+    Avg(AttrRef),
+    /// `MIN(attr)` (numeric attr).
+    Min(AttrRef),
+    /// `MAX(attr)` (numeric attr).
+    Max(AttrRef),
+}
+
+impl AggFunc {
+    /// The attribute aggregated over, if any.
+    pub fn attr(&self) -> Option<AttrRef> {
+        match self {
+            AggFunc::CountStar => None,
+            AggFunc::CountDistinct(a)
+            | AggFunc::Sum(a)
+            | AggFunc::Avg(a)
+            | AggFunc::Min(a)
+            | AggFunc::Max(a) => Some(*a),
+        }
+    }
+
+    /// Check the aggregated attribute is numeric where required.
+    pub fn validate(&self, schema: &DatabaseSchema) -> Result<()> {
+        match self {
+            AggFunc::CountStar | AggFunc::CountDistinct(_) => Ok(()),
+            AggFunc::Sum(a) | AggFunc::Avg(a) | AggFunc::Min(a) | AggFunc::Max(a) => {
+                let ty = schema.relation(a.rel).attributes[a.col].ty;
+                if matches!(ty, ValueType::Int | ValueType::Float | ValueType::Any) {
+                    Ok(())
+                } else {
+                    Err(Error::NotNumeric(schema.attr_name(*a)))
+                }
+            }
+        }
+    }
+
+    /// A fresh accumulator for this function.
+    pub fn new_state(&self) -> AggState {
+        match self {
+            AggFunc::CountStar => AggState::Count(0),
+            AggFunc::CountDistinct(_) => AggState::Distinct(HashSet::new()),
+            AggFunc::Sum(_) => AggState::Sum(0.0),
+            AggFunc::Avg(_) => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min(_) => AggState::Min(None),
+            AggFunc::Max(_) => AggState::Max(None),
+        }
+    }
+
+    /// Whether roll-up merging of two states loses nothing (distributive or
+    /// algebraic aggregates). True for every [`AggFunc`] — COUNT DISTINCT
+    /// keeps its key set in the state precisely so it merges exactly.
+    pub fn mergeable(&self) -> bool {
+        true
+    }
+}
+
+/// A mergeable accumulator for one aggregate.
+#[derive(Debug, Clone)]
+pub enum AggState {
+    /// COUNT(*) accumulator.
+    Count(u64),
+    /// SUM accumulator.
+    Sum(f64),
+    /// AVG accumulator.
+    Avg {
+        /// Running sum.
+        sum: f64,
+        /// Running count.
+        n: u64,
+    },
+    /// MIN accumulator.
+    Min(Option<Value>),
+    /// MAX accumulator.
+    Max(Option<Value>),
+    /// COUNT DISTINCT accumulator (exact: keeps the key set so roll-up
+    /// merges stay correct).
+    Distinct(HashSet<Value>),
+}
+
+impl AggState {
+    /// Fold one universal tuple into the state.
+    #[inline]
+    pub fn update(&mut self, func: &AggFunc, db: &Database, utuple: &[u32]) -> Result<()> {
+        let attr_value = |a: AttrRef| db.value(a, utuple[a.rel] as usize);
+        match (self, func) {
+            (AggState::Count(c), AggFunc::CountStar) => *c += 1,
+            (AggState::Distinct(set), AggFunc::CountDistinct(a)) => {
+                let v = attr_value(*a);
+                if !v.is_null() && !set.contains(v) {
+                    set.insert(v.clone());
+                }
+            }
+            (AggState::Sum(s), AggFunc::Sum(a)) => {
+                *s += numeric(attr_value(*a), db, *a)?;
+            }
+            (AggState::Avg { sum, n }, AggFunc::Avg(a)) => {
+                let v = attr_value(*a);
+                if !v.is_null() {
+                    *sum += numeric(v, db, *a)?;
+                    *n += 1;
+                }
+            }
+            (AggState::Min(m), AggFunc::Min(a)) => {
+                let v = attr_value(*a);
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v < cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            (AggState::Max(m), AggFunc::Max(a)) => {
+                let v = attr_value(*a);
+                if !v.is_null() && m.as_ref().is_none_or(|cur| v > cur) {
+                    *m = Some(v.clone());
+                }
+            }
+            (state, func) => unreachable!("state {state:?} does not match function {func:?}"),
+        }
+        Ok(())
+    }
+
+    /// Merge another state of the same shape into this one (roll-up).
+    pub fn merge(&mut self, other: &AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::Sum(a), AggState::Sum(b)) => *a += b,
+            (AggState::Avg { sum: s1, n: n1 }, AggState::Avg { sum: s2, n: n2 }) => {
+                *s1 += s2;
+                *n1 += n2;
+            }
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(bv) = b {
+                    if a.as_ref().is_none_or(|av| bv < av) {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(bv) = b {
+                    if a.as_ref().is_none_or(|av| bv > av) {
+                        *a = Some(bv.clone());
+                    }
+                }
+            }
+            (AggState::Distinct(a), AggState::Distinct(b)) => {
+                a.extend(b.iter().cloned());
+            }
+            (a, b) => unreachable!("cannot merge {a:?} with {b:?}"),
+        }
+    }
+
+    /// Extract the numeric result. Empty MIN/MAX/AVG yield SQL-null, which
+    /// the numerical-query layer treats as 0 (the paper's outer-join
+    /// convention: explanations missing from a cube count as zero).
+    pub fn finalize(&self) -> f64 {
+        match self {
+            AggState::Count(c) => *c as f64,
+            AggState::Sum(s) => *s,
+            AggState::Avg { sum, n } => {
+                if *n == 0 {
+                    0.0
+                } else {
+                    sum / *n as f64
+                }
+            }
+            AggState::Min(v) | AggState::Max(v) => {
+                v.as_ref().and_then(Value::as_f64).unwrap_or(0.0)
+            }
+            AggState::Distinct(set) => set.len() as f64,
+        }
+    }
+}
+
+fn numeric(v: &Value, db: &Database, a: AttrRef) -> Result<f64> {
+    if v.is_null() {
+        return Ok(0.0);
+    }
+    v.as_f64()
+        .ok_or_else(|| Error::NotNumeric(db.schema().attr_name(a)))
+}
+
+/// Evaluate `func` over the universal tuples of `u` that satisfy
+/// `selection`.
+pub fn evaluate(
+    db: &Database,
+    u: &Universal,
+    selection: &Predicate,
+    func: &AggFunc,
+) -> Result<f64> {
+    let mut state = func.new_state();
+    for t in u.iter() {
+        if selection.eval(db, t) {
+            state.update(func, db, t)?;
+        }
+    }
+    Ok(state.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::ValueType as T;
+
+    fn db() -> Database {
+        let schema = SchemaBuilder::new()
+            .relation("R", &[("g", T::Str), ("x", T::Int)], &["g", "x"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for (g, x) in [("a", 1), ("a", 2), ("b", 3), ("b", 3), ("c", 10)] {
+            db.insert("R", vec![g.into(), x.into()]).unwrap();
+        }
+        db
+    }
+
+    fn x(db: &Database) -> AttrRef {
+        db.schema().attr("R", "x").unwrap()
+    }
+    fn g(db: &Database) -> AttrRef {
+        db.schema().attr("R", "g").unwrap()
+    }
+
+    #[test]
+    fn count_star() {
+        let db = db();
+        let u = Universal::compute(&db, &db.full_view());
+        assert_eq!(
+            evaluate(&db, &u, &Predicate::True, &AggFunc::CountStar).unwrap(),
+            5.0
+        );
+        let sel = Predicate::eq(g(&db), "a");
+        assert_eq!(evaluate(&db, &u, &sel, &AggFunc::CountStar).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn count_distinct() {
+        let db = db();
+        let u = Universal::compute(&db, &db.full_view());
+        assert_eq!(
+            evaluate(&db, &u, &Predicate::True, &AggFunc::CountDistinct(x(&db))).unwrap(),
+            4.0,
+            "values 1,2,3,10"
+        );
+        assert_eq!(
+            evaluate(&db, &u, &Predicate::True, &AggFunc::CountDistinct(g(&db))).unwrap(),
+            3.0
+        );
+    }
+
+    #[test]
+    fn sum_avg_min_max() {
+        let db = db();
+        let u = Universal::compute(&db, &db.full_view());
+        assert_eq!(
+            evaluate(&db, &u, &Predicate::True, &AggFunc::Sum(x(&db))).unwrap(),
+            19.0
+        );
+        assert_eq!(
+            evaluate(&db, &u, &Predicate::True, &AggFunc::Avg(x(&db))).unwrap(),
+            3.8
+        );
+        assert_eq!(
+            evaluate(&db, &u, &Predicate::True, &AggFunc::Min(x(&db))).unwrap(),
+            1.0
+        );
+        assert_eq!(
+            evaluate(&db, &u, &Predicate::True, &AggFunc::Max(x(&db))).unwrap(),
+            10.0
+        );
+    }
+
+    #[test]
+    fn empty_selection_finalizes_to_zero() {
+        let db = db();
+        let u = Universal::compute(&db, &db.full_view());
+        let none = Predicate::False;
+        for f in [
+            AggFunc::CountStar,
+            AggFunc::CountDistinct(x(&db)),
+            AggFunc::Sum(x(&db)),
+            AggFunc::Avg(x(&db)),
+            AggFunc::Min(x(&db)),
+            AggFunc::Max(x(&db)),
+        ] {
+            assert_eq!(evaluate(&db, &u, &none, &f).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_sum_over_strings() {
+        let db = db();
+        assert!(AggFunc::Sum(g(&db)).validate(db.schema()).is_err());
+        assert!(AggFunc::Sum(x(&db)).validate(db.schema()).is_ok());
+        assert!(AggFunc::CountDistinct(g(&db)).validate(db.schema()).is_ok());
+    }
+
+    #[test]
+    fn state_merge_matches_single_pass() {
+        let db = db();
+        let u = Universal::compute(&db, &db.full_view());
+        for f in [
+            AggFunc::CountStar,
+            AggFunc::CountDistinct(x(&db)),
+            AggFunc::Sum(x(&db)),
+            AggFunc::Avg(x(&db)),
+            AggFunc::Min(x(&db)),
+            AggFunc::Max(x(&db)),
+        ] {
+            // Split tuples into two halves, accumulate separately, merge.
+            let mut s1 = f.new_state();
+            let mut s2 = f.new_state();
+            for (i, t) in u.iter().enumerate() {
+                let s = if i % 2 == 0 { &mut s1 } else { &mut s2 };
+                s.update(&f, &db, t).unwrap();
+            }
+            s1.merge(&s2);
+            let whole = evaluate(&db, &u, &Predicate::True, &f).unwrap();
+            assert_eq!(s1.finalize(), whole, "merge mismatch for {f:?}");
+        }
+    }
+
+    #[test]
+    fn nulls_ignored_by_value_aggregates() {
+        let schema = SchemaBuilder::new()
+            .relation("R", &[("id", T::Int), ("x", T::Int)], &["id"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", vec![1.into(), 5.into()]).unwrap();
+        db.insert("R", vec![2.into(), Value::Null]).unwrap();
+        let u = Universal::compute(&db, &db.full_view());
+        let x = db.schema().attr("R", "x").unwrap();
+        assert_eq!(
+            evaluate(&db, &u, &Predicate::True, &AggFunc::CountStar).unwrap(),
+            2.0
+        );
+        assert_eq!(
+            evaluate(&db, &u, &Predicate::True, &AggFunc::CountDistinct(x)).unwrap(),
+            1.0
+        );
+        assert_eq!(
+            evaluate(&db, &u, &Predicate::True, &AggFunc::Avg(x)).unwrap(),
+            5.0
+        );
+        assert_eq!(
+            evaluate(&db, &u, &Predicate::True, &AggFunc::Min(x)).unwrap(),
+            5.0
+        );
+    }
+}

@@ -1,0 +1,661 @@
+//! The data-cube operator (`GROUP BY … WITH CUBE`).
+//!
+//! Given dimensions `A' = (A_1, …, A_d)` and an aggregate, the cube holds
+//! one cell per observed combination of dimension values *for every subset
+//! of the dimensions*, with `Value::Null` in the "don't care" coordinates —
+//! exactly SQL Server's `WITH CUBE` that Section 4 of the paper builds
+//! Algorithm 1 on. Each cube row *is* a candidate explanation: the
+//! conjunction of equalities on its non-null coordinates.
+//!
+//! Two strategies are provided (and ablation-benched against each other):
+//!
+//! * [`CubeStrategy::SubsetEnumeration`] — every input tuple updates all
+//!   `2^d` cells it belongs to. Simple; cost `O(|U| · 2^d)` hash updates.
+//! * [`CubeStrategy::LatticeRollup`] — group into finest-level cells first,
+//!   then roll cells up the lattice level by level; each cell is touched
+//!   once per parent. Cost `O(|U| + Σ_cells)`; wins when `|U| ≫ #cells`
+//!   (low-cardinality dimensions, the natality setting).
+//!
+//! ```
+//! use exq_relstore::aggregate::AggFunc;
+//! use exq_relstore::cube::{compute, CubeStrategy};
+//! use exq_relstore::{Database, Predicate, SchemaBuilder, Universal, Value, ValueType};
+//!
+//! let schema = SchemaBuilder::new()
+//!     .relation("R", &[("id", ValueType::Int), ("g", ValueType::Str)], &["id"])
+//!     .build()?;
+//! let mut db = Database::new(schema);
+//! for (i, g) in ["a", "a", "b"].iter().enumerate() {
+//!     db.insert("R", vec![(i as i64).into(), (*g).into()])?;
+//! }
+//! let u = Universal::compute(&db, &db.full_view());
+//! let g = db.schema().attr("R", "g")?;
+//! let cube = compute(&db, &u, &Predicate::True, &[g], &AggFunc::CountStar, CubeStrategy::Auto)?;
+//! assert_eq!(cube.get(&[Value::str("a")]), Some(2.0));
+//! assert_eq!(cube.grand_total(), Some(3.0));
+//! # Ok::<(), exq_relstore::Error>(())
+//! ```
+
+use crate::aggregate::{AggFunc, AggState};
+use crate::database::Database;
+use crate::error::{Error, Result};
+use crate::join::Universal;
+use crate::predicate::Predicate;
+use crate::schema::AttrRef;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Maximum cube dimensionality. `2^16` masks per tuple is already far past
+/// anything interactive; the paper's experiments stop at 8.
+pub const MAX_CUBE_DIMS: usize = 16;
+
+/// Which cube algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CubeStrategy {
+    /// Per-tuple enumeration of all `2^d` ancestor cells.
+    SubsetEnumeration,
+    /// Finest-level grouping followed by level-wise roll-up.
+    LatticeRollup,
+    /// Sample the input to estimate the distinct-cell count and pick
+    /// between the two: roll-up when cells ≪ rows (the low-cardinality
+    /// categorical setting), subset enumeration when nearly every tuple
+    /// has its own cell (roll-up would only add a regrouping pass).
+    #[default]
+    Auto,
+}
+
+/// Sample size for [`CubeStrategy::Auto`]'s distinct-cell estimate.
+const AUTO_SAMPLE: usize = 2048;
+
+/// Resolve [`CubeStrategy::Auto`] against the actual input.
+fn resolve_strategy(
+    db: &Database,
+    u: &Universal,
+    dims: &[AttrRef],
+    strategy: CubeStrategy,
+) -> CubeStrategy {
+    match strategy {
+        CubeStrategy::Auto => {
+            let sample = AUTO_SAMPLE.min(u.len());
+            if sample == 0 {
+                return CubeStrategy::SubsetEnumeration;
+            }
+            let distinct = crate::stats::estimate_distinct_coords(db, u, dims, sample);
+            // Dense in the sample → likely high-cardinality: enumerate.
+            if distinct * 2 >= sample {
+                CubeStrategy::SubsetEnumeration
+            } else {
+                CubeStrategy::LatticeRollup
+            }
+        }
+        resolved => resolved,
+    }
+}
+
+/// A cube coordinate: one value per dimension, `Value::Null` marking
+/// "don't care".
+pub type Coord = Box<[Value]>;
+
+/// A computed data cube.
+#[derive(Debug, Clone)]
+pub struct Cube {
+    /// The dimension attributes, in coordinate order.
+    pub dims: Vec<AttrRef>,
+    /// Aggregate value per cell. Only non-empty cells are present.
+    pub cells: HashMap<Coord, f64>,
+}
+
+impl Cube {
+    /// Number of cells (including the all-null grand total, if any input
+    /// tuple matched).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the cube has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The value at a coordinate, if that cell exists.
+    pub fn get(&self, coord: &[Value]) -> Option<f64> {
+        self.cells.get(coord).copied()
+    }
+
+    /// The grand total (all coordinates null).
+    pub fn grand_total(&self) -> Option<f64> {
+        let coord: Coord = vec![Value::Null; self.dims.len()].into_boxed_slice();
+        self.get(&coord)
+    }
+}
+
+/// Compute the cube of `agg` over the universal tuples of `u` satisfying
+/// `selection`, grouped (with cube) by `dims`.
+///
+/// Errors if `dims` exceeds [`MAX_CUBE_DIMS`] or if any input tuple has a
+/// NULL dimension value (a NULL coordinate would be indistinguishable from
+/// "don't care"; the paper's datasets recode missing values explicitly).
+pub fn compute(
+    db: &Database,
+    u: &Universal,
+    selection: &Predicate,
+    dims: &[AttrRef],
+    agg: &AggFunc,
+    strategy: CubeStrategy,
+) -> Result<Cube> {
+    if dims.len() > MAX_CUBE_DIMS {
+        return Err(Error::TooManyCubeDimensions(dims.len()));
+    }
+    agg.validate(db.schema())?;
+    let states = match resolve_strategy(db, u, dims, strategy) {
+        CubeStrategy::SubsetEnumeration => subset_enumeration(db, u, selection, dims, agg)?,
+        CubeStrategy::LatticeRollup => lattice_rollup(db, u, selection, dims, agg)?,
+        CubeStrategy::Auto => unreachable!("resolve_strategy never returns Auto"),
+    };
+    let cells = states.into_iter().map(|(k, s)| (k, s.finalize())).collect();
+    Ok(Cube {
+        dims: dims.to_vec(),
+        cells,
+    })
+}
+
+/// Plain `GROUP BY` (no cube): only the finest-level cells. This is the
+/// operator behind series queries (one aggregate value per group), and
+/// the first phase of the lattice roll-up.
+pub fn group_by(
+    db: &Database,
+    u: &Universal,
+    selection: &Predicate,
+    dims: &[AttrRef],
+    agg: &AggFunc,
+) -> Result<Cube> {
+    agg.validate(db.schema())?;
+    let mut cells: HashMap<Coord, AggState> = HashMap::new();
+    let mut base = Vec::with_capacity(dims.len());
+    for t in u.iter() {
+        if !selection.eval(db, t) {
+            continue;
+        }
+        dim_values(db, dims, t, &mut base)?;
+        cells
+            .entry(base.clone().into_boxed_slice())
+            .or_insert_with(|| agg.new_state())
+            .update(agg, db, t)?;
+    }
+    Ok(Cube {
+        dims: dims.to_vec(),
+        cells: cells.into_iter().map(|(k, s)| (k, s.finalize())).collect(),
+    })
+}
+
+/// Extract the dimension values of one universal tuple.
+fn dim_values(db: &Database, dims: &[AttrRef], t: &[u32], out: &mut Vec<Value>) -> Result<()> {
+    out.clear();
+    for &a in dims {
+        let v = db.value(a, t[a.rel] as usize);
+        if v.is_null() {
+            return Err(Error::TypeMismatch {
+                relation: db.schema().relation(a.rel).name.clone(),
+                attribute: db.schema().relation(a.rel).attributes[a.col].name.clone(),
+                expected: "non-null cube dimension".to_string(),
+                got: "null".to_string(),
+            });
+        }
+        out.push(v.clone());
+    }
+    Ok(())
+}
+
+/// Coordinate for `base` restricted to the dimensions set in `mask`.
+fn masked_coord(base: &[Value], mask: u32) -> Coord {
+    base.iter()
+        .enumerate()
+        .map(|(j, v)| {
+            if mask & (1 << j) != 0 {
+                v.clone()
+            } else {
+                Value::Null
+            }
+        })
+        .collect()
+}
+
+fn subset_enumeration(
+    db: &Database,
+    u: &Universal,
+    selection: &Predicate,
+    dims: &[AttrRef],
+    agg: &AggFunc,
+) -> Result<HashMap<Coord, AggState>> {
+    let d = dims.len();
+    let mut cells: HashMap<Coord, AggState> = HashMap::new();
+    let mut base = Vec::with_capacity(d);
+    for t in u.iter() {
+        if !selection.eval(db, t) {
+            continue;
+        }
+        dim_values(db, dims, t, &mut base)?;
+        for mask in 0..(1u32 << d) {
+            let coord = masked_coord(&base, mask);
+            cells
+                .entry(coord)
+                .or_insert_with(|| agg.new_state())
+                .update(agg, db, t)?;
+        }
+    }
+    Ok(cells)
+}
+
+fn lattice_rollup(
+    db: &Database,
+    u: &Universal,
+    selection: &Predicate,
+    dims: &[AttrRef],
+    agg: &AggFunc,
+) -> Result<HashMap<Coord, AggState>> {
+    let d = dims.len();
+    // Finest-level grouping.
+    let mut base_cells: HashMap<Coord, AggState> = HashMap::new();
+    let mut base = Vec::with_capacity(d);
+    for t in u.iter() {
+        if !selection.eval(db, t) {
+            continue;
+        }
+        dim_values(db, dims, t, &mut base)?;
+        base_cells
+            .entry(base.clone().into_boxed_slice())
+            .or_insert_with(|| agg.new_state())
+            .update(agg, db, t)?;
+    }
+
+    // Roll up: per-mask cell maps, masks processed by decreasing popcount.
+    // Each mask M (≠ full) aggregates from its parent P = M | lowest unset
+    // bit, which has exactly one more bit and is processed earlier.
+    let full = (1u32 << d) - 1;
+    let mut per_mask: Vec<HashMap<Coord, AggState>> = (0..=full).map(|_| HashMap::new()).collect();
+    per_mask[full as usize] = base_cells;
+
+    let mut masks: Vec<u32> = (0..=full).collect();
+    masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
+    for &mask in &masks {
+        if mask == full {
+            continue;
+        }
+        let lowest_unset = (0..d as u32)
+            .find(|j| mask & (1 << j) == 0)
+            .expect("mask != full");
+        let parent = mask | (1 << lowest_unset);
+        // Move the parent map out to appease the borrow checker; parents
+        // are still needed by *their* children, so put it back after.
+        let parent_cells = std::mem::take(&mut per_mask[parent as usize]);
+        {
+            let child_map = &mut per_mask[mask as usize];
+            for (coord, state) in &parent_cells {
+                let mut child_coord = coord.clone();
+                child_coord[lowest_unset as usize] = Value::Null;
+                match child_map.get_mut(&child_coord) {
+                    Some(existing) => existing.merge(state),
+                    None => {
+                        child_map.insert(child_coord, state.clone());
+                    }
+                }
+            }
+        }
+        per_mask[parent as usize] = parent_cells;
+    }
+
+    // Flatten. Coordinates are disjoint across masks because no dimension
+    // value is null.
+    let mut out = HashMap::new();
+    for m in per_mask {
+        out.extend(m);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::ValueType as T;
+
+    /// Example 4.1's database (the Figure 3 instance), cube over
+    /// (Author.name, Publication.year) with COUNT(*).
+    fn figure3_db() -> Database {
+        let schema = SchemaBuilder::new()
+            .relation(
+                "Author",
+                &[
+                    ("id", T::Str),
+                    ("name", T::Str),
+                    ("inst", T::Str),
+                    ("dom", T::Str),
+                ],
+                &["id"],
+            )
+            .relation(
+                "Authored",
+                &[("id", T::Str), ("pubid", T::Str)],
+                &["id", "pubid"],
+            )
+            .relation(
+                "Publication",
+                &[("pubid", T::Str), ("year", T::Int), ("venue", T::Str)],
+                &["pubid"],
+            )
+            .standard_fk("Authored", &["id"], "Author")
+            .back_and_forth_fk("Authored", &["pubid"], "Publication")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for (id, name, inst, dom) in [
+            ("A1", "JG", "C.edu", "edu"),
+            ("A2", "RR", "M.com", "com"),
+            ("A3", "CM", "I.com", "com"),
+        ] {
+            db.insert(
+                "Author",
+                vec![id.into(), name.into(), inst.into(), dom.into()],
+            )
+            .unwrap();
+        }
+        for (id, pubid) in [
+            ("A1", "P1"),
+            ("A2", "P1"),
+            ("A1", "P2"),
+            ("A3", "P2"),
+            ("A2", "P3"),
+            ("A3", "P3"),
+        ] {
+            db.insert("Authored", vec![id.into(), pubid.into()])
+                .unwrap();
+        }
+        for (pubid, year, venue) in [
+            ("P1", 2001, "SIGMOD"),
+            ("P2", 2011, "VLDB"),
+            ("P3", 2001, "SIGMOD"),
+        ] {
+            db.insert("Publication", vec![pubid.into(), year.into(), venue.into()])
+                .unwrap();
+        }
+        db
+    }
+
+    fn cube_of(strategy: CubeStrategy) -> (Database, Cube) {
+        let db = figure3_db();
+        let u = Universal::compute(&db, &db.full_view());
+        let dims = vec![
+            db.schema().attr("Author", "name").unwrap(),
+            db.schema().attr("Publication", "year").unwrap(),
+        ];
+        let cube = compute(
+            &db,
+            &u,
+            &Predicate::True,
+            &dims,
+            &AggFunc::CountStar,
+            strategy,
+        )
+        .unwrap();
+        (db, cube)
+    }
+
+    fn assert_example_41(cube: &Cube) {
+        // The 11 rows of Example 4.1.
+        let rows: [(&[Value], f64); 11] = [
+            (&[Value::str("JG"), Value::Int(2001)], 1.0),
+            (&[Value::str("JG"), Value::Int(2011)], 1.0),
+            (&[Value::str("RR"), Value::Int(2001)], 2.0),
+            (&[Value::str("CM"), Value::Int(2001)], 1.0),
+            (&[Value::str("CM"), Value::Int(2011)], 1.0),
+            (&[Value::str("JG"), Value::Null], 2.0),
+            (&[Value::str("RR"), Value::Null], 2.0),
+            (&[Value::str("CM"), Value::Null], 2.0),
+            (&[Value::Null, Value::Int(2001)], 4.0),
+            (&[Value::Null, Value::Int(2011)], 2.0),
+            (&[Value::Null, Value::Null], 6.0),
+        ];
+        assert_eq!(cube.len(), 11);
+        for (coord, expected) in rows {
+            assert_eq!(cube.get(coord), Some(expected), "cell {coord:?}");
+        }
+        assert_eq!(cube.grand_total(), Some(6.0));
+    }
+
+    #[test]
+    fn example_41_subset_enumeration() {
+        let (_, cube) = cube_of(CubeStrategy::SubsetEnumeration);
+        assert_example_41(&cube);
+    }
+
+    #[test]
+    fn example_41_lattice_rollup() {
+        let (_, cube) = cube_of(CubeStrategy::LatticeRollup);
+        assert_example_41(&cube);
+    }
+
+    #[test]
+    fn strategies_agree_with_selection_and_distinct() {
+        let db = figure3_db();
+        let u = Universal::compute(&db, &db.full_view());
+        let dims = vec![
+            db.schema().attr("Author", "dom").unwrap(),
+            db.schema().attr("Publication", "venue").unwrap(),
+        ];
+        let sel = Predicate::eq(db.schema().attr("Publication", "year").unwrap(), 2001);
+        let agg = AggFunc::CountDistinct(db.schema().attr("Publication", "pubid").unwrap());
+        let a = compute(&db, &u, &sel, &dims, &agg, CubeStrategy::SubsetEnumeration).unwrap();
+        let b = compute(&db, &u, &sel, &dims, &agg, CubeStrategy::LatticeRollup).unwrap();
+        assert_eq!(a.cells, b.cells);
+        // Both SIGMOD papers in 2001 regardless of author domain.
+        assert_eq!(a.get(&[Value::Null, Value::str("SIGMOD")]), Some(2.0));
+        assert_eq!(
+            a.get(&[Value::str("edu"), Value::Null]),
+            Some(1.0),
+            "JG only on P1"
+        );
+    }
+
+    #[test]
+    fn zero_dims_gives_grand_total_only() {
+        let db = figure3_db();
+        let u = Universal::compute(&db, &db.full_view());
+        for strategy in [CubeStrategy::SubsetEnumeration, CubeStrategy::LatticeRollup] {
+            let cube = compute(
+                &db,
+                &u,
+                &Predicate::True,
+                &[],
+                &AggFunc::CountStar,
+                strategy,
+            )
+            .unwrap();
+            assert_eq!(cube.len(), 1);
+            assert_eq!(cube.get(&[]), Some(6.0));
+        }
+    }
+
+    #[test]
+    fn empty_selection_gives_empty_cube() {
+        let db = figure3_db();
+        let u = Universal::compute(&db, &db.full_view());
+        let dims = vec![db.schema().attr("Author", "name").unwrap()];
+        for strategy in [CubeStrategy::SubsetEnumeration, CubeStrategy::LatticeRollup] {
+            let cube = compute(
+                &db,
+                &u,
+                &Predicate::False,
+                &dims,
+                &AggFunc::CountStar,
+                strategy,
+            )
+            .unwrap();
+            assert!(cube.is_empty());
+            assert_eq!(cube.grand_total(), None);
+        }
+    }
+
+    #[test]
+    fn too_many_dims_rejected() {
+        let db = figure3_db();
+        let u = Universal::compute(&db, &db.full_view());
+        let dims = vec![db.schema().attr("Author", "name").unwrap(); MAX_CUBE_DIMS + 1];
+        let err = compute(
+            &db,
+            &u,
+            &Predicate::True,
+            &dims,
+            &AggFunc::CountStar,
+            CubeStrategy::SubsetEnumeration,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::TooManyCubeDimensions(_)));
+    }
+
+    #[test]
+    fn null_dimension_value_rejected() {
+        let schema = SchemaBuilder::new()
+            .relation("R", &[("id", T::Int), ("g", T::Str)], &["id"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", vec![1.into(), Value::Null]).unwrap();
+        let u = Universal::compute(&db, &db.full_view());
+        let dims = vec![db.schema().attr("R", "g").unwrap()];
+        for strategy in [CubeStrategy::SubsetEnumeration, CubeStrategy::LatticeRollup] {
+            assert!(compute(
+                &db,
+                &u,
+                &Predicate::True,
+                &dims,
+                &AggFunc::CountStar,
+                strategy
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn group_by_is_the_finest_cube_level() {
+        let db = figure3_db();
+        let u = Universal::compute(&db, &db.full_view());
+        let dims = vec![
+            db.schema().attr("Author", "name").unwrap(),
+            db.schema().attr("Publication", "year").unwrap(),
+        ];
+        let g = group_by(&db, &u, &Predicate::True, &dims, &AggFunc::CountStar).unwrap();
+        // Exactly the 5 fully-specified rows of Example 4.1.
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.get(&[Value::str("RR"), Value::Int(2001)]), Some(2.0));
+        assert_eq!(
+            g.get(&[Value::Null, Value::Int(2001)]),
+            None,
+            "no roll-up rows"
+        );
+
+        // Every finest-level cube cell matches.
+        let full = compute(
+            &db,
+            &u,
+            &Predicate::True,
+            &dims,
+            &AggFunc::CountStar,
+            CubeStrategy::LatticeRollup,
+        )
+        .unwrap();
+        for (coord, v) in &g.cells {
+            assert_eq!(full.get(coord), Some(*v));
+        }
+    }
+
+    #[test]
+    fn group_by_with_selection() {
+        let db = figure3_db();
+        let u = Universal::compute(&db, &db.full_view());
+        let dims = vec![db.schema().attr("Author", "dom").unwrap()];
+        let sel = Predicate::eq(db.schema().attr("Publication", "venue").unwrap(), "SIGMOD");
+        let g = group_by(&db, &u, &sel, &dims, &AggFunc::CountStar).unwrap();
+        assert_eq!(g.get(&[Value::str("com")]), Some(3.0), "u2, u5, u6");
+        assert_eq!(g.get(&[Value::str("edu")]), Some(1.0), "u1");
+    }
+
+    #[test]
+    fn auto_matches_explicit_strategies() {
+        let db = figure3_db();
+        let u = Universal::compute(&db, &db.full_view());
+        let dims = vec![
+            db.schema().attr("Author", "name").unwrap(),
+            db.schema().attr("Publication", "year").unwrap(),
+        ];
+        let auto = compute(
+            &db,
+            &u,
+            &Predicate::True,
+            &dims,
+            &AggFunc::CountStar,
+            CubeStrategy::Auto,
+        )
+        .unwrap();
+        let explicit = compute(
+            &db,
+            &u,
+            &Predicate::True,
+            &dims,
+            &AggFunc::CountStar,
+            CubeStrategy::LatticeRollup,
+        )
+        .unwrap();
+        assert_eq!(auto.cells, explicit.cells);
+    }
+
+    #[test]
+    fn auto_on_empty_input() {
+        let db = figure3_db();
+        let mut view = db.full_view();
+        view.live[0].clear();
+        let u = Universal::compute(&db, &view);
+        let dims = vec![db.schema().attr("Author", "name").unwrap()];
+        let cube = compute(
+            &db,
+            &u,
+            &Predicate::True,
+            &dims,
+            &AggFunc::CountStar,
+            CubeStrategy::Auto,
+        )
+        .unwrap();
+        assert!(cube.is_empty());
+    }
+
+    #[test]
+    fn rollup_of_sum_and_minmax() {
+        let schema = SchemaBuilder::new()
+            .relation(
+                "R",
+                &[("id", T::Int), ("g", T::Str), ("x", T::Int)],
+                &["id"],
+            )
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for (i, (g, x)) in [("a", 1), ("a", 5), ("b", 3)].iter().enumerate() {
+            db.insert("R", vec![(i as i64).into(), (*g).into(), (*x).into()])
+                .unwrap();
+        }
+        let u = Universal::compute(&db, &db.full_view());
+        let dims = vec![db.schema().attr("R", "g").unwrap()];
+        let x = db.schema().attr("R", "x").unwrap();
+        for (agg, a_total, a_cell) in [
+            (AggFunc::Sum(x), 9.0, 6.0),
+            (AggFunc::Min(x), 1.0, 1.0),
+            (AggFunc::Max(x), 5.0, 5.0),
+            (AggFunc::Avg(x), 3.0, 3.0),
+        ] {
+            for strategy in [CubeStrategy::SubsetEnumeration, CubeStrategy::LatticeRollup] {
+                let cube = compute(&db, &u, &Predicate::True, &dims, &agg, strategy).unwrap();
+                assert_eq!(cube.get(&[Value::Null]), Some(a_total), "{agg:?} total");
+                assert_eq!(cube.get(&[Value::str("a")]), Some(a_cell), "{agg:?} cell a");
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! A database instance: a schema plus one [`Relation`] per declared
+//! relation, and *views* (live-row subsets) over it.
+
+use crate::error::{Error, Result};
+use crate::schema::{AttrRef, DatabaseSchema};
+use crate::table::Relation;
+use crate::tupleset::TupleSet;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A database instance.
+///
+/// The schema is reference-counted so that derived structures (views,
+/// universal relations, interventions) can hold it cheaply.
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: Arc<DatabaseSchema>,
+    relations: Vec<Relation>,
+}
+
+impl Database {
+    /// An empty instance of `schema`.
+    pub fn new(schema: DatabaseSchema) -> Database {
+        let relations = (0..schema.relation_count())
+            .map(|_| Relation::new())
+            .collect();
+        Database {
+            schema: Arc::new(schema),
+            relations,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// Shared handle to the schema.
+    pub fn schema_arc(&self) -> Arc<DatabaseSchema> {
+        Arc::clone(&self.schema)
+    }
+
+    /// The stored relation at index `rel`.
+    pub fn relation(&self, rel: usize) -> &Relation {
+        &self.relations[rel]
+    }
+
+    /// Number of rows in relation `rel`.
+    pub fn relation_len(&self, rel: usize) -> usize {
+        self.relations[rel].len()
+    }
+
+    /// Total number of tuples, the `n` of Proposition 3.4.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Insert a row into the relation named `relation`. Checks arity and
+    /// types; key/foreign-key constraints are checked by [`Database::validate`]
+    /// after bulk loading (the cheap way to load data in dependency order).
+    pub fn insert(&mut self, relation: &str, row: Vec<Value>) -> Result<usize> {
+        let rel = self.schema.relation_index(relation)?;
+        self.insert_at(rel, row)
+    }
+
+    /// Insert a row into relation index `rel`.
+    pub fn insert_at(&mut self, rel: usize, row: Vec<Value>) -> Result<usize> {
+        let schema = self.schema.relation(rel).clone();
+        self.relations[rel].push_checked(&schema, row)
+    }
+
+    /// The value of attribute `attr` in row `row` of its relation.
+    #[inline]
+    pub fn value(&self, attr: AttrRef, row: usize) -> &Value {
+        &self.relations[attr.rel].row(row)[attr.col]
+    }
+
+    /// Check primary-key uniqueness and foreign-key referential integrity
+    /// over the whole instance.
+    pub fn validate(&self) -> Result<()> {
+        // Primary keys unique.
+        for (rel_idx, rel) in self.relations.iter().enumerate() {
+            let schema = self.schema.relation(rel_idx);
+            let mut seen: HashMap<Vec<Value>, ()> = HashMap::with_capacity(rel.len());
+            for i in 0..rel.len() {
+                let key = rel.project(i, &schema.primary_key);
+                if seen.insert(key.clone(), ()).is_some() {
+                    return Err(Error::DuplicateKey {
+                        relation: schema.name.clone(),
+                        key: format_key(&key),
+                    });
+                }
+            }
+        }
+        // Foreign keys resolve.
+        for fk in self.schema.foreign_keys() {
+            let targets: std::collections::HashSet<Vec<Value>> = (0..self.relations[fk.to_rel]
+                .len())
+                .map(|i| self.relations[fk.to_rel].project(i, &fk.to_cols))
+                .collect();
+            let from = &self.relations[fk.from_rel];
+            for i in 0..from.len() {
+                let key = from.project(i, &fk.from_cols);
+                if !targets.contains(&key) {
+                    return Err(Error::DanglingForeignKey {
+                        from: self.schema.relation(fk.from_rel).name.clone(),
+                        to: self.schema.relation(fk.to_rel).name.clone(),
+                        key: format_key(&key),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The view containing every row.
+    pub fn full_view(&self) -> View {
+        View {
+            live: self
+                .relations
+                .iter()
+                .map(|r| TupleSet::full(r.len()))
+                .collect(),
+        }
+    }
+
+    /// The view with the rows of `delta` removed (`D − Δ`).
+    pub fn view_minus(&self, delta: &[TupleSet]) -> View {
+        let mut v = self.full_view();
+        assert_eq!(v.live.len(), delta.len(), "delta arity mismatch");
+        for (live, d) in v.live.iter_mut().zip(delta) {
+            live.difference_with(d);
+        }
+        v
+    }
+
+    /// One empty [`TupleSet`] per relation, sized to the instance — the
+    /// `Δ⁰ = (∅,…,∅)` the fixpoint iteration starts from.
+    pub fn empty_delta(&self) -> Vec<TupleSet> {
+        self.relations
+            .iter()
+            .map(|r| TupleSet::empty(r.len()))
+            .collect()
+    }
+
+    /// Materialize a view as a standalone database: same schema, only the
+    /// live rows (re-indexed densely). Used to persist a residual database
+    /// `D − Δ^φ` or a reduced instance as a first-class input.
+    pub fn materialize(&self, view: &View) -> Database {
+        let mut out = Database::new((*self.schema).clone());
+        for (rel, live) in view.live.iter().enumerate() {
+            for row in live.iter() {
+                out.relations[rel]
+                    .push_checked(
+                        self.schema.relation(rel),
+                        self.relations[rel].row(row).to_vec(),
+                    )
+                    .expect("rows re-inserted under the same schema");
+            }
+        }
+        out
+    }
+}
+
+fn format_key(key: &[Value]) -> String {
+    let parts: Vec<String> = key.iter().map(Value::to_string).collect();
+    format!("({})", parts.join(","))
+}
+
+/// A subset of the rows of a database — the residual instance `D − Δ`, a
+/// selection result, or a semijoin-reduced instance. One live-set per
+/// relation, indexed like the schema's relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    /// Live rows per relation.
+    pub live: Vec<TupleSet>,
+}
+
+impl View {
+    /// Live rows of relation `rel`.
+    pub fn live(&self, rel: usize) -> &TupleSet {
+        &self.live[rel]
+    }
+
+    /// Total number of live rows.
+    pub fn total_live(&self) -> usize {
+        self.live.iter().map(TupleSet::count).sum()
+    }
+
+    /// Whether any relation has no live rows.
+    pub fn any_relation_empty(&self) -> bool {
+        self.live.iter().any(TupleSet::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::ValueType as T;
+
+    fn two_table_db() -> Database {
+        let schema = SchemaBuilder::new()
+            .relation("A", &[("id", T::Int), ("x", T::Str)], &["id"])
+            .relation("B", &[("id", T::Int), ("a", T::Int)], &["id"])
+            .standard_fk("B", &["a"], "A")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        db.insert("A", vec![1.into(), "one".into()]).unwrap();
+        db.insert("A", vec![2.into(), "two".into()]).unwrap();
+        db.insert("B", vec![10.into(), 1.into()]).unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_and_validate_ok() {
+        let db = two_table_db();
+        assert_eq!(db.total_tuples(), 3);
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_duplicate_pk() {
+        let mut db = two_table_db();
+        db.insert("A", vec![1.into(), "again".into()]).unwrap();
+        assert!(matches!(db.validate(), Err(Error::DuplicateKey { .. })));
+    }
+
+    #[test]
+    fn validate_catches_dangling_fk() {
+        let mut db = two_table_db();
+        db.insert("B", vec![11.into(), 99.into()]).unwrap();
+        assert!(matches!(
+            db.validate(),
+            Err(Error::DanglingForeignKey { .. })
+        ));
+    }
+
+    #[test]
+    fn value_accessor() {
+        let db = two_table_db();
+        let x = db.schema().attr("A", "x").unwrap();
+        assert_eq!(db.value(x, 1), &Value::str("two"));
+    }
+
+    #[test]
+    fn views_and_deltas() {
+        let db = two_table_db();
+        let full = db.full_view();
+        assert_eq!(full.total_live(), 3);
+        assert!(!full.any_relation_empty());
+
+        let mut delta = db.empty_delta();
+        delta[0].insert(0);
+        let residual = db.view_minus(&delta);
+        assert_eq!(residual.total_live(), 2);
+        assert!(!residual.live(0).contains(0));
+        assert!(residual.live(0).contains(1));
+        assert!(residual.live(1).contains(0));
+    }
+
+    #[test]
+    fn materialize_keeps_only_live_rows() {
+        let db = two_table_db();
+        let mut delta = db.empty_delta();
+        delta[0].insert(1); // drop A(2)
+        let small = db.materialize(&db.view_minus(&delta));
+        assert_eq!(small.relation_len(0), 1);
+        assert_eq!(small.relation_len(1), 1);
+        assert_eq!(small.relation(0).row(0)[0], Value::Int(1));
+        small.validate().unwrap();
+        // Materializing the full view clones the instance.
+        let full = db.materialize(&db.full_view());
+        assert_eq!(full.total_tuples(), db.total_tuples());
+    }
+
+    #[test]
+    fn unknown_relation_insert_fails() {
+        let mut db = two_table_db();
+        assert!(matches!(
+            db.insert("Zzz", vec![]),
+            Err(Error::UnknownRelation(_))
+        ));
+    }
+}

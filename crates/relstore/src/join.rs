@@ -1,0 +1,384 @@
+//! The universal relation `U(D) = R_1 ⋈ … ⋈ R_k`.
+//!
+//! All relations are joined on all foreign-key constraints (Section 2). The
+//! schema's foreign-key graph is a forest, so the join is acyclic: each
+//! connected component is joined along a BFS tree with hash indexes, and
+//! components are cross-multiplied (a schema normally has one component).
+//!
+//! Universal tuples are stored as flat arrays of row indices — one `u32`
+//! per relation — so no attribute values are copied; accessors project on
+//! demand.
+
+use crate::database::{Database, View};
+use crate::index::HashIndex;
+use crate::schema::DatabaseSchema;
+use crate::tupleset::TupleSet;
+use std::sync::Arc;
+
+/// One edge of a component's BFS join tree.
+#[derive(Debug, Clone)]
+pub struct TreeEdge {
+    /// The relation closer to the root.
+    pub parent: usize,
+    /// The relation further from the root.
+    pub child: usize,
+    /// Join columns on the parent side.
+    pub parent_cols: Vec<usize>,
+    /// Join columns on the child side.
+    pub child_cols: Vec<usize>,
+}
+
+/// A connected component of the foreign-key graph with its BFS join tree.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Relations in the component.
+    pub relations: Vec<usize>,
+    /// The BFS root.
+    pub root: usize,
+    /// Tree edges in BFS (top-down) order.
+    pub edges: Vec<TreeEdge>,
+}
+
+/// Decompose the schema's foreign-key graph into components with BFS join
+/// trees.
+pub fn join_forest(schema: &DatabaseSchema) -> Vec<Component> {
+    let adj = schema.fk_adjacency();
+    let fks = schema.foreign_keys();
+    let n = schema.relation_count();
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        let mut relations = vec![start];
+        let mut edges = Vec::new();
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for &(fk_idx, v) in &adj[u] {
+                if seen[v] {
+                    continue;
+                }
+                seen[v] = true;
+                let fk = &fks[fk_idx];
+                let (parent_cols, child_cols) = if fk.from_rel == u {
+                    (fk.from_cols.clone(), fk.to_cols.clone())
+                } else {
+                    (fk.to_cols.clone(), fk.from_cols.clone())
+                };
+                edges.push(TreeEdge {
+                    parent: u,
+                    child: v,
+                    parent_cols,
+                    child_cols,
+                });
+                relations.push(v);
+                queue.push_back(v);
+            }
+        }
+        components.push(Component {
+            relations,
+            root: start,
+            edges,
+        });
+    }
+    components
+}
+
+/// The universal relation: a sequence of tuples, each a row index per
+/// relation in schema order.
+#[derive(Debug, Clone)]
+pub struct Universal {
+    schema: Arc<DatabaseSchema>,
+    stride: usize,
+    data: Vec<u32>,
+}
+
+impl Universal {
+    /// Compute `U` over the live rows of `view`.
+    pub fn compute(db: &Database, view: &View) -> Universal {
+        let schema = db.schema_arc();
+        let stride = schema.relation_count();
+        let components = join_forest(&schema);
+
+        // Join each component independently.
+        let mut per_component: Vec<Vec<u32>> = Vec::with_capacity(components.len());
+        for comp in &components {
+            per_component.push(join_component(db, view, comp, stride));
+        }
+
+        // Cross product across components. If any component is empty the
+        // whole universal relation is empty.
+        let mut data = per_component.pop().unwrap_or_default();
+        for other in per_component.into_iter().rev() {
+            if data.is_empty() || other.is_empty() {
+                data.clear();
+                break;
+            }
+            let mut combined =
+                Vec::with_capacity((data.len() / stride) * (other.len() / stride) * stride);
+            for a in data.chunks_exact(stride) {
+                for b in other.chunks_exact(stride) {
+                    combined.extend(a.iter().zip(b).map(|(&x, &y)| x.min(y)));
+                }
+            }
+            data = combined;
+        }
+
+        Universal {
+            schema,
+            stride,
+            data,
+        }
+    }
+
+    /// Number of universal tuples.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.stride).unwrap_or(0)
+    }
+
+    /// Whether there are no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The tuple at index `i`: one row index per relation.
+    #[inline]
+    pub fn tuple(&self, i: usize) -> &[u32] {
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    /// Iterator over tuples.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[u32]> {
+        self.data.chunks_exact(self.stride.max(1))
+    }
+
+    /// `Π_{A_rel}(U)` as a row set: the rows of relation `rel` that appear
+    /// in at least one universal tuple.
+    pub fn projected_rows(&self, db: &Database, rel: usize) -> TupleSet {
+        let mut set = TupleSet::empty(db.relation_len(rel));
+        for t in self.iter() {
+            set.insert(t[rel] as usize);
+        }
+        set
+    }
+
+    /// The schema this universal relation was computed over.
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+}
+
+/// Join one component along its BFS tree; returns flat tuples of `stride`
+/// row indices where slots outside the component hold `u32::MAX`.
+fn join_component(db: &Database, view: &View, comp: &Component, stride: usize) -> Vec<u32> {
+    // Partial tuples start from the root's live rows.
+    let mut partials: Vec<u32> = Vec::with_capacity(view.live(comp.root).count() * stride);
+    for row in view.live(comp.root).iter() {
+        let base = partials.len();
+        partials.resize(base + stride, u32::MAX);
+        partials[base + comp.root] = row as u32;
+    }
+
+    let mut key = Vec::new();
+    for edge in &comp.edges {
+        if partials.is_empty() {
+            break;
+        }
+        let index = HashIndex::build(db, edge.child, &edge.child_cols, view.live(edge.child));
+        let parent_rel = db.relation(edge.parent);
+        let mut next: Vec<u32> = Vec::with_capacity(partials.len());
+        for t in partials.chunks_exact(stride) {
+            let parent_row = t[edge.parent] as usize;
+            parent_rel.project_into(parent_row, &edge.parent_cols, &mut key);
+            for &child_row in index.get(&key) {
+                let base = next.len();
+                next.extend_from_slice(t);
+                next[base + edge.child] = child_row;
+            }
+        }
+        partials = next;
+    }
+    partials
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::{Value, ValueType as T};
+
+    /// The Figure 3 instance of the running example.
+    fn figure3_db() -> Database {
+        let schema = SchemaBuilder::new()
+            .relation(
+                "Author",
+                &[
+                    ("id", T::Str),
+                    ("name", T::Str),
+                    ("inst", T::Str),
+                    ("dom", T::Str),
+                ],
+                &["id"],
+            )
+            .relation(
+                "Authored",
+                &[("id", T::Str), ("pubid", T::Str)],
+                &["id", "pubid"],
+            )
+            .relation(
+                "Publication",
+                &[("pubid", T::Str), ("year", T::Int), ("venue", T::Str)],
+                &["pubid"],
+            )
+            .standard_fk("Authored", &["id"], "Author")
+            .back_and_forth_fk("Authored", &["pubid"], "Publication")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for (id, name, inst, dom) in [
+            ("A1", "JG", "C.edu", "edu"),
+            ("A2", "RR", "M.com", "com"),
+            ("A3", "CM", "I.com", "com"),
+        ] {
+            db.insert(
+                "Author",
+                vec![id.into(), name.into(), inst.into(), dom.into()],
+            )
+            .unwrap();
+        }
+        for (id, pubid) in [
+            ("A1", "P1"),
+            ("A2", "P1"),
+            ("A1", "P2"),
+            ("A3", "P2"),
+            ("A2", "P3"),
+            ("A3", "P3"),
+        ] {
+            db.insert("Authored", vec![id.into(), pubid.into()])
+                .unwrap();
+        }
+        for (pubid, year, venue) in [
+            ("P1", 2001, "SIGMOD"),
+            ("P2", 2011, "VLDB"),
+            ("P3", 2001, "SIGMOD"),
+        ] {
+            db.insert("Publication", vec![pubid.into(), year.into(), venue.into()])
+                .unwrap();
+        }
+        db.validate().unwrap();
+        db
+    }
+
+    #[test]
+    fn join_forest_of_running_example() {
+        let db = figure3_db();
+        let forest = join_forest(db.schema());
+        assert_eq!(forest.len(), 1);
+        let comp = &forest[0];
+        assert_eq!(comp.relations.len(), 3);
+        assert_eq!(comp.edges.len(), 2);
+    }
+
+    #[test]
+    fn universal_matches_figure4() {
+        // Figure 4: six universal tuples u1..u6.
+        let db = figure3_db();
+        let u = Universal::compute(&db, &db.full_view());
+        assert_eq!(u.len(), 6);
+
+        // Each tuple must be join-consistent: Authored.id = Author.id and
+        // Authored.pubid = Publication.pubid.
+        let author = db.schema().relation_index("Author").unwrap();
+        let authored = db.schema().relation_index("Authored").unwrap();
+        let publication = db.schema().relation_index("Publication").unwrap();
+        for t in u.iter() {
+            let a = db.relation(author).row(t[author] as usize);
+            let ad = db.relation(authored).row(t[authored] as usize);
+            let p = db.relation(publication).row(t[publication] as usize);
+            assert_eq!(a[0], ad[0]);
+            assert_eq!(ad[1], p[0]);
+        }
+
+        // Every base tuple appears (the instance is semijoin-reduced).
+        for rel in [author, authored, publication] {
+            assert_eq!(u.projected_rows(&db, rel).count(), db.relation_len(rel));
+        }
+    }
+
+    #[test]
+    fn universal_on_restricted_view() {
+        let db = figure3_db();
+        let mut view = db.full_view();
+        // Remove publication P1 (row 0): u1, u2 disappear.
+        let publication = db.schema().relation_index("Publication").unwrap();
+        view.live[publication].remove(0);
+        let u = Universal::compute(&db, &view);
+        assert_eq!(u.len(), 4);
+        // Authored rows s1 (A1,P1) and s2 (A2,P1) are now dangling.
+        let authored = db.schema().relation_index("Authored").unwrap();
+        let rows = u.projected_rows(&db, authored);
+        assert!(!rows.contains(0) && !rows.contains(1));
+        assert_eq!(rows.count(), 4);
+    }
+
+    #[test]
+    fn empty_relation_empties_universal() {
+        let db = figure3_db();
+        let mut view = db.full_view();
+        view.live[0].clear();
+        let u = Universal::compute(&db, &view);
+        assert!(u.is_empty());
+        assert_eq!(u.len(), 0);
+    }
+
+    #[test]
+    fn cross_product_of_disconnected_components() {
+        let schema = SchemaBuilder::new()
+            .relation("A", &[("x", T::Int)], &["x"])
+            .relation("B", &[("y", T::Int)], &["y"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        db.insert("A", vec![1.into()]).unwrap();
+        db.insert("A", vec![2.into()]).unwrap();
+        db.insert("B", vec![10.into()]).unwrap();
+        db.insert("B", vec![20.into()]).unwrap();
+        db.insert("B", vec![30.into()]).unwrap();
+        let u = Universal::compute(&db, &db.full_view());
+        assert_eq!(u.len(), 6);
+        let mut pairs: Vec<(u32, u32)> = u.iter().map(|t| (t[0], t[1])).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn disconnected_with_one_empty_component_is_empty() {
+        let schema = SchemaBuilder::new()
+            .relation("A", &[("x", T::Int)], &["x"])
+            .relation("B", &[("y", T::Int)], &["y"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        db.insert("A", vec![1.into()]).unwrap();
+        let u = Universal::compute(&db, &db.full_view());
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn single_relation_universal_is_identity() {
+        let schema = SchemaBuilder::new()
+            .relation("R", &[("a", T::Int)], &["a"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for i in 0..5 {
+            db.insert("R", vec![Value::Int(i)]).unwrap();
+        }
+        let u = Universal::compute(&db, &db.full_view());
+        assert_eq!(u.len(), 5);
+        let rows: Vec<u32> = u.iter().map(|t| t[0]).collect();
+        assert_eq!(rows, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,777 @@
+//! Text formats: a schema DSL and a predicate expression language.
+//!
+//! Real deployments declare schemas and selections in configuration, not
+//! Rust code. Two hand-rolled parsers (no dependencies):
+//!
+//! ## Schema DSL ([`parse_schema`])
+//!
+//! ```text
+//! # comments start with '#'
+//! relation Author(id: str key, name: str, inst: str, dom: str)
+//! relation Authored(id: str key, pubid: str key)
+//! relation Publication(pubid: str key, year: int, venue: str)
+//! fk Authored(id) -> Author
+//! fk Authored(pubid) <-> Publication      # back-and-forth
+//! ```
+//!
+//! Column types: `str`, `int`, `float`, `bool`, `any`. Columns marked
+//! `key` form the primary key. `->` declares a standard foreign key,
+//! `<->` a back-and-forth one; the referenced columns are always the
+//! target's primary key.
+//!
+//! ## Predicate language ([`parse_predicate`])
+//!
+//! ```text
+//! venue = 'SIGMOD' and dom = 'com' and year >= 2000 and year <= 2004
+//! (city = 'Oxford' or inst = 'Semmle Ltd.') and not year < 2001
+//! ```
+//!
+//! Comparison operators `= != <> < <= > >=`, boolean `and`/`or`/`not`
+//! (case-insensitive), parentheses, string literals in single or double
+//! quotes, integer/float/true/false/null literals. Attributes are
+//! `Relation.attr` or a bare `attr` when unambiguous across the schema.
+
+use crate::error::{Error, Result};
+use crate::predicate::{CmpOp, Predicate};
+use crate::schema::{AttrRef, DatabaseSchema, SchemaBuilder};
+use crate::value::{Value, ValueType};
+
+fn parse_err(line: usize, message: impl Into<String>) -> Error {
+    Error::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schema DSL
+// ---------------------------------------------------------------------
+
+/// Parse the schema DSL into a validated [`DatabaseSchema`].
+pub fn parse_schema(text: &str) -> Result<DatabaseSchema> {
+    let mut builder = SchemaBuilder::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("relation ") {
+            builder = parse_relation_line(builder, rest.trim(), line_no)?;
+        } else if let Some(rest) = line.strip_prefix("fk ") {
+            builder = parse_fk_line(builder, rest.trim(), line_no)?;
+        } else {
+            return Err(parse_err(
+                line_no,
+                format!("expected `relation` or `fk`, got `{line}`"),
+            ));
+        }
+    }
+    builder.build()
+}
+
+fn strip_comment(line: &str) -> &str {
+    // '#' outside quotes starts a comment.
+    let mut in_quote: Option<char> = None;
+    for (i, c) in line.char_indices() {
+        match in_quote {
+            Some(q) if c == q => in_quote = None,
+            Some(_) => {}
+            None if c == '\'' || c == '"' => in_quote = Some(c),
+            None if c == '#' => return &line[..i],
+            None => {}
+        }
+    }
+    line
+}
+
+/// `Name(col: type [key], …)`
+fn parse_relation_line(builder: SchemaBuilder, rest: &str, line: usize) -> Result<SchemaBuilder> {
+    let open = rest
+        .find('(')
+        .ok_or_else(|| parse_err(line, "expected `(` after relation name"))?;
+    if !rest.ends_with(')') {
+        return Err(parse_err(
+            line,
+            "expected `)` at end of relation declaration",
+        ));
+    }
+    let name = rest[..open].trim();
+    if name.is_empty() {
+        return Err(parse_err(line, "missing relation name"));
+    }
+    let body = &rest[open + 1..rest.len() - 1];
+    let mut columns: Vec<(String, ValueType)> = Vec::new();
+    let mut keys: Vec<String> = Vec::new();
+    for col_spec in body.split(',') {
+        let col_spec = col_spec.trim();
+        if col_spec.is_empty() {
+            return Err(parse_err(line, "empty column declaration"));
+        }
+        let (col_name, rest) = col_spec
+            .split_once(':')
+            .ok_or_else(|| parse_err(line, format!("expected `name: type` in `{col_spec}`")))?;
+        let col_name = col_name.trim().to_string();
+        let mut parts = rest.split_whitespace();
+        let ty_text = parts
+            .next()
+            .ok_or_else(|| parse_err(line, format!("missing type in `{col_spec}`")))?;
+        let ty = match ty_text {
+            "str" => ValueType::Str,
+            "int" => ValueType::Int,
+            "float" => ValueType::Float,
+            "bool" => ValueType::Bool,
+            "any" => ValueType::Any,
+            other => return Err(parse_err(line, format!("unknown type `{other}`"))),
+        };
+        match parts.next() {
+            None => {}
+            Some("key") => keys.push(col_name.clone()),
+            Some(other) => {
+                return Err(parse_err(
+                    line,
+                    format!("unexpected token `{other}` after type"),
+                ))
+            }
+        }
+        if parts.next().is_some() {
+            return Err(parse_err(line, format!("trailing tokens in `{col_spec}`")));
+        }
+        columns.push((col_name, ty));
+    }
+    if keys.is_empty() {
+        return Err(parse_err(
+            line,
+            format!("relation `{name}` declares no key column"),
+        ));
+    }
+    let cols_ref: Vec<(&str, ValueType)> = columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let keys_ref: Vec<&str> = keys.iter().map(String::as_str).collect();
+    Ok(builder.relation(name, &cols_ref, &keys_ref))
+}
+
+/// `From(col, …) -> To` or `From(col, …) <-> To`
+fn parse_fk_line(builder: SchemaBuilder, rest: &str, line: usize) -> Result<SchemaBuilder> {
+    let (head, target, back_and_forth) = if let Some((h, t)) = rest.split_once("<->") {
+        (h.trim(), t.trim(), true)
+    } else if let Some((h, t)) = rest.split_once("->") {
+        (h.trim(), t.trim(), false)
+    } else {
+        return Err(parse_err(line, "expected `->` or `<->` in foreign key"));
+    };
+    if target.is_empty() {
+        return Err(parse_err(line, "missing foreign-key target relation"));
+    }
+    let open = head
+        .find('(')
+        .ok_or_else(|| parse_err(line, "expected `(columns)` after relation"))?;
+    if !head.ends_with(')') {
+        return Err(parse_err(line, "expected `)` after foreign-key columns"));
+    }
+    let from = head[..open].trim();
+    let cols: Vec<&str> = head[open + 1..head.len() - 1]
+        .split(',')
+        .map(str::trim)
+        .filter(|c| !c.is_empty())
+        .collect();
+    if from.is_empty() || cols.is_empty() {
+        return Err(parse_err(line, "malformed foreign-key declaration"));
+    }
+    Ok(if back_and_forth {
+        builder.back_and_forth_fk(from, &cols, target)
+    } else {
+        builder.standard_fk(from, &cols, target)
+    })
+}
+
+/// Render a schema in the DSL ([`parse_schema`] ∘ `schema_to_text` is the
+/// identity up to whitespace) — the persistence format the CLI reads.
+pub fn schema_to_text(schema: &DatabaseSchema) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for r in schema.relations() {
+        let cols: Vec<String> = r
+            .attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let key = if r.primary_key.contains(&i) {
+                    " key"
+                } else {
+                    ""
+                };
+                format!("{}: {}{key}", a.name, a.ty)
+            })
+            .collect();
+        let _ = writeln!(out, "relation {}({})", r.name, cols.join(", "));
+    }
+    for fk in schema.foreign_keys() {
+        let from = schema.relation(fk.from_rel);
+        let cols: Vec<&str> = fk
+            .from_cols
+            .iter()
+            .map(|&c| from.attributes[c].name.as_str())
+            .collect();
+        let arrow = match fk.kind {
+            crate::schema::FkKind::Standard => "->",
+            crate::schema::FkKind::BackAndForth => "<->",
+        };
+        let _ = writeln!(
+            out,
+            "fk {}({}) {} {}",
+            from.name,
+            cols.join(", "),
+            arrow,
+            schema.relation(fk.to_rel).name
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Predicate language
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Op(CmpOp),
+    LParen,
+    RParen,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    Null,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    let err = |msg: String| parse_err(1, msg);
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= chars.len() {
+                        return Err(err("unterminated string literal".to_string()));
+                    }
+                    if chars[i] == quote {
+                        // Doubled quote = escaped quote.
+                        if i + 1 < chars.len() && chars[i + 1] == quote {
+                            s.push(quote);
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token::Str(s));
+            }
+            '=' => {
+                tokens.push(Token::Op(CmpOp::Eq));
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                tokens.push(Token::Op(CmpOp::Ne));
+                i += 2;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Op(CmpOp::Le));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::Op(CmpOp::Ne));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::Op(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1;
+                let mut is_float = false;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    is_float |= chars[i] == '.';
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    tokens.push(Token::Float(
+                        text.parse()
+                            .map_err(|_| err(format!("bad float `{text}`")))?,
+                    ));
+                } else {
+                    tokens.push(Token::Int(
+                        text.parse()
+                            .map_err(|_| err(format!("bad integer `{text}`")))?,
+                    ));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                match word.to_ascii_lowercase().as_str() {
+                    "and" => tokens.push(Token::And),
+                    "or" => tokens.push(Token::Or),
+                    "not" => tokens.push(Token::Not),
+                    "true" => tokens.push(Token::True),
+                    "false" => tokens.push(Token::False),
+                    "null" => tokens.push(Token::Null),
+                    _ => tokens.push(Token::Ident(word)),
+                }
+            }
+            other => return Err(err(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(tokens)
+}
+
+/// Resolve an attribute name: `Relation.attr` or a bare `attr` that is
+/// unique across the schema.
+pub fn resolve_attr(schema: &DatabaseSchema, name: &str) -> Result<AttrRef> {
+    if name.contains('.') {
+        return schema.attr_path(name);
+    }
+    let mut matches = Vec::new();
+    for (rel, r) in schema.relations().iter().enumerate() {
+        if let Some(col) = r.attr_index(name) {
+            matches.push(AttrRef { rel, col });
+        }
+    }
+    match matches.as_slice() {
+        [one] => Ok(*one),
+        [] => Err(Error::UnknownAttribute {
+            relation: "*".to_string(),
+            attribute: name.to_string(),
+        }),
+        _ => Err(parse_err(
+            1,
+            format!("attribute `{name}` is ambiguous; qualify it as Relation.{name}"),
+        )),
+    }
+}
+
+struct PredParser<'a> {
+    schema: &'a DatabaseSchema,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl PredParser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expr(&mut self) -> Result<Predicate> {
+        let mut parts = vec![self.conjunction()?];
+        while self.peek() == Some(&Token::Or) {
+            self.next();
+            parts.push(self.conjunction()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            Predicate::Or(parts)
+        })
+    }
+
+    fn conjunction(&mut self) -> Result<Predicate> {
+        let mut parts = vec![self.unary()?];
+        while self.peek() == Some(&Token::And) {
+            self.next();
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            Predicate::And(parts)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Predicate> {
+        match self.peek() {
+            Some(Token::Not) => {
+                self.next();
+                Ok(Predicate::not(self.unary()?))
+            }
+            Some(Token::LParen) => {
+                self.next();
+                let inner = self.expr()?;
+                match self.next() {
+                    Some(Token::RParen) => Ok(inner),
+                    _ => Err(parse_err(1, "expected `)`")),
+                }
+            }
+            Some(Token::True) => {
+                self.next();
+                Ok(Predicate::True)
+            }
+            Some(Token::False) => {
+                self.next();
+                Ok(Predicate::False)
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Predicate> {
+        let attr = match self.next() {
+            Some(Token::Ident(name)) => resolve_attr(self.schema, &name)?,
+            other => return Err(parse_err(1, format!("expected attribute, got {other:?}"))),
+        };
+        let op = match self.next() {
+            Some(Token::Op(op)) => op,
+            other => {
+                return Err(parse_err(
+                    1,
+                    format!("expected comparison operator, got {other:?}"),
+                ))
+            }
+        };
+        let value = match self.next() {
+            Some(Token::Str(s)) => Value::str(s),
+            Some(Token::Int(i)) => Value::Int(i),
+            Some(Token::Float(f)) => Value::Float(f),
+            Some(Token::True) => Value::Bool(true),
+            Some(Token::False) => Value::Bool(false),
+            Some(Token::Null) => Value::Null,
+            other => return Err(parse_err(1, format!("expected literal, got {other:?}"))),
+        };
+        Ok(Predicate::cmp(attr, op, value))
+    }
+}
+
+/// Render a predicate as text the predicate language parses back
+/// ([`parse_predicate`] ∘ `predicate_to_text` is semantics-preserving).
+/// Attributes are fully qualified; strings are single-quoted with `''`
+/// escaping. Non-finite floats have no literal syntax and render as
+/// `null` comparisons (they match nothing under two-valued semantics, so
+/// semantics are preserved).
+pub fn predicate_to_text(schema: &DatabaseSchema, pred: &Predicate) -> String {
+    fn value_text(v: &Value) -> String {
+        match v {
+            Value::Null => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            // `Display` for f64 never uses scientific notation and prints
+            // enough digits to round-trip; integral floats print as
+            // integers, which re-parse as `Int` — equal under `Value`'s
+            // numeric ordering.
+            Value::Float(f) if f.is_finite() => f.to_string(),
+            Value::Float(_) => "null".to_string(),
+            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        }
+    }
+    fn go(schema: &DatabaseSchema, p: &Predicate) -> String {
+        match p {
+            Predicate::True => "true".to_string(),
+            Predicate::False => "false".to_string(),
+            Predicate::Atom(a) => {
+                format!(
+                    "{} {} {}",
+                    schema.attr_name(a.attr),
+                    a.op,
+                    value_text(&a.value)
+                )
+            }
+            Predicate::And(parts) if parts.is_empty() => "true".to_string(),
+            Predicate::And(parts) => {
+                let inner: Vec<String> = parts.iter().map(|q| go(schema, q)).collect();
+                format!("({})", inner.join(" and "))
+            }
+            Predicate::Or(parts) if parts.is_empty() => "false".to_string(),
+            Predicate::Or(parts) => {
+                let inner: Vec<String> = parts.iter().map(|q| go(schema, q)).collect();
+                format!("({})", inner.join(" or "))
+            }
+            Predicate::Not(inner) => format!("not ({})", go(schema, inner)),
+        }
+    }
+    go(schema, pred)
+}
+
+/// Parse a predicate expression against a schema.
+pub fn parse_predicate(schema: &DatabaseSchema, text: &str) -> Result<Predicate> {
+    let tokens = tokenize(text)?;
+    if tokens.is_empty() {
+        return Ok(Predicate::True);
+    }
+    let mut parser = PredParser {
+        schema,
+        tokens,
+        pos: 0,
+    };
+    let pred = parser.expr()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(parse_err(
+            1,
+            format!(
+                "trailing tokens after predicate: {:?}",
+                &parser.tokens[parser.pos..]
+            ),
+        ));
+    }
+    Ok(pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::join::Universal;
+
+    const SCHEMA_TEXT: &str = "
+# the running example
+relation Author(id: str key, name: str, inst: str, dom: str)
+relation Authored(id: str key, pubid: str key)
+relation Publication(pubid: str key, year: int, venue: str)
+fk Authored(id) -> Author
+fk Authored(pubid) <-> Publication   # every author is necessary
+";
+
+    #[test]
+    fn parses_running_example_schema() {
+        let schema = parse_schema(SCHEMA_TEXT).unwrap();
+        assert_eq!(schema.relation_count(), 3);
+        assert!(schema.has_back_and_forth());
+        assert_eq!(schema.attr("Author", "name").unwrap().rel, 0);
+        let fk = &schema.foreign_keys()[1];
+        assert_eq!(fk.kind, crate::schema::FkKind::BackAndForth);
+    }
+
+    #[test]
+    fn composite_key_and_all_types() {
+        let schema =
+            parse_schema("relation T(a: int key, b: str key, c: float, d: bool, e: any)").unwrap();
+        assert_eq!(schema.relation(0).primary_key, vec![0, 1]);
+        assert_eq!(schema.relation(0).attributes[2].ty, ValueType::Float);
+        assert_eq!(schema.relation(0).attributes[4].ty, ValueType::Any);
+    }
+
+    #[test]
+    fn schema_errors() {
+        for (text, fragment) in [
+            ("relation X(a: int)", "no key column"),
+            ("relation X(a int key)", "expected `name: type`"),
+            ("relation X(a: blob key)", "unknown type"),
+            ("wibble X", "expected `relation` or `fk`"),
+            ("fk A(x) => B", "expected `->` or `<->`"),
+            ("relation X(a: int key extra)", "trailing tokens"),
+            ("relation X(a: int bogus)", "unexpected token"),
+            ("relation X a: int", "expected `(`"),
+        ] {
+            let err = parse_schema(text).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                msg.contains(fragment),
+                "`{text}` → `{msg}` (wanted `{fragment}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_quotes() {
+        assert_eq!(strip_comment("abc # def"), "abc ");
+        assert_eq!(strip_comment("a '#' b # c"), "a '#' b ");
+        assert_eq!(strip_comment("no comment"), "no comment");
+    }
+
+    fn sample_db() -> Database {
+        let schema = parse_schema(SCHEMA_TEXT).unwrap();
+        let mut db = Database::new(schema);
+        db.insert(
+            "Author",
+            vec!["A1".into(), "JG".into(), "C.edu".into(), "edu".into()],
+        )
+        .unwrap();
+        db.insert("Authored", vec!["A1".into(), "P1".into()])
+            .unwrap();
+        db.insert(
+            "Publication",
+            vec!["P1".into(), 2001.into(), "SIGMOD".into()],
+        )
+        .unwrap();
+        db.validate().unwrap();
+        db
+    }
+
+    #[test]
+    fn parses_and_evaluates_predicates() {
+        let db = sample_db();
+        let u = Universal::compute(&db, &db.full_view());
+        let t = u.tuple(0);
+        for (text, expected) in [
+            ("venue = 'SIGMOD'", true),
+            ("venue = 'PODS'", false),
+            ("year >= 2000 and year <= 2004", true),
+            ("year < 2000 or dom = 'edu'", true),
+            ("not (dom = 'com')", true),
+            ("Publication.year <> 2001", false),
+            ("true", true),
+            ("false or venue != 'VLDB'", true),
+            ("name = \"JG\"", true),
+        ] {
+            let p = parse_predicate(db.schema(), text).unwrap();
+            assert_eq!(p.eval(&db, t), expected, "`{text}`");
+        }
+    }
+
+    #[test]
+    fn empty_predicate_is_true() {
+        let db = sample_db();
+        assert_eq!(
+            parse_predicate(db.schema(), "   ").unwrap(),
+            Predicate::True
+        );
+    }
+
+    #[test]
+    fn bare_names_resolve_when_unambiguous() {
+        let db = sample_db();
+        // `venue` appears once → ok; `id` appears in Author and Authored →
+        // ambiguous; `pubid` appears twice → ambiguous.
+        assert!(parse_predicate(db.schema(), "venue = 'x'").is_ok());
+        let err = parse_predicate(db.schema(), "id = 'A1'").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+        assert!(parse_predicate(db.schema(), "Authored.id = 'A1'").is_ok());
+        assert!(parse_predicate(db.schema(), "zzz = 1").is_err());
+    }
+
+    #[test]
+    fn literal_kinds() {
+        let db = sample_db();
+        let schema = db.schema();
+        assert!(parse_predicate(schema, "year = 2001").is_ok());
+        assert!(parse_predicate(schema, "year >= -5").is_ok());
+        assert!(parse_predicate(schema, "year < 2001.5").is_ok());
+        assert!(parse_predicate(schema, "venue = null").is_ok());
+        assert!(parse_predicate(schema, "name = 'O''Neil'").is_ok());
+    }
+
+    #[test]
+    fn predicate_errors() {
+        let db = sample_db();
+        let schema = db.schema();
+        for text in [
+            "venue =",
+            "= 'x'",
+            "(venue = 'x'",
+            "venue = 'x' extra",
+            "venue = 'unterminated",
+            "venue @ 'x'",
+            "venue 'x'",
+        ] {
+            assert!(
+                parse_predicate(schema, text).is_err(),
+                "`{text}` should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn schema_round_trips_through_text() {
+        let original = parse_schema(SCHEMA_TEXT).unwrap();
+        let text = schema_to_text(&original);
+        let back = parse_schema(&text).unwrap();
+        assert_eq!(original, back);
+        // Idempotent rendering.
+        assert_eq!(text, schema_to_text(&back));
+        // All five types and composite keys survive.
+        let s =
+            parse_schema("relation T(a: int key, b: str key, c: float, d: bool, e: any)").unwrap();
+        assert_eq!(parse_schema(&schema_to_text(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn predicate_round_trips_through_text() {
+        let db = sample_db();
+        let schema = db.schema();
+        let u = crate::join::Universal::compute(&db, &db.full_view());
+        let year = schema.attr("Publication", "year").unwrap();
+        let venue = schema.attr("Publication", "venue").unwrap();
+        let dom = schema.attr("Author", "dom").unwrap();
+        let preds = [
+            Predicate::True,
+            Predicate::False,
+            Predicate::eq(venue, "SIG'MOD"),
+            Predicate::between(year, 2000, 2004),
+            Predicate::and([]),
+            Predicate::or([]),
+            Predicate::or([Predicate::eq(dom, "edu"), Predicate::eq(dom, "com")]),
+            Predicate::not(Predicate::and([
+                Predicate::eq(venue, "VLDB"),
+                Predicate::cmp(year, CmpOp::Ne, 1999),
+            ])),
+            Predicate::cmp(year, CmpOp::Lt, 2001.5),
+            Predicate::eq(venue, Value::Null),
+        ];
+        for p in preds {
+            let text = predicate_to_text(schema, &p);
+            let back = parse_predicate(schema, &text)
+                .unwrap_or_else(|e| panic!("`{text}` failed to re-parse: {e}"));
+            for t in u.iter() {
+                assert_eq!(
+                    p.eval(&db, t),
+                    back.eval(&db, t),
+                    "semantics changed via `{text}`"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn operator_spellings() {
+        let db = sample_db();
+        let schema = db.schema();
+        let a = parse_predicate(schema, "year != 2000").unwrap();
+        let b = parse_predicate(schema, "year <> 2000").unwrap();
+        assert_eq!(a, b);
+    }
+}

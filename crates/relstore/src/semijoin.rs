@@ -1,0 +1,224 @@
+//! Yannakakis-style full semijoin reduction.
+//!
+//! A database is *semijoin-reduced* (globally consistent) when every tuple
+//! participates in at least one universal tuple: `R_i = Π_{A_i}(U(D))` for
+//! all `i`. The paper requires (a) the input database and (b) every
+//! residual database `D − Δ` to be semijoin-reduced (Definition 2.6, item
+//! 2); Rule (ii) of program **P** *is* a semijoin reduction.
+//!
+//! For an acyclic schema the classic two-pass reducer (bottom-up then
+//! top-down along the join tree) produces the reduction without
+//! materializing the join.
+//!
+//! ```
+//! use exq_relstore::{semijoin, Database, SchemaBuilder, ValueType};
+//!
+//! let schema = SchemaBuilder::new()
+//!     .relation("Parent", &[("id", ValueType::Int)], &["id"])
+//!     .relation("Child", &[("id", ValueType::Int), ("p", ValueType::Int)], &["id"])
+//!     .standard_fk("Child", &["p"], "Parent")
+//!     .build()?;
+//! let mut db = Database::new(schema);
+//! db.insert("Parent", vec![1.into()])?;
+//! db.insert("Parent", vec![2.into()])?; // no children: dangles
+//! db.insert("Child", vec![10.into(), 1.into()])?;
+//!
+//! let reduced = semijoin::reduce(&db, &db.full_view());
+//! assert!(reduced.live(0).contains(0));
+//! assert!(!reduced.live(0).contains(1), "Parent(2) joins nothing");
+//! assert!(!semijoin::is_reduced(&db, &db.full_view()));
+//! # Ok::<(), exq_relstore::Error>(())
+//! ```
+
+use crate::database::{Database, View};
+use crate::index::key_set;
+use crate::join::{join_forest, Component};
+use crate::tupleset::TupleSet;
+
+/// Fully reduce `view`: the returned view keeps exactly the rows that
+/// appear in `U` computed over `view`.
+pub fn reduce(db: &Database, view: &View) -> View {
+    let mut out = view.clone();
+    reduce_in_place(db, &mut out);
+    out
+}
+
+/// In-place variant of [`reduce`], reusing the caller's live sets.
+pub fn reduce_in_place(db: &Database, view: &mut View) {
+    let components = join_forest(db.schema());
+    for comp in &components {
+        reduce_component(db, view, comp);
+    }
+    // Cross-component semantics: the universal relation is the cross
+    // product of the component joins, so one empty component empties all
+    // projections.
+    if view.live.iter().any(TupleSet::is_empty) {
+        for set in &mut view.live {
+            set.clear();
+        }
+    }
+}
+
+/// Whether `view` is already semijoin-reduced.
+pub fn is_reduced(db: &Database, view: &View) -> bool {
+    &reduce(db, view) == view
+}
+
+fn reduce_component(db: &Database, view: &mut View, comp: &Component) {
+    // Bottom-up: visit edges deepest-first; parent ⋉= child.
+    for edge in comp.edges.iter().rev() {
+        semi_reduce(
+            db,
+            view,
+            edge.parent,
+            &edge.parent_cols,
+            edge.child,
+            &edge.child_cols,
+        );
+    }
+    // Top-down: child ⋉= parent.
+    for edge in &comp.edges {
+        semi_reduce(
+            db,
+            view,
+            edge.child,
+            &edge.child_cols,
+            edge.parent,
+            &edge.parent_cols,
+        );
+    }
+}
+
+/// `target ⋉= source` on the given join columns: drop live target rows whose
+/// key has no live source row.
+fn semi_reduce(
+    db: &Database,
+    view: &mut View,
+    target: usize,
+    target_cols: &[usize],
+    source: usize,
+    source_cols: &[usize],
+) {
+    let keys = key_set(db, source, source_cols, view.live(source));
+    let relation = db.relation(target);
+    let mut key = Vec::with_capacity(target_cols.len());
+    let mut to_drop = Vec::new();
+    for row in view.live[target].iter() {
+        relation.project_into(row, target_cols, &mut key);
+        if !keys.contains(key.as_slice()) {
+            to_drop.push(row);
+        }
+    }
+    for row in to_drop {
+        view.live[target].remove(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::Universal;
+    use crate::schema::SchemaBuilder;
+    use crate::value::ValueType as T;
+
+    /// Example 2.9's path schema R1(x), S1(x,y), R2(y), S2(y,z), R3(z).
+    fn path_db() -> Database {
+        let schema = SchemaBuilder::new()
+            .relation("R1", &[("x", T::Str)], &["x"])
+            .relation("S1", &[("x", T::Str), ("y", T::Str)], &["x", "y"])
+            .relation("R2", &[("y", T::Str)], &["y"])
+            .relation("S2", &[("y", T::Str), ("z", T::Str)], &["y", "z"])
+            .relation("R3", &[("z", T::Str)], &["z"])
+            .standard_fk("S1", &["x"], "R1")
+            .standard_fk("S1", &["y"], "R2")
+            .standard_fk("S2", &["y"], "R2")
+            .standard_fk("S2", &["z"], "R3")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R1", vec!["a".into()]).unwrap();
+        db.insert("S1", vec!["a".into(), "b".into()]).unwrap();
+        db.insert("R2", vec!["b".into()]).unwrap();
+        db.insert("S2", vec!["b".into(), "c".into()]).unwrap();
+        db.insert("R3", vec!["c".into()]).unwrap();
+        db.validate().unwrap();
+        db
+    }
+
+    #[test]
+    fn reduced_instance_is_fixed_point() {
+        let db = path_db();
+        let view = db.full_view();
+        assert!(is_reduced(&db, &view));
+        assert_eq!(reduce(&db, &view), view);
+    }
+
+    #[test]
+    fn dangling_cascades_through_path() {
+        // Example 2.9's observation: deleting S1(a,b) leaves dangling
+        // tuples everywhere; semijoin reduction empties the instance.
+        let db = path_db();
+        let s1 = db.schema().relation_index("S1").unwrap();
+        let mut view = db.full_view();
+        view.live[s1].remove(0);
+        let reduced = reduce(&db, &view);
+        assert_eq!(reduced.total_live(), 0, "whole instance dangles");
+    }
+
+    #[test]
+    fn reduction_matches_universal_projection() {
+        // After adding the Example 2.10 tuples, deleting S1(a,b) leaves a
+        // surviving join path a-b'-c.
+        let db = {
+            let mut db = path_db();
+            db.insert("S1", vec!["a".into(), "b2".into()]).unwrap();
+            db.insert("R2", vec!["b2".into()]).unwrap();
+            db.insert("S2", vec!["b2".into(), "c".into()]).unwrap();
+            db.validate().unwrap();
+            db
+        };
+        let s1 = db.schema().relation_index("S1").unwrap();
+        let mut view = db.full_view();
+        view.live[s1].remove(0);
+
+        let reduced = reduce(&db, &view);
+        let u = Universal::compute(&db, &view);
+        for rel in 0..db.schema().relation_count() {
+            assert_eq!(
+                reduced.live(rel),
+                &u.projected_rows(&db, rel),
+                "reduction must equal the projection of the universal relation for relation {rel}"
+            );
+        }
+        // The survivors: R1(a), S1(a,b2), R2(b2), S2(b2,c), R3(c).
+        assert_eq!(reduced.total_live(), 5);
+        // But R2(b) and S2(b,c) are gone.
+        let r2 = db.schema().relation_index("R2").unwrap();
+        assert!(!reduced.live(r2).contains(0));
+        assert!(reduced.live(r2).contains(1));
+    }
+
+    #[test]
+    fn in_place_matches_pure() {
+        let db = path_db();
+        let mut view = db.full_view();
+        view.live[1].remove(0);
+        let pure = reduce(&db, &view);
+        reduce_in_place(&db, &mut view);
+        assert_eq!(view, pure);
+    }
+
+    #[test]
+    fn empty_component_empties_everything() {
+        let schema = SchemaBuilder::new()
+            .relation("A", &[("x", T::Int)], &["x"])
+            .relation("B", &[("y", T::Int)], &["y"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        db.insert("A", vec![1.into()]).unwrap();
+        // B is empty: the cross product is empty, so A(1) dangles too.
+        let reduced = reduce(&db, &db.full_view());
+        assert_eq!(reduced.total_live(), 0);
+    }
+}

@@ -1,0 +1,371 @@
+//! Dynamically typed attribute values.
+//!
+//! All values that can appear in a relation cell. `Value` implements a
+//! *total* equality, ordering and hash — floats compare by their IEEE bit
+//! pattern when incomparable and `Null` sorts below everything — so values
+//! can key hash tables (group-by, cube cells, hash joins) and sort
+//! deterministically (top-K output, tie-breaking).
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A single attribute value.
+///
+/// Strings are reference-counted so cloning a value (which happens when rows
+/// are projected into cube cells) never copies string data.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL. Also used by the data-cube operator for "don't care"
+    /// coordinates before they are mapped to [`Value::dummy`].
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Interned string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Short type name, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+        }
+    }
+
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Construct an integer value.
+    pub const fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// The reserved dummy value used by the cube full-outer-join
+    /// optimization of Section 4.2: every `null` ("don't care") cube
+    /// coordinate is replaced by this value so the join can be a plain
+    /// equi-join. The paper chooses a value greater than all valid values;
+    /// here a dedicated sentinel string fills the same role because `Value`
+    /// has a total order and no user data may use it.
+    pub fn dummy() -> Value {
+        Value::Str(Arc::from("\u{10FFFF}__exq_dummy__"))
+    }
+
+    /// Whether this is the reserved dummy sentinel.
+    pub fn is_dummy(&self) -> bool {
+        matches!(self, Value::Str(s) if &**s == "\u{10FFFF}__exq_dummy__")
+    }
+
+    /// Whether this is SQL NULL.
+    pub const fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it has one. Integers widen to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if it is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Rank used to order values of different types (Null < Bool < numeric
+    /// < Str). Int and Float share a rank and compare numerically.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            // Int and Float must hash identically when they compare equal
+            // (`Int(2) == Float(2.0)`), so both hash the f64 bit pattern —
+            // except integers that round-trip exactly, which hash as i64 to
+            // stay cheap. Simpler: hash the canonical f64 bits for both.
+            Value::Int(i) => {
+                state.write_u8(2);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl<'a> From<Cow<'a, str>> for Value {
+    fn from(v: Cow<'a, str>) -> Value {
+        Value::str(v.as_ref())
+    }
+}
+
+/// Declared type of an attribute. `Any` admits every value; typed columns
+/// reject mismatched inserts at load time so queries never see mixed types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// Any value permitted.
+    Any,
+    /// Booleans.
+    Bool,
+    /// 64-bit integers.
+    Int,
+    /// 64-bit floats (integers accepted and widened on comparison).
+    Float,
+    /// Strings.
+    Str,
+}
+
+impl ValueType {
+    /// Whether `v` conforms to this declared type. `Null` conforms to every
+    /// type (SQL semantics).
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (ValueType::Any, _)
+                | (ValueType::Bool, Value::Bool(_))
+                | (ValueType::Int, Value::Int(_))
+                | (ValueType::Float, Value::Float(_) | Value::Int(_))
+                | (ValueType::Str, Value::Str(_))
+        )
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Any => "any",
+            ValueType::Bool => "bool",
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Str => "str",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_sorts_below_everything() {
+        for v in [
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::Float(f64::NEG_INFINITY),
+            Value::str(""),
+        ] {
+            assert!(Value::Null < v, "null should be < {v:?}");
+        }
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn int_float_compare_numerically() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn equal_int_float_hash_equal() {
+        assert_eq!(hash_of(&Value::Int(7)), hash_of(&Value::Float(7.0)));
+    }
+
+    #[test]
+    fn nan_is_self_equal_under_total_order() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan, nan.clone());
+        assert_eq!(hash_of(&nan), hash_of(&nan.clone()));
+    }
+
+    #[test]
+    fn string_ordering_is_lexicographic() {
+        assert!(Value::str("abc") < Value::str("abd"));
+        assert!(Value::str("ab") < Value::str("abc"));
+    }
+
+    #[test]
+    fn dummy_is_recognized_and_not_null() {
+        let d = Value::dummy();
+        assert!(d.is_dummy());
+        assert!(!d.is_null());
+        assert!(!Value::str("dummy").is_dummy());
+        assert_eq!(d, Value::dummy());
+    }
+
+    #[test]
+    fn type_admission() {
+        assert!(ValueType::Int.admits(&Value::Int(1)));
+        assert!(!ValueType::Int.admits(&Value::str("x")));
+        assert!(
+            ValueType::Float.admits(&Value::Int(1)),
+            "ints widen to float"
+        );
+        assert!(
+            ValueType::Str.admits(&Value::Null),
+            "null admitted everywhere"
+        );
+        assert!(ValueType::Any.admits(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn display_round_trips_reasonably() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("ibm.com").to_string(), "ibm.com");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn cross_type_order_is_total_and_consistent() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-1),
+            Value::Float(0.5),
+            Value::Int(3),
+            Value::str("a"),
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                let ord = a.cmp(b);
+                assert_eq!(ord.reverse(), b.cmp(a));
+                if i == j {
+                    assert_eq!(ord, Ordering::Equal);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Substrate-level property tests: bitset algebra against a reference
+//! set implementation, the total order on values, cube cells against a
+//! brute-force reference, aggregate-state merging, and CSV round-trips.
+
+use exq_relstore::aggregate::AggFunc;
+use exq_relstore::cube::{self, CubeStrategy};
+use exq_relstore::{
+    csv, Database, Predicate, SchemaBuilder, TupleSet, Universal, Value, ValueType as T,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+// ---------------------------------------------------------------------
+// TupleSet vs BTreeSet reference
+// ---------------------------------------------------------------------
+
+fn to_ref(set: &TupleSet) -> BTreeSet<usize> {
+    set.iter().collect()
+}
+
+proptest! {
+    #[test]
+    fn tupleset_algebra_matches_reference(
+        cap in 1usize..300,
+        a_items in proptest::collection::vec(any::<u16>(), 0..40),
+        b_items in proptest::collection::vec(any::<u16>(), 0..40),
+    ) {
+        let mut a = TupleSet::empty(cap);
+        let mut b = TupleSet::empty(cap);
+        let ra: BTreeSet<usize> = a_items.iter().map(|&x| x as usize % cap).collect();
+        let rb: BTreeSet<usize> = b_items.iter().map(|&x| x as usize % cap).collect();
+        for &x in &ra { a.insert(x); }
+        for &x in &rb { b.insert(x); }
+
+        prop_assert_eq!(to_ref(&a), ra.clone());
+        prop_assert_eq!(a.count(), ra.len());
+        prop_assert_eq!(a.is_empty(), ra.is_empty());
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        prop_assert_eq!(to_ref(&u), ra.union(&rb).copied().collect::<BTreeSet<_>>());
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        prop_assert_eq!(to_ref(&i), ra.intersection(&rb).copied().collect::<BTreeSet<_>>());
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        prop_assert_eq!(to_ref(&d), ra.difference(&rb).copied().collect::<BTreeSet<_>>());
+
+        let c = a.complement();
+        prop_assert_eq!(c.count(), cap - ra.len());
+        prop_assert_eq!(a.is_subset(&u), true);
+        prop_assert_eq!(b.is_subset(&u), true);
+        prop_assert_eq!(u.is_subset(&a), rb.is_subset(&ra));
+
+        // Iteration is ascending.
+        let order: Vec<usize> = a.iter().collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(order, sorted);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value total order
+// ---------------------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        any::<f32>().prop_map(|f| Value::Float(f as f64)),
+        "[a-z]{0,6}".prop_map(Value::str),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn value_order_is_total_and_consistent(
+        values in proptest::collection::vec(arb_value(), 2..12),
+    ) {
+        use std::cmp::Ordering;
+        // Antisymmetry and hash-eq consistency.
+        for a in &values {
+            for b in &values {
+                prop_assert_eq!(a.cmp(b).reverse(), b.cmp(a));
+                if a.cmp(b) == Ordering::Equal {
+                    use std::hash::{Hash, Hasher};
+                    let mut ha = std::collections::hash_map::DefaultHasher::new();
+                    let mut hb = std::collections::hash_map::DefaultHasher::new();
+                    a.hash(&mut ha);
+                    b.hash(&mut hb);
+                    prop_assert_eq!(ha.finish(), hb.finish());
+                }
+            }
+        }
+        // Transitivity via sort: sorting twice is stable/idempotent.
+        let mut s1 = values.clone();
+        s1.sort();
+        let mut s2 = s1.clone();
+        s2.sort();
+        prop_assert_eq!(s1, s2);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cube vs brute-force reference
+// ---------------------------------------------------------------------
+
+fn small_db(rows: &[(u8, u8, i32)]) -> Database {
+    let schema = SchemaBuilder::new()
+        .relation(
+            "R",
+            &[("id", T::Int), ("g", T::Int), ("h", T::Int), ("x", T::Int)],
+            &["id"],
+        )
+        .build()
+        .unwrap();
+    let mut db = Database::new(schema);
+    for (i, (g, h, x)) in rows.iter().enumerate() {
+        db.insert(
+            "R",
+            vec![
+                (i as i64).into(),
+                ((g % 3) as i64).into(),
+                ((h % 3) as i64).into(),
+                (*x as i64).into(),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every cube cell equals the aggregate computed by filtering the data
+    /// with the cell's coordinate as a predicate (the defining property of
+    /// WITH CUBE).
+    #[test]
+    fn cube_cells_match_bruteforce(rows in proptest::collection::vec((any::<u8>(), any::<u8>(), -100i32..100), 1..30)) {
+        let db = small_db(&rows);
+        let u = Universal::compute(&db, &db.full_view());
+        let schema = db.schema();
+        let g = schema.attr("R", "g").unwrap();
+        let h = schema.attr("R", "h").unwrap();
+        let x = schema.attr("R", "x").unwrap();
+        let dims = vec![g, h];
+
+        for agg in [AggFunc::CountStar, AggFunc::Sum(x), AggFunc::Min(x), AggFunc::Max(x)] {
+            let cube = cube::compute(&db, &u, &Predicate::True, &dims, &agg, CubeStrategy::Auto).unwrap();
+            for (coord, &cell_value) in &cube.cells {
+                // Rebuild the coordinate as a selection predicate.
+                let mut parts = Vec::new();
+                if !coord[0].is_null() {
+                    parts.push(Predicate::eq(g, coord[0].clone()));
+                }
+                if !coord[1].is_null() {
+                    parts.push(Predicate::eq(h, coord[1].clone()));
+                }
+                let sel = Predicate::and(parts);
+                let direct = exq_relstore::aggregate::evaluate(&db, &u, &sel, &agg).unwrap();
+                prop_assert_eq!(cell_value, direct, "cell {:?} for {:?}", coord, agg);
+            }
+            // Cell count sanity: at most (|g|+1)(|h|+1) distinct coords.
+            prop_assert!(cube.len() <= 16);
+        }
+    }
+
+    /// group_by returns exactly the fully-specified cube cells.
+    #[test]
+    fn group_by_matches_cube_finest_level(rows in proptest::collection::vec((any::<u8>(), any::<u8>(), -100i32..100), 1..30)) {
+        let db = small_db(&rows);
+        let u = Universal::compute(&db, &db.full_view());
+        let schema = db.schema();
+        let dims = vec![schema.attr("R", "g").unwrap(), schema.attr("R", "h").unwrap()];
+        let grouped = cube::group_by(&db, &u, &Predicate::True, &dims, &AggFunc::CountStar).unwrap();
+        let cube = cube::compute(&db, &u, &Predicate::True, &dims, &AggFunc::CountStar, CubeStrategy::LatticeRollup).unwrap();
+        let finest: std::collections::HashMap<_, _> = cube
+            .cells
+            .iter()
+            .filter(|(c, _)| c.iter().all(|v| !v.is_null()))
+            .map(|(c, v)| (c.clone(), *v))
+            .collect();
+        prop_assert_eq!(grouped.cells, finest);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Predicate text round-trip
+// ---------------------------------------------------------------------
+
+fn arb_predicate() -> impl Strategy<Value = exq_relstore::Predicate> {
+    use exq_relstore::{AttrRef, CmpOp, Predicate};
+    let op = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ];
+    let literal = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-100.0f64..100.0).prop_map(Value::Float),
+        "[ -~&&[^\\\\]]{0,8}".prop_map(Value::str),
+    ];
+    // Columns of small_db's relation R: id, g, h, x.
+    let atom = (0usize..4, op, literal)
+        .prop_map(|(col, op, value)| Predicate::cmp(AttrRef { rel: 0, col }, op, value));
+    let leaf = prop_oneof![Just(Predicate::True), Just(Predicate::False), atom,];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Predicate::And),
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Predicate::Or),
+            inner.prop_map(exq_relstore::Predicate::not),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `parse_predicate ∘ predicate_to_text` preserves evaluation on every
+    /// tuple, for arbitrary boolean predicates.
+    #[test]
+    fn predicate_text_round_trip(
+        rows in proptest::collection::vec((any::<u8>(), any::<u8>(), -100i32..100), 1..15),
+        pred in arb_predicate(),
+    ) {
+        let db = small_db(&rows);
+        let u = Universal::compute(&db, &db.full_view());
+        let text = exq_relstore::parse::predicate_to_text(db.schema(), &pred);
+        let back = exq_relstore::parse::parse_predicate(db.schema(), &text)
+            .map_err(|e| TestCaseError::fail(format!("`{text}` failed to re-parse: {e}")))?;
+        for t in u.iter() {
+            prop_assert_eq!(pred.eval(&db, t), back.eval(&db, t), "via `{}`", text);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// CSV round-trip
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn csv_round_trips(
+        rows in proptest::collection::vec(
+            ("[ -~&&[^\"\\r\\n]]{0,12}", proptest::option::of(any::<i32>()), any::<bool>()),
+            0..20,
+        ),
+    ) {
+        let schema = SchemaBuilder::new()
+            .relation("R", &[("id", T::Int), ("s", T::Str), ("n", T::Int), ("b", T::Bool)], &["id"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema.clone());
+        for (i, (s, n, b)) in rows.iter().enumerate() {
+            db.insert(
+                "R",
+                vec![
+                    (i as i64).into(),
+                    Value::str(s),
+                    n.map_or(Value::Null, |v| Value::Int(v as i64)),
+                    (*b).into(),
+                ],
+            )
+            .unwrap();
+        }
+        let mut buffer = Vec::new();
+        csv::dump_relation(&db, "R", &mut buffer).unwrap();
+        let mut db2 = Database::new(schema);
+        let loaded = csv::load_relation(&mut db2, "R", buffer.as_slice()).unwrap();
+        prop_assert_eq!(loaded, rows.len());
+        for i in 0..rows.len() {
+            prop_assert_eq!(db.relation(0).row(i), db2.relation(0).row(i));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The Section 5.1 natality experiments: `Q_Race` and `Q_Marital`.
+//!
+//! Generates the synthetic natality dataset, prints the Figure 7
+//! contingency tables and the Figure 8/9 ratios, then reproduces
+//! Figure 10 (top-5 minimal explanations by intervention) and Figure 11
+//! (top-3 by aggravation) for both user questions.
+//!
+//! Run with `cargo run --release --example natality`.
+
+use exq::datagen::natality::{self, NatalityConfig};
+use exq::prelude::*;
+use exq_core::{cube_algo, topk};
+use exq_relstore::aggregate::{evaluate, AggFunc};
+
+fn count(db: &Database, u: &Universal, pairs: &[(&str, &str)]) -> f64 {
+    let sel = Predicate::and(
+        pairs
+            .iter()
+            .map(|(a, v)| Predicate::eq(db.schema().attr("Natality", a).unwrap(), *v)),
+    );
+    evaluate(db, u, &sel, &AggFunc::CountStar).unwrap()
+}
+
+fn q_race(db: &Database) -> UserQuestion {
+    // Q_Race = q1/q2: good vs poor APGAR among Asian mothers; dir = high.
+    let ap = db.schema().attr("Natality", "ap").unwrap();
+    let race = db.schema().attr("Natality", "race").unwrap();
+    let q = |o: &str| {
+        AggregateQuery::count_star(Predicate::and([
+            Predicate::eq(ap, o),
+            Predicate::eq(race, "Asian"),
+        ]))
+    };
+    UserQuestion::new(
+        NumericalQuery::ratio(q("good"), q("poor")).with_smoothing(1e-4),
+        Direction::High,
+    )
+}
+
+fn q_marital(db: &Database) -> UserQuestion {
+    // Q_Marital = (q1/q2)/(q3/q4): married vs unmarried good/poor ratios.
+    let ap = db.schema().attr("Natality", "ap").unwrap();
+    let marital = db.schema().attr("Natality", "marital").unwrap();
+    let q = |m: &str, o: &str| {
+        AggregateQuery::count_star(Predicate::and([
+            Predicate::eq(marital, m),
+            Predicate::eq(ap, o),
+        ]))
+    };
+    UserQuestion::new(
+        NumericalQuery::double_ratio(
+            q("married", "good"),
+            q("married", "poor"),
+            q("unmarried", "good"),
+            q("unmarried", "poor"),
+        )
+        .with_smoothing(1e-4),
+        Direction::High,
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rows = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let db = natality::generate(&NatalityConfig { rows, seed: 7 });
+    println!("generated natality dataset: {} rows", db.total_tuples());
+    let u = Universal::compute(&db, &db.full_view());
+
+    // Figure 7: contingency tables.
+    println!("\nFigure 7 — AP × Race:");
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>9}",
+        "AP", "White", "Black", "AmInd", "Asian"
+    );
+    for ap in ["poor", "good"] {
+        let row: Vec<f64> = ["White", "Black", "AmInd", "Asian"]
+            .iter()
+            .map(|r| count(&db, &u, &[("ap", ap), ("race", r)]))
+            .collect();
+        println!(
+            "{:<6} {:>9} {:>9} {:>9} {:>9}",
+            ap, row[0], row[1], row[2], row[3]
+        );
+    }
+    println!("\nFigure 7 — AP × Marital status:");
+    println!("{:<6} {:>9} {:>9}", "AP", "married", "unmarr.");
+    for ap in ["poor", "good"] {
+        let m = count(&db, &u, &[("ap", ap), ("marital", "married")]);
+        let um = count(&db, &u, &[("ap", ap), ("marital", "unmarried")]);
+        println!("{:<6} {:>9} {:>9}", ap, m, um);
+    }
+
+    // Figures 8/9: the observed ratios.
+    println!("\nFigure 8 — good/poor ratio by race:");
+    for r in ["White", "Black", "AmInd", "Asian"] {
+        let ratio = count(&db, &u, &[("ap", "good"), ("race", r)])
+            / count(&db, &u, &[("ap", "poor"), ("race", r)]).max(1.0);
+        println!("  {r:<6} {ratio:.1}");
+    }
+    let qr = q_race(&db);
+    let qm = q_marital(&db);
+    println!("\nQ_Race(D)    = {:.2} (dir = high)", qr.query.eval(&db)?);
+    println!("Q_Marital(D) = {:.2} (dir = high)", qm.query.eval(&db)?);
+
+    // Explanation attributes (Section 5.1.1): age, tobacco, prenatal,
+    // education, plus marital for Q_Race / race for Q_Marital.
+    let attr = |n: &str| db.schema().attr("Natality", n).unwrap();
+    let dims_race = vec![
+        attr("age"),
+        attr("tobacco"),
+        attr("prenatal"),
+        attr("edu"),
+        attr("marital"),
+    ];
+    let dims_marital = vec![
+        attr("age"),
+        attr("tobacco"),
+        attr("prenatal"),
+        attr("edu"),
+        attr("race"),
+    ];
+
+    // The paper prunes candidates with support < 1000 on 4M rows; scale
+    // the threshold to the generated size.
+    let support = 1000.0 * rows as f64 / 4_000_000.0;
+
+    for (name, question, dims) in [
+        ("Q_Race", &qr, &dims_race),
+        ("Q_Marital", &qm, &dims_marital),
+    ] {
+        let mut m =
+            cube_algo::explanation_table(&db, &u, question, dims, CubeAlgoConfig::checked())?;
+        let before = m.len();
+        m.retain_min_support(support);
+        println!(
+            "\n=== {name}: M has {} candidate explanations ({} before support pruning) ===",
+            m.len(),
+            before
+        );
+
+        println!("Figure 10 — top-5 minimal explanations by intervention:");
+        for r in topk::top_k(
+            &m,
+            DegreeKind::Intervention,
+            5,
+            TopKStrategy::MinimalSelfJoin,
+            MinimalityPolarity::PreferGeneral,
+        ) {
+            println!(
+                "  {}. {}  (μ_interv = {:.3})",
+                r.rank,
+                r.explanation.display(&db),
+                r.degree
+            );
+        }
+
+        println!("Figure 11 — top-3 minimal explanations by aggravation:");
+        for r in topk::top_k(
+            &m,
+            DegreeKind::Aggravation,
+            3,
+            TopKStrategy::MinimalSelfJoin,
+            MinimalityPolarity::PreferGeneral,
+        ) {
+            println!(
+                "  {}. {}  (μ_aggr = {:.3})",
+                r.rank,
+                r.explanation.display(&db),
+                r.degree
+            );
+        }
+    }
+    Ok(())
+}

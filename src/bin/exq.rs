@@ -1,0 +1,286 @@
+//! `exq` — command-line explanation engine.
+//!
+//! ```text
+//! exq schema   --schema FILE
+//! exq validate --schema FILE --table Rel=FILE…
+//! exq explain  --schema FILE --table Rel=FILE… --question FILE
+//!              --attrs Rel.a,Rel.b[,…] [--top K] [--by interv|aggr]
+//!              [--strategy nominimal|selfjoin|append]
+//!              [--polarity general|specific] [--min-support N] [--naive]
+//! exq drill    --schema FILE --table Rel=FILE… --question FILE
+//!              --phi "Rel.a = 'v' and Rel.b = 'w'"
+//! ```
+//!
+//! Schemas use the `exq_relstore::parse` DSL, data is CSV (header row),
+//! questions use the `exq_core::qparse` format, and `--phi` takes a
+//! conjunction in the predicate language.
+
+use exq::core::explainer::Explainer;
+use exq::core::explanation::Explanation;
+use exq::core::prelude::*;
+use exq::core::qparse;
+use exq::relstore::{csv, parse, Database};
+use std::collections::BTreeMap;
+use std::fs;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    options: BTreeMap<String, Vec<String>>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let command = argv.first().cloned().ok_or("missing command")?;
+    let mut options: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut i = 1;
+    while i < argv.len() {
+        let flag = argv[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{}`", argv[i]))?
+            .to_string();
+        if flag == "naive" {
+            options.entry(flag).or_default().push("true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = argv
+            .get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("missing value for --{flag}"))?;
+        options.entry(flag).or_default().push(value);
+        i += 2;
+    }
+    Ok(Args { command, options })
+}
+
+impl Args {
+    fn one(&self, flag: &str) -> Result<&str, String> {
+        match self.options.get(flag).map(Vec::as_slice) {
+            Some([v]) => Ok(v),
+            Some(_) => Err(format!("--{flag} given more than once")),
+            None => Err(format!("missing --{flag}")),
+        }
+    }
+
+    fn optional(&self, flag: &str) -> Option<&str> {
+        self.options
+            .get(flag)
+            .and_then(|v| v.first())
+            .map(String::as_str)
+    }
+
+    fn many(&self, flag: &str) -> &[String] {
+        self.options.get(flag).map_or(&[], Vec::as_slice)
+    }
+}
+
+fn load_database(args: &Args) -> Result<Database, String> {
+    let schema_file = args.one("schema")?;
+    let schema_text = fs::read_to_string(schema_file).map_err(|e| format!("{schema_file}: {e}"))?;
+    let schema = parse::parse_schema(&schema_text).map_err(|e| e.to_string())?;
+    let mut db = Database::new(schema);
+    for spec in args.many("table") {
+        let (rel, file) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--table takes Rel=FILE, got `{spec}`"))?;
+        let reader = fs::File::open(file)
+            .map_err(|e| format!("{file}: {e}"))
+            .map(std::io::BufReader::new)?;
+        let n = csv::load_relation(&mut db, rel, reader).map_err(|e| e.to_string())?;
+        eprintln!("loaded {n} rows into {rel}");
+    }
+    db.validate().map_err(|e| e.to_string())?;
+    Ok(db)
+}
+
+fn build_explainer<'a>(db: &'a Database, args: &Args) -> Result<Explainer<'a>, String> {
+    let question_file = args.one("question")?;
+    let question_text =
+        fs::read_to_string(question_file).map_err(|e| format!("{question_file}: {e}"))?;
+    let question =
+        qparse::parse_question(db.schema(), &question_text).map_err(|e| e.to_string())?;
+    let mut explainer = Explainer::new(db, question);
+    if let Some(attrs) = args.optional("attrs") {
+        let names: Vec<&str> = attrs.split(',').map(str::trim).collect();
+        explainer = explainer.attr_names(&names).map_err(|e| e.to_string())?;
+    }
+    if let Some(s) = args.optional("min-support") {
+        explainer =
+            explainer.min_support(s.parse().map_err(|_| format!("bad --min-support `{s}`"))?);
+    }
+    if let Some(s) = args.optional("strategy") {
+        explainer = explainer.topk_strategy(match s {
+            "nominimal" => TopKStrategy::NoMinimal,
+            "selfjoin" => TopKStrategy::MinimalSelfJoin,
+            "append" => TopKStrategy::MinimalAppend,
+            other => return Err(format!("unknown strategy `{other}`")),
+        });
+    }
+    if let Some(p) = args.optional("polarity") {
+        explainer = explainer.polarity(match p {
+            "general" => MinimalityPolarity::PreferGeneral,
+            "specific" => MinimalityPolarity::PreferSpecific,
+            other => return Err(format!("unknown polarity `{other}`")),
+        });
+    }
+    if args.optional("naive").is_some() {
+        explainer = explainer.force_naive();
+    }
+    Ok(explainer)
+}
+
+fn cmd_schema(args: &Args) -> Result<(), String> {
+    let schema_file = args.one("schema")?;
+    let text = fs::read_to_string(schema_file).map_err(|e| format!("{schema_file}: {e}"))?;
+    let schema = parse::parse_schema(&text).map_err(|e| e.to_string())?;
+    print!("{schema}");
+    let g = schema.causal_graph();
+    println!(
+        "back-and-forth keys: {} (simple: {}, max per relation: {})",
+        schema.back_and_forth_count(),
+        g.is_simple(),
+        g.max_back_and_forth_per_relation()
+    );
+    Ok(())
+}
+
+fn cmd_validate(args: &Args) -> Result<(), String> {
+    let db = load_database(args)?;
+    let reduced = exq::relstore::semijoin::is_reduced(&db, &db.full_view());
+    println!(
+        "ok: {} relations, {} tuples, semijoin-reduced: {reduced}",
+        db.schema().relation_count(),
+        db.total_tuples()
+    );
+    if !reduced {
+        println!("note: the explanation engine assumes a reduced instance (Section 2)");
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let db = load_database(args)?;
+    let explainer = build_explainer(&db, args)?;
+    let k: usize = args
+        .optional("top")
+        .map_or(Ok(5), |s| s.parse().map_err(|_| format!("bad --top `{s}`")))?;
+    let kind = match args.optional("by").unwrap_or("interv") {
+        "interv" => DegreeKind::Intervention,
+        "aggr" => DegreeKind::Aggravation,
+        other => return Err(format!("unknown degree `{other}` (interv|aggr)")),
+    };
+    println!(
+        "Q(D) = {}",
+        explainer
+            .question()
+            .query
+            .eval(&db)
+            .map_err(|e| e.to_string())?
+    );
+    let (table, choice) = explainer.table().map_err(|e| e.to_string())?;
+    println!(
+        "{} candidate explanations (engine: {choice:?})",
+        table.len()
+    );
+    if let Some(path) = args.optional("dump-m") {
+        fs::write(path, table.to_csv(&db)).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote M to {path}");
+    }
+    for r in explainer.top(kind, k).map_err(|e| e.to_string())? {
+        println!(
+            "{:>3}. {}  ({:.6})",
+            r.rank,
+            r.explanation.display(&db),
+            r.degree
+        );
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let db = load_database(args)?;
+    print!("{}", exq::relstore::stats::profile(&db));
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let db = load_database(args)?;
+    let explainer = build_explainer(&db, args)?;
+    let k: usize = args
+        .optional("top")
+        .map_or(Ok(5), |s| s.parse().map_err(|_| format!("bad --top `{s}`")))?;
+    let config = exq::core::report::ReportConfig {
+        top_k: k,
+        drill_best: true,
+    };
+    let text = exq::core::report::generate(&explainer, &config).map_err(|e| e.to_string())?;
+    print!("{text}");
+    Ok(())
+}
+
+fn cmd_drill(args: &Args) -> Result<(), String> {
+    let db = load_database(args)?;
+    let explainer = build_explainer(&db, args)?;
+    let phi_text = args.one("phi")?;
+    let pred = parse::parse_predicate(db.schema(), phi_text).map_err(|e| e.to_string())?;
+    let phi = Explanation::from_predicate(&pred)
+        .ok_or("--phi must be a conjunction of comparisons (no or/not)")?;
+    let report = explainer.explain(&phi).map_err(|e| e.to_string())?;
+    println!("phi       = {}", phi.display(&db));
+    println!("mu_interv = {}", report.mu_interv);
+    println!("mu_aggr   = {}", report.mu_aggr);
+    println!("mu_hybrid = {}", report.mu_hybrid);
+    println!(
+        "intervention: {} tuples deleted in {} iterations",
+        report.intervention.total_deleted(),
+        report.intervention.iterations
+    );
+    for (rel, delta) in report.intervention.delta.iter().enumerate() {
+        if !delta.is_empty() {
+            println!(
+                "  {}: {} tuples",
+                db.schema().relation(rel).name,
+                delta.count()
+            );
+        }
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: exq <schema|validate|profile|explain|report|drill> [--flags]
+  exq schema   --schema FILE
+  exq validate --schema FILE --table Rel=FILE...
+  exq profile  --schema FILE --table Rel=FILE...
+  exq report   --schema FILE --table Rel=FILE... --question FILE --attrs ... [--top K]
+  exq explain  --schema FILE --table Rel=FILE... --question FILE \\
+               --attrs Rel.a,Rel.b [--top K] [--by interv|aggr] \\
+               [--strategy nominimal|selfjoin|append] [--polarity general|specific] \\
+               [--min-support N] [--naive] [--dump-m FILE]
+  exq drill    --schema FILE --table Rel=FILE... --question FILE --phi \"a = 'v'\"";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "schema" => cmd_schema(&args),
+        "validate" => cmd_validate(&args),
+        "profile" => cmd_profile(&args),
+        "explain" => cmd_explain(&args),
+        "report" => cmd_report(&args),
+        "drill" => cmd_drill(&args),
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

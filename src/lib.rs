@@ -1,0 +1,33 @@
+//! # exq — intervention-based explanations for database queries
+//!
+//! Umbrella crate re-exporting the workspace:
+//!
+//! * [`relstore`] (`exq-relstore`) — the in-memory relational substrate:
+//!   schemas with standard and back-and-forth foreign keys, universal
+//!   relation, semijoin reduction, aggregates, data cube;
+//! * [`core`] (`exq-core`) — the explanation engine of Roy & Suciu
+//!   (SIGMOD 2014): interventions via program **P**, degrees of
+//!   explanation, Algorithm 1, minimal top-K;
+//! * [`datagen`] (`exq-datagen`) — seeded synthetic datasets standing in
+//!   for the paper's DBLP, natality, and Geo-DBLP data.
+//!
+//! See the `examples/` directory for end-to-end walkthroughs
+//! (`quickstart`, `dblp_bump`, `natality`, `sigmod_pods`, `convergence`)
+//! and the `exq-bench` crate for the benchmark harness regenerating every
+//! table and figure of the paper's evaluation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use exq_core as core;
+pub use exq_datagen as datagen;
+pub use exq_relstore as relstore;
+
+/// Everything an application typically needs.
+pub mod prelude {
+    pub use exq_core::prelude::*;
+    pub use exq_relstore::{
+        Atom, AttrRef, CmpOp, Conjunction, Database, Predicate, SchemaBuilder, TupleSet, Universal,
+        Value, ValueType, View,
+    };
+}

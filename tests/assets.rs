@@ -1,0 +1,76 @@
+//! The shipped asset files (`assets/schemas/*.exq`,
+//! `assets/questions/*.exq`) must stay in sync with the code: schemas
+//! parse to the generators' schemas, questions parse against them and
+//! evaluate to the values the native builders produce.
+
+use exq::datagen::{dblp, natality, paper_examples};
+use exq::prelude::*;
+use exq_core::qparse;
+use exq_relstore::parse;
+
+fn asset(path: &str) -> String {
+    let full = format!("{}/assets/{path}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&full).unwrap_or_else(|e| panic!("{full}: {e}"))
+}
+
+#[test]
+fn dblp_schema_asset_matches_generator() {
+    let parsed = parse::parse_schema(&asset("schemas/dblp.exq")).unwrap();
+    assert_eq!(parsed, paper_examples::dblp_schema());
+}
+
+#[test]
+fn natality_schema_asset_matches_generator() {
+    let parsed = parse::parse_schema(&asset("schemas/natality.exq")).unwrap();
+    assert_eq!(parsed, natality::natality_schema());
+}
+
+#[test]
+fn q_race_asset_evaluates_like_native_builder() {
+    let db = natality::generate(&natality::NatalityConfig {
+        rows: 5_000,
+        seed: 7,
+    });
+    let question = qparse::parse_question(db.schema(), &asset("questions/q_race.exq")).unwrap();
+    assert_eq!(question.direction, Direction::High);
+    // Compare against the hand-built Q_Race.
+    let ap = db.schema().attr("Natality", "ap").unwrap();
+    let race = db.schema().attr("Natality", "race").unwrap();
+    let native = NumericalQuery::ratio(
+        AggregateQuery::count_star(Predicate::and([
+            Predicate::eq(ap, "good"),
+            Predicate::eq(race, "Asian"),
+        ])),
+        AggregateQuery::count_star(Predicate::and([
+            Predicate::eq(ap, "poor"),
+            Predicate::eq(race, "Asian"),
+        ])),
+    )
+    .with_smoothing(1e-4);
+    assert_eq!(question.query.eval(&db).unwrap(), native.eval(&db).unwrap());
+}
+
+#[test]
+fn q_marital_asset_parses_and_evaluates() {
+    let db = natality::generate(&natality::NatalityConfig {
+        rows: 5_000,
+        seed: 7,
+    });
+    let question = qparse::parse_question(db.schema(), &asset("questions/q_marital.exq")).unwrap();
+    assert_eq!(question.query.arity(), 4);
+    let v = question.query.eval(&db).unwrap();
+    assert!(v.is_finite() && v > 0.5 && v < 5.0, "Q_Marital = {v}");
+}
+
+#[test]
+fn bump_question_asset_matches_example_22() {
+    let db = dblp::generate(&dblp::DblpConfig {
+        papers_per_year_base: 10,
+        ..dblp::DblpConfig::default()
+    });
+    let question = qparse::parse_question(db.schema(), &asset("questions/bump.exq")).unwrap();
+    assert_eq!(question.query.arity(), 4);
+    assert_eq!(question.direction, Direction::High);
+    let v = question.query.eval(&db).unwrap();
+    assert!(v > 1.0, "the bump exists: Q = {v}");
+}

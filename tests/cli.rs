@@ -1,0 +1,301 @@
+//! End-to-end tests of the `exq` CLI binary: schema parsing, CSV loading,
+//! question files, top-K output, and drill-down — the full external
+//! surface a non-Rust user touches.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("exq-cli-test-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write(dir: &std::path::Path, name: &str, contents: &str) -> String {
+    let path = dir.join(name);
+    fs::write(&path, contents).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_exq"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+const SCHEMA: &str = "
+relation Author(id: str key, name: str, dom: str)
+relation Authored(id: str key, pubid: str key)
+relation Publication(pubid: str key, venue: str)
+fk Authored(id) -> Author
+fk Authored(pubid) <-> Publication
+";
+
+const AUTHORS: &str = "id,name,dom\nA1,JG,edu\nA2,RR,com\nA3,CM,com\n";
+const AUTHORED: &str = "id,pubid\nA1,P1\nA2,P1\nA1,P2\nA3,P2\nA2,P3\nA3,P3\n";
+const PUBS: &str = "pubid,venue\nP1,SIGMOD\nP2,VLDB\nP3,SIGMOD\n";
+
+const QUESTION: &str = "
+agg sigmod = count(distinct Publication.pubid) where venue = 'SIGMOD'
+dir high
+";
+
+#[test]
+fn schema_command_prints_parsed_schema() {
+    let dir = workdir("schema");
+    let schema = write(&dir, "schema.exq", SCHEMA);
+    let out = run(&["schema", "--schema", &schema]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Author(*id: str"));
+    assert!(text.contains("back-and-forth keys: 1"));
+}
+
+#[test]
+fn validate_command_checks_integrity() {
+    let dir = workdir("validate");
+    let schema = write(&dir, "schema.exq", SCHEMA);
+    let a = write(&dir, "a.csv", AUTHORS);
+    let ad = write(&dir, "ad.csv", AUTHORED);
+    let p = write(&dir, "p.csv", PUBS);
+    let out = run(&[
+        "validate",
+        "--schema",
+        &schema,
+        "--table",
+        &format!("Author={a}"),
+        "--table",
+        &format!("Authored={ad}"),
+        "--table",
+        &format!("Publication={p}"),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("12 tuples"));
+    assert!(text.contains("semijoin-reduced: true"));
+
+    // A dangling foreign key fails validation.
+    let bad = write(&dir, "bad.csv", "id,pubid\nA1,P1\nA9,P1\n");
+    let out = run(&[
+        "validate",
+        "--schema",
+        &schema,
+        "--table",
+        &format!("Author={a}"),
+        "--table",
+        &format!("Authored={bad}"),
+        "--table",
+        &format!("Publication={p}"),
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("dangling foreign key"));
+}
+
+#[test]
+fn explain_command_ranks_explanations() {
+    let dir = workdir("explain");
+    let schema = write(&dir, "schema.exq", SCHEMA);
+    let a = write(&dir, "a.csv", AUTHORS);
+    let ad = write(&dir, "ad.csv", AUTHORED);
+    let p = write(&dir, "p.csv", PUBS);
+    let q = write(&dir, "question.exq", QUESTION);
+    let out = run(&[
+        "explain",
+        "--schema",
+        &schema,
+        "--table",
+        &format!("Author={a}"),
+        "--table",
+        &format!("Authored={ad}"),
+        "--table",
+        &format!("Publication={p}"),
+        "--question",
+        &q,
+        "--attrs",
+        "Author.name,Author.dom",
+        "--top",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Q(D) = 2"), "{text}");
+    assert!(text.contains("engine: Cube"), "{text}");
+    // RR's removal kills both SIGMOD papers: a top (degree −0) explanation.
+    assert!(
+        text.lines()
+            .any(|l| l.contains("RR") && l.contains("(-0.000000)")),
+        "{text}"
+    );
+}
+
+#[test]
+fn explain_naive_matches_cube() {
+    let dir = workdir("naive");
+    let schema = write(&dir, "schema.exq", SCHEMA);
+    let a = write(&dir, "a.csv", AUTHORS);
+    let ad = write(&dir, "ad.csv", AUTHORED);
+    let p = write(&dir, "p.csv", PUBS);
+    let q = write(&dir, "question.exq", QUESTION);
+    let base = [
+        "explain",
+        "--schema",
+        &schema,
+        "--table",
+        &format!("Author={a}"),
+        "--table",
+        &format!("Authored={ad}"),
+        "--table",
+        &format!("Publication={p}"),
+        "--question",
+        &q,
+        "--attrs",
+        "Author.name",
+        "--top",
+        "3",
+    ]
+    .map(String::from);
+    let cube = run(&base.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut naive_args: Vec<&str> = base.iter().map(String::as_str).collect();
+    naive_args.push("--naive");
+    let naive = run(&naive_args);
+    let strip = |o: &Output| {
+        String::from_utf8_lossy(&o.stdout)
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                t.starts_with("1.") || t.starts_with("2.") || t.starts_with("3.")
+            })
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip(&cube), strip(&naive));
+}
+
+#[test]
+fn drill_command_reports_all_degrees() {
+    let dir = workdir("drill");
+    let schema = write(&dir, "schema.exq", SCHEMA);
+    let a = write(&dir, "a.csv", AUTHORS);
+    let ad = write(&dir, "ad.csv", AUTHORED);
+    let p = write(&dir, "p.csv", PUBS);
+    let q = write(&dir, "question.exq", QUESTION);
+    let out = run(&[
+        "drill",
+        "--schema",
+        &schema,
+        "--table",
+        &format!("Author={a}"),
+        "--table",
+        &format!("Authored={ad}"),
+        "--table",
+        &format!("Publication={p}"),
+        "--question",
+        &q,
+        "--phi",
+        "Author.name = 'RR'",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mu_interv = -0"), "{text}");
+    assert!(text.contains("mu_hybrid"), "{text}");
+    assert!(text.contains("tuples deleted"), "{text}");
+}
+
+#[test]
+fn profile_command_summarizes_data() {
+    let dir = workdir("profile");
+    let schema = write(&dir, "schema.exq", SCHEMA);
+    let a = write(&dir, "a.csv", AUTHORS);
+    let ad = write(&dir, "ad.csv", AUTHORED);
+    let p = write(&dir, "p.csv", PUBS);
+    let out = run(&[
+        "profile",
+        "--schema",
+        &schema,
+        "--table",
+        &format!("Author={a}"),
+        "--table",
+        &format!("Authored={ad}"),
+        "--table",
+        &format!("Publication={p}"),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Author (3 rows)"), "{text}");
+    assert!(text.contains("venue: str  distinct=2"), "{text}");
+}
+
+#[test]
+fn report_command_produces_full_document() {
+    let dir = workdir("report");
+    let schema = write(&dir, "schema.exq", SCHEMA);
+    let a = write(&dir, "a.csv", AUTHORS);
+    let ad = write(&dir, "ad.csv", AUTHORED);
+    let p = write(&dir, "p.csv", PUBS);
+    let q = write(&dir, "question.exq", QUESTION);
+    let out = run(&[
+        "report",
+        "--schema",
+        &schema,
+        "--table",
+        &format!("Author={a}"),
+        "--table",
+        &format!("Authored={ad}"),
+        "--table",
+        &format!("Publication={p}"),
+        "--question",
+        &q,
+        "--attrs",
+        "Author.name,Author.dom",
+        "--top",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("# Explanation report"), "{text}");
+    assert!(text.contains("Top explanations by intervention"), "{text}");
+    assert!(text.contains("Drill-down"), "{text}");
+    assert!(text.contains("Kendall tau"), "{text}");
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = run(&["explain", "--schema"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("missing value"));
+}

@@ -1,0 +1,194 @@
+//! Degenerate-input robustness: empty relations, empty candidate sets,
+//! single-tuple databases, questions whose selections match nothing, and
+//! maximal interventions. The engine must degrade gracefully (empty
+//! outputs, zero degrees under smoothing), never panic.
+
+use exq::prelude::*;
+use exq_core::explainer::Explainer;
+use exq_core::explanation::Explanation;
+use exq_core::intervention::{is_valid_intervention, InterventionEngine};
+use exq_core::{cube_algo, naive, topk};
+use exq_relstore::aggregate::{evaluate, AggFunc};
+use exq_relstore::cube::{self, CubeStrategy};
+use exq_relstore::semijoin;
+
+fn empty_db() -> Database {
+    let schema = SchemaBuilder::new()
+        .relation(
+            "R",
+            &[("id", ValueType::Int), ("g", ValueType::Str)],
+            &["id"],
+        )
+        .build()
+        .unwrap();
+    Database::new(schema)
+}
+
+fn one_row_db() -> Database {
+    let mut db = empty_db();
+    db.insert("R", vec![0.into(), "a".into()]).unwrap();
+    db
+}
+
+fn ratio_question(db: &Database) -> UserQuestion {
+    let g = db.schema().attr("R", "g").unwrap();
+    UserQuestion::new(
+        NumericalQuery::ratio(
+            AggregateQuery::count_star(Predicate::eq(g, "a")),
+            AggregateQuery::count_star(Predicate::eq(g, "b")),
+        )
+        .with_smoothing(1e-4),
+        Direction::High,
+    )
+}
+
+#[test]
+fn empty_database_through_the_whole_pipeline() {
+    let db = empty_db();
+    db.validate().unwrap();
+    assert!(semijoin::is_reduced(&db, &db.full_view()));
+
+    let u = Universal::compute(&db, &db.full_view());
+    assert!(u.is_empty());
+    assert_eq!(
+        evaluate(&db, &u, &Predicate::True, &AggFunc::CountStar).unwrap(),
+        0.0
+    );
+
+    // Cube over nothing: empty.
+    let g = db.schema().attr("R", "g").unwrap();
+    for strategy in [
+        CubeStrategy::SubsetEnumeration,
+        CubeStrategy::LatticeRollup,
+        CubeStrategy::Auto,
+    ] {
+        let c = cube::compute(&db, &u, &Predicate::True, &[g], &AggFunc::CountStar, strategy)
+            .unwrap();
+        assert!(c.is_empty());
+    }
+
+    // Intervention of anything over nothing: empty, zero iterations.
+    let engine = InterventionEngine::new(&db);
+    let phi = Explanation::new(vec![Atom::eq(g, "a")]);
+    let iv = engine.compute(&phi);
+    assert!(iv.is_empty());
+    assert_eq!(iv.iterations, 0);
+    assert!(is_valid_intervention(&db, phi.conjunction(), &iv.delta));
+
+    // Facade: empty table, empty top-K, smoothed Q(D) = 1.
+    let explainer = Explainer::new(&db, ratio_question(&db))
+        .attr_names(&["R.g"])
+        .unwrap();
+    let (table, _) = explainer.table().unwrap();
+    assert!(table.is_empty());
+    assert!(explainer.top(DegreeKind::Intervention, 5).unwrap().is_empty());
+    let q = explainer.question().query.eval(&db).unwrap();
+    assert!((q - 1.0).abs() < 1e-9, "ε/ε = 1");
+}
+
+#[test]
+fn single_tuple_database() {
+    let db = one_row_db();
+    let explainer = Explainer::new(&db, ratio_question(&db))
+        .attr_names(&["R.g"])
+        .unwrap();
+    let top = explainer.top(DegreeKind::Intervention, 5).unwrap();
+    assert_eq!(top.len(), 1);
+    let report = explainer.explain(&top[0].explanation).unwrap();
+    assert_eq!(report.intervention.total_deleted(), 1, "the whole database");
+    // Residual is empty: Q = ε/ε = 1 with sign −1.
+    assert!((report.mu_interv + 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn selection_matching_nothing() {
+    let db = one_row_db();
+    let g = db.schema().attr("R", "g").unwrap();
+    let question = UserQuestion::new(
+        NumericalQuery::single(AggregateQuery::count_star(Predicate::eq(g, "zzz")))
+            .with_smoothing(1e-4),
+        Direction::Low,
+    );
+    let u = Universal::compute(&db, &db.full_view());
+    // Cube pipeline: no tuple matches any sub-query → M is empty.
+    let m = cube_algo::explanation_table(&db, &u, &question, &[g], CubeAlgoConfig::checked())
+        .unwrap();
+    assert!(m.is_empty());
+    // Naive agrees.
+    let engine = InterventionEngine::new(&db);
+    let n = naive::explanation_table_naive(&db, &engine, &question, &[g]).unwrap();
+    assert!(n.is_empty());
+}
+
+#[test]
+fn trivial_explanation_stays_out_of_rankings() {
+    // Even at k = |M| + 1 the trivial all-null explanation never appears.
+    let mut db = empty_db();
+    for (i, g) in ["a", "a", "b"].iter().enumerate() {
+        db.insert("R", vec![(i as i64).into(), (*g).into()]).unwrap();
+    }
+    let explainer = Explainer::new(&db, ratio_question(&db))
+        .attr_names(&["R.g"])
+        .unwrap();
+    let (m, _) = explainer.table().unwrap();
+    for strategy in [
+        topk::TopKStrategy::NoMinimal,
+        topk::TopKStrategy::MinimalSelfJoin,
+        topk::TopKStrategy::MinimalAppend,
+    ] {
+        let all = topk::top_k(
+            &m,
+            DegreeKind::Intervention,
+            m.len() + 1,
+            strategy,
+            MinimalityPolarity::PreferGeneral,
+        );
+        assert!(all.iter().all(|r| !r.explanation.is_trivial()));
+    }
+}
+
+#[test]
+fn maximal_intervention_empties_the_database_consistently() {
+    let mut db = empty_db();
+    for (i, g) in ["a", "b"].iter().enumerate() {
+        db.insert("R", vec![(i as i64).into(), (*g).into()]).unwrap();
+    }
+    let engine = InterventionEngine::new(&db);
+    let iv = engine.compute(&Explanation::trivial());
+    assert_eq!(iv.total_deleted(), 2);
+    let residual = db.view_minus(&iv.delta);
+    assert_eq!(residual.total_live(), 0);
+    // Every aggregate on the residual is 0 / neutral.
+    let u = Universal::compute(&db, &residual);
+    let id = db.schema().attr("R", "id").unwrap();
+    for f in [
+        AggFunc::CountStar,
+        AggFunc::CountDistinct(id),
+        AggFunc::Sum(id),
+        AggFunc::Avg(id),
+        AggFunc::Min(id),
+        AggFunc::Max(id),
+    ] {
+        assert_eq!(evaluate(&db, &u, &Predicate::True, &f).unwrap(), 0.0);
+    }
+}
+
+#[test]
+fn zero_k_top_k_is_empty() {
+    let db = one_row_db();
+    let explainer = Explainer::new(&db, ratio_question(&db))
+        .attr_names(&["R.g"])
+        .unwrap();
+    assert!(explainer.top(DegreeKind::Intervention, 0).unwrap().is_empty());
+    assert!(explainer.top(DegreeKind::Aggravation, 0).unwrap().is_empty());
+}
+
+#[test]
+fn no_dimension_attributes() {
+    // A' = ∅: no candidates at all (only the trivial explanation would
+    // exist, and it is excluded).
+    let db = one_row_db();
+    let explainer = Explainer::new(&db, ratio_question(&db));
+    let (m, _) = explainer.table().unwrap();
+    assert!(m.is_empty());
+}

@@ -1,0 +1,235 @@
+//! Property tests over *random tree schemas* — arbitrary depth, arbitrary
+//! mixes of standard and back-and-forth foreign keys (including several
+//! back-and-forth keys meeting at one relation, where recursion is
+//! genuinely required). This is the broadest exercise of program **P**'s
+//! invariants.
+
+use exq::datagen::random::{random_tree_db, RandomDbConfig};
+use exq::prelude::*;
+use exq_core::explanation::Explanation;
+use exq_core::intervention::{is_valid_intervention, InterventionEngine};
+use exq_relstore::semijoin;
+use proptest::prelude::*;
+
+/// A single-atom explanation over a random attribute/value of the
+/// instance, addressed by indices so it is always resolvable.
+fn pick_phi(db: &Database, rel_sel: usize, row_sel: usize, col_sel: usize) -> Explanation {
+    let rel = rel_sel % db.schema().relation_count();
+    let arity = db.schema().relation(rel).arity();
+    let col = col_sel % arity;
+    let rows = db.relation_len(rel);
+    let row = row_sel % rows.max(1);
+    let attr = AttrRef { rel, col };
+    let value = db.value(attr, row).clone();
+    Explanation::new(vec![Atom::eq(attr, value)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Validity, minimality and the Prop 3.4 bound on random tree schemas.
+    #[test]
+    fn program_p_invariants_on_random_schemas(
+        seed in 0u64..10_000,
+        relations in 1usize..6,
+        bf_prob in 0.0f64..1.0,
+        rel_sel in any::<usize>(),
+        row_sel in any::<usize>(),
+        col_sel in any::<usize>(),
+        extra_row in any::<usize>(),
+    ) {
+        let cfg = RandomDbConfig {
+            relations,
+            back_and_forth_probability: bf_prob,
+            seed,
+            ..RandomDbConfig::default()
+        };
+        let Some(db) = random_tree_db(&cfg) else { return Ok(()) };
+        let engine = InterventionEngine::new(&db);
+        let phi = pick_phi(&db, rel_sel, row_sel, col_sel);
+        let iv = engine.compute(&phi);
+
+        // Definition 2.6 (validity).
+        prop_assert!(
+            is_valid_intervention(&db, phi.conjunction(), &iv.delta),
+            "invalid intervention for {} on seed {seed}",
+            phi.display(&db)
+        );
+
+        // Proposition 3.4 (global bound).
+        prop_assert!(iv.iterations <= db.total_tuples());
+
+        // Proposition 3.5 when no back-and-forth keys.
+        if !db.schema().has_back_and_forth() {
+            prop_assert!(iv.iterations <= 2);
+        }
+
+        // Proposition 3.11 when its preconditions hold.
+        let g = db.schema().causal_graph();
+        if g.is_simple() && g.max_back_and_forth_per_relation() <= 1 {
+            let s = db.schema().back_and_forth_count();
+            prop_assert!(iv.iterations <= 2 * s + 2, "{} > 2*{s}+2", iv.iterations);
+        }
+
+        // Theorem 3.3 (minimality): the closure of a seed superset
+        // contains Δ^φ.
+        let mut seeds = iv.seeds.clone();
+        let rel = rel_sel % db.schema().relation_count();
+        if db.relation_len(rel) > 0 {
+            seeds[rel].insert(extra_row % db.relation_len(rel));
+        }
+        let (closure, _) = engine.close_from_seeds(&seeds);
+        prop_assert!(is_valid_intervention(&db, phi.conjunction(), &closure));
+        for (small, big) in iv.delta.iter().zip(&closure) {
+            prop_assert!(small.is_subset(big));
+        }
+
+        // The residual database is semijoin-reduced and φ-free.
+        let residual = db.view_minus(&iv.delta);
+        prop_assert!(semijoin::is_reduced(&db, &residual));
+        let u = Universal::compute(&db, &residual);
+        for t in u.iter() {
+            prop_assert!(!phi.eval(&db, t));
+        }
+    }
+
+    /// The Section 3.3 non-recursive pipeline equals the fixpoint wherever
+    /// it applies (Props 3.5/3.11 schemas).
+    #[test]
+    fn unrolled_equals_fixpoint_on_random_schemas(
+        seed in 0u64..10_000,
+        relations in 1usize..6,
+        bf_prob in 0.0f64..1.0,
+        rel_sel in any::<usize>(),
+        row_sel in any::<usize>(),
+        col_sel in any::<usize>(),
+    ) {
+        let cfg = RandomDbConfig {
+            relations,
+            back_and_forth_probability: bf_prob,
+            seed,
+            ..RandomDbConfig::default()
+        };
+        let Some(db) = random_tree_db(&cfg) else { return Ok(()) };
+        let engine = InterventionEngine::new(&db);
+        let phi = pick_phi(&db, rel_sel, row_sel, col_sel);
+        let fixpoint = engine.compute(&phi);
+        match engine.compute_unrolled(&phi) {
+            Some(unrolled) => prop_assert_eq!(unrolled.delta, fixpoint.delta),
+            None => {
+                // Refusal must coincide with the recursive classification.
+                prop_assert_eq!(
+                    exq_core::causal::convergence_bound(db.schema()),
+                    exq_core::causal::ConvergenceBound::RequiresRecursion
+                );
+            }
+        }
+    }
+
+    /// Materializing the residual database and re-running the question
+    /// gives the same answer as evaluating on the view — the two
+    /// evaluation paths agree.
+    #[test]
+    fn residual_view_equals_materialized_database(
+        seed in 0u64..10_000,
+        relations in 1usize..5,
+        rel_sel in any::<usize>(),
+        row_sel in any::<usize>(),
+        col_sel in any::<usize>(),
+    ) {
+        let cfg = RandomDbConfig { relations, seed, ..RandomDbConfig::default() };
+        let Some(db) = random_tree_db(&cfg) else { return Ok(()) };
+        let engine = InterventionEngine::new(&db);
+        let phi = pick_phi(&db, rel_sel, row_sel, col_sel);
+        let iv = engine.compute(&phi);
+
+        let question = UserQuestion::new(
+            NumericalQuery::single(AggregateQuery::count_star(Predicate::True)),
+            Direction::High,
+        );
+        let on_view = question.query.eval_view(&db, &db.view_minus(&iv.delta)).unwrap();
+        let materialized = db.materialize(&db.view_minus(&iv.delta));
+        let on_db = question.query.eval(&materialized).unwrap();
+        prop_assert_eq!(on_view, on_db);
+    }
+
+    /// The Explainer façade always returns the exact table: whenever it
+    /// chooses the cube it must agree with the forced-naive ground truth.
+    #[test]
+    fn facade_matches_ground_truth(
+        seed in 0u64..10_000,
+        relations in 1usize..5,
+        bf_prob in 0.0f64..1.0,
+    ) {
+        use exq_core::explainer::Explainer;
+        use exq_relstore::aggregate::AggFunc;
+        let cfg = RandomDbConfig {
+            relations,
+            back_and_forth_probability: bf_prob,
+            seed,
+            ..RandomDbConfig::default()
+        };
+        let Some(db) = random_tree_db(&cfg) else { return Ok(()) };
+        // COUNT(DISTINCT R0.id): additive on some draws (depends on the
+        // data-level uniqueness check), not on others — exactly the fork
+        // the facade automates.
+        let id = db.schema().attr("R0", "id").unwrap();
+        let data = db.schema().attr("R0", "data").unwrap();
+        let question = UserQuestion::new(
+            NumericalQuery::ratio(
+                AggregateQuery {
+                    func: AggFunc::CountDistinct(id),
+                    selection: Predicate::eq(data, "v0"),
+                },
+                AggregateQuery {
+                    func: AggFunc::CountDistinct(id),
+                    selection: Predicate::True,
+                },
+            ).with_smoothing(1e-4),
+            Direction::High,
+        );
+        let last = db.schema().relation_count() - 1;
+        let attr_name = format!("R{last}.data");
+        let auto = Explainer::new(&db, question.clone())
+            .attr_names(&[&attr_name]).unwrap();
+        let naive = Explainer::new(&db, question)
+            .attr_names(&[&attr_name]).unwrap()
+            .force_naive();
+        let (auto_t, _) = auto.table().unwrap();
+        let (naive_t, _) = naive.table().unwrap();
+        prop_assert_eq!(auto_t.len(), naive_t.len());
+        for (a, n) in auto_t.rows.iter().zip(&naive_t.rows) {
+            prop_assert_eq!(&a.coord, &n.coord);
+            prop_assert!((a.mu_interv - n.mu_interv).abs() < 1e-9,
+                "facade diverged from ground truth at {:?}: {} vs {}",
+                a.coord, a.mu_interv, n.mu_interv);
+            prop_assert!((a.mu_aggr - n.mu_aggr).abs() < 1e-9);
+        }
+    }
+
+    /// Interventions are *monotone in φ's strength*: a conjunction's
+    /// intervention is contained in each conjunct's intervention
+    /// (σ_{φ∧ψ}(U) ⊆ σ_φ(U), and the closure is monotone in the seeds).
+    #[test]
+    fn conjunction_shrinks_intervention(
+        seed in 0u64..10_000,
+        relations in 2usize..5,
+        sel in any::<(usize, usize, usize)>(),
+        sel2 in any::<(usize, usize, usize)>(),
+    ) {
+        let cfg = RandomDbConfig { relations, seed, ..RandomDbConfig::default() };
+        let Some(db) = random_tree_db(&cfg) else { return Ok(()) };
+        let engine = InterventionEngine::new(&db);
+        let a = pick_phi(&db, sel.0, sel.1, sel.2);
+        let b = pick_phi(&db, sel2.0, sel2.1, sel2.2);
+        let mut both = a.atoms().to_vec();
+        both.extend(b.atoms().iter().cloned());
+        let conj = Explanation::new(both);
+
+        let iv_a = engine.compute(&a);
+        let iv_conj = engine.compute(&conj);
+        for (c, single) in iv_conj.delta.iter().zip(&iv_a.delta) {
+            prop_assert!(c.is_subset(single), "Δ^(φ∧ψ) ⊄ Δ^φ");
+        }
+    }
+}
