@@ -1,0 +1,199 @@
+//! The [`Diagnostic`] type and the stable code catalogue.
+//!
+//! Codes are shared with `exq_relstore::Error::code` and
+//! `exq_core::Error::code` so a fault class gets the same code whether
+//! it is caught statically by `exq check` or dynamically by the engine:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | E001 | unknown relation |
+//! | E002 | unknown attribute |
+//! | E003 | duplicate relation declaration |
+//! | E004 | duplicate attribute declaration |
+//! | E005 | foreign-key arity mismatch |
+//! | E006 | foreign-key type mismatch |
+//! | E007 | cyclic foreign-key join graph |
+//! | E008 | predicate type mismatch |
+//! | E009 | unknown aggregate name in `expr` |
+//! | E010 | schema syntax error |
+//! | E011 | question syntax error |
+//! | E012 | relation without a key column |
+//! | E013 | ambiguous attribute reference |
+//! | E014 | missing directive (`dir`, or `expr` with several aggregates) |
+//! | E015 | duplicate aggregate name |
+//! | W001 | several back-and-forth keys on one relation (Prop 3.11) |
+//! | W002 | disconnected foreign-key join graph |
+//! | W003 | unsatisfiable constant range |
+//! | W004 | division in `expr` without smoothing |
+//! | W005 | cube dimensionality over the enumeration budget |
+
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The input will be rejected by the engine.
+    Error,
+    /// The input is legal but likely not what the author meant, or
+    /// threatens performance/convergence.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
+
+/// A half-open source region on one line (1-based line and column,
+/// counted in chars; `len` is the caret width, at least 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line. Line 0 means "whole file" (e.g. a missing
+    /// directive).
+    pub line: usize,
+    /// 1-based char column; 0 when unknown.
+    pub col: usize,
+    /// Caret width in chars.
+    pub len: usize,
+}
+
+impl Span {
+    /// Span covering `len` chars starting at `line:col`.
+    pub fn new(line: usize, col: usize, len: usize) -> Span {
+        Span {
+            line,
+            col,
+            len: len.max(1),
+        }
+    }
+
+    /// Whole-file span (no line/col known).
+    pub fn file() -> Span {
+        Span {
+            line: 0,
+            col: 0,
+            len: 1,
+        }
+    }
+}
+
+/// One finding: a coded, located message with an optional suggestion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code (`E0xx` error, `W0xx` warning); see the module docs.
+    pub code: &'static str,
+    /// Error or warning (consistent with the code's prefix).
+    pub severity: Severity,
+    /// Name of the file the span points into.
+    pub file: String,
+    /// Where in the file.
+    pub span: Span,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when the analyzer has a concrete suggestion.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Build an error diagnostic.
+    pub fn error(code: &'static str, file: &str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            file: file.to_string(),
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Build a warning diagnostic.
+    pub fn warning(code: &'static str, file: &str, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            file: file.to_string(),
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attach a help suggestion.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+/// Levenshtein edit distance (small inputs only — identifier lengths).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// "Did you mean …?" — the closest candidate within an edit distance
+/// budget of one third of the name (minimum 1, maximum 3), ties broken
+/// by first occurrence. Case-insensitive exact matches always win.
+pub fn suggest<'a>(name: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    let budget = (name.chars().count() / 3).clamp(1, 3);
+    let mut best: Option<(usize, &str)> = None;
+    for c in candidates {
+        if c == name {
+            continue;
+        }
+        let d = if c.eq_ignore_ascii_case(name) {
+            0
+        } else {
+            edit_distance(name, c)
+        };
+        if d <= budget && best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, c));
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        assert_eq!(edit_distance("year", "year"), 0);
+        assert_eq!(edit_distance("yearr", "year"), 1);
+        assert_eq!(edit_distance("venue", "value"), 2);
+        assert_eq!(edit_distance("", "abc"), 3);
+    }
+
+    #[test]
+    fn suggestions() {
+        let cands = ["year", "venue", "pubid"];
+        assert_eq!(suggest("yearr", cands), Some("year"));
+        assert_eq!(suggest("Year", cands), Some("year"));
+        assert_eq!(suggest("zzzzzz", cands), None);
+        // An exact match is not a suggestion.
+        assert_eq!(suggest("year", ["year"]), None);
+    }
+
+    #[test]
+    fn span_widths() {
+        assert_eq!(Span::new(1, 2, 0).len, 1);
+        assert_eq!(Span::file().line, 0);
+    }
+}

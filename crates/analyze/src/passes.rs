@@ -1,0 +1,1073 @@
+//! Semantic lint passes over the loose ASTs.
+//!
+//! Each pass appends to a shared diagnostic list; none of them aborts, so
+//! one `exq check` run reports everything it can find. The schema passes
+//! mirror `SchemaBuilder::build`'s validation (duplicates, keys, foreign
+//! keys, acyclicity) and add the paper-motivated structural warnings the
+//! builder does not enforce: Proposition 3.11's one-back-and-forth-key
+//! bound, join-graph connectivity (a disconnected schema makes the
+//! universal relation a cross product), and the cube dimensionality
+//! budget.
+
+use crate::diag::{suggest, Diagnostic, Span};
+use crate::pred::{for_each_atom, parse_pred_loose, Lit, PredAst};
+use crate::syntax::{QuestionAst, SchemaAst};
+use exq_relstore::{CmpOp, DatabaseSchema, ValueType};
+
+/// A resolved relation in the analyzer's symbol table.
+#[derive(Debug, Clone)]
+pub struct RelSym {
+    /// Relation name.
+    pub name: String,
+    /// Columns: name and type (`None` when the declaration was faulty —
+    /// treated as `any` so one error does not cascade).
+    pub columns: Vec<(String, Option<ValueType>)>,
+    /// Indices of the primary-key columns.
+    pub pk: Vec<usize>,
+}
+
+/// Name-resolution table built from a loose AST (first declaration wins
+/// on duplicates) or from an already-validated [`DatabaseSchema`].
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Relations in declaration order.
+    pub relations: Vec<RelSym>,
+}
+
+impl SymbolTable {
+    /// Build from a loose schema AST.
+    pub fn from_ast(ast: &SchemaAst) -> SymbolTable {
+        let mut table = SymbolTable::default();
+        for rel in &ast.relations {
+            if table.rel(&rel.name).is_some() {
+                continue; // duplicate: reported by the duplicate pass
+            }
+            let mut columns = Vec::new();
+            let mut pk = Vec::new();
+            for col in &rel.columns {
+                if columns.iter().any(|(n, _)| n == &col.name) {
+                    continue;
+                }
+                if col.key {
+                    pk.push(columns.len());
+                }
+                columns.push((col.name.clone(), col.ty));
+            }
+            table.relations.push(RelSym {
+                name: rel.name.clone(),
+                columns,
+                pk,
+            });
+        }
+        table
+    }
+
+    /// Build from a validated schema (used when only question files are
+    /// being checked against an already-loaded database).
+    pub fn from_schema(schema: &DatabaseSchema) -> SymbolTable {
+        SymbolTable {
+            relations: schema
+                .relations()
+                .iter()
+                .map(|r| RelSym {
+                    name: r.name.clone(),
+                    columns: r
+                        .attributes
+                        .iter()
+                        .map(|a| (a.name.clone(), Some(a.ty)))
+                        .collect(),
+                    pk: r.primary_key.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn rel(&self, name: &str) -> Option<(usize, &RelSym)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.name == name)
+    }
+
+    fn all_attr_names(&self) -> impl Iterator<Item = &str> {
+        self.relations
+            .iter()
+            .flat_map(|r| r.columns.iter().map(|(n, _)| n.as_str()))
+    }
+
+    /// Resolve `attr` or `Rel.attr` to its declared type. Pushes E001 /
+    /// E002 / E013 on failure and returns `None`.
+    fn resolve(
+        &self,
+        file: &str,
+        attr: &str,
+        span: Span,
+        diags: &mut Vec<Diagnostic>,
+    ) -> Option<Option<ValueType>> {
+        if let Some((rel_name, col_name)) = attr.split_once('.') {
+            let Some((_, rel)) = self.rel(rel_name) else {
+                let mut d =
+                    Diagnostic::error("E001", file, span, format!("unknown relation `{rel_name}`"));
+                if let Some(s) = suggest(rel_name, self.relations.iter().map(|r| r.name.as_str())) {
+                    d = d.with_help(format!("did you mean `{s}.{col_name}`?"));
+                }
+                diags.push(d);
+                return None;
+            };
+            let Some((_, ty)) = rel.columns.iter().find(|(n, _)| n == col_name) else {
+                let mut d = Diagnostic::error(
+                    "E002",
+                    file,
+                    span,
+                    format!("unknown attribute `{rel_name}.{col_name}`"),
+                );
+                if let Some(s) = suggest(col_name, rel.columns.iter().map(|(n, _)| n.as_str())) {
+                    d = d.with_help(format!("did you mean `{rel_name}.{s}`?"));
+                }
+                diags.push(d);
+                return None;
+            };
+            return Some(*ty);
+        }
+        let matches: Vec<(&RelSym, Option<ValueType>)> = self
+            .relations
+            .iter()
+            .filter_map(|r| {
+                r.columns
+                    .iter()
+                    .find(|(n, _)| n == attr)
+                    .map(|(_, ty)| (r, *ty))
+            })
+            .collect();
+        match matches.as_slice() {
+            [(_, ty)] => Some(*ty),
+            [] => {
+                let mut d =
+                    Diagnostic::error("E002", file, span, format!("unknown attribute `{attr}`"));
+                if let Some(s) = suggest(attr, self.all_attr_names()) {
+                    d = d.with_help(format!("did you mean `{s}`?"));
+                }
+                diags.push(d);
+                None
+            }
+            many => {
+                let rels: Vec<&str> = many.iter().map(|(r, _)| r.name.as_str()).collect();
+                diags.push(
+                    Diagnostic::error(
+                        "E013",
+                        file,
+                        span,
+                        format!(
+                            "attribute `{attr}` is ambiguous (declared in {})",
+                            rels.join(", ")
+                        ),
+                    )
+                    .with_help(format!("qualify it, e.g. `{}.{attr}`", rels[0])),
+                );
+                None
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schema passes
+// ---------------------------------------------------------------------
+
+/// Run every schema pass.
+pub fn check_schema(file: &str, ast: &SchemaAst, diags: &mut Vec<Diagnostic>) -> SymbolTable {
+    let table = SymbolTable::from_ast(ast);
+    schema_duplicates(file, ast, diags);
+    schema_keys(file, ast, diags);
+    schema_fks(file, ast, &table, diags);
+    schema_graph(file, ast, &table, diags);
+    schema_cube_budget(file, &table, diags);
+    table
+}
+
+fn schema_duplicates(file: &str, ast: &SchemaAst, diags: &mut Vec<Diagnostic>) {
+    let mut seen: Vec<&str> = Vec::new();
+    for rel in &ast.relations {
+        if seen.contains(&rel.name.as_str()) {
+            diags.push(
+                Diagnostic::error(
+                    "E003",
+                    file,
+                    rel.span,
+                    format!("duplicate relation `{}`", rel.name),
+                )
+                .with_help("the first declaration wins; remove or rename this one"),
+            );
+        } else {
+            seen.push(&rel.name);
+        }
+        let mut cols: Vec<&str> = Vec::new();
+        for col in &rel.columns {
+            if cols.contains(&col.name.as_str()) {
+                diags.push(Diagnostic::error(
+                    "E004",
+                    file,
+                    col.span,
+                    format!(
+                        "duplicate attribute `{}` in relation `{}`",
+                        col.name, rel.name
+                    ),
+                ));
+            } else {
+                cols.push(&col.name);
+            }
+        }
+    }
+}
+
+fn schema_keys(file: &str, ast: &SchemaAst, diags: &mut Vec<Diagnostic>) {
+    for rel in &ast.relations {
+        if !rel.columns.is_empty() && !rel.columns.iter().any(|c| c.key) {
+            diags.push(
+                Diagnostic::error(
+                    "E012",
+                    file,
+                    rel.span,
+                    format!("relation `{}` declares no key column", rel.name),
+                )
+                .with_help("mark the identifying columns with `key`, e.g. `id: str key`"),
+            );
+        }
+    }
+}
+
+fn schema_fks(file: &str, ast: &SchemaAst, table: &SymbolTable, diags: &mut Vec<Diagnostic>) {
+    for fk in &ast.fks {
+        let from = table.rel(&fk.from);
+        if from.is_none() {
+            let mut d = Diagnostic::error(
+                "E001",
+                file,
+                fk.from_span,
+                format!("unknown relation `{}` in foreign key", fk.from),
+            );
+            if let Some(s) = suggest(&fk.from, table.relations.iter().map(|r| r.name.as_str())) {
+                d = d.with_help(format!("did you mean `{s}`?"));
+            }
+            diags.push(d);
+        }
+        let to = table.rel(&fk.to);
+        if to.is_none() {
+            let mut d = Diagnostic::error(
+                "E001",
+                file,
+                fk.to_span,
+                format!("unknown relation `{}` in foreign key", fk.to),
+            );
+            if let Some(s) = suggest(&fk.to, table.relations.iter().map(|r| r.name.as_str())) {
+                d = d.with_help(format!("did you mean `{s}`?"));
+            }
+            diags.push(d);
+        }
+        let mut col_types: Vec<Option<ValueType>> = Vec::new();
+        if let Some((_, from_rel)) = from {
+            for (col, span) in &fk.cols {
+                match from_rel.columns.iter().find(|(n, _)| n == col) {
+                    Some((_, ty)) => col_types.push(*ty),
+                    None => {
+                        let mut d = Diagnostic::error(
+                            "E002",
+                            file,
+                            *span,
+                            format!("unknown attribute `{}.{col}` in foreign key", fk.from),
+                        );
+                        if let Some(s) =
+                            suggest(col, from_rel.columns.iter().map(|(n, _)| n.as_str()))
+                        {
+                            d = d.with_help(format!("did you mean `{s}`?"));
+                        }
+                        diags.push(d);
+                        col_types.push(None);
+                    }
+                }
+            }
+        }
+        let Some((_, to_rel)) = to else { continue };
+        if fk.cols.len() != to_rel.pk.len() {
+            diags.push(
+                Diagnostic::error(
+                    "E005",
+                    file,
+                    fk.from_span,
+                    format!(
+                        "foreign key {} -> {} references {} column{} but the target's primary \
+                         key has {}",
+                        fk.from,
+                        fk.to,
+                        fk.cols.len(),
+                        if fk.cols.len() == 1 { "" } else { "s" },
+                        to_rel.pk.len()
+                    ),
+                )
+                .with_help("a foreign key must cover the target's full primary key, in order"),
+            );
+            continue;
+        }
+        if from.is_none() {
+            continue;
+        }
+        for (i, &pk_col) in to_rel.pk.iter().enumerate() {
+            let (Some(from_ty), Some(to_ty)) = (col_types[i], to_rel.columns[pk_col].1) else {
+                continue; // a faulty declaration already reported
+            };
+            let compatible =
+                from_ty == to_ty || from_ty == ValueType::Any || to_ty == ValueType::Any;
+            if !compatible {
+                diags.push(
+                    Diagnostic::error(
+                        "E006",
+                        file,
+                        fk.cols[i].1,
+                        format!(
+                            "foreign key {} -> {}: column `{}` has type {from_ty} but target \
+                             key `{}.{}` has type {to_ty}",
+                            fk.from, fk.to, fk.cols[i].0, fk.to, to_rel.columns[pk_col].0
+                        ),
+                    )
+                    .with_help("align the column types on both sides of the key"),
+                );
+            }
+        }
+    }
+}
+
+/// Cycle detection (union-find), connectivity, and the Proposition 3.11
+/// back-and-forth bound.
+fn schema_graph(file: &str, ast: &SchemaAst, table: &SymbolTable, diags: &mut Vec<Diagnostic>) {
+    let n = table.relations.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut bf_counts = vec![0usize; n];
+    for fk in &ast.fks {
+        let (Some((a, _)), Some((b, _))) = (table.rel(&fk.from), table.rel(&fk.to)) else {
+            continue;
+        };
+        if fk.back_and_forth {
+            bf_counts[a] += 1;
+            if bf_counts[a] == 2 {
+                diags.push(
+                    Diagnostic::warning(
+                        "W001",
+                        file,
+                        fk.from_span,
+                        format!(
+                            "relation `{}` carries more than one back-and-forth foreign key",
+                            fk.from
+                        ),
+                    )
+                    .with_help(
+                        "Proposition 3.11 guarantees single-pass fixpoint evaluation only with \
+                         at most one back-and-forth key per relation; the intervention program \
+                         may need recursive evaluation",
+                    ),
+                );
+            }
+        }
+        let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+        if ra == rb {
+            let kind = if fk.back_and_forth {
+                "back-and-forth foreign key"
+            } else {
+                "foreign key"
+            };
+            diags.push(
+                Diagnostic::error(
+                    "E007",
+                    file,
+                    fk.from_span,
+                    format!(
+                        "{kind} {} {} {} closes a cycle in the join graph",
+                        fk.from,
+                        if fk.back_and_forth { "<->" } else { "->" },
+                        fk.to
+                    ),
+                )
+                .with_help(
+                    "the universal relation and the intervention fixpoint require an acyclic \
+                     foreign-key forest; remove this key or restructure the schema",
+                ),
+            );
+        } else {
+            parent[ra] = rb;
+        }
+    }
+    // Connectivity: one warning per component beyond the first.
+    if n >= 2 {
+        let mut roots: Vec<usize> = Vec::new();
+        for rel in &ast.relations {
+            let Some((i, _)) = table.rel(&rel.name) else {
+                continue;
+            };
+            let r = find(&mut parent, i);
+            if !roots.contains(&r) {
+                roots.push(r);
+                if roots.len() >= 2 {
+                    diags.push(
+                        Diagnostic::warning(
+                            "W002",
+                            file,
+                            rel.span,
+                            format!(
+                                "relation `{}` is not connected to `{}` by any foreign key",
+                                rel.name, table.relations[0].name
+                            ),
+                        )
+                        .with_help(
+                            "the universal relation over a disconnected schema is a cross \
+                             product; add a foreign key joining the components",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn schema_cube_budget(file: &str, table: &SymbolTable, diags: &mut Vec<Diagnostic>) {
+    let dims: usize = table
+        .relations
+        .iter()
+        .map(|r| r.columns.len().saturating_sub(r.pk.len()))
+        .sum();
+    let budget = exq_relstore::cube::MAX_CUBE_DIMS;
+    if dims > budget {
+        diags.push(
+            Diagnostic::warning(
+                "W005",
+                file,
+                Span::file(),
+                format!(
+                    "schema exposes {dims} non-key attributes as candidate cube dimensions, \
+                     over the subset-enumeration budget of {budget}"
+                ),
+            )
+            .with_help(
+                "restrict candidate attributes with `--attrs Rel.a,Rel.b` when explaining; \
+                 a cube over every attribute will be rejected at run time",
+            ),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Question passes
+// ---------------------------------------------------------------------
+
+const AGG_FUNCS: [&str; 5] = ["count", "sum", "avg", "min", "max"];
+
+/// Run every question pass against the schema's symbol table.
+pub fn check_question(
+    file: &str,
+    ast: &QuestionAst,
+    table: &SymbolTable,
+    diags: &mut Vec<Diagnostic>,
+) {
+    question_aggs(file, ast, Some(table), diags);
+    question_expr(file, ast, diags);
+    question_directives(file, ast, diags);
+}
+
+/// Run the question passes that need no schema: duplicate/unknown
+/// aggregates, predicate syntax and range satisfiability, `expr`
+/// references, directive completeness. Attribute resolution and type
+/// checks are skipped.
+pub fn check_question_schema_free(file: &str, ast: &QuestionAst, diags: &mut Vec<Diagnostic>) {
+    question_aggs(file, ast, None, diags);
+    question_expr(file, ast, diags);
+    question_directives(file, ast, diags);
+}
+
+fn question_aggs(
+    file: &str,
+    ast: &QuestionAst,
+    table: Option<&SymbolTable>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut seen: Vec<&str> = Vec::new();
+    for agg in &ast.aggs {
+        if seen.contains(&agg.name.as_str()) {
+            diags.push(
+                Diagnostic::error(
+                    "E015",
+                    file,
+                    agg.name_span,
+                    format!("duplicate aggregate name `{}`", agg.name),
+                )
+                .with_help("each `agg` needs a distinct name for `expr` to reference"),
+            );
+        } else {
+            seen.push(&agg.name);
+        }
+        if !AGG_FUNCS.contains(&agg.func.as_str()) {
+            let mut d = Diagnostic::error(
+                "E011",
+                file,
+                agg.func_span,
+                format!("unknown aggregate function `{}`", agg.func),
+            );
+            d = match suggest(&agg.func, AGG_FUNCS) {
+                Some(s) => d.with_help(format!("did you mean `{s}`?")),
+                None => d.with_help("aggregates are count, sum, avg, min, max"),
+            };
+            diags.push(d);
+        } else if let Some((arg, arg_span)) = &agg.arg {
+            if let Some(table) = table {
+                check_agg_arg(file, &agg.func, arg, *arg_span, table, diags);
+            }
+        }
+        if let Some((text, line, col0)) = &agg.selection {
+            if let Some(pred) = parse_pred_loose(file, text, *line, *col0, diags) {
+                match table {
+                    Some(table) => check_predicate(file, &pred, table, diags),
+                    None => unsatisfiable_ranges(file, &pred, diags),
+                }
+            }
+        }
+    }
+}
+
+fn check_agg_arg(
+    file: &str,
+    func: &str,
+    arg: &str,
+    span: Span,
+    table: &SymbolTable,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if func == "count" {
+        if arg == "*" {
+            return;
+        }
+        let Some(inner) = arg.strip_prefix("distinct ") else {
+            diags.push(
+                Diagnostic::error("E011", file, span, "count takes `*` or `distinct Attr`")
+                    .with_help("write `count(*)` or `count(distinct Rel.attr)`"),
+            );
+            return;
+        };
+        table.resolve(file, inner.trim(), span, diags);
+        return;
+    }
+    if arg.is_empty() {
+        diags.push(Diagnostic::error(
+            "E011",
+            file,
+            span,
+            format!("{func} needs an attribute argument"),
+        ));
+        return;
+    }
+    if let Some(ty) = table.resolve(file, arg, span, diags) {
+        // min/max order any type; sum/avg need numbers.
+        if matches!(func, "sum" | "avg")
+            && matches!(ty, Some(ValueType::Str) | Some(ValueType::Bool))
+        {
+            diags.push(
+                Diagnostic::error(
+                    "E008",
+                    file,
+                    span,
+                    format!(
+                        "{func}({arg}) aggregates a non-numeric attribute of type {}",
+                        ty.expect("matched Some above")
+                    ),
+                )
+                .with_help("sum/avg need an int or float attribute"),
+            );
+        }
+    }
+}
+
+fn check_predicate(file: &str, pred: &PredAst, table: &SymbolTable, diags: &mut Vec<Diagnostic>) {
+    for_each_atom(pred, &mut |atom| {
+        let PredAst::Atom {
+            attr,
+            attr_span,
+            op,
+            lit,
+            lit_span,
+        } = atom
+        else {
+            return;
+        };
+        let Some(ty) = table.resolve(file, attr, *attr_span, diags) else {
+            return;
+        };
+        let Some(ty) = ty else { return }; // faulty column declaration
+        check_atom_types(file, attr, ty, *op, lit, *lit_span, diags);
+    });
+    unsatisfiable_ranges(file, pred, diags);
+}
+
+fn check_atom_types(
+    file: &str,
+    attr: &str,
+    ty: ValueType,
+    _op: CmpOp,
+    lit: &Lit,
+    lit_span: Span,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mismatch = !matches!(
+        (ty, lit),
+        (ValueType::Any, _)
+            | (_, Lit::Null)
+            | (ValueType::Str, Lit::Str(_))
+            | (
+                ValueType::Int | ValueType::Float,
+                Lit::Int(_) | Lit::Float(_)
+            )
+            | (ValueType::Bool, Lit::Bool(_))
+    );
+    if !mismatch {
+        return;
+    }
+    let kind = lit.kind();
+    let article = if kind.starts_with(['a', 'e', 'i', 'o', 'u']) {
+        "an"
+    } else {
+        "a"
+    };
+    let mut d = Diagnostic::error(
+        "E008",
+        file,
+        lit_span,
+        format!(
+            "type mismatch: attribute `{attr}` has type {ty} but is compared to {article} {kind} literal"
+        ),
+    );
+    d = match (ty, lit) {
+        (ValueType::Str, Lit::Int(i)) => d.with_help(format!("quote the value: `'{i}'`")),
+        (ValueType::Str, Lit::Float(f)) => d.with_help(format!("quote the value: `'{f}'`")),
+        (ValueType::Int | ValueType::Float, Lit::Str(s)) if s.parse::<f64>().is_ok() => {
+            d.with_help(format!("remove the quotes: `{s}`"))
+        }
+        _ => d,
+    };
+    diags.push(d);
+}
+
+/// Detect conjunctions whose constant constraints on one attribute can
+/// never hold, e.g. `year >= 2007 and year <= 2004` (W003).
+fn unsatisfiable_ranges(file: &str, pred: &PredAst, diags: &mut Vec<Diagnostic>) {
+    match pred {
+        PredAst::And(parts) => {
+            check_conjunction(file, parts, diags);
+            for p in parts {
+                unsatisfiable_ranges(file, p, diags);
+            }
+        }
+        PredAst::Or(parts) => {
+            for p in parts {
+                unsatisfiable_ranges(file, p, diags);
+            }
+        }
+        PredAst::Not(inner) => unsatisfiable_ranges(file, inner, diags),
+        _ => {}
+    }
+}
+
+fn check_conjunction(file: &str, parts: &[PredAst], diags: &mut Vec<Diagnostic>) {
+    #[derive(Default)]
+    struct Bounds {
+        lo: Option<(f64, bool)>, // (bound, strict)
+        hi: Option<(f64, bool)>,
+        eq: Option<Lit>,
+        reported: bool,
+    }
+    let mut by_attr: Vec<(&str, Bounds)> = Vec::new();
+    for part in parts {
+        let PredAst::Atom {
+            attr,
+            op,
+            lit,
+            lit_span,
+            ..
+        } = part
+        else {
+            continue;
+        };
+        let idx = match by_attr.iter().position(|(a, _)| a == attr) {
+            Some(i) => i,
+            None => {
+                by_attr.push((attr, Bounds::default()));
+                by_attr.len() - 1
+            }
+        };
+        let b = &mut by_attr[idx].1;
+        if b.reported {
+            continue;
+        }
+        let mut conflict = false;
+        match (op, lit.as_num()) {
+            (CmpOp::Eq, _) => {
+                if let Some(prev) = &b.eq {
+                    let same = match (prev.as_num(), lit.as_num()) {
+                        (Some(x), Some(y)) => x == y,
+                        _ => prev == lit,
+                    };
+                    conflict = !same;
+                } else {
+                    b.eq = Some(lit.clone());
+                }
+            }
+            (CmpOp::Ge, Some(v)) if b.lo.is_none_or(|(lo, _)| v > lo) => {
+                b.lo = Some((v, false));
+            }
+            (CmpOp::Gt, Some(v))
+                if b.lo
+                    .is_none_or(|(lo, strict)| v > lo || (v == lo && !strict)) =>
+            {
+                b.lo = Some((v, true));
+            }
+            (CmpOp::Le, Some(v)) if b.hi.is_none_or(|(hi, _)| v < hi) => {
+                b.hi = Some((v, false));
+            }
+            (CmpOp::Lt, Some(v))
+                if b.hi
+                    .is_none_or(|(hi, strict)| v < hi || (v == hi && !strict)) =>
+            {
+                b.hi = Some((v, true));
+            }
+            _ => {}
+        }
+        if !conflict {
+            if let (Some((lo, lo_strict)), Some((hi, hi_strict))) = (b.lo, b.hi) {
+                conflict = lo > hi || (lo == hi && (lo_strict || hi_strict));
+            }
+        }
+        if !conflict {
+            if let Some(v) = b.eq.as_ref().and_then(Lit::as_num) {
+                if b.lo
+                    .is_some_and(|(lo, strict)| v < lo || (v == lo && strict))
+                    || b.hi
+                        .is_some_and(|(hi, strict)| v > hi || (v == hi && strict))
+                {
+                    conflict = true;
+                }
+            }
+        }
+        if conflict {
+            b.reported = true;
+            diags.push(
+                Diagnostic::warning(
+                    "W003",
+                    file,
+                    *lit_span,
+                    format!(
+                        "constraints on `{attr}` in this conjunction are unsatisfiable — the \
+                         aggregate is constantly empty"
+                    ),
+                )
+                .with_help("check the constant bounds; this predicate selects no tuples"),
+            );
+        }
+    }
+}
+
+fn question_expr(file: &str, ast: &QuestionAst, diags: &mut Vec<Diagnostic>) {
+    let Some((text, line, col0)) = &ast.expr else {
+        return;
+    };
+    let names: Vec<&str> = ast.aggs.iter().map(|a| a.name.as_str()).collect();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    let mut depth = 0i64;
+    let mut has_div = false;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '(' {
+            depth += 1;
+            i += 1;
+        } else if c == ')' {
+            depth -= 1;
+            if depth < 0 {
+                diags.push(Diagnostic::error(
+                    "E011",
+                    file,
+                    Span::new(*line, col0 + i + 1, 1),
+                    "unbalanced `)` in expr",
+                ));
+                depth = 0;
+            }
+            i += 1;
+        } else if c == '/' {
+            has_div = true;
+            i += 1;
+        } else if c.is_ascii_digit()
+            || (c == '.' && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit()))
+        {
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                i += 1;
+            }
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            if word != "log" && word != "exp" && !names.contains(&word.as_str()) {
+                let mut d = Diagnostic::error(
+                    "E009",
+                    file,
+                    Span::new(*line, col0 + start + 1, i - start),
+                    format!("expr references undeclared aggregate `{word}`"),
+                );
+                d = match suggest(&word, names.iter().copied()) {
+                    Some(s) => d.with_help(format!("did you mean `{s}`?")),
+                    None => {
+                        d.with_help(format!("declare it first: `agg {word} = count(*) where …`"))
+                    }
+                };
+                diags.push(d);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    if depth > 0 {
+        diags.push(Diagnostic::error(
+            "E011",
+            file,
+            Span::new(*line, col0 + chars.len() + 1, 1),
+            "unclosed `(` in expr",
+        ));
+    }
+    let smoothed = ast.smoothing.is_some_and(|(v, _)| v > 0.0);
+    if has_div && !smoothed {
+        let div_pos = chars.iter().position(|&c| c == '/').unwrap_or(0);
+        diags.push(
+            Diagnostic::warning(
+                "W004",
+                file,
+                Span::new(*line, col0 + div_pos + 1, 1),
+                "expr divides but the question declares no smoothing constant",
+            )
+            .with_help(
+                "an intervention can empty a denominator; add e.g. `smoothing 0.0001` \
+                 (the paper's +epsilon in Section 5)",
+            ),
+        );
+    }
+}
+
+fn question_directives(file: &str, ast: &QuestionAst, diags: &mut Vec<Diagnostic>) {
+    if ast.aggs.is_empty() {
+        diags.push(
+            Diagnostic::error(
+                "E014",
+                file,
+                Span::file(),
+                "question declares no aggregate sub-queries",
+            )
+            .with_help("declare at least one, e.g. `agg n = count(*)`"),
+        );
+    }
+    if ast.dir.is_none() {
+        diags.push(
+            Diagnostic::error(
+                "E014",
+                file,
+                Span::file(),
+                "missing `dir high|low` directive",
+            )
+            .with_help("state whether the question asks why the value is high or low"),
+        );
+    }
+    if ast.expr.is_none() && ast.aggs.len() > 1 {
+        diags.push(
+            Diagnostic::error(
+                "E014",
+                file,
+                Span::file(),
+                format!(
+                    "missing `expr …` directive ({} aggregates declared, so a combining \
+                     expression is required)",
+                    ast.aggs.len()
+                ),
+            )
+            .with_help("combine the aggregates, e.g. `expr (q1 / q2) / (q3 / q4)`"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{parse_question_loose, parse_schema_loose};
+
+    fn check_all(schema: &str, question: &str) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let ast = parse_schema_loose("s.exq", schema, &mut diags);
+        let table = check_schema("s.exq", &ast, &mut diags);
+        let qast = parse_question_loose("q.exq", question, &mut diags);
+        check_question("q.exq", &qast, &table, &mut diags);
+        diags
+    }
+
+    const GOOD_SCHEMA: &str = "\
+relation Author(id: str key, name: str, dom: str)
+relation Authored(id: str key, pubid: str key)
+relation Publication(pubid: str key, year: int, venue: str)
+fk Authored(id) -> Author
+fk Authored(pubid) <-> Publication
+";
+
+    #[test]
+    fn clean_inputs_are_clean() {
+        let diags = check_all(
+            GOOD_SCHEMA,
+            "agg a = count(*) where venue = 'SIGMOD' and year >= 2000\n\
+             agg b = count(*) where dom = 'edu'\n\
+             expr a / b\ndir high\nsmoothing 0.0001\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_and_ambiguous_attributes() {
+        let diags = check_all(
+            GOOD_SCHEMA,
+            "agg a = count(*) where yearr = 2000 and id = 'x' and Publication.veue = 'y'\n\
+             dir high\n",
+        );
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["E002", "E013", "E002"]);
+        assert_eq!(diags[0].help.as_deref(), Some("did you mean `year`?"));
+        assert!(diags[1].help.as_deref().unwrap().contains("Author.id"));
+        assert!(diags[2].message.contains("Publication.veue"));
+    }
+
+    #[test]
+    fn predicate_type_mismatches() {
+        let diags = check_all(
+            GOOD_SCHEMA,
+            "agg a = count(*) where year = 'SIGMOD' and venue = 2004\ndir high\n",
+        );
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["E008", "E008"]);
+        assert!(diags[1].help.as_deref().unwrap().contains("'2004'"));
+    }
+
+    #[test]
+    fn fk_cycle_and_prop_311() {
+        let schema = "\
+relation A(id: int key)
+relation B(id: int key, a: int, c: int)
+relation C(id: int key)
+fk B(a) <-> A
+fk B(id) <-> C
+fk C(id) -> A
+";
+        let mut diags = Vec::new();
+        let ast = parse_schema_loose("s.exq", schema, &mut diags);
+        check_schema("s.exq", &ast, &mut diags);
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"W001"), "{codes:?}");
+        assert!(codes.contains(&"E007"), "{codes:?}");
+    }
+
+    #[test]
+    fn disconnected_schema_warns() {
+        let schema = "relation A(id: int key)\nrelation B(id: int key)\n";
+        let mut diags = Vec::new();
+        let ast = parse_schema_loose("s.exq", schema, &mut diags);
+        check_schema("s.exq", &ast, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "W002");
+        assert_eq!(diags[0].span.line, 2);
+    }
+
+    #[test]
+    fn fk_arity_and_type_mismatches() {
+        let schema = "\
+relation A(x: int key, y: int key)
+relation B(a: str key, b: int)
+fk B(a) -> A
+fk B(a, b) -> A
+";
+        let mut diags = Vec::new();
+        let ast = parse_schema_loose("s.exq", schema, &mut diags);
+        check_schema("s.exq", &ast, &mut diags);
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        // fk 1: arity (1 vs 2). fk 2: `a` is str vs x int; second
+        // union-find edge on the same pair also closes a cycle.
+        assert!(codes.contains(&"E005"), "{codes:?}");
+        assert!(codes.contains(&"E006"), "{codes:?}");
+        assert!(codes.contains(&"E007"), "{codes:?}");
+    }
+
+    #[test]
+    fn unsatisfiable_range_detected() {
+        let diags = check_all(
+            GOOD_SCHEMA,
+            "agg a = count(*) where year >= 2007 and year <= 2004\n\
+             agg b = count(*) where year >= 2000 and year <= 2004\n\
+             agg c = count(*) where venue = 'a' and venue = 'b'\n\
+             agg d = count(*) where year = 2005 and year < 2005\n\
+             expr a / b + c / d\ndir high\nsmoothing 1\n",
+        );
+        let w003 = diags.iter().filter(|d| d.code == "W003").count();
+        assert_eq!(w003, 3, "{diags:?}");
+    }
+
+    #[test]
+    fn expr_checks() {
+        let diags = check_all(
+            GOOD_SCHEMA,
+            "agg alpha = count(*)\nagg beta = count(*)\nexpr alpa / beta\ndir low\n",
+        );
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"E009"), "{codes:?}");
+        assert!(codes.contains(&"W004"), "{codes:?}");
+        let e9 = diags.iter().find(|d| d.code == "E009").unwrap();
+        assert_eq!(e9.help.as_deref(), Some("did you mean `alpha`?"));
+    }
+
+    #[test]
+    fn missing_directives() {
+        let diags = check_all(GOOD_SCHEMA, "agg a = count(*)\nagg b = count(*)\n");
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["E014", "E014"]); // missing dir, missing expr
+    }
+
+    #[test]
+    fn sum_over_string_flagged() {
+        let diags = check_all(GOOD_SCHEMA, "agg s = sum(venue)\ndir high\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "E008");
+    }
+
+    #[test]
+    fn cube_budget_warning() {
+        let cols: Vec<String> = (0..20).map(|i| format!("c{i}: int")).collect();
+        let schema = format!("relation Wide(id: int key, {})\n", cols.join(", "));
+        let mut diags = Vec::new();
+        let ast = parse_schema_loose("s.exq", &schema, &mut diags);
+        check_schema("s.exq", &ast, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "W005");
+    }
+
+    #[test]
+    fn symbol_table_from_real_schema() {
+        let schema = exq_relstore::parse::parse_schema(GOOD_SCHEMA).unwrap();
+        let table = SymbolTable::from_schema(&schema);
+        assert_eq!(table.relations.len(), 3);
+        let mut diags = Vec::new();
+        let qast = parse_question_loose("q.exq", "agg a = count(*)\ndir high\n", &mut diags);
+        check_question("q.exq", &qast, &table, &mut diags);
+        assert!(diags.is_empty());
+    }
+}

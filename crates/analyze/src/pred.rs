@@ -1,0 +1,516 @@
+//! Loose predicate parser: same grammar as
+//! `exq_relstore::parse::parse_predicate`, but attribute references are
+//! *not* resolved against a schema — atoms keep their raw text and spans
+//! so the semantic passes can report unknown attributes, ambiguity, and
+//! type mismatches with precise locations.
+
+use crate::diag::{Diagnostic, Span};
+use exq_relstore::CmpOp;
+
+/// A literal in a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    /// String literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl Lit {
+    /// Human-readable kind for messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Lit::Str(_) => "string",
+            Lit::Int(_) => "integer",
+            Lit::Float(_) => "float",
+            Lit::Bool(_) => "boolean",
+            Lit::Null => "null",
+        }
+    }
+
+    /// Numeric view, when the literal is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Lit::Int(i) => Some(*i as f64),
+            Lit::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+}
+
+/// Unresolved predicate AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredAst {
+    /// `attr op literal`.
+    Atom {
+        /// Attribute text (`attr` or `Rel.attr`).
+        attr: String,
+        /// Where the attribute appears.
+        attr_span: Span,
+        /// Comparison operator.
+        op: CmpOp,
+        /// The literal.
+        lit: Lit,
+        /// Where the literal appears.
+        lit_span: Span,
+    },
+    /// Conjunction.
+    And(Vec<PredAst>),
+    /// Disjunction.
+    Or(Vec<PredAst>),
+    /// Negation.
+    Not(Box<PredAst>),
+    /// `true` / `false`.
+    Const(bool),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Op(CmpOp),
+    LParen,
+    RParen,
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    Null,
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize, usize)>, // token, col, char length
+}
+
+fn lex(
+    text: &str,
+    file: &str,
+    line: usize,
+    col0: usize,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<Lexer> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut ok = true;
+    while i < chars.len() {
+        let c = chars[i];
+        let col = i + 1;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                toks.push((Tok::LParen, col, 1));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, col, 1));
+                i += 1;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut s = String::new();
+                let start = i;
+                i += 1;
+                let mut closed = false;
+                while i < chars.len() {
+                    if chars[i] == quote {
+                        if i + 1 < chars.len() && chars[i + 1] == quote {
+                            s.push(quote);
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        closed = true;
+                        break;
+                    }
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if !closed {
+                    diags.push(Diagnostic::error(
+                        "E011",
+                        file,
+                        Span::new(line, col0 + col, i - start),
+                        "unterminated string literal",
+                    ));
+                    ok = false;
+                    break;
+                }
+                toks.push((Tok::Str(s), col, i - start));
+            }
+            '=' => {
+                toks.push((Tok::Op(CmpOp::Eq), col, 1));
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                toks.push((Tok::Op(CmpOp::Ne), col, 2));
+                i += 2;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    toks.push((Tok::Op(CmpOp::Le), col, 2));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    toks.push((Tok::Op(CmpOp::Ne), col, 2));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Op(CmpOp::Lt), col, 1));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    toks.push((Tok::Op(CmpOp::Ge), col, 2));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Op(CmpOp::Gt), col, 1));
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1;
+                let mut is_float = false;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    is_float |= chars[i] == '.';
+                    i += 1;
+                }
+                let t: String = chars[start..i].iter().collect();
+                let tok = if is_float {
+                    t.parse().map(Tok::Float).map_err(|_| ())
+                } else {
+                    t.parse().map(Tok::Int).map_err(|_| ())
+                };
+                match tok {
+                    Ok(tok) => toks.push((tok, col, i - start)),
+                    Err(_) => {
+                        diags.push(Diagnostic::error(
+                            "E011",
+                            file,
+                            Span::new(line, col0 + col, i - start),
+                            format!("bad number `{t}`"),
+                        ));
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                let tok = match word.to_ascii_lowercase().as_str() {
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "not" => Tok::Not,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "null" => Tok::Null,
+                    _ => Tok::Ident(word),
+                };
+                toks.push((tok, col, i - start));
+            }
+            other => {
+                diags.push(Diagnostic::error(
+                    "E011",
+                    file,
+                    Span::new(line, col0 + col, 1),
+                    format!("unexpected character `{other}` in predicate"),
+                ));
+                ok = false;
+                break;
+            }
+        }
+    }
+    ok.then_some(Lexer { toks })
+}
+
+struct Parser<'a> {
+    toks: Vec<(Tok, usize, usize)>,
+    pos: usize,
+    file: &'a str,
+    line: usize,
+    col0: usize,
+    end_col: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _, _)| t)
+    }
+
+    fn here(&self) -> Span {
+        match self.toks.get(self.pos) {
+            Some(&(_, col, len)) => Span::new(self.line, self.col0 + col, len),
+            None => Span::new(self.line, self.col0 + self.end_col, 1),
+        }
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::error("E011", self.file, span, message)
+    }
+
+    fn expr(&mut self) -> Result<PredAst, Diagnostic> {
+        let mut parts = vec![self.conjunction()?];
+        while self.peek() == Some(&Tok::Or) {
+            self.next();
+            parts.push(self.conjunction()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            PredAst::Or(parts)
+        })
+    }
+
+    fn conjunction(&mut self) -> Result<PredAst, Diagnostic> {
+        let mut parts = vec![self.unary()?];
+        while self.peek() == Some(&Tok::And) {
+            self.next();
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("non-empty")
+        } else {
+            PredAst::And(parts)
+        })
+    }
+
+    fn unary(&mut self) -> Result<PredAst, Diagnostic> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.next();
+                Ok(PredAst::Not(Box::new(self.unary()?)))
+            }
+            Some(Tok::LParen) => {
+                self.next();
+                let inner = self.expr()?;
+                match self.peek() {
+                    Some(Tok::RParen) => {
+                        self.next();
+                        Ok(inner)
+                    }
+                    _ => Err(self.err(self.here(), "expected `)`")),
+                }
+            }
+            Some(Tok::True) => {
+                self.next();
+                Ok(PredAst::Const(true))
+            }
+            Some(Tok::False) => {
+                self.next();
+                Ok(PredAst::Const(false))
+            }
+            _ => self.comparison(),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<PredAst, Diagnostic> {
+        let attr_span = self.here();
+        let attr = match self.next() {
+            Some(Tok::Ident(name)) => name,
+            other => {
+                return Err(self.err(
+                    attr_span,
+                    format!("expected attribute, got {}", tok_name(other.as_ref())),
+                ))
+            }
+        };
+        let op_span = self.here();
+        let op = match self.next() {
+            Some(Tok::Op(op)) => op,
+            other => {
+                return Err(self.err(
+                    op_span,
+                    format!(
+                        "expected comparison operator, got {}",
+                        tok_name(other.as_ref())
+                    ),
+                ))
+            }
+        };
+        let lit_span = self.here();
+        let lit = match self.next() {
+            Some(Tok::Str(s)) => Lit::Str(s),
+            Some(Tok::Int(i)) => Lit::Int(i),
+            Some(Tok::Float(f)) => Lit::Float(f),
+            Some(Tok::True) => Lit::Bool(true),
+            Some(Tok::False) => Lit::Bool(false),
+            Some(Tok::Null) => Lit::Null,
+            other => {
+                return Err(self.err(
+                    lit_span,
+                    format!("expected literal, got {}", tok_name(other.as_ref())),
+                ))
+            }
+        };
+        Ok(PredAst::Atom {
+            attr,
+            attr_span,
+            op,
+            lit,
+            lit_span,
+        })
+    }
+}
+
+fn tok_name(t: Option<&Tok>) -> String {
+    match t {
+        None => "end of input".to_string(),
+        Some(Tok::Ident(w)) => format!("`{w}`"),
+        Some(Tok::Str(_)) => "a string literal".to_string(),
+        Some(Tok::Int(i)) => format!("`{i}`"),
+        Some(Tok::Float(f)) => format!("`{f}`"),
+        Some(Tok::Op(op)) => format!("`{op}`"),
+        Some(Tok::LParen) => "`(`".to_string(),
+        Some(Tok::RParen) => "`)`".to_string(),
+        Some(Tok::And) => "`and`".to_string(),
+        Some(Tok::Or) => "`or`".to_string(),
+        Some(Tok::Not) => "`not`".to_string(),
+        Some(Tok::True) => "`true`".to_string(),
+        Some(Tok::False) => "`false`".to_string(),
+        Some(Tok::Null) => "`null`".to_string(),
+    }
+}
+
+/// Parse predicate text at `line` (with `col0` char offset) into an
+/// unresolved AST. Syntax faults are pushed as `E011` diagnostics and
+/// yield `None` — semantic passes then skip this predicate.
+pub fn parse_pred_loose(
+    file: &str,
+    text: &str,
+    line: usize,
+    col0: usize,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<PredAst> {
+    let lexer = lex(text, file, line, col0, diags)?;
+    if lexer.toks.is_empty() {
+        return Some(PredAst::Const(true));
+    }
+    let mut parser = Parser {
+        toks: lexer.toks,
+        pos: 0,
+        file,
+        line,
+        col0,
+        end_col: text.chars().count() + 1,
+    };
+    match parser.expr() {
+        Ok(ast) => {
+            if parser.pos != parser.toks.len() {
+                let span = parser.here();
+                diags.push(parser.err(span, "trailing tokens after predicate"));
+                return None;
+            }
+            Some(ast)
+        }
+        Err(d) => {
+            diags.push(d);
+            None
+        }
+    }
+}
+
+/// Visit every atom in the AST.
+pub fn for_each_atom<'a>(ast: &'a PredAst, f: &mut impl FnMut(&'a PredAst)) {
+    match ast {
+        PredAst::Atom { .. } => f(ast),
+        PredAst::And(parts) | PredAst::Or(parts) => {
+            for p in parts {
+                for_each_atom(p, f);
+            }
+        }
+        PredAst::Not(inner) => for_each_atom(inner, f),
+        PredAst::Const(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> (Option<PredAst>, Vec<Diagnostic>) {
+        let mut diags = Vec::new();
+        let ast = parse_pred_loose("q.exq", text, 3, 10, &mut diags);
+        (ast, diags)
+    }
+
+    #[test]
+    fn parses_conjunctions() {
+        let (ast, diags) = parse("venue = 'SIGMOD' and year >= 2000");
+        assert!(diags.is_empty());
+        let Some(PredAst::And(parts)) = ast else {
+            panic!("expected And")
+        };
+        assert_eq!(parts.len(), 2);
+        let PredAst::Atom { attr, lit, .. } = &parts[0] else {
+            panic!("expected Atom")
+        };
+        assert_eq!(attr, "venue");
+        assert_eq!(*lit, Lit::Str("SIGMOD".to_string()));
+    }
+
+    #[test]
+    fn spans_are_offset() {
+        let (ast, _) = parse("year >= 2000");
+        let Some(PredAst::Atom {
+            attr_span,
+            lit_span,
+            ..
+        }) = ast
+        else {
+            panic!("expected Atom")
+        };
+        assert_eq!(attr_span, Span::new(3, 11, 4)); // col0 10 + col 1
+        assert_eq!(lit_span, Span::new(3, 19, 4));
+    }
+
+    #[test]
+    fn syntax_faults_are_reported_not_fatal() {
+        for text in ["venue =", "= 'x'", "(a = 1", "a = 1 extra", "'open"] {
+            let (ast, diags) = parse(text);
+            assert!(ast.is_none(), "`{text}`");
+            assert_eq!(diags.len(), 1, "`{text}`");
+            assert_eq!(diags[0].code, "E011");
+            assert!(diags[0].span.col > 10, "`{text}` col {}", diags[0].span.col);
+        }
+    }
+
+    #[test]
+    fn empty_is_true() {
+        let (ast, diags) = parse("   ");
+        assert_eq!(ast, Some(PredAst::Const(true)));
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn atom_visitor_reaches_nested() {
+        let (ast, _) = parse("not (a = 1 or (b = 2 and c = 3))");
+        let mut n = 0;
+        for_each_atom(&ast.unwrap(), &mut |_| n += 1);
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! Diagnostic rendering: rustc-style pretty terminal output and a
+//! machine-readable JSON form (hand-rolled — the workspace has no serde).
+
+use crate::diag::{Diagnostic, Severity};
+use crate::SourceFile;
+
+/// Render diagnostics rustc-style, quoting the offending source line
+/// with a caret underline:
+///
+/// ```text
+/// error[E002]: unknown attribute `yearr`
+///   --> q.exq:3:34
+///    |
+///  3 | agg a = count(*) where yearr = 2000
+///    |                        ^^^^^ unknown attribute
+///    = help: did you mean `year`?
+/// ```
+pub fn render_pretty(diags: &[Diagnostic], sources: &[&SourceFile]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code, d.message);
+        let line_text = sources
+            .iter()
+            .find(|s| s.name == d.file)
+            .and_then(|s| s.text.lines().nth(d.span.line.wrapping_sub(1)));
+        if d.span.line == 0 {
+            let _ = writeln!(out, "  --> {}", d.file);
+        } else {
+            let _ = writeln!(out, "  --> {}:{}:{}", d.file, d.span.line, d.span.col);
+        }
+        if let Some(text) = line_text {
+            let gutter = d.span.line.to_string();
+            let pad = " ".repeat(gutter.len());
+            let _ = writeln!(out, " {pad} |");
+            let _ = writeln!(out, " {gutter} | {text}");
+            let indent = " ".repeat(d.span.col.saturating_sub(1));
+            let carets = "^".repeat(d.span.len.max(1));
+            let _ = writeln!(out, " {pad} | {indent}{carets}");
+        }
+        if let Some(help) = &d.help {
+            let _ = writeln!(out, "   = help: {help}");
+        }
+        let _ = writeln!(out);
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    match (errors, warnings) {
+        (0, 0) => out.push_str("no problems found\n"),
+        (0, w) => {
+            let _ = writeln!(out, "{w} warning{} emitted", plural(w));
+        }
+        (e, 0) => {
+            let _ = writeln!(out, "{e} error{} emitted", plural(e));
+        }
+        (e, w) => {
+            let _ = writeln!(
+                out,
+                "{e} error{} and {w} warning{} emitted",
+                plural(e),
+                plural(w)
+            );
+        }
+    }
+    out
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Render diagnostics as a JSON object:
+///
+/// ```json
+/// {"errors": 1, "warnings": 0, "diagnostics": [
+///   {"code": "E002", "severity": "error", "file": "q.exq",
+///    "line": 3, "col": 34, "len": 5,
+///    "message": "unknown attribute `yearr`",
+///    "help": "did you mean `year`?"}
+/// ]}
+/// ```
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{");
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    out.push_str(&format!(
+        "\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+        errors,
+        diags.len() - errors
+    ));
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"code\":{},\"severity\":{},\"file\":{},\"line\":{},\"col\":{},\"len\":{},\"message\":{}",
+            json_str(d.code),
+            json_str(&d.severity.to_string()),
+            json_str(&d.file),
+            d.span.line,
+            d.span.col,
+            d.span.len,
+            json_str(&d.message),
+        ));
+        if let Some(help) = &d.help {
+            out.push_str(&format!(",\"help\":{}", json_str(help)));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Span;
+    use crate::SourceKind;
+
+    fn sample() -> (Vec<Diagnostic>, SourceFile) {
+        let src = SourceFile {
+            name: "q.exq".to_string(),
+            text: "agg a = count(*) where yearr = 2000\ndir high\n".to_string(),
+            kind: SourceKind::Question,
+        };
+        let d = Diagnostic::error(
+            "E002",
+            "q.exq",
+            Span::new(1, 24, 5),
+            "unknown attribute `yearr`",
+        )
+        .with_help("did you mean `year`?");
+        (vec![d], src)
+    }
+
+    #[test]
+    fn pretty_quotes_source_with_carets() {
+        let (diags, src) = sample();
+        let text = render_pretty(&diags, &[&src]);
+        assert!(
+            text.contains("error[E002]: unknown attribute `yearr`"),
+            "{text}"
+        );
+        assert!(text.contains("--> q.exq:1:24"), "{text}");
+        assert!(
+            text.contains("agg a = count(*) where yearr = 2000"),
+            "{text}"
+        );
+        assert!(text.contains("^^^^^"), "{text}");
+        assert!(text.contains("= help: did you mean `year`?"), "{text}");
+        assert!(text.contains("1 error emitted"), "{text}");
+        // Caret is under the right column.
+        let caret_line = text.lines().find(|l| l.contains("^^^^^")).unwrap();
+        let src_line = text.lines().find(|l| l.contains("agg a")).unwrap();
+        assert_eq!(
+            caret_line.find('^').unwrap() - caret_line.find('|').unwrap(),
+            src_line.find("yearr").unwrap() - src_line.find('|').unwrap()
+        );
+    }
+
+    #[test]
+    fn json_is_escaped_and_structured() {
+        let (mut diags, _) = sample();
+        diags[0].message = "quote \" backslash \\ newline \n".to_string();
+        let json = render_json(&diags);
+        assert!(json.starts_with("{\"errors\":1,\"warnings\":0,"), "{json}");
+        assert!(json.contains("\\\""), "{json}");
+        assert!(json.contains("\\\\"), "{json}");
+        assert!(json.contains("\\n"), "{json}");
+        assert!(json.contains("\"line\":1,\"col\":24,\"len\":5"), "{json}");
+        assert!(json.contains("\"help\":\"did you mean `year`?\""), "{json}");
+    }
+
+    #[test]
+    fn empty_run_reports_no_problems() {
+        let text = render_pretty(&[], &[]);
+        assert!(text.contains("no problems found"));
+        assert_eq!(
+            render_json(&[]),
+            "{\"errors\":0,\"warnings\":0,\"diagnostics\":[]}"
+        );
+    }
+}

@@ -1,0 +1,611 @@
+//! Tolerant (loose) parsers for the `.exq` schema and question DSLs.
+//!
+//! The strict parsers in `exq_relstore::parse` / `exq_core::qparse` stop
+//! at the first fault — correct for the execution path, useless for a
+//! checker that should report *every* problem in one run. The loose
+//! parsers here never fail: syntax faults become `E010`/`E011`
+//! diagnostics and parsing resumes on the next line, producing a partial
+//! AST the semantic passes can still analyze.
+
+use crate::diag::{Diagnostic, Span};
+use exq_relstore::ValueType;
+
+/// 1-based char column of `sub` within `line` (`sub` must be a subslice
+/// of `line`; every fragment below comes from slicing the raw line).
+pub(crate) fn col_of(line: &str, sub: &str) -> usize {
+    let offset = (sub.as_ptr() as usize).saturating_sub(line.as_ptr() as usize);
+    if offset > line.len() {
+        return 1;
+    }
+    line[..offset].chars().count() + 1
+}
+
+/// Span of the subslice `sub` of `line` on line `line_no`.
+pub(crate) fn span_of(line_no: usize, line: &str, sub: &str) -> Span {
+    Span::new(line_no, col_of(line, sub), sub.chars().count())
+}
+
+/// Cut `#` comments (outside quotes).
+pub(crate) fn strip_comment(line: &str) -> &str {
+    let mut in_quote: Option<char> = None;
+    for (i, c) in line.char_indices() {
+        match in_quote {
+            Some(q) if c == q => in_quote = None,
+            Some(_) => {}
+            None if c == '\'' || c == '"' => in_quote = Some(c),
+            None if c == '#' => return &line[..i],
+            None => {}
+        }
+    }
+    line
+}
+
+// ---------------------------------------------------------------------
+// Schema AST
+// ---------------------------------------------------------------------
+
+/// One `name: type [key]` column.
+#[derive(Debug, Clone)]
+pub struct ColDecl {
+    /// Column name.
+    pub name: String,
+    /// Where the name appears.
+    pub span: Span,
+    /// Declared type; `None` when the type token was invalid (already
+    /// reported; treated as `any` downstream).
+    pub ty: Option<ValueType>,
+    /// Member of the primary key?
+    pub key: bool,
+}
+
+/// One `relation Name(…)` declaration.
+#[derive(Debug, Clone)]
+pub struct RelDecl {
+    /// Relation name.
+    pub name: String,
+    /// Where the name appears.
+    pub span: Span,
+    /// The columns, in declaration order.
+    pub columns: Vec<ColDecl>,
+}
+
+/// One `fk From(cols) -> To` / `<->` declaration.
+#[derive(Debug, Clone)]
+pub struct FkDecl {
+    /// Source relation name.
+    pub from: String,
+    /// Where the source name appears.
+    pub from_span: Span,
+    /// Source columns with their spans.
+    pub cols: Vec<(String, Span)>,
+    /// `<->` (back-and-forth) rather than `->`.
+    pub back_and_forth: bool,
+    /// Target relation name.
+    pub to: String,
+    /// Where the target name appears.
+    pub to_span: Span,
+}
+
+/// Loose schema parse result.
+#[derive(Debug, Default)]
+pub struct SchemaAst {
+    /// Every syntactically recognizable relation declaration.
+    pub relations: Vec<RelDecl>,
+    /// Every syntactically recognizable foreign key.
+    pub fks: Vec<FkDecl>,
+}
+
+/// Parse schema text, pushing `E010` diagnostics for unparsable lines
+/// and recovering on the next one.
+pub fn parse_schema_loose(file: &str, text: &str, diags: &mut Vec<Diagnostic>) -> SchemaAst {
+    let mut ast = SchemaAst::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("relation ") {
+            if let Some(rel) = parse_relation_loose(file, raw, rest.trim(), line_no, diags) {
+                ast.relations.push(rel);
+            }
+        } else if let Some(rest) = line.strip_prefix("fk ") {
+            if let Some(fk) = parse_fk_loose(file, raw, rest.trim(), line_no, diags) {
+                ast.fks.push(fk);
+            }
+        } else {
+            let word = line.split_whitespace().next().unwrap_or(line);
+            let mut d = Diagnostic::error(
+                "E010",
+                file,
+                span_of(line_no, raw, word),
+                format!("expected `relation` or `fk`, got `{word}`"),
+            );
+            if let Some(s) = crate::diag::suggest(word, ["relation", "fk"]) {
+                d = d.with_help(format!("did you mean `{s}`?"));
+            }
+            diags.push(d);
+        }
+    }
+    ast
+}
+
+fn parse_relation_loose(
+    file: &str,
+    raw: &str,
+    rest: &str,
+    line_no: usize,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<RelDecl> {
+    let Some(open) = rest.find('(') else {
+        diags.push(Diagnostic::error(
+            "E010",
+            file,
+            span_of(line_no, raw, rest),
+            "expected `(` after relation name",
+        ));
+        return None;
+    };
+    let name = rest[..open].trim();
+    if name.is_empty() {
+        diags.push(Diagnostic::error(
+            "E010",
+            file,
+            span_of(line_no, raw, rest),
+            "missing relation name",
+        ));
+        return None;
+    }
+    let body = if let Some(b) = rest[open + 1..].strip_suffix(')') {
+        b
+    } else {
+        diags.push(
+            Diagnostic::error(
+                "E010",
+                file,
+                Span::new(line_no, col_of(raw, rest) + rest.chars().count(), 1),
+                "expected `)` at end of relation declaration",
+            )
+            .with_help("close the column list with `)`"),
+        );
+        // Recover: analyze the columns that are there.
+        &rest[open + 1..]
+    };
+    let mut columns = Vec::new();
+    for col_spec in body.split(',') {
+        let col_spec = col_spec.trim();
+        if col_spec.is_empty() {
+            diags.push(Diagnostic::error(
+                "E010",
+                file,
+                span_of(line_no, raw, body),
+                "empty column declaration",
+            ));
+            continue;
+        }
+        let Some((col_name, col_rest)) = col_spec.split_once(':') else {
+            diags.push(
+                Diagnostic::error(
+                    "E010",
+                    file,
+                    span_of(line_no, raw, col_spec),
+                    format!("expected `name: type` in `{col_spec}`"),
+                )
+                .with_help("declare columns as `name: str|int|float|bool|any [key]`"),
+            );
+            continue;
+        };
+        let col_name = col_name.trim();
+        let mut parts = col_rest.split_whitespace();
+        let ty = match parts.next() {
+            Some("str") => Some(ValueType::Str),
+            Some("int") => Some(ValueType::Int),
+            Some("float") => Some(ValueType::Float),
+            Some("bool") => Some(ValueType::Bool),
+            Some("any") => Some(ValueType::Any),
+            Some(other) => {
+                let mut d = Diagnostic::error(
+                    "E010",
+                    file,
+                    span_of(line_no, raw, other),
+                    format!("unknown type `{other}`"),
+                );
+                if let Some(s) = crate::diag::suggest(other, ["str", "int", "float", "bool", "any"])
+                {
+                    d = d.with_help(format!("did you mean `{s}`?"));
+                }
+                diags.push(d);
+                None
+            }
+            None => {
+                diags.push(Diagnostic::error(
+                    "E010",
+                    file,
+                    span_of(line_no, raw, col_spec),
+                    format!("missing type in `{col_spec}`"),
+                ));
+                None
+            }
+        };
+        let key = match parts.next() {
+            None => false,
+            Some("key") => true,
+            Some(other) => {
+                diags.push(
+                    Diagnostic::error(
+                        "E010",
+                        file,
+                        span_of(line_no, raw, other),
+                        format!("unexpected token `{other}` after type"),
+                    )
+                    .with_help("only `key` may follow the column type"),
+                );
+                false
+            }
+        };
+        if let Some(extra) = parts.next() {
+            diags.push(Diagnostic::error(
+                "E010",
+                file,
+                span_of(line_no, raw, extra),
+                format!("trailing tokens in `{col_spec}`"),
+            ));
+        }
+        columns.push(ColDecl {
+            name: col_name.to_string(),
+            span: span_of(line_no, raw, col_name),
+            ty,
+            key,
+        });
+    }
+    Some(RelDecl {
+        name: name.to_string(),
+        span: span_of(line_no, raw, name),
+        columns,
+    })
+}
+
+fn parse_fk_loose(
+    file: &str,
+    raw: &str,
+    rest: &str,
+    line_no: usize,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<FkDecl> {
+    let (head, target, back_and_forth) = if let Some((h, t)) = rest.split_once("<->") {
+        (h.trim(), t.trim(), true)
+    } else if let Some((h, t)) = rest.split_once("->") {
+        (h.trim(), t.trim(), false)
+    } else {
+        diags.push(
+            Diagnostic::error(
+                "E010",
+                file,
+                span_of(line_no, raw, rest),
+                "expected `->` or `<->` in foreign key",
+            )
+            .with_help("declare foreign keys as `fk From(col, …) -> To` (or `<->`)"),
+        );
+        return None;
+    };
+    if target.is_empty() {
+        diags.push(Diagnostic::error(
+            "E010",
+            file,
+            Span::new(line_no, col_of(raw, rest) + rest.chars().count(), 1),
+            "missing foreign-key target relation",
+        ));
+        return None;
+    }
+    let Some(open) = head.find('(') else {
+        diags.push(Diagnostic::error(
+            "E010",
+            file,
+            span_of(line_no, raw, head),
+            "expected `(columns)` after relation",
+        ));
+        return None;
+    };
+    let body = head[open + 1..].strip_suffix(')').unwrap_or_else(|| {
+        diags.push(Diagnostic::error(
+            "E010",
+            file,
+            Span::new(line_no, col_of(raw, head) + head.chars().count(), 1),
+            "expected `)` after foreign-key columns",
+        ));
+        &head[open + 1..]
+    });
+    let from = head[..open].trim();
+    let cols: Vec<(String, Span)> = body
+        .split(',')
+        .map(str::trim)
+        .filter(|c| !c.is_empty())
+        .map(|c| (c.to_string(), span_of(line_no, raw, c)))
+        .collect();
+    if from.is_empty() || cols.is_empty() {
+        diags.push(Diagnostic::error(
+            "E010",
+            file,
+            span_of(line_no, raw, head),
+            "malformed foreign-key declaration",
+        ));
+        return None;
+    }
+    Some(FkDecl {
+        from: from.to_string(),
+        from_span: span_of(line_no, raw, from),
+        cols,
+        back_and_forth,
+        to: target.to_string(),
+        to_span: span_of(line_no, raw, target),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Question AST
+// ---------------------------------------------------------------------
+
+/// One `agg name = func(arg) [where …]` declaration.
+#[derive(Debug, Clone)]
+pub struct AggDecl {
+    /// The aggregate's name (referenced from `expr`).
+    pub name: String,
+    /// Where the name appears.
+    pub name_span: Span,
+    /// Function name, lowercased (`count`, `sum`, …).
+    pub func: String,
+    /// Where the function call appears.
+    pub func_span: Span,
+    /// Argument text (`*`, `Attr`, `distinct Attr`), with its span.
+    pub arg: Option<(String, Span)>,
+    /// `where` clause: predicate text, source line, and 0-based char
+    /// offset of the text within that line (for error columns).
+    pub selection: Option<(String, usize, usize)>,
+}
+
+/// `dir high|low`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirDecl {
+    /// Question asks why the value is high.
+    High,
+    /// Question asks why the value is low.
+    Low,
+}
+
+/// Loose question parse result.
+#[derive(Debug, Default)]
+pub struct QuestionAst {
+    /// Aggregate declarations in order.
+    pub aggs: Vec<AggDecl>,
+    /// `expr` text, its line, and the 0-based char offset within it.
+    pub expr: Option<(String, usize, usize)>,
+    /// `dir` directive with its span.
+    pub dir: Option<(DirDecl, Span)>,
+    /// `smoothing` constant with its span.
+    pub smoothing: Option<(f64, Span)>,
+    /// Number of lines in the file (for end-of-file spans).
+    pub lines: usize,
+}
+
+/// Parse question text, pushing `E011` diagnostics for unparsable lines
+/// and recovering on the next one.
+pub fn parse_question_loose(file: &str, text: &str, diags: &mut Vec<Diagnostic>) -> QuestionAst {
+    let mut ast = QuestionAst::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        ast.lines = line_no;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("agg ") {
+            parse_agg_loose(file, raw, rest, line_no, diags, &mut ast);
+        } else if let Some(rest) = line.strip_prefix("expr ") {
+            let t = rest.trim();
+            ast.expr = Some((t.to_string(), line_no, col_of(raw, t) - 1));
+        } else if let Some(rest) = line.strip_prefix("dir ") {
+            let t = rest.trim();
+            match t {
+                "high" => ast.dir = Some((DirDecl::High, span_of(line_no, raw, t))),
+                "low" => ast.dir = Some((DirDecl::Low, span_of(line_no, raw, t))),
+                other => diags.push(
+                    Diagnostic::error(
+                        "E011",
+                        file,
+                        span_of(line_no, raw, t),
+                        format!("direction must be high|low, got `{other}`"),
+                    )
+                    .with_help("write `dir high` or `dir low`"),
+                ),
+            }
+        } else if let Some(rest) = line.strip_prefix("smoothing ") {
+            let t = rest.trim();
+            match t.parse::<f64>() {
+                Ok(v) => ast.smoothing = Some((v, span_of(line_no, raw, t))),
+                Err(_) => diags.push(Diagnostic::error(
+                    "E011",
+                    file,
+                    span_of(line_no, raw, t),
+                    format!("bad smoothing constant `{t}`"),
+                )),
+            }
+        } else {
+            let word = line.split_whitespace().next().unwrap_or(line);
+            let mut d = Diagnostic::error(
+                "E011",
+                file,
+                span_of(line_no, raw, word),
+                format!("expected agg/expr/dir/smoothing, got `{word}`"),
+            );
+            if let Some(s) = crate::diag::suggest(word, ["agg", "expr", "dir", "smoothing"]) {
+                d = d.with_help(format!("did you mean `{s}`?"));
+            }
+            diags.push(d);
+        }
+    }
+    ast
+}
+
+fn parse_agg_loose(
+    file: &str,
+    raw: &str,
+    rest: &str,
+    line_no: usize,
+    diags: &mut Vec<Diagnostic>,
+    ast: &mut QuestionAst,
+) {
+    let Some((name, spec)) = rest.split_once('=') else {
+        diags.push(
+            Diagnostic::error(
+                "E011",
+                file,
+                span_of(line_no, raw, rest),
+                "expected `agg name = function(...)`",
+            )
+            .with_help("e.g. `agg q1 = count(*) where year >= 2000`"),
+        );
+        return;
+    };
+    let name = name.trim();
+    if name.is_empty() {
+        diags.push(Diagnostic::error(
+            "E011",
+            file,
+            span_of(line_no, raw, rest),
+            "missing aggregate name before `=`",
+        ));
+        return;
+    }
+    let spec = spec.trim();
+    let (func_part, where_part) = match split_where(spec) {
+        Some((f, w)) => (f.trim(), Some(w.trim())),
+        None => (spec, None),
+    };
+    let (func, arg) = match func_part.find('(') {
+        Some(open) => {
+            let fname = func_part[..open].trim();
+            let arg_text = func_part[open + 1..]
+                .strip_suffix(')')
+                .unwrap_or_else(|| {
+                    diags.push(Diagnostic::error(
+                        "E011",
+                        file,
+                        Span::new(
+                            line_no,
+                            col_of(raw, func_part) + func_part.chars().count(),
+                            1,
+                        ),
+                        "expected `)` after aggregate arguments",
+                    ));
+                    &func_part[open + 1..]
+                })
+                .trim();
+            (fname, Some(arg_text))
+        }
+        None => {
+            diags.push(
+                Diagnostic::error(
+                    "E011",
+                    file,
+                    span_of(line_no, raw, func_part),
+                    "expected `(` in aggregate function",
+                )
+                .with_help(
+                    "aggregates are count(*), count(distinct A), sum(A), avg(A), min(A), max(A)",
+                ),
+            );
+            (func_part, None)
+        }
+    };
+    ast.aggs.push(AggDecl {
+        name: name.to_string(),
+        name_span: span_of(line_no, raw, name),
+        func: func.to_ascii_lowercase(),
+        func_span: span_of(line_no, raw, func),
+        arg: arg.map(|a| (a.to_string(), span_of(line_no, raw, a))),
+        selection: where_part.map(|w| (w.to_string(), line_no, col_of(raw, w) - 1)),
+    });
+}
+
+/// Split at the top-level ` where ` keyword (outside quotes).
+fn split_where(spec: &str) -> Option<(&str, &str)> {
+    let lower = spec.to_ascii_lowercase();
+    let mut in_quote: Option<char> = None;
+    let bytes = lower.as_bytes();
+    for i in 0..bytes.len() {
+        // `where ` and the quote delimiters are ASCII; bytes inside a
+        // multi-byte character can never start a match, and slicing at
+        // them would panic.
+        if !lower.is_char_boundary(i) {
+            continue;
+        }
+        let c = bytes[i] as char;
+        match in_quote {
+            Some(q) if c == q => in_quote = None,
+            Some(_) => {}
+            None if c == '\'' || c == '"' => in_quote = Some(c),
+            None => {
+                if lower[i..].starts_with("where ")
+                    && (i == 0 || bytes[i - 1].is_ascii_whitespace())
+                {
+                    return Some((&spec[..i], &spec[i + "where ".len()..]));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_recovers_past_errors() {
+        let text = "relation A(id: blob key)\nwibble\nrelation B(id: int key)\nfk A(id) => B\n";
+        let mut diags = Vec::new();
+        let ast = parse_schema_loose("s.exq", text, &mut diags);
+        // Both relations survive despite the bad type and the bad line.
+        assert_eq!(ast.relations.len(), 2);
+        assert_eq!(ast.fks.len(), 0);
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert_eq!(codes, ["E010", "E010", "E010"]);
+        // The unknown type has no type but keeps its name.
+        assert_eq!(ast.relations[0].columns[0].ty, None);
+        assert!(ast.relations[0].columns[0].key);
+    }
+
+    #[test]
+    fn schema_spans_point_at_fragments() {
+        let text = "relation A(id: blob key)";
+        let mut diags = Vec::new();
+        parse_schema_loose("s.exq", text, &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].span.line, 1);
+        assert_eq!(diags[0].span.col, text.find("blob").unwrap() + 1);
+        assert_eq!(diags[0].span.len, 4);
+    }
+
+    #[test]
+    fn question_recovers_past_errors() {
+        let text = "agg a = frob(x)\nagg b = count(*) where x = 1\nexpr a / b\ndir sideways\n";
+        let mut diags = Vec::new();
+        let ast = parse_question_loose("q.exq", text, &mut diags);
+        assert_eq!(ast.aggs.len(), 2);
+        assert!(ast.expr.is_some());
+        assert!(ast.dir.is_none());
+        assert_eq!(diags.len(), 1); // only the bad dir is a syntax fault
+        assert_eq!(diags[0].code, "E011");
+        // The unknown function parses loosely; the semantic pass flags it.
+        assert_eq!(ast.aggs[0].func, "frob");
+    }
+
+    #[test]
+    fn where_split_is_quote_safe() {
+        assert_eq!(
+            split_where("count(*) where a = 'where b'"),
+            Some(("count(*) ", "a = 'where b'"))
+        );
+        assert_eq!(split_where("count(*)"), None);
+    }
+}

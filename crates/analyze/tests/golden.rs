@@ -1,0 +1,128 @@
+//! Golden-file tests over the bad-fixture corpus.
+//!
+//! Each fixture is `fixtures/bad/NAME.schema.exq` plus an optional
+//! `NAME.question.exq`, with the expected diagnostics in
+//! `NAME.expected` — one `CODE file:line:col` line per diagnostic, in
+//! emission order. Regenerate after an intentional analyzer change
+//! with `EXQ_BLESS=1 cargo test -p exq-analyze --test golden`.
+
+use exq_analyze::{analyze, SourceFile};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad")
+}
+
+fn actual_lines(schema: &SourceFile, questions: &[SourceFile]) -> String {
+    let analysis = analyze(Some(schema), questions);
+    let mut out = String::new();
+    for d in &analysis.diagnostics {
+        out.push_str(&format!(
+            "{} {}:{}:{}\n",
+            d.code, d.file, d.span.line, d.span.col
+        ));
+    }
+    out
+}
+
+#[test]
+fn bad_fixtures_report_expected_codes() {
+    let dir = fixture_dir();
+    let bless = std::env::var_os("EXQ_BLESS").is_some();
+    let mut names: Vec<String> = fs::read_dir(&dir)
+        .expect("fixture dir")
+        .filter_map(|e| {
+            e.ok()?
+                .file_name()
+                .to_str()?
+                .strip_suffix(".schema.exq")
+                .map(str::to_string)
+        })
+        .collect();
+    names.sort();
+    assert!(names.len() >= 6, "fixture corpus went missing: {names:?}");
+    let mut failures = Vec::new();
+    for name in &names {
+        let schema_text = fs::read_to_string(dir.join(format!("{name}.schema.exq"))).unwrap();
+        let schema = SourceFile::schema("schema", schema_text);
+        let questions: Vec<SourceFile> =
+            fs::read_to_string(dir.join(format!("{name}.question.exq")))
+                .ok()
+                .map(|text| SourceFile::question("question", text))
+                .into_iter()
+                .collect();
+        let actual = actual_lines(&schema, &questions);
+        let expected_path = dir.join(format!("{name}.expected"));
+        if bless {
+            fs::write(&expected_path, &actual).unwrap();
+            continue;
+        }
+        let expected = fs::read_to_string(&expected_path)
+            .unwrap_or_else(|_| panic!("missing {expected_path:?}; run with EXQ_BLESS=1"));
+        if actual != expected {
+            failures.push(format!(
+                "fixture `{name}`:\n--- expected ---\n{expected}--- actual ---\n{actual}"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn acceptance_fixture_reports_cycle_unknown_and_mismatch() {
+    let dir = fixture_dir();
+    let schema = SourceFile::schema(
+        "schema",
+        fs::read_to_string(dir.join("acceptance.schema.exq")).unwrap(),
+    );
+    let question = SourceFile::question(
+        "question",
+        fs::read_to_string(dir.join("acceptance.question.exq")).unwrap(),
+    );
+    let analysis = analyze(Some(&schema), std::slice::from_ref(&question));
+    let codes: Vec<&str> = analysis.diagnostics.iter().map(|d| d.code).collect();
+    // One run surfaces all three distinct error codes.
+    assert!(codes.contains(&"E007"), "cycle missing: {codes:?}");
+    assert!(codes.contains(&"E002"), "unknown attr missing: {codes:?}");
+    assert!(codes.contains(&"E008"), "type mismatch missing: {codes:?}");
+    // Every diagnostic carries a real position.
+    for d in &analysis.diagnostics {
+        assert!(d.span.line > 0 && d.span.col > 0, "{d:?}");
+    }
+    // Both renderings agree on the codes.
+    let pretty = analysis.render_pretty(&[&schema, &question]);
+    let json = analysis.render_json();
+    for code in ["E007", "E002", "E008"] {
+        assert!(pretty.contains(&format!("error[{code}]")), "{pretty}");
+        assert!(json.contains(&format!("\"code\":\"{code}\"")), "{json}");
+    }
+    assert!(
+        pretty.contains("schema:") && pretty.contains("question:"),
+        "{pretty}"
+    );
+}
+
+#[test]
+fn good_assets_are_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../assets");
+    for (schema, questions) in [
+        ("schemas/dblp.exq", vec!["questions/bump.exq"]),
+        (
+            "schemas/natality.exq",
+            vec!["questions/q_marital.exq", "questions/q_race.exq"],
+        ),
+    ] {
+        let s = SourceFile::schema(schema, fs::read_to_string(root.join(schema)).unwrap());
+        let qs: Vec<SourceFile> = questions
+            .iter()
+            .map(|q| SourceFile::question(*q, fs::read_to_string(root.join(q)).unwrap()))
+            .collect();
+        let analysis = analyze(Some(&s), &qs);
+        assert!(
+            !analysis.has_errors(),
+            "{schema}: {}",
+            analysis.render_json()
+        );
+    }
+}

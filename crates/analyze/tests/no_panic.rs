@@ -1,0 +1,61 @@
+//! The analyzer must never panic, whatever bytes it is fed: it is the
+//! component that runs *before* validation, so its own robustness is
+//! the whole point. Feed it arbitrary (lossily-decoded) byte soup as
+//! schema, as question, and as both, and require a normal return.
+
+use exq_analyze::{analyze, SourceFile};
+use proptest::prelude::*;
+
+fn mutate(base: &str, edits: &[(u16, u8)]) -> String {
+    // Splice arbitrary bytes into otherwise well-formed text so the
+    // generator also explores "almost valid" inputs, where tolerant
+    // parsing does the most work.
+    let mut bytes = base.as_bytes().to_vec();
+    for &(pos, b) in edits {
+        let i = pos as usize % (bytes.len() + 1);
+        if i == bytes.len() {
+            bytes.push(b);
+        } else {
+            bytes[i] = b;
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+const SCHEMA_BASE: &str = "relation R(id: int key, year: int, venue: str)\n\
+                           relation S(rid: int key, w: float)\n\
+                           fk S(rid) <-> R\n";
+const QUESTION_BASE: &str = "agg a = count(*) where year >= 2000 and venue = 'x'\n\
+                             agg b = sum(S.w)\nexpr a / b\ndir high\nsmoothing 0.1\n";
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512 })]
+
+    #[test]
+    fn analyzer_never_panics_on_arbitrary_bytes(
+        schema_bytes in proptest::collection::vec(any::<u8>(), 0..200),
+        question_bytes in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let schema_text = String::from_utf8_lossy(&schema_bytes).into_owned();
+        let question_text = String::from_utf8_lossy(&question_bytes).into_owned();
+        let schema = SourceFile::schema("s", schema_text);
+        let question = SourceFile::question("q", question_text);
+        let analysis = analyze(Some(&schema), std::slice::from_ref(&question));
+        // Rendering must not panic either.
+        let _ = analysis.render_pretty(&[&schema, &question]);
+        let _ = analysis.render_json();
+        let _ = analyze(None, std::slice::from_ref(&question));
+    }
+
+    #[test]
+    fn analyzer_never_panics_on_mutated_valid_input(
+        schema_edits in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..8),
+        question_edits in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..8),
+    ) {
+        let schema = SourceFile::schema("s", mutate(SCHEMA_BASE, &schema_edits));
+        let question = SourceFile::question("q", mutate(QUESTION_BASE, &question_edits));
+        let analysis = analyze(Some(&schema), std::slice::from_ref(&question));
+        let _ = analysis.render_pretty(&[&schema, &question]);
+        let _ = analysis.render_json();
+    }
+}

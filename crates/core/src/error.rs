@@ -19,6 +19,19 @@ pub enum Error {
     TransformPrecondition(String),
 }
 
+impl Error {
+    /// Stable diagnostic code, extending [`exq_relstore::Error::code`]'s
+    /// catalogue: substrate errors delegate, engine-level errors use the
+    /// `E2xx` range.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Error::Store(e) => e.code(),
+            Error::NotInterventionAdditive { .. } => "E201",
+            Error::TransformPrecondition(_) => "E202",
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -25,14 +25,26 @@
 use crate::error::{Error, Result};
 use crate::question::{AggregateQuery, Direction, NumExpr, NumericalQuery, UserQuestion};
 use exq_relstore::aggregate::AggFunc;
-use exq_relstore::parse::{parse_predicate, resolve_attr};
+use exq_relstore::parse::{parse_predicate_at, resolve_attr};
 use exq_relstore::{DatabaseSchema, Predicate};
 
-fn perr(line: usize, message: impl Into<String>) -> Error {
+fn perr(line: usize, col: usize, message: impl Into<String>) -> Error {
     Error::Store(exq_relstore::Error::Parse {
         line,
+        col,
         message: message.into(),
     })
+}
+
+/// 0-based char offset of `sub` within `line` (`sub` must be a subslice
+/// of `line`, which the directive parsing below guarantees — every piece
+/// comes from `strip_prefix`/`split_once`/`trim` on the raw line).
+fn off_of(line: &str, sub: &str) -> usize {
+    let offset = (sub.as_ptr() as usize).saturating_sub(line.as_ptr() as usize);
+    if offset > line.len() {
+        return 0;
+    }
+    line[..offset].chars().count()
 }
 
 /// Parse a question file against a schema.
@@ -50,20 +62,30 @@ pub fn parse_question(schema: &DatabaseSchema, text: &str) -> Result<UserQuestio
             continue;
         }
         if let Some(rest) = line.strip_prefix("agg ") {
-            let (name, spec) = rest
-                .split_once('=')
-                .ok_or_else(|| perr(line_no, "expected `agg name = function(...)`"))?;
-            let name = name.trim().to_string();
-            if name.is_empty() || names.contains(&name) {
+            let (name, spec) = rest.split_once('=').ok_or_else(|| {
+                perr(
+                    line_no,
+                    off_of(raw, rest) + 1,
+                    "expected `agg name = function(...)`",
+                )
+            })?;
+            let name_t = name.trim();
+            if name_t.is_empty() || names.iter().any(|n| n == name_t) {
                 return Err(perr(
                     line_no,
-                    format!("missing or duplicate aggregate name `{name}`"),
+                    off_of(raw, if name_t.is_empty() { rest } else { name_t }) + 1,
+                    format!("missing or duplicate aggregate name `{name_t}`"),
                 ));
             }
-            aggregates.push(parse_aggregate(schema, spec.trim(), line_no)?);
-            names.push(name);
+            aggregates.push(parse_aggregate(schema, raw, spec.trim(), line_no)?);
+            names.push(name_t.to_string());
         } else if let Some(rest) = line.strip_prefix("expr ") {
-            expr = Some(parse_num_expr(rest.trim(), &names, line_no)?);
+            expr = Some(parse_num_expr(
+                rest.trim(),
+                &names,
+                line_no,
+                off_of(raw, rest.trim()),
+            )?);
         } else if let Some(rest) = line.strip_prefix("dir ") {
             dir = Some(match rest.trim() {
                 "high" => Direction::High,
@@ -71,30 +93,36 @@ pub fn parse_question(schema: &DatabaseSchema, text: &str) -> Result<UserQuestio
                 other => {
                     return Err(perr(
                         line_no,
+                        off_of(raw, rest.trim()) + 1,
                         format!("direction must be high|low, got `{other}`"),
                     ))
                 }
             });
         } else if let Some(rest) = line.strip_prefix("smoothing ") {
-            smoothing = rest
-                .trim()
-                .parse()
-                .map_err(|_| perr(line_no, format!("bad smoothing constant `{}`", rest.trim())))?;
+            smoothing = rest.trim().parse().map_err(|_| {
+                perr(
+                    line_no,
+                    off_of(raw, rest.trim()) + 1,
+                    format!("bad smoothing constant `{}`", rest.trim()),
+                )
+            })?;
         } else {
             return Err(perr(
                 line_no,
+                off_of(raw, line) + 1,
                 format!("expected agg/expr/dir/smoothing, got `{line}`"),
             ));
         }
     }
 
-    let dir = dir.ok_or_else(|| perr(0, "missing `dir high|low`"))?;
+    let dir = dir.ok_or_else(|| perr(0, 0, "missing `dir high|low`"))?;
     let expr = match expr {
         Some(e) => e,
         // Default: single aggregate.
         None if aggregates.len() == 1 => NumExpr::Agg(0),
         None => {
             return Err(perr(
+                0,
                 0,
                 "missing `expr …` (required with several aggregates)",
             ))
@@ -118,21 +146,47 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
-/// `function(args) [where predicate]`
-fn parse_aggregate(schema: &DatabaseSchema, spec: &str, line: usize) -> Result<AggregateQuery> {
+/// `function(args) [where predicate]`. `raw` is the full source line
+/// `spec` came from, for column reporting.
+fn parse_aggregate(
+    schema: &DatabaseSchema,
+    raw: &str,
+    spec: &str,
+    line: usize,
+) -> Result<AggregateQuery> {
     let (func_part, where_part) = match spec_split_where(spec) {
         Some((f, w)) => (f.trim(), Some(w.trim())),
         None => (spec.trim(), None),
     };
+    let at = |sub: &str| off_of(raw, sub) + 1;
     let open = func_part
         .find('(')
-        .ok_or_else(|| perr(line, "expected `(` in aggregate function"))?;
+        .ok_or_else(|| perr(line, at(func_part), "expected `(` in aggregate function"))?;
     if !func_part.ends_with(')') {
-        return Err(perr(line, "expected `)` after aggregate arguments"));
+        return Err(perr(
+            line,
+            at(func_part) + func_part.chars().count(),
+            "expected `)` after aggregate arguments",
+        ));
     }
     let fname = func_part[..open].trim().to_ascii_lowercase();
     let arg = func_part[open + 1..func_part.len() - 1].trim();
-    let attr_of = |name: &str| resolve_attr(schema, name).map_err(Error::Store);
+    let attr_of = |name: &str| {
+        resolve_attr(schema, name)
+            .map_err(|e| match e {
+                // resolve_attr has no position information; patch in the
+                // argument's location.
+                exq_relstore::Error::Parse {
+                    col: 0, message, ..
+                } => exq_relstore::Error::Parse {
+                    line,
+                    col: at(name),
+                    message,
+                },
+                other => other,
+            })
+            .map_err(Error::Store)
+    };
     let func = match fname.as_str() {
         "count" => {
             if arg == "*" {
@@ -140,17 +194,23 @@ fn parse_aggregate(schema: &DatabaseSchema, spec: &str, line: usize) -> Result<A
             } else if let Some(a) = arg.strip_prefix("distinct ") {
                 AggFunc::CountDistinct(attr_of(a.trim())?)
             } else {
-                return Err(perr(line, "count takes `*` or `distinct Attr`"));
+                return Err(perr(line, at(arg), "count takes `*` or `distinct Attr`"));
             }
         }
         "sum" => AggFunc::Sum(attr_of(arg)?),
         "avg" => AggFunc::Avg(attr_of(arg)?),
         "min" => AggFunc::Min(attr_of(arg)?),
         "max" => AggFunc::Max(attr_of(arg)?),
-        other => return Err(perr(line, format!("unknown aggregate `{other}`"))),
+        other => {
+            return Err(perr(
+                line,
+                at(func_part),
+                format!("unknown aggregate `{other}`"),
+            ))
+        }
     };
     let selection = match where_part {
-        Some(w) => parse_predicate(schema, w)?,
+        Some(w) => parse_predicate_at(schema, w, line, off_of(raw, w)).map_err(Error::Store)?,
         None => Predicate::True,
     };
     Ok(AggregateQuery { func, selection })
@@ -197,36 +257,39 @@ enum ETok {
     Exp,
 }
 
-fn etokenize(text: &str, line: usize) -> Result<Vec<ETok>> {
+/// Tokenize an expression; each token carries its 1-based char column
+/// within `text` (offset by the caller's `col0` when reporting).
+fn etokenize(text: &str, line: usize, col0: usize) -> Result<Vec<(ETok, usize)>> {
     let chars: Vec<char> = text.chars().collect();
     let mut out = Vec::new();
     let mut i = 0;
     while i < chars.len() {
         let c = chars[i];
+        let col = i + 1;
         match c {
             c if c.is_whitespace() => i += 1,
             '+' => {
-                out.push(ETok::Plus);
+                out.push((ETok::Plus, col));
                 i += 1;
             }
             '-' => {
-                out.push(ETok::Minus);
+                out.push((ETok::Minus, col));
                 i += 1;
             }
             '*' => {
-                out.push(ETok::Star);
+                out.push((ETok::Star, col));
                 i += 1;
             }
             '/' => {
-                out.push(ETok::Slash);
+                out.push((ETok::Slash, col));
                 i += 1;
             }
             '(' => {
-                out.push(ETok::LParen);
+                out.push((ETok::LParen, col));
                 i += 1;
             }
             ')' => {
-                out.push(ETok::RParen);
+                out.push((ETok::RParen, col));
                 i += 1;
             }
             c if c.is_ascii_digit() || c == '.' => {
@@ -235,9 +298,12 @@ fn etokenize(text: &str, line: usize) -> Result<Vec<ETok>> {
                     i += 1;
                 }
                 let text: String = chars[start..i].iter().collect();
-                out.push(ETok::Num(
-                    text.parse()
-                        .map_err(|_| perr(line, format!("bad number `{text}`")))?,
+                out.push((
+                    ETok::Num(
+                        text.parse()
+                            .map_err(|_| perr(line, col0 + col, format!("bad number `{text}`")))?,
+                    ),
+                    col,
                 ));
             }
             c if c.is_alphanumeric() || c == '_' => {
@@ -247,14 +313,15 @@ fn etokenize(text: &str, line: usize) -> Result<Vec<ETok>> {
                 }
                 let word: String = chars[start..i].iter().collect();
                 match word.as_str() {
-                    "log" => out.push(ETok::Log),
-                    "exp" => out.push(ETok::Exp),
-                    _ => out.push(ETok::Name(word)),
+                    "log" => out.push((ETok::Log, col)),
+                    "exp" => out.push((ETok::Exp, col)),
+                    _ => out.push((ETok::Name(word), col)),
                 }
             }
             other => {
                 return Err(perr(
                     line,
+                    col0 + col,
                     format!("unexpected character `{other}` in expr"),
                 ))
             }
@@ -264,19 +331,30 @@ fn etokenize(text: &str, line: usize) -> Result<Vec<ETok>> {
 }
 
 struct EParser<'a> {
-    tokens: Vec<ETok>,
+    tokens: Vec<(ETok, usize)>,
     names: &'a [String],
     pos: usize,
     line: usize,
+    col0: usize,
+    end_col: usize,
 }
 
 impl EParser<'_> {
     fn peek(&self) -> Option<&ETok> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    /// Column of the current token (or end-of-input), in source
+    /// coordinates.
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.end_col, |&(_, col)| col)
+            + self.col0
     }
 
     fn next(&mut self) -> Option<ETok> {
-        let t = self.tokens.get(self.pos).cloned();
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
         if t.is_some() {
             self.pos += 1;
         }
@@ -318,56 +396,69 @@ impl EParser<'_> {
     }
 
     fn factor(&mut self) -> Result<NumExpr> {
+        let col = self.here();
         match self.next() {
             Some(ETok::Minus) => Ok(NumExpr::Neg(Box::new(self.factor()?))),
             Some(ETok::Num(n)) => Ok(NumExpr::Const(n)),
             Some(ETok::Name(name)) => {
-                let idx =
-                    self.names.iter().position(|n| *n == name).ok_or_else(|| {
-                        perr(self.line, format!("unknown aggregate name `{name}`"))
-                    })?;
+                let idx = self.names.iter().position(|n| *n == name).ok_or_else(|| {
+                    perr(self.line, col, format!("unknown aggregate name `{name}`"))
+                })?;
                 Ok(NumExpr::Agg(idx))
             }
             Some(ETok::LParen) => {
                 let inner = self.expr()?;
+                let close = self.here();
                 match self.next() {
                     Some(ETok::RParen) => Ok(inner),
-                    _ => Err(perr(self.line, "expected `)` in expr")),
+                    _ => Err(perr(self.line, close, "expected `)` in expr")),
                 }
             }
             Some(ETok::Log) => Ok(NumExpr::Log(Box::new(self.parenthesized()?))),
             Some(ETok::Exp) => Ok(NumExpr::Exp(Box::new(self.parenthesized()?))),
             other => Err(perr(
                 self.line,
+                col,
                 format!("unexpected token in expr: {other:?}"),
             )),
         }
     }
 
     fn parenthesized(&mut self) -> Result<NumExpr> {
+        let col = self.here();
         match self.next() {
             Some(ETok::LParen) => {}
-            _ => return Err(perr(self.line, "expected `(` after log/exp")),
+            _ => return Err(perr(self.line, col, "expected `(` after log/exp")),
         }
         let inner = self.expr()?;
+        let close = self.here();
         match self.next() {
             Some(ETok::RParen) => Ok(inner),
-            _ => Err(perr(self.line, "expected `)` after log/exp argument")),
+            _ => Err(perr(
+                self.line,
+                close,
+                "expected `)` after log/exp argument",
+            )),
         }
     }
 }
 
-fn parse_num_expr(text: &str, names: &[String], line: usize) -> Result<NumExpr> {
-    let tokens = etokenize(text, line)?;
+/// Parse an arithmetic expression over aggregate names. `col0` is the
+/// 0-based char offset of `text` within its source line.
+fn parse_num_expr(text: &str, names: &[String], line: usize, col0: usize) -> Result<NumExpr> {
+    let tokens = etokenize(text, line, col0)?;
     let mut parser = EParser {
         tokens,
         names,
         pos: 0,
         line,
+        col0,
+        end_col: text.chars().count() + 1,
     };
     let expr = parser.expr()?;
     if parser.pos != parser.tokens.len() {
-        return Err(perr(line, "trailing tokens in expr"));
+        let col = parser.here();
+        return Err(perr(line, col, "trailing tokens in expr"));
     }
     Ok(expr)
 }
@@ -445,16 +536,22 @@ smoothing 0.0001
             "min(x)",
             "max(x)",
         ] {
-            parse_aggregate(&s, spec, 1).unwrap_or_else(|e| panic!("`{spec}`: {e}"));
+            parse_aggregate(&s, spec, spec, 1).unwrap_or_else(|e| panic!("`{spec}`: {e}"));
         }
     }
 
     #[test]
     fn where_clause_optional_and_quoted_where_safe() {
         let s = schema();
-        let a = parse_aggregate(&s, "count(*) where marital = 'where '", 1).unwrap();
+        let a = parse_aggregate(
+            &s,
+            "count(*) where marital = 'where '",
+            "count(*) where marital = 'where '",
+            1,
+        )
+        .unwrap();
         assert_ne!(a.selection, Predicate::True);
-        let b = parse_aggregate(&s, "count(*)", 1).unwrap();
+        let b = parse_aggregate(&s, "count(*)", "count(*)", 1).unwrap();
         assert_eq!(b.selection, Predicate::True);
     }
 
@@ -470,7 +567,7 @@ smoothing 0.0001
             ("a / b / 2", [8.0, 2.0], 2.0),
             ("0.5 * a", [8.0, 0.0], 4.0),
         ] {
-            let e = parse_num_expr(text, &names, 1).unwrap();
+            let e = parse_num_expr(text, &names, 1, 0).unwrap();
             assert!((e.eval(&vals) - expected).abs() < 1e-12, "`{text}`");
         }
     }

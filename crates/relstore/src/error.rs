@@ -53,7 +53,48 @@ pub enum Error {
     /// Too many cube dimensions for the subset-enumeration strategy.
     TooManyCubeDimensions(usize),
     /// A text-format parse error (schema DSL, predicate language).
-    Parse { line: usize, message: String },
+    /// `line` and `col` are 1-based; `col` is 0 when unknown.
+    Parse {
+        line: usize,
+        col: usize,
+        message: String,
+    },
+}
+
+impl Error {
+    /// Stable diagnostic code for this error, shared with the
+    /// `exq-analyze` crate's `E0xx`/`E1xx` catalogue so every layer
+    /// (builder validation, text parsers, data loading, static analysis)
+    /// reports the same code for the same fault class.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Error::UnknownRelation(_) => "E001",
+            Error::UnknownAttribute { .. } => "E002",
+            Error::DuplicateRelation(_) => "E003",
+            Error::DuplicateAttribute { .. } => "E004",
+            Error::ForeignKeyArity { .. } => "E005",
+            Error::ForeignKeyTarget { .. } => "E006",
+            Error::CyclicSchema => "E007",
+            Error::Parse { .. } => "E010",
+            Error::RowArity { .. } => "E101",
+            Error::TypeMismatch { .. } => "E102",
+            Error::DuplicateKey { .. } => "E103",
+            Error::DanglingForeignKey { .. } => "E104",
+            Error::NotNumeric(_) => "E105",
+            Error::DivisionByZero => "E106",
+            Error::BadAggregateIndex { .. } => "E107",
+            Error::TooManyCubeDimensions(_) => "E108",
+        }
+    }
+
+    /// The `(line, col)` position of a parse error (1-based; col 0 when
+    /// unknown), or `None` for non-parse errors.
+    pub fn position(&self) -> Option<(usize, usize)> {
+        match self {
+            Error::Parse { line, col, .. } => Some((*line, *col)),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -98,7 +139,12 @@ impl fmt::Display for Error {
             Error::TooManyCubeDimensions(d) => {
                 write!(f, "{d} cube dimensions exceed the subset-enumeration limit")
             }
-            Error::Parse { line, message } => write!(f, "parse error (line {line}): {message}"),
+            Error::Parse { line, col: 0, message } => {
+                write!(f, "parse error (line {line}): {message}")
+            }
+            Error::Parse { line, col, message } => {
+                write!(f, "parse error (line {line}, col {col}): {message}")
+            }
         }
     }
 }

@@ -36,11 +36,24 @@ use crate::predicate::{CmpOp, Predicate};
 use crate::schema::{AttrRef, DatabaseSchema, SchemaBuilder};
 use crate::value::{Value, ValueType};
 
-fn parse_err(line: usize, message: impl Into<String>) -> Error {
+fn parse_err(line: usize, col: usize, message: impl Into<String>) -> Error {
     Error::Parse {
         line,
+        col,
         message: message.into(),
     }
+}
+
+/// 1-based column of `sub` within `line`. `sub` must be a subslice of
+/// `line` (the parsers below only ever slice, never reallocate), so the
+/// pointer offset is the byte offset; columns count chars so multi-byte
+/// characters earlier in the line don't skew the caret.
+fn col_of(line: &str, sub: &str) -> usize {
+    let offset = (sub.as_ptr() as usize).saturating_sub(line.as_ptr() as usize);
+    if offset > line.len() {
+        return 1;
+    }
+    line[..offset].chars().count() + 1
 }
 
 // ---------------------------------------------------------------------
@@ -57,12 +70,13 @@ pub fn parse_schema(text: &str) -> Result<DatabaseSchema> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("relation ") {
-            builder = parse_relation_line(builder, rest.trim(), line_no)?;
+            builder = parse_relation_line(builder, raw, rest.trim(), line_no)?;
         } else if let Some(rest) = line.strip_prefix("fk ") {
-            builder = parse_fk_line(builder, rest.trim(), line_no)?;
+            builder = parse_fk_line(builder, raw, rest.trim(), line_no)?;
         } else {
             return Err(parse_err(
                 line_no,
+                col_of(raw, line),
                 format!("expected `relation` or `fk`, got `{line}`"),
             ));
         }
@@ -86,43 +100,60 @@ fn strip_comment(line: &str) -> &str {
 }
 
 /// `Name(col: type [key], …)`
-fn parse_relation_line(builder: SchemaBuilder, rest: &str, line: usize) -> Result<SchemaBuilder> {
+fn parse_relation_line(
+    builder: SchemaBuilder,
+    raw: &str,
+    rest: &str,
+    line: usize,
+) -> Result<SchemaBuilder> {
     let open = rest
         .find('(')
-        .ok_or_else(|| parse_err(line, "expected `(` after relation name"))?;
+        .ok_or_else(|| parse_err(line, col_of(raw, rest), "expected `(` after relation name"))?;
     if !rest.ends_with(')') {
         return Err(parse_err(
             line,
+            col_of(raw, rest) + rest.chars().count(),
             "expected `)` at end of relation declaration",
         ));
     }
     let name = rest[..open].trim();
     if name.is_empty() {
-        return Err(parse_err(line, "missing relation name"));
+        return Err(parse_err(line, col_of(raw, rest), "missing relation name"));
     }
     let body = &rest[open + 1..rest.len() - 1];
     let mut columns: Vec<(String, ValueType)> = Vec::new();
     let mut keys: Vec<String> = Vec::new();
     for col_spec in body.split(',') {
         let col_spec = col_spec.trim();
+        let at = |sub: &str| col_of(raw, sub);
         if col_spec.is_empty() {
-            return Err(parse_err(line, "empty column declaration"));
+            return Err(parse_err(line, at(body), "empty column declaration"));
         }
-        let (col_name, rest) = col_spec
-            .split_once(':')
-            .ok_or_else(|| parse_err(line, format!("expected `name: type` in `{col_spec}`")))?;
+        let (col_name, rest) = col_spec.split_once(':').ok_or_else(|| {
+            parse_err(
+                line,
+                at(col_spec),
+                format!("expected `name: type` in `{col_spec}`"),
+            )
+        })?;
         let col_name = col_name.trim().to_string();
         let mut parts = rest.split_whitespace();
-        let ty_text = parts
-            .next()
-            .ok_or_else(|| parse_err(line, format!("missing type in `{col_spec}`")))?;
+        let ty_text = parts.next().ok_or_else(|| {
+            parse_err(line, at(col_spec), format!("missing type in `{col_spec}`"))
+        })?;
         let ty = match ty_text {
             "str" => ValueType::Str,
             "int" => ValueType::Int,
             "float" => ValueType::Float,
             "bool" => ValueType::Bool,
             "any" => ValueType::Any,
-            other => return Err(parse_err(line, format!("unknown type `{other}`"))),
+            other => {
+                return Err(parse_err(
+                    line,
+                    at(other),
+                    format!("unknown type `{other}`"),
+                ))
+            }
         };
         match parts.next() {
             None => {}
@@ -130,18 +161,24 @@ fn parse_relation_line(builder: SchemaBuilder, rest: &str, line: usize) -> Resul
             Some(other) => {
                 return Err(parse_err(
                     line,
+                    at(other),
                     format!("unexpected token `{other}` after type"),
                 ))
             }
         }
-        if parts.next().is_some() {
-            return Err(parse_err(line, format!("trailing tokens in `{col_spec}`")));
+        if let Some(extra) = parts.next() {
+            return Err(parse_err(
+                line,
+                at(extra),
+                format!("trailing tokens in `{col_spec}`"),
+            ));
         }
         columns.push((col_name, ty));
     }
     if keys.is_empty() {
         return Err(parse_err(
             line,
+            col_of(raw, name),
             format!("relation `{name}` declares no key column"),
         ));
     }
@@ -151,22 +188,43 @@ fn parse_relation_line(builder: SchemaBuilder, rest: &str, line: usize) -> Resul
 }
 
 /// `From(col, …) -> To` or `From(col, …) <-> To`
-fn parse_fk_line(builder: SchemaBuilder, rest: &str, line: usize) -> Result<SchemaBuilder> {
+fn parse_fk_line(
+    builder: SchemaBuilder,
+    raw: &str,
+    rest: &str,
+    line: usize,
+) -> Result<SchemaBuilder> {
     let (head, target, back_and_forth) = if let Some((h, t)) = rest.split_once("<->") {
         (h.trim(), t.trim(), true)
     } else if let Some((h, t)) = rest.split_once("->") {
         (h.trim(), t.trim(), false)
     } else {
-        return Err(parse_err(line, "expected `->` or `<->` in foreign key"));
+        return Err(parse_err(
+            line,
+            col_of(raw, rest),
+            "expected `->` or `<->` in foreign key",
+        ));
     };
     if target.is_empty() {
-        return Err(parse_err(line, "missing foreign-key target relation"));
+        return Err(parse_err(
+            line,
+            col_of(raw, rest) + rest.chars().count(),
+            "missing foreign-key target relation",
+        ));
     }
-    let open = head
-        .find('(')
-        .ok_or_else(|| parse_err(line, "expected `(columns)` after relation"))?;
+    let open = head.find('(').ok_or_else(|| {
+        parse_err(
+            line,
+            col_of(raw, head),
+            "expected `(columns)` after relation",
+        )
+    })?;
     if !head.ends_with(')') {
-        return Err(parse_err(line, "expected `)` after foreign-key columns"));
+        return Err(parse_err(
+            line,
+            col_of(raw, head) + head.chars().count(),
+            "expected `)` after foreign-key columns",
+        ));
     }
     let from = head[..open].trim();
     let cols: Vec<&str> = head[open + 1..head.len() - 1]
@@ -175,7 +233,11 @@ fn parse_fk_line(builder: SchemaBuilder, rest: &str, line: usize) -> Result<Sche
         .filter(|c| !c.is_empty())
         .collect();
     if from.is_empty() || cols.is_empty() {
-        return Err(parse_err(line, "malformed foreign-key declaration"));
+        return Err(parse_err(
+            line,
+            col_of(raw, head),
+            "malformed foreign-key declaration",
+        ));
     }
     Ok(if back_and_forth {
         builder.back_and_forth_fk(from, &cols, target)
@@ -249,21 +311,24 @@ enum Token {
     Null,
 }
 
-fn tokenize(text: &str) -> Result<Vec<Token>> {
+/// Tokenize predicate text; each token carries its 1-based char column
+/// within `text` so parse errors can point at the offending token.
+fn tokenize(text: &str) -> Result<Vec<(Token, usize)>> {
     let mut tokens = Vec::new();
     let chars: Vec<char> = text.chars().collect();
     let mut i = 0;
-    let err = |msg: String| parse_err(1, msg);
+    let err = |col: usize, msg: String| parse_err(1, col, msg);
     while i < chars.len() {
         let c = chars[i];
+        let col = i + 1;
         match c {
             c if c.is_whitespace() => i += 1,
             '(' => {
-                tokens.push(Token::LParen);
+                tokens.push((Token::LParen, col));
                 i += 1;
             }
             ')' => {
-                tokens.push(Token::RParen);
+                tokens.push((Token::RParen, col));
                 i += 1;
             }
             '\'' | '"' => {
@@ -272,7 +337,7 @@ fn tokenize(text: &str) -> Result<Vec<Token>> {
                 i += 1;
                 loop {
                     if i >= chars.len() {
-                        return Err(err("unterminated string literal".to_string()));
+                        return Err(err(col, "unterminated string literal".to_string()));
                     }
                     if chars[i] == quote {
                         // Doubled quote = escaped quote.
@@ -287,34 +352,34 @@ fn tokenize(text: &str) -> Result<Vec<Token>> {
                     s.push(chars[i]);
                     i += 1;
                 }
-                tokens.push(Token::Str(s));
+                tokens.push((Token::Str(s), col));
             }
             '=' => {
-                tokens.push(Token::Op(CmpOp::Eq));
+                tokens.push((Token::Op(CmpOp::Eq), col));
                 i += 1;
             }
             '!' if chars.get(i + 1) == Some(&'=') => {
-                tokens.push(Token::Op(CmpOp::Ne));
+                tokens.push((Token::Op(CmpOp::Ne), col));
                 i += 2;
             }
             '<' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    tokens.push(Token::Op(CmpOp::Le));
+                    tokens.push((Token::Op(CmpOp::Le), col));
                     i += 2;
                 } else if chars.get(i + 1) == Some(&'>') {
-                    tokens.push(Token::Op(CmpOp::Ne));
+                    tokens.push((Token::Op(CmpOp::Ne), col));
                     i += 2;
                 } else {
-                    tokens.push(Token::Op(CmpOp::Lt));
+                    tokens.push((Token::Op(CmpOp::Lt), col));
                     i += 1;
                 }
             }
             '>' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    tokens.push(Token::Op(CmpOp::Ge));
+                    tokens.push((Token::Op(CmpOp::Ge), col));
                     i += 2;
                 } else {
-                    tokens.push(Token::Op(CmpOp::Gt));
+                    tokens.push((Token::Op(CmpOp::Gt), col));
                     i += 1;
                 }
             }
@@ -330,14 +395,20 @@ fn tokenize(text: &str) -> Result<Vec<Token>> {
                 }
                 let text: String = chars[start..i].iter().collect();
                 if is_float {
-                    tokens.push(Token::Float(
-                        text.parse()
-                            .map_err(|_| err(format!("bad float `{text}`")))?,
+                    tokens.push((
+                        Token::Float(
+                            text.parse()
+                                .map_err(|_| err(col, format!("bad float `{text}`")))?,
+                        ),
+                        col,
                     ));
                 } else {
-                    tokens.push(Token::Int(
-                        text.parse()
-                            .map_err(|_| err(format!("bad integer `{text}`")))?,
+                    tokens.push((
+                        Token::Int(
+                            text.parse()
+                                .map_err(|_| err(col, format!("bad integer `{text}`")))?,
+                        ),
+                        col,
                     ));
                 }
             }
@@ -350,16 +421,16 @@ fn tokenize(text: &str) -> Result<Vec<Token>> {
                 }
                 let word: String = chars[start..i].iter().collect();
                 match word.to_ascii_lowercase().as_str() {
-                    "and" => tokens.push(Token::And),
-                    "or" => tokens.push(Token::Or),
-                    "not" => tokens.push(Token::Not),
-                    "true" => tokens.push(Token::True),
-                    "false" => tokens.push(Token::False),
-                    "null" => tokens.push(Token::Null),
-                    _ => tokens.push(Token::Ident(word)),
+                    "and" => tokens.push((Token::And, col)),
+                    "or" => tokens.push((Token::Or, col)),
+                    "not" => tokens.push((Token::Not, col)),
+                    "true" => tokens.push((Token::True, col)),
+                    "false" => tokens.push((Token::False, col)),
+                    "null" => tokens.push((Token::Null, col)),
+                    _ => tokens.push((Token::Ident(word), col)),
                 }
             }
-            other => return Err(err(format!("unexpected character `{other}`"))),
+            other => return Err(err(col, format!("unexpected character `{other}`"))),
         }
     }
     Ok(tokens)
@@ -385,6 +456,7 @@ pub fn resolve_attr(schema: &DatabaseSchema, name: &str) -> Result<AttrRef> {
         }),
         _ => Err(parse_err(
             1,
+            0,
             format!("attribute `{name}` is ambiguous; qualify it as Relation.{name}"),
         )),
     }
@@ -392,17 +464,36 @@ pub fn resolve_attr(schema: &DatabaseSchema, name: &str) -> Result<AttrRef> {
 
 struct PredParser<'a> {
     schema: &'a DatabaseSchema,
-    tokens: Vec<Token>,
+    tokens: Vec<(Token, usize)>,
     pos: usize,
+    /// Line number reported in errors.
+    line: usize,
+    /// Char offset added to token columns (predicate text embedded in a
+    /// larger line, e.g. after `where `).
+    col0: usize,
+    /// Column just past the end of the text (for end-of-input errors).
+    end_col: usize,
 }
 
 impl PredParser<'_> {
     fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos)
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    /// Column of the current token, or of end-of-input.
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map_or(self.end_col, |&(_, col)| col)
+            + self.col0
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> Error {
+        parse_err(self.line, self.here(), message)
     }
 
     fn next(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).cloned();
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
         if t.is_some() {
             self.pos += 1;
         }
@@ -444,9 +535,12 @@ impl PredParser<'_> {
             Some(Token::LParen) => {
                 self.next();
                 let inner = self.expr()?;
-                match self.next() {
-                    Some(Token::RParen) => Ok(inner),
-                    _ => Err(parse_err(1, "expected `)`")),
+                match self.peek() {
+                    Some(Token::RParen) => {
+                        self.next();
+                        Ok(inner)
+                    }
+                    _ => Err(self.err_here("expected `)`")),
                 }
             }
             Some(Token::True) => {
@@ -462,19 +556,38 @@ impl PredParser<'_> {
     }
 
     fn comparison(&mut self) -> Result<Predicate> {
+        let attr_col = self.here();
         let attr = match self.next() {
-            Some(Token::Ident(name)) => resolve_attr(self.schema, &name)?,
-            other => return Err(parse_err(1, format!("expected attribute, got {other:?}"))),
+            Some(Token::Ident(name)) => {
+                resolve_attr(self.schema, &name).map_err(|e| match e {
+                    // Patch in the real position (resolve_attr has no
+                    // access to token spans).
+                    Error::Parse {
+                        col: 0, message, ..
+                    } => parse_err(self.line, attr_col, message),
+                    other => other,
+                })?
+            }
+            other => {
+                return Err(parse_err(
+                    self.line,
+                    attr_col,
+                    format!("expected attribute, got {other:?}"),
+                ))
+            }
         };
+        let op_col = self.here();
         let op = match self.next() {
             Some(Token::Op(op)) => op,
             other => {
                 return Err(parse_err(
-                    1,
+                    self.line,
+                    op_col,
                     format!("expected comparison operator, got {other:?}"),
                 ))
             }
         };
+        let lit_col = self.here();
         let value = match self.next() {
             Some(Token::Str(s)) => Value::str(s),
             Some(Token::Int(i)) => Value::Int(i),
@@ -482,7 +595,13 @@ impl PredParser<'_> {
             Some(Token::True) => Value::Bool(true),
             Some(Token::False) => Value::Bool(false),
             Some(Token::Null) => Value::Null,
-            other => return Err(parse_err(1, format!("expected literal, got {other:?}"))),
+            other => {
+                return Err(parse_err(
+                    self.line,
+                    lit_col,
+                    format!("expected literal, got {other:?}"),
+                ))
+            }
         };
         Ok(Predicate::cmp(attr, op, value))
     }
@@ -539,7 +658,24 @@ pub fn predicate_to_text(schema: &DatabaseSchema, pred: &Predicate) -> String {
 
 /// Parse a predicate expression against a schema.
 pub fn parse_predicate(schema: &DatabaseSchema, text: &str) -> Result<Predicate> {
-    let tokens = tokenize(text)?;
+    parse_predicate_at(schema, text, 1, 0)
+}
+
+/// [`parse_predicate`] for predicate text embedded in a larger source:
+/// errors report `line` and columns offset by `col0` (the 0-based char
+/// offset of `text` within its source line). Used by the question-file
+/// parser and the static analyzer so `where`-clause diagnostics point
+/// into the original file.
+pub fn parse_predicate_at(
+    schema: &DatabaseSchema,
+    text: &str,
+    line: usize,
+    col0: usize,
+) -> Result<Predicate> {
+    let tokens = tokenize(text).map_err(|e| match e {
+        Error::Parse { col, message, .. } => parse_err(line, col0 + col, message),
+        other => other,
+    })?;
     if tokens.is_empty() {
         return Ok(Predicate::True);
     }
@@ -547,14 +683,22 @@ pub fn parse_predicate(schema: &DatabaseSchema, text: &str) -> Result<Predicate>
         schema,
         tokens,
         pos: 0,
+        line,
+        col0,
+        end_col: text.chars().count() + 1,
     };
     let pred = parser.expr()?;
     if parser.pos != parser.tokens.len() {
+        let col = parser.here();
         return Err(parse_err(
-            1,
+            line,
+            col,
             format!(
                 "trailing tokens after predicate: {:?}",
-                &parser.tokens[parser.pos..]
+                parser.tokens[parser.pos..]
+                    .iter()
+                    .map(|(t, _)| t)
+                    .collect::<Vec<_>>()
             ),
         ));
     }

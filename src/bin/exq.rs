@@ -1,6 +1,7 @@
 //! `exq` — command-line explanation engine.
 //!
 //! ```text
+//! exq check    SCHEMA [QUESTION…] [--format pretty|json]
 //! exq schema   --schema FILE
 //! exq validate --schema FILE --table Rel=FILE…
 //! exq explain  --schema FILE --table Rel=FILE… --question FILE
@@ -13,8 +14,13 @@
 //!
 //! Schemas use the `exq_relstore::parse` DSL, data is CSV (header row),
 //! questions use the `exq_core::qparse` format, and `--phi` takes a
-//! conjunction in the predicate language.
+//! conjunction in the predicate language. `exq check` runs the
+//! `exq_analyze` static analyzer and reports every problem in one pass;
+//! the same analyzer guards the `explain`/`report`/`drill` load path so
+//! bad inputs fail fast with full diagnostics instead of the engine's
+//! first-error-only parse failure.
 
+use exq::analyze::{self, SourceFile};
 use exq::core::explainer::Explainer;
 use exq::core::explanation::Explanation;
 use exq::core::prelude::*;
@@ -77,6 +83,14 @@ impl Args {
 fn load_database(args: &Args) -> Result<Database, String> {
     let schema_file = args.one("schema")?;
     let schema_text = fs::read_to_string(schema_file).map_err(|e| format!("{schema_file}: {e}"))?;
+    let source = SourceFile::schema(schema_file, schema_text.as_str());
+    let analysis = analyze::analyze_schema(&source);
+    if analysis.has_errors() {
+        return Err(format!(
+            "schema rejected by `exq check`:\n\n{}",
+            analysis.render_pretty(&[&source])
+        ));
+    }
     let schema = parse::parse_schema(&schema_text).map_err(|e| e.to_string())?;
     let mut db = Database::new(schema);
     for spec in args.many("table") {
@@ -97,6 +111,14 @@ fn build_explainer<'a>(db: &'a Database, args: &Args) -> Result<Explainer<'a>, S
     let question_file = args.one("question")?;
     let question_text =
         fs::read_to_string(question_file).map_err(|e| format!("{question_file}: {e}"))?;
+    let source = SourceFile::question(question_file, question_text.as_str());
+    let analysis = analyze::analyze_question_against(db.schema(), &source);
+    if analysis.has_errors() {
+        return Err(format!(
+            "question rejected by `exq check`:\n\n{}",
+            analysis.render_pretty(&[&source])
+        ));
+    }
     let question =
         qparse::parse_question(db.schema(), &question_text).map_err(|e| e.to_string())?;
     let mut explainer = Explainer::new(db, question);
@@ -247,7 +269,82 @@ fn cmd_drill(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: exq <schema|validate|profile|explain|report|drill> [--flags]
+/// `exq check SCHEMA [QUESTION…] [--format pretty|json]`.
+///
+/// Positional arguments (unlike the other subcommands): the first path
+/// is the schema, the rest are question files checked against it.
+/// Exits 0 when clean (warnings allowed), 1 when any error-severity
+/// diagnostic fires, 2 on usage errors.
+fn cmd_check(argv: &[String]) -> ExitCode {
+    let mut format = "pretty".to_string();
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--format" => match argv.get(i + 1) {
+                Some(v) if v == "pretty" || v == "json" => {
+                    format = v.clone();
+                    i += 2;
+                }
+                Some(v) => {
+                    eprintln!("error: --format takes pretty|json, got `{v}`\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("error: missing value for --format\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag `{flag}` for check\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => {
+                paths.push(path.to_string());
+                i += 1;
+            }
+        }
+    }
+    let Some((schema_path, question_paths)) = paths.split_first() else {
+        eprintln!("error: check needs a schema file\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| -> Result<String, String> {
+        fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+    };
+    let schema = match read(schema_path) {
+        Ok(text) => SourceFile::schema(schema_path.as_str(), text),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut questions = Vec::new();
+    for path in question_paths {
+        match read(path) {
+            Ok(text) => questions.push(SourceFile::question(path.as_str(), text)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let analysis = analyze::analyze(Some(&schema), &questions);
+    if format == "json" {
+        println!("{}", analysis.render_json());
+    } else {
+        let sources: Vec<&SourceFile> = std::iter::once(&schema).chain(questions.iter()).collect();
+        print!("{}", analysis.render_pretty(&sources));
+    }
+    if analysis.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+const USAGE: &str = "usage: exq <check|schema|validate|profile|explain|report|drill> [--flags]
+  exq check    SCHEMA [QUESTION...] [--format pretty|json]
   exq schema   --schema FILE
   exq validate --schema FILE --table Rel=FILE...
   exq profile  --schema FILE --table Rel=FILE...
@@ -260,6 +357,10 @@ const USAGE: &str = "usage: exq <schema|validate|profile|explain|report|drill> [
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `check` takes positional paths, unlike the --flag-only commands.
+    if argv.first().map(String::as_str) == Some("check") {
+        return cmd_check(&argv[1..]);
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {

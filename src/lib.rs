@@ -8,6 +8,9 @@
 //! * [`core`] (`exq-core`) — the explanation engine of Roy & Suciu
 //!   (SIGMOD 2014): interventions via program **P**, degrees of
 //!   explanation, Algorithm 1, minimal top-K;
+//! * [`analyze`] (`exq-analyze`) — the `exq check` static analyzer:
+//!   tolerant parsing plus semantic lint passes producing multi-error
+//!   diagnostics with stable codes, spans, and fix suggestions;
 //! * [`datagen`] (`exq-datagen`) — seeded synthetic datasets standing in
 //!   for the paper's DBLP, natality, and Geo-DBLP data.
 //!
@@ -19,6 +22,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use exq_analyze as analyze;
 pub use exq_core as core;
 pub use exq_datagen as datagen;
 pub use exq_relstore as relstore;

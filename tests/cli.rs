@@ -285,6 +285,113 @@ fn report_command_produces_full_document() {
     assert!(text.contains("Kendall tau"), "{text}");
 }
 
+const BAD_SCHEMA: &str = "
+relation Author(aid: int key, name: str)
+relation Authored(aid: int, pid: int key)
+relation Publication(pid: int key, venue: str, year: int)
+fk Authored(aid) -> Author
+fk Authored(pid) <-> Publication
+fk Publication(pid) <-> Authored
+";
+
+const BAD_QUESTION: &str = "
+agg pubs = count(*) where venue = 'SIGMOD' and yeer >= 2000 and year = 'twothousand'
+dir high
+";
+
+#[test]
+fn check_command_passes_clean_inputs() {
+    let dir = workdir("check-clean");
+    let schema = write(&dir, "schema.exq", SCHEMA);
+    let q = write(&dir, "question.exq", QUESTION);
+    let out = run(&["check", &schema, &q]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no problems found"));
+}
+
+#[test]
+fn check_command_reports_every_fault_in_one_run() {
+    let dir = workdir("check-bad");
+    let schema = write(&dir, "schema.exq", BAD_SCHEMA);
+    let q = write(&dir, "question.exq", BAD_QUESTION);
+
+    // Pretty output: all three distinct codes, each with a line:col span.
+    let out = run(&["check", &schema, &q]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("error[E007]"), "{text}"); // fk cycle
+    assert!(text.contains("error[E002]"), "{text}"); // unknown attribute
+    assert!(text.contains("error[E008]"), "{text}"); // type mismatch
+    assert!(text.contains(&format!("{schema}:7:4")), "{text}");
+    assert!(text.contains(&format!("{q}:2:48")), "{text}");
+    assert!(text.contains(&format!("{q}:2:72")), "{text}");
+    assert!(text.contains("3 errors"), "{text}");
+
+    // JSON output: same codes and spans, machine-readable.
+    let out = run(&["check", &schema, &q, "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"errors\":3"), "{json}");
+    for code in ["E007", "E002", "E008"] {
+        assert!(json.contains(&format!("\"code\":\"{code}\"")), "{json}");
+    }
+    assert!(json.contains("\"line\":2,\"col\":48"), "{json}");
+}
+
+#[test]
+fn check_command_usage_errors_exit_2() {
+    let out = run(&["check"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a schema"));
+
+    let dir = workdir("check-usage");
+    let schema = write(&dir, "schema.exq", SCHEMA);
+    let out = run(&["check", &schema, "--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = run(&["check", &dir.join("missing.exq").to_string_lossy()]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn explain_load_path_fails_fast_with_all_diagnostics() {
+    let dir = workdir("check-gate");
+    let schema = write(&dir, "schema.exq", SCHEMA);
+    let a = write(&dir, "a.csv", AUTHORS);
+    let ad = write(&dir, "ad.csv", AUTHORED);
+    let p = write(&dir, "p.csv", PUBS);
+    // Two faults in one question: both must be reported, not just the first.
+    let q = write(
+        &dir,
+        "question.exq",
+        "agg n = count(*) where venu = 'SIGMOD' and dom = 42\ndir high\n",
+    );
+    let out = run(&[
+        "explain",
+        "--schema",
+        &schema,
+        "--table",
+        &format!("Author={a}"),
+        "--table",
+        &format!("Authored={ad}"),
+        "--table",
+        &format!("Publication={p}"),
+        "--question",
+        &q,
+        "--attrs",
+        "Author.name",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("rejected by `exq check`"), "{err}");
+    assert!(err.contains("error[E002]"), "{err}");
+    assert!(err.contains("error[E008]"), "{err}");
+}
+
 #[test]
 fn bad_usage_fails_cleanly() {
     let out = run(&[]);

@@ -62,8 +62,15 @@ fn empty_database_through_the_whole_pipeline() {
         CubeStrategy::LatticeRollup,
         CubeStrategy::Auto,
     ] {
-        let c = cube::compute(&db, &u, &Predicate::True, &[g], &AggFunc::CountStar, strategy)
-            .unwrap();
+        let c = cube::compute(
+            &db,
+            &u,
+            &Predicate::True,
+            &[g],
+            &AggFunc::CountStar,
+            strategy,
+        )
+        .unwrap();
         assert!(c.is_empty());
     }
 
@@ -81,7 +88,10 @@ fn empty_database_through_the_whole_pipeline() {
         .unwrap();
     let (table, _) = explainer.table().unwrap();
     assert!(table.is_empty());
-    assert!(explainer.top(DegreeKind::Intervention, 5).unwrap().is_empty());
+    assert!(explainer
+        .top(DegreeKind::Intervention, 5)
+        .unwrap()
+        .is_empty());
     let q = explainer.question().query.eval(&db).unwrap();
     assert!((q - 1.0).abs() < 1e-9, "ε/ε = 1");
 }
@@ -111,8 +121,8 @@ fn selection_matching_nothing() {
     );
     let u = Universal::compute(&db, &db.full_view());
     // Cube pipeline: no tuple matches any sub-query → M is empty.
-    let m = cube_algo::explanation_table(&db, &u, &question, &[g], CubeAlgoConfig::checked())
-        .unwrap();
+    let m =
+        cube_algo::explanation_table(&db, &u, &question, &[g], CubeAlgoConfig::checked()).unwrap();
     assert!(m.is_empty());
     // Naive agrees.
     let engine = InterventionEngine::new(&db);
@@ -125,7 +135,8 @@ fn trivial_explanation_stays_out_of_rankings() {
     // Even at k = |M| + 1 the trivial all-null explanation never appears.
     let mut db = empty_db();
     for (i, g) in ["a", "a", "b"].iter().enumerate() {
-        db.insert("R", vec![(i as i64).into(), (*g).into()]).unwrap();
+        db.insert("R", vec![(i as i64).into(), (*g).into()])
+            .unwrap();
     }
     let explainer = Explainer::new(&db, ratio_question(&db))
         .attr_names(&["R.g"])
@@ -151,7 +162,8 @@ fn trivial_explanation_stays_out_of_rankings() {
 fn maximal_intervention_empties_the_database_consistently() {
     let mut db = empty_db();
     for (i, g) in ["a", "b"].iter().enumerate() {
-        db.insert("R", vec![(i as i64).into(), (*g).into()]).unwrap();
+        db.insert("R", vec![(i as i64).into(), (*g).into()])
+            .unwrap();
     }
     let engine = InterventionEngine::new(&db);
     let iv = engine.compute(&Explanation::trivial());
@@ -179,8 +191,14 @@ fn zero_k_top_k_is_empty() {
     let explainer = Explainer::new(&db, ratio_question(&db))
         .attr_names(&["R.g"])
         .unwrap();
-    assert!(explainer.top(DegreeKind::Intervention, 0).unwrap().is_empty());
-    assert!(explainer.top(DegreeKind::Aggravation, 0).unwrap().is_empty());
+    assert!(explainer
+        .top(DegreeKind::Intervention, 0)
+        .unwrap()
+        .is_empty());
+    assert!(explainer
+        .top(DegreeKind::Aggravation, 0)
+        .unwrap()
+        .is_empty());
 }
 
 #[test]

@@ -35,15 +35,18 @@ fn figure2_bump_explanations_have_the_paper_shape() {
         .with_smoothing(1e-4),
         Direction::High,
     );
-    assert!(question.query.eval(&db).unwrap() > 2.0, "the bump is pronounced");
+    assert!(
+        question.query.eval(&db).unwrap() > 2.0,
+        "the bump is pronounced"
+    );
 
     let u = Universal::compute(&db, &db.full_view());
     let dims = vec![
         schema.attr("Author", "inst").unwrap(),
         schema.attr("Author", "name").unwrap(),
     ];
-    let m = cube_algo::explanation_table(&db, &u, &question, &dims, CubeAlgoConfig::checked())
-        .unwrap();
+    let m =
+        cube_algo::explanation_table(&db, &u, &question, &dims, CubeAlgoConfig::checked()).unwrap();
     let top = topk::top_k(
         &m,
         DegreeKind::Intervention,
@@ -51,7 +54,10 @@ fn figure2_bump_explanations_have_the_paper_shape() {
         TopKStrategy::MinimalAppend,
         MinimalityPolarity::PreferGeneral,
     );
-    let texts: Vec<String> = top.iter().map(|r| r.explanation.display(&db).to_string()).collect();
+    let texts: Vec<String> = top
+        .iter()
+        .map(|r| r.explanation.display(&db).to_string())
+        .collect();
     let any = |needle: &str| texts.iter().any(|t| t.contains(needle));
 
     // The two explanation families of Figure 2 must both appear:
@@ -69,7 +75,11 @@ fn figure2_bump_explanations_have_the_paper_shape() {
     // removing the explanation flattens the bump below Q(D)).
     let q_d = question.query.eval(&db).unwrap();
     for r in &top {
-        assert!(-r.degree < q_d, "intervention must lower Q: {}", r.explanation.display(&db));
+        assert!(
+            -r.degree < q_d,
+            "intervention must lower Q: {}",
+            r.explanation.display(&db)
+        );
     }
 }
 
@@ -78,7 +88,10 @@ fn figure10_intervention_families_hold() {
     // The favourable-circumstance predicates must dominate the Q_Race
     // top-5 (married / non-smoking / early prenatal / educated / prime
     // age), matching the paper's Figure 10.
-    let db = natality::generate(&natality::NatalityConfig { rows: 60_000, seed: 7 });
+    let db = natality::generate(&natality::NatalityConfig {
+        rows: 60_000,
+        seed: 7,
+    });
     let schema = db.schema();
     let ap = schema.attr("Natality", "ap").unwrap();
     let race = schema.attr("Natality", "race").unwrap();
@@ -102,8 +115,7 @@ fn figure10_intervention_families_hold() {
     ];
     let u = Universal::compute(&db, &db.full_view());
     let mut m =
-        cube_algo::explanation_table(&db, &u, &question, &dims, CubeAlgoConfig::checked())
-            .unwrap();
+        cube_algo::explanation_table(&db, &u, &question, &dims, CubeAlgoConfig::checked()).unwrap();
     m.retain_min_support(1000.0 * 60_000.0 / 4_000_000.0);
     let top = topk::top_k(
         &m,
@@ -112,19 +124,34 @@ fn figure10_intervention_families_hold() {
         TopKStrategy::MinimalSelfJoin,
         MinimalityPolarity::PreferGeneral,
     );
-    let texts: Vec<String> = top.iter().map(|r| r.explanation.display(&db).to_string()).collect();
+    let texts: Vec<String> = top
+        .iter()
+        .map(|r| r.explanation.display(&db).to_string())
+        .collect();
 
     // All top-5 are short (minimality prefers general explanations) …
     for r in &top {
         assert!(r.explanation.len() <= 2, "over-specific: {:?}", texts);
     }
     // … and the favourable markers the paper lists appear.
-    let favourable = ["non smoking", "1st trim", "married", ">=16yrs", "13-15yrs", "25-29", "30-34", "35-39"];
+    let favourable = [
+        "non smoking",
+        "1st trim",
+        "married",
+        ">=16yrs",
+        "13-15yrs",
+        "25-29",
+        "30-34",
+        "35-39",
+    ];
     let hits = texts
         .iter()
         .filter(|t| favourable.iter().any(|f| t.contains(f)))
         .count();
-    assert!(hits >= 3, "favourable-circumstance explanations missing: {texts:?}");
+    assert!(
+        hits >= 3,
+        "favourable-circumstance explanations missing: {texts:?}"
+    );
 
     // Intervention lowers the ratio: μ = −Q(D−Δ) > −Q(D).
     let q_d = question.query.eval(&db).unwrap();

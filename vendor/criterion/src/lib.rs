@@ -1,0 +1,219 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion/0.5)
+//! benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of the criterion 0.5 API the `exq-bench`
+//! benches use: [`Criterion::benchmark_group`], group `sample_size` /
+//! `bench_function` / `bench_with_input` / `finish`, [`BenchmarkId`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing is a simple best-of-N wall-clock measurement printed to
+//! stdout — adequate for smoke runs (`cargo bench -- --quick`) and for
+//! relative comparisons, without the statistical machinery.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark (kept tiny; this harness is
+/// for smoke coverage, not publication-grade statistics).
+const MEASURE_ITERS: u32 = 10;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// Convert to the canonical id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    nanos: u128,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the best of a few batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warmup, then MEASURE_ITERS timed runs; record the minimum.
+        std::hint::black_box(routine());
+        let mut best = u128::MAX;
+        for _ in 0..MEASURE_ITERS {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            best = best.min(start.elapsed().as_nanos());
+        }
+        self.nanos = best;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is fixed in this stub.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run `f` as a benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { nanos: 0 };
+        f(&mut b);
+        println!(
+            "{}/{}: {} ns/iter (best of {MEASURE_ITERS})",
+            self.name,
+            id.into_id(),
+            b.nanos
+        );
+        self
+    }
+
+    /// Run `f` with a borrowed input as a benchmark named `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { nanos: 0 };
+        f(&mut b, input);
+        println!(
+            "{}/{}: {} ns/iter (best of {MEASURE_ITERS})",
+            self.name,
+            id.into_id(),
+            b.nanos
+        );
+        self
+    }
+
+    /// End the group (no-op; provided for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { nanos: 0 };
+        f(&mut b);
+        println!("{name}: {} ns/iter (best of {MEASURE_ITERS})", b.nanos);
+        self
+    }
+}
+
+/// Prevent the optimizer from discarding a value (re-export of
+/// [`std::hint::black_box`] under criterion's name).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundle benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point invoking each [`criterion_group!`] runner. Command-line
+/// flags (e.g. `--quick`) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Flags like `--quick` configure sampling upstream; the stub's
+            // sampling is already minimal.
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 7 * 6));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,430 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest/1)
+//! crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of the proptest 1.x API the workspace's
+//! property tests use:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `prop_recursive`, `boxed`;
+//! * `any::<T>()`, ranges, tuples, [`Just`], `&'static str` character
+//!   classes (`"[a-z]{0,6}"`), [`collection::vec`], [`option::of`];
+//! * the [`proptest!`] macro (with `#![proptest_config(…)]`),
+//!   [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`];
+//! * [`test_runner::TestRunner`] / [`test_runner::ProptestConfig`] /
+//!   [`test_runner::TestCaseError`].
+//!
+//! It generates deterministic pseudo-random inputs but does **not**
+//! shrink failures or persist regression seeds; a failing case panics
+//! with its debug-printed input so it can be reproduced by hand.
+
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, BoxedStrategy, Just, Strategy, Union};
+
+/// Collection strategies (subset: [`collection::vec`]).
+pub mod collection {
+    use super::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// `Option` strategies (subset: [`option::of`]).
+pub mod option {
+    use super::strategy::{OptionStrategy, Strategy};
+
+    /// Strategy producing `Some` of the inner strategy most of the time
+    /// and `None` occasionally.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// The usual imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Internal deterministic generator used by the runner and strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor; the runner derives one seed per test case.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next 64 pseudo-random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample below 0");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Boxed sampling function shared by [`BoxedStrategy`] and [`Union`].
+pub(crate) type SampleFn<T> = Rc<dyn Fn(&mut TestRng) -> T>;
+
+/// Re-exported so `proptest::proptest! {}` paths work like upstream.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each embedded test fn.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($cfg);
+            let strategy = ($($strat,)+);
+            runner.run(&strategy, |($($pat,)+)| {
+                $body
+                #[allow(unreachable_code)]
+                ::core::result::Result::Ok(())
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Uniformly choose between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Fallible assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fallible equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{}\n  left: {:?}\n right: {:?}", format!($($fmt)*), a, b),
+            ));
+        }
+    }};
+}
+
+/// Fallible inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Character-class string patterns (`"[a-z]{0,6}"`), the subset of
+/// proptest's regex string strategies the tests rely on. Supports one
+/// bracketed class with ranges, escapes, and Java-style `&&[^…]`
+/// subtraction, followed by an optional `{m,n}` repetition.
+pub(crate) fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+
+    fn parse_class(chars: &[char], i: &mut usize) -> Vec<char> {
+        // *i points at '['.
+        *i += 1;
+        let negate = chars.get(*i) == Some(&'^');
+        if negate {
+            *i += 1;
+        }
+        let mut include: Vec<char> = Vec::new();
+        let mut intersect: Option<Vec<char>> = None;
+        while *i < chars.len() && chars[*i] != ']' {
+            if chars[*i] == '&'
+                && chars.get(*i + 1) == Some(&'&')
+                && chars.get(*i + 2) == Some(&'[')
+            {
+                *i += 2;
+                intersect = Some(parse_class(chars, i));
+                continue;
+            }
+            let lo = read_char(chars, i);
+            if chars.get(*i) == Some(&'-') && chars.get(*i + 1).is_some_and(|&c| c != ']') {
+                *i += 1;
+                let hi = read_char(chars, i);
+                for c in lo..=hi {
+                    include.push(c);
+                }
+            } else {
+                include.push(lo);
+            }
+        }
+        if *i < chars.len() {
+            *i += 1; // ']'
+        }
+        if negate {
+            // Negation over printable ASCII, enough for test inputs.
+            let all: Vec<char> = (' '..='~').collect();
+            include = all.into_iter().filter(|c| !include.contains(c)).collect();
+        }
+        // Java-style `&&[…]` is class intersection.
+        if let Some(other) = intersect {
+            include.retain(|c| other.contains(c));
+        }
+        include
+    }
+
+    fn read_char(chars: &[char], i: &mut usize) -> char {
+        let c = chars[*i];
+        *i += 1;
+        if c != '\\' || *i >= chars.len() {
+            return c;
+        }
+        let e = chars[*i];
+        *i += 1;
+        match e {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            other => other,
+        }
+    }
+
+    let mut out = String::new();
+    while i < chars.len() {
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            parse_class(&chars, &mut i)
+        } else if chars[i] == '.' {
+            i += 1;
+            (' '..='~').collect()
+        } else {
+            let c = read_char(&chars, &mut i);
+            vec![c]
+        };
+        // Optional {m,n} / {n} repetition.
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            i += 1;
+            let mut lo = 0usize;
+            while chars.get(i).is_some_and(char::is_ascii_digit) {
+                lo = lo * 10 + chars[i].to_digit(10).unwrap() as usize;
+                i += 1;
+            }
+            let hi = if chars.get(i) == Some(&',') {
+                i += 1;
+                let mut hi = 0usize;
+                while chars.get(i).is_some_and(char::is_ascii_digit) {
+                    hi = hi * 10 + chars[i].to_digit(10).unwrap() as usize;
+                    i += 1;
+                }
+                hi
+            } else {
+                lo
+            };
+            if chars.get(i) == Some(&'}') {
+                i += 1;
+            }
+            (lo, hi)
+        } else if chars.get(i) == Some(&'*') {
+            i += 1;
+            (0, 8)
+        } else if chars.get(i) == Some(&'+') {
+            i += 1;
+            (1, 8)
+        } else {
+            (1, 1)
+        };
+        if alphabet.is_empty() {
+            continue;
+        }
+        let len = lo + rng.below(hi - lo + 1);
+        for _ in 0..len {
+            out.push(alphabet[rng.below(alphabet.len())]);
+        }
+    }
+    out
+}
+
+/// Values with a default strategy, used by [`any`].
+pub trait Arbitrary: Sized + Debug {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly printable ASCII, occasionally any scalar value.
+        if rng.below(8) == 0 {
+            char::from_u32(rng.next_u64() as u32 % 0xD800).unwrap_or('\u{FFFD}')
+        } else {
+            (b' ' + rng.below(95) as u8) as char
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Like upstream's default: finite values only (no NaN/inf), with
+        // zeros and extremes mixed in.
+        match rng.below(8) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f32::MIN_POSITIVE,
+            _ => ((rng.unit() - 0.5) * 2e6) as f32,
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        match rng.below(8) {
+            0 => 0.0,
+            1 => -0.0,
+            _ => (rng.unit() - 0.5) * 2e12,
+        }
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+
+impl_arbitrary_tuple!(A, B);
+impl_arbitrary_tuple!(A, B, C);
+impl_arbitrary_tuple!(A, B, C, D);
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn patterns_generate_in_class() {
+        let mut rng = crate::TestRng::new(1);
+        for _ in 0..200 {
+            let s = crate::sample_pattern("[a-z]{0,6}", &mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = crate::sample_pattern("[ -~&&[^\\\\]]{0,8}", &mut rng);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c) && c != '\\'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn macro_and_strategies_work(
+            xs in crate::collection::vec((0u8..6, any::<bool>()), 1..12),
+            o in crate::option::of(any::<i32>()),
+            s in "[a-z]{1,3}",
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 12);
+            for (x, _) in &xs {
+                prop_assert!(*x < 6);
+            }
+            if let Some(v) = o {
+                let _ = v;
+            }
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+        }
+
+        #[test]
+        fn oneof_and_recursive(
+            v in prop_oneof![Just(0usize), 1usize..4, Just(9usize)].prop_recursive(
+                2, 8, 2, |inner| inner.prop_map(|x| x.min(9))),
+        ) {
+            prop_assert!(v <= 9);
+        }
+    }
+}

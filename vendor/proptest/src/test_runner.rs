@@ -1,0 +1,92 @@
+//! Test execution: configuration, the error type returned by
+//! `prop_assert!`, and the case-loop runner.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::fmt;
+
+/// Runner configuration (subset: `cases`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases generated per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+    /// The input was rejected (e.g. by an explicit assumption).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given message.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Generates inputs and runs the property closure over them.
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> TestRunner {
+        TestRunner { config }
+    }
+
+    /// Run `test` over `config.cases` generated inputs. Panics (failing
+    /// the enclosing `#[test]`) on the first case whose closure returns
+    /// [`TestCaseError::Fail`]; the input's `Debug` form is included so
+    /// the case can be reproduced. Rejected cases are skipped.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::new(0xE2C5_D1A0_u64 ^ (u64::from(case) << 17));
+            let value = strategy.sample(&mut rng);
+            let repr = format!("{value:?}");
+            match test(value) {
+                Ok(()) | Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest case #{case} failed: {msg}\n  input: {repr}")
+                }
+            }
+        }
+    }
+}
