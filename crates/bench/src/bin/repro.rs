@@ -2,7 +2,8 @@
 //!
 //! Usage: `repro <experiment> [full]` where `<experiment>` is one of
 //! `fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
-//! ex37 ex41 all`. The optional `full` flag runs the timing sweeps at
+//! ex37 ex41 ablation scaling hybrid agreement export all`. The optional
+//! `full` flag runs the timing sweeps at
 //! paper scale (millions of rows); the default keeps every experiment
 //! under a few seconds. Build with `--release` for meaningful timings.
 
@@ -15,7 +16,7 @@ use exq_core::{cube_algo, naive, topk};
 use exq_datagen::{chain, dblp, geodblp, paper_examples};
 use exq_relstore::aggregate::{evaluate, AggFunc};
 use exq_relstore::cube::CubeStrategy;
-use exq_relstore::{Database, Predicate, Universal, Value};
+use exq_relstore::{Database, ExecConfig, Predicate, Universal, Value};
 use std::time::{Duration, Instant};
 
 fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
@@ -593,6 +594,81 @@ fn ex41() {
     }
 }
 
+fn scaling(full: bool) {
+    header("Thread scaling — join → cube → Algorithm 1 at 1/2/4/8 threads");
+    let threads = [1usize, 2, 4, 8];
+
+    // (a) The Figure 13 workload: Algorithm 1 end-to-end (universal join,
+    // per-sub-query cubes, degree derivation), Q_Race and Q_Marital.
+    let rows = if full { 2_000_000 } else { 400_000 };
+    let db = natality_db(rows);
+    let dims = natality_dims(&db, 4);
+    println!(
+        "(host reports {} available core(s))",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+    // Warm-up: fault in the data and let the allocator settle, so the
+    // 1-thread row is not penalized for going first.
+    {
+        let u = Universal::compute(&db, &db.full_view());
+        let _ =
+            cube_algo::explanation_table(&db, &u, &q_race(&db), &dims, CubeAlgoConfig::checked())
+                .unwrap();
+    }
+    println!("(a) Algorithm 1, Figure 13 workload ({rows} rows, d = 4)");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>12} {:>9}",
+        "threads", "join", "Q_Race M", "Q_Marital M", "total", "speedup"
+    );
+    let mut baseline: Option<(Duration, exq_core::table_m::ExplanationTable)> = None;
+    for &n in &threads {
+        let exec = ExecConfig::with_threads(n);
+        let (u, t_join) = timed(|| Universal::compute_with(&db, &db.full_view(), &exec));
+        let config = CubeAlgoConfig::checked().with_exec(exec);
+        let (m_race, t_race) =
+            timed(|| cube_algo::explanation_table(&db, &u, &q_race(&db), &dims, config).unwrap());
+        let (_, t_marital) = timed(|| {
+            cube_algo::explanation_table(&db, &u, &q_marital(&db), &dims, config).unwrap()
+        });
+        let total = t_join + t_race + t_marital;
+        let speedup = baseline
+            .as_ref()
+            .map_or(1.0, |(t1, _)| t1.as_secs_f64() / total.as_secs_f64());
+        match &baseline {
+            None => baseline = Some((total, m_race)),
+            Some((_, m1)) => assert_eq!(m1, &m_race, "tables must be bit-identical"),
+        }
+        println!(
+            "{:>8} {:>12?} {:>12?} {:>14?} {:>12?} {:>8.2}x",
+            n, t_join, t_race, t_marital, total, speedup
+        );
+    }
+
+    // (b) The Figure 12 workload: the naive engine, parallel across
+    // candidates (program P per candidate).
+    let nrows = if full { 40_000 } else { 8_000 };
+    let db = natality_db(nrows);
+    let dims = natality_dims(&db, 2);
+    let question = q_race(&db);
+    let u = Universal::compute(&db, &db.full_view());
+    let engine = InterventionEngine::with_universal(&db, u);
+    println!("\n(b) naive engine, Figure 12 workload ({nrows} rows, d = 2)");
+    println!("{:>8} {:>12} {:>9}", "threads", "table M", "speedup");
+    let mut base: Option<Duration> = None;
+    for &n in &threads {
+        let exec = ExecConfig::with_threads(n);
+        let (_, t) = timed(|| {
+            naive::explanation_table_naive_with(&db, &engine, &question, &dims, &exec).unwrap()
+        });
+        let speedup = base
+            .as_ref()
+            .map_or(1.0, |t1| t1.as_secs_f64() / t.as_secs_f64());
+        base.get_or_insert(t);
+        println!("{:>8} {:>12?} {:>8.2}x", n, t, speedup);
+    }
+    println!("(every thread count produces a bit-identical table; asserted for (a))");
+}
+
 fn ablation_cube(full: bool) {
     header("Ablation — cube implementations (DESIGN.md §5)");
     let rows = if full { 200_000 } else { 50_000 };
@@ -736,6 +812,7 @@ fn main() {
         "ex37" => ex37(),
         "ex41" => ex41(),
         "ablation" => ablation_cube(full),
+        "scaling" => scaling(full),
         "hybrid" => hybrid_table(),
         "agreement" => agreement_table(nat_rows),
         "export" => export(args.get(2).map(String::as_str).unwrap_or("export"), 100_000),
@@ -752,13 +829,15 @@ fn main() {
             fig14(full);
             fig15();
             ablation_cube(full);
+            scaling(full);
             hybrid_table();
             agreement_table(nat_rows);
         }
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of fig1 fig2 fig6 fig7 fig8 fig9 \
-                 fig10 fig11 fig12 fig13 fig14 fig15 ex37 ex41 ablation hybrid agreement export all"
+                 fig10 fig11 fig12 fig13 fig14 fig15 ex37 ex41 ablation scaling hybrid \
+                 agreement export all"
             );
             std::process::exit(2);
         }

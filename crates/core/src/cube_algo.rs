@@ -14,13 +14,13 @@
 use crate::additivity::check_query;
 use crate::error::{Error, Result};
 use crate::question::UserQuestion;
-use crate::table_m::{ExplanationRow, ExplanationTable};
+use crate::table_m::{self, ExplanationTable};
 use exq_relstore::cube::{self, Coord, CubeStrategy};
-use exq_relstore::{AttrRef, Database, Universal, Value};
+use exq_relstore::{AttrRef, Database, ExecConfig, Universal, Value};
 use std::collections::HashMap;
 
 /// Configuration for Algorithm 1.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct CubeAlgoConfig {
     /// Which cube implementation to use.
     pub strategy: CubeStrategy,
@@ -29,6 +29,15 @@ pub struct CubeAlgoConfig {
     /// anyway — the μ_interv column is then an *approximation* (the
     /// μ_aggr column is always exact).
     pub enforce_additivity: bool,
+    /// The executor the cubes and the degree derivation run on. Output is
+    /// bit-identical at any thread count.
+    pub exec: ExecConfig,
+}
+
+impl Default for CubeAlgoConfig {
+    fn default() -> CubeAlgoConfig {
+        CubeAlgoConfig::unchecked()
+    }
 }
 
 impl CubeAlgoConfig {
@@ -37,6 +46,7 @@ impl CubeAlgoConfig {
         CubeAlgoConfig {
             strategy: CubeStrategy::default(),
             enforce_additivity: true,
+            exec: ExecConfig::sequential(),
         }
     }
 
@@ -45,7 +55,14 @@ impl CubeAlgoConfig {
         CubeAlgoConfig {
             strategy: CubeStrategy::default(),
             enforce_additivity: false,
+            exec: ExecConfig::sequential(),
         }
+    }
+
+    /// Replace the executor.
+    pub fn with_exec(mut self, exec: ExecConfig) -> CubeAlgoConfig {
+        self.exec = exec;
+        self
     }
 }
 
@@ -79,7 +96,15 @@ pub fn explanation_table(
     let m = question.query.arity();
     let mut joined: HashMap<Coord, Vec<f64>> = HashMap::new();
     for (j, q) in question.query.aggregates.iter().enumerate() {
-        let c = cube::compute(db, u, &q.selection, dims, &q.func, config.strategy)?;
+        let c = cube::compute_with(
+            db,
+            u,
+            &q.selection,
+            dims,
+            &q.func,
+            config.strategy,
+            &config.exec,
+        )?;
         // Line 3: full outer join via the dummy-value trick — null
         // coordinates are replaced by the reserved dummy so the hash join
         // key is a plain value vector (Section 4.2's optimization).
@@ -98,34 +123,10 @@ pub fn explanation_table(
         }
     }
 
-    // Lines 4-5: degree columns.
-    let interv_sign = question.direction.interv_sign();
-    let aggr_sign = question.direction.aggr_sign();
-    let mut rows: Vec<ExplanationRow> = joined
-        .into_iter()
-        .filter_map(|(key, values)| {
-            // Undo the dummy mapping.
-            let coord: Coord = key
-                .iter()
-                .map(|v| if v.is_dummy() { Value::Null } else { v.clone() })
-                .collect();
-            if coord.iter().all(Value::is_null) {
-                return None; // trivial explanation, excluded from M
-            }
-            let residual_vals: Vec<f64> = totals
-                .iter()
-                .zip(&values)
-                .map(|(u_j, v_j)| u_j - v_j)
-                .collect();
-            Some(ExplanationRow {
-                coord,
-                mu_interv: interv_sign * question.query.combine(&residual_vals),
-                mu_aggr: aggr_sign * question.query.combine(&values),
-                values,
-            })
-        })
-        .collect();
-    rows.sort_by(|a, b| a.coord.cmp(&b.coord));
+    // Lines 4-5: degree columns, derived per cell in parallel blocks (the
+    // helper re-sorts by coordinate, so the HashMap drain order is moot).
+    let cells: Vec<(Coord, Vec<f64>)> = joined.into_iter().collect();
+    let rows = table_m::derive_rows(question, &totals, &cells, &config.exec);
 
     Ok(ExplanationTable {
         dims: dims.to_vec(),
@@ -258,7 +259,7 @@ mod tests {
             &dims(&db),
             CubeAlgoConfig {
                 strategy: CubeStrategy::SubsetEnumeration,
-                enforce_additivity: true,
+                ..CubeAlgoConfig::checked()
             },
         )
         .unwrap();
@@ -269,7 +270,7 @@ mod tests {
             &dims(&db),
             CubeAlgoConfig {
                 strategy: CubeStrategy::LatticeRollup,
-                enforce_additivity: true,
+                ..CubeAlgoConfig::checked()
             },
         )
         .unwrap();

@@ -42,7 +42,7 @@ use crate::naive;
 use crate::question::UserQuestion;
 use crate::table_m::ExplanationTable;
 use crate::topk::{self, DegreeKind, MinimalityPolarity, Ranked, TopKStrategy};
-use exq_relstore::{AttrRef, Database, Universal};
+use exq_relstore::{AttrRef, Database, ExecConfig, Universal};
 use std::cell::OnceCell;
 
 /// Which engine produced an explanation table.
@@ -72,35 +72,58 @@ pub struct DegreeReport {
 pub struct Explainer<'a> {
     db: &'a Database,
     question: UserQuestion,
-    universal: Universal,
+    // Computed lazily so the executor choice (a builder call) is in
+    // effect by the time the join runs.
+    universal: OnceCell<Universal>,
     dims: Vec<AttrRef>,
     cube_config: CubeAlgoConfig,
     min_support: Option<f64>,
     topk_strategy: TopKStrategy,
     polarity: MinimalityPolarity,
     force_naive: bool,
+    exec: ExecConfig,
     // Materialized once per configuration; the builder methods consume
     // `self`, so a stale cache cannot be observed.
     table_cache: OnceCell<(ExplanationTable, EngineChoice)>,
 }
 
 impl<'a> Explainer<'a> {
-    /// Create a pipeline for one user question. Computes the universal
-    /// relation once; every subsequent call reuses it.
+    /// Create a pipeline for one user question. The universal relation is
+    /// computed on first use and reused by every subsequent call.
+    ///
+    /// The library default executor is sequential; opt in to parallelism
+    /// with [`Explainer::threads`] or [`Explainer::exec`]. Every parallel
+    /// path is bit-identical to the sequential one.
     pub fn new(db: &'a Database, question: UserQuestion) -> Explainer<'a> {
-        let universal = Universal::compute(db, &db.full_view());
         Explainer {
             db,
             question,
-            universal,
+            universal: OnceCell::new(),
             dims: Vec::new(),
             cube_config: CubeAlgoConfig::checked(),
             min_support: None,
             topk_strategy: TopKStrategy::MinimalSelfJoin,
             polarity: MinimalityPolarity::PreferGeneral,
             force_naive: false,
+            exec: ExecConfig::sequential(),
             table_cache: OnceCell::new(),
         }
+    }
+
+    /// Run the pipeline on `n` OS threads (clamped to at least one).
+    pub fn threads(self, n: usize) -> Explainer<'a> {
+        self.exec(ExecConfig::with_threads(n))
+    }
+
+    /// Run the pipeline on an explicit executor.
+    pub fn exec(mut self, exec: ExecConfig) -> Explainer<'a> {
+        self.exec = exec;
+        self
+    }
+
+    fn universal(&self) -> &Universal {
+        self.universal
+            .get_or_init(|| Universal::compute_with(self.db, &self.db.full_view(), &self.exec))
     }
 
     /// Set the explanation attributes `A'`.
@@ -170,20 +193,28 @@ impl<'a> Explainer<'a> {
     }
 
     fn compute_table(&self) -> Result<(ExplanationTable, EngineChoice)> {
-        let additive =
-            crate::additivity::query_is_additive(self.db, &self.universal, &self.question.query);
+        let u = self.universal();
+        let additive = crate::additivity::query_is_additive(self.db, u, &self.question.query);
         let (mut table, choice) = if additive && !self.force_naive {
             let t = cube_algo::explanation_table(
                 self.db,
-                &self.universal,
+                u,
                 &self.question,
                 &self.dims,
-                self.cube_config,
+                self.cube_config.with_exec(self.exec),
             )?;
             (t, EngineChoice::Cube)
         } else {
-            let engine = InterventionEngine::with_universal(self.db, self.universal.clone());
-            let t = naive::explanation_table_naive(self.db, &engine, &self.question, &self.dims)?;
+            // The engine stays sequential: the naive table parallelizes
+            // across candidates, and each candidate owns its fixpoint run.
+            let engine = InterventionEngine::with_universal(self.db, u.clone());
+            let t = naive::explanation_table_naive_with(
+                self.db,
+                &engine,
+                &self.question,
+                &self.dims,
+                &self.exec,
+            )?;
             (t, EngineChoice::Naive)
         };
         if let Some(threshold) = self.min_support {
@@ -213,7 +244,8 @@ impl<'a> Explainer<'a> {
         candidates: Vec<crate::rich::RichExplanation>,
         k: usize,
     ) -> Result<Vec<crate::rich::RankedRich>> {
-        let engine = InterventionEngine::with_universal(self.db, self.universal.clone());
+        let engine = InterventionEngine::with_universal(self.db, self.universal().clone())
+            .with_exec(self.exec);
         let mut ranked = crate::rich::evaluate_candidates(&engine, &self.question, candidates)?;
         ranked.truncate(k);
         Ok(ranked)
@@ -227,17 +259,18 @@ impl<'a> Explainer<'a> {
         max_span: usize,
         k: usize,
     ) -> Result<Vec<crate::rich::RankedRich>> {
-        let candidates = crate::rich::range_candidates(self.db, &self.universal, attr, max_span);
+        let candidates = crate::rich::range_candidates(self.db, self.universal(), attr, max_span);
         self.rich_top(candidates, k)
     }
 
     /// Exact drill-down for one explanation: all three degrees plus the
     /// intervention itself.
     pub fn explain(&self, phi: &Explanation) -> Result<DegreeReport> {
-        let engine = InterventionEngine::with_universal(self.db, self.universal.clone());
+        let u = self.universal();
+        let engine = InterventionEngine::with_universal(self.db, u.clone()).with_exec(self.exec);
         let (mu_interv, intervention) = degree::mu_interv(&engine, &self.question, phi)?;
-        let mu_aggr = degree::mu_aggr(self.db, &self.universal, &self.question, phi)?;
-        let mu_hybrid = hybrid::mu_hybrid(self.db, &self.universal, &self.question, phi)?;
+        let mu_aggr = degree::mu_aggr(self.db, u, &self.question, phi)?;
+        let mu_hybrid = hybrid::mu_hybrid(self.db, u, &self.question, phi)?;
         Ok(DegreeReport {
             mu_interv,
             mu_aggr,
@@ -408,6 +441,31 @@ mod tests {
                 );
             }
             other => panic!("expected a range, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threads_builder_is_bit_identical_for_both_engines() {
+        let db = flat_db();
+        for force_naive in [false, true] {
+            let base = || {
+                let e = Explainer::new(&db, ratio_question(&db))
+                    .attr_names(&["R.g"])
+                    .unwrap();
+                if force_naive {
+                    e.force_naive()
+                } else {
+                    e
+                }
+            };
+            let (sequential, _) = base().table().unwrap();
+            for threads in [2, 7] {
+                let (parallel, _) = base().threads(threads).table().unwrap();
+                assert_eq!(
+                    sequential, parallel,
+                    "threads = {threads}, force_naive = {force_naive}"
+                );
+            }
         }
     }
 

@@ -67,7 +67,9 @@
 
 use crate::explanation::Explanation;
 use exq_relstore::index::HashIndex;
-use exq_relstore::{semijoin, Conjunction, Database, FkKind, Predicate, TupleSet, Universal};
+use exq_relstore::{
+    semijoin, Conjunction, Database, ExecConfig, FkKind, Predicate, TupleSet, Universal,
+};
 
 /// The result of running program **P**.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,6 +106,10 @@ pub struct InterventionEngine<'a> {
     /// For each back-and-forth fk: `(from_rel, to_rel, row map)` where
     /// `row map[j]` is the (unique, by pk) referenced row of `to_rel`.
     bf_maps: Vec<(usize, usize, Vec<u32>)>,
+    /// Executor for the per-iteration semijoin reductions. Sequential by
+    /// default: the naive table already parallelizes *across* candidates,
+    /// and nesting parallel reductions inside that would oversubscribe.
+    exec: ExecConfig,
 }
 
 impl<'a> InterventionEngine<'a> {
@@ -139,7 +145,16 @@ impl<'a> InterventionEngine<'a> {
             db,
             universal,
             bf_maps,
+            exec: ExecConfig::sequential(),
         }
+    }
+
+    /// Run the per-iteration semijoin reductions on `exec`. Useful for
+    /// single-candidate drill-downs on large databases; leave sequential
+    /// when the engine is shared by parallel candidate workers.
+    pub fn with_exec(mut self, exec: ExecConfig) -> InterventionEngine<'a> {
+        self.exec = exec;
+        self
     }
 
     /// The universal relation of the full database.
@@ -223,7 +238,7 @@ impl<'a> InterventionEngine<'a> {
         let mut stages = 1usize;
 
         let reduce_into = |delta: &mut Vec<TupleSet>| {
-            let reduced = semijoin::reduce(self.db, &self.db.view_minus(delta));
+            let reduced = semijoin::reduce_with(self.db, &self.db.view_minus(delta), &self.exec);
             for (d, live) in delta.iter_mut().zip(&reduced.live) {
                 d.union_with(&live.complement());
             }
@@ -288,7 +303,7 @@ impl<'a> InterventionEngine<'a> {
 
             // Rule (ii): Δ_i = R_i − Π_{A_i}((R−Δ^ℓ) ⋈ …): everything not
             // surviving the semijoin reduction of the residual database.
-            let reduced = semijoin::reduce(self.db, &self.db.view_minus(&delta));
+            let reduced = semijoin::reduce_with(self.db, &self.db.view_minus(&delta), &self.exec);
             for (n, live) in next.iter_mut().zip(&reduced.live) {
                 changed |= n.union_with(&live.complement());
             }

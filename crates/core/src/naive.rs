@@ -15,7 +15,7 @@ use crate::intervention::InterventionEngine;
 use crate::question::UserQuestion;
 use crate::table_m::{ExplanationRow, ExplanationTable};
 use exq_relstore::aggregate::evaluate;
-use exq_relstore::{AttrRef, Database, Predicate};
+use exq_relstore::{par, AttrRef, Database, ExecConfig, Predicate};
 
 /// Compute the explanation table `M` by brute force.
 pub fn explanation_table_naive(
@@ -24,8 +24,45 @@ pub fn explanation_table_naive(
     question: &UserQuestion,
     dims: &[AttrRef],
 ) -> Result<ExplanationTable> {
+    explanation_table_naive_with(db, engine, question, dims, &ExecConfig::sequential())
+}
+
+/// [`explanation_table_naive`] with the per-candidate work fanned out
+/// over `threads` OS threads.
+pub fn explanation_table_naive_parallel(
+    db: &Database,
+    engine: &InterventionEngine<'_>,
+    question: &UserQuestion,
+    dims: &[AttrRef],
+    threads: usize,
+) -> Result<ExplanationTable> {
+    assert!(threads >= 1, "need at least one worker");
+    explanation_table_naive_with(
+        db,
+        engine,
+        question,
+        dims,
+        &ExecConfig::with_threads(threads),
+    )
+}
+
+/// [`explanation_table_naive`] on an explicit executor — the Section 6(i)
+/// "optimize the iterative algorithm" direction. Program **P** runs
+/// against shared immutable state (`&Database`, the pre-computed
+/// universal relation, the backward-cascade maps), so candidates
+/// partition embarrassingly; each worker builds its own row set and the
+/// results are stitched back in candidate order, making the output
+/// bit-identical to the sequential path. If candidates fail, the error
+/// returned is the **first failing candidate's in candidate order** —
+/// never a thread-completion-order artifact.
+pub fn explanation_table_naive_with(
+    db: &Database,
+    engine: &InterventionEngine<'_>,
+    question: &UserQuestion,
+    dims: &[AttrRef],
+    exec: &ExecConfig,
+) -> Result<ExplanationTable> {
     let u = engine.universal();
-    let totals = question.query.aggregate_values(db, u)?;
     // Same candidate set as Algorithm 1: explanations observed under at
     // least one sub-query selection.
     let relevance = Predicate::or(
@@ -37,31 +74,21 @@ pub fn explanation_table_naive(
     );
     let candidates = enumerate_candidates(db, u, dims, &relevance);
 
-    let mut rows = Vec::with_capacity(candidates.len());
-    for phi in &candidates {
-        // μ_interv: program P then direct evaluation of Q(D − Δ^φ).
-        let iv = engine.compute(phi);
-        let mu_i = mu_interv_of(db, question, &iv)?;
-
-        // μ_aggr and the v_j values over σ_φ(U).
-        let phi_pred = phi.conjunction().to_predicate();
-        let mut values = Vec::with_capacity(question.query.arity());
-        for q in &question.query.aggregates {
-            let sel = Predicate::and([phi_pred.clone(), q.selection.clone()]);
-            values.push(evaluate(db, u, &sel, &q.func)?);
+    let block = par::even_block_size(exec, candidates.len());
+    let parts = par::try_map_blocks(exec, &candidates, block, |_, chunk| -> Result<_> {
+        let mut rows = Vec::with_capacity(chunk.len());
+        for phi in chunk {
+            rows.push(candidate_row(db, engine, question, dims, phi)?);
         }
-        let mu_a = mu_aggr(db, u, question, phi)?;
-
-        rows.push(ExplanationRow {
-            coord: phi
-                .to_coord(dims)
-                .expect("enumerated candidates are equality-only over dims"),
-            values,
-            mu_interv: mu_i,
-            mu_aggr: mu_a,
-        });
-    }
+        Ok(rows)
+    })?;
+    let mut rows: Vec<ExplanationRow> = parts.into_iter().flatten().collect();
     rows.sort_by(|a, b| a.coord.cmp(&b.coord));
+
+    // Totals after the candidate sweep, so the error surfaced by a failing
+    // run is the deterministic per-candidate one above, not a phase-order
+    // accident.
+    let totals = question.query.aggregate_values(db, u)?;
     Ok(ExplanationTable {
         dims: dims.to_vec(),
         totals,
@@ -69,78 +96,36 @@ pub fn explanation_table_naive(
     })
 }
 
-/// [`explanation_table_naive`] with the per-candidate work fanned out
-/// over `threads` OS threads — the Section 6(i) "optimize the iterative
-/// algorithm" direction. Program **P** runs against shared immutable
-/// state (`&Database`, the pre-computed universal relation, the
-/// backward-cascade maps), so candidates partition embarrassingly; each
-/// worker builds its own row set and the results are stitched back in
-/// candidate order, making the output bit-identical to the sequential
-/// path.
-pub fn explanation_table_naive_parallel(
+/// One candidate's full evaluation: program **P**, `μ_interv`, the `v_j`
+/// column values, and `μ_aggr`.
+fn candidate_row(
     db: &Database,
     engine: &InterventionEngine<'_>,
     question: &UserQuestion,
     dims: &[AttrRef],
-    threads: usize,
-) -> Result<ExplanationTable> {
-    assert!(threads >= 1, "need at least one worker");
+    phi: &Explanation,
+) -> Result<ExplanationRow> {
+    // μ_interv: program P then direct evaluation of Q(D − Δ^φ).
+    let iv = engine.compute(phi);
+    let mu_i = mu_interv_of(db, question, &iv)?;
+
+    // μ_aggr and the v_j values over σ_φ(U).
     let u = engine.universal();
-    let totals = question.query.aggregate_values(db, u)?;
-    let relevance = Predicate::or(
-        question
-            .query
-            .aggregates
-            .iter()
-            .map(|q| q.selection.clone()),
-    );
-    let candidates = enumerate_candidates(db, u, dims, &relevance);
-
-    let chunk = candidates.len().div_ceil(threads.max(1)).max(1);
-    let results: Vec<Result<Vec<ExplanationRow>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = candidates
-            .chunks(chunk)
-            .map(|chunk| {
-                scope.spawn(move || -> Result<Vec<ExplanationRow>> {
-                    let mut rows = Vec::with_capacity(chunk.len());
-                    for phi in chunk {
-                        let iv = engine.compute(phi);
-                        let mu_i = mu_interv_of(db, question, &iv)?;
-                        let phi_pred = phi.conjunction().to_predicate();
-                        let mut values = Vec::with_capacity(question.query.arity());
-                        for q in &question.query.aggregates {
-                            let sel = Predicate::and([phi_pred.clone(), q.selection.clone()]);
-                            values.push(exq_relstore::aggregate::evaluate(db, u, &sel, &q.func)?);
-                        }
-                        let mu_a = mu_aggr(db, u, question, phi)?;
-                        rows.push(ExplanationRow {
-                            coord: phi
-                                .to_coord(dims)
-                                .expect("enumerated candidates are equality-only over dims"),
-                            values,
-                            mu_interv: mu_i,
-                            mu_aggr: mu_a,
-                        });
-                    }
-                    Ok(rows)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker does not panic"))
-            .collect()
-    });
-
-    let mut rows = Vec::with_capacity(candidates.len());
-    for r in results {
-        rows.extend(r?);
+    let phi_pred = phi.conjunction().to_predicate();
+    let mut values = Vec::with_capacity(question.query.arity());
+    for q in &question.query.aggregates {
+        let sel = Predicate::and([phi_pred.clone(), q.selection.clone()]);
+        values.push(evaluate(db, u, &sel, &q.func)?);
     }
-    rows.sort_by(|a, b| a.coord.cmp(&b.coord));
-    Ok(ExplanationTable {
-        dims: dims.to_vec(),
-        totals,
-        rows,
+    let mu_a = mu_aggr(db, u, question, phi)?;
+
+    Ok(ExplanationRow {
+        coord: phi
+            .to_coord(dims)
+            .expect("enumerated candidates are equality-only over dims"),
+        values,
+        mu_interv: mu_i,
+        mu_aggr: mu_a,
     })
 }
 
@@ -276,6 +261,90 @@ mod tests {
             let parallel =
                 explanation_table_naive_parallel(&db, &engine, &q, &dims, threads).unwrap();
             assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_error_is_first_failing_candidates_in_candidate_order() {
+        // Two groups fail with *different* errors: removing g=a leaves
+        // group b's non-numeric y in the residual (NotNumeric on R.y),
+        // removing g=b leaves group a's non-numeric x (NotNumeric on R.x).
+        // The reported error must be candidate a's — the first in candidate
+        // order — at every thread count, not whichever worker finished
+        // first.
+        let schema = SchemaBuilder::new()
+            .relation(
+                "R",
+                &[("id", T::Int), ("g", T::Str), ("x", T::Any), ("y", T::Any)],
+                &["id"],
+            )
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", vec![0.into(), "a".into(), "bad-a".into(), 1.into()])
+            .unwrap();
+        db.insert("R", vec![1.into(), "b".into(), 1.into(), "bad-b".into()])
+            .unwrap();
+        let x = db.schema().attr("R", "x").unwrap();
+        let y = db.schema().attr("R", "y").unwrap();
+        let q = UserQuestion::new(
+            NumericalQuery::ratio(
+                AggregateQuery {
+                    func: exq_relstore::aggregate::AggFunc::Sum(x),
+                    selection: Predicate::True,
+                },
+                AggregateQuery {
+                    func: exq_relstore::aggregate::AggFunc::Sum(y),
+                    selection: Predicate::True,
+                },
+            ),
+            Direction::High,
+        );
+        let engine = InterventionEngine::new(&db);
+        let dims = vec![db.schema().attr("R", "g").unwrap()];
+        let sequential = explanation_table_naive(&db, &engine, &q, &dims).unwrap_err();
+        assert!(
+            sequential.to_string().contains("R.y"),
+            "candidate g=a fails first, on the residual's y column: {sequential}"
+        );
+        for threads in [2, 7, 64] {
+            let parallel =
+                explanation_table_naive_parallel(&db, &engine, &q, &dims, threads).unwrap_err();
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_naive_with_more_threads_than_candidates() {
+        let db = flat_db();
+        let engine = InterventionEngine::new(&db);
+        let q = question(&db);
+        let dims = vec![db.schema().attr("R", "g").unwrap()];
+        let sequential = explanation_table_naive(&db, &engine, &q, &dims).unwrap();
+        assert!(sequential.len() < 64);
+        let parallel = explanation_table_naive_parallel(&db, &engine, &q, &dims, 64).unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn parallel_naive_with_no_candidates() {
+        let db = flat_db();
+        let engine = InterventionEngine::new(&db);
+        let outcome = db.schema().attr("R", "outcome").unwrap();
+        // No tuple matches either selection → empty candidate set.
+        let q = UserQuestion::new(
+            NumericalQuery::ratio(
+                AggregateQuery::count_star(Predicate::eq(outcome, "zzz")),
+                AggregateQuery::count_star(Predicate::eq(outcome, "qqq")),
+            )
+            .with_smoothing(1e-4),
+            Direction::High,
+        );
+        let dims = vec![db.schema().attr("R", "g").unwrap()];
+        for threads in [1, 8] {
+            let t = explanation_table_naive_parallel(&db, &engine, &q, &dims, threads).unwrap();
+            assert!(t.is_empty());
+            assert_eq!(t.totals, vec![0.0, 0.0]);
         }
     }
 

@@ -9,6 +9,7 @@
 use crate::error::Result;
 use crate::explainer::{EngineChoice, Explainer};
 use crate::topk::{rank_correlation, top_k, DegreeKind, MinimalityPolarity, TopKStrategy};
+use exq_relstore::ExecConfig;
 use std::fmt::Write;
 
 /// Report options.
@@ -19,6 +20,10 @@ pub struct ReportConfig {
     /// Drill into the best intervention explanation (runs program P once
     /// more, exactly).
     pub drill_best: bool,
+    /// The executor the pipeline ran on — recorded in the report header so
+    /// a saved report states its own provenance. (Thread count never
+    /// changes the numbers; every parallel path is bit-identical.)
+    pub exec: ExecConfig,
 }
 
 impl Default for ReportConfig {
@@ -26,6 +31,7 @@ impl Default for ReportConfig {
         ReportConfig {
             top_k: 5,
             drill_best: true,
+            exec: ExecConfig::sequential(),
         }
     }
 }
@@ -62,6 +68,12 @@ pub fn generate(explainer: &Explainer<'_>, config: &ReportConfig) -> Result<Stri
         EngineChoice::Naive => "exact naive engine (per-candidate program P)",
     };
     let _ = writeln!(out, "candidates: {} (engine: {engine_text})", table.len());
+    let _ = writeln!(
+        out,
+        "parallelism: {} thread{}",
+        config.exec.threads(),
+        if config.exec.threads() == 1 { "" } else { "s" }
+    );
     let tau = rank_correlation(&table, DegreeKind::Intervention, DegreeKind::Aggravation);
     let _ = writeln!(
         out,
@@ -187,6 +199,46 @@ mod tests {
         assert!(text.contains("Drill-down: [R.g = a]"), "{text}");
         assert!(text.contains("Kendall tau"), "{text}");
         assert!(text.contains("mu_hybrid"), "{text}");
+        assert!(text.contains("parallelism: 1 thread\n"), "{text}");
+    }
+
+    #[test]
+    fn report_is_identical_at_any_thread_count() {
+        let db = setup();
+        let base = generate(
+            &Explainer::new(&db, question(&db))
+                .attr_names(&["R.g"])
+                .unwrap(),
+            &ReportConfig::default(),
+        )
+        .unwrap();
+        for threads in [2, 7] {
+            let exec = exq_relstore::ExecConfig::with_threads(threads);
+            let explainer = Explainer::new(&db, question(&db))
+                .attr_names(&["R.g"])
+                .unwrap()
+                .exec(exec);
+            let text = generate(
+                &explainer,
+                &ReportConfig {
+                    exec,
+                    ..ReportConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(
+                text.contains(&format!("parallelism: {threads} threads")),
+                "{text}"
+            );
+            // Everything except the parallelism line is byte-identical.
+            let strip = |t: &str| {
+                t.lines()
+                    .filter(|l| !l.starts_with("parallelism:"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(strip(&base), strip(&text), "threads = {threads}");
+        }
     }
 
     #[test]
@@ -200,6 +252,7 @@ mod tests {
             &ReportConfig {
                 top_k: 2,
                 drill_best: false,
+                ..ReportConfig::default()
             },
         )
         .unwrap();

@@ -9,9 +9,9 @@
 //! escapes, first line is the header. Values are parsed against the
 //! declared column type (`Int`/`Float`/`Bool` columns parse numerically).
 //! A *bare* empty field is NULL; a *quoted* empty field (`""`) is the
-//! empty string. Records are line-based: embedded newlines inside quoted
-//! fields are not supported (dumping quotes them, but loading such a file
-//! reports a malformed record).
+//! empty string. A quoted field may span physical lines: CR, LF, and
+//! CRLF inside quotes are preserved verbatim, so `dump_relation` output
+//! always loads back (the round trip is property-tested).
 
 use crate::database::Database;
 use crate::error::{Error, Result};
@@ -62,6 +62,43 @@ fn split_record(line: &str) -> Option<Vec<(String, bool)>> {
     Some(fields)
 }
 
+/// Read one logical CSV record, or `None` at end of input.
+///
+/// A physical line whose quote count is odd ends inside a quoted field,
+/// so the newline belongs to the field and the record continues on the
+/// next line. Only the record *terminator* (one LF, with an optional
+/// preceding CR) is stripped; CR/LF bytes inside quoted fields pass
+/// through untouched. An unterminated quote at end of input returns the
+/// partial record and lets `split_record` report it as malformed.
+fn read_record(reader: &mut impl BufRead) -> std::io::Result<Option<String>> {
+    let mut record = String::new();
+    let mut quotes = 0usize;
+    loop {
+        let start = record.len();
+        if reader.read_line(&mut record)? == 0 {
+            if record.is_empty() {
+                return Ok(None);
+            }
+            // Final record without a trailing newline; a lone trailing CR
+            // outside quotes is still line-ending noise.
+            if quotes.is_multiple_of(2) && record.ends_with('\r') {
+                record.pop();
+            }
+            return Ok(Some(record));
+        }
+        quotes += record[start..].bytes().filter(|&b| b == b'"').count();
+        if quotes.is_multiple_of(2) {
+            if record.ends_with('\n') {
+                record.pop();
+                if record.ends_with('\r') {
+                    record.pop();
+                }
+            }
+            return Ok(Some(record));
+        }
+    }
+}
+
 /// Quote a field if needed.
 fn quote(field: &str) -> String {
     if field.contains([',', '"', '\n', '\r']) {
@@ -102,22 +139,26 @@ pub fn parse_value(text: &str, ty: ValueType) -> Result<Value> {
 /// Load CSV rows into the relation named `relation`. The header must
 /// name a subset-free permutation of the relation's columns (all columns,
 /// any order). Returns the number of rows inserted.
-pub fn load_relation(db: &mut Database, relation: &str, reader: impl BufRead) -> Result<usize> {
+pub fn load_relation(db: &mut Database, relation: &str, mut reader: impl BufRead) -> Result<usize> {
     let rel_idx = db.schema().relation_index(relation)?;
     let schema = db.schema().relation(rel_idx).clone();
 
-    let mut lines = reader.lines();
-    let header_line = match lines.next() {
-        Some(Ok(h)) => h,
-        _ => return Ok(0),
+    let io_err = |_| Error::TypeMismatch {
+        relation: relation.to_string(),
+        attribute: "<io>".to_string(),
+        expected: "utf-8 text".to_string(),
+        got: "read error".to_string(),
     };
-    let header =
-        split_record(header_line.trim_end_matches('\r')).ok_or_else(|| Error::TypeMismatch {
-            relation: relation.to_string(),
-            attribute: "<header>".to_string(),
-            expected: "well-formed CSV".to_string(),
-            got: header_line.clone(),
-        })?;
+    let header_line = match read_record(&mut reader).map_err(io_err)? {
+        Some(h) => h,
+        None => return Ok(0),
+    };
+    let header = split_record(&header_line).ok_or_else(|| Error::TypeMismatch {
+        relation: relation.to_string(),
+        attribute: "<header>".to_string(),
+        expected: "well-formed CSV".to_string(),
+        got: header_line.clone(),
+    })?;
     // Map header position → column index.
     let mut col_of = Vec::with_capacity(header.len());
     for (name, _) in &header {
@@ -138,18 +179,11 @@ pub fn load_relation(db: &mut Database, relation: &str, reader: impl BufRead) ->
     }
 
     let mut inserted = 0;
-    for line in lines {
-        let line = line.map_err(|_| Error::TypeMismatch {
-            relation: relation.to_string(),
-            attribute: "<io>".to_string(),
-            expected: "utf-8 text".to_string(),
-            got: "read error".to_string(),
-        })?;
-        let line = line.trim_end_matches('\r');
+    while let Some(line) = read_record(&mut reader).map_err(io_err)? {
         if line.is_empty() {
             continue;
         }
-        let fields = split_record(line).ok_or_else(|| Error::TypeMismatch {
+        let fields = split_record(&line).ok_or_else(|| Error::TypeMismatch {
             relation: relation.to_string(),
             attribute: "<record>".to_string(),
             expected: "well-formed CSV".to_string(),
@@ -333,6 +367,56 @@ mod tests {
         let csv = "id,name,score,flag\r\n1,x,1.0,true\r\n\r\n2,y,2.0,false\r\n";
         let mut d = db();
         assert_eq!(load_relation(&mut d, "R", csv.as_bytes()).unwrap(), 2);
+    }
+
+    #[test]
+    fn quoted_fields_span_physical_lines() {
+        // LF, CR, and CRLF inside quotes are all field content; the CRLF
+        // record terminators around them are not.
+        let csv = "id,name,score,flag\r\n1,\"two\nlines\",1.0,true\r\n2,\"cr\rhere\",2.0,false\r\n3,\"crlf\r\nhere\",3.0,true\r\n";
+        let mut d = db();
+        assert_eq!(load_relation(&mut d, "R", csv.as_bytes()).unwrap(), 3);
+        assert_eq!(d.relation(0).row(0)[1], Value::str("two\nlines"));
+        assert_eq!(d.relation(0).row(1)[1], Value::str("cr\rhere"));
+        assert_eq!(d.relation(0).row(2)[1], Value::str("crlf\r\nhere"));
+    }
+
+    #[test]
+    fn dump_with_newlines_loads_back() {
+        let mut d = db();
+        d.insert(
+            "R",
+            vec![
+                1.into(),
+                Value::str("a\r\nb,\"c\"\nd\re"),
+                Value::Null,
+                true.into(),
+            ],
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        dump_relation(&d, "R", &mut out).unwrap();
+        let mut d2 = db();
+        assert_eq!(load_relation(&mut d2, "R", out.as_slice()).unwrap(), 1);
+        assert_eq!(d.relation(0).row(0), d2.relation(0).row(0));
+    }
+
+    #[test]
+    fn unterminated_quote_spanning_lines_is_malformed() {
+        let csv = "id,name,score,flag\n1,\"never closed\n2,x,1.0,true\n";
+        let mut d = db();
+        assert!(matches!(
+            load_relation(&mut d, "R", csv.as_bytes()),
+            Err(Error::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn final_record_without_newline() {
+        let csv = "id,name,score,flag\n1,\"multi\nline\",1.5,true";
+        let mut d = db();
+        assert_eq!(load_relation(&mut d, "R", csv.as_bytes()).unwrap(), 1);
+        assert_eq!(d.relation(0).row(0)[1], Value::str("multi\nline"));
     }
 
     #[test]

@@ -40,6 +40,7 @@ use crate::aggregate::{AggFunc, AggState};
 use crate::database::Database;
 use crate::error::{Error, Result};
 use crate::join::Universal;
+use crate::par::{self, ExecConfig};
 use crate::predicate::Predicate;
 use crate::schema::AttrRef;
 use crate::value::Value;
@@ -48,6 +49,12 @@ use std::collections::HashMap;
 /// Maximum cube dimensionality. `2^16` masks per tuple is already far past
 /// anything interactive; the paper's experiments stop at 8.
 pub const MAX_CUBE_DIMS: usize = 16;
+
+/// Tuple-accumulation block size. Input tuples are folded into per-block
+/// cell maps which are then merged in block order, so the float-addition
+/// grouping is a function of the input length alone — never of the thread
+/// count. This is what makes cube output bit-identical at any `--threads`.
+const ACCUM_BLOCK: usize = 4096;
 
 /// Which cube algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -143,13 +150,36 @@ pub fn compute(
     agg: &AggFunc,
     strategy: CubeStrategy,
 ) -> Result<Cube> {
+    compute_with(
+        db,
+        u,
+        selection,
+        dims,
+        agg,
+        strategy,
+        &ExecConfig::sequential(),
+    )
+}
+
+/// [`compute`] with an explicit executor. Output is bit-identical at any
+/// thread count: accumulation is blocked by `ACCUM_BLOCK` and merged in
+/// block order, and roll-up merges iterate cells in coordinate order.
+pub fn compute_with(
+    db: &Database,
+    u: &Universal,
+    selection: &Predicate,
+    dims: &[AttrRef],
+    agg: &AggFunc,
+    strategy: CubeStrategy,
+    exec: &ExecConfig,
+) -> Result<Cube> {
     if dims.len() > MAX_CUBE_DIMS {
         return Err(Error::TooManyCubeDimensions(dims.len()));
     }
     agg.validate(db.schema())?;
     let states = match resolve_strategy(db, u, dims, strategy) {
-        CubeStrategy::SubsetEnumeration => subset_enumeration(db, u, selection, dims, agg)?,
-        CubeStrategy::LatticeRollup => lattice_rollup(db, u, selection, dims, agg)?,
+        CubeStrategy::SubsetEnumeration => subset_enumeration(db, u, selection, dims, agg, exec)?,
+        CubeStrategy::LatticeRollup => lattice_rollup(db, u, selection, dims, agg, exec)?,
         CubeStrategy::Auto => unreachable!("resolve_strategy never returns Auto"),
     };
     let cells = states.into_iter().map(|(k, s)| (k, s.finalize())).collect();
@@ -169,23 +199,85 @@ pub fn group_by(
     dims: &[AttrRef],
     agg: &AggFunc,
 ) -> Result<Cube> {
-    agg.validate(db.schema())?;
-    let mut cells: HashMap<Coord, AggState> = HashMap::new();
-    let mut base = Vec::with_capacity(dims.len());
-    for t in u.iter() {
-        if !selection.eval(db, t) {
-            continue;
-        }
-        dim_values(db, dims, t, &mut base)?;
-        cells
-            .entry(base.clone().into_boxed_slice())
-            .or_insert_with(|| agg.new_state())
-            .update(agg, db, t)?;
+    group_by_with(db, u, selection, dims, agg, &ExecConfig::sequential())
+}
+
+/// [`group_by`] with an explicit executor.
+pub fn group_by_with(
+    db: &Database,
+    u: &Universal,
+    selection: &Predicate,
+    dims: &[AttrRef],
+    agg: &AggFunc,
+    exec: &ExecConfig,
+) -> Result<Cube> {
+    if dims.len() > MAX_CUBE_DIMS {
+        return Err(Error::TooManyCubeDimensions(dims.len()));
     }
+    agg.validate(db.schema())?;
+    let cells = accumulate(db, u, selection, dims, agg, exec, false)?;
     Ok(Cube {
         dims: dims.to_vec(),
         cells: cells.into_iter().map(|(k, s)| (k, s.finalize())).collect(),
     })
+}
+
+/// Fold the selected universal tuples into a cell map, one coordinate per
+/// tuple (`enumerate_masks = false`) or all `2^d` ancestor coordinates
+/// (`enumerate_masks = true`).
+///
+/// Tuples are processed in fixed [`ACCUM_BLOCK`]-sized blocks and the
+/// per-block maps merged in block order, so both the error reported (the
+/// first failing tuple's, in input order) and the float-addition grouping
+/// are independent of the thread count.
+fn accumulate(
+    db: &Database,
+    u: &Universal,
+    selection: &Predicate,
+    dims: &[AttrRef],
+    agg: &AggFunc,
+    exec: &ExecConfig,
+    enumerate_masks: bool,
+) -> Result<HashMap<Coord, AggState>> {
+    let d = dims.len();
+    let parts = par::try_map_index_blocks(exec, u.len(), ACCUM_BLOCK, |_, range| {
+        let mut cells: HashMap<Coord, AggState> = HashMap::new();
+        let mut base = Vec::with_capacity(d);
+        for i in range {
+            let t = u.tuple(i);
+            if !selection.eval(db, t) {
+                continue;
+            }
+            dim_values(db, dims, t, &mut base)?;
+            if enumerate_masks {
+                for mask in 0..(1u32 << d) {
+                    cells
+                        .entry(masked_coord(&base, mask))
+                        .or_insert_with(|| agg.new_state())
+                        .update(agg, db, t)?;
+                }
+            } else {
+                cells
+                    .entry(base.clone().into_boxed_slice())
+                    .or_insert_with(|| agg.new_state())
+                    .update(agg, db, t)?;
+            }
+        }
+        Ok(cells)
+    })?;
+    let mut parts = parts.into_iter();
+    let mut acc = parts.next().unwrap_or_default();
+    for part in parts {
+        for (coord, state) in part {
+            match acc.get_mut(&coord) {
+                Some(existing) => existing.merge(&state),
+                None => {
+                    acc.insert(coord, state);
+                }
+            }
+        }
+    }
+    Ok(acc)
 }
 
 /// Extract the dimension values of one universal tuple.
@@ -226,24 +318,9 @@ fn subset_enumeration(
     selection: &Predicate,
     dims: &[AttrRef],
     agg: &AggFunc,
+    exec: &ExecConfig,
 ) -> Result<HashMap<Coord, AggState>> {
-    let d = dims.len();
-    let mut cells: HashMap<Coord, AggState> = HashMap::new();
-    let mut base = Vec::with_capacity(d);
-    for t in u.iter() {
-        if !selection.eval(db, t) {
-            continue;
-        }
-        dim_values(db, dims, t, &mut base)?;
-        for mask in 0..(1u32 << d) {
-            let coord = masked_coord(&base, mask);
-            cells
-                .entry(coord)
-                .or_insert_with(|| agg.new_state())
-                .update(agg, db, t)?;
-        }
-    }
-    Ok(cells)
+    accumulate(db, u, selection, dims, agg, exec, true)
 }
 
 fn lattice_rollup(
@@ -252,56 +329,36 @@ fn lattice_rollup(
     selection: &Predicate,
     dims: &[AttrRef],
     agg: &AggFunc,
+    exec: &ExecConfig,
 ) -> Result<HashMap<Coord, AggState>> {
     let d = dims.len();
     // Finest-level grouping.
-    let mut base_cells: HashMap<Coord, AggState> = HashMap::new();
-    let mut base = Vec::with_capacity(d);
-    for t in u.iter() {
-        if !selection.eval(db, t) {
-            continue;
-        }
-        dim_values(db, dims, t, &mut base)?;
-        base_cells
-            .entry(base.clone().into_boxed_slice())
-            .or_insert_with(|| agg.new_state())
-            .update(agg, db, t)?;
-    }
+    let base_cells = accumulate(db, u, selection, dims, agg, exec, false)?;
 
-    // Roll up: per-mask cell maps, masks processed by decreasing popcount.
-    // Each mask M (≠ full) aggregates from its parent P = M | lowest unset
-    // bit, which has exactly one more bit and is processed earlier.
+    // Roll up level by level (decreasing popcount). Each mask M (≠ full)
+    // aggregates from its parent P = M | lowest unset bit, which has
+    // exactly one more bit — so every mask of one level only reads maps of
+    // the level above, and the masks within a level are independent: the
+    // whole level can fan out. Parent cells are folded in coordinate
+    // order, which fixes the float-addition order no matter how the
+    // parent's HashMap happens to be laid out.
     let full = (1u32 << d) - 1;
     let mut per_mask: Vec<HashMap<Coord, AggState>> = (0..=full).map(|_| HashMap::new()).collect();
     per_mask[full as usize] = base_cells;
 
-    let mut masks: Vec<u32> = (0..=full).collect();
-    masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
-    for &mask in &masks {
-        if mask == full {
-            continue;
-        }
-        let lowest_unset = (0..d as u32)
-            .find(|j| mask & (1 << j) == 0)
-            .expect("mask != full");
-        let parent = mask | (1 << lowest_unset);
-        // Move the parent map out to appease the borrow checker; parents
-        // are still needed by *their* children, so put it back after.
-        let parent_cells = std::mem::take(&mut per_mask[parent as usize]);
-        {
-            let child_map = &mut per_mask[mask as usize];
-            for (coord, state) in &parent_cells {
-                let mut child_coord = coord.clone();
-                child_coord[lowest_unset as usize] = Value::Null;
-                match child_map.get_mut(&child_coord) {
-                    Some(existing) => existing.merge(state),
-                    None => {
-                        child_map.insert(child_coord, state.clone());
-                    }
-                }
+    for level in (0..d as u32).rev() {
+        let level_masks: Vec<u32> = (0..full).filter(|m| m.count_ones() == level).collect();
+        let computed = par::map_blocks(exec, &level_masks, 1, |_, masks| {
+            masks
+                .iter()
+                .map(|&mask| (mask, rollup_one_mask(&per_mask, mask, d)))
+                .collect::<Vec<_>>()
+        });
+        for group in computed {
+            for (mask, cells) in group {
+                per_mask[mask as usize] = cells;
             }
         }
-        per_mask[parent as usize] = parent_cells;
     }
 
     // Flatten. Coordinates are disjoint across masks because no dimension
@@ -311,6 +368,33 @@ fn lattice_rollup(
         out.extend(m);
     }
     Ok(out)
+}
+
+/// Compute one roll-up mask's cell map from its (read-only) parent level.
+fn rollup_one_mask(
+    per_mask: &[HashMap<Coord, AggState>],
+    mask: u32,
+    d: usize,
+) -> HashMap<Coord, AggState> {
+    let lowest_unset = (0..d as u32)
+        .find(|j| mask & (1 << j) == 0)
+        .expect("mask != full");
+    let parent = mask | (1 << lowest_unset);
+    let parent_cells = &per_mask[parent as usize];
+    let mut entries: Vec<(&Coord, &AggState)> = parent_cells.iter().collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    let mut child: HashMap<Coord, AggState> = HashMap::with_capacity(parent_cells.len());
+    for (coord, state) in entries {
+        let mut child_coord = coord.clone();
+        child_coord[lowest_unset as usize] = Value::Null;
+        match child.get_mut(&child_coord) {
+            Some(existing) => existing.merge(state),
+            None => {
+                child.insert(child_coord, state.clone());
+            }
+        }
+    }
+    child
 }
 
 #[cfg(test)]
@@ -493,6 +577,79 @@ mod tests {
             assert!(cube.is_empty());
             assert_eq!(cube.grand_total(), None);
         }
+    }
+
+    #[test]
+    fn parallel_cube_is_bit_identical_across_thread_counts() {
+        // Multi-block input (> ACCUM_BLOCK tuples) with a float measure, so
+        // any thread-count-dependent accumulation order would change bits.
+        let schema = SchemaBuilder::new()
+            .relation(
+                "R",
+                &[
+                    ("id", T::Int),
+                    ("g", T::Str),
+                    ("h", T::Int),
+                    ("x", T::Float),
+                ],
+                &["id"],
+            )
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for i in 0..10_000i64 {
+            let g = format!("g{}", i % 7);
+            let x = (i as f64) * 0.1 + 0.3;
+            db.insert(
+                "R",
+                vec![i.into(), g.as_str().into(), (i % 3).into(), x.into()],
+            )
+            .unwrap();
+        }
+        let u = Universal::compute(&db, &db.full_view());
+        let dims = vec![
+            db.schema().attr("R", "g").unwrap(),
+            db.schema().attr("R", "h").unwrap(),
+        ];
+        let agg = AggFunc::Sum(db.schema().attr("R", "x").unwrap());
+        for strategy in [CubeStrategy::SubsetEnumeration, CubeStrategy::LatticeRollup] {
+            let seq = compute(&db, &u, &Predicate::True, &dims, &agg, strategy).unwrap();
+            for threads in [2, 3, 7] {
+                let exec = ExecConfig::with_threads(threads);
+                let par =
+                    compute_with(&db, &u, &Predicate::True, &dims, &agg, strategy, &exec).unwrap();
+                assert_eq!(seq.cells.len(), par.cells.len());
+                for (coord, v) in &seq.cells {
+                    let pv = par
+                        .get(coord)
+                        .unwrap_or_else(|| panic!("missing {coord:?}"));
+                    assert_eq!(
+                        v.to_bits(),
+                        pv.to_bits(),
+                        "{strategy:?} cell {coord:?} differs at {threads} threads"
+                    );
+                }
+            }
+        }
+        // group_by too.
+        let seq = group_by(&db, &u, &Predicate::True, &dims, &agg).unwrap();
+        for threads in [2, 7] {
+            let exec = ExecConfig::with_threads(threads);
+            let par = group_by_with(&db, &u, &Predicate::True, &dims, &agg, &exec).unwrap();
+            for (coord, v) in &seq.cells {
+                assert_eq!(v.to_bits(), par.get(coord).unwrap().to_bits());
+            }
+            assert_eq!(seq.cells.len(), par.cells.len());
+        }
+    }
+
+    #[test]
+    fn group_by_rejects_too_many_dims() {
+        let db = figure3_db();
+        let u = Universal::compute(&db, &db.full_view());
+        let dims = vec![db.schema().attr("Author", "name").unwrap(); MAX_CUBE_DIMS + 1];
+        let err = group_by(&db, &u, &Predicate::True, &dims, &AggFunc::CountStar).unwrap_err();
+        assert!(matches!(err, Error::TooManyCubeDimensions(n) if n == MAX_CUBE_DIMS + 1));
     }
 
     #[test]

@@ -11,9 +11,14 @@
 
 use crate::database::{Database, View};
 use crate::index::HashIndex;
+use crate::par::{self, ExecConfig};
 use crate::schema::DatabaseSchema;
 use crate::tupleset::TupleSet;
 use std::sync::Arc;
+
+/// Root-row partitions smaller than this run inline — the per-thread
+/// bookkeeping would cost more than the probe itself.
+const MIN_PARALLEL_ROOTS: usize = 1024;
 
 /// One edge of a component's BFS join tree.
 #[derive(Debug, Clone)]
@@ -96,8 +101,18 @@ pub struct Universal {
 }
 
 impl Universal {
-    /// Compute `U` over the live rows of `view`.
+    /// Compute `U` over the live rows of `view`, sequentially.
     pub fn compute(db: &Database, view: &View) -> Universal {
+        Universal::compute_with(db, view, &ExecConfig::sequential())
+    }
+
+    /// Compute `U` with the hash-join probe fanned out over `exec`'s
+    /// workers: base-table root rows are partitioned into blocks, each
+    /// worker expands its blocks through the whole edge list against
+    /// shared per-edge hash indexes, and the per-block outputs are
+    /// stitched back in row-id order — so the tuple order (lexicographic
+    /// in root row, then child rows) is identical at every thread count.
+    pub fn compute_with(db: &Database, view: &View, exec: &ExecConfig) -> Universal {
         let schema = db.schema_arc();
         let stride = schema.relation_count();
         let components = join_forest(&schema);
@@ -105,7 +120,7 @@ impl Universal {
         // Join each component independently.
         let mut per_component: Vec<Vec<u32>> = Vec::with_capacity(components.len());
         for comp in &components {
-            per_component.push(join_component(db, view, comp, stride));
+            per_component.push(join_component(db, view, comp, stride, exec));
         }
 
         // Cross product across components. If any component is empty the
@@ -172,21 +187,79 @@ impl Universal {
 
 /// Join one component along its BFS tree; returns flat tuples of `stride`
 /// row indices where slots outside the component hold `u32::MAX`.
-fn join_component(db: &Database, view: &View, comp: &Component, stride: usize) -> Vec<u32> {
-    // Partial tuples start from the root's live rows.
-    let mut partials: Vec<u32> = Vec::with_capacity(view.live(comp.root).count() * stride);
-    for row in view.live(comp.root).iter() {
+///
+/// The output order is lexicographic in (root row, first-edge child row,
+/// second-edge child row, …), which is a property of the *input* alone:
+/// partitioning the root rows and concatenating the per-block outputs in
+/// block order reproduces it exactly, so the parallel path is
+/// bit-identical to the sequential one.
+fn join_component(
+    db: &Database,
+    view: &View,
+    comp: &Component,
+    stride: usize,
+    exec: &ExecConfig,
+) -> Vec<u32> {
+    let roots: Vec<u32> = view.live(comp.root).iter().map(|row| row as u32).collect();
+    if !exec.is_parallel() || roots.len() < MIN_PARALLEL_ROOTS {
+        return expand_roots(db, view, comp, stride, &roots, None);
+    }
+
+    // Build each edge's hash index once, up front, and share it read-only
+    // across the workers (the sequential path builds lazily per edge so an
+    // early-empty frontier can skip the rest).
+    let indexes: Vec<HashIndex> = comp
+        .edges
+        .iter()
+        .map(|e| HashIndex::build(db, e.child, &e.child_cols, view.live(e.child)))
+        .collect();
+    let block = par::even_block_size(exec, roots.len());
+    let parts = par::map_blocks(exec, &roots, block, |_, chunk| {
+        expand_roots(db, view, comp, stride, chunk, Some(&indexes))
+    });
+    let mut data = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for part in parts {
+        data.extend(part);
+    }
+    data
+}
+
+/// Expand a slice of root rows through every edge of the component.
+/// `indexes` carries prebuilt per-edge hash indexes for the parallel
+/// path; the sequential path passes `None` and builds them lazily.
+fn expand_roots(
+    db: &Database,
+    view: &View,
+    comp: &Component,
+    stride: usize,
+    roots: &[u32],
+    indexes: Option<&[HashIndex]>,
+) -> Vec<u32> {
+    let mut partials: Vec<u32> = Vec::with_capacity(roots.len() * stride);
+    for &row in roots {
         let base = partials.len();
         partials.resize(base + stride, u32::MAX);
-        partials[base + comp.root] = row as u32;
+        partials[base + comp.root] = row;
     }
 
     let mut key = Vec::new();
-    for edge in &comp.edges {
+    let mut lazy: Option<HashIndex>;
+    for (i, edge) in comp.edges.iter().enumerate() {
         if partials.is_empty() {
             break;
         }
-        let index = HashIndex::build(db, edge.child, &edge.child_cols, view.live(edge.child));
+        let index = match indexes {
+            Some(built) => &built[i],
+            None => {
+                lazy = Some(HashIndex::build(
+                    db,
+                    edge.child,
+                    &edge.child_cols,
+                    view.live(edge.child),
+                ));
+                lazy.as_ref().expect("just built")
+            }
+        };
         let parent_rel = db.relation(edge.parent);
         let mut next: Vec<u32> = Vec::with_capacity(partials.len());
         for t in partials.chunks_exact(stride) {
@@ -364,6 +437,41 @@ mod tests {
         db.insert("A", vec![1.into()]).unwrap();
         let u = Universal::compute(&db, &db.full_view());
         assert!(u.is_empty());
+    }
+
+    #[test]
+    fn parallel_universal_matches_sequential() {
+        // Enough root rows to clear MIN_PARALLEL_ROOTS, with uneven
+        // fan-out so block boundaries land mid-expansion.
+        let schema = SchemaBuilder::new()
+            .relation("P", &[("id", T::Int)], &["id"])
+            .relation("C", &[("id", T::Int), ("p", T::Int)], &["id"])
+            .standard_fk("C", &["p"], "P")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for i in 0..1500i64 {
+            db.insert("P", vec![i.into()]).unwrap();
+        }
+        let mut cid = 0i64;
+        for i in 0..1500i64 {
+            for _ in 0..(i % 4) {
+                db.insert("C", vec![cid.into(), i.into()]).unwrap();
+                cid += 1;
+            }
+        }
+        let view = db.full_view();
+        let sequential = Universal::compute(&db, &view);
+        assert!(!sequential.is_empty());
+        for threads in [2, 3, 7, 16] {
+            let exec = crate::par::ExecConfig::with_threads(threads);
+            let parallel = Universal::compute_with(&db, &view, &exec);
+            assert_eq!(sequential.len(), parallel.len(), "threads = {threads}");
+            assert!(
+                sequential.iter().eq(parallel.iter()),
+                "tuple order must be identical at {threads} threads"
+            );
+        }
     }
 
     #[test]

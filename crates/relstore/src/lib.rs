@@ -14,9 +14,12 @@
 //!   (`GROUP BY … WITH CUBE`, [`cube`]) that Algorithm 1 builds on.
 //!
 //! The crate is deliberately self-contained (no external DBMS, no async,
-//! no unsafe): the paper's algorithms are sequential relational-algebra
-//! plans, and keeping them in-process is exactly the "push the computation
-//! inside the engine" premise of Section 4.
+//! no unsafe): the paper's algorithms are relational-algebra plans, and
+//! keeping them in-process is exactly the "push the computation inside
+//! the engine" premise of Section 4. The hot paths (join probe, cube,
+//! semijoin sweeps) optionally fan out over OS threads through the
+//! deterministic executor in [`par`] — output is bit-identical at any
+//! thread count.
 //!
 //! ## Quick tour
 //!
@@ -56,6 +59,7 @@ pub mod database;
 pub mod error;
 pub mod index;
 pub mod join;
+pub mod par;
 pub mod parse;
 pub mod predicate;
 pub mod schema;
@@ -68,6 +72,7 @@ pub mod value;
 pub use database::{Database, View};
 pub use error::{Error, Result};
 pub use join::Universal;
+pub use par::ExecConfig;
 pub use predicate::{Atom, CmpOp, Conjunction, Predicate};
 pub use schema::{AttrRef, DatabaseSchema, FkKind, ForeignKey, SchemaBuilder};
 pub use table::{Relation, Row};

@@ -1,0 +1,327 @@
+//! A small deterministic scoped-thread executor.
+//!
+//! Every parallel hot path in the engine — the universal-relation join
+//! probe, both cube strategies, the semijoin sweeps, and Algorithm 1's
+//! per-cell degree pass — runs through this module, so the determinism
+//! contract lives in exactly one place:
+//!
+//! * Work is split into **fixed-size blocks whose boundaries depend only
+//!   on the input length and the requested block size — never on the
+//!   thread count**. Threads race to *claim* blocks from a shared atomic
+//!   counter, but a block's computation sees exactly the same items in
+//!   exactly the same order no matter which worker runs it.
+//! * Results are collected as `(block index, result)` pairs and stitched
+//!   back **in block order**. A caller that folds the per-block results
+//!   left-to-right therefore performs float accumulation in a grouping
+//!   that is a function of the input alone, making parallel output
+//!   bit-identical across any thread count (including 1).
+//! * For fallible work, the error surfaced is the one from the
+//!   **earliest block** that failed — not whichever worker's failure was
+//!   observed first — so error selection is deterministic too.
+//!
+//! The executor uses `std::thread::scope` only; no extra dependencies, no
+//! unsafe. When a single worker (or a single block) suffices, the work
+//! runs inline on the calling thread with the same block structure.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Parallel-execution configuration, plumbed from the CLI `--threads`
+/// flag through `Explainer`/`ReportConfig` down to every hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    threads: usize,
+}
+
+impl ExecConfig {
+    /// Run everything inline on the calling thread.
+    pub const fn sequential() -> ExecConfig {
+        ExecConfig { threads: 1 }
+    }
+
+    /// Use exactly `threads` workers (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> ExecConfig {
+        ExecConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Use one worker per available hardware thread.
+    pub fn auto() -> ExecConfig {
+        ExecConfig::with_threads(
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker count (always at least 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this configuration ever spawns worker threads.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
+impl Default for ExecConfig {
+    /// Defaults to [`ExecConfig::auto`].
+    fn default() -> ExecConfig {
+        ExecConfig::auto()
+    }
+}
+
+/// Number of blocks `len` items split into at `block_size`.
+pub fn block_count(len: usize, block_size: usize) -> usize {
+    len.div_ceil(block_size.max(1))
+}
+
+/// Map `f` over the index blocks of `0..len` and return the per-block
+/// results in block order. `f` receives `(block_index, index_range)`.
+///
+/// The block structure depends only on `len` and `block_size`, so the
+/// returned vector is identical for every thread count.
+pub fn map_index_blocks<R, F>(exec: &ExecConfig, len: usize, block_size: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    let infallible = try_map_index_blocks(exec, len, block_size, |i, range| {
+        Ok::<R, std::convert::Infallible>(f(i, range))
+    });
+    match infallible {
+        Ok(results) => results,
+        Err(never) => match never {},
+    }
+}
+
+/// Fallible variant of [`map_index_blocks`]. On failure, returns the
+/// error of the earliest failing block regardless of thread scheduling;
+/// blocks after the earliest known failure may be skipped.
+pub fn try_map_index_blocks<R, E, F>(
+    exec: &ExecConfig,
+    len: usize,
+    block_size: usize,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    F: Fn(usize, Range<usize>) -> Result<R, E> + Sync,
+{
+    let block_size = block_size.max(1);
+    let blocks = block_count(len, block_size);
+    let range_of = |i: usize| i * block_size..((i + 1) * block_size).min(len);
+
+    let workers = exec.threads().min(blocks);
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(blocks);
+        for i in 0..blocks {
+            out.push(f(i, range_of(i))?);
+        }
+        return Ok(out);
+    }
+
+    // Workers pull block indices from a shared counter; each keeps its
+    // results locally and appends them to the shared vector once, at the
+    // end, to keep the lock cold.
+    let next = AtomicUsize::new(0);
+    let first_err = AtomicUsize::new(usize::MAX);
+    let collected: Mutex<Vec<(usize, Result<R, E>)>> = Mutex::new(Vec::with_capacity(blocks));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, Result<R, E>)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    // Blocks are claimed in increasing order, so once `i`
+                    // passes the earliest known failure this worker is done.
+                    if i >= blocks || i > first_err.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let r = f(i, range_of(i));
+                    if r.is_err() {
+                        first_err.fetch_min(i, Ordering::Relaxed);
+                    }
+                    local.push((i, r));
+                }
+                collected
+                    .lock()
+                    .expect("no poisoned worker")
+                    .append(&mut local);
+            });
+        }
+    });
+
+    let mut collected = collected.into_inner().expect("no poisoned worker");
+    collected.sort_unstable_by_key(|&(i, _)| i);
+    let mut out = Vec::with_capacity(collected.len());
+    for (_, r) in collected {
+        // Every block before the earliest failure was executed, so this
+        // surfaces the error of the first failing block in block order.
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// Map `f` over fixed-size chunks of a slice; results in chunk order.
+/// `f` receives `(block_index, chunk)`.
+pub fn map_blocks<'items, T, R, F>(
+    exec: &ExecConfig,
+    items: &'items [T],
+    block_size: usize,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &'items [T]) -> R + Sync,
+{
+    map_index_blocks(exec, items.len(), block_size, |i, range| {
+        f(i, &items[range])
+    })
+}
+
+/// Fallible variant of [`map_blocks`] with earliest-block error selection.
+pub fn try_map_blocks<'items, T, R, E, F>(
+    exec: &ExecConfig,
+    items: &'items [T],
+    block_size: usize,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &'items [T]) -> Result<R, E> + Sync,
+{
+    try_map_index_blocks(exec, items.len(), block_size, |i, range| {
+        f(i, &items[range])
+    })
+}
+
+/// A block size that spreads `len` items evenly over the configured
+/// workers (at least 1). Use only for **order-insensitive** work (exact
+/// integer results, or results that are re-sorted afterwards): the block
+/// structure — and hence any float accumulation grouping — then varies
+/// with the thread count.
+pub fn even_block_size(exec: &ExecConfig, len: usize) -> usize {
+    len.div_ceil(exec.threads()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_results_identical() {
+        let items: Vec<u64> = (0..1000).collect();
+        let seq = map_blocks(&ExecConfig::sequential(), &items, 64, |i, chunk| {
+            (i, chunk.iter().sum::<u64>())
+        });
+        for threads in [2, 3, 7, 16] {
+            let par = map_blocks(
+                &ExecConfig::with_threads(threads),
+                &items,
+                64,
+                |i, chunk| (i, chunk.iter().sum::<u64>()),
+            );
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn block_structure_is_thread_count_independent() {
+        for threads in [1, 2, 5, 9] {
+            let exec = ExecConfig::with_threads(threads);
+            let ranges = map_index_blocks(&exec, 10, 4, |i, r| (i, r));
+            assert_eq!(ranges, vec![(0, 0..4), (1, 4..8), (2, 8..10)]);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_no_blocks() {
+        for threads in [1, 4] {
+            let exec = ExecConfig::with_threads(threads);
+            let out: Vec<usize> = map_index_blocks(&exec, 0, 16, |i, _| i);
+            assert!(out.is_empty());
+            let r: Result<Vec<usize>, ()> = try_map_index_blocks(&exec, 0, 16, |i, _| Ok(i));
+            assert_eq!(r, Ok(vec![]));
+        }
+    }
+
+    #[test]
+    fn more_threads_than_blocks() {
+        let exec = ExecConfig::with_threads(32);
+        let out = map_index_blocks(&exec, 3, 1, |i, r| (i, r.start));
+        assert_eq!(out, vec![(0, 0), (1, 1), (2, 2)]);
+    }
+
+    /// The error surfaced must be the earliest failing *block*, not the
+    /// first failure a worker happens to finish. Later failing blocks are
+    /// slowed down so a completion-order implementation would pick them.
+    #[test]
+    fn error_selection_is_earliest_block() {
+        for threads in [2, 4, 8] {
+            let exec = ExecConfig::with_threads(threads);
+            let r: Result<Vec<()>, usize> = try_map_index_blocks(&exec, 16, 1, |i, _| {
+                if i == 3 {
+                    // The earliest failure is also the slowest to fail.
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    Err(i)
+                } else if i > 3 {
+                    Err(i)
+                } else {
+                    Ok(())
+                }
+            });
+            assert_eq!(r, Err(3), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn single_error_in_last_block_is_reported() {
+        let exec = ExecConfig::with_threads(4);
+        let r: Result<Vec<usize>, &str> =
+            try_map_index_blocks(
+                &exec,
+                10,
+                3,
+                |i, _| if i == 3 { Err("boom") } else { Ok(i) },
+            );
+        assert_eq!(r, Err("boom"));
+    }
+
+    #[test]
+    fn exec_config_clamps_and_defaults() {
+        assert_eq!(ExecConfig::with_threads(0).threads(), 1);
+        assert_eq!(ExecConfig::sequential().threads(), 1);
+        assert!(!ExecConfig::sequential().is_parallel());
+        assert!(ExecConfig::default().threads() >= 1);
+        assert_eq!(block_count(0, 8), 0);
+        assert_eq!(block_count(9, 8), 2);
+        assert_eq!(even_block_size(&ExecConfig::with_threads(4), 10), 3);
+        assert_eq!(even_block_size(&ExecConfig::with_threads(4), 0), 1);
+    }
+
+    /// Left-to-right folding of per-block results reproduces the same
+    /// float grouping at any thread count.
+    #[test]
+    fn float_fold_is_bit_identical_across_thread_counts() {
+        let items: Vec<f64> = (0..10_000).map(|i| (i as f64) * 0.1 + 0.3).collect();
+        let fold = |threads: usize| -> f64 {
+            let partials = map_blocks(&ExecConfig::with_threads(threads), &items, 256, |_, c| {
+                c.iter().sum::<f64>()
+            });
+            partials.into_iter().sum()
+        };
+        let reference = fold(1);
+        for threads in [2, 3, 7] {
+            assert_eq!(reference.to_bits(), fold(threads).to_bits());
+        }
+    }
+}

@@ -33,21 +33,35 @@
 use crate::database::{Database, View};
 use crate::index::key_set;
 use crate::join::{join_forest, Component};
+use crate::par::{self, ExecConfig};
 use crate::tupleset::TupleSet;
 
 /// Fully reduce `view`: the returned view keeps exactly the rows that
 /// appear in `U` computed over `view`.
 pub fn reduce(db: &Database, view: &View) -> View {
+    reduce_with(db, view, &ExecConfig::sequential())
+}
+
+/// [`reduce`] with an explicit executor. Sibling edges of the join tree
+/// (same child depth) have independent semijoin targets, so their drop
+/// sets are computed in parallel and applied in edge order; the surviving
+/// row sets are identical to the sequential sweep at any thread count.
+pub fn reduce_with(db: &Database, view: &View, exec: &ExecConfig) -> View {
     let mut out = view.clone();
-    reduce_in_place(db, &mut out);
+    reduce_in_place_with(db, &mut out, exec);
     out
 }
 
 /// In-place variant of [`reduce`], reusing the caller's live sets.
 pub fn reduce_in_place(db: &Database, view: &mut View) {
+    reduce_in_place_with(db, view, &ExecConfig::sequential())
+}
+
+/// In-place variant of [`reduce_with`].
+pub fn reduce_in_place_with(db: &Database, view: &mut View, exec: &ExecConfig) {
     let components = join_forest(db.schema());
     for comp in &components {
-        reduce_component(db, view, comp);
+        reduce_component(db, view, comp, exec);
     }
     // Cross-component semantics: the universal relation is the cross
     // product of the component joins, so one empty component empties all
@@ -64,54 +78,104 @@ pub fn is_reduced(db: &Database, view: &View) -> bool {
     &reduce(db, view) == view
 }
 
-fn reduce_component(db: &Database, view: &mut View, comp: &Component) {
-    // Bottom-up: visit edges deepest-first; parent ⋉= child.
-    for edge in comp.edges.iter().rev() {
-        semi_reduce(
-            db,
-            view,
-            edge.parent,
-            &edge.parent_cols,
-            edge.child,
-            &edge.child_cols,
-        );
+/// One directed semijoin step `target ⋉= source`, borrowed from a tree edge.
+struct Step<'a> {
+    target: usize,
+    target_cols: &'a [usize],
+    source: usize,
+    source_cols: &'a [usize],
+}
+
+fn reduce_component(db: &Database, view: &mut View, comp: &Component, exec: &ExecConfig) {
+    // Child depth per edge (edges are in BFS order, so parents resolve
+    // before their children).
+    let mut depth = vec![0usize; db.schema().relation_count()];
+    for e in &comp.edges {
+        depth[e.child] = depth[e.parent] + 1;
     }
-    // Top-down: child ⋉= parent.
-    for edge in &comp.edges {
-        semi_reduce(
-            db,
-            view,
-            edge.child,
-            &edge.child_cols,
-            edge.parent,
-            &edge.parent_cols,
-        );
+    let max_depth = comp.edges.iter().map(|e| depth[e.child]).max().unwrap_or(0);
+
+    // Bottom-up: parent ⋉= child, deepest children first. Edges within one
+    // depth level only *read* child live sets (untouched at this level) and
+    // *shrink* parent live sets, so their drop sets are independent.
+    for d in (1..=max_depth).rev() {
+        let steps: Vec<Step<'_>> = comp
+            .edges
+            .iter()
+            .rev()
+            .filter(|e| depth[e.child] == d)
+            .map(|e| Step {
+                target: e.parent,
+                target_cols: &e.parent_cols,
+                source: e.child,
+                source_cols: &e.child_cols,
+            })
+            .collect();
+        apply_steps(db, view, &steps, exec);
+    }
+    // Top-down: child ⋉= parent, shallowest first. Each child is the target
+    // of exactly one tree edge, so a depth level's steps touch disjoint
+    // relations.
+    for d in 1..=max_depth {
+        let steps: Vec<Step<'_>> = comp
+            .edges
+            .iter()
+            .filter(|e| depth[e.child] == d)
+            .map(|e| Step {
+                target: e.child,
+                target_cols: &e.child_cols,
+                source: e.parent,
+                source_cols: &e.parent_cols,
+            })
+            .collect();
+        apply_steps(db, view, &steps, exec);
     }
 }
 
-/// `target ⋉= source` on the given join columns: drop live target rows whose
-/// key has no live source row.
-fn semi_reduce(
-    db: &Database,
-    view: &mut View,
-    target: usize,
-    target_cols: &[usize],
-    source: usize,
-    source_cols: &[usize],
-) {
-    let keys = key_set(db, source, source_cols, view.live(source));
-    let relation = db.relation(target);
-    let mut key = Vec::with_capacity(target_cols.len());
+/// Run one depth level's semijoin steps: compute every step's drop set
+/// against the unchanged view (in parallel when allowed), then apply the
+/// removals in step order. Removals only shrink live sets and each step's
+/// keys come from source relations no step of the level mutates, so the
+/// union of drops equals the sequential step-after-step result.
+fn apply_steps(db: &Database, view: &mut View, steps: &[Step<'_>], exec: &ExecConfig) {
+    if steps.len() < 2 || !exec.is_parallel() {
+        for s in steps {
+            let drops = compute_drops(db, view, s);
+            for row in drops {
+                view.live[s.target].remove(row);
+            }
+        }
+        return;
+    }
+    let frozen: &View = view;
+    let drops = par::map_blocks(exec, steps, 1, |_, chunk| {
+        chunk
+            .iter()
+            .map(|s| (s.target, compute_drops(db, frozen, s)))
+            .collect::<Vec<_>>()
+    });
+    for group in drops {
+        for (target, rows) in group {
+            for row in rows {
+                view.live[target].remove(row);
+            }
+        }
+    }
+}
+
+/// Live rows of `step.target` whose join key has no live `step.source` row.
+fn compute_drops(db: &Database, view: &View, step: &Step<'_>) -> Vec<usize> {
+    let keys = key_set(db, step.source, step.source_cols, view.live(step.source));
+    let relation = db.relation(step.target);
+    let mut key = Vec::with_capacity(step.target_cols.len());
     let mut to_drop = Vec::new();
-    for row in view.live[target].iter() {
-        relation.project_into(row, target_cols, &mut key);
+    for row in view.live(step.target).iter() {
+        relation.project_into(row, step.target_cols, &mut key);
         if !keys.contains(key.as_slice()) {
             to_drop.push(row);
         }
     }
-    for row in to_drop {
-        view.live[target].remove(row);
-    }
+    to_drop
 }
 
 #[cfg(test)]
@@ -206,6 +270,58 @@ mod tests {
         let pure = reduce(&db, &view);
         reduce_in_place(&db, &mut view);
         assert_eq!(view, pure);
+    }
+
+    #[test]
+    fn parallel_reduce_matches_sequential() {
+        // A star with three sibling children plus one grandchild chain, so
+        // both sweeps actually get multi-step depth levels.
+        let schema = SchemaBuilder::new()
+            .relation("P", &[("id", T::Int)], &["id"])
+            .relation("A", &[("id", T::Int), ("p", T::Int)], &["id"])
+            .relation("B", &[("id", T::Int), ("p", T::Int)], &["id"])
+            .relation("C", &[("id", T::Int), ("p", T::Int)], &["id"])
+            .relation("G", &[("id", T::Int), ("a", T::Int)], &["id"])
+            .standard_fk("A", &["p"], "P")
+            .standard_fk("B", &["p"], "P")
+            .standard_fk("C", &["p"], "P")
+            .standard_fk("G", &["a"], "A")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for i in 0..200i64 {
+            db.insert("P", vec![i.into()]).unwrap();
+        }
+        // A covers parents 0..150, B covers 50..200, C covers evens; G
+        // covers every third A row. Intersections force real drops in both
+        // sweeps.
+        for i in 0..150i64 {
+            db.insert("A", vec![i.into(), i.into()]).unwrap();
+        }
+        for i in 50..200i64 {
+            db.insert("B", vec![i.into(), i.into()]).unwrap();
+        }
+        for i in (0..200i64).step_by(2) {
+            db.insert("C", vec![i.into(), i.into()]).unwrap();
+        }
+        for i in (0..150i64).step_by(3) {
+            db.insert("G", vec![i.into(), i.into()]).unwrap();
+        }
+        let view = db.full_view();
+        let sequential = reduce(&db, &view);
+        assert_ne!(&sequential, &view, "reduction must drop something");
+        let u = Universal::compute(&db, &view);
+        for rel in 0..db.schema().relation_count() {
+            assert_eq!(sequential.live(rel), &u.projected_rows(&db, rel));
+        }
+        for threads in [2, 3, 7] {
+            let exec = crate::par::ExecConfig::with_threads(threads);
+            assert_eq!(
+                reduce_with(&db, &view, &exec),
+                sequential,
+                "threads = {threads}"
+            );
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::database::Database;
 use crate::join::Universal;
+use crate::par::{self, ExecConfig};
 use crate::schema::AttrRef;
 use crate::value::Value;
 use std::collections::HashSet;
@@ -61,12 +62,34 @@ pub fn attr_stats(db: &Database, attr: AttrRef) -> AttrStats {
 /// and per-attribute distinct/null counts and value range. The `exq
 /// profile` CLI command prints this.
 pub fn profile(db: &Database) -> String {
+    profile_with(db, &ExecConfig::sequential())
+}
+
+/// [`profile`] with the per-attribute scans fanned out over `exec`. The
+/// text is assembled in schema order afterwards, so the output is
+/// identical at any thread count.
+pub fn profile_with(db: &Database, exec: &ExecConfig) -> String {
     use std::fmt::Write;
+    let attrs: Vec<AttrRef> = db
+        .schema()
+        .relations()
+        .iter()
+        .enumerate()
+        .flat_map(|(rel, r)| (0..r.attributes.len()).map(move |col| AttrRef { rel, col }))
+        .collect();
+    let stats: Vec<AttrStats> = par::map_blocks(exec, &attrs, 1, |_, chunk| {
+        chunk.iter().map(|&a| attr_stats(db, a)).collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let mut stats = stats.into_iter();
     let mut out = String::new();
     for (rel, r) in db.schema().relations().iter().enumerate() {
         let _ = writeln!(out, "{} ({} rows)", r.name, db.relation_len(rel));
-        for (col, attr) in r.attributes.iter().enumerate() {
-            let s = attr_stats(db, crate::schema::AttrRef { rel, col });
+        for (col, _) in r.attributes.iter().enumerate() {
+            let s = stats.next().expect("one AttrStats per schema attribute");
+            let attr = &r.attributes[col];
             let key = if r.primary_key.contains(&col) {
                 " [key]"
             } else {
@@ -174,6 +197,16 @@ mod tests {
         assert!(text.contains("id: int [key]"));
         assert!(text.contains("g: str  distinct=3 nulls=0 range=a .. c"));
         assert!(text.contains("x: int  distinct=3 nulls=1 range=2 .. 9"));
+    }
+
+    #[test]
+    fn parallel_profile_is_identical() {
+        let db = db();
+        let sequential = profile(&db);
+        for threads in [2, 7] {
+            let parallel = profile_with(&db, &ExecConfig::with_threads(threads));
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
     }
 
     #[test]

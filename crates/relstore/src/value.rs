@@ -110,6 +110,54 @@ impl Value {
     }
 }
 
+/// Exact comparison of an `i64` against an `f64` under the total order.
+///
+/// Casting the integer to `f64` first (the obvious implementation) rounds
+/// integers above 2^53 to the nearest representable float, which makes
+/// equality non-transitive: `i64::MAX as f64 == 2^63`, so `Int(i64::MAX)`
+/// would compare equal to `Float(9.2233720368547758e18)` *and* to every
+/// other integer that rounds there. Instead the float is truncated into
+/// the integer domain, which is always exact.
+fn cmp_int_float(a: i64, b: f64) -> Ordering {
+    if b.is_nan() {
+        // `total_cmp` semantics: finite values sort above -NaN, below +NaN.
+        return (a as f64).total_cmp(&b);
+    }
+    // Every i64 satisfies -2^63 <= a < 2^63; floats outside that window
+    // compare without looking at `a`. (2^63 is exactly representable.)
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0;
+    if b >= TWO_63 {
+        return Ordering::Less;
+    }
+    if b < -TWO_63 {
+        return Ordering::Greater;
+    }
+    let t = b.trunc(); // in [-2^63, 2^63), so the cast below is exact
+    match a.cmp(&(t as i64)) {
+        Ordering::Equal if b > t => Ordering::Less,
+        Ordering::Equal if b < t => Ordering::Greater,
+        // Numerically equal. Fall back to the float total order so
+        // `Int(0)` vs `Float(-0.0)` agrees with `Float(0.0)` vs
+        // `Float(-0.0)` (keeping the order transitive around ±0).
+        Ordering::Equal => (a as f64).total_cmp(&b),
+        other => other,
+    }
+}
+
+/// The integer a float is *exactly* equal to under [`cmp_int_float`], if
+/// any. This is the hash-canonicalization hook: `Float(f)` must hash like
+/// `Int(i)` precisely when they compare equal, which requires `f` to be
+/// integral, in `i64` range, and bit-identical to `i as f64` (ruling out
+/// `-0.0`, whose total order sits strictly below `Int(0)`).
+fn float_as_exact_int(f: f64) -> Option<i64> {
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0;
+    if !(-TWO_63..TWO_63).contains(&f) {
+        return None; // NaN, infinities, and out-of-range magnitudes
+    }
+    let i = f as i64;
+    ((i as f64).to_bits() == f.to_bits()).then_some(i)
+}
+
 impl PartialEq for Value {
     fn eq(&self, other: &Value) -> bool {
         self.cmp(other) == Ordering::Equal
@@ -132,8 +180,8 @@ impl Ord for Value {
             (Bool(a), Bool(b)) => a.cmp(b),
             (Int(a), Int(b)) => a.cmp(b),
             (Float(a), Float(b)) => a.total_cmp(b),
-            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
-            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Int(a), Float(b)) => cmp_int_float(*a, *b),
+            (Float(a), Int(b)) => cmp_int_float(*b, *a).reverse(),
             (Str(a), Str(b)) => a.cmp(b),
             _ => self.type_rank().cmp(&other.type_rank()),
         }
@@ -149,17 +197,26 @@ impl Hash for Value {
                 b.hash(state);
             }
             // Int and Float must hash identically when they compare equal
-            // (`Int(2) == Float(2.0)`), so both hash the f64 bit pattern —
-            // except integers that round-trip exactly, which hash as i64 to
-            // stay cheap. Simpler: hash the canonical f64 bits for both.
+            // (`Int(2) == Float(2.0)`). Equality is exact, so a float is
+            // equal to an int only when it *is* that int; such floats hash
+            // through the integer domain and every other float hashes its
+            // own bit pattern. Ints never go through f64 — the old
+            // `(i as f64).to_bits()` scheme collapsed all integers above
+            // 2^53 that round to the same float onto one bucket.
             Value::Int(i) => {
                 state.write_u8(2);
-                (*i as f64).to_bits().hash(state);
+                i.hash(state);
             }
-            Value::Float(f) => {
-                state.write_u8(2);
-                f.to_bits().hash(state);
-            }
+            Value::Float(f) => match float_as_exact_int(*f) {
+                Some(i) => {
+                    state.write_u8(2);
+                    i.hash(state);
+                }
+                None => {
+                    state.write_u8(4);
+                    f.to_bits().hash(state);
+                }
+            },
             Value::Str(s) => {
                 state.write_u8(3);
                 s.hash(state);
@@ -345,6 +402,69 @@ mod tests {
         assert_eq!(Value::Int(42).to_string(), "42");
         assert_eq!(Value::str("ibm.com").to_string(), "ibm.com");
         assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn large_ints_do_not_collapse_into_floats() {
+        // i64::MAX rounds to 2^63 as a float; exact comparison must still
+        // tell them apart (the lossy cast made them "equal").
+        let two_63 = Value::Float(9_223_372_036_854_775_808.0);
+        assert!(Value::Int(i64::MAX) < two_63);
+        assert!(two_63 > Value::Int(i64::MAX));
+        assert_eq!(
+            Value::Int(i64::MIN),
+            Value::Float(-9_223_372_036_854_775_808.0)
+        );
+
+        // Transitivity around the 2^53 precision cliff: 2^53 and 2^53 + 1
+        // round to the same float but are different values.
+        let a = Value::Int(1 << 53);
+        let b = Value::Int((1 << 53) + 1);
+        let f = Value::Float(9_007_199_254_740_992.0); // 2^53 exactly
+        assert_eq!(a, f);
+        assert!(b > f, "2^53 + 1 exceeds the float it rounds to");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn large_ints_hash_by_their_own_bits() {
+        // Pre-fix, both hashed (i as f64).to_bits() and collided exactly.
+        let a = hash_of(&Value::Int(1 << 53));
+        let b = hash_of(&Value::Int((1 << 53) + 1));
+        assert_ne!(a, b, "distinct ints above 2^53 must not share a bucket");
+        assert_ne!(
+            hash_of(&Value::Int(i64::MAX)),
+            hash_of(&Value::Int(i64::MAX - 1))
+        );
+    }
+
+    #[test]
+    fn int_equal_floats_hash_like_the_int() {
+        for i in [0i64, 2, -7, 1 << 52, i64::MIN] {
+            assert_eq!(Value::Int(i), Value::Float(i as f64));
+            assert_eq!(hash_of(&Value::Int(i)), hash_of(&Value::Float(i as f64)));
+        }
+    }
+
+    #[test]
+    fn negative_zero_stays_below_int_zero() {
+        // -0.0 < 0.0 under total_cmp; Int(0) ties with Float(0.0), so it
+        // must also sit above Float(-0.0) — and hash independently.
+        assert!(Value::Float(-0.0) < Value::Int(0));
+        assert!(Value::Int(0) > Value::Float(-0.0));
+        assert_eq!(Value::Int(0), Value::Float(0.0));
+        assert_ne!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(hash_of(&Value::Int(0)), hash_of(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn fractional_and_non_finite_floats_order_against_ints() {
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(-1.5) < Value::Int(-1));
+        assert!(Value::Int(i64::MAX) < Value::Float(f64::INFINITY));
+        assert!(Value::Float(f64::NEG_INFINITY) < Value::Int(i64::MIN));
+        assert!(Value::Int(0) < Value::Float(f64::NAN), "+NaN sorts last");
+        assert!(Value::Float(-f64::NAN) < Value::Int(i64::MIN));
     }
 
     #[test]

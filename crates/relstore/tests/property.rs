@@ -105,6 +105,87 @@ proptest! {
     }
 }
 
+/// Values biased toward the seams of the Int/Float total order: full-range
+/// integers (beyond the 2^53 float-precision cliff), floats that are exact
+/// images of integers, signed zeros, and non-finite floats.
+fn arb_value_edge() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<i64>().prop_map(|i| Value::Float(i as f64)),
+        any::<f64>().prop_map(Value::Float),
+        "[a-z]{0,4}".prop_map(Value::str),
+    ]
+}
+
+/// The fixed corner cases every run must cover, whatever the RNG does.
+fn edge_values() -> Vec<Value> {
+    vec![
+        Value::Null,
+        Value::Bool(false),
+        Value::Int(0),
+        Value::Float(0.0),
+        Value::Float(-0.0),
+        Value::Int(i64::MAX),
+        Value::Int(i64::MAX - 1),
+        Value::Int(i64::MIN),
+        Value::Int(1 << 53),
+        Value::Int((1 << 53) + 1),
+        Value::Float(i64::MAX as f64), // 2^63: equal to no integer
+        Value::Float(i64::MIN as f64), // -2^63: equal to i64::MIN
+        Value::Float((1u64 << 53) as f64),
+        Value::Float(f64::NAN),
+        Value::Float(f64::INFINITY),
+        Value::Float(f64::NEG_INFINITY),
+        Value::str(""),
+    ]
+}
+
+proptest! {
+    /// `a == b ⇒ hash(a) == hash(b)` across all variant pairs, with the
+    /// ±0.0 / i64::MAX / 2^53-cliff corners pinned into every case. Also
+    /// checks that the order stays antisymmetric and transitive there —
+    /// the pre-fix lossy Int→f64 comparison broke transitivity above 2^53.
+    #[test]
+    fn hash_agrees_with_equality_on_all_variant_pairs(
+        random in proptest::collection::vec(arb_value_edge(), 0..10),
+    ) {
+        let mut values = edge_values();
+        values.extend(random);
+        for a in &values {
+            for b in &values {
+                prop_assert_eq!(a.cmp(b).reverse(), b.cmp(a));
+                if a == b {
+                    prop_assert_eq!(
+                        hash_of(a), hash_of(b),
+                        "{:?} == {:?} but hashes differ", a, b
+                    );
+                }
+                // Transitivity: everything equal to `a` must compare the
+                // same way against every third value.
+                if a == b {
+                    for c in &values {
+                        prop_assert_eq!(a.cmp(c), b.cmp(c), "{:?} vs {:?} vs {:?}", a, b, c);
+                    }
+                }
+            }
+        }
+        let mut s1 = values.clone();
+        s1.sort();
+        let mut s2 = s1.clone();
+        s2.sort();
+        prop_assert_eq!(s1, s2);
+    }
+}
+
+fn hash_of(v: &Value) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
 // ---------------------------------------------------------------------
 // Cube vs brute-force reference
 // ---------------------------------------------------------------------
@@ -248,11 +329,28 @@ proptest! {
 // CSV round-trip
 // ---------------------------------------------------------------------
 
+/// String fields exercising every quoting seam: commas, doubled quotes,
+/// and CR / LF / CRLF sequences embedded mid-field, at the start, and at
+/// the end of the field.
+fn arb_csv_field() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Printable text with quoting trigger characters mixed in.
+        "[ -~]{0,12}",
+        // Explicit line-break shapes around plain text.
+        ("[a-z\",]{0,4}", "[a-z\",]{0,4}").prop_map(|(a, b)| format!("{a}\r{b}")),
+        ("[a-z\",]{0,4}", "[a-z\",]{0,4}").prop_map(|(a, b)| format!("{a}\n{b}")),
+        ("[a-z\",]{0,4}", "[a-z\",]{0,4}").prop_map(|(a, b)| format!("{a}\r\n{b}")),
+        Just("\"\"".to_string()),
+        Just("\r\n".to_string()),
+        Just("\n\"x\",\r".to_string()),
+    ]
+}
+
 proptest! {
     #[test]
     fn csv_round_trips(
         rows in proptest::collection::vec(
-            ("[ -~&&[^\"\\r\\n]]{0,12}", proptest::option::of(any::<i32>()), any::<bool>()),
+            (arb_csv_field(), proptest::option::of(any::<i32>()), any::<bool>()),
             0..20,
         ),
     ) {

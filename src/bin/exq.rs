@@ -25,7 +25,7 @@ use exq::core::explainer::Explainer;
 use exq::core::explanation::Explanation;
 use exq::core::prelude::*;
 use exq::core::qparse;
-use exq::relstore::{csv, parse, Database};
+use exq::relstore::{csv, parse, Database, ExecConfig};
 use std::collections::BTreeMap;
 use std::fs;
 use std::process::ExitCode;
@@ -78,6 +78,17 @@ impl Args {
     fn many(&self, flag: &str) -> &[String] {
         self.options.get(flag).map_or(&[], Vec::as_slice)
     }
+
+    /// `--threads N`, defaulting to all available cores.
+    fn exec(&self) -> Result<ExecConfig, String> {
+        match self.optional("threads") {
+            None => Ok(ExecConfig::auto()),
+            Some(s) => match s.parse::<usize>() {
+                Ok(n) if n >= 1 => Ok(ExecConfig::with_threads(n)),
+                _ => Err(format!("bad --threads `{s}` (need an integer >= 1)")),
+            },
+        }
+    }
 }
 
 fn load_database(args: &Args) -> Result<Database, String> {
@@ -121,7 +132,7 @@ fn build_explainer<'a>(db: &'a Database, args: &Args) -> Result<Explainer<'a>, S
     }
     let question =
         qparse::parse_question(db.schema(), &question_text).map_err(|e| e.to_string())?;
-    let mut explainer = Explainer::new(db, question);
+    let mut explainer = Explainer::new(db, question).exec(args.exec()?);
     if let Some(attrs) = args.optional("attrs") {
         let names: Vec<&str> = attrs.split(',').map(str::trim).collect();
         explainer = explainer.attr_names(&names).map_err(|e| e.to_string())?;
@@ -220,8 +231,9 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_profile(args: &Args) -> Result<(), String> {
+    let exec = args.exec()?;
     let db = load_database(args)?;
-    print!("{}", exq::relstore::stats::profile(&db));
+    print!("{}", exq::relstore::stats::profile_with(&db, &exec));
     Ok(())
 }
 
@@ -234,6 +246,7 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     let config = exq::core::report::ReportConfig {
         top_k: k,
         drill_best: true,
+        exec: args.exec()?,
     };
     let text = exq::core::report::generate(&explainer, &config).map_err(|e| e.to_string())?;
     print!("{text}");
@@ -347,13 +360,18 @@ const USAGE: &str = "usage: exq <check|schema|validate|profile|explain|report|dr
   exq check    SCHEMA [QUESTION...] [--format pretty|json]
   exq schema   --schema FILE
   exq validate --schema FILE --table Rel=FILE...
-  exq profile  --schema FILE --table Rel=FILE...
-  exq report   --schema FILE --table Rel=FILE... --question FILE --attrs ... [--top K]
+  exq profile  --schema FILE --table Rel=FILE... [--threads N]
+  exq report   --schema FILE --table Rel=FILE... --question FILE --attrs ... \\
+               [--top K] [--threads N]
   exq explain  --schema FILE --table Rel=FILE... --question FILE \\
                --attrs Rel.a,Rel.b [--top K] [--by interv|aggr] \\
                [--strategy nominimal|selfjoin|append] [--polarity general|specific] \\
-               [--min-support N] [--naive] [--dump-m FILE]
-  exq drill    --schema FILE --table Rel=FILE... --question FILE --phi \"a = 'v'\"";
+               [--min-support N] [--naive] [--dump-m FILE] [--threads N]
+  exq drill    --schema FILE --table Rel=FILE... --question FILE --phi \"a = 'v'\" \\
+               [--threads N]
+
+--threads N pins the executor to N OS threads (default: all available
+cores). Results are bit-identical at every thread count.";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

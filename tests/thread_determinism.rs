@@ -1,0 +1,133 @@
+//! Cross-thread-count determinism: the whole pipeline (universal join →
+//! cubes → Algorithm 1, and the naive engine) must produce *bit-identical*
+//! explanation tables at every thread count. These run the two headline
+//! experiment workloads (DBLP Figure 2, natality Figure 10) through the
+//! facade at 1, 2, and 7 threads and require full `ExplanationTable`
+//! equality — coordinates, `v_j` columns, and both degree columns, down
+//! to the last float bit.
+
+use exq::core::explainer::Explainer;
+use exq::datagen::{dblp, natality};
+use exq::prelude::*;
+use exq_relstore::aggregate::AggFunc;
+
+const THREADS: [usize; 3] = [1, 2, 7];
+
+fn dblp_question(db: &exq_relstore::Database) -> UserQuestion {
+    let schema = db.schema();
+    let pubid = schema.attr("Publication", "pubid").unwrap();
+    let venue = schema.attr("Publication", "venue").unwrap();
+    let year = schema.attr("Publication", "year").unwrap();
+    let dom = schema.attr("Author", "dom").unwrap();
+    let q = |d: &str, w: (i32, i32)| AggregateQuery {
+        func: AggFunc::CountDistinct(pubid),
+        selection: Predicate::and([
+            Predicate::eq(venue, "SIGMOD"),
+            Predicate::eq(dom, d),
+            Predicate::between(year, w.0, w.1),
+        ]),
+    };
+    UserQuestion::new(
+        NumericalQuery::double_ratio(
+            q("com", (2000, 2004)),
+            q("com", (2007, 2011)),
+            q("edu", (2000, 2004)),
+            q("edu", (2007, 2011)),
+        )
+        .with_smoothing(1e-4),
+        Direction::High,
+    )
+}
+
+#[test]
+fn dblp_explanation_table_is_identical_across_thread_counts() {
+    let db = dblp::generate(&dblp::DblpConfig::default());
+    let build = |threads: usize| {
+        Explainer::new(&db, dblp_question(&db))
+            .attr_names(&["Author.inst", "Author.name"])
+            .unwrap()
+            .threads(threads)
+    };
+    let (baseline, choice) = build(1).table().unwrap();
+    assert!(!baseline.is_empty());
+    for threads in THREADS {
+        let (table, c) = build(threads).table().unwrap();
+        assert_eq!(c, choice, "threads = {threads}");
+        assert_eq!(table, baseline, "threads = {threads}");
+    }
+}
+
+#[test]
+fn natality_explanation_table_is_identical_across_thread_counts() {
+    let db = natality::generate(&natality::NatalityConfig {
+        rows: 20_000,
+        seed: 7,
+    });
+    let schema = db.schema();
+    let ap = schema.attr("Natality", "ap").unwrap();
+    let race = schema.attr("Natality", "race").unwrap();
+    let q = |o: &str| {
+        AggregateQuery::count_star(Predicate::and([
+            Predicate::eq(ap, o),
+            Predicate::eq(race, "Asian"),
+        ]))
+    };
+    let question = || {
+        UserQuestion::new(
+            NumericalQuery::ratio(q("good"), q("poor")).with_smoothing(1e-4),
+            Direction::High,
+        )
+    };
+    let dims = [
+        "Natality.age",
+        "Natality.tobacco",
+        "Natality.prenatal",
+        "Natality.edu",
+        "Natality.marital",
+    ];
+    let build = |threads: usize| {
+        Explainer::new(&db, question())
+            .attr_names(&dims)
+            .unwrap()
+            .threads(threads)
+    };
+    let (baseline, _) = build(1).table().unwrap();
+    assert!(!baseline.is_empty());
+    for threads in THREADS {
+        let (table, _) = build(threads).table().unwrap();
+        assert_eq!(table, baseline, "threads = {threads}");
+    }
+}
+
+#[test]
+fn naive_engine_is_identical_across_thread_counts_on_natality() {
+    // The naive engine runs program P per candidate; restrict to two
+    // dimensions to keep the candidate count (and runtime) small.
+    let db = natality::generate(&natality::NatalityConfig {
+        rows: 2_000,
+        seed: 7,
+    });
+    let schema = db.schema();
+    let ap = schema.attr("Natality", "ap").unwrap();
+    let q = |o: &str| AggregateQuery::count_star(Predicate::eq(ap, o));
+    let question = || {
+        UserQuestion::new(
+            NumericalQuery::ratio(q("good"), q("poor")).with_smoothing(1e-4),
+            Direction::High,
+        )
+    };
+    let build = |threads: usize| {
+        Explainer::new(&db, question())
+            .attr_names(&["Natality.tobacco", "Natality.marital"])
+            .unwrap()
+            .force_naive()
+            .threads(threads)
+    };
+    let (baseline, choice) = build(1).table().unwrap();
+    assert_eq!(choice, exq::core::explainer::EngineChoice::Naive);
+    assert!(!baseline.is_empty());
+    for threads in THREADS {
+        let (table, _) = build(threads).table().unwrap();
+        assert_eq!(table, baseline, "threads = {threads}");
+    }
+}
