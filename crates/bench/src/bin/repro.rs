@@ -2,7 +2,9 @@
 //!
 //! Usage: `repro <experiment> [full]` where `<experiment>` is one of
 //! `fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
-//! ex37 ex41 ablation scaling hybrid agreement export all`. The optional
+//! ex37 ex41 ablation scaling hybrid agreement pipeline export all`, or
+//! `repro validate-bench FILE` to check a `BENCH_pipeline.json` against
+//! the committed counter catalogue. The optional
 //! `full` flag runs the timing sweeps at
 //! paper scale (millions of rows); the default keeps every experiment
 //! under a few seconds. Build with `--release` for meaningful timings.
@@ -16,8 +18,20 @@ use exq_core::{cube_algo, naive, topk};
 use exq_datagen::{chain, dblp, geodblp, paper_examples};
 use exq_relstore::aggregate::{evaluate, AggFunc};
 use exq_relstore::cube::CubeStrategy;
-use exq_relstore::{Database, ExecConfig, Predicate, Universal, Value};
+use exq_relstore::{Database, ExecConfig, MetricsSink, Predicate, Universal, Value};
 use std::time::{Duration, Instant};
+
+/// The committed counter catalogue: every name here must appear in the
+/// `counters` section of `BENCH_pipeline.json` (see `validate-bench`).
+const COUNTER_CATALOGUE: &str = include_str!("../../../../assets/obs/counters.txt");
+
+fn required_counters() -> Vec<&'static str> {
+    COUNTER_CATALOGUE
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect()
+}
 
 fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = Instant::now();
@@ -625,10 +639,11 @@ fn scaling(full: bool) {
         let exec = ExecConfig::with_threads(n);
         let (u, t_join) = timed(|| Universal::compute_with(&db, &db.full_view(), &exec));
         let config = CubeAlgoConfig::checked().with_exec(exec);
-        let (m_race, t_race) =
-            timed(|| cube_algo::explanation_table(&db, &u, &q_race(&db), &dims, config).unwrap());
+        let (m_race, t_race) = timed(|| {
+            cube_algo::explanation_table(&db, &u, &q_race(&db), &dims, config.clone()).unwrap()
+        });
         let (_, t_marital) = timed(|| {
-            cube_algo::explanation_table(&db, &u, &q_marital(&db), &dims, config).unwrap()
+            cube_algo::explanation_table(&db, &u, &q_marital(&db), &dims, config.clone()).unwrap()
         });
         let total = t_join + t_race + t_marital;
         let speedup = baseline
@@ -793,6 +808,128 @@ fn export(dir: &str, nat_rows: usize) {
     );
 }
 
+fn pipeline(full: bool) {
+    header("Pipeline metrics — one obs snapshot across the evaluation workloads");
+    let sink = MetricsSink::recording();
+    let exec = ExecConfig::auto().with_metrics(sink.clone());
+
+    // Figure 12 workload: the naive engine (program P per candidate) and
+    // Algorithm 1 on the same small natality instance — fixpoint and
+    // per-engine candidate counters.
+    let rows12 = if full { 40_000 } else { 4_000 };
+    println!("figure 12 workload: naive + cube, {rows12} natality rows, d = 2");
+    let db = natality_db(rows12);
+    let dims = natality_dims(&db, 2);
+    let question = q_race(&db);
+    let u = Universal::compute_with(&db, &db.full_view(), &exec);
+    let engine = InterventionEngine::with_universal(&db, u.clone()).with_exec(exec.clone());
+    naive::explanation_table_naive_with(&db, &engine, &question, &dims, &exec).unwrap();
+    let config = CubeAlgoConfig::checked().with_exec(exec.clone());
+    cube_algo::explanation_table(&db, &u, &question, &dims, config.clone()).unwrap();
+
+    // Figure 13 workload: Algorithm 1 at d = 4, both questions — join and
+    // cube counters at scale.
+    let rows13 = if full { 400_000 } else { 40_000 };
+    println!("figure 13 workload: cube, {rows13} natality rows, d = 4");
+    let db13 = natality_db(rows13);
+    let u13 = Universal::compute_with(&db13, &db13.full_view(), &exec);
+    let dims13 = natality_dims(&db13, 4);
+    cube_algo::explanation_table(&db13, &u13, &q_race(&db13), &dims13, config.clone()).unwrap();
+    cube_algo::explanation_table(&db13, &u13, &q_marital(&db13), &dims13, config).unwrap();
+
+    // Multi-relation DBLP pass so the Yannakakis semijoin counters fire
+    // (natality is a single relation — nothing to reduce there).
+    println!("dblp workload: semijoin reduction + universal relation");
+    let dblp_db = dblp::generate(&dblp::DblpConfig::default());
+    let mut view = dblp_db.full_view();
+    exq_relstore::semijoin::reduce_in_place_with(&dblp_db, &mut view, &exec);
+    Universal::compute_with(&dblp_db, &view, &exec);
+
+    let snapshot = sink.snapshot();
+    std::fs::write("BENCH_pipeline.json", snapshot.to_json() + "\n")
+        .expect("write BENCH_pipeline.json");
+    println!(
+        "\nwrote BENCH_pipeline.json ({} counters, {} spans)",
+        snapshot.counters.len(),
+        snapshot.spans.len()
+    );
+    let missing: Vec<&str> = required_counters()
+        .into_iter()
+        .filter(|name| !snapshot.counters.contains_key(*name))
+        .collect();
+    assert!(
+        missing.is_empty(),
+        "counters missing from the catalogue: {missing:?}"
+    );
+    println!(
+        "all {} catalogued counters present",
+        required_counters().len()
+    );
+}
+
+/// Check a `BENCH_pipeline.json` written by `pipeline` against the
+/// committed counter catalogue: the file must be a well-formed metrics
+/// snapshot and every catalogued counter must be present. Exits 1 on any
+/// failure so CI can gate on it.
+fn validate_bench(path: &str) {
+    let fail = |msg: String| -> ! {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(format!("{path}: {e}")),
+    };
+    // Structural sanity: one JSON object with balanced braces outside
+    // strings and a counters section.
+    let (mut depth, mut max_depth, mut in_str, mut esc) = (0i64, 0i64, false, false);
+    for c in text.chars() {
+        if in_str {
+            match (esc, c) {
+                (true, _) => esc = false,
+                (false, '\\') => esc = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => {
+                depth += 1;
+                max_depth = max_depth.max(depth);
+            }
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    fail(format!("{path}: unbalanced JSON"));
+                }
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 || in_str || max_depth == 0 {
+        fail(format!("{path}: not a complete JSON document"));
+    }
+    if !text.contains("\"counters\": {") || !text.contains("\"spans\": {") {
+        fail(format!("{path}: not a metrics snapshot"));
+    }
+    let missing: Vec<&str> = required_counters()
+        .into_iter()
+        .filter(|name| !text.contains(&format!("\"{name}\":")))
+        .collect();
+    if !missing.is_empty() {
+        fail(format!(
+            "{path}: missing catalogued counters: {}",
+            missing.join(", ")
+        ));
+    }
+    println!(
+        "ok: {path} has all {} catalogued counters",
+        required_counters().len()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("all");
@@ -815,6 +952,14 @@ fn main() {
         "scaling" => scaling(full),
         "hybrid" => hybrid_table(),
         "agreement" => agreement_table(nat_rows),
+        "pipeline" => pipeline(full),
+        "validate-bench" => match args.get(2) {
+            Some(path) => validate_bench(path),
+            None => {
+                eprintln!("usage: repro validate-bench FILE");
+                std::process::exit(2);
+            }
+        },
         "export" => export(args.get(2).map(String::as_str).unwrap_or("export"), 100_000),
         "all" => {
             fig1();
@@ -832,12 +977,13 @@ fn main() {
             scaling(full);
             hybrid_table();
             agreement_table(nat_rows);
+            pipeline(full);
         }
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of fig1 fig2 fig6 fig7 fig8 fig9 \
                  fig10 fig11 fig12 fig13 fig14 fig15 ex37 ex41 ablation scaling hybrid \
-                 agreement export all"
+                 agreement pipeline validate-bench export all"
             );
             std::process::exit(2);
         }

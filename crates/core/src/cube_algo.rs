@@ -20,7 +20,7 @@ use exq_relstore::{AttrRef, Database, ExecConfig, Universal, Value};
 use std::collections::HashMap;
 
 /// Configuration for Algorithm 1.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct CubeAlgoConfig {
     /// Which cube implementation to use.
     pub strategy: CubeStrategy,
@@ -76,8 +76,13 @@ pub fn explanation_table(
     dims: &[AttrRef],
     config: CubeAlgoConfig,
 ) -> Result<ExplanationTable> {
+    let sink = config.exec.metrics().clone();
+    let _span = sink.span("cube_algo");
+    sink.incr("cube_algo.runs");
     if config.enforce_additivity {
-        let checks = check_query(db, u, &question.query);
+        let checks = sink.time("cube_algo.additivity_check", || {
+            check_query(db, u, &question.query)
+        });
         let failing: Vec<usize> = checks
             .iter()
             .enumerate()
@@ -90,24 +95,30 @@ pub fn explanation_table(
     }
 
     // Line 1: totals u_j.
-    let totals = question.query.aggregate_values(db, u)?;
+    let totals = sink.time("cube_algo.totals", || {
+        question.query.aggregate_values(db, u)
+    })?;
 
     // Line 2: per-sub-query cubes.
     let m = question.query.arity();
+    sink.add("cube_algo.sub_queries", m as u64);
     let mut joined: HashMap<Coord, Vec<f64>> = HashMap::new();
     for (j, q) in question.query.aggregates.iter().enumerate() {
-        let c = cube::compute_with(
-            db,
-            u,
-            &q.selection,
-            dims,
-            &q.func,
-            config.strategy,
-            &config.exec,
-        )?;
+        let c = sink.time("cube_algo.cubes", || {
+            cube::compute_with(
+                db,
+                u,
+                &q.selection,
+                dims,
+                &q.func,
+                config.strategy,
+                &config.exec,
+            )
+        })?;
         // Line 3: full outer join via the dummy-value trick — null
         // coordinates are replaced by the reserved dummy so the hash join
         // key is a plain value vector (Section 4.2's optimization).
+        let _join_span = sink.span("cube_algo.join");
         for (coord, value) in c.cells {
             let key: Coord = coord
                 .iter()
@@ -122,11 +133,17 @@ pub fn explanation_table(
             joined.entry(key).or_insert_with(|| vec![0.0; m])[j] = value;
         }
     }
+    sink.add("cube_algo.joined_cells", joined.len() as u64);
 
     // Lines 4-5: degree columns, derived per cell in parallel blocks (the
     // helper re-sorts by coordinate, so the HashMap drain order is moot).
     let cells: Vec<(Coord, Vec<f64>)> = joined.into_iter().collect();
-    let rows = table_m::derive_rows(question, &totals, &cells, &config.exec);
+    let rows = sink.time("cube_algo.derive", || {
+        table_m::derive_rows(question, &totals, &cells, &config.exec)
+    });
+    // Same name the naive engine records, so the differential test can
+    // assert both engines evaluated the same candidate set.
+    sink.add("engine.candidates_evaluated", rows.len() as u64);
 
     Ok(ExplanationTable {
         dims: dims.to_vec(),

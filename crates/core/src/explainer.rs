@@ -121,9 +121,19 @@ impl<'a> Explainer<'a> {
         self
     }
 
+    /// Record pipeline counters and spans into `sink` (keeps the current
+    /// thread count).
+    pub fn metrics(mut self, sink: exq_obs::MetricsSink) -> Explainer<'a> {
+        self.exec = self.exec.with_metrics(sink);
+        self
+    }
+
     fn universal(&self) -> &Universal {
-        self.universal
-            .get_or_init(|| Universal::compute_with(self.db, &self.db.full_view(), &self.exec))
+        self.universal.get_or_init(|| {
+            self.exec.metrics().time("explain.universal", || {
+                Universal::compute_with(self.db, &self.db.full_view(), &self.exec)
+            })
+        })
     }
 
     /// Set the explanation attributes `A'`.
@@ -193,6 +203,7 @@ impl<'a> Explainer<'a> {
     }
 
     fn compute_table(&self) -> Result<(ExplanationTable, EngineChoice)> {
+        let _span = self.exec.metrics().span("explain.table");
         let u = self.universal();
         let additive = crate::additivity::query_is_additive(self.db, u, &self.question.query);
         let (mut table, choice) = if additive && !self.force_naive {
@@ -201,13 +212,17 @@ impl<'a> Explainer<'a> {
                 u,
                 &self.question,
                 &self.dims,
-                self.cube_config.with_exec(self.exec),
+                self.cube_config.clone().with_exec(self.exec.clone()),
             )?;
             (t, EngineChoice::Cube)
         } else {
             // The engine stays sequential: the naive table parallelizes
             // across candidates, and each candidate owns its fixpoint run.
-            let engine = InterventionEngine::with_universal(self.db, u.clone());
+            // It still carries the metrics sink, so fixpoint counters from
+            // worker threads land in the shared registry (integer adds
+            // commute — totals stay deterministic).
+            let engine = InterventionEngine::with_universal(self.db, u.clone())
+                .with_exec(ExecConfig::sequential().with_metrics(self.exec.metrics().clone()));
             let t = naive::explanation_table_naive_with(
                 self.db,
                 &engine,
@@ -245,7 +260,7 @@ impl<'a> Explainer<'a> {
         k: usize,
     ) -> Result<Vec<crate::rich::RankedRich>> {
         let engine = InterventionEngine::with_universal(self.db, self.universal().clone())
-            .with_exec(self.exec);
+            .with_exec(self.exec.clone());
         let mut ranked = crate::rich::evaluate_candidates(&engine, &self.question, candidates)?;
         ranked.truncate(k);
         Ok(ranked)
@@ -267,7 +282,8 @@ impl<'a> Explainer<'a> {
     /// intervention itself.
     pub fn explain(&self, phi: &Explanation) -> Result<DegreeReport> {
         let u = self.universal();
-        let engine = InterventionEngine::with_universal(self.db, u.clone()).with_exec(self.exec);
+        let engine =
+            InterventionEngine::with_universal(self.db, u.clone()).with_exec(self.exec.clone());
         let (mu_interv, intervention) = degree::mu_interv(&engine, &self.question, phi)?;
         let mu_aggr = degree::mu_aggr(self.db, u, &self.question, phi)?;
         let mu_hybrid = hybrid::mu_hybrid(self.db, u, &self.question, phi)?;

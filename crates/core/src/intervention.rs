@@ -204,13 +204,25 @@ impl<'a> InterventionEngine<'a> {
 
     /// Run program **P** for an arbitrary boolean predicate φ.
     pub fn compute_predicate(&self, phi: &Predicate) -> Intervention {
+        let sink = self.exec.metrics();
+        let _span = sink.span("fixpoint");
         let seeds = self.seeds_predicate(phi);
         let (delta, iterations) = self.close_from_seeds(&seeds);
-        Intervention {
+        let iv = Intervention {
             delta,
             seeds,
             iterations,
-        }
+        };
+        // Theorem 4.5's convergence bound as an observable: iteration
+        // totals per program-P run, plus seed and deletion volumes.
+        sink.incr("fixpoint.runs");
+        sink.add("fixpoint.iterations", iterations as u64);
+        sink.add(
+            "fixpoint.seed_rows",
+            iv.seeds.iter().map(|s| s.count() as u64).sum(),
+        );
+        sink.add("fixpoint.deleted_rows", iv.total_deleted() as u64);
+        iv
     }
 
     /// The Section 3.3 *non-recursive* evaluation: when the schema's
@@ -260,11 +272,20 @@ impl<'a> InterventionEngine<'a> {
             reduce_into(&mut delta);
             stages += 2;
         }
-        Some(Intervention {
+        let iv = Intervention {
             delta,
             seeds,
             iterations: stages,
-        })
+        };
+        let sink = self.exec.metrics();
+        sink.incr("fixpoint.runs");
+        sink.add("fixpoint.iterations", stages as u64);
+        sink.add(
+            "fixpoint.seed_rows",
+            iv.seeds.iter().map(|s| s.count() as u64).sum(),
+        );
+        sink.add("fixpoint.deleted_rows", iv.total_deleted() as u64);
+        Some(iv)
     }
 
     /// The least fixpoint of Rules (ii) and (iii) above an arbitrary seed

@@ -73,12 +73,20 @@ pub fn explanation_table_naive_with(
             .map(|q| q.selection.clone()),
     );
     let candidates = enumerate_candidates(db, u, dims, &relevance);
+    let sink = exec.metrics();
+    let _span = sink.span("naive");
+    sink.incr("naive.runs");
+    sink.add("engine.candidates_evaluated", candidates.len() as u64);
 
     let block = par::even_block_size(exec, candidates.len());
     let parts = par::try_map_blocks(exec, &candidates, block, |_, chunk| -> Result<_> {
         let mut rows = Vec::with_capacity(chunk.len());
         for phi in chunk {
-            rows.push(candidate_row(db, engine, question, dims, phi)?);
+            // Per-candidate wall-clock timing; the span *count* (one per
+            // candidate) is deterministic, the duration is not.
+            rows.push(sink.time("naive.candidate", || {
+                candidate_row(db, engine, question, dims, phi)
+            })?);
         }
         Ok(rows)
     })?;

@@ -143,6 +143,19 @@ pub fn generate(explainer: &Explainer<'_>, config: &ReportConfig) -> Result<Stri
             }
         }
     }
+
+    // -- Metrics. Counters only: they are deterministic across thread
+    // counts, so a saved report stays byte-stable (wall-clock spans go to
+    // `--metrics`/`--trace` instead).
+    let sink = config.exec.metrics();
+    if sink.is_enabled() {
+        let snapshot = sink.snapshot();
+        let _ = writeln!(out, "## Metrics");
+        for (name, v) in &snapshot.counters {
+            let _ = writeln!(out, "{name} = {v}");
+        }
+        let _ = writeln!(out);
+    }
     Ok(out)
 }
 
@@ -217,7 +230,7 @@ mod tests {
             let explainer = Explainer::new(&db, question(&db))
                 .attr_names(&["R.g"])
                 .unwrap()
-                .exec(exec);
+                .exec(exec.clone());
             let text = generate(
                 &explainer,
                 &ReportConfig {
@@ -239,6 +252,46 @@ mod tests {
             };
             assert_eq!(strip(&base), strip(&text), "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn metrics_section_is_identical_at_any_thread_count() {
+        let db = setup();
+        let section = |threads: usize| -> String {
+            let sink = exq_obs::MetricsSink::recording();
+            let exec = exq_relstore::ExecConfig::with_threads(threads).with_metrics(sink);
+            let explainer = Explainer::new(&db, question(&db))
+                .attr_names(&["R.g"])
+                .unwrap()
+                .exec(exec.clone());
+            let text = generate(
+                &explainer,
+                &ReportConfig {
+                    exec,
+                    ..ReportConfig::default()
+                },
+            )
+            .unwrap();
+            let start = text.find("## Metrics").expect("metrics section present");
+            text[start..].to_string()
+        };
+        let base = section(1);
+        assert!(base.contains("cube.cells ="), "{base}");
+        assert!(base.contains("engine.candidates_evaluated ="), "{base}");
+        assert!(base.contains("fixpoint.runs ="), "{base}");
+        for threads in [2, 7] {
+            assert_eq!(base, section(threads), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn report_without_sink_has_no_metrics_section() {
+        let db = setup();
+        let explainer = Explainer::new(&db, question(&db))
+            .attr_names(&["R.g"])
+            .unwrap();
+        let text = generate(&explainer, &ReportConfig::default()).unwrap();
+        assert!(!text.contains("## Metrics"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,512 @@
+//! # exq-obs — deterministic metrics & tracing for the explanation pipeline
+//!
+//! A zero-dependency observability layer: monotonic counters, hierarchical
+//! span timers (hierarchy is lexical — dotted names such as
+//! `cube_algo.derive` nest under `cube_algo`), free-form notes, and a
+//! snapshot type that renders to JSON or plain text.
+//!
+//! ## The determinism contract
+//!
+//! Counters recorded by the engine are **bit-identical across thread
+//! counts**. The hot paths achieve this with the same discipline the
+//! `par` executor uses for results: per-operator counts are derived from
+//! the stitched block outputs (or from effects, like `TupleSet::remove`
+//! returning `true`, that are identical on the sequential and parallel
+//! paths), then added to the sink once, on the orchestrating thread, in a
+//! fixed order. Integer adds commute, so the few counters fed from worker
+//! threads (e.g. fixpoint iterations under the naive candidate sweep) are
+//! deterministic as well.
+//!
+//! Span timers measure wall-clock time and are *not* deterministic; every
+//! comparison helper ([`Snapshot::normalized`]) therefore zeroes
+//! durations while keeping call counts, which *are* deterministic.
+//!
+//! ## Usage
+//!
+//! ```
+//! use exq_obs::MetricsSink;
+//!
+//! let sink = MetricsSink::recording();
+//! sink.add("join.tuples", 42);
+//! let out = sink.time("explain.table", || 1 + 1);
+//! assert_eq!(out, 2);
+//! let snap = sink.snapshot();
+//! assert_eq!(snap.counter("join.tuples"), 42);
+//! assert_eq!(snap.spans["explain.table"].count, 1);
+//! ```
+//!
+//! A [`MetricsSink::disabled`] sink (the default) makes every recording
+//! call a no-op against a `None`, so instrumented code pays nothing when
+//! observability is off.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Sink & registry
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct Registry {
+    state: Mutex<State>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<String, u64>,
+    spans: BTreeMap<String, SpanStat>,
+    notes: Vec<String>,
+}
+
+/// A cheap, cloneable handle to a metrics registry.
+///
+/// Clones share the same registry, so a sink can be carried inside an
+/// `ExecConfig` through the whole pipeline and drained once at the end.
+/// The disabled sink (the [`Default`]) records nothing.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSink(Option<Arc<Registry>>);
+
+impl MetricsSink {
+    /// A sink that records nothing; every call is a no-op.
+    pub const fn disabled() -> MetricsSink {
+        MetricsSink(None)
+    }
+
+    /// A fresh, empty, recording sink.
+    pub fn recording() -> MetricsSink {
+        MetricsSink(Some(Arc::new(Registry::default())))
+    }
+
+    /// Whether this sink records anything. Use to skip expensive
+    /// formatting when observability is off.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Add `n` to the named monotonic counter (creating it at 0).
+    pub fn add(&self, counter: &str, n: u64) {
+        if let Some(reg) = &self.0 {
+            let mut state = reg.state.lock().expect("metrics registry poisoned");
+            match state.counters.get_mut(counter) {
+                Some(slot) => *slot += n,
+                None => {
+                    state.counters.insert(counter.to_owned(), n);
+                }
+            }
+        }
+    }
+
+    /// Add 1 to the named counter.
+    pub fn incr(&self, counter: &str) {
+        self.add(counter, 1);
+    }
+
+    /// Record one completed span of `elapsed` wall-clock time.
+    pub fn record_span(&self, span: &str, elapsed: Duration) {
+        if let Some(reg) = &self.0 {
+            let mut state = reg.state.lock().expect("metrics registry poisoned");
+            match state.spans.get_mut(span) {
+                Some(slot) => slot.absorb(elapsed),
+                None => {
+                    let mut stat = SpanStat::default();
+                    stat.absorb(elapsed);
+                    state.spans.insert(span.to_owned(), stat);
+                }
+            }
+        }
+    }
+
+    /// Time `f` as one span named `span`, returning its value.
+    pub fn time<T>(&self, span: &str, f: impl FnOnce() -> T) -> T {
+        let _guard = self.span(span);
+        f()
+    }
+
+    /// Open a span closed (and recorded) when the guard drops.
+    pub fn span(&self, span: &str) -> SpanGuard<'_> {
+        SpanGuard {
+            sink: self,
+            name: if self.is_enabled() {
+                span.to_owned()
+            } else {
+                String::new()
+            },
+            start: self.is_enabled().then(Instant::now),
+        }
+    }
+
+    /// Append a free-form status note (e.g. `loaded 42 rows into R`).
+    pub fn note(&self, text: impl AsRef<str>) {
+        if let Some(reg) = &self.0 {
+            let mut state = reg.state.lock().expect("metrics registry poisoned");
+            state.notes.push(text.as_ref().to_owned());
+        }
+    }
+
+    /// A point-in-time copy of everything recorded so far.
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.0 {
+            None => Snapshot::default(),
+            Some(reg) => {
+                let state = reg.state.lock().expect("metrics registry poisoned");
+                Snapshot {
+                    counters: state.counters.clone(),
+                    spans: state.spans.clone(),
+                    notes: state.notes.clone(),
+                }
+            }
+        }
+    }
+}
+
+/// Records one span into its sink when dropped. Created by
+/// [`MetricsSink::span`].
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    sink: &'a MetricsSink,
+    name: String,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.sink.record_span(&self.name, start.elapsed());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------
+
+/// Aggregate statistics for one named span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans under this name. Deterministic.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across those spans. *Not*
+    /// deterministic; zeroed by [`Snapshot::normalized`].
+    pub total_ns: u128,
+}
+
+impl SpanStat {
+    fn absorb(&mut self, elapsed: Duration) {
+        self.count += 1;
+        self.total_ns += elapsed.as_nanos();
+    }
+}
+
+/// A point-in-time copy of a sink's contents, rendered to JSON by
+/// [`Snapshot::to_json`] or to plain text by [`Snapshot::render_pretty`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Monotonic counters, sorted by name. Deterministic across thread
+    /// counts (the engine's determinism contract).
+    pub counters: BTreeMap<String, u64>,
+    /// Span timers, sorted by name. Counts deterministic, durations not.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Status notes in recording order.
+    pub notes: Vec<String>,
+}
+
+impl Snapshot {
+    /// The value of a counter, 0 if never recorded.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A copy with every wall-clock duration zeroed, keeping span call
+    /// counts. Two normalized snapshots from runs at different thread
+    /// counts must be equal; this is what the determinism tests compare.
+    pub fn normalized(&self) -> Snapshot {
+        let mut out = self.clone();
+        for stat in out.spans.values_mut() {
+            stat.total_ns = 0;
+        }
+        out
+    }
+
+    /// Render as a multi-line JSON document with sorted keys: a
+    /// `"counters"` object first, then `"spans"` (objects with `count`
+    /// and `total_ns`), then `"notes"`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    \"{}\": {v}", escape_json(name));
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"spans\": {");
+        for (i, (name, s)) in self.spans.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    \"{}\": {{ \"count\": {}, \"total_ns\": {} }}",
+                escape_json(name),
+                s.count,
+                s.total_ns
+            );
+        }
+        out.push_str(if self.spans.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"notes\": [");
+        for (i, note) in self.notes.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    \"{}\"", escape_json(note));
+        }
+        out.push_str(if self.notes.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push('}');
+        out
+    }
+
+    /// Render as indented plain text. Spans are indented by their dotted
+    /// depth, so `cube_algo.derive` prints nested under `cube_algo`.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name} = {v}");
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("spans (wall-clock):\n");
+            for (name, s) in &self.spans {
+                let depth = name.matches('.').count();
+                let _ = writeln!(
+                    out,
+                    "  {:indent$}{name}: {} call{}, {} total",
+                    "",
+                    s.count,
+                    if s.count == 1 { "" } else { "s" },
+                    format_ns(s.total_ns),
+                    indent = depth * 2,
+                );
+            }
+        }
+        if !self.notes.is_empty() {
+            out.push_str("notes:\n");
+            for note in &self.notes {
+                let _ = writeln!(out, "  - {note}");
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+}
+
+/// Format a nanosecond total with a human-friendly unit.
+pub fn format_ns(ns: u128) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Escape a string for inclusion inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = MetricsSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.add("a", 3);
+        sink.incr("b");
+        sink.note("hello");
+        assert_eq!(sink.time("t", || 7), 7);
+        let snap = sink.snapshot();
+        assert_eq!(snap, Snapshot::default());
+        assert_eq!(snap.counter("a"), 0);
+    }
+
+    #[test]
+    fn default_sink_is_disabled() {
+        assert!(!MetricsSink::default().is_enabled());
+    }
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let sink = MetricsSink::recording();
+        sink.add("z.last", 1);
+        sink.add("a.first", 2);
+        sink.add("a.first", 3);
+        sink.incr("a.first");
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter("a.first"), 6);
+        assert_eq!(snap.counter("z.last"), 1);
+        assert_eq!(snap.counter("missing"), 0);
+        let names: Vec<&str> = snap.counters.keys().map(String::as_str).collect();
+        assert_eq!(names, ["a.first", "z.last"]);
+    }
+
+    #[test]
+    fn clones_share_one_registry() {
+        let sink = MetricsSink::recording();
+        let clone = sink.clone();
+        sink.add("shared", 1);
+        clone.add("shared", 2);
+        assert_eq!(sink.snapshot().counter("shared"), 3);
+    }
+
+    #[test]
+    fn sink_is_safe_to_feed_from_threads() {
+        let sink = MetricsSink::recording();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        sink.incr("hits");
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.snapshot().counter("hits"), 4000);
+    }
+
+    #[test]
+    fn spans_record_counts_and_durations() {
+        let sink = MetricsSink::recording();
+        sink.time("outer", || {
+            sink.time("outer.inner", || {
+                std::thread::sleep(Duration::from_millis(1))
+            })
+        });
+        sink.time("outer.inner", || ());
+        let snap = sink.snapshot();
+        assert_eq!(snap.spans["outer"].count, 1);
+        assert_eq!(snap.spans["outer.inner"].count, 2);
+        assert!(snap.spans["outer"].total_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn normalized_zeroes_durations_but_keeps_counts() {
+        let sink = MetricsSink::recording();
+        sink.time("t", || std::thread::sleep(Duration::from_millis(1)));
+        sink.add("c", 5);
+        let norm = sink.snapshot().normalized();
+        assert_eq!(
+            norm.spans["t"],
+            SpanStat {
+                count: 1,
+                total_ns: 0
+            }
+        );
+        assert_eq!(norm.counter("c"), 5);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let sink = MetricsSink::recording();
+        sink.add("b", 2);
+        sink.add("a", 1);
+        sink.record_span("s", Duration::from_nanos(50));
+        sink.note("a \"quoted\"\nnote");
+        let json = sink.snapshot().to_json();
+        assert_eq!(
+            json,
+            concat!(
+                "{\n",
+                "  \"counters\": {\n",
+                "    \"a\": 1,\n",
+                "    \"b\": 2\n",
+                "  },\n",
+                "  \"spans\": {\n",
+                "    \"s\": { \"count\": 1, \"total_ns\": 50 }\n",
+                "  },\n",
+                "  \"notes\": [\n",
+                "    \"a \\\"quoted\\\"\\nnote\"\n",
+                "  ]\n",
+                "}"
+            )
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_json_is_valid() {
+        let json = Snapshot::default().to_json();
+        assert_eq!(
+            json,
+            "{\n  \"counters\": {},\n  \"spans\": {},\n  \"notes\": []\n}"
+        );
+    }
+
+    #[test]
+    fn pretty_render_lists_everything() {
+        let sink = MetricsSink::recording();
+        sink.add("join.tuples", 9);
+        sink.record_span("explain", Duration::from_micros(3));
+        sink.record_span("explain.table", Duration::from_micros(2));
+        sink.note("loaded 9 rows");
+        let text = sink.snapshot().render_pretty();
+        assert!(text.contains("join.tuples = 9"), "{text}");
+        assert!(text.contains("explain: 1 call"), "{text}");
+        assert!(text.contains("    explain.table: 1 call"), "{text}");
+        assert!(text.contains("- loaded 9 rows"), "{text}");
+        assert_eq!(
+            MetricsSink::disabled().snapshot().render_pretty(),
+            "(no metrics recorded)\n"
+        );
+    }
+
+    #[test]
+    fn json_escaping_covers_controls() {
+        assert_eq!(
+            escape_json("a\"b\\c\nd\re\tf\u{1}"),
+            "a\\\"b\\\\c\\nd\\re\\tf\\u0001"
+        );
+    }
+
+    #[test]
+    fn ns_formatting_picks_units() {
+        assert_eq!(format_ns(999), "999 ns");
+        assert_eq!(format_ns(1_500), "1.5 us");
+        assert_eq!(format_ns(2_500_000), "2.50 ms");
+        assert_eq!(format_ns(3_000_000_000), "3.000 s");
+    }
+}

@@ -177,12 +177,38 @@ pub fn compute_with(
         return Err(Error::TooManyCubeDimensions(dims.len()));
     }
     agg.validate(db.schema())?;
-    let states = match resolve_strategy(db, u, dims, strategy) {
-        CubeStrategy::SubsetEnumeration => subset_enumeration(db, u, selection, dims, agg, exec)?,
-        CubeStrategy::LatticeRollup => lattice_rollup(db, u, selection, dims, agg, exec)?,
+    let sink = exec.metrics();
+    let _span = sink.span("cube");
+    sink.incr("cube.runs");
+    let resolved = resolve_strategy(db, u, dims, strategy);
+    let (states, selected) = match resolved {
+        CubeStrategy::SubsetEnumeration => {
+            sink.incr("cube.strategy.subset_enumeration");
+            subset_enumeration(db, u, selection, dims, agg, exec)?
+        }
+        CubeStrategy::LatticeRollup => {
+            sink.incr("cube.strategy.lattice_rollup");
+            lattice_rollup(db, u, selection, dims, agg, exec)?
+        }
         CubeStrategy::Auto => unreachable!("resolve_strategy never returns Auto"),
     };
-    let cells = states.into_iter().map(|(k, s)| (k, s.finalize())).collect();
+    sink.add("cube.input_tuples", selected);
+    let cells: HashMap<Coord, f64> = states.into_iter().map(|(k, s)| (k, s.finalize())).collect();
+    sink.add("cube.cells", cells.len() as u64);
+    if sink.is_enabled() {
+        // Cells materialized per lattice level, where a cell's level is
+        // its number of specified (non-null) coordinates — the grand
+        // total is level 0, finest-grain cells are level d.
+        let mut per_level = vec![0u64; dims.len() + 1];
+        for coord in cells.keys() {
+            per_level[coord.iter().filter(|v| !v.is_null()).count()] += 1;
+        }
+        for (level, n) in per_level.iter().enumerate() {
+            if *n > 0 {
+                sink.add(&format!("cube.cells.level.{level}"), *n);
+            }
+        }
+    }
     Ok(Cube {
         dims: dims.to_vec(),
         cells,
@@ -215,7 +241,7 @@ pub fn group_by_with(
         return Err(Error::TooManyCubeDimensions(dims.len()));
     }
     agg.validate(db.schema())?;
-    let cells = accumulate(db, u, selection, dims, agg, exec, false)?;
+    let (cells, _selected) = accumulate(db, u, selection, dims, agg, exec, false)?;
     Ok(Cube {
         dims: dims.to_vec(),
         cells: cells.into_iter().map(|(k, s)| (k, s.finalize())).collect(),
@@ -229,7 +255,9 @@ pub fn group_by_with(
 /// Tuples are processed in fixed [`ACCUM_BLOCK`]-sized blocks and the
 /// per-block maps merged in block order, so both the error reported (the
 /// first failing tuple's, in input order) and the float-addition grouping
-/// are independent of the thread count.
+/// are independent of the thread count. Also returns the number of tuples
+/// passing `selection` (summed over blocks in block order, so the count
+/// shares the determinism guarantee).
 fn accumulate(
     db: &Database,
     u: &Universal,
@@ -238,16 +266,18 @@ fn accumulate(
     agg: &AggFunc,
     exec: &ExecConfig,
     enumerate_masks: bool,
-) -> Result<HashMap<Coord, AggState>> {
+) -> Result<(HashMap<Coord, AggState>, u64)> {
     let d = dims.len();
     let parts = par::try_map_index_blocks(exec, u.len(), ACCUM_BLOCK, |_, range| {
         let mut cells: HashMap<Coord, AggState> = HashMap::new();
+        let mut selected: u64 = 0;
         let mut base = Vec::with_capacity(d);
         for i in range {
             let t = u.tuple(i);
             if !selection.eval(db, t) {
                 continue;
             }
+            selected += 1;
             dim_values(db, dims, t, &mut base)?;
             if enumerate_masks {
                 for mask in 0..(1u32 << d) {
@@ -263,11 +293,12 @@ fn accumulate(
                     .update(agg, db, t)?;
             }
         }
-        Ok(cells)
+        Ok((cells, selected))
     })?;
     let mut parts = parts.into_iter();
-    let mut acc = parts.next().unwrap_or_default();
-    for part in parts {
+    let (mut acc, mut selected) = parts.next().unwrap_or_default();
+    for (part, count) in parts {
+        selected += count;
         for (coord, state) in part {
             match acc.get_mut(&coord) {
                 Some(existing) => existing.merge(&state),
@@ -277,7 +308,7 @@ fn accumulate(
             }
         }
     }
-    Ok(acc)
+    Ok((acc, selected))
 }
 
 /// Extract the dimension values of one universal tuple.
@@ -319,7 +350,7 @@ fn subset_enumeration(
     dims: &[AttrRef],
     agg: &AggFunc,
     exec: &ExecConfig,
-) -> Result<HashMap<Coord, AggState>> {
+) -> Result<(HashMap<Coord, AggState>, u64)> {
     accumulate(db, u, selection, dims, agg, exec, true)
 }
 
@@ -330,10 +361,10 @@ fn lattice_rollup(
     dims: &[AttrRef],
     agg: &AggFunc,
     exec: &ExecConfig,
-) -> Result<HashMap<Coord, AggState>> {
+) -> Result<(HashMap<Coord, AggState>, u64)> {
     let d = dims.len();
     // Finest-level grouping.
-    let base_cells = accumulate(db, u, selection, dims, agg, exec, false)?;
+    let (base_cells, selected) = accumulate(db, u, selection, dims, agg, exec, false)?;
 
     // Roll up level by level (decreasing popcount). Each mask M (≠ full)
     // aggregates from its parent P = M | lowest unset bit, which has
@@ -367,7 +398,7 @@ fn lattice_rollup(
     for m in per_mask {
         out.extend(m);
     }
-    Ok(out)
+    Ok((out, selected))
 }
 
 /// Compute one roll-up mask's cell map from its (read-only) parent level.

@@ -113,9 +113,13 @@ impl Universal {
     /// stitched back in row-id order — so the tuple order (lexicographic
     /// in root row, then child rows) is identical at every thread count.
     pub fn compute_with(db: &Database, view: &View, exec: &ExecConfig) -> Universal {
+        let _span = exec.metrics().span("join");
         let schema = db.schema_arc();
         let stride = schema.relation_count();
         let components = join_forest(&schema);
+        exec.metrics().incr("join.runs");
+        exec.metrics()
+            .add("join.components", components.len() as u64);
 
         // Join each component independently.
         let mut per_component: Vec<Vec<u32>> = Vec::with_capacity(components.len());
@@ -141,11 +145,13 @@ impl Universal {
             data = combined;
         }
 
-        Universal {
+        let u = Universal {
             schema,
             stride,
             data,
-        }
+        };
+        exec.metrics().add("join.tuples", u.len() as u64);
+        u
     }
 
     /// Number of universal tuples.
@@ -201,8 +207,31 @@ fn join_component(
     exec: &ExecConfig,
 ) -> Vec<u32> {
     let roots: Vec<u32> = view.live(comp.root).iter().map(|row| row as u32).collect();
+
+    // Counter discipline: counts are derived from the inputs and the
+    // stitched outputs on this (orchestrating) thread, never from
+    // per-worker progress, so they are bit-identical at any thread
+    // count. `build_rows` counts the rows *entering* each edge's hash
+    // index as a function of the view alone — the sequential path may
+    // skip building an index when the frontier empties early, which
+    // would otherwise make the count depend on the execution path.
+    let sink = exec.metrics();
+    sink.add("join.root_rows", roots.len() as u64);
+    sink.add(
+        "join.build_rows",
+        comp.edges
+            .iter()
+            .map(|e| view.live(e.child).count() as u64)
+            .sum(),
+    );
+    let record_matches = |data: &Vec<u32>| {
+        sink.add("join.probe_matches", (data.len() / stride.max(1)) as u64);
+    };
+
     if !exec.is_parallel() || roots.len() < MIN_PARALLEL_ROOTS {
-        return expand_roots(db, view, comp, stride, &roots, None);
+        let data = expand_roots(db, view, comp, stride, &roots, None);
+        record_matches(&data);
+        return data;
     }
 
     // Build each edge's hash index once, up front, and share it read-only
@@ -221,6 +250,7 @@ fn join_component(
     for part in parts {
         data.extend(part);
     }
+    record_matches(&data);
     data
 }
 

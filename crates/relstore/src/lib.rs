@@ -71,6 +71,7 @@ pub mod value;
 
 pub use database::{Database, View};
 pub use error::{Error, Result};
+pub use exq_obs::MetricsSink;
 pub use join::Universal;
 pub use par::ExecConfig;
 pub use predicate::{Atom, CmpOp, Conjunction, Predicate};

@@ -23,6 +23,7 @@
 //! unsafe. When a single worker (or a single block) suffices, the work
 //! runs inline on the calling thread with the same block structure.
 
+use exq_obs::MetricsSink;
 use std::num::NonZeroUsize;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -30,21 +31,31 @@ use std::sync::Mutex;
 
 /// Parallel-execution configuration, plumbed from the CLI `--threads`
 /// flag through `Explainer`/`ReportConfig` down to every hot path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Also carries the [`MetricsSink`] the hot paths record into, so one
+/// handle reaches every operator without widening any signature. The
+/// sink defaults to [`MetricsSink::disabled`]; cloning an `ExecConfig`
+/// shares the sink.
+#[derive(Debug, Clone)]
 pub struct ExecConfig {
     threads: usize,
+    metrics: MetricsSink,
 }
 
 impl ExecConfig {
     /// Run everything inline on the calling thread.
     pub const fn sequential() -> ExecConfig {
-        ExecConfig { threads: 1 }
+        ExecConfig {
+            threads: 1,
+            metrics: MetricsSink::disabled(),
+        }
     }
 
     /// Use exactly `threads` workers (clamped to at least 1).
     pub fn with_threads(threads: usize) -> ExecConfig {
         ExecConfig {
             threads: threads.max(1),
+            metrics: MetricsSink::disabled(),
         }
     }
 
@@ -55,6 +66,19 @@ impl ExecConfig {
                 .map(NonZeroUsize::get)
                 .unwrap_or(1),
         )
+    }
+
+    /// Attach a metrics sink; every operator run under this config
+    /// records counters and spans into it.
+    pub fn with_metrics(mut self, metrics: MetricsSink) -> ExecConfig {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The metrics sink (disabled unless [`ExecConfig::with_metrics`]
+    /// attached one).
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.metrics
     }
 
     /// The configured worker count (always at least 1).

@@ -59,6 +59,10 @@ pub fn reduce_in_place(db: &Database, view: &mut View) {
 
 /// In-place variant of [`reduce_with`].
 pub fn reduce_in_place_with(db: &Database, view: &mut View, exec: &ExecConfig) {
+    let sink = exec.metrics();
+    let _span = sink.span("semijoin");
+    sink.incr("semijoin.runs");
+    sink.add("semijoin.rows_in", view.total_live() as u64);
     let components = join_forest(db.schema());
     for comp in &components {
         reduce_component(db, view, comp, exec);
@@ -67,10 +71,16 @@ pub fn reduce_in_place_with(db: &Database, view: &mut View, exec: &ExecConfig) {
     // product of the component joins, so one empty component empties all
     // projections.
     if view.live.iter().any(TupleSet::is_empty) {
+        let cleared: u64 = view.live.iter().map(|set| set.count() as u64).sum();
+        sink.add("semijoin.rows_dropped", cleared);
+        sink.add("semijoin.drops.cross_component", cleared);
         for set in &mut view.live {
             set.clear();
         }
     }
+    // Conservation law (asserted by the property suite):
+    // rows_in == rows_dropped + rows_surviving, per reduction run.
+    sink.add("semijoin.rows_surviving", view.total_live() as u64);
 }
 
 /// Whether `view` is already semijoin-reduced.
@@ -111,7 +121,7 @@ fn reduce_component(db: &Database, view: &mut View, comp: &Component, exec: &Exe
                 source_cols: &e.child_cols,
             })
             .collect();
-        apply_steps(db, view, &steps, exec);
+        apply_steps(db, view, &steps, exec, "bottom_up");
     }
     // Top-down: child ⋉= parent, shallowest first. Each child is the target
     // of exactly one tree edge, so a depth level's steps touch disjoint
@@ -128,7 +138,7 @@ fn reduce_component(db: &Database, view: &mut View, comp: &Component, exec: &Exe
                 source_cols: &e.parent_cols,
             })
             .collect();
-        apply_steps(db, view, &steps, exec);
+        apply_steps(db, view, &steps, exec, "top_down");
     }
 }
 
@@ -137,30 +147,43 @@ fn reduce_component(db: &Database, view: &mut View, comp: &Component, exec: &Exe
 /// removals in step order. Removals only shrink live sets and each step's
 /// keys come from source relations no step of the level mutates, so the
 /// union of drops equals the sequential step-after-step result.
-fn apply_steps(db: &Database, view: &mut View, steps: &[Step<'_>], exec: &ExecConfig) {
+fn apply_steps(db: &Database, view: &mut View, steps: &[Step<'_>], exec: &ExecConfig, pass: &str) {
+    if steps.is_empty() {
+        return;
+    }
+    // Count *effective* removals (`TupleSet::remove` returning true), not
+    // drop-list lengths: two sibling steps sharing a target can both list
+    // a row when computed against the frozen view, while the sequential
+    // sweep lists it once. The set of rows actually removed is identical
+    // on both paths, so this count is deterministic across thread counts.
+    let sink = exec.metrics();
+    sink.incr("semijoin.passes");
+    let mut dropped: u64 = 0;
     if steps.len() < 2 || !exec.is_parallel() {
         for s in steps {
             let drops = compute_drops(db, view, s);
             for row in drops {
-                view.live[s.target].remove(row);
+                dropped += u64::from(view.live[s.target].remove(row));
             }
         }
-        return;
-    }
-    let frozen: &View = view;
-    let drops = par::map_blocks(exec, steps, 1, |_, chunk| {
-        chunk
-            .iter()
-            .map(|s| (s.target, compute_drops(db, frozen, s)))
-            .collect::<Vec<_>>()
-    });
-    for group in drops {
-        for (target, rows) in group {
-            for row in rows {
-                view.live[target].remove(row);
+    } else {
+        let frozen: &View = view;
+        let drops = par::map_blocks(exec, steps, 1, |_, chunk| {
+            chunk
+                .iter()
+                .map(|s| (s.target, compute_drops(db, frozen, s)))
+                .collect::<Vec<_>>()
+        });
+        for group in drops {
+            for (target, rows) in group {
+                for row in rows {
+                    dropped += u64::from(view.live[target].remove(row));
+                }
             }
         }
     }
+    sink.add("semijoin.rows_dropped", dropped);
+    sink.add(&format!("semijoin.drops.{pass}"), dropped);
 }
 
 /// Live rows of `step.target` whose join key has no live `step.source` row.

@@ -70,6 +70,15 @@ pub fn profile(db: &Database) -> String {
 /// identical at any thread count.
 pub fn profile_with(db: &Database, exec: &ExecConfig) -> String {
     use std::fmt::Write;
+    let _span = exec.metrics().span("profile");
+    exec.metrics()
+        .add("profile.relations", db.schema().relation_count() as u64);
+    exec.metrics().add(
+        "profile.rows",
+        (0..db.schema().relation_count())
+            .map(|rel| db.relation_len(rel) as u64)
+            .sum(),
+    );
     let attrs: Vec<AttrRef> = db
         .schema()
         .relations()

@@ -381,3 +381,180 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Counter invariants (exq-obs)
+// ---------------------------------------------------------------------
+
+use exq_relstore::{semijoin, ExecConfig, MetricsSink};
+
+const THREADS: [usize; 3] = [1, 2, 7];
+
+/// Parent/child schema — one join component, with a back-and-forth key so
+/// semijoin reduction drops dangling rows on *both* sides.
+fn parent_child_db(parents: &[i64], children: &[(i64, i64)]) -> Database {
+    let schema = SchemaBuilder::new()
+        .relation("Parent", &[("id", T::Int), ("v", T::Int)], &["id"])
+        .relation("Child", &[("id", T::Int), ("pid", T::Int)], &["id"])
+        .back_and_forth_fk("Child", &["pid"], "Parent")
+        .build()
+        .unwrap();
+    let mut db = Database::new(schema);
+    for (i, &p) in parents.iter().enumerate() {
+        db.insert("Parent", vec![p.into(), (i as i64).into()])
+            .unwrap();
+    }
+    for (i, &(_, pid)) in children.iter().enumerate() {
+        db.insert("Child", vec![(i as i64).into(), pid.into()])
+            .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation law of the semijoin counters —
+    /// `rows_in == rows_dropped + rows_surviving` — with the whole
+    /// normalized snapshot bit-identical at 1/2/7 threads. The generated
+    /// instances have dangling rows on both sides of the back-and-forth
+    /// key, so the reduction genuinely drops tuples.
+    #[test]
+    fn semijoin_counters_conserve_rows_across_threads(
+        parent_ids in proptest::collection::vec(0i64..25, 1..20),
+        child_pids in proptest::collection::vec(0i64..50, 0..60),
+    ) {
+        let parents: Vec<i64> = {
+            let mut p: Vec<i64> = parent_ids.clone();
+            p.sort_unstable();
+            p.dedup();
+            p
+        };
+        let children: Vec<(i64, i64)> =
+            child_pids.iter().map(|&pid| (0, pid)).collect();
+        let db = parent_child_db(&parents, &children);
+
+        let mut snapshots = Vec::new();
+        for threads in THREADS {
+            let sink = MetricsSink::recording();
+            let exec = ExecConfig::with_threads(threads).with_metrics(sink.clone());
+            let mut view = db.full_view();
+            semijoin::reduce_in_place_with(&db, &mut view, &exec);
+            let snap = sink.snapshot().normalized();
+            prop_assert_eq!(
+                snap.counter("semijoin.rows_in"),
+                snap.counter("semijoin.rows_dropped") + snap.counter("semijoin.rows_surviving"),
+                "conservation law at {} threads", threads
+            );
+            prop_assert_eq!(
+                snap.counter("semijoin.rows_surviving"),
+                view.total_live() as u64
+            );
+            snapshots.push(snap);
+        }
+        prop_assert_eq!(&snapshots[0], &snapshots[1]);
+        prop_assert_eq!(&snapshots[0], &snapshots[2]);
+    }
+
+    /// On a single-component schema every probe match becomes exactly one
+    /// universal tuple: `join.probe_matches == universal.len()`, at every
+    /// thread count, with identical normalized snapshots.
+    #[test]
+    fn join_probe_matches_equal_universal_len_across_threads(
+        parent_count in 1usize..12,
+        child_parent in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let parents: Vec<i64> = (0..parent_count as i64).collect();
+        let children: Vec<(i64, i64)> = child_parent
+            .iter()
+            .map(|&p| (0, (p as usize % parent_count) as i64))
+            .collect();
+        let db = parent_child_db(&parents, &children);
+
+        let mut snapshots = Vec::new();
+        for threads in THREADS {
+            let sink = MetricsSink::recording();
+            let exec = ExecConfig::with_threads(threads).with_metrics(sink.clone());
+            let u = Universal::compute_with(&db, &db.full_view(), &exec);
+            let snap = sink.snapshot().normalized();
+            prop_assert_eq!(snap.counter("join.components"), 1);
+            prop_assert_eq!(
+                snap.counter("join.probe_matches"),
+                u.len() as u64,
+                "at {} threads", threads
+            );
+            prop_assert_eq!(snap.counter("join.tuples"), u.len() as u64);
+            snapshots.push(snap);
+        }
+        prop_assert_eq!(&snapshots[0], &snapshots[1]);
+        prop_assert_eq!(&snapshots[0], &snapshots[2]);
+    }
+
+    /// On full cross-product data the cube has the closed-form cell count
+    /// `Π (c_i + 1)` and per-level counts `C(levels)`, identical at every
+    /// thread count.
+    #[test]
+    fn cube_cell_counters_match_closed_form_across_threads(
+        a in 1usize..4,
+        b in 1usize..4,
+        repeat in 1usize..3,
+    ) {
+        // Full cross product over domains of size a and b, each combo
+        // inserted `repeat` times (duplicates must not add cells).
+        let mut rows = Vec::new();
+        for g in 0..a as u8 {
+            for h in 0..b as u8 {
+                for _ in 0..repeat {
+                    rows.push((g, h, 1i32));
+                }
+            }
+        }
+        let db = small_db(&rows);
+        let schema = db.schema();
+        let dims = vec![schema.attr("R", "g").unwrap(), schema.attr("R", "h").unwrap()];
+
+        let mut snapshots = Vec::new();
+        for threads in THREADS {
+            let sink = MetricsSink::recording();
+            let exec = ExecConfig::with_threads(threads).with_metrics(sink.clone());
+            let u = Universal::compute_with(&db, &db.full_view(), &ExecConfig::sequential());
+            let cube = cube::compute_with(
+                &db, &u, &Predicate::True, &dims, &AggFunc::CountStar,
+                CubeStrategy::LatticeRollup, &exec,
+            ).unwrap();
+            let snap = sink.snapshot().normalized();
+            let (a64, b64) = (a as u64, b as u64);
+            prop_assert_eq!(snap.counter("cube.cells"), (a64 + 1) * (b64 + 1));
+            prop_assert_eq!(snap.counter("cube.cells"), cube.len() as u64);
+            prop_assert_eq!(snap.counter("cube.cells.level.0"), 1);
+            prop_assert_eq!(snap.counter("cube.cells.level.1"), a64 + b64);
+            prop_assert_eq!(snap.counter("cube.cells.level.2"), a64 * b64);
+            prop_assert_eq!(snap.counter("cube.input_tuples"), rows.len() as u64);
+            snapshots.push(snap);
+        }
+        prop_assert_eq!(&snapshots[0], &snapshots[1]);
+        prop_assert_eq!(&snapshots[0], &snapshots[2]);
+    }
+}
+
+/// The parallel probe path (root count past the executor's sequential
+/// cut-off) records the same `join.probe_matches` as the sequential one —
+/// proptest sizes stay small, so pin the large case explicitly.
+#[test]
+fn join_counters_deterministic_on_large_single_component() {
+    let parents: Vec<i64> = (0..1500).collect();
+    let children: Vec<(i64, i64)> = (0..4500).map(|i| (0, i % 1500)).collect();
+    let db = parent_child_db(&parents, &children);
+    let mut snapshots = Vec::new();
+    for threads in THREADS {
+        let sink = MetricsSink::recording();
+        let exec = ExecConfig::with_threads(threads).with_metrics(sink.clone());
+        let u = Universal::compute_with(&db, &db.full_view(), &exec);
+        let snap = sink.snapshot().normalized();
+        assert_eq!(snap.counter("join.probe_matches"), u.len() as u64);
+        assert_eq!(snap.counter("join.root_rows"), 1500);
+        snapshots.push(snap);
+    }
+    assert_eq!(snapshots[0], snapshots[1]);
+    assert_eq!(snapshots[0], snapshots[2]);
+}

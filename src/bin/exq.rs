@@ -25,6 +25,7 @@ use exq::core::explainer::Explainer;
 use exq::core::explanation::Explanation;
 use exq::core::prelude::*;
 use exq::core::qparse;
+use exq::obs::{escape_json, MetricsSink};
 use exq::relstore::{csv, parse, Database, ExecConfig};
 use std::collections::BTreeMap;
 use std::fs;
@@ -44,7 +45,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got `{}`", argv[i]))?
             .to_string();
-        if flag == "naive" {
+        if flag == "naive" || flag == "trace" {
             options.entry(flag).or_default().push("true".to_string());
             i += 1;
             continue;
@@ -91,7 +92,70 @@ impl Args {
     }
 }
 
-fn load_database(args: &Args) -> Result<Database, String> {
+/// Per-invocation observability state: one shared [`MetricsSink`], the
+/// `--metrics`/`--trace`/`--format` flags, and the status-note routing
+/// (stderr in pretty mode, sink-only in json mode — json runs keep
+/// stderr empty).
+struct Obs {
+    sink: MetricsSink,
+    metrics_out: Option<String>,
+    trace: bool,
+    json: bool,
+}
+
+impl Obs {
+    fn from_args(args: &Args) -> Result<Obs, String> {
+        let json = match args.optional("format") {
+            None | Some("pretty") => false,
+            Some("json") => true,
+            Some(other) => return Err(format!("--format takes pretty|json, got `{other}`")),
+        };
+        let metrics_out = args.optional("metrics").map(str::to_string);
+        let trace = args.optional("trace").is_some();
+        let sink = if metrics_out.is_some() || trace || json {
+            MetricsSink::recording()
+        } else {
+            MetricsSink::disabled()
+        };
+        Ok(Obs {
+            sink,
+            metrics_out,
+            trace,
+            json,
+        })
+    }
+
+    /// Record a status note; echo to stderr unless in json mode.
+    fn note(&self, text: String) {
+        self.sink.note(&text);
+        if !self.json {
+            eprintln!("{text}");
+        }
+    }
+
+    /// Emit `--trace` / `--metrics` output. In json mode the snapshot is
+    /// embedded in the stdout document instead (see [`cmd_explain`]), so
+    /// only a `--metrics PATH` file write happens here.
+    fn finish(&self) -> Result<(), String> {
+        if self.trace && !self.json {
+            eprint!("{}", self.sink.snapshot().render_pretty());
+        }
+        if let Some(path) = &self.metrics_out {
+            let json = self.sink.snapshot().to_json();
+            if path == "-" {
+                if !self.json {
+                    println!("{json}");
+                }
+            } else {
+                fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+                self.note(format!("wrote metrics to {path}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn load_database(args: &Args, obs: &Obs) -> Result<Database, String> {
     let schema_file = args.one("schema")?;
     let schema_text = fs::read_to_string(schema_file).map_err(|e| format!("{schema_file}: {e}"))?;
     let source = SourceFile::schema(schema_file, schema_text.as_str());
@@ -112,13 +176,13 @@ fn load_database(args: &Args) -> Result<Database, String> {
             .map_err(|e| format!("{file}: {e}"))
             .map(std::io::BufReader::new)?;
         let n = csv::load_relation(&mut db, rel, reader).map_err(|e| e.to_string())?;
-        eprintln!("loaded {n} rows into {rel}");
+        obs.note(format!("loaded {n} rows into {rel}"));
     }
     db.validate().map_err(|e| e.to_string())?;
     Ok(db)
 }
 
-fn build_explainer<'a>(db: &'a Database, args: &Args) -> Result<Explainer<'a>, String> {
+fn build_explainer<'a>(db: &'a Database, args: &Args, obs: &Obs) -> Result<Explainer<'a>, String> {
     let question_file = args.one("question")?;
     let question_text =
         fs::read_to_string(question_file).map_err(|e| format!("{question_file}: {e}"))?;
@@ -132,7 +196,8 @@ fn build_explainer<'a>(db: &'a Database, args: &Args) -> Result<Explainer<'a>, S
     }
     let question =
         qparse::parse_question(db.schema(), &question_text).map_err(|e| e.to_string())?;
-    let mut explainer = Explainer::new(db, question).exec(args.exec()?);
+    let mut explainer =
+        Explainer::new(db, question).exec(args.exec()?.with_metrics(obs.sink.clone()));
     if let Some(attrs) = args.optional("attrs") {
         let names: Vec<&str> = attrs.split(',').map(str::trim).collect();
         explainer = explainer.attr_names(&names).map_err(|e| e.to_string())?;
@@ -178,7 +243,8 @@ fn cmd_schema(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_validate(args: &Args) -> Result<(), String> {
-    let db = load_database(args)?;
+    let obs = Obs::from_args(args)?;
+    let db = load_database(args, &obs)?;
     let reduced = exq::relstore::semijoin::is_reduced(&db, &db.full_view());
     println!(
         "ok: {} relations, {} tuples, semijoin-reduced: {reduced}",
@@ -191,9 +257,20 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// A float as a JSON token (`null` for non-finite values, which bare
+/// JSON cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
 fn cmd_explain(args: &Args) -> Result<(), String> {
-    let db = load_database(args)?;
-    let explainer = build_explainer(&db, args)?;
+    let obs = Obs::from_args(args)?;
+    let db = load_database(args, &obs)?;
+    let explainer = build_explainer(&db, args, &obs)?;
     let k: usize = args
         .optional("top")
         .map_or(Ok(5), |s| s.parse().map_err(|_| format!("bad --top `{s}`")))?;
@@ -202,60 +279,115 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
         "aggr" => DegreeKind::Aggravation,
         other => return Err(format!("unknown degree `{other}` (interv|aggr)")),
     };
-    println!(
-        "Q(D) = {}",
-        explainer
-            .question()
-            .query
-            .eval(&db)
-            .map_err(|e| e.to_string())?
-    );
-    let (table, choice) = explainer.table().map_err(|e| e.to_string())?;
-    println!(
-        "{} candidate explanations (engine: {choice:?})",
-        table.len()
-    );
-    if let Some(path) = args.optional("dump-m") {
-        fs::write(path, table.to_csv(&db)).map_err(|e| format!("{path}: {e}"))?;
-        eprintln!("wrote M to {path}");
+    let q_d = explainer
+        .question()
+        .query
+        .eval(&db)
+        .map_err(|e| e.to_string())?;
+    if !obs.json {
+        println!("Q(D) = {q_d}");
     }
-    for r in explainer.top(kind, k).map_err(|e| e.to_string())? {
+    let (table, choice) = explainer.table().map_err(|e| e.to_string())?;
+    if !obs.json {
         println!(
-            "{:>3}. {}  ({:.6})",
-            r.rank,
-            r.explanation.display(&db),
-            r.degree
+            "{} candidate explanations (engine: {choice:?})",
+            table.len()
         );
     }
-    Ok(())
+    if let Some(path) = args.optional("dump-m") {
+        fs::write(path, table.to_csv(&db)).map_err(|e| format!("{path}: {e}"))?;
+        obs.note(format!("wrote M to {path}"));
+    }
+    let ranked = explainer.top(kind, k).map_err(|e| e.to_string())?;
+    if obs.json {
+        // One JSON document on stdout, nothing on stderr.
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"q_d\": {},\n", json_f64(q_d)));
+        out.push_str(&format!("  \"engine\": \"{choice:?}\",\n"));
+        out.push_str(&format!("  \"candidates\": {},\n", table.len()));
+        out.push_str("  \"top\": [\n");
+        for (i, r) in ranked.iter().enumerate() {
+            let sep = if i + 1 == ranked.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"rank\": {}, \"explanation\": \"{}\", \"degree\": {} }}{sep}\n",
+                r.rank,
+                escape_json(&r.explanation.display(&db).to_string()),
+                json_f64(r.degree)
+            ));
+        }
+        out.push_str("  ],\n");
+        let snapshot = obs.sink.snapshot();
+        out.push_str("  \"notes\": [\n");
+        for (i, note) in snapshot.notes.iter().enumerate() {
+            let sep = if i + 1 == snapshot.notes.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!("    \"{}\"{sep}\n", escape_json(note)));
+        }
+        out.push_str("  ],\n");
+        // Indent the snapshot's own JSON to nest it as a field.
+        let metrics = snapshot
+            .to_json()
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i == 0 {
+                    l.to_string()
+                } else {
+                    format!("  {l}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        out.push_str(&format!("  \"metrics\": {metrics}\n"));
+        out.push('}');
+        println!("{out}");
+    } else {
+        for r in &ranked {
+            println!(
+                "{:>3}. {}  ({:.6})",
+                r.rank,
+                r.explanation.display(&db),
+                r.degree
+            );
+        }
+    }
+    obs.finish()
 }
 
 fn cmd_profile(args: &Args) -> Result<(), String> {
-    let exec = args.exec()?;
-    let db = load_database(args)?;
+    let obs = Obs::from_args(args)?;
+    let exec = args.exec()?.with_metrics(obs.sink.clone());
+    let db = load_database(args, &obs)?;
     print!("{}", exq::relstore::stats::profile_with(&db, &exec));
-    Ok(())
+    obs.finish()
 }
 
 fn cmd_report(args: &Args) -> Result<(), String> {
-    let db = load_database(args)?;
-    let explainer = build_explainer(&db, args)?;
+    let obs = Obs::from_args(args)?;
+    let db = load_database(args, &obs)?;
+    let explainer = build_explainer(&db, args, &obs)?;
     let k: usize = args
         .optional("top")
         .map_or(Ok(5), |s| s.parse().map_err(|_| format!("bad --top `{s}`")))?;
     let config = exq::core::report::ReportConfig {
         top_k: k,
         drill_best: true,
-        exec: args.exec()?,
+        // Same sink the explainer records into, so the report's metrics
+        // section sees the whole run.
+        exec: args.exec()?.with_metrics(obs.sink.clone()),
     };
     let text = exq::core::report::generate(&explainer, &config).map_err(|e| e.to_string())?;
     print!("{text}");
-    Ok(())
+    obs.finish()
 }
 
 fn cmd_drill(args: &Args) -> Result<(), String> {
-    let db = load_database(args)?;
-    let explainer = build_explainer(&db, args)?;
+    let obs = Obs::from_args(args)?;
+    let db = load_database(args, &obs)?;
+    let explainer = build_explainer(&db, args, &obs)?;
     let phi_text = args.one("phi")?;
     let pred = parse::parse_predicate(db.schema(), phi_text).map_err(|e| e.to_string())?;
     let phi = Explanation::from_predicate(&pred)
@@ -279,7 +411,7 @@ fn cmd_drill(args: &Args) -> Result<(), String> {
             );
         }
     }
-    Ok(())
+    obs.finish()
 }
 
 /// `exq check SCHEMA [QUESTION…] [--format pretty|json]`.
@@ -360,18 +492,24 @@ const USAGE: &str = "usage: exq <check|schema|validate|profile|explain|report|dr
   exq check    SCHEMA [QUESTION...] [--format pretty|json]
   exq schema   --schema FILE
   exq validate --schema FILE --table Rel=FILE...
-  exq profile  --schema FILE --table Rel=FILE... [--threads N]
+  exq profile  --schema FILE --table Rel=FILE... [--threads N] [--metrics PATH|-] [--trace]
   exq report   --schema FILE --table Rel=FILE... --question FILE --attrs ... \\
-               [--top K] [--threads N]
+               [--top K] [--threads N] [--metrics PATH|-] [--trace]
   exq explain  --schema FILE --table Rel=FILE... --question FILE \\
                --attrs Rel.a,Rel.b [--top K] [--by interv|aggr] \\
                [--strategy nominimal|selfjoin|append] [--polarity general|specific] \\
-               [--min-support N] [--naive] [--dump-m FILE] [--threads N]
+               [--min-support N] [--naive] [--dump-m FILE] [--threads N] \\
+               [--format pretty|json] [--metrics PATH|-] [--trace]
   exq drill    --schema FILE --table Rel=FILE... --question FILE --phi \"a = 'v'\" \\
-               [--threads N]
+               [--threads N] [--metrics PATH|-] [--trace]
 
 --threads N pins the executor to N OS threads (default: all available
-cores). Results are bit-identical at every thread count.";
+cores). Results are bit-identical at every thread count.
+--metrics PATH writes a JSON counter/span snapshot after the run (`-`
+for stdout); counters are bit-identical at every thread count.
+--trace prints a per-span timing tree to stderr. --format json (explain
+only) emits one machine-readable JSON document on stdout and keeps
+stderr empty.";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -8,6 +8,9 @@
 //! * [`core`] (`exq-core`) — the explanation engine of Roy & Suciu
 //!   (SIGMOD 2014): interventions via program **P**, degrees of
 //!   explanation, Algorithm 1, minimal top-K;
+//! * [`obs`] (`exq-obs`) — the deterministic observability layer:
+//!   monotonic counters and span timers threaded through every hot path,
+//!   with counter totals bit-identical across thread counts;
 //! * [`analyze`] (`exq-analyze`) — the `exq check` static analyzer:
 //!   tolerant parsing plus semantic lint passes producing multi-error
 //!   diagnostics with stable codes, spans, and fix suggestions;
@@ -25,6 +28,7 @@
 pub use exq_analyze as analyze;
 pub use exq_core as core;
 pub use exq_datagen as datagen;
+pub use exq_obs as obs;
 pub use exq_relstore as relstore;
 
 /// Everything an application typically needs.

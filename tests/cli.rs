@@ -406,3 +406,261 @@ fn bad_usage_fails_cleanly() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("missing value"));
 }
+
+// ---------------------------------------------------------------------
+// Observability surface: --metrics, --trace, --format json
+// ---------------------------------------------------------------------
+
+/// Zero every wall-clock field so metric output can be compared against
+/// committed fixtures (span *counts* stay — they are deterministic).
+fn normalize_metrics(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        match line.find("\"total_ns\": ") {
+            Some(idx) => {
+                let head = &line[..idx + "\"total_ns\": ".len()];
+                let tail: String = line[idx + "\"total_ns\": ".len()..]
+                    .chars()
+                    .skip_while(char::is_ascii_digit)
+                    .collect();
+                out.push_str(head);
+                out.push('0');
+                out.push_str(&tail);
+            }
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn small_dblp_args(dir: &std::path::Path) -> Vec<String> {
+    let schema = write(dir, "schema.exq", SCHEMA);
+    let a = write(dir, "a.csv", AUTHORS);
+    let ad = write(dir, "ad.csv", AUTHORED);
+    let p = write(dir, "p.csv", PUBS);
+    let q = write(dir, "question.exq", QUESTION);
+    vec![
+        "--schema".into(),
+        schema,
+        "--table".into(),
+        format!("Author={a}"),
+        "--table".into(),
+        format!("Authored={ad}"),
+        "--table".into(),
+        format!("Publication={p}"),
+        "--question".into(),
+        q,
+    ]
+}
+
+#[test]
+fn explain_metrics_stdout_matches_golden_fixture() {
+    let dir = workdir("metrics-golden");
+    let mut argv: Vec<String> = vec!["explain".into()];
+    argv.extend(small_dblp_args(&dir));
+    argv.extend(
+        [
+            "--attrs",
+            "Author.name,Author.dom",
+            "--top",
+            "3",
+            "--threads",
+            "1",
+            "--metrics",
+            "-",
+        ]
+        .map(String::from),
+    );
+    let out = run(&argv.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let got = normalize_metrics(&String::from_utf8_lossy(&out.stdout));
+    assert_eq!(got, fixture("explain_metrics.txt"));
+}
+
+#[test]
+fn report_metrics_section_matches_golden_fixture() {
+    let dir = workdir("report-golden");
+    let mut argv: Vec<String> = vec!["report".into()];
+    argv.extend(small_dblp_args(&dir));
+    argv.extend(
+        [
+            "--attrs",
+            "Author.name",
+            "--top",
+            "2",
+            "--threads",
+            "1",
+            "--trace",
+        ]
+        .map(String::from),
+    );
+    let out = run(&argv.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let start = text.find("## Metrics").expect("metrics section in report");
+    assert_eq!(&text[start..], fixture("report_metrics.txt"));
+    // --trace prints the span tree on stderr.
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("spans (wall-clock):"), "{err}");
+    assert!(err.contains("explain.table"), "{err}");
+}
+
+#[test]
+fn explain_json_mode_has_clean_stdout_and_empty_stderr() {
+    let dir = workdir("json-mode");
+    let mut argv: Vec<String> = vec!["explain".into()];
+    argv.extend(small_dblp_args(&dir));
+    argv.extend(["--attrs", "Author.name", "--top", "3", "--format", "json"].map(String::from));
+    let out = run(&argv.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(out.status.success());
+    assert!(
+        out.stderr.is_empty(),
+        "json mode must not write to stderr, got: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The whole of stdout is one well-formed JSON document: balanced
+    // braces/brackets outside strings, nothing before or after.
+    let text = String::from_utf8_lossy(&out.stdout);
+    let trimmed = text.trim();
+    assert!(trimmed.starts_with('{') && trimmed.ends_with('}'), "{text}");
+    let (mut depth, mut in_str, mut esc, mut closed_at) = (0i64, false, false, None);
+    for (i, c) in trimmed.char_indices() {
+        if in_str {
+            match (esc, c) {
+                (true, _) => esc = false,
+                (false, '\\') => esc = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced at byte {i}");
+                if depth == 0 {
+                    closed_at = Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced JSON: {text}");
+    assert!(!in_str, "unterminated string: {text}");
+    assert_eq!(
+        closed_at,
+        Some(trimmed.len() - 1),
+        "trailing garbage: {text}"
+    );
+    for key in [
+        "\"q_d\":",
+        "\"engine\":",
+        "\"top\":",
+        "\"metrics\":",
+        "\"counters\":",
+    ] {
+        assert!(trimmed.contains(key), "missing {key}: {text}");
+    }
+}
+
+/// The acceptance invariant, end to end through the CLI on a generated
+/// DBLP workload: `--threads 1 --metrics -` and `--threads 7 --metrics -`
+/// produce byte-identical `counters` sections.
+#[test]
+fn explain_metrics_counters_identical_at_1_and_7_threads_on_dblp() {
+    use exq::datagen::dblp;
+    use exq::relstore::csv::dump_relation;
+    let dir = workdir("dblp-threads");
+    let db = dblp::generate(&dblp::DblpConfig::default());
+    let dump = |rel: &str, file: &str| {
+        let path = dir.join(file);
+        let f = fs::File::create(&path).unwrap();
+        dump_relation(&db, rel, std::io::BufWriter::new(f)).unwrap();
+        path.to_string_lossy().into_owned()
+    };
+    let a = dump("Author", "author.csv");
+    let ad = dump("Authored", "authored.csv");
+    let p = dump("Publication", "publication.csv");
+    let schema = write(
+        &dir,
+        "schema.exq",
+        "
+relation Author(id: str key, name: str, inst: str, dom: str)
+relation Authored(id: str key, pubid: str key)
+relation Publication(pubid: str key, venue: str, year: int)
+fk Authored(id) -> Author
+fk Authored(pubid) <-> Publication
+",
+    );
+    let q = write(
+        &dir,
+        "question.exq",
+        "
+agg a = count(distinct Publication.pubid) where venue = 'SIGMOD' and dom = 'com' and year >= 2000 and year <= 2004
+agg b = count(distinct Publication.pubid) where venue = 'SIGMOD' and dom = 'com' and year >= 2007 and year <= 2011
+agg c = count(distinct Publication.pubid) where venue = 'SIGMOD' and dom = 'edu' and year >= 2000 and year <= 2004
+agg d = count(distinct Publication.pubid) where venue = 'SIGMOD' and dom = 'edu' and year >= 2007 and year <= 2011
+expr (a / b) / (c / d)
+smoothing 1e-4
+dir high
+",
+    );
+    let counters_section = |threads: &str| -> String {
+        let out = run(&[
+            "explain",
+            "--schema",
+            &schema,
+            "--table",
+            &format!("Author={a}"),
+            "--table",
+            &format!("Authored={ad}"),
+            "--table",
+            &format!("Publication={p}"),
+            "--question",
+            &q,
+            "--attrs",
+            "Author.inst,Author.name",
+            "--top",
+            "5",
+            "--threads",
+            threads,
+            "--metrics",
+            "-",
+        ]);
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout).into_owned();
+        let start = text.find("\"counters\": {").expect("counters section");
+        let end = text[start..].find('}').expect("closing brace") + start;
+        text[start..=end].to_string()
+    };
+    let one = counters_section("1");
+    assert!(one.contains("\"join.probe_matches\":"), "{one}");
+    assert!(one.contains("\"cube.cells\":"), "{one}");
+    assert_eq!(
+        one,
+        counters_section("7"),
+        "counters must not depend on thread count"
+    );
+}

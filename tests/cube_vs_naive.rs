@@ -277,3 +277,97 @@ fn no_minimal_contains_minimal_results() {
         assert!(all_rows.contains(&r.row));
     }
 }
+
+/// Differential metrics: both engines must report the *same*
+/// `engine.candidates_evaluated`, equal to the table length — the cube
+/// engine may not silently skip (or invent) candidates relative to the
+/// per-candidate baseline.
+fn assert_candidate_counters_agree(
+    db: &exq_relstore::Database,
+    question: &UserQuestion,
+    dims: &[exq_relstore::AttrRef],
+) {
+    let naive_sink = exq::obs::MetricsSink::recording();
+    let naive_exec = exq_relstore::ExecConfig::sequential().with_metrics(naive_sink.clone());
+    let engine = InterventionEngine::new(db);
+    let naive_t =
+        naive::explanation_table_naive_with(db, &engine, question, dims, &naive_exec).unwrap();
+
+    let cube_sink = exq::obs::MetricsSink::recording();
+    let cube_exec = exq_relstore::ExecConfig::sequential().with_metrics(cube_sink.clone());
+    let u = Universal::compute(db, &db.full_view());
+    let cube_t = cube_algo::explanation_table(
+        db,
+        &u,
+        question,
+        dims,
+        cube_algo::CubeAlgoConfig::checked().with_exec(cube_exec),
+    )
+    .unwrap();
+
+    assert_tables_agree(&naive_t, &cube_t);
+    let n = naive_sink.snapshot().counter("engine.candidates_evaluated");
+    let c = cube_sink.snapshot().counter("engine.candidates_evaluated");
+    assert_eq!(n, naive_t.len() as u64, "naive counter == |M|");
+    assert_eq!(c, cube_t.len() as u64, "cube counter == |M|");
+    assert_eq!(n, c, "engines evaluated different candidate sets");
+}
+
+#[test]
+fn natality_engines_report_same_candidates_evaluated() {
+    let db = natality::generate(&natality::NatalityConfig {
+        rows: 2_000,
+        seed: 3,
+    });
+    let schema = db.schema();
+    let ap = schema.attr("Natality", "ap").unwrap();
+    let question = UserQuestion::new(
+        NumericalQuery::ratio(
+            AggregateQuery::count_star(Predicate::eq(ap, "good")),
+            AggregateQuery::count_star(Predicate::eq(ap, "poor")),
+        )
+        .with_smoothing(1e-4),
+        Direction::High,
+    );
+    let dims = vec![
+        schema.attr("Natality", "tobacco").unwrap(),
+        schema.attr("Natality", "edu").unwrap(),
+    ];
+    assert_candidate_counters_agree(&db, &question, &dims);
+}
+
+#[test]
+fn dblp_engines_report_same_candidates_evaluated() {
+    let db = dblp::generate(&dblp::DblpConfig {
+        papers_per_year_base: 6,
+        years: (1998, 2008),
+        authors_per_institution: 4,
+        seed: 9,
+    });
+    let schema = db.schema();
+    let pubid = schema.attr("Publication", "pubid").unwrap();
+    let venue = schema.attr("Publication", "venue").unwrap();
+    let year = schema.attr("Publication", "year").unwrap();
+    let question = UserQuestion::new(
+        NumericalQuery::ratio(
+            AggregateQuery {
+                func: AggFunc::CountDistinct(pubid),
+                selection: Predicate::and([
+                    Predicate::eq(venue, "SIGMOD"),
+                    Predicate::between(year, 1998, 2003),
+                ]),
+            },
+            AggregateQuery {
+                func: AggFunc::CountDistinct(pubid),
+                selection: Predicate::and([
+                    Predicate::eq(venue, "SIGMOD"),
+                    Predicate::between(year, 2004, 2008),
+                ]),
+            },
+        )
+        .with_smoothing(1e-4),
+        Direction::High,
+    );
+    let dims = vec![schema.attr("Author", "inst").unwrap()];
+    assert_candidate_counters_agree(&db, &question, &dims);
+}
