@@ -2,9 +2,10 @@
 //!
 //! Usage: `repro <experiment> [full]` where `<experiment>` is one of
 //! `fig1 fig2 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
-//! ex37 ex41 ablation scaling hybrid agreement pipeline export all`, or
-//! `repro validate-bench FILE` to check a `BENCH_pipeline.json` against
-//! the committed counter catalogue. The optional
+//! ex37 ex41 ablation scaling hybrid agreement pipeline loadtest export
+//! all`, or `repro validate-bench FILE [pipeline|serve]` to check a
+//! `BENCH_pipeline.json` / `BENCH_serve.json` against the committed
+//! counter catalogue (scope defaults from the file name). The optional
 //! `full` flag runs the timing sweeps at
 //! paper scale (millions of rows); the default keeps every experiment
 //! under a few seconds. Build with `--release` for meaningful timings.
@@ -22,14 +23,35 @@ use exq_relstore::{Database, ExecConfig, MetricsSink, Predicate, Universal, Valu
 use std::time::{Duration, Instant};
 
 /// The committed counter catalogue: every name here must appear in the
-/// `counters` section of `BENCH_pipeline.json` (see `validate-bench`).
+/// `counters` section of the bench snapshot matching its scope —
+/// `server.*` names in `BENCH_serve.json`, everything else in
+/// `BENCH_pipeline.json` (see `validate-bench`).
 const COUNTER_CATALOGUE: &str = include_str!("../../../../assets/obs/counters.txt");
 
-fn required_counters() -> Vec<&'static str> {
+/// Which bench snapshot a catalogued counter belongs to.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BenchScope {
+    /// The engine pipeline (`repro pipeline` → `BENCH_pipeline.json`).
+    Pipeline,
+    /// The explanation server (`repro loadtest` → `BENCH_serve.json`).
+    Serve,
+}
+
+impl BenchScope {
+    fn name(self) -> &'static str {
+        match self {
+            BenchScope::Pipeline => "pipeline",
+            BenchScope::Serve => "serve",
+        }
+    }
+}
+
+fn required_counters(scope: BenchScope) -> Vec<&'static str> {
     COUNTER_CATALOGUE
         .lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter(move |name| (scope == BenchScope::Serve) == name.starts_with("server."))
         .collect()
 }
 
@@ -853,7 +875,7 @@ fn pipeline(full: bool) {
         snapshot.counters.len(),
         snapshot.spans.len()
     );
-    let missing: Vec<&str> = required_counters()
+    let missing: Vec<&str> = required_counters(BenchScope::Pipeline)
         .into_iter()
         .filter(|name| !snapshot.counters.contains_key(*name))
         .collect();
@@ -862,16 +884,188 @@ fn pipeline(full: bool) {
         "counters missing from the catalogue: {missing:?}"
     );
     println!(
-        "all {} catalogued counters present",
-        required_counters().len()
+        "all {} catalogued pipeline counters present",
+        required_counters(BenchScope::Pipeline).len()
     );
 }
 
-/// Check a `BENCH_pipeline.json` written by `pipeline` against the
-/// committed counter catalogue: the file must be a well-formed metrics
-/// snapshot and every catalogued counter must be present. Exits 1 on any
+/// `repro loadtest` — exercise the exq-serve HTTP server on the DBLP
+/// workload: measure cold (full pipeline) explain time, then hammer
+/// `/v1/explain` with a fleet of parallel clients over a small set of
+/// distinct questions so almost every request is a cache hit, and write
+/// `BENCH_serve.json` with the latency distribution, cache hit rate,
+/// and the server's final metrics snapshot. Asserts the ISSUE 4
+/// acceptance bar: a cache-hit request is ≥10x faster than a cold
+/// explain run over the same data.
+fn loadtest(full: bool) {
+    header("Serve loadtest — /v1/explain latency and cache effectiveness (DBLP)");
+    use exq_serve::{client, Catalog, ServerConfig};
+    use std::fmt::Write as _;
+
+    let question_text = include_str!("../../../../assets/questions/bump.exq");
+    // 4x the default DBLP volume: cold explain time scales with the
+    // data, cache-hit latency does not, so this keeps the ≥10x assertion
+    // well clear of scheduler jitter on slow CI hosts.
+    let gen_config = dblp::DblpConfig {
+        papers_per_year_base: 240,
+        authors_per_institution: 24,
+        ..dblp::DblpConfig::default()
+    };
+
+    // Cold reference: everything a one-shot `exq explain` run does after
+    // process startup — materialize the data, build the universal
+    // relation, run Algorithm 1, rank. The real CLI additionally pays
+    // process startup and CSV parsing, so the ≥10x bar below is
+    // conservative.
+    let (candidates, t_cold) = timed(|| {
+        let db = dblp::generate(&gen_config);
+        let question = bump_question(&db);
+        let explainer = exq_core::explainer::Explainer::new(&db, question)
+            .attr_names(&["Author.inst"])
+            .unwrap();
+        explainer.q_d().unwrap();
+        let (table, _) = explainer.table().unwrap();
+        let top = explainer.top(DegreeKind::Intervention, 5).unwrap();
+        assert!(!top.is_empty());
+        table.len()
+    });
+    println!("cold explain (generate + prepare + rank): {t_cold:?} ({candidates} candidates)");
+
+    let mut catalog = Catalog::new();
+    let (_, t_prepare) = timed(|| {
+        catalog
+            .insert_database(
+                "dblp",
+                std::sync::Arc::new(dblp::generate(&gen_config)),
+                &ExecConfig::auto(),
+            )
+            .unwrap()
+    });
+    println!("catalog preload (shared intermediates): {t_prepare:?}");
+
+    let threads = 4usize;
+    let handle = exq_serve::start(
+        catalog,
+        ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        },
+        MetricsSink::recording(),
+    )
+    .expect("bind loadtest server");
+    let addr = handle.addr();
+
+    // Distinct cache keys: the same question ranked at different top-K.
+    let distinct = 4usize;
+    let body_for = |top: usize| {
+        format!(
+            "{{\"dataset\": \"dblp\", \"question\": \"{}\", \"attrs\": [\"Author.inst\"], \"top\": {top}}}",
+            exq_obs::escape_json(question_text)
+        )
+    };
+    let (_, t_warm) = timed(|| {
+        for top in 1..=distinct {
+            let response = client::post_json(addr, "/v1/explain", &body_for(top)).unwrap();
+            assert_eq!(response.status, 200, "{}", response.text());
+        }
+    });
+    println!("cache fill: {distinct} distinct questions in {t_warm:?}");
+
+    let clients = if full { 16usize } else { 8 };
+    let per_client = if full { 200usize } else { 25 };
+    let latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let body_for = &body_for;
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let body = body_for(1 + (c + i) % distinct);
+                        let (response, t) =
+                            timed(|| client::post_json(addr, "/v1/explain", &body).unwrap());
+                        assert_eq!(response.status, 200, "{}", response.text());
+                        lat.push(t);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().unwrap())
+            .collect()
+    });
+    let snapshot = handle.shutdown();
+
+    let mut sorted = latencies.clone();
+    sorted.sort();
+    let pct = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+    let (p50, p95, p99) = (pct(0.50), pct(0.95), pct(0.99));
+    let hits = snapshot.counter("server.cache.hits");
+    let misses = snapshot.counter("server.cache.misses");
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let speedup = t_cold.as_secs_f64() / p50.as_secs_f64().max(1e-9);
+
+    println!(
+        "{} requests from {clients} clients against {threads} workers",
+        latencies.len()
+    );
+    println!("latency: p50 = {p50:?}, p95 = {p95:?}, p99 = {p99:?}");
+    println!("cache: {hits} hits / {misses} misses (hit rate {hit_rate:.3})");
+    println!("cache-hit speedup over cold explain: {speedup:.1}x");
+
+    let mut doc = String::from("{\n");
+    let _ = writeln!(
+        doc,
+        "  \"workload\": {{ \"clients\": {clients}, \"requests\": {}, \"distinct_questions\": {distinct}, \"server_threads\": {threads} }},",
+        latencies.len()
+    );
+    let _ = writeln!(
+        doc,
+        "  \"latency_ns\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }},",
+        p50.as_nanos(),
+        p95.as_nanos(),
+        p99.as_nanos(),
+        sorted.last().unwrap().as_nanos()
+    );
+    let _ = writeln!(doc, "  \"cold_explain_ns\": {},", t_cold.as_nanos());
+    let _ = writeln!(doc, "  \"cache_hit_speedup\": {speedup:.1},");
+    let _ = writeln!(
+        doc,
+        "  \"cache\": {{ \"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.4} }},"
+    );
+    let snap = snapshot
+        .to_json()
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 0 {
+                l.to_string()
+            } else {
+                format!("  {l}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let _ = writeln!(doc, "  \"snapshot\": {snap}");
+    doc.push_str("}\n");
+    std::fs::write("BENCH_serve.json", doc).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+
+    assert_eq!(misses, distinct as u64, "only the fill requests may miss");
+    assert!(
+        speedup >= 10.0,
+        "cache-hit /v1/explain must be >= 10x faster than a cold explain \
+         (cold {t_cold:?}, hit p50 {p50:?}, speedup {speedup:.1}x)"
+    );
+}
+
+/// Check a bench snapshot (`BENCH_pipeline.json` from `pipeline`, or
+/// `BENCH_serve.json` from `loadtest`) against the committed counter
+/// catalogue: the file must be a well-formed metrics document and every
+/// counter catalogued for `scope` must be present. Exits 1 on any
 /// failure so CI can gate on it.
-fn validate_bench(path: &str) {
+fn validate_bench(path: &str, scope: BenchScope) {
     let fail = |msg: String| -> ! {
         eprintln!("error: {msg}");
         std::process::exit(1);
@@ -914,19 +1108,21 @@ fn validate_bench(path: &str) {
     if !text.contains("\"counters\": {") || !text.contains("\"spans\": {") {
         fail(format!("{path}: not a metrics snapshot"));
     }
-    let missing: Vec<&str> = required_counters()
+    let missing: Vec<&str> = required_counters(scope)
         .into_iter()
         .filter(|name| !text.contains(&format!("\"{name}\":")))
         .collect();
     if !missing.is_empty() {
         fail(format!(
-            "{path}: missing catalogued counters: {}",
+            "{path}: missing catalogued {} counters: {}",
+            scope.name(),
             missing.join(", ")
         ));
     }
     println!(
-        "ok: {path} has all {} catalogued counters",
-        required_counters().len()
+        "ok: {path} has all {} catalogued {} counters",
+        required_counters(scope).len(),
+        scope.name()
     );
 }
 
@@ -953,10 +1149,24 @@ fn main() {
         "hybrid" => hybrid_table(),
         "agreement" => agreement_table(nat_rows),
         "pipeline" => pipeline(full),
+        "loadtest" => loadtest(full),
         "validate-bench" => match args.get(2) {
-            Some(path) => validate_bench(path),
+            Some(path) => {
+                let scope = match args.get(3).map(String::as_str) {
+                    Some("pipeline") => BenchScope::Pipeline,
+                    Some("serve") => BenchScope::Serve,
+                    Some(other) => {
+                        eprintln!("unknown scope `{other}`; expected pipeline|serve");
+                        std::process::exit(2);
+                    }
+                    // Default the scope from the file name.
+                    None if path.contains("serve") => BenchScope::Serve,
+                    None => BenchScope::Pipeline,
+                };
+                validate_bench(path, scope)
+            }
             None => {
-                eprintln!("usage: repro validate-bench FILE");
+                eprintln!("usage: repro validate-bench FILE [pipeline|serve]");
                 std::process::exit(2);
             }
         },
@@ -978,12 +1188,13 @@ fn main() {
             hybrid_table();
             agreement_table(nat_rows);
             pipeline(full);
+            loadtest(full);
         }
         other => {
             eprintln!(
                 "unknown experiment `{other}`; expected one of fig1 fig2 fig6 fig7 fig8 fig9 \
                  fig10 fig11 fig12 fig13 fig14 fig15 ex37 ex41 ablation scaling hybrid \
-                 agreement pipeline validate-bench export all"
+                 agreement pipeline loadtest validate-bench export all"
             );
             std::process::exit(2);
         }

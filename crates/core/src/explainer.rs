@@ -44,6 +44,7 @@ use crate::table_m::ExplanationTable;
 use crate::topk::{self, DegreeKind, MinimalityPolarity, Ranked, TopKStrategy};
 use exq_relstore::{AttrRef, Database, ExecConfig, Universal};
 use std::cell::OnceCell;
+use std::sync::Arc;
 
 /// Which engine produced an explanation table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,8 +74,10 @@ pub struct Explainer<'a> {
     db: &'a Database,
     question: UserQuestion,
     // Computed lazily so the executor choice (a builder call) is in
-    // effect by the time the join runs.
-    universal: OnceCell<Universal>,
+    // effect by the time the join runs. `Arc` so a pre-built universal
+    // (e.g. from [`crate::prepared::PreparedDb`]) can be shared across
+    // many explainers without copying tuple data.
+    universal: OnceCell<Arc<Universal>>,
     dims: Vec<AttrRef>,
     cube_config: CubeAlgoConfig,
     min_support: Option<f64>,
@@ -128,12 +131,30 @@ impl<'a> Explainer<'a> {
         self
     }
 
+    /// Seed the pipeline with a pre-computed universal relation instead
+    /// of joining from scratch on first use. The caller must have built
+    /// `u` over (a semijoin-reduced view of) the same database — see
+    /// [`crate::prepared::PreparedDb`], which guarantees it. Repeated
+    /// questions on one database then share the expensive join.
+    pub fn with_universal(self, u: Arc<Universal>) -> Explainer<'a> {
+        // A fresh builder's cell is always empty; `set` only fails if the
+        // caller already seeded one, in which case the first seed wins.
+        let _ = self.universal.set(u);
+        self
+    }
+
     fn universal(&self) -> &Universal {
-        self.universal.get_or_init(|| {
-            self.exec.metrics().time("explain.universal", || {
-                Universal::compute_with(self.db, &self.db.full_view(), &self.exec)
+        self.universal
+            .get_or_init(|| {
+                self.exec.metrics().time("explain.universal", || {
+                    Arc::new(Universal::compute_with(
+                        self.db,
+                        &self.db.full_view(),
+                        &self.exec,
+                    ))
+                })
             })
-        })
+            .as_ref()
     }
 
     /// Set the explanation attributes `A'`.
@@ -188,6 +209,17 @@ impl<'a> Explainer<'a> {
     /// The user question.
     pub fn question(&self) -> &UserQuestion {
         &self.question
+    }
+
+    /// `Q(D)` — the question's value on the unmodified database,
+    /// evaluated over the (cached or seeded) universal relation. Equal to
+    /// `self.question().query.eval(db)` bit-for-bit, without the extra
+    /// join when the universal is already built.
+    pub fn q_d(&self) -> Result<f64> {
+        Ok(self
+            .question
+            .query
+            .eval_universal(self.db, self.universal())?)
     }
 
     /// Materialize the explanation table `M`, choosing Algorithm 1 when

@@ -80,7 +80,9 @@ pub mod explainer;
 pub mod explanation;
 pub mod hybrid;
 pub mod intervention;
+pub mod jsonout;
 pub mod naive;
+pub mod prepared;
 pub mod qparse;
 pub mod question;
 pub mod report;

@@ -1,0 +1,280 @@
+//! Pre-built, shareable pipeline intermediates for a resident database.
+//!
+//! A one-shot `explain` pays for the expensive intermediates — the
+//! semijoin reduction and the universal relation — on every call. A
+//! resident service (many questions against the same database, the
+//! setting of the paper's §6 prototype) wants them built **once** and
+//! shared. [`PreparedDb`] is that unit: it owns the database behind an
+//! `Arc`, reduces it, joins it, and hands out [`Explainer`]s seeded with
+//! the shared universal relation via [`Explainer::with_universal`].
+//!
+//! Semijoin reduction only removes tuples that participate in **no**
+//! universal tuple (Yannakakis), and the join expands surviving root rows
+//! in ascending row-id order either way — so the universal relation
+//! computed over the reduced view is bit-identical to the one computed
+//! over the full view, and every explanation produced through a
+//! `PreparedDb` is bit-identical to the one-shot pipeline's. The tests
+//! below pin that contract.
+//!
+//! ```
+//! use exq_core::prepared::PreparedDb;
+//! use exq_core::prelude::*;
+//! use exq_relstore::{Database, Predicate, SchemaBuilder, ValueType};
+//! use std::sync::Arc;
+//!
+//! let schema = SchemaBuilder::new()
+//!     .relation("R", &[("id", ValueType::Int), ("g", ValueType::Str)], &["id"])
+//!     .build()?;
+//! let mut db = Database::new(schema);
+//! db.insert("R", vec![1.into(), "a".into()])?;
+//! db.insert("R", vec![2.into(), "b".into()])?;
+//! let prepared = PreparedDb::build(Arc::new(db));
+//! let g = prepared.db().schema().attr("R", "g")?;
+//! let question = UserQuestion::new(
+//!     NumericalQuery::single(AggregateQuery::count_star(Predicate::eq(g, "a"))),
+//!     Direction::High,
+//! );
+//! // Two questions, one join.
+//! let top = prepared.explainer(question.clone()).attr_names(&["R.g"])?.top(DegreeKind::Intervention, 1)?;
+//! assert_eq!(top.len(), 1);
+//! let again = prepared.explainer(question).attr_names(&["R.g"])?.top(DegreeKind::Intervention, 1)?;
+//! assert_eq!(top[0].degree, again[0].degree);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::explainer::Explainer;
+use crate::question::UserQuestion;
+use exq_relstore::{semijoin, Database, ExecConfig, Universal, View};
+use std::sync::Arc;
+
+/// A database with its expensive intermediates built once: the
+/// semijoin-reduced view and the universal relation, both shared via
+/// `Arc` so any number of concurrent explainers can borrow them.
+#[derive(Debug, Clone)]
+pub struct PreparedDb {
+    db: Arc<Database>,
+    reduced: Arc<View>,
+    universal: Arc<Universal>,
+}
+
+impl PreparedDb {
+    /// Build the intermediates sequentially.
+    pub fn build(db: Arc<Database>) -> PreparedDb {
+        PreparedDb::build_with(db, &ExecConfig::sequential())
+    }
+
+    /// Build the intermediates on `exec`'s workers, recording the usual
+    /// `semijoin.*`/`join.*` counters into its metrics sink. Results are
+    /// bit-identical at every thread count.
+    pub fn build_with(db: Arc<Database>, exec: &ExecConfig) -> PreparedDb {
+        let _span = exec.metrics().span("prepare");
+        let mut view = db.full_view();
+        semijoin::reduce_in_place_with(&db, &mut view, exec);
+        let universal = Arc::new(Universal::compute_with(&db, &view, exec));
+        PreparedDb {
+            db,
+            reduced: Arc::new(view),
+            universal,
+        }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Shared handle to the database.
+    pub fn db_arc(&self) -> Arc<Database> {
+        Arc::clone(&self.db)
+    }
+
+    /// The semijoin-reduced view the universal relation was joined over.
+    pub fn reduced(&self) -> &View {
+        &self.reduced
+    }
+
+    /// The pre-computed universal relation.
+    pub fn universal(&self) -> &Universal {
+        &self.universal
+    }
+
+    /// Shared handle to the universal relation.
+    pub fn universal_arc(&self) -> Arc<Universal> {
+        Arc::clone(&self.universal)
+    }
+
+    /// Tuples that survive the semijoin reduction (= tuples participating
+    /// in at least one universal tuple).
+    pub fn surviving_tuples(&self) -> usize {
+        self.reduced.total_live()
+    }
+
+    /// An [`Explainer`] for one question, seeded with the shared
+    /// universal relation — no per-question join.
+    pub fn explainer(&self, question: UserQuestion) -> Explainer<'_> {
+        Explainer::new(&self.db, question).with_universal(self.universal_arc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+    use exq_relstore::aggregate::AggFunc;
+    use exq_relstore::{Predicate, SchemaBuilder, ValueType as T};
+
+    /// Two joined relations with a dangling `A` row the semijoin drops.
+    fn linked_db() -> Database {
+        let schema = SchemaBuilder::new()
+            .relation("A", &[("id", T::Int), ("g", T::Str)], &["id"])
+            .relation(
+                "B",
+                &[("id", T::Int), ("a", T::Int), ("ok", T::Str)],
+                &["id"],
+            )
+            .standard_fk("B", &["a"], "A")
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for (id, g) in [(1, "x"), (2, "y"), (3, "dangling")] {
+            db.insert("A", vec![id.into(), g.into()]).unwrap();
+        }
+        for (id, a, ok) in [(10, 1, "y"), (11, 1, "n"), (12, 2, "y"), (13, 2, "y")] {
+            db.insert("B", vec![id.into(), a.into(), ok.into()])
+                .unwrap();
+        }
+        db
+    }
+
+    fn question(db: &Database) -> UserQuestion {
+        let ok = db.schema().attr("B", "ok").unwrap();
+        UserQuestion::new(
+            NumericalQuery::ratio(
+                AggregateQuery::count_star(Predicate::eq(ok, "y")),
+                AggregateQuery::count_star(Predicate::eq(ok, "n")),
+            )
+            .with_smoothing(1e-4),
+            Direction::High,
+        )
+    }
+
+    #[test]
+    fn reduction_drops_dangling_rows_only() {
+        let db = linked_db();
+        let total = db.total_tuples();
+        let prepared = PreparedDb::build(Arc::new(db));
+        assert_eq!(prepared.surviving_tuples(), total - 1);
+    }
+
+    #[test]
+    fn prepared_table_is_bit_identical_to_one_shot() {
+        let db = linked_db();
+        let (one_shot, _) = Explainer::new(&db, question(&db))
+            .attr_names(&["A.g"])
+            .unwrap()
+            .table()
+            .unwrap();
+        let prepared = PreparedDb::build(Arc::new(db));
+        let (shared, _) = prepared
+            .explainer(question(prepared.db()))
+            .attr_names(&["A.g"])
+            .unwrap()
+            .table()
+            .unwrap();
+        assert_eq!(one_shot, shared);
+    }
+
+    #[test]
+    fn prepared_universal_is_shared_not_recomputed() {
+        let db = linked_db();
+        let prepared = PreparedDb::build(Arc::new(db));
+        let sink = exq_obs::MetricsSink::recording();
+        let exec = ExecConfig::sequential().with_metrics(sink.clone());
+        let q = question(prepared.db());
+        let explainer = prepared
+            .explainer(q)
+            .exec(exec)
+            .attr_names(&["A.g"])
+            .unwrap();
+        explainer.table().unwrap();
+        // The seeded universal short-circuits the join: no join counters
+        // fire under the explainer's own sink.
+        assert_eq!(sink.snapshot().counter("join.runs"), 0);
+    }
+
+    #[test]
+    fn drill_through_prepared_matches_one_shot() {
+        let db = linked_db();
+        let g = db.schema().attr("A", "g").unwrap();
+        let phi = crate::explanation::Explanation::new(vec![exq_relstore::Atom::eq(g, "x")]);
+        let one_shot = Explainer::new(&db, question(&db))
+            .attr_names(&["A.g"])
+            .unwrap()
+            .explain(&phi)
+            .unwrap();
+        let prepared = PreparedDb::build(Arc::new(db));
+        let shared = prepared
+            .explainer(question(prepared.db()))
+            .attr_names(&["A.g"])
+            .unwrap()
+            .explain(&phi)
+            .unwrap();
+        assert_eq!(one_shot.mu_interv, shared.mu_interv);
+        assert_eq!(one_shot.mu_aggr, shared.mu_aggr);
+        assert_eq!(one_shot.mu_hybrid, shared.mu_hybrid);
+        assert_eq!(
+            one_shot.intervention.total_deleted(),
+            shared.intervention.total_deleted()
+        );
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let db = Arc::new(linked_db());
+        let base = PreparedDb::build(Arc::clone(&db));
+        let (base_table, _) = base
+            .explainer(question(base.db()))
+            .attr_names(&["A.g"])
+            .unwrap()
+            .table()
+            .unwrap();
+        for threads in [2, 7] {
+            let p = PreparedDb::build_with(Arc::clone(&db), &ExecConfig::with_threads(threads));
+            assert_eq!(p.surviving_tuples(), base.surviving_tuples());
+            let (t, _) = p
+                .explainer(question(p.db()))
+                .attr_names(&["A.g"])
+                .unwrap()
+                .table()
+                .unwrap();
+            assert_eq!(base_table, t, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn non_additive_question_also_reuses_universal() {
+        let db = linked_db();
+        let id = db.schema().attr("B", "id").unwrap();
+        let q = UserQuestion::new(
+            NumericalQuery::single(AggregateQuery {
+                func: AggFunc::Sum(id),
+                selection: Predicate::True,
+            }),
+            Direction::Low,
+        );
+        let (one_shot, choice) = Explainer::new(&db, q.clone())
+            .attr_names(&["A.g"])
+            .unwrap()
+            .table()
+            .unwrap();
+        assert_eq!(choice, crate::explainer::EngineChoice::Naive);
+        let prepared = PreparedDb::build(Arc::new(db));
+        let (shared, _) = prepared
+            .explainer(q)
+            .attr_names(&["A.g"])
+            .unwrap()
+            .table()
+            .unwrap();
+        assert_eq!(one_shot, shared);
+    }
+}

@@ -1,0 +1,239 @@
+//! The dataset catalog: named databases with pre-built intermediates.
+//!
+//! A server process loads each dataset **once** at startup — schema,
+//! CSVs, semijoin reduction, universal relation — and every request
+//! against it borrows the shared [`PreparedDb`] through an `Arc`. This
+//! is the amortization the paper's own prototype got from a resident
+//! SQL Server instance (§6): the join work that dominates a cold
+//! one-shot `explain` disappears from the request path entirely.
+
+use exq_core::prepared::PreparedDb;
+use exq_obs::escape_json;
+use exq_relstore::{csv, parse, Database, ExecConfig};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+/// One named, prepared dataset.
+pub struct Dataset {
+    /// Catalog name (URL-visible).
+    pub name: String,
+    /// The database plus its shared intermediates.
+    pub prepared: PreparedDb,
+    /// Load provenance ("loaded N rows into Rel", …).
+    pub notes: Vec<String>,
+}
+
+/// A catalog of datasets, keyed by name. Built once before the server
+/// starts accepting; immutable afterwards, so handlers read it without
+/// locks.
+#[derive(Default)]
+pub struct Catalog {
+    datasets: BTreeMap<String, Arc<Dataset>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register an already-built database (e.g. from the datagen
+    /// generators), preparing its intermediates on `exec`.
+    pub fn insert_database(
+        &mut self,
+        name: &str,
+        db: Arc<Database>,
+        exec: &ExecConfig,
+    ) -> Result<(), String> {
+        if self.datasets.contains_key(name) {
+            return Err(format!("duplicate dataset name `{name}`"));
+        }
+        let notes = vec![format!(
+            "{}: {} relations, {} tuples",
+            name,
+            db.schema().relation_count(),
+            db.total_tuples()
+        )];
+        let prepared = PreparedDb::build_with(db, exec);
+        self.datasets.insert(
+            name.to_string(),
+            Arc::new(Dataset {
+                name: name.to_string(),
+                prepared,
+                notes,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Load a dataset from a directory holding `schema.exq` (or exactly
+    /// one `*.exq` file) plus one `<Relation>.csv` per relation, then
+    /// prepare its intermediates on `exec`.
+    pub fn load_dir(&mut self, name: &str, dir: &Path, exec: &ExecConfig) -> Result<(), String> {
+        if self.datasets.contains_key(name) {
+            return Err(format!("duplicate dataset name `{name}`"));
+        }
+        let schema_path = find_schema(dir)?;
+        let schema_text = std::fs::read_to_string(&schema_path)
+            .map_err(|e| format!("{}: {e}", schema_path.display()))?;
+        let schema = parse::parse_schema(&schema_text)
+            .map_err(|e| format!("{}: {e}", schema_path.display()))?;
+        let mut notes = Vec::new();
+        let mut db = Database::new(schema);
+        for rel_idx in 0..db.schema().relation_count() {
+            let rel = db.schema().relation(rel_idx).name.clone();
+            let path = dir.join(format!("{rel}.csv"));
+            let file =
+                std::fs::File::open(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+            let n = csv::load_relation(&mut db, &rel, std::io::BufReader::new(file))
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            notes.push(format!("loaded {n} rows into {rel}"));
+        }
+        db.validate().map_err(|e| e.to_string())?;
+        let prepared = PreparedDb::build_with(Arc::new(db), exec);
+        self.datasets.insert(
+            name.to_string(),
+            Arc::new(Dataset {
+                name: name.to_string(),
+                prepared,
+                notes,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Look up a dataset by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Dataset>> {
+        self.datasets.get(name).cloned()
+    }
+
+    /// Dataset names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.datasets.keys().map(String::as_str).collect()
+    }
+
+    /// Number of datasets.
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    /// The `GET /v1/datasets` document: per-dataset relation/tuple
+    /// counts and how many tuples survive the semijoin reduction.
+    pub fn datasets_doc(&self) -> String {
+        let mut out = String::from("{\n  \"datasets\": [\n");
+        let n = self.datasets.len();
+        for (i, ds) in self.datasets.values().enumerate() {
+            let sep = if i + 1 == n { "" } else { "," };
+            let db = ds.prepared.db();
+            let _ = writeln!(
+                out,
+                "    {{ \"name\": \"{}\", \"relations\": {}, \"tuples\": {}, \"surviving_tuples\": {} }}{sep}",
+                escape_json(&ds.name),
+                db.schema().relation_count(),
+                db.total_tuples(),
+                ds.prepared.surviving_tuples(),
+            );
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+fn find_schema(dir: &Path) -> Result<std::path::PathBuf, String> {
+    let preferred = dir.join("schema.exq");
+    if preferred.is_file() {
+        return Ok(preferred);
+    }
+    let mut candidates: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "exq"))
+        .collect();
+    candidates.sort();
+    match candidates.as_slice() {
+        [one] => Ok(one.clone()),
+        [] => Err(format!("{}: no .exq schema file", dir.display())),
+        many => Err(format!(
+            "{}: {} .exq files — name one `schema.exq`",
+            dir.display(),
+            many.len()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exq_relstore::{SchemaBuilder, ValueType as T};
+
+    fn tiny_db() -> Database {
+        let schema = SchemaBuilder::new()
+            .relation("R", &[("id", T::Int), ("g", T::Str)], &["id"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", vec![1.into(), "a".into()]).unwrap();
+        db.insert("R", vec![2.into(), "b".into()]).unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_and_list() {
+        let mut catalog = Catalog::new();
+        catalog
+            .insert_database("tiny", Arc::new(tiny_db()), &ExecConfig::sequential())
+            .unwrap();
+        assert_eq!(catalog.names(), vec!["tiny"]);
+        assert!(catalog.get("tiny").is_some());
+        assert!(catalog.get("absent").is_none());
+        let doc = catalog.datasets_doc();
+        assert!(doc.contains("\"name\": \"tiny\""), "{doc}");
+        assert!(doc.contains("\"tuples\": 2"), "{doc}");
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut catalog = Catalog::new();
+        let exec = ExecConfig::sequential();
+        catalog
+            .insert_database("tiny", Arc::new(tiny_db()), &exec)
+            .unwrap();
+        assert!(catalog
+            .insert_database("tiny", Arc::new(tiny_db()), &exec)
+            .is_err());
+    }
+
+    #[test]
+    fn load_dir_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("exq-catalog-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("schema.exq"), "relation R(id: int key, g: str)\n").unwrap();
+        std::fs::write(dir.join("R.csv"), "id,g\n1,a\n2,b\n3,a\n").unwrap();
+        let mut catalog = Catalog::new();
+        catalog
+            .load_dir("disk", &dir, &ExecConfig::sequential())
+            .unwrap();
+        let ds = catalog.get("disk").unwrap();
+        assert_eq!(ds.prepared.db().total_tuples(), 3);
+        assert_eq!(ds.notes, vec!["loaded 3 rows into R"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_dir_missing_schema_errors() {
+        let dir = std::env::temp_dir().join(format!("exq-catalog-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = Catalog::new()
+            .load_dir("x", &dir, &ExecConfig::sequential())
+            .unwrap_err();
+        assert!(err.contains("no .exq schema"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

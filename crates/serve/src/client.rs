@@ -1,0 +1,96 @@
+//! A tiny blocking HTTP/1.1 client for tests and the loadtest harness.
+//!
+//! One request per connection, mirroring the server's `Connection:
+//! close` policy. Not a general client — just enough to exercise the
+//! endpoints in-process without external tooling.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A decoded response: status code and body bytes.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers (lower-cased names).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// Body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// First header value by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Send one request and read the full response.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let body = body.unwrap_or(&[]);
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: exq\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    // A server shedding load may answer (e.g. 503) and close before it
+    // reads the request; don't let that write failure mask the response.
+    let sent = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush());
+    let mut raw = Vec::new();
+    let received = stream.read_to_end(&mut raw);
+    if raw.is_empty() {
+        // Nothing came back: surface whichever side failed first.
+        sent?;
+        received?;
+    }
+    parse_response(&raw)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad response"))
+}
+
+/// `GET` helper.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<ClientResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST` helper with a JSON body.
+pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+    request(addr, "POST", path, Some(body.as_bytes()))
+}
+
+fn parse_response(raw: &[u8]) -> Option<ClientResponse> {
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
+    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next()?;
+    let status: u16 = status_line.split(' ').nth(1)?.parse().ok()?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Some(ClientResponse {
+        status,
+        headers,
+        body: raw[head_end..].to_vec(),
+    })
+}

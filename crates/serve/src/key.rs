@@ -1,0 +1,380 @@
+//! Canonical cache keys for explanation requests.
+//!
+//! Two requests that mean the same thing must produce the **same** key,
+//! and any semantic difference must produce a **different** one. The
+//! key is the full canonical encoding string — collision-free by
+//! construction; hashing is used only to pick a cache shard
+//! ([`fnv1a`]), never to identify an entry.
+//!
+//! Canonicalization rules:
+//!
+//! * **Stable field order** — fields are emitted in one fixed sequence
+//!   regardless of how the request spelled them (JSON object order,
+//!   question-file whitespace, and flag order never matter because the
+//!   key is built from the *parsed* structures).
+//! * **Normalized floats** — every `f64` is encoded via its IEEE bits
+//!   with `-0.0` folded to `0.0` and all NaNs folded to one bit
+//!   pattern, so `1e-4` and `0.0001` collide and `0.1 + 0.2` does not
+//!   collide with `0.3`.
+//! * **Commutative structure is sorted** — conjuncts/disjuncts of a
+//!   predicate and operands of `+`/`*` are encoded then sorted, so
+//!   `a and b` collides with `b and a`.
+//! * **Names, not indices** — attributes are encoded as `Rel.attr`
+//!   through the dataset's schema, so the key survives schema-object
+//!   identity and relation numbering.
+//!
+//! Execution details that cannot change the response — thread counts,
+//! metrics flags — are deliberately **not** part of the key: results
+//! are bit-identical at every thread count (the PR 2 contract), so a
+//! cached document is valid for any of them.
+
+use exq_core::prelude::*;
+use exq_core::question::NumExpr;
+use exq_relstore::aggregate::AggFunc;
+use exq_relstore::{AttrRef, DatabaseSchema, Predicate, Value};
+use std::fmt::Write as _;
+
+/// Everything that identifies an explanation request semantically.
+#[derive(Debug, Clone)]
+pub struct CanonicalRequest<'a> {
+    /// Endpoint tag (`"explain"` or `"report"`): the two produce
+    /// different documents from the same question.
+    pub endpoint: &'a str,
+    /// Catalog dataset name.
+    pub dataset: &'a str,
+    /// The parsed user question.
+    pub question: &'a UserQuestion,
+    /// Explanation attributes (cube dimensions).
+    pub attrs: &'a [AttrRef],
+    /// How many explanations to return.
+    pub top_k: usize,
+    /// Ranking degree.
+    pub kind: DegreeKind,
+    /// Top-K minimality strategy.
+    pub strategy: TopKStrategy,
+    /// Minimality tie-break polarity.
+    pub polarity: MinimalityPolarity,
+    /// Support threshold, if any.
+    pub min_support: Option<f64>,
+    /// Whether the naive engine was forced.
+    pub naive: bool,
+}
+
+/// Build the canonical key string for a request against `schema`.
+pub fn cache_key(schema: &DatabaseSchema, req: &CanonicalRequest<'_>) -> String {
+    let mut key = String::with_capacity(256);
+    let _ = write!(
+        key,
+        "v1;endpoint={};dataset={};dir={:?};smoothing={};",
+        req.endpoint,
+        escape(req.dataset),
+        req.question.direction,
+        canon_f64(req.question.query.smoothing),
+    );
+    key.push_str("aggs=[");
+    for agg in &req.question.query.aggregates {
+        let _ = write!(
+            key,
+            "({},{});",
+            encode_agg_func(schema, &agg.func),
+            encode_predicate(schema, &agg.selection),
+        );
+    }
+    key.push_str("];");
+    let _ = write!(key, "expr={};", encode_expr(&req.question.query.expr));
+    // Dimension *set*: cube output is order-independent.
+    let mut dims: Vec<String> = req.attrs.iter().map(|a| schema.attr_name(*a)).collect();
+    dims.sort();
+    let _ = write!(key, "attrs={};", dims.join(","));
+    let _ = write!(
+        key,
+        "top={};by={:?};strategy={:?};polarity={:?};naive={};min_support={};",
+        req.top_k,
+        req.kind,
+        req.strategy,
+        req.polarity,
+        req.naive,
+        req.min_support.map_or("none".to_string(), canon_f64),
+    );
+    key
+}
+
+/// An `f64` by normalized IEEE bits: `-0.0` → `0.0`, all NaNs → one
+/// canonical NaN. Semantically equal numerals collide; different values
+/// never do.
+pub fn canon_f64(v: f64) -> String {
+    let canon = if v.is_nan() {
+        f64::NAN.to_bits() // one canonical quiet NaN
+    } else if v == 0.0 {
+        0 // folds -0.0
+    } else {
+        v.to_bits()
+    };
+    format!("f64:{canon:016x}")
+}
+
+fn escape(s: &str) -> String {
+    // Keep the key unambiguous: escape the delimiters the encoding uses.
+    s.replace('\\', "\\\\")
+        .replace(';', "\\;")
+        .replace(',', "\\,")
+}
+
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => format!("bool:{b}"),
+        Value::Int(i) => format!("int:{i}"),
+        Value::Float(f) => canon_f64(*f),
+        Value::Str(s) => format!("str:{}", escape(s)),
+    }
+}
+
+fn encode_agg_func(schema: &DatabaseSchema, f: &AggFunc) -> String {
+    match f {
+        AggFunc::CountStar => "count(*)".to_string(),
+        AggFunc::CountDistinct(a) => format!("count_distinct({})", schema.attr_name(*a)),
+        AggFunc::Sum(a) => format!("sum({})", schema.attr_name(*a)),
+        AggFunc::Avg(a) => format!("avg({})", schema.attr_name(*a)),
+        AggFunc::Min(a) => format!("min({})", schema.attr_name(*a)),
+        AggFunc::Max(a) => format!("max({})", schema.attr_name(*a)),
+    }
+}
+
+fn encode_predicate(schema: &DatabaseSchema, p: &Predicate) -> String {
+    match p {
+        Predicate::True => "true".to_string(),
+        Predicate::False => "false".to_string(),
+        Predicate::Atom(a) => format!(
+            "atom({},{:?},{})",
+            schema.attr_name(a.attr),
+            a.op,
+            encode_value(&a.value)
+        ),
+        Predicate::And(children) => {
+            // Conjunction is commutative: sort the encoded children.
+            let mut parts: Vec<String> = children
+                .iter()
+                .map(|c| encode_predicate(schema, c))
+                .collect();
+            parts.sort();
+            format!("and({})", parts.join("&"))
+        }
+        Predicate::Or(children) => {
+            let mut parts: Vec<String> = children
+                .iter()
+                .map(|c| encode_predicate(schema, c))
+                .collect();
+            parts.sort();
+            format!("or({})", parts.join("|"))
+        }
+        Predicate::Not(inner) => format!("not({})", encode_predicate(schema, inner)),
+    }
+}
+
+fn encode_expr(e: &NumExpr) -> String {
+    match e {
+        NumExpr::Const(c) => canon_f64(*c),
+        NumExpr::Agg(i) => format!("q{i}"),
+        NumExpr::Add(a, b) => {
+            // IEEE addition commutes (a+b == b+a bitwise): sort operands.
+            let mut ops = [encode_expr(a), encode_expr(b)];
+            ops.sort();
+            format!("add({},{})", ops[0], ops[1])
+        }
+        NumExpr::Mul(a, b) => {
+            let mut ops = [encode_expr(a), encode_expr(b)];
+            ops.sort();
+            format!("mul({},{})", ops[0], ops[1])
+        }
+        NumExpr::Sub(a, b) => format!("sub({},{})", encode_expr(a), encode_expr(b)),
+        NumExpr::Div(a, b) => format!("div({},{})", encode_expr(a), encode_expr(b)),
+        NumExpr::Log(a) => format!("log({})", encode_expr(a)),
+        NumExpr::Exp(a) => format!("exp({})", encode_expr(a)),
+        NumExpr::Neg(a) => format!("neg({})", encode_expr(a)),
+    }
+}
+
+/// FNV-1a over the key bytes — used only for shard selection.
+pub fn fnv1a(key: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in key.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exq_relstore::{Atom, CmpOp, SchemaBuilder, ValueType as T};
+
+    fn schema() -> DatabaseSchema {
+        SchemaBuilder::new()
+            .relation(
+                "R",
+                &[("id", T::Int), ("g", T::Str), ("ok", T::Str)],
+                &["id"],
+            )
+            .build()
+            .unwrap()
+    }
+
+    fn base_request<'a>(question: &'a UserQuestion, attrs: &'a [AttrRef]) -> CanonicalRequest<'a> {
+        CanonicalRequest {
+            endpoint: "explain",
+            dataset: "test",
+            question,
+            attrs,
+            top_k: 5,
+            kind: DegreeKind::Intervention,
+            strategy: TopKStrategy::MinimalSelfJoin,
+            polarity: MinimalityPolarity::PreferGeneral,
+            min_support: None,
+            naive: false,
+        }
+    }
+
+    fn question_with(schema: &DatabaseSchema, smoothing: f64, swap: bool) -> UserQuestion {
+        let ok = schema.attr("R", "ok").unwrap();
+        let g = schema.attr("R", "g").unwrap();
+        let atoms = |sw: bool| {
+            let a = Predicate::Atom(Atom::eq(ok, "y"));
+            let b = Predicate::Atom(Atom {
+                attr: g,
+                op: CmpOp::Ne,
+                value: "z".into(),
+            });
+            if sw {
+                Predicate::And(vec![b, a])
+            } else {
+                Predicate::And(vec![a, b])
+            }
+        };
+        UserQuestion::new(
+            NumericalQuery::ratio(
+                AggregateQuery::count_star(atoms(swap)),
+                AggregateQuery::count_star(Predicate::Atom(Atom::eq(ok, "n"))),
+            )
+            .with_smoothing(smoothing),
+            Direction::High,
+        )
+    }
+
+    #[test]
+    fn semantically_equal_requests_collide() {
+        let s = schema();
+        let g = [s.attr("R", "g").unwrap()];
+        // Same smoothing spelled two ways, conjuncts in swapped order.
+        let q1 = question_with(&s, 1e-4, false);
+        let q2 = question_with(&s, 0.0001, true);
+        assert_eq!(
+            cache_key(&s, &base_request(&q1, &g)),
+            cache_key(&s, &base_request(&q2, &g))
+        );
+    }
+
+    #[test]
+    fn negative_zero_min_support_collides_with_zero() {
+        let s = schema();
+        let g = [s.attr("R", "g").unwrap()];
+        let q = question_with(&s, 1e-4, false);
+        let mut a = base_request(&q, &g);
+        let mut b = base_request(&q, &g);
+        a.min_support = Some(0.0);
+        b.min_support = Some(-0.0);
+        assert_eq!(cache_key(&s, &a), cache_key(&s, &b));
+        let none = base_request(&q, &g);
+        assert_ne!(cache_key(&s, &a), cache_key(&s, &none));
+    }
+
+    #[test]
+    fn attr_order_is_canonicalized() {
+        let s = schema();
+        let g = s.attr("R", "g").unwrap();
+        let ok = s.attr("R", "ok").unwrap();
+        let q = question_with(&s, 1e-4, false);
+        let fwd = [g, ok];
+        let rev = [ok, g];
+        assert_eq!(
+            cache_key(&s, &base_request(&q, &fwd)),
+            cache_key(&s, &base_request(&q, &rev))
+        );
+    }
+
+    #[test]
+    fn distinct_configs_do_not_collide() {
+        let s = schema();
+        let g = [s.attr("R", "g").unwrap()];
+        let q = question_with(&s, 1e-4, false);
+        let base = cache_key(&s, &base_request(&q, &g));
+        let variants: Vec<CanonicalRequest<'_>> = vec![
+            CanonicalRequest {
+                top_k: 7,
+                ..base_request(&q, &g)
+            },
+            CanonicalRequest {
+                kind: DegreeKind::Aggravation,
+                ..base_request(&q, &g)
+            },
+            CanonicalRequest {
+                strategy: TopKStrategy::NoMinimal,
+                ..base_request(&q, &g)
+            },
+            CanonicalRequest {
+                polarity: MinimalityPolarity::PreferSpecific,
+                ..base_request(&q, &g)
+            },
+            CanonicalRequest {
+                naive: true,
+                ..base_request(&q, &g)
+            },
+            CanonicalRequest {
+                min_support: Some(0.25),
+                ..base_request(&q, &g)
+            },
+            CanonicalRequest {
+                dataset: "other",
+                ..base_request(&q, &g)
+            },
+            CanonicalRequest {
+                endpoint: "report",
+                ..base_request(&q, &g)
+            },
+        ];
+        let mut keys: Vec<String> = variants.iter().map(|v| cache_key(&s, v)).collect();
+        keys.push(base);
+        let unique: std::collections::BTreeSet<&String> = keys.iter().collect();
+        assert_eq!(unique.len(), keys.len(), "{keys:#?}");
+    }
+
+    #[test]
+    fn different_smoothing_and_question_differ() {
+        let s = schema();
+        let g = [s.attr("R", "g").unwrap()];
+        let q1 = question_with(&s, 1e-4, false);
+        let q2 = question_with(&s, 1e-3, false);
+        assert_ne!(
+            cache_key(&s, &base_request(&q1, &g)),
+            cache_key(&s, &base_request(&q2, &g))
+        );
+    }
+
+    #[test]
+    fn float_canonicalization() {
+        assert_eq!(canon_f64(0.0), canon_f64(-0.0));
+        assert_eq!(canon_f64(1e-4), canon_f64(0.0001));
+        assert_eq!(canon_f64(f64::NAN), canon_f64(-f64::NAN));
+        assert_ne!(canon_f64(0.1 + 0.2), canon_f64(0.3));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned: shard placement (and therefore eviction order) must
+        // not drift between builds.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("exq"), fnv1a("exq"));
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+    }
+}

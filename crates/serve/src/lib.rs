@@ -1,0 +1,49 @@
+//! # exq-serve — the resident explanation server
+//!
+//! Turns the one-shot `exq` pipeline into a long-lived service, the
+//! setting the paper's §6 prototype assumed (a resident SQL Server
+//! instance amortizing storage and join work across repeated what-if
+//! questions). Three pieces:
+//!
+//! * a [`catalog::Catalog`] of named datasets whose expensive
+//!   intermediates (semijoin reduction, universal relation) are built
+//!   **once** at startup via [`exq_core::prepared::PreparedDb`] and
+//!   shared across requests;
+//! * a [`cache::ResultCache`] — sharded, byte-budgeted LRU over
+//!   rendered response documents, keyed by the collision-free canonical
+//!   encodings of [`key`] (a cache-hit `POST /v1/explain` is a hash
+//!   lookup plus a memcpy);
+//! * a std-only HTTP/1.1 server ([`server`]) — hand-rolled parser
+//!   ([`http`]), thread-per-connection worker pool, bounded accept
+//!   queue with `503` + `Retry-After` backpressure, per-request read
+//!   timeouts, and cooperative SIGINT/SIGTERM shutdown ([`signal`])
+//!   that drains in-flight work and hands back a final metrics
+//!   snapshot.
+//!
+//! Endpoints (all JSON, same document shapes as `exq --format json`):
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/explain` | ranked top-K explanations for a question |
+//! | `POST /v1/report`  | full report: both rankings, tau, drill-down |
+//! | `GET /v1/datasets` | catalog listing with tuple counts |
+//! | `GET /v1/metrics`  | live `server.*` + engine counters snapshot |
+//! | `GET /healthz`     | liveness probe |
+//!
+//! Everything stays zero-new-dependency (vendored-stub policy from
+//! PR 1): no async runtime, no HTTP crate, no JSON crate, no libc.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod catalog;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod key;
+pub mod server;
+pub mod signal;
+
+pub use cache::ResultCache;
+pub use catalog::{Catalog, Dataset};
+pub use server::{start, start_on, Handle, ServerConfig, SERVER_COUNTERS};

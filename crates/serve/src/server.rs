@@ -1,0 +1,544 @@
+//! The HTTP server: accept loop, bounded worker pool, request routing.
+//!
+//! Threading model: one nonblocking accept thread pushes connections
+//! into a bounded queue; `threads` workers pop and serve **one request
+//! per connection**. When the queue is full the accept thread answers
+//! `503` + `Retry-After` immediately instead of letting latency grow
+//! unbounded (load-shedding backpressure). Shutdown is cooperative: a
+//! flag stops the accept loop, workers drain the queue and finish
+//! in-flight requests, and [`Handle::shutdown`] joins everything and
+//! returns the final metrics snapshot for the caller to flush.
+//!
+//! Request handlers run the explanation pipeline **sequentially** per
+//! request — parallelism comes from serving many requests at once, and
+//! results are bit-identical at every thread count anyway (the PR 2
+//! contract), which is what makes the response cache sound.
+
+use crate::cache::ResultCache;
+use crate::catalog::{Catalog, Dataset};
+use crate::http::{self, Limits, ParseError, Request, Response};
+use crate::json::Json;
+use crate::key::{cache_key, CanonicalRequest};
+use exq_core::jsonout;
+use exq_core::prelude::*;
+use exq_core::qparse;
+use exq_core::report::ReportConfig;
+use exq_obs::{MetricsSink, Snapshot};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Every `server.*` counter the server records, in one place so they
+/// can be pre-registered at startup (a counter that never fires still
+/// appears in snapshots at 0) and catalogued in `assets/obs/counters.txt`.
+pub const SERVER_COUNTERS: &[&str] = &[
+    "server.requests",
+    "server.responses.ok",
+    "server.responses.client_error",
+    "server.responses.server_error",
+    "server.rejected_busy",
+    "server.cache.hits",
+    "server.cache.misses",
+    "server.cache.inserts",
+    "server.cache.evictions",
+    "server.explain.runs",
+    "server.report.runs",
+];
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving requests.
+    pub threads: usize,
+    /// Response-cache budget in bytes (0 disables caching).
+    pub cache_bytes: usize,
+    /// Pending-connection queue depth; beyond it new connections get
+    /// `503` + `Retry-After`.
+    pub queue_depth: usize,
+    /// Per-request wall-clock budget for *reading* the request.
+    pub request_timeout: Duration,
+    /// HTTP parser limits (head/body size, header count).
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            threads: 4,
+            cache_bytes: 32 * 1024 * 1024,
+            queue_depth: 64,
+            request_timeout: Duration::from_secs(10),
+            limits: Limits::default(),
+        }
+    }
+}
+
+struct Inner {
+    catalog: Catalog,
+    cache: ResultCache,
+    sink: MetricsSink,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_cv: Condvar,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`Handle::shutdown`] detaches the threads (they exit with the
+/// process); tests and the CLI always shut down explicitly.
+pub struct Handle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Handle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting, drain queued and in-flight requests, join all
+    /// threads, and return the final metrics snapshot.
+    pub fn shutdown(self) -> Snapshot {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+        for t in self.threads {
+            let _ = t.join();
+        }
+        self.inner.sink.snapshot()
+    }
+}
+
+/// Bind `addr` and start the accept and worker threads. All `server.*`
+/// counters are pre-registered on `sink` so even an idle server exposes
+/// the full catalogue through `GET /v1/metrics`.
+pub fn start(catalog: Catalog, config: ServerConfig, sink: MetricsSink) -> std::io::Result<Handle> {
+    start_on(("127.0.0.1", 0), catalog, config, sink)
+}
+
+/// [`start`] on an explicit address.
+pub fn start_on(
+    addr: impl ToSocketAddrs,
+    catalog: Catalog,
+    config: ServerConfig,
+    sink: MetricsSink,
+) -> std::io::Result<Handle> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local = listener.local_addr()?;
+    for counter in SERVER_COUNTERS {
+        sink.add(counter, 0);
+    }
+    let inner = Arc::new(Inner {
+        cache: ResultCache::new(config.cache_bytes, config.threads.max(1) * 2, sink.clone()),
+        catalog,
+        sink,
+        config: config.clone(),
+        shutdown: AtomicBool::new(false),
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+    });
+    let mut threads = Vec::with_capacity(config.threads + 1);
+    {
+        let inner = Arc::clone(&inner);
+        threads.push(
+            std::thread::Builder::new()
+                .name("exq-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &inner))?,
+        );
+    }
+    for i in 0..config.threads.max(1) {
+        let inner = Arc::clone(&inner);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("exq-serve-worker-{i}"))
+                .spawn(move || worker_loop(&inner))?,
+        );
+    }
+    Ok(Handle {
+        addr: local,
+        inner,
+        threads,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Inner) {
+    // Adaptive poll: the listener is nonblocking (so shutdown can
+    // interrupt the loop), which makes the nap below a floor on request
+    // latency. Poll hot for ~50ms after the last connection so a busy
+    // server answers in microseconds, then back off to 5ms when idle.
+    let mut idle_polls = 0u32;
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                idle_polls = 0;
+                let mut queue = inner.queue.lock().expect("conn queue poisoned");
+                if queue.len() >= inner.config.queue_depth {
+                    drop(queue);
+                    inner.sink.incr("server.rejected_busy");
+                    reject_busy(stream);
+                } else {
+                    queue.push_back(stream);
+                    drop(queue);
+                    inner.queue_cv.notify_one();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                idle_polls = idle_polls.saturating_add(1);
+                std::thread::sleep(if idle_polls < 256 {
+                    Duration::from_micros(200)
+                } else {
+                    Duration::from_millis(5)
+                });
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn reject_busy(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
+    let response =
+        Response::error(503, "server busy; retry shortly").with_header("retry-after", "1");
+    let _ = stream.write_all(&response.to_bytes());
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    // Drain whatever request bytes are in flight before closing, so the
+    // close is a FIN rather than an RST that races the 503 off the wire.
+    let mut sink = [0u8; 512];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let stream = {
+            let mut queue = inner.queue.lock().expect("conn queue poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = inner
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .expect("conn queue poisoned");
+                queue = guard;
+            }
+        };
+        match stream {
+            Some(stream) => serve_connection(inner, stream),
+            None => return,
+        }
+    }
+}
+
+/// Read one request (within the timeout budget), route it, write the
+/// response, close.
+fn serve_connection(inner: &Inner, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let deadline = Instant::now() + inner.config.request_timeout;
+    let response = match read_request(&mut stream, &inner.config.limits, deadline) {
+        Ok(Some(request)) => route(inner, &request),
+        Ok(None) => return, // peer closed without sending anything
+        Err(response) => response,
+    };
+    match response.status {
+        200 => inner.sink.incr("server.responses.ok"),
+        400..=499 => inner.sink.incr("server.responses.client_error"),
+        _ => inner.sink.incr("server.responses.server_error"),
+    }
+    let _ = stream.write_all(&response.to_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn read_request(
+    stream: &mut TcpStream,
+    limits: &Limits,
+    deadline: Instant,
+) -> Result<Option<Request>, Response> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        match http::parse_request(&buf, limits) {
+            Ok(Some((request, _consumed))) => return Ok(Some(request)),
+            Ok(None) => {}
+            Err(e) => return Err(parse_error_response(&e)),
+        }
+        if Instant::now() >= deadline {
+            return Err(Response::error(408, "timed out reading request"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(Response::error(400, "connection closed mid-request"))
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return Err(Response::error(400, "read error")),
+        }
+    }
+}
+
+fn parse_error_response(e: &ParseError) -> Response {
+    Response::error(e.status(), &e.to_string())
+}
+
+fn route(inner: &Inner, request: &Request) -> Response {
+    inner.sink.incr("server.requests");
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => Response::json(200, "{\n  \"status\": \"ok\"\n}\n"),
+        ("GET", "/v1/datasets") => {
+            let mut doc = inner.catalog.datasets_doc();
+            doc.push('\n');
+            Response::json(200, doc)
+        }
+        ("GET", "/v1/metrics") => Response::json(200, inner.sink.snapshot().to_json() + "\n"),
+        ("POST", "/v1/explain") => handle_question(inner, request, Endpoint::Explain),
+        ("POST", "/v1/report") => handle_question(inner, request, Endpoint::Report),
+        (_, "/healthz" | "/v1/datasets" | "/v1/metrics" | "/v1/explain" | "/v1/report") => {
+            Response::error(405, "method not allowed")
+        }
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Explain,
+    Report,
+}
+
+/// Fields shared by `/v1/explain` and `/v1/report` bodies.
+struct QuestionParams {
+    dataset: Arc<Dataset>,
+    question: UserQuestion,
+    attrs: Vec<exq_relstore::AttrRef>,
+    top_k: usize,
+    kind: DegreeKind,
+    strategy: TopKStrategy,
+    polarity: MinimalityPolarity,
+    min_support: Option<f64>,
+    naive: bool,
+}
+
+fn parse_params(inner: &Inner, body: &[u8]) -> Result<QuestionParams, Response> {
+    let doc = crate::json::parse(body).map_err(|e| Response::error(400, &e.to_string()))?;
+    let field_str = |name: &str| -> Result<String, Response> {
+        doc.get(name)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| Response::error(422, &format!("missing or non-string `{name}`")))
+    };
+    let dataset_name = field_str("dataset")?;
+    let dataset = inner
+        .catalog
+        .get(&dataset_name)
+        .ok_or_else(|| Response::error(404, &format!("unknown dataset `{dataset_name}`")))?;
+    let schema = dataset.prepared.db().schema();
+
+    let question_text = field_str("question")?;
+    let question = qparse::parse_question(schema, &question_text)
+        .map_err(|e| Response::error(422, &format!("bad question: {e}")))?;
+
+    let attr_items = doc
+        .get("attrs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| Response::error(422, "missing or non-array `attrs`"))?;
+    let mut attrs = Vec::with_capacity(attr_items.len());
+    for item in attr_items {
+        let name = item
+            .as_str()
+            .ok_or_else(|| Response::error(422, "`attrs` entries must be strings"))?;
+        let (rel, col) = name
+            .split_once('.')
+            .ok_or_else(|| Response::error(422, &format!("bad attr `{name}` (want Rel.attr)")))?;
+        let attr = schema
+            .attr(rel.trim(), col.trim())
+            .map_err(|e| Response::error(422, &format!("bad attr `{name}`: {e}")))?;
+        attrs.push(attr);
+    }
+
+    let opt_field = |name: &str| doc.get(name).filter(|v| !matches!(v, Json::Null));
+    let top_k = match opt_field("top") {
+        None => 5,
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| Response::error(422, "`top` must be a non-negative integer"))?,
+    };
+    let kind = match opt_field("by").map(|v| v.as_str()) {
+        None | Some(Some("interv")) => DegreeKind::Intervention,
+        Some(Some("aggr")) => DegreeKind::Aggravation,
+        _ => return Err(Response::error(422, "`by` must be \"interv\" or \"aggr\"")),
+    };
+    let strategy = match opt_field("strategy").map(|v| v.as_str()) {
+        None | Some(Some("selfjoin")) => TopKStrategy::MinimalSelfJoin,
+        Some(Some("nominimal")) => TopKStrategy::NoMinimal,
+        Some(Some("append")) => TopKStrategy::MinimalAppend,
+        _ => {
+            return Err(Response::error(
+                422,
+                "`strategy` must be \"nominimal\", \"selfjoin\", or \"append\"",
+            ))
+        }
+    };
+    let polarity = match opt_field("polarity").map(|v| v.as_str()) {
+        None | Some(Some("general")) => MinimalityPolarity::PreferGeneral,
+        Some(Some("specific")) => MinimalityPolarity::PreferSpecific,
+        _ => {
+            return Err(Response::error(
+                422,
+                "`polarity` must be \"general\" or \"specific\"",
+            ))
+        }
+    };
+    let min_support = match opt_field("min_support") {
+        None => None,
+        Some(v) => Some(
+            v.as_f64()
+                .ok_or_else(|| Response::error(422, "`min_support` must be a number"))?,
+        ),
+    };
+    let naive = match opt_field("naive") {
+        None => false,
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| Response::error(422, "`naive` must be a boolean"))?,
+    };
+    Ok(QuestionParams {
+        dataset,
+        question,
+        attrs,
+        top_k,
+        kind,
+        strategy,
+        polarity,
+        min_support,
+        naive,
+    })
+}
+
+fn handle_question(inner: &Inner, request: &Request, endpoint: Endpoint) -> Response {
+    let params = match parse_params(inner, &request.body) {
+        Ok(params) => params,
+        Err(response) => return response,
+    };
+    let endpoint_name = match endpoint {
+        Endpoint::Explain => "explain",
+        Endpoint::Report => "report",
+    };
+    let schema = params.dataset.prepared.db().schema();
+    let key = cache_key(
+        schema,
+        &CanonicalRequest {
+            endpoint: endpoint_name,
+            dataset: &params.dataset.name,
+            question: &params.question,
+            attrs: &params.attrs,
+            top_k: params.top_k,
+            kind: params.kind,
+            strategy: params.strategy,
+            polarity: params.polarity,
+            min_support: params.min_support,
+            naive: params.naive,
+        },
+    );
+    if let Some(doc) = inner.cache.get(&key) {
+        return Response::json(200, doc.as_bytes().to_vec());
+    }
+    let rendered = match endpoint {
+        Endpoint::Explain => run_explain(inner, &params),
+        Endpoint::Report => run_report(inner, &params),
+    };
+    match rendered {
+        Ok(doc) => {
+            let doc = Arc::new(doc);
+            inner.cache.insert(&key, Arc::clone(&doc));
+            Response::json(200, doc.as_bytes().to_vec())
+        }
+        Err(message) => Response::error(422, &message),
+    }
+}
+
+/// A request-scoped explainer over the dataset's shared intermediates.
+/// Each request gets its own recording sink, so the metrics embedded in
+/// the response describe that request's work alone (deterministic →
+/// cacheable); the pipeline itself runs sequentially per request.
+fn request_explainer<'a>(
+    params: &QuestionParams,
+    dataset: &'a Dataset,
+    sink: &MetricsSink,
+) -> Explainer<'a> {
+    let mut explainer = dataset
+        .prepared
+        .explainer(params.question.clone())
+        .exec(exq_relstore::ExecConfig::sequential().with_metrics(sink.clone()))
+        .attrs(params.attrs.iter().copied())
+        .topk_strategy(params.strategy)
+        .polarity(params.polarity);
+    if let Some(threshold) = params.min_support {
+        explainer = explainer.min_support(threshold);
+    }
+    if params.naive {
+        explainer = explainer.force_naive();
+    }
+    explainer
+}
+
+fn run_explain(inner: &Inner, params: &QuestionParams) -> Result<String, String> {
+    inner.sink.incr("server.explain.runs");
+    let request_sink = MetricsSink::recording();
+    let db = params.dataset.prepared.db();
+    let explainer = request_explainer(params, &params.dataset, &request_sink);
+    let q_d = explainer.q_d().map_err(|e| e.to_string())?;
+    let (table, choice) = explainer.table().map_err(|e| e.to_string())?;
+    let ranked = explainer
+        .top(params.kind, params.top_k)
+        .map_err(|e| e.to_string())?;
+    let mut doc = jsonout::explain_doc(
+        db,
+        q_d,
+        choice,
+        table.len(),
+        &ranked,
+        &request_sink.snapshot(),
+    );
+    doc.push('\n');
+    Ok(doc)
+}
+
+fn run_report(inner: &Inner, params: &QuestionParams) -> Result<String, String> {
+    inner.sink.incr("server.report.runs");
+    let request_sink = MetricsSink::recording();
+    let explainer = request_explainer(params, &params.dataset, &request_sink);
+    let config = ReportConfig {
+        top_k: params.top_k,
+        drill_best: true,
+        exec: exq_relstore::ExecConfig::sequential().with_metrics(request_sink.clone()),
+    };
+    let mut doc = jsonout::report_doc(&explainer, &config).map_err(|e| e.to_string())?;
+    doc.push('\n');
+    Ok(doc)
+}

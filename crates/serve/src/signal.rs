@@ -1,0 +1,73 @@
+//! SIGINT/SIGTERM → a global flag, with no libc dependency.
+//!
+//! The handler does exactly one async-signal-safe thing: a relaxed
+//! atomic store. The serving loop (see `exq serve` in the binary crate)
+//! polls [`requested`] and triggers the cooperative shutdown path —
+//! drain in-flight requests, join workers, flush the final metrics
+//! snapshot — from ordinary thread context, never from the handler.
+//!
+//! On non-Unix targets [`install`] is a no-op and shutdown happens only
+//! via [`request`] (used by tests) or process exit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether a shutdown signal (or [`request`]) has been seen.
+pub fn requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Trip the shutdown flag programmatically (what the signal handler
+/// does; exposed for tests and embedders).
+pub fn request() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Reset the flag — test helper so sequential tests can each observe a
+/// fresh shutdown cycle.
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+/// Install handlers for SIGINT and SIGTERM that trip the flag.
+#[cfg(unix)]
+pub fn install() {
+    // The workspace is zero-dependency, so `libc` is out; declare the
+    // two C symbols we need. `signal` is in every Unix libc, and the
+    // handler body is a single atomic store (async-signal-safe).
+    #[allow(unsafe_code)]
+    {
+        extern "C" fn on_signal(_signum: i32) {
+            SHUTDOWN.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// No-op off Unix.
+#[cfg(not(unix))]
+pub fn install() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_reset_toggle_the_flag() {
+        reset();
+        assert!(!requested());
+        request();
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+}

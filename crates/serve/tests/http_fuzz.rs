@@ -1,0 +1,100 @@
+//! The HTTP parser and JSON reader sit directly on untrusted bytes, so
+//! they must be *total*: any input returns `Ok`/`Err`/"need more",
+//! never a panic. Fuzz them with arbitrary byte soup, truncations of
+//! valid requests, oversized heads, and bad chunked framing.
+
+use exq_serve::http::{parse_request, Limits, ParseError};
+use exq_serve::json;
+use proptest::prelude::*;
+
+const VALID: &[u8] = b"POST /v1/explain HTTP/1.1\r\nhost: exq\r\ncontent-length: 27\r\n\r\n{\"dataset\": \"dblp\", \"x\": 1}";
+
+fn mutate(base: &[u8], edits: &[(u16, u8)]) -> Vec<u8> {
+    let mut bytes = base.to_vec();
+    for &(pos, b) in edits {
+        let i = pos as usize % (bytes.len() + 1);
+        if i == bytes.len() {
+            bytes.push(b);
+        } else {
+            bytes[i] = b;
+        }
+    }
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512 })]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let _ = parse_request(&bytes, &Limits::default());
+        // Tight limits exercise every rejection path too.
+        let tiny = Limits { max_head: 48, max_body: 8, max_headers: 2 };
+        let _ = parse_request(&bytes, &tiny);
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_request_is_incomplete_not_wrong(
+        cut in 0usize..60,
+    ) {
+        let cut = cut.min(VALID.len() - 1);
+        // A strict prefix must either ask for more bytes or (once the
+        // head is complete) already be parseable — never an error.
+        prop_assert!(parse_request(&VALID[..cut], &Limits::default()).is_ok());
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutated_requests(
+        edits in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..10),
+    ) {
+        let _ = parse_request(&mutate(VALID, &edits), &Limits::default());
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected_not_buffered(
+        pad in 1usize..2000,
+    ) {
+        let limits = Limits { max_head: 256, ..Limits::default() };
+        let mut raw = b"GET /".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 256 + pad));
+        // No terminator in sight and already over budget: the parser
+        // must fail now so the server stops reading.
+        prop_assert_eq!(
+            parse_request(&raw, &limits).unwrap_err(),
+            ParseError::HeadTooLarge
+        );
+    }
+
+    #[test]
+    fn bad_chunking_is_rejected_deterministically(
+        chunk_line in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        // Whatever the chunk body looks like, a Transfer-Encoding
+        // header is refused up front (501), so malformed chunk framing
+        // can never desynchronize the connection.
+        let mut raw = b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n".to_vec();
+        raw.extend_from_slice(&chunk_line);
+        raw.extend_from_slice(b"\r\n");
+        prop_assert_eq!(
+            parse_request(&raw, &Limits::default()).unwrap_err(),
+            ParseError::UnsupportedTransferEncoding
+        );
+    }
+
+    #[test]
+    fn json_reader_never_panics(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let _ = json::parse(&bytes);
+    }
+
+    #[test]
+    fn json_reader_never_panics_on_mutated_documents(
+        edits in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..8),
+    ) {
+        let base = br#"{"dataset": "dblp", "attrs": ["Author.inst"], "top": 3, "min_support": 0.5}"#;
+        let _ = json::parse(&mutate(base, &edits));
+    }
+}

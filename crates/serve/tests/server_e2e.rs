@@ -1,0 +1,327 @@
+//! End-to-end tests over a real socket: routing, caching, error paths,
+//! backpressure, and graceful shutdown accounting.
+
+use exq_relstore::{Database, ExecConfig, SchemaBuilder, ValueType as T};
+use exq_serve::{client, Catalog, ServerConfig, SERVER_COUNTERS};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Two joined relations, enough signal for a real ranking.
+fn test_db() -> Database {
+    let schema = SchemaBuilder::new()
+        .relation("A", &[("id", T::Int), ("g", T::Str)], &["id"])
+        .relation(
+            "B",
+            &[("id", T::Int), ("a", T::Int), ("ok", T::Str)],
+            &["id"],
+        )
+        .standard_fk("B", &["a"], "A")
+        .build()
+        .unwrap();
+    let mut db = Database::new(schema);
+    for (id, g) in [(1, "x"), (2, "y"), (3, "z")] {
+        db.insert("A", vec![id.into(), g.into()]).unwrap();
+    }
+    for (id, a, ok) in [
+        (10, 1, "y"),
+        (11, 1, "y"),
+        (12, 1, "n"),
+        (13, 2, "y"),
+        (14, 2, "n"),
+        (15, 3, "n"),
+    ] {
+        db.insert("B", vec![id.into(), a.into(), ok.into()])
+            .unwrap();
+    }
+    db
+}
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.insert_database("test", Arc::new(test_db()), &ExecConfig::sequential())
+        .unwrap();
+    c
+}
+
+fn start(config: ServerConfig) -> exq_serve::Handle {
+    exq_serve::start(catalog(), config, exq_obs::MetricsSink::recording()).unwrap()
+}
+
+const EXPLAIN_BODY: &str = r#"{
+  "dataset": "test",
+  "question": "agg y = count(*) where ok = 'y'\nagg n = count(*) where ok = 'n'\nexpr y / n\ndir high\nsmoothing 0.0001",
+  "attrs": ["A.g"],
+  "top": 3
+}"#;
+
+/// Zero the digits after every `"total_ns": ` so span wall-times don't
+/// break byte comparisons (same normalization the CLI tests use).
+fn normalize(text: &str) -> String {
+    let mut out = String::new();
+    for line in text.lines() {
+        match line.find("\"total_ns\": ") {
+            Some(idx) => {
+                let head = &line[..idx + "\"total_ns\": ".len()];
+                let tail: String = line[idx + "\"total_ns\": ".len()..]
+                    .chars()
+                    .skip_while(char::is_ascii_digit)
+                    .collect();
+                out.push_str(head);
+                out.push('0');
+                out.push_str(&tail);
+            }
+            None => out.push_str(line),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn health_datasets_metrics_and_errors() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.addr();
+
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains("\"status\": \"ok\""));
+
+    let datasets = client::get(addr, "/v1/datasets").unwrap();
+    assert_eq!(datasets.status, 200);
+    assert!(
+        datasets.text().contains("\"name\": \"test\""),
+        "{}",
+        datasets.text()
+    );
+    assert!(
+        datasets.text().contains("\"tuples\": 9"),
+        "{}",
+        datasets.text()
+    );
+
+    // Every catalogued server counter appears in /v1/metrics even on an
+    // idle server (pre-registered at 0).
+    let metrics = client::get(addr, "/v1/metrics").unwrap();
+    for counter in SERVER_COUNTERS {
+        assert!(
+            metrics.text().contains(&format!("\"{counter}\"")),
+            "missing {counter} in {}",
+            metrics.text()
+        );
+    }
+
+    assert_eq!(client::get(addr, "/nope").unwrap().status, 404);
+    assert_eq!(client::get(addr, "/v1/explain").unwrap().status, 405);
+    assert_eq!(
+        client::post_json(addr, "/v1/explain", "{not json")
+            .unwrap()
+            .status,
+        400
+    );
+    assert_eq!(
+        client::post_json(addr, "/v1/explain", "{}").unwrap().status,
+        422
+    );
+    assert_eq!(
+        client::post_json(
+            addr,
+            "/v1/explain",
+            r#"{"dataset": "absent", "question": "x", "attrs": []}"#
+        )
+        .unwrap()
+        .status,
+        404
+    );
+    let bad_question = client::post_json(
+        addr,
+        "/v1/explain",
+        r#"{"dataset": "test", "question": "agg a = frobnicate(*)", "attrs": ["A.g"]}"#,
+    )
+    .unwrap();
+    assert_eq!(bad_question.status, 422);
+    assert!(bad_question.text().contains("\"error\""));
+
+    let snapshot = handle.shutdown();
+    assert_eq!(snapshot.counter("server.requests"), 9);
+    assert_eq!(snapshot.counter("server.responses.ok"), 3);
+    assert_eq!(snapshot.counter("server.responses.client_error"), 6);
+    assert_eq!(snapshot.counter("server.responses.server_error"), 0);
+}
+
+#[test]
+fn explain_cold_then_cached_is_byte_identical() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.addr();
+
+    let cold = client::post_json(addr, "/v1/explain", EXPLAIN_BODY).unwrap();
+    assert_eq!(cold.status, 200);
+    let text = cold.text();
+    assert!(text.contains("\"engine\": \"Cube\""), "{text}");
+    assert!(text.contains("\"explanation\": \"[A.g = x]\""), "{text}");
+
+    // Same question spelled differently: extra whitespace in the JSON,
+    // smoothing as a different numeral → same cache entry, so the
+    // response bytes are identical down to the span wall-times.
+    let respelled = r#"{
+  "top": 3,
+  "attrs": ["A.g"],
+  "question": "agg y = count(*) where ok = 'y'\nagg n = count(*) where ok = 'n'\nexpr y / n\ndir high\nsmoothing 1e-4",
+  "dataset": "test"
+}"#;
+    let warm = client::post_json(addr, "/v1/explain", respelled).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(cold.body, warm.body, "cache hit must return the cold bytes");
+
+    // A different ranking config misses the cache.
+    let other = client::post_json(
+        addr,
+        "/v1/explain",
+        &EXPLAIN_BODY.replace("\"top\": 3", "\"top\": 1"),
+    )
+    .unwrap();
+    assert_eq!(other.status, 200);
+    assert_ne!(cold.body, other.body);
+
+    let snapshot = handle.shutdown();
+    assert_eq!(snapshot.counter("server.cache.hits"), 1);
+    assert_eq!(snapshot.counter("server.cache.misses"), 2);
+    assert_eq!(snapshot.counter("server.explain.runs"), 2);
+}
+
+#[test]
+fn report_endpoint_returns_rankings_and_drill() {
+    let handle = start(ServerConfig::default());
+    let report = client::post_json(handle.addr(), "/v1/report", EXPLAIN_BODY).unwrap();
+    assert_eq!(report.status, 200);
+    let text = report.text();
+    for key in [
+        "\"rankings\": {",
+        "\"intervention\": [",
+        "\"aggravation\": [",
+        "\"tau\":",
+        "\"drill\": {",
+        "\"mu_hybrid\":",
+    ] {
+        assert!(text.contains(key), "missing {key} in {text}");
+    }
+    let snapshot = handle.shutdown();
+    assert_eq!(snapshot.counter("server.report.runs"), 1);
+}
+
+/// N parallel clients all get the same normalized document, at 1, 2,
+/// and 7 worker threads.
+#[test]
+fn parallel_clients_get_identical_normalized_responses() {
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 7] {
+        let handle = start(ServerConfig {
+            threads,
+            ..ServerConfig::default()
+        });
+        let addr = handle.addr();
+        let bodies: Vec<String> = std::thread::scope(|scope| {
+            let clients: Vec<_> = (0..6)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let response =
+                            client::post_json(addr, "/v1/explain", EXPLAIN_BODY).unwrap();
+                        assert_eq!(response.status, 200);
+                        normalize(&response.text())
+                    })
+                })
+                .collect();
+            clients.into_iter().map(|c| c.join().unwrap()).collect()
+        });
+        for body in &bodies {
+            assert_eq!(body, &bodies[0], "divergent response at {threads} threads");
+        }
+        match &reference {
+            None => reference = Some(bodies[0].clone()),
+            Some(expected) => assert_eq!(
+                &bodies[0], expected,
+                "thread count {threads} changed the normalized document"
+            ),
+        }
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn zero_queue_depth_sheds_load_with_503_and_retry_after() {
+    let handle = start(ServerConfig {
+        queue_depth: 0,
+        ..ServerConfig::default()
+    });
+    let response = client::get(handle.addr(), "/healthz").unwrap();
+    assert_eq!(response.status, 503);
+    assert_eq!(response.header("retry-after"), Some("1"));
+    let snapshot = handle.shutdown();
+    assert_eq!(snapshot.counter("server.rejected_busy"), 1);
+    assert_eq!(snapshot.counter("server.requests"), 0);
+}
+
+#[test]
+fn oversized_body_is_rejected_with_413() {
+    let handle = start(ServerConfig {
+        limits: exq_serve::http::Limits {
+            max_body: 64,
+            ..exq_serve::http::Limits::default()
+        },
+        ..ServerConfig::default()
+    });
+    let big = format!(
+        r#"{{"dataset": "test", "question": "{}", "attrs": []}}"#,
+        "x".repeat(200)
+    );
+    let response = client::post_json(handle.addr(), "/v1/explain", &big).unwrap();
+    assert_eq!(response.status, 413);
+    handle.shutdown();
+}
+
+#[test]
+fn slow_request_times_out_with_408() {
+    let handle = start(ServerConfig {
+        request_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    // Open a connection, send half a request, then stall.
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .write_all(b"POST /v1/explain HTTP/1.1\r\ncontent-length: 100\r\n\r\nhalf")
+        .unwrap();
+    let mut response = String::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 408 "), "{response}");
+    handle.shutdown();
+}
+
+/// Shutdown drains: requests accepted before the signal complete.
+#[test]
+fn shutdown_completes_queued_work() {
+    let handle = start(ServerConfig {
+        threads: 2,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let workers: Vec<_> = (0..4)
+        .map(|_| std::thread::spawn(move || client::post_json(addr, "/v1/explain", EXPLAIN_BODY)))
+        .collect();
+    // Give the clients a moment to be accepted, then shut down while
+    // some are likely still in flight.
+    std::thread::sleep(Duration::from_millis(50));
+    let snapshot = handle.shutdown();
+    let mut ok = 0;
+    for w in workers {
+        if let Ok(Ok(response)) = w.join() {
+            assert_eq!(response.status, 200);
+            ok += 1;
+        }
+    }
+    // Everything the server accepted it answered; the final snapshot
+    // saw every completed response.
+    assert_eq!(snapshot.counter("server.responses.ok"), ok);
+}

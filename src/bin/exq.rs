@@ -24,8 +24,8 @@ use exq::analyze::{self, SourceFile};
 use exq::core::explainer::Explainer;
 use exq::core::explanation::Explanation;
 use exq::core::prelude::*;
-use exq::core::qparse;
-use exq::obs::{escape_json, MetricsSink};
+use exq::core::{jsonout, qparse};
+use exq::obs::MetricsSink;
 use exq::relstore::{csv, parse, Database, ExecConfig};
 use std::collections::BTreeMap;
 use std::fs;
@@ -257,16 +257,6 @@ fn cmd_validate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// A float as a JSON token (`null` for non-finite values, which bare
-/// JSON cannot represent).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
 fn cmd_explain(args: &Args) -> Result<(), String> {
     let obs = Obs::from_args(args)?;
     let db = load_database(args, &obs)?;
@@ -300,50 +290,13 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     }
     let ranked = explainer.top(kind, k).map_err(|e| e.to_string())?;
     if obs.json {
-        // One JSON document on stdout, nothing on stderr.
-        let mut out = String::from("{\n");
-        out.push_str(&format!("  \"q_d\": {},\n", json_f64(q_d)));
-        out.push_str(&format!("  \"engine\": \"{choice:?}\",\n"));
-        out.push_str(&format!("  \"candidates\": {},\n", table.len()));
-        out.push_str("  \"top\": [\n");
-        for (i, r) in ranked.iter().enumerate() {
-            let sep = if i + 1 == ranked.len() { "" } else { "," };
-            out.push_str(&format!(
-                "    {{ \"rank\": {}, \"explanation\": \"{}\", \"degree\": {} }}{sep}\n",
-                r.rank,
-                escape_json(&r.explanation.display(&db).to_string()),
-                json_f64(r.degree)
-            ));
-        }
-        out.push_str("  ],\n");
+        // One JSON document on stdout, nothing on stderr — same
+        // serializer the exq-serve HTTP endpoints use.
         let snapshot = obs.sink.snapshot();
-        out.push_str("  \"notes\": [\n");
-        for (i, note) in snapshot.notes.iter().enumerate() {
-            let sep = if i + 1 == snapshot.notes.len() {
-                ""
-            } else {
-                ","
-            };
-            out.push_str(&format!("    \"{}\"{sep}\n", escape_json(note)));
-        }
-        out.push_str("  ],\n");
-        // Indent the snapshot's own JSON to nest it as a field.
-        let metrics = snapshot
-            .to_json()
-            .lines()
-            .enumerate()
-            .map(|(i, l)| {
-                if i == 0 {
-                    l.to_string()
-                } else {
-                    format!("  {l}")
-                }
-            })
-            .collect::<Vec<_>>()
-            .join("\n");
-        out.push_str(&format!("  \"metrics\": {metrics}\n"));
-        out.push('}');
-        println!("{out}");
+        println!(
+            "{}",
+            jsonout::explain_doc(&db, q_d, choice, table.len(), &ranked, &snapshot)
+        );
     } else {
         for r in &ranked {
             println!(
@@ -379,8 +332,13 @@ fn cmd_report(args: &Args) -> Result<(), String> {
         // section sees the whole run.
         exec: args.exec()?.with_metrics(obs.sink.clone()),
     };
-    let text = exq::core::report::generate(&explainer, &config).map_err(|e| e.to_string())?;
-    print!("{text}");
+    if obs.json {
+        let doc = jsonout::report_doc(&explainer, &config).map_err(|e| e.to_string())?;
+        println!("{doc}");
+    } else {
+        let text = exq::core::report::generate(&explainer, &config).map_err(|e| e.to_string())?;
+        print!("{text}");
+    }
     obs.finish()
 }
 
@@ -393,6 +351,14 @@ fn cmd_drill(args: &Args) -> Result<(), String> {
     let phi = Explanation::from_predicate(&pred)
         .ok_or("--phi must be a conjunction of comparisons (no or/not)")?;
     let report = explainer.explain(&phi).map_err(|e| e.to_string())?;
+    if obs.json {
+        let snapshot = obs.sink.snapshot();
+        println!(
+            "{}",
+            jsonout::drill_doc(&db, &phi.display(&db).to_string(), &report, &snapshot)
+        );
+        return obs.finish();
+    }
     println!("phi       = {}", phi.display(&db));
     println!("mu_interv = {}", report.mu_interv);
     println!("mu_aggr   = {}", report.mu_aggr);
@@ -412,6 +378,112 @@ fn cmd_drill(args: &Args) -> Result<(), String> {
         }
     }
     obs.finish()
+}
+
+/// Parse one `--preload NAME=SOURCE` spec into a catalog entry.
+/// `SOURCE` is either a directory (schema.exq + per-relation CSVs) or
+/// `gen:NAME` for a built-in seeded generator.
+fn preload_dataset(
+    catalog: &mut exq::serve::Catalog,
+    spec: &str,
+    exec: &ExecConfig,
+) -> Result<(), String> {
+    use exq::datagen::{dblp, natality, paper_examples};
+    use std::sync::Arc;
+    let (name, source) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("--preload takes NAME=DIR or NAME=gen:SPEC, got `{spec}`"))?;
+    match source.strip_prefix("gen:") {
+        Some(generator) => {
+            let db = match generator {
+                "dblp" => dblp::generate(&dblp::DblpConfig::default()),
+                "dblp-small" => dblp::generate(&dblp::DblpConfig {
+                    papers_per_year_base: 6,
+                    authors_per_institution: 4,
+                    ..dblp::DblpConfig::default()
+                }),
+                "natality" => natality::generate(&natality::NatalityConfig::default()),
+                "figure3" => paper_examples::figure3(),
+                other => {
+                    return Err(format!(
+                        "unknown generator `{other}` (dblp|dblp-small|natality|figure3)"
+                    ))
+                }
+            };
+            catalog.insert_database(name, Arc::new(db), exec)
+        }
+        None => catalog.load_dir(name, std::path::Path::new(source), exec),
+    }
+}
+
+/// `exq serve`: load the catalog, bind, serve until SIGINT/SIGTERM,
+/// then drain in-flight requests and flush the final metrics snapshot.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let obs = Obs::from_args(args)?;
+    let addr = args.optional("addr").unwrap_or("127.0.0.1:8080");
+    let exec = args.exec()?;
+    let cache_mb: usize = args.optional("cache-mb").map_or(Ok(32), |s| {
+        s.parse().map_err(|_| format!("bad --cache-mb `{s}`"))
+    })?;
+    let queue_depth: usize = args.optional("queue-depth").map_or(Ok(64), |s| {
+        s.parse().map_err(|_| format!("bad --queue-depth `{s}`"))
+    })?;
+    let preloads = args.many("preload");
+    if preloads.is_empty() {
+        return Err("serve needs at least one --preload NAME=DIR or NAME=gen:SPEC".to_string());
+    }
+    let mut catalog = exq::serve::Catalog::new();
+    for spec in preloads {
+        let t0 = std::time::Instant::now();
+        preload_dataset(&mut catalog, spec, &exec)?;
+        eprintln!("preloaded {spec} in {:.2?}", t0.elapsed());
+    }
+
+    exq::serve::signal::install();
+    let sink = MetricsSink::recording();
+    let config = exq::serve::ServerConfig {
+        threads: match args.optional("threads") {
+            // `--threads` controls the worker pool here; dataset
+            // preparation above already used it via `exec`.
+            Some(_) => exec.threads(),
+            None => 4,
+        },
+        cache_bytes: cache_mb * 1024 * 1024,
+        queue_depth,
+        ..exq::serve::ServerConfig::default()
+    };
+    let threads = config.threads;
+    let handle = exq::serve::start_on(addr, catalog, config, sink)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    // Machine-readable ready line (the CI smoke job and loadtest parse
+    // the port from it), then serve until a signal lands.
+    println!(
+        "ready: listening on http://{} ({threads} workers)",
+        handle.addr()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    while !exq::serve::signal::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("signal received; draining in-flight requests");
+    let snapshot = handle.shutdown();
+    if let Some(path) = &obs.metrics_out {
+        let json = snapshot.to_json();
+        if path == "-" {
+            println!("{json}");
+        } else {
+            fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote final metrics snapshot to {path}");
+        }
+    }
+    eprintln!(
+        "shutdown complete: {} requests served, {} cache hits / {} misses",
+        snapshot.counter("server.requests"),
+        snapshot.counter("server.cache.hits"),
+        snapshot.counter("server.cache.misses"),
+    );
+    Ok(())
 }
 
 /// `exq check SCHEMA [QUESTION…] [--format pretty|json]`.
@@ -488,28 +560,33 @@ fn cmd_check(argv: &[String]) -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: exq <check|schema|validate|profile|explain|report|drill> [--flags]
+const USAGE: &str =
+    "usage: exq <check|schema|validate|profile|explain|report|drill|serve> [--flags]
   exq check    SCHEMA [QUESTION...] [--format pretty|json]
   exq schema   --schema FILE
   exq validate --schema FILE --table Rel=FILE...
   exq profile  --schema FILE --table Rel=FILE... [--threads N] [--metrics PATH|-] [--trace]
   exq report   --schema FILE --table Rel=FILE... --question FILE --attrs ... \\
-               [--top K] [--threads N] [--metrics PATH|-] [--trace]
+               [--top K] [--threads N] [--format pretty|json] [--metrics PATH|-] [--trace]
   exq explain  --schema FILE --table Rel=FILE... --question FILE \\
                --attrs Rel.a,Rel.b [--top K] [--by interv|aggr] \\
                [--strategy nominimal|selfjoin|append] [--polarity general|specific] \\
                [--min-support N] [--naive] [--dump-m FILE] [--threads N] \\
                [--format pretty|json] [--metrics PATH|-] [--trace]
   exq drill    --schema FILE --table Rel=FILE... --question FILE --phi \"a = 'v'\" \\
-               [--threads N] [--metrics PATH|-] [--trace]
+               [--threads N] [--format pretty|json] [--metrics PATH|-] [--trace]
+  exq serve    --addr HOST:PORT --preload NAME=DIR|NAME=gen:SPEC... \\
+               [--threads N] [--cache-mb MB] [--queue-depth N] [--metrics PATH|-]
 
 --threads N pins the executor to N OS threads (default: all available
 cores). Results are bit-identical at every thread count.
 --metrics PATH writes a JSON counter/span snapshot after the run (`-`
 for stdout); counters are bit-identical at every thread count.
---trace prints a per-span timing tree to stderr. --format json (explain
-only) emits one machine-readable JSON document on stdout and keeps
-stderr empty.";
+--trace prints a per-span timing tree to stderr. --format json (explain,
+report, drill) emits one machine-readable JSON document on stdout and
+keeps stderr empty — the same document shape `exq serve` returns.
+serve runs until SIGINT/SIGTERM, then drains in-flight requests and
+flushes a final metrics snapshot (--metrics PATH).";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -531,6 +608,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&args),
         "report" => cmd_report(&args),
         "drill" => cmd_drill(&args),
+        "serve" => cmd_serve(&args),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
     match result {

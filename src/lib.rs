@@ -15,7 +15,10 @@
 //!   tolerant parsing plus semantic lint passes producing multi-error
 //!   diagnostics with stable codes, spans, and fix suggestions;
 //! * [`datagen`] (`exq-datagen`) — seeded synthetic datasets standing in
-//!   for the paper's DBLP, natality, and Geo-DBLP data.
+//!   for the paper's DBLP, natality, and Geo-DBLP data;
+//! * [`serve`] (`exq-serve`) — the resident HTTP explanation server:
+//!   dataset catalog with shared pre-built intermediates, canonical-key
+//!   LRU result cache, and a std-only HTTP/1.1 front end (`exq serve`).
 //!
 //! See the `examples/` directory for end-to-end walkthroughs
 //! (`quickstart`, `dblp_bump`, `natality`, `sigmod_pods`, `convergence`)
@@ -30,6 +33,7 @@ pub use exq_core as core;
 pub use exq_datagen as datagen;
 pub use exq_obs as obs;
 pub use exq_relstore as relstore;
+pub use exq_serve as serve;
 
 /// Everything an application typically needs.
 pub mod prelude {
