@@ -144,8 +144,9 @@ pub fn generate(explainer: &Explainer<'_>, config: &ReportConfig) -> Result<Stri
         }
     }
 
-    // -- Metrics. Counters only: they are deterministic across thread
-    // counts, so a saved report stays byte-stable (wall-clock spans go to
+    // -- Metrics. Counters and value histograms only: both are
+    // deterministic across thread counts, so a saved report stays
+    // byte-stable (wall-clock spans and latency histograms go to
     // `--metrics`/`--trace` instead).
     let sink = config.exec.metrics();
     if sink.is_enabled() {
@@ -153,6 +154,11 @@ pub fn generate(explainer: &Explainer<'_>, config: &ReportConfig) -> Result<Stri
         let _ = writeln!(out, "## Metrics");
         for (name, v) in &snapshot.counters {
             let _ = writeln!(out, "{name} = {v}");
+        }
+        for (name, h) in &snapshot.histograms {
+            if h.kind == exq_obs::HistKind::Values {
+                let _ = writeln!(out, "{name} = count {}, sum {}", h.count, h.sum);
+            }
         }
         let _ = writeln!(out);
     }

@@ -1,0 +1,311 @@
+//! Deterministic log-bucketed histograms.
+//!
+//! The bucket layout is log-linear (HDR-style): each power-of-two
+//! *octave* is split into `2^SUB_BUCKET_BITS = 4` equal sub-buckets, so
+//! relative bucket width is bounded by 25% everywhere while the whole
+//! `u64` range fits in ≤ 252 buckets. Bucketing is pure integer
+//! arithmetic on the recorded value — no floats, no sampling — so for
+//! deterministic inputs the bucket counts are **bit-identical across
+//! thread counts**, extending the engine's determinism contract from
+//! counters to distributions.
+//!
+//! Wall-clock histograms (latencies) are the exception, exactly like
+//! span durations: their bucket contents depend on timing, so
+//! [`crate::Snapshot::normalized`] collapses them to their sample count.
+
+use std::fmt;
+
+/// Number of sub-bucket bits per octave: 4 sub-buckets, ≤ 25% width.
+const SUB_BUCKET_BITS: u32 = 2;
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+
+/// What a histogram's samples mean — and whether they are deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HistKind {
+    /// Plain values (row counts, sizes). Deterministic across thread
+    /// counts; survive [`crate::Snapshot::normalized`] untouched.
+    Values,
+    /// Wall-clock durations in nanoseconds. *Not* deterministic;
+    /// normalization keeps only the sample count.
+    WallClock,
+}
+
+impl HistKind {
+    /// Stable lower-case name used in JSON snapshots.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HistKind::Values => "values",
+            HistKind::WallClock => "wall_clock",
+        }
+    }
+}
+
+impl fmt::Display for HistKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The bucket index for value `v`.
+///
+/// Values below `SUB_BUCKETS` get their own unit-width bucket; above
+/// that, the top `SUB_BUCKET_BITS + 1` significant bits select the
+/// bucket inside the value's octave.
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BUCKET_BITS
+    let octave = (msb - SUB_BUCKET_BITS) as usize;
+    let shift = msb - SUB_BUCKET_BITS;
+    (octave + 1) * SUB_BUCKETS + ((v >> shift) as usize - SUB_BUCKETS)
+}
+
+/// The largest value that falls into bucket `i` (inclusive upper bound).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i < SUB_BUCKETS {
+        return i as u64;
+    }
+    let octave = i / SUB_BUCKETS - 1;
+    let offset = (i % SUB_BUCKETS) as u64;
+    ((offset + SUB_BUCKETS as u64 + 1) << octave) - 1
+}
+
+/// A fixed-layout log-bucketed histogram over `u64` samples.
+///
+/// Bucket storage grows on demand (most histograms only ever touch a
+/// handful of octaves) but the *layout* is fixed, so two histograms fed
+/// the same multiset of values hold identical bucket vectors regardless
+/// of insertion order or thread count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let i = bucket_index(v);
+        if self.counts.len() <= i {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Non-empty buckets as `(inclusive_upper_bound, count)` pairs in
+    /// ascending bound order.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+            .collect()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) by nearest rank, reported as the
+    /// containing bucket's inclusive upper bound — so the estimate is
+    /// never below the exact order statistic and never above it by more
+    /// than one bucket width. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_over(self.count, self.counts.iter().copied().enumerate(), q)
+    }
+
+    /// Freeze into a snapshot with the given kind tag.
+    pub fn snapshot(&self, kind: HistKind) -> HistogramSnapshot {
+        HistogramSnapshot {
+            kind,
+            count: self.count,
+            sum: self.sum,
+            buckets: self.buckets(),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram, as carried by
+/// [`crate::Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Whether the samples are deterministic values or wall-clock times.
+    pub kind: HistKind,
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u128,
+    /// Non-empty buckets as `(inclusive_upper_bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Same nearest-rank quantile as [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_over(
+            self.count,
+            self.buckets
+                .iter()
+                .map(|&(upper, c)| (bucket_index(upper), c)),
+            q,
+        )
+    }
+}
+
+/// Shared quantile walk over `(bucket_index, count)` pairs in ascending
+/// bucket order.
+fn quantile_over(count: u64, buckets: impl Iterator<Item = (usize, u64)>, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut seen = 0;
+    let mut last = 0;
+    for (i, c) in buckets {
+        if c == 0 {
+            continue;
+        }
+        seen += c;
+        last = bucket_upper(i);
+        if seen >= rank {
+            return last;
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_unit_buckets() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent_with_indexing() {
+        // Every bucket's upper bound must index back into that bucket,
+        // and upper+1 must land in the next non-degenerate bucket.
+        for i in 0..200 {
+            let upper = bucket_upper(i);
+            assert_eq!(bucket_index(upper), i, "upper({i}) = {upper}");
+            assert!(bucket_index(upper + 1) > i);
+        }
+        // Spot-check octave boundaries.
+        assert_eq!(bucket_index(4), 4);
+        assert_eq!(bucket_index(7), 7);
+        assert_eq!(bucket_index(8), 8);
+        assert_eq!(bucket_index(9), 8);
+        assert_eq!(bucket_index(15), 11);
+        assert_eq!(bucket_index(16), 12);
+        assert_eq!(bucket_index(u64::MAX), 251);
+    }
+
+    #[test]
+    fn relative_width_is_bounded() {
+        // For v >= 4, bucket width / lower bound <= 1/4.
+        for i in 4..200usize {
+            let upper = bucket_upper(i);
+            let lower = bucket_upper(i - 1) + 1;
+            let width = upper - lower + 1;
+            assert!(
+                width * 4 <= lower + width,
+                "bucket {i}: [{lower}, {upper}] too wide"
+            );
+        }
+    }
+
+    #[test]
+    fn counts_are_insertion_order_independent() {
+        let samples = [0u64, 3, 4, 5, 100, 1000, 1_000_000, u64::MAX, 7, 7];
+        let mut forward = Histogram::new();
+        let mut reverse = Histogram::new();
+        for &v in &samples {
+            forward.record(v);
+        }
+        for &v in samples.iter().rev() {
+            reverse.record(v);
+        }
+        assert_eq!(forward, reverse);
+        assert_eq!(forward.count(), 10);
+        assert_eq!(
+            forward.sum(),
+            samples.iter().map(|&v| u128::from(v)).sum::<u128>()
+        );
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    /// The satellite-task guarantee: histogram p50/p95/p99 within one
+    /// bucket width of the exact sorted-sample percentiles, on an LCG
+    /// sample stream spanning several orders of magnitude.
+    #[test]
+    fn quantiles_are_within_one_bucket_of_exact() {
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut samples = Vec::new();
+        let mut hist = Histogram::new();
+        for _ in 0..5000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = state >> (state % 50); // spread over many octaves
+            samples.push(v);
+            hist.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.95, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = hist.quantile(q);
+            let idx = bucket_index(exact);
+            let lower = if idx == 0 {
+                0
+            } else {
+                bucket_upper(idx - 1) + 1
+            };
+            let upper = bucket_upper(idx);
+            assert!(
+                est >= exact && est <= upper,
+                "q={q}: estimate {est} outside [{exact}, {upper}] (bucket [{lower}, {upper}])"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_quantile_matches_live_quantile() {
+        let mut hist = Histogram::new();
+        for v in [1u64, 2, 3, 50, 50, 900, 40_000] {
+            hist.record(v);
+        }
+        let snap = hist.snapshot(HistKind::Values);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            assert_eq!(snap.quantile(q), hist.quantile(q), "q={q}");
+        }
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 7);
+    }
+}

@@ -2,8 +2,9 @@
 //!
 //! A zero-dependency observability layer: monotonic counters, hierarchical
 //! span timers (hierarchy is lexical — dotted names such as
-//! `cube_algo.derive` nest under `cube_algo`), free-form notes, and a
-//! snapshot type that renders to JSON or plain text.
+//! `cube_algo.derive` nest under `cube_algo`), log-bucketed histograms,
+//! structured trace events, free-form notes, and a snapshot type that
+//! renders to JSON, plain text, or Prometheus text exposition.
 //!
 //! ## The determinism contract
 //!
@@ -17,9 +18,17 @@
 //! threads (e.g. fixpoint iterations under the naive candidate sweep) are
 //! deterministic as well.
 //!
+//! Histograms extend the contract to distributions: bucketing is pure
+//! integer arithmetic ([`bucket_index`]), so [`HistKind::Values`]
+//! histograms fed deterministic samples have bit-identical bucket counts
+//! at every thread count. [`HistKind::WallClock`] histograms (latencies)
+//! are timing-dependent, exactly like span durations.
+//!
 //! Span timers measure wall-clock time and are *not* deterministic; every
 //! comparison helper ([`Snapshot::normalized`]) therefore zeroes
-//! durations while keeping call counts, which *are* deterministic.
+//! durations — and collapses wall-clock histograms to their sample
+//! count — while keeping call counts and value-histogram buckets, which
+//! *are* deterministic.
 //!
 //! ## Usage
 //!
@@ -28,39 +37,84 @@
 //!
 //! let sink = MetricsSink::recording();
 //! sink.add("join.tuples", 42);
+//! sink.observe("join.component_rows", 7);
 //! let out = sink.time("explain.table", || 1 + 1);
 //! assert_eq!(out, 2);
 //! let snap = sink.snapshot();
 //! assert_eq!(snap.counter("join.tuples"), 42);
 //! assert_eq!(snap.spans["explain.table"].count, 1);
+//! assert_eq!(snap.histograms["join.component_rows"].count, 1);
 //! ```
 //!
 //! A [`MetricsSink::disabled`] sink (the default) makes every recording
 //! call a no-op against a `None`, so instrumented code pays nothing when
 //! observability is off.
+//!
+//! ## Tracing
+//!
+//! [`MetricsSink::enable_tracing`] arms a bounded ring buffer; from then
+//! on every span guard pushes begin/end [`TraceEvent`]s, and
+//! [`MetricsSink::trace_chrome_json`] exports the ring as Chrome
+//! trace-event JSON (loadable in Perfetto or `chrome://tracing`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod hist;
+mod prom;
+mod trace;
+
+pub use hist::{bucket_index, bucket_upper, HistKind, Histogram, HistogramSnapshot};
+pub use prom::{check_prometheus, sanitize_name};
+pub use trace::{current_tid, TraceEvent, TracePhase};
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use trace::TraceBuf;
 
 // ---------------------------------------------------------------------
 // Sink & registry
 // ---------------------------------------------------------------------
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Registry {
     state: Mutex<State>,
+    trace: Mutex<TraceBuf>,
+    /// Fast-path flag mirroring `trace.capacity > 0`.
+    trace_enabled: AtomicBool,
+    /// Trace id stamped onto subsequent trace events (0 = none).
+    active_trace: AtomicU64,
+    /// All trace timestamps are relative to this instant.
+    epoch: Instant,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry {
+            state: Mutex::default(),
+            trace: Mutex::default(),
+            trace_enabled: AtomicBool::new(false),
+            active_trace: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
 struct State {
     counters: BTreeMap<String, u64>,
     spans: BTreeMap<String, SpanStat>,
+    hists: BTreeMap<String, HistEntry>,
     notes: Vec<String>,
+}
+
+#[derive(Debug)]
+struct HistEntry {
+    kind: HistKind,
+    hist: Histogram,
 }
 
 /// A cheap, cloneable handle to a metrics registry.
@@ -106,6 +160,37 @@ impl MetricsSink {
         self.add(counter, 1);
     }
 
+    /// Record one sample into the named value histogram. Values must be
+    /// deterministic (row counts, sizes — not times); the histogram's
+    /// bucket counts are part of the determinism contract.
+    pub fn observe(&self, hist: &str, value: u64) {
+        self.observe_kind(hist, value, HistKind::Values);
+    }
+
+    /// Record one wall-clock duration sample (as nanoseconds) into the
+    /// named latency histogram. Collapsed by [`Snapshot::normalized`].
+    pub fn observe_duration(&self, hist: &str, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.observe_kind(hist, ns, HistKind::WallClock);
+    }
+
+    fn observe_kind(&self, hist: &str, value: u64, kind: HistKind) {
+        if let Some(reg) = &self.0 {
+            let mut state = reg.state.lock().expect("metrics registry poisoned");
+            match state.hists.get_mut(hist) {
+                Some(entry) => entry.hist.record(value),
+                None => {
+                    let mut entry = HistEntry {
+                        kind,
+                        hist: Histogram::new(),
+                    };
+                    entry.hist.record(value);
+                    state.hists.insert(hist.to_owned(), entry);
+                }
+            }
+        }
+    }
+
     /// Record one completed span of `elapsed` wall-clock time.
     pub fn record_span(&self, span: &str, elapsed: Duration) {
         if let Some(reg) = &self.0 {
@@ -127,8 +212,10 @@ impl MetricsSink {
         f()
     }
 
-    /// Open a span closed (and recorded) when the guard drops.
+    /// Open a span closed (and recorded) when the guard drops. When
+    /// tracing is armed the guard also emits begin/end trace events.
     pub fn span(&self, span: &str) -> SpanGuard<'_> {
+        let trace_span = self.trace_record(span, TracePhase::Begin, None);
         SpanGuard {
             sink: self,
             name: if self.is_enabled() {
@@ -137,6 +224,7 @@ impl MetricsSink {
                 String::new()
             },
             start: self.is_enabled().then(Instant::now),
+            trace_span,
         }
     }
 
@@ -148,6 +236,87 @@ impl MetricsSink {
         }
     }
 
+    // -- tracing ------------------------------------------------------
+
+    /// Arm the trace ring with room for `capacity` events (clamped to at
+    /// least 2 so one begin/end pair always fits). From this point every
+    /// span guard records begin/end [`TraceEvent`]s; once `capacity`
+    /// events are buffered the oldest are dropped (and counted).
+    pub fn enable_tracing(&self, capacity: usize) {
+        if let Some(reg) = &self.0 {
+            let mut buf = reg.trace.lock().expect("trace ring poisoned");
+            buf.capacity = capacity.max(2);
+            reg.trace_enabled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Whether trace events are currently being captured.
+    pub fn tracing_enabled(&self) -> bool {
+        match &self.0 {
+            Some(reg) => reg.trace_enabled.load(Ordering::Acquire),
+            None => false,
+        }
+    }
+
+    /// Stamp `id` onto subsequent trace events (0 clears). Server
+    /// handlers set this to the per-request trace id.
+    pub fn set_trace(&self, id: u64) {
+        if let Some(reg) = &self.0 {
+            reg.active_trace.store(id, Ordering::Relaxed);
+        }
+    }
+
+    /// A copy of the buffered trace events in capture order.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(reg) => {
+                let buf = reg.trace.lock().expect("trace ring poisoned");
+                buf.events.iter().cloned().collect()
+            }
+        }
+    }
+
+    /// Export the trace ring as a Chrome trace-event JSON document
+    /// (Perfetto / `chrome://tracing` compatible). Returns `None` when
+    /// tracing was never armed. Orphaned begin/end records (ring
+    /// overflow, still-open spans) are dropped so the exported document
+    /// is always stack-balanced per thread.
+    pub fn trace_chrome_json(&self) -> Option<String> {
+        let reg = self.0.as_ref()?;
+        if !reg.trace_enabled.load(Ordering::Acquire) {
+            return None;
+        }
+        let buf = reg.trace.lock().expect("trace ring poisoned");
+        let events: Vec<TraceEvent> = buf.events.iter().cloned().collect();
+        Some(trace::chrome_json(&events, buf.dropped))
+    }
+
+    /// Push one trace event if tracing is armed; returns the span id so
+    /// the matching `End` can reuse it.
+    fn trace_record(&self, name: &str, phase: TracePhase, span_id: Option<u64>) -> Option<u64> {
+        let reg = self.0.as_ref()?;
+        if !reg.trace_enabled.load(Ordering::Acquire) {
+            return None;
+        }
+        let ts_ns = u64::try_from(reg.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let trace_id = reg.active_trace.load(Ordering::Relaxed);
+        let mut buf = reg.trace.lock().expect("trace ring poisoned");
+        let span_id = span_id.unwrap_or_else(|| {
+            buf.next_span += 1;
+            buf.next_span
+        });
+        buf.push(TraceEvent {
+            name: name.to_owned(),
+            phase,
+            ts_ns,
+            tid: current_tid(),
+            trace_id,
+            span_id,
+        });
+        Some(span_id)
+    }
+
     /// A point-in-time copy of everything recorded so far.
     pub fn snapshot(&self) -> Snapshot {
         match &self.0 {
@@ -157,6 +326,11 @@ impl MetricsSink {
                 Snapshot {
                     counters: state.counters.clone(),
                     spans: state.spans.clone(),
+                    histograms: state
+                        .hists
+                        .iter()
+                        .map(|(name, entry)| (name.clone(), entry.hist.snapshot(entry.kind)))
+                        .collect(),
                     notes: state.notes.clone(),
                 }
             }
@@ -171,12 +345,17 @@ pub struct SpanGuard<'a> {
     sink: &'a MetricsSink,
     name: String,
     start: Option<Instant>,
+    trace_span: Option<u64>,
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         if let Some(start) = self.start {
             self.sink.record_span(&self.name, start.elapsed());
+        }
+        if self.trace_span.is_some() {
+            self.sink
+                .trace_record(&self.name, TracePhase::End, self.trace_span);
         }
     }
 }
@@ -203,7 +382,8 @@ impl SpanStat {
 }
 
 /// A point-in-time copy of a sink's contents, rendered to JSON by
-/// [`Snapshot::to_json`] or to plain text by [`Snapshot::render_pretty`].
+/// [`Snapshot::to_json`], to plain text by [`Snapshot::render_pretty`],
+/// or to Prometheus text exposition by [`Snapshot::to_prometheus`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Snapshot {
     /// Monotonic counters, sorted by name. Deterministic across thread
@@ -211,6 +391,9 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Span timers, sorted by name. Counts deterministic, durations not.
     pub spans: BTreeMap<String, SpanStat>,
+    /// Histograms, sorted by name. [`HistKind::Values`] buckets are
+    /// deterministic; [`HistKind::WallClock`] buckets are not.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Status notes in recording order.
     pub notes: Vec<String>,
 }
@@ -221,20 +404,30 @@ impl Snapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// A copy with every wall-clock duration zeroed, keeping span call
-    /// counts. Two normalized snapshots from runs at different thread
+    /// A copy with every wall-clock quantity zeroed, keeping everything
+    /// deterministic: span call counts, value-histogram buckets, and
+    /// wall-clock histograms' sample counts (their buckets and sums are
+    /// dropped). Two normalized snapshots from runs at different thread
     /// counts must be equal; this is what the determinism tests compare.
     pub fn normalized(&self) -> Snapshot {
         let mut out = self.clone();
         for stat in out.spans.values_mut() {
             stat.total_ns = 0;
         }
+        for hist in out.histograms.values_mut() {
+            if hist.kind == HistKind::WallClock {
+                hist.sum = 0;
+                hist.buckets.clear();
+            }
+        }
         out
     }
 
     /// Render as a multi-line JSON document with sorted keys: a
     /// `"counters"` object first, then `"spans"` (objects with `count`
-    /// and `total_ns`), then `"notes"`.
+    /// and `total_ns`), then `"histograms"` (objects with `kind`,
+    /// `count`, `sum`, and `[upper_bound, count]` bucket pairs), then
+    /// `"notes"`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"counters\": {");
@@ -263,6 +456,28 @@ impl Snapshot {
         } else {
             "\n  },\n"
         });
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    \"{}\": {{ \"kind\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": [",
+                escape_json(name),
+                h.kind,
+                h.count,
+                h.sum
+            );
+            for (j, (upper, c)) in h.buckets.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}[{upper}, {c}]");
+            }
+            out.push_str("] }");
+        }
+        out.push_str(if self.histograms.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
         out.push_str("  \"notes\": [");
         for (i, note) in self.notes.iter().enumerate() {
             let sep = if i == 0 { "\n" } else { ",\n" };
@@ -275,6 +490,16 @@ impl Snapshot {
         });
         out.push('}');
         out
+    }
+
+    /// Render in Prometheus text exposition format 0.0.4: counters as
+    /// `counter` families, span totals as labelled
+    /// `exq_span_calls_total`/`exq_span_ns_total` families, histograms
+    /// as `histogram` families with cumulative `_bucket` samples, a
+    /// terminal `le="+Inf"` bucket, and `_sum`/`_count`. The output
+    /// passes [`check_prometheus`].
+    pub fn to_prometheus(&self) -> String {
+        prom::render(self)
     }
 
     /// Render as indented plain text. Spans are indented by their dotted
@@ -299,6 +524,24 @@ impl Snapshot {
                     if s.count == 1 { "" } else { "s" },
                     format_ns(s.total_ns),
                     indent = depth * 2,
+                );
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let render = |v: u64| match h.kind {
+                    HistKind::Values => v.to_string(),
+                    HistKind::WallClock => format_ns(u128::from(v)),
+                };
+                let _ = writeln!(
+                    out,
+                    "  {name}: {} sample{}, p50 <= {}, p95 <= {}, p99 <= {}",
+                    h.count,
+                    if h.count == 1 { "" } else { "s" },
+                    render(h.quantile(0.50)),
+                    render(h.quantile(0.95)),
+                    render(h.quantile(0.99)),
                 );
             }
         }
@@ -358,7 +601,14 @@ mod tests {
         sink.add("a", 3);
         sink.incr("b");
         sink.note("hello");
+        sink.observe("h", 1);
+        sink.observe_duration("d", Duration::from_millis(1));
+        sink.enable_tracing(16);
+        sink.set_trace(9);
         assert_eq!(sink.time("t", || 7), 7);
+        assert!(!sink.tracing_enabled());
+        assert!(sink.trace_chrome_json().is_none());
+        assert!(sink.trace_events().is_empty());
         let snap = sink.snapshot();
         assert_eq!(snap, Snapshot::default());
         assert_eq!(snap.counter("a"), 0);
@@ -425,10 +675,38 @@ mod tests {
     }
 
     #[test]
+    fn value_histograms_are_thread_count_invariant() {
+        // The same multiset of samples, fed once from one thread and
+        // once split across four, produces identical snapshots.
+        let samples: Vec<u64> = (0..400).map(|i| (i * i) % 10_000).collect();
+        let sequential = MetricsSink::recording();
+        for &v in &samples {
+            sequential.observe("h", v);
+        }
+        let parallel = MetricsSink::recording();
+        std::thread::scope(|scope| {
+            for chunk in samples.chunks(100) {
+                let parallel = parallel.clone();
+                scope.spawn(move || {
+                    for &v in chunk {
+                        parallel.observe("h", v);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            sequential.snapshot().histograms["h"],
+            parallel.snapshot().histograms["h"]
+        );
+    }
+
+    #[test]
     fn normalized_zeroes_durations_but_keeps_counts() {
         let sink = MetricsSink::recording();
         sink.time("t", || std::thread::sleep(Duration::from_millis(1)));
         sink.add("c", 5);
+        sink.observe("rows", 17);
+        sink.observe_duration("latency", Duration::from_millis(2));
         let norm = sink.snapshot().normalized();
         assert_eq!(
             norm.spans["t"],
@@ -438,6 +716,26 @@ mod tests {
             }
         );
         assert_eq!(norm.counter("c"), 5);
+        // Value histograms survive untouched; wall-clock ones collapse
+        // to their (deterministic) sample count.
+        assert_eq!(
+            norm.histograms["rows"],
+            HistogramSnapshot {
+                kind: HistKind::Values,
+                count: 1,
+                sum: 17,
+                buckets: vec![(19, 1)],
+            }
+        );
+        assert_eq!(
+            norm.histograms["latency"],
+            HistogramSnapshot {
+                kind: HistKind::WallClock,
+                count: 1,
+                sum: 0,
+                buckets: Vec::new(),
+            }
+        );
     }
 
     #[test]
@@ -446,6 +744,8 @@ mod tests {
         sink.add("b", 2);
         sink.add("a", 1);
         sink.record_span("s", Duration::from_nanos(50));
+        sink.observe("h", 0);
+        sink.observe("h", 9);
         sink.note("a \"quoted\"\nnote");
         let json = sink.snapshot().to_json();
         assert_eq!(
@@ -458,6 +758,10 @@ mod tests {
                 "  },\n",
                 "  \"spans\": {\n",
                 "    \"s\": { \"count\": 1, \"total_ns\": 50 }\n",
+                "  },\n",
+                "  \"histograms\": {\n",
+                "    \"h\": { \"kind\": \"values\", \"count\": 2, \"sum\": 9, ",
+                "\"buckets\": [[0, 1], [9, 1]] }\n",
                 "  },\n",
                 "  \"notes\": [\n",
                 "    \"a \\\"quoted\\\"\\nnote\"\n",
@@ -472,7 +776,7 @@ mod tests {
         let json = Snapshot::default().to_json();
         assert_eq!(
             json,
-            "{\n  \"counters\": {},\n  \"spans\": {},\n  \"notes\": []\n}"
+            "{\n  \"counters\": {},\n  \"spans\": {},\n  \"histograms\": {},\n  \"notes\": []\n}"
         );
     }
 
@@ -482,16 +786,73 @@ mod tests {
         sink.add("join.tuples", 9);
         sink.record_span("explain", Duration::from_micros(3));
         sink.record_span("explain.table", Duration::from_micros(2));
+        sink.observe("join.component_rows", 40);
         sink.note("loaded 9 rows");
         let text = sink.snapshot().render_pretty();
         assert!(text.contains("join.tuples = 9"), "{text}");
         assert!(text.contains("explain: 1 call"), "{text}");
         assert!(text.contains("    explain.table: 1 call"), "{text}");
+        assert!(
+            text.contains("join.component_rows: 1 sample, p50 <= 47"),
+            "{text}"
+        );
         assert!(text.contains("- loaded 9 rows"), "{text}");
         assert_eq!(
             MetricsSink::disabled().snapshot().render_pretty(),
             "(no metrics recorded)\n"
         );
+    }
+
+    #[test]
+    fn span_guards_emit_balanced_trace_events() {
+        let sink = MetricsSink::recording();
+        sink.enable_tracing(64);
+        sink.set_trace(42);
+        sink.time("outer", || sink.time("outer.inner", || ()));
+        let events = sink.trace_events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].name, "outer");
+        assert_eq!(events[0].phase, TracePhase::Begin);
+        assert_eq!(events[1].name, "outer.inner");
+        assert_eq!(events[2].phase, TracePhase::End);
+        assert_eq!(events[3].name, "outer");
+        assert_eq!(events[3].phase, TracePhase::End);
+        assert!(events.iter().all(|e| e.trace_id == 42));
+        // Begin/end of one span share an id; nested spans do not.
+        assert_eq!(events[0].span_id, events[3].span_id);
+        assert_ne!(events[0].span_id, events[1].span_id);
+        // Timestamps are monotone within the thread.
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        let json = sink.trace_chrome_json().unwrap();
+        assert!(json.contains("\"ph\": \"B\""), "{json}");
+        assert!(json.contains("\"trace_id\": 42"), "{json}");
+    }
+
+    #[test]
+    fn spans_before_tracing_armed_leave_no_events() {
+        let sink = MetricsSink::recording();
+        sink.time("early", || ());
+        assert!(sink.trace_chrome_json().is_none());
+        sink.enable_tracing(8);
+        sink.time("late", || ());
+        let events = sink.trace_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "late");
+        assert_eq!(sink.snapshot().spans["early"].count, 1);
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let sink = MetricsSink::recording();
+        sink.enable_tracing(4);
+        for _ in 0..10 {
+            sink.time("s", || ());
+        }
+        let events = sink.trace_events();
+        assert_eq!(events.len(), 4);
+        // The export still balances despite the evictions.
+        let json = sink.trace_chrome_json().unwrap();
+        assert!(json.contains("\"dropped_events\": 16"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Structured trace events and Chrome trace-event export.
+//!
+//! When tracing is enabled on a sink ([`crate::MetricsSink::enable_tracing`]),
+//! every [`crate::SpanGuard`] additionally pushes a begin (`B`) record at
+//! creation and an end (`E`) record at drop into a bounded ring buffer.
+//! Each record carries the span name, a nanosecond timestamp relative to
+//! the registry's epoch, a small per-process thread id, the active trace
+//! id, and a monotonically assigned span id.
+//!
+//! [`chrome_json`] renders the ring as Chrome trace-event JSON —
+//! loadable in Perfetto or `chrome://tracing` — after a matching pass
+//! that drops begin/end records orphaned by ring overflow, so the
+//! exported document is always stack-balanced per thread.
+
+use crate::escape_json;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Begin or end of a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Span opened (`"ph": "B"`).
+    Begin,
+    /// Span closed (`"ph": "E"`).
+    End,
+}
+
+/// One record in the trace ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Span name (same name the span totals aggregate under).
+    pub name: String,
+    /// Begin or end.
+    pub phase: TracePhase,
+    /// Nanoseconds since the registry's epoch.
+    pub ts_ns: u64,
+    /// Small per-process thread id (assigned in first-use order).
+    pub tid: u32,
+    /// The trace this span belongs to (0 when none was set).
+    pub trace_id: u64,
+    /// Monotonically assigned span id; begin and end share it.
+    pub span_id: u64,
+}
+
+/// The bounded event ring plus id allocation, kept behind the registry's
+/// trace mutex.
+#[derive(Debug, Default)]
+pub(crate) struct TraceBuf {
+    /// 0 = tracing disabled.
+    pub(crate) capacity: usize,
+    pub(crate) events: std::collections::VecDeque<TraceEvent>,
+    pub(crate) dropped: u64,
+    pub(crate) next_span: u64,
+}
+
+impl TraceBuf {
+    pub(crate) fn push(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The calling thread's small per-process id (stable for the thread's
+/// lifetime, assigned in first-use order).
+pub fn current_tid() -> u32 {
+    TID.with(|t| *t)
+}
+
+/// Indices of events that survive begin/end matching: every `B` with its
+/// `E` (same thread, same name, properly nested), everything else —
+/// orphans from ring overflow or still-open spans — dropped.
+fn matched_indices(events: &[TraceEvent]) -> Vec<bool> {
+    let mut keep = vec![false; events.len()];
+    let mut stacks: std::collections::BTreeMap<u32, Vec<usize>> = std::collections::BTreeMap::new();
+    for (i, e) in events.iter().enumerate() {
+        let stack = stacks.entry(e.tid).or_default();
+        match e.phase {
+            TracePhase::Begin => stack.push(i),
+            TracePhase::End => {
+                if let Some(&top) = stack.last() {
+                    if events[top].name == e.name && events[top].span_id == e.span_id {
+                        stack.pop();
+                        keep[top] = true;
+                        keep[i] = true;
+                    }
+                    // Mismatched end: its begin was evicted — drop it.
+                }
+            }
+        }
+    }
+    keep
+}
+
+/// Render events as a Chrome trace-event JSON document.
+///
+/// Timestamps are microseconds with nanosecond precision (three decimal
+/// places), relative to the registry epoch. `dropped` is surfaced in the
+/// document's `metadata` so consumers can tell the ring overflowed.
+pub(crate) fn chrome_json(events: &[TraceEvent], dropped: u64) -> String {
+    let keep = matched_indices(events);
+    let mut out = String::from("{\n  \"traceEvents\": [");
+    let mut first = true;
+    for (i, e) in events.iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        let sep = if first { "\n" } else { ",\n" };
+        first = false;
+        let ph = match e.phase {
+            TracePhase::Begin => "B",
+            TracePhase::End => "E",
+        };
+        let _ = write!(
+            out,
+            "{sep}    {{\"name\": \"{}\", \"ph\": \"{ph}\", \"ts\": {}.{:03}, \"pid\": 1, \
+             \"tid\": {}, \"args\": {{\"trace_id\": {}, \"span_id\": {}}}}}",
+            escape_json(&e.name),
+            e.ts_ns / 1_000,
+            e.ts_ns % 1_000,
+            e.tid,
+            e.trace_id,
+            e.span_id,
+        );
+    }
+    out.push_str(if first { "],\n" } else { "\n  ],\n" });
+    let _ = write!(
+        out,
+        "  \"displayTimeUnit\": \"ns\",\n  \"metadata\": {{\"dropped_events\": {dropped}}}\n}}"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, phase: TracePhase, tid: u32, span_id: u64) -> TraceEvent {
+        TraceEvent {
+            name: name.to_owned(),
+            phase,
+            ts_ns: span_id * 10,
+            tid,
+            trace_id: 1,
+            span_id,
+        }
+    }
+
+    #[test]
+    fn matching_keeps_nested_pairs() {
+        let events = vec![
+            ev("outer", TracePhase::Begin, 1, 1),
+            ev("inner", TracePhase::Begin, 1, 2),
+            ev("inner", TracePhase::End, 1, 2),
+            ev("outer", TracePhase::End, 1, 1),
+        ];
+        assert_eq!(matched_indices(&events), vec![true; 4]);
+    }
+
+    #[test]
+    fn matching_drops_orphans() {
+        // A lone end (begin evicted) and a still-open begin.
+        let events = vec![
+            ev("evicted", TracePhase::End, 1, 1),
+            ev("open", TracePhase::Begin, 1, 2),
+            ev("ok", TracePhase::Begin, 1, 3),
+            ev("ok", TracePhase::End, 1, 3),
+        ];
+        assert_eq!(matched_indices(&events), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn matching_is_per_thread() {
+        // Interleaved threads each balance independently.
+        let events = vec![
+            ev("a", TracePhase::Begin, 1, 1),
+            ev("b", TracePhase::Begin, 2, 2),
+            ev("a", TracePhase::End, 1, 1),
+            ev("b", TracePhase::End, 2, 2),
+        ];
+        assert_eq!(matched_indices(&events), vec![true; 4]);
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest() {
+        let mut buf = TraceBuf {
+            capacity: 2,
+            ..TraceBuf::default()
+        };
+        for i in 0..5u64 {
+            buf.push(ev("x", TracePhase::Begin, 1, i));
+        }
+        assert_eq!(buf.events.len(), 2);
+        assert_eq!(buf.dropped, 3);
+        assert_eq!(buf.events[0].span_id, 3);
+    }
+
+    #[test]
+    fn chrome_json_escapes_and_timestamps() {
+        let events = vec![
+            TraceEvent {
+                name: "a\"b".to_owned(),
+                phase: TracePhase::Begin,
+                ts_ns: 1_234_567,
+                tid: 1,
+                trace_id: 7,
+                span_id: 1,
+            },
+            TraceEvent {
+                name: "a\"b".to_owned(),
+                phase: TracePhase::End,
+                ts_ns: 2_000_001,
+                tid: 1,
+                trace_id: 7,
+                span_id: 1,
+            },
+        ];
+        let json = chrome_json(&events, 0);
+        assert!(json.contains("\"name\": \"a\\\"b\""), "{json}");
+        assert!(json.contains("\"ts\": 1234.567"), "{json}");
+        assert!(json.contains("\"ts\": 2000.001"), "{json}");
+        assert!(json.contains("\"dropped_events\": 0"), "{json}");
+    }
+
+    #[test]
+    fn empty_ring_renders_valid_document() {
+        let json = chrome_json(&[], 9);
+        assert!(json.contains("\"traceEvents\": []"), "{json}");
+        assert!(json.contains("\"dropped_events\": 9"), "{json}");
+    }
+}

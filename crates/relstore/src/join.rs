@@ -124,7 +124,13 @@ impl Universal {
         // Join each component independently.
         let mut per_component: Vec<Vec<u32>> = Vec::with_capacity(components.len());
         for comp in &components {
-            per_component.push(join_component(db, view, comp, stride, exec));
+            let tuples = join_component(db, view, comp, stride, exec);
+            // Per-component output size distribution. Recorded on the
+            // orchestrating thread in component order, so the histogram
+            // is bit-identical at every thread count.
+            exec.metrics()
+                .observe("join.component_rows", (tuples.len() / stride) as u64);
+            per_component.push(tuples);
         }
 
         // Cross product across components. If any component is empty the

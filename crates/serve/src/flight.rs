@@ -1,0 +1,179 @@
+//! The flight recorder: a fixed-size ring of recent request summaries.
+//!
+//! Aggregate metrics answer "how is the server doing"; the flight
+//! recorder answers "what did it *just* do" — the last N requests with
+//! method, path, status, latency, cache outcome, and trace id (the same
+//! id returned to the client in `X-Exq-Trace-Id`, so a slow response in
+//! hand can be matched to its server-side record). Served at
+//! `GET /v1/debug/requests` and dumped next to the final metrics
+//! snapshot on SIGTERM.
+
+use exq_obs::escape_json;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// One completed request, as remembered by the recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestSummary {
+    /// 1-based position in the server's request sequence.
+    pub seq: u64,
+    /// The per-request trace id (also sent as `X-Exq-Trace-Id`).
+    pub trace_id: u64,
+    /// Request method as sent.
+    pub method: String,
+    /// Request path (query string included).
+    pub path: String,
+    /// Response status.
+    pub status: u16,
+    /// Wall-clock handling time, read-to-write, in nanoseconds.
+    pub latency_ns: u64,
+    /// Cache outcome: `"hit"`, `"miss"`, or `"-"` for uncached routes.
+    pub cache: &'static str,
+}
+
+#[derive(Debug, Default)]
+struct FlightState {
+    ring: VecDeque<RequestSummary>,
+    recorded: u64,
+}
+
+/// Bounded ring of [`RequestSummary`] records, oldest evicted first.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    state: Mutex<FlightState>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` requests (min 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            state: Mutex::new(FlightState::default()),
+        }
+    }
+
+    /// Append one summary, assigning its sequence number; the oldest
+    /// entry is evicted once the ring is full.
+    pub fn record(
+        &self,
+        trace_id: u64,
+        method: &str,
+        path: &str,
+        status: u16,
+        latency_ns: u64,
+        cache: &'static str,
+    ) {
+        let mut state = self.state.lock().expect("flight recorder poisoned");
+        state.recorded += 1;
+        let seq = state.recorded;
+        if state.ring.len() == self.capacity {
+            state.ring.pop_front();
+        }
+        state.ring.push_back(RequestSummary {
+            seq,
+            trace_id,
+            method: method.to_owned(),
+            path: path.to_owned(),
+            status,
+            latency_ns,
+            cache,
+        });
+    }
+
+    /// Number of requests ever recorded (not just those still in the ring).
+    pub fn recorded(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("flight recorder poisoned")
+            .recorded
+    }
+
+    /// A copy of the ring, oldest first.
+    pub fn entries(&self) -> Vec<RequestSummary> {
+        let state = self.state.lock().expect("flight recorder poisoned");
+        state.ring.iter().cloned().collect()
+    }
+
+    /// Render as the `GET /v1/debug/requests` JSON document.
+    pub fn to_json(&self) -> String {
+        let state = self.state.lock().expect("flight recorder poisoned");
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"capacity\": {},", self.capacity);
+        let _ = writeln!(out, "  \"recorded\": {},", state.recorded);
+        out.push_str("  \"requests\": [");
+        for (i, r) in state.ring.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(
+                out,
+                "{sep}    {{ \"seq\": {}, \"trace_id\": {}, \"method\": \"{}\", \
+                 \"path\": \"{}\", \"status\": {}, \"latency_ns\": {}, \"cache\": \"{}\" }}",
+                r.seq,
+                r.trace_id,
+                escape_json(&r.method),
+                escape_json(&r.path),
+                r.status,
+                r.latency_ns,
+                r.cache,
+            );
+        }
+        out.push_str(if state.ring.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_last_n_with_global_sequence() {
+        let recorder = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            recorder.record(i + 10, "GET", &format!("/r{i}"), 200, i * 100, "-");
+        }
+        let entries = recorder.entries();
+        assert_eq!(recorder.recorded(), 5);
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].seq, 3);
+        assert_eq!(entries[2].seq, 5);
+        assert_eq!(entries[2].path, "/r4");
+        assert_eq!(entries[2].trace_id, 14);
+    }
+
+    #[test]
+    fn json_document_is_parseable_and_complete() {
+        let recorder = FlightRecorder::new(8);
+        recorder.record(1, "POST", "/v1/explain", 200, 1234, "miss");
+        recorder.record(2, "POST", "/v1/explain", 200, 56, "hit");
+        let doc = recorder.to_json();
+        let parsed = crate::json::parse(doc.as_bytes()).expect("flight JSON must parse");
+        let requests = parsed.get("requests").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(requests.len(), 2);
+        assert_eq!(
+            requests[1].get("cache").and_then(|v| v.as_str()),
+            Some("hit")
+        );
+        assert_eq!(parsed.get("recorded").and_then(|v| v.as_usize()), Some(2));
+    }
+
+    #[test]
+    fn empty_recorder_renders_valid_json() {
+        let doc = FlightRecorder::new(4).to_json();
+        assert!(crate::json::parse(doc.as_bytes()).is_ok(), "{doc}");
+        assert!(doc.contains("\"requests\": []"), "{doc}");
+    }
+
+    #[test]
+    fn paths_are_escaped() {
+        let recorder = FlightRecorder::new(2);
+        recorder.record(1, "GET", "/x\"y", 404, 1, "-");
+        assert!(crate::json::parse(recorder.to_json().as_bytes()).is_ok());
+    }
+}

@@ -218,6 +218,17 @@ impl Response {
         }
     }
 
+    /// A plain-text response, typed for Prometheus text exposition
+    /// format 0.0.4 (`GET /metrics` is the only text endpoint).
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            extra_headers: Vec::new(),
+        }
+    }
+
     /// A JSON error document `{"error": "..."}`.
     pub fn error(status: u16, message: &str) -> Response {
         Response::json(

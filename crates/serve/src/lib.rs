@@ -20,14 +20,18 @@
 //!   that drains in-flight work and hands back a final metrics
 //!   snapshot.
 //!
-//! Endpoints (all JSON, same document shapes as `exq --format json`):
+//! Endpoints (JSON unless noted, same document shapes as
+//! `exq --format json`; every response carries an `X-Exq-Trace-Id`
+//! header identifying the request in the flight recorder):
 //!
 //! | Route | Meaning |
 //! |---|---|
 //! | `POST /v1/explain` | ranked top-K explanations for a question |
 //! | `POST /v1/report`  | full report: both rankings, tau, drill-down |
 //! | `GET /v1/datasets` | catalog listing with tuple counts |
-//! | `GET /v1/metrics`  | live `server.*` + engine counters snapshot |
+//! | `GET /v1/metrics`  | live counters/spans/histograms snapshot (`?format=prometheus` for text exposition) |
+//! | `GET /metrics`     | Prometheus text exposition 0.0.4 (scrape target) |
+//! | `GET /v1/debug/requests` | flight recorder: last N request summaries |
 //! | `GET /healthz`     | liveness probe |
 //!
 //! Everything stays zero-new-dependency (vendored-stub policy from
@@ -38,6 +42,7 @@
 pub mod cache;
 pub mod catalog;
 pub mod client;
+pub mod flight;
 pub mod http;
 pub mod json;
 pub mod key;
@@ -46,4 +51,5 @@ pub mod signal;
 
 pub use cache::ResultCache;
 pub use catalog::{Catalog, Dataset};
+pub use flight::{FlightRecorder, RequestSummary};
 pub use server::{start, start_on, Handle, ServerConfig, SERVER_COUNTERS};

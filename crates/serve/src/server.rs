@@ -16,6 +16,7 @@
 
 use crate::cache::ResultCache;
 use crate::catalog::{Catalog, Dataset};
+use crate::flight::FlightRecorder;
 use crate::http::{self, Limits, ParseError, Request, Response};
 use crate::json::Json;
 use crate::key::{cache_key, CanonicalRequest};
@@ -27,7 +28,7 @@ use exq_obs::{MetricsSink, Snapshot};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -62,6 +63,9 @@ pub struct ServerConfig {
     pub request_timeout: Duration,
     /// HTTP parser limits (head/body size, header count).
     pub limits: Limits,
+    /// Flight-recorder depth: how many recent request summaries
+    /// `GET /v1/debug/requests` retains.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +76,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             request_timeout: Duration::from_secs(10),
             limits: Limits::default(),
+            flight_capacity: 128,
         }
     }
 }
@@ -84,6 +89,9 @@ struct Inner {
     shutdown: AtomicBool,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_cv: Condvar,
+    flight: FlightRecorder,
+    /// Monotone per-request trace-id allocator (first request gets 1).
+    next_trace: AtomicU64,
 }
 
 /// A running server. Dropping the handle without calling
@@ -104,6 +112,13 @@ impl Handle {
     /// Whether shutdown has been requested.
     pub fn is_shutting_down(&self) -> bool {
         self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The flight recorder's current contents as the same JSON document
+    /// `GET /v1/debug/requests` serves. The CLI dumps this next to the
+    /// final metrics snapshot on SIGTERM.
+    pub fn recent_requests_json(&self) -> String {
+        self.inner.flight.to_json()
     }
 
     /// Stop accepting, drain queued and in-flight requests, join all
@@ -142,6 +157,8 @@ pub fn start_on(
         cache: ResultCache::new(config.cache_bytes, config.threads.max(1) * 2, sink.clone()),
         catalog,
         sink,
+        flight: FlightRecorder::new(config.flight_capacity),
+        next_trace: AtomicU64::new(0),
         config: config.clone(),
         shutdown: AtomicBool::new(false),
         queue: Mutex::new(VecDeque::new()),
@@ -244,16 +261,25 @@ fn worker_loop(inner: &Inner) {
 }
 
 /// Read one request (within the timeout budget), route it, write the
-/// response, close.
+/// response (stamped with its `X-Exq-Trace-Id`), record latency into
+/// the per-endpoint histogram and the flight recorder, close.
 fn serve_connection(inner: &Inner, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let deadline = Instant::now() + inner.config.request_timeout;
-    let response = match read_request(&mut stream, &inner.config.limits, deadline) {
-        Ok(Some(request)) => route(inner, &request),
+    let started = Instant::now();
+    let deadline = started + inner.config.request_timeout;
+    let (request, response, meta) = match read_request(&mut stream, &inner.config.limits, deadline)
+    {
+        Ok(Some(request)) => {
+            let _span = inner.sink.span("server.request");
+            let (response, meta) = route(inner, &request);
+            (Some(request), response, meta)
+        }
         Ok(None) => return, // peer closed without sending anything
-        Err(response) => response,
+        Err(response) => (None, response, RouteMeta::other()),
     };
+    let trace_id = inner.next_trace.fetch_add(1, Ordering::Relaxed) + 1;
+    let response = response.with_header("x-exq-trace-id", &trace_id.to_string());
     match response.status {
         200 => inner.sink.incr("server.responses.ok"),
         400..=499 => inner.sink.incr("server.responses.client_error"),
@@ -262,6 +288,22 @@ fn serve_connection(inner: &Inner, mut stream: TcpStream) {
     let _ = stream.write_all(&response.to_bytes());
     let _ = stream.flush();
     let _ = stream.shutdown(std::net::Shutdown::Both);
+    let latency = started.elapsed();
+    inner
+        .sink
+        .observe_duration(meta.latency_histogram(), latency);
+    let (method, path) = match &request {
+        Some(r) => (r.method.as_str(), r.path.as_str()),
+        None => ("-", "-"),
+    };
+    inner.flight.record(
+        trace_id,
+        method,
+        path,
+        response.status,
+        u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
+        meta.cache,
+    );
 }
 
 fn read_request(
@@ -305,23 +347,83 @@ fn parse_error_response(e: &ParseError) -> Response {
     Response::error(e.status(), &e.to_string())
 }
 
-fn route(inner: &Inner, request: &Request) -> Response {
+/// What a routed request was, for latency attribution: which endpoint
+/// handled it and whether the response came from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RouteMeta {
+    endpoint: &'static str,
+    /// `"hit"`, `"miss"`, or `"-"` for uncached routes and errors.
+    cache: &'static str,
+}
+
+impl RouteMeta {
+    fn uncached(endpoint: &'static str) -> RouteMeta {
+        RouteMeta {
+            endpoint,
+            cache: "-",
+        }
+    }
+
+    fn other() -> RouteMeta {
+        RouteMeta::uncached("other")
+    }
+
+    /// The latency histogram this request lands in: explain/report
+    /// split by cache outcome (errors excluded), everything else pooled.
+    fn latency_histogram(&self) -> &'static str {
+        match (self.endpoint, self.cache) {
+            ("explain", "hit") => "server.latency.explain.hit",
+            ("explain", "miss") => "server.latency.explain.miss",
+            ("report", "hit") => "server.latency.report.hit",
+            ("report", "miss") => "server.latency.report.miss",
+            _ => "server.latency.other",
+        }
+    }
+}
+
+fn route(inner: &Inner, request: &Request) -> (Response, RouteMeta) {
     inner.sink.incr("server.requests");
-    let path = request.path.split('?').next().unwrap_or("");
+    let (path, query) = match request.path.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (request.path.as_str(), ""),
+    };
     match (request.method.as_str(), path) {
-        ("GET", "/healthz") => Response::json(200, "{\n  \"status\": \"ok\"\n}\n"),
+        ("GET", "/healthz") => (
+            Response::json(200, "{\n  \"status\": \"ok\"\n}\n"),
+            RouteMeta::uncached("healthz"),
+        ),
         ("GET", "/v1/datasets") => {
             let mut doc = inner.catalog.datasets_doc();
             doc.push('\n');
-            Response::json(200, doc)
+            (Response::json(200, doc), RouteMeta::uncached("datasets"))
         }
-        ("GET", "/v1/metrics") => Response::json(200, inner.sink.snapshot().to_json() + "\n"),
+        ("GET", "/metrics") => (
+            Response::text(200, inner.sink.snapshot().to_prometheus()),
+            RouteMeta::uncached("metrics"),
+        ),
+        ("GET", "/v1/metrics") => {
+            let response = if query.split('&').any(|pair| pair == "format=prometheus") {
+                Response::text(200, inner.sink.snapshot().to_prometheus())
+            } else {
+                Response::json(200, inner.sink.snapshot().to_json() + "\n")
+            };
+            (response, RouteMeta::uncached("metrics"))
+        }
+        ("GET", "/v1/debug/requests") => (
+            Response::json(200, inner.flight.to_json() + "\n"),
+            RouteMeta::uncached("debug"),
+        ),
         ("POST", "/v1/explain") => handle_question(inner, request, Endpoint::Explain),
         ("POST", "/v1/report") => handle_question(inner, request, Endpoint::Report),
-        (_, "/healthz" | "/v1/datasets" | "/v1/metrics" | "/v1/explain" | "/v1/report") => {
-            Response::error(405, "method not allowed")
-        }
-        _ => Response::error(404, "no such endpoint"),
+        (
+            _,
+            "/healthz" | "/v1/datasets" | "/metrics" | "/v1/metrics" | "/v1/debug/requests"
+            | "/v1/explain" | "/v1/report",
+        ) => (
+            Response::error(405, "method not allowed"),
+            RouteMeta::other(),
+        ),
+        _ => (Response::error(404, "no such endpoint"), RouteMeta::other()),
     }
 }
 
@@ -440,14 +542,21 @@ fn parse_params(inner: &Inner, body: &[u8]) -> Result<QuestionParams, Response> 
     })
 }
 
-fn handle_question(inner: &Inner, request: &Request, endpoint: Endpoint) -> Response {
-    let params = match parse_params(inner, &request.body) {
-        Ok(params) => params,
-        Err(response) => return response,
-    };
+fn handle_question(inner: &Inner, request: &Request, endpoint: Endpoint) -> (Response, RouteMeta) {
     let endpoint_name = match endpoint {
         Endpoint::Explain => "explain",
         Endpoint::Report => "report",
+    };
+    let meta = |cache: &'static str| RouteMeta {
+        endpoint: endpoint_name,
+        cache,
+    };
+    let parsed = inner.sink.time("server.request.parse", || {
+        parse_params(inner, &request.body)
+    });
+    let params = match parsed {
+        Ok(params) => params,
+        Err(response) => return (response, meta("-")),
     };
     let schema = params.dataset.prepared.db().schema();
     let key = cache_key(
@@ -465,21 +574,25 @@ fn handle_question(inner: &Inner, request: &Request, endpoint: Endpoint) -> Resp
             naive: params.naive,
         },
     );
-    if let Some(doc) = inner.cache.get(&key) {
-        return Response::json(200, doc.as_bytes().to_vec());
+    let cached = inner
+        .sink
+        .time("server.request.cache", || inner.cache.get(&key));
+    if let Some(doc) = cached {
+        return (Response::json(200, doc.as_bytes().to_vec()), meta("hit"));
     }
     let rendered = match endpoint {
         Endpoint::Explain => run_explain(inner, &params),
         Endpoint::Report => run_report(inner, &params),
     };
-    match rendered {
+    let response = match rendered {
         Ok(doc) => {
             let doc = Arc::new(doc);
             inner.cache.insert(&key, Arc::clone(&doc));
             Response::json(200, doc.as_bytes().to_vec())
         }
         Err(message) => Response::error(422, &message),
-    }
+    };
+    (response, meta("miss"))
 }
 
 /// A request-scoped explainer over the dataset's shared intermediates.
@@ -512,19 +625,25 @@ fn run_explain(inner: &Inner, params: &QuestionParams) -> Result<String, String>
     let request_sink = MetricsSink::recording();
     let db = params.dataset.prepared.db();
     let explainer = request_explainer(params, &params.dataset, &request_sink);
-    let q_d = explainer.q_d().map_err(|e| e.to_string())?;
-    let (table, choice) = explainer.table().map_err(|e| e.to_string())?;
-    let ranked = explainer
-        .top(params.kind, params.top_k)
-        .map_err(|e| e.to_string())?;
-    let mut doc = jsonout::explain_doc(
-        db,
-        q_d,
-        choice,
-        table.len(),
-        &ranked,
-        &request_sink.snapshot(),
-    );
+    let (q_d, table_len, choice, ranked) = {
+        let _span = inner.sink.span("server.request.explain");
+        let q_d = explainer.q_d().map_err(|e| e.to_string())?;
+        let (table, choice) = explainer.table().map_err(|e| e.to_string())?;
+        let ranked = explainer
+            .top(params.kind, params.top_k)
+            .map_err(|e| e.to_string())?;
+        (q_d, table.len(), choice, ranked)
+    };
+    let mut doc = inner.sink.time("server.request.render", || {
+        jsonout::explain_doc(
+            db,
+            q_d,
+            choice,
+            table_len,
+            &ranked,
+            &request_sink.snapshot(),
+        )
+    });
     doc.push('\n');
     Ok(doc)
 }
@@ -538,6 +657,9 @@ fn run_report(inner: &Inner, params: &QuestionParams) -> Result<String, String> 
         drill_best: true,
         exec: exq_relstore::ExecConfig::sequential().with_metrics(request_sink.clone()),
     };
+    // `report_doc` computes and renders in one pass, so the report path
+    // books it all under the explain phase.
+    let _span = inner.sink.span("server.request.explain");
     let mut doc = jsonout::report_doc(&explainer, &config).map_err(|e| e.to_string())?;
     doc.push('\n');
     Ok(doc)

@@ -246,6 +246,96 @@ fn parallel_clients_get_identical_normalized_responses() {
     }
 }
 
+/// ISSUE 5 surface: every response carries a trace id, `GET /metrics`
+/// is valid Prometheus text exposition with per-endpoint latency
+/// histograms, and the flight recorder remembers recent requests by
+/// trace id and cache outcome.
+#[test]
+fn tracing_metrics_and_flight_recorder() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.addr();
+
+    let cold = client::post_json(addr, "/v1/explain", EXPLAIN_BODY).unwrap();
+    assert_eq!(cold.status, 200);
+    let first: u64 = cold.header("x-exq-trace-id").unwrap().parse().unwrap();
+    let warm = client::post_json(addr, "/v1/explain", EXPLAIN_BODY).unwrap();
+    let second: u64 = warm.header("x-exq-trace-id").unwrap().parse().unwrap();
+    // Sequential requests get consecutive trace ids.
+    assert_eq!(second, first + 1);
+
+    // The scrape target validates against the in-repo checker and
+    // carries the endpoint latency histograms split by cache outcome.
+    let prom = client::get(addr, "/metrics").unwrap();
+    assert_eq!(prom.status, 200);
+    assert!(
+        prom.header("content-type").unwrap().contains("text/plain"),
+        "{:?}",
+        prom.header("content-type")
+    );
+    let text = prom.text();
+    exq_obs::check_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    for family in [
+        "exq_server_latency_explain_miss_bucket",
+        "exq_server_latency_explain_hit_bucket",
+        "exq_span_calls_total{span=\"server.request\"}",
+    ] {
+        assert!(text.contains(family), "missing {family} in {text}");
+    }
+    assert!(text.contains("le=\"+Inf\""), "{text}");
+
+    // Same exposition through the JSON endpoint's format switch.
+    let prom2 = client::get(addr, "/v1/metrics?format=prometheus").unwrap();
+    assert_eq!(prom2.status, 200);
+    exq_obs::check_prometheus(&prom2.text()).unwrap();
+
+    // The flight recorder remembers both explain requests, matching
+    // the trace ids the client saw, with their cache outcomes.
+    let flight = client::get(addr, "/v1/debug/requests").unwrap();
+    assert_eq!(flight.status, 200);
+    let doc = exq_serve::json::parse(flight.text().as_bytes()).unwrap();
+    let requests = doc.get("requests").and_then(|v| v.as_array()).unwrap();
+    let find = |trace: u64| {
+        requests
+            .iter()
+            .find(|r| r.get("trace_id").and_then(|v| v.as_usize()) == Some(trace as usize))
+            .unwrap_or_else(|| panic!("trace {trace} not in flight recorder"))
+    };
+    assert_eq!(
+        find(first).get("cache").and_then(|v| v.as_str()),
+        Some("miss")
+    );
+    assert_eq!(
+        find(second).get("cache").and_then(|v| v.as_str()),
+        Some("hit")
+    );
+    assert_eq!(
+        find(first).get("path").and_then(|v| v.as_str()),
+        Some("/v1/explain")
+    );
+
+    let snapshot = handle.shutdown();
+    for (hist, expected) in [
+        ("server.latency.explain.miss", 1),
+        ("server.latency.explain.hit", 1),
+    ] {
+        assert_eq!(
+            snapshot.histograms.get(hist).map(|h| h.count),
+            Some(expected),
+            "histogram {hist}"
+        );
+    }
+    // The GETs above land in the pooled bucket.
+    assert!(snapshot.histograms["server.latency.other"].count >= 3);
+    // Request-phase spans fired on the server-global sink.
+    for span in [
+        "server.request",
+        "server.request.parse",
+        "server.request.explain",
+    ] {
+        assert!(snapshot.spans.contains_key(span), "missing span {span}");
+    }
+}
+
 #[test]
 fn zero_queue_depth_sheds_load_with_503_and_retry_after() {
     let handle = start(ServerConfig {

@@ -100,8 +100,13 @@ struct Obs {
     sink: MetricsSink,
     metrics_out: Option<String>,
     trace: bool,
+    trace_out: Option<String>,
     json: bool,
 }
+
+/// Trace ring depth for `--trace-out`: one explain emits well under a
+/// hundred spans, so 64k events never drops anything in practice.
+const TRACE_RING_CAPACITY: usize = 65_536;
 
 impl Obs {
     fn from_args(args: &Args) -> Result<Obs, String> {
@@ -112,15 +117,22 @@ impl Obs {
         };
         let metrics_out = args.optional("metrics").map(str::to_string);
         let trace = args.optional("trace").is_some();
-        let sink = if metrics_out.is_some() || trace || json {
+        let trace_out = args.optional("trace-out").map(str::to_string);
+        let sink = if metrics_out.is_some() || trace || trace_out.is_some() || json {
             MetricsSink::recording()
         } else {
             MetricsSink::disabled()
         };
+        if trace_out.is_some() {
+            sink.enable_tracing(TRACE_RING_CAPACITY);
+            // One CLI invocation is one trace.
+            sink.set_trace(1);
+        }
         Ok(Obs {
             sink,
             metrics_out,
             trace,
+            trace_out,
             json,
         })
     }
@@ -150,6 +162,16 @@ impl Obs {
                 fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
                 self.note(format!("wrote metrics to {path}"));
             }
+        }
+        if let Some(path) = &self.trace_out {
+            let json = self
+                .sink
+                .trace_chrome_json()
+                .ok_or("tracing was not armed (internal error)")?;
+            fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+            self.note(format!(
+                "wrote Chrome trace to {path} (load in Perfetto or chrome://tracing)"
+            ));
         }
         Ok(())
     }
@@ -467,6 +489,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
     eprintln!("signal received; draining in-flight requests");
+    let flight_json = handle.recent_requests_json();
     let snapshot = handle.shutdown();
     if let Some(path) = &obs.metrics_out {
         let json = snapshot.to_json();
@@ -475,6 +498,14 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         } else {
             fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
             eprintln!("wrote final metrics snapshot to {path}");
+            // Flight recorder lands next to the snapshot.
+            let flight_path = match path.strip_suffix(".json") {
+                Some(stem) => format!("{stem}.requests.json"),
+                None => format!("{path}.requests.json"),
+            };
+            fs::write(&flight_path, flight_json + "\n")
+                .map_err(|e| format!("{flight_path}: {e}"))?;
+            eprintln!("wrote flight recorder to {flight_path}");
         }
     }
     eprintln!(
@@ -565,28 +596,36 @@ const USAGE: &str =
   exq check    SCHEMA [QUESTION...] [--format pretty|json]
   exq schema   --schema FILE
   exq validate --schema FILE --table Rel=FILE...
-  exq profile  --schema FILE --table Rel=FILE... [--threads N] [--metrics PATH|-] [--trace]
+  exq profile  --schema FILE --table Rel=FILE... [--threads N] [--metrics PATH|-] \\
+               [--trace] [--trace-out PATH]
   exq report   --schema FILE --table Rel=FILE... --question FILE --attrs ... \\
-               [--top K] [--threads N] [--format pretty|json] [--metrics PATH|-] [--trace]
+               [--top K] [--threads N] [--format pretty|json] [--metrics PATH|-] \\
+               [--trace] [--trace-out PATH]
   exq explain  --schema FILE --table Rel=FILE... --question FILE \\
                --attrs Rel.a,Rel.b [--top K] [--by interv|aggr] \\
                [--strategy nominimal|selfjoin|append] [--polarity general|specific] \\
                [--min-support N] [--naive] [--dump-m FILE] [--threads N] \\
-               [--format pretty|json] [--metrics PATH|-] [--trace]
+               [--format pretty|json] [--metrics PATH|-] [--trace] [--trace-out PATH]
   exq drill    --schema FILE --table Rel=FILE... --question FILE --phi \"a = 'v'\" \\
-               [--threads N] [--format pretty|json] [--metrics PATH|-] [--trace]
+               [--threads N] [--format pretty|json] [--metrics PATH|-] \\
+               [--trace] [--trace-out PATH]
   exq serve    --addr HOST:PORT --preload NAME=DIR|NAME=gen:SPEC... \\
                [--threads N] [--cache-mb MB] [--queue-depth N] [--metrics PATH|-]
 
 --threads N pins the executor to N OS threads (default: all available
 cores). Results are bit-identical at every thread count.
---metrics PATH writes a JSON counter/span snapshot after the run (`-`
-for stdout); counters are bit-identical at every thread count.
---trace prints a per-span timing tree to stderr. --format json (explain,
-report, drill) emits one machine-readable JSON document on stdout and
-keeps stderr empty — the same document shape `exq serve` returns.
+--metrics PATH writes a JSON counter/span/histogram snapshot after the
+run (`-` for stdout); counters and value-histogram buckets are
+bit-identical at every thread count.
+--trace prints a per-span timing tree to stderr. --trace-out PATH writes
+the run as Chrome trace-event JSON (load in Perfetto/chrome://tracing).
+--format json (explain, report, drill) emits one machine-readable JSON
+document on stdout and keeps stderr empty — the same document shape
+`exq serve` returns.
 serve runs until SIGINT/SIGTERM, then drains in-flight requests and
-flushes a final metrics snapshot (--metrics PATH).";
+flushes a final metrics snapshot (--metrics PATH) plus the flight
+recorder's last-requests ring (PATH.requests.json); while running it
+exposes GET /metrics (Prometheus) and GET /v1/debug/requests.";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

@@ -203,6 +203,62 @@ fn parallel_clients_match_single_shot_cli_at_1_2_and_7_threads() {
     }
 }
 
+/// ISSUE 5 acceptance: for a *sequential* request mix (so cache
+/// hit/miss outcomes are deterministic), the server's final metrics
+/// snapshot — counters, span counts, and histogram bucket counts —
+/// normalizes to a bit-identical JSON document at 1, 2, and 7 worker
+/// threads. Wall-clock (span totals, latency histogram sums/buckets)
+/// is collapsed by `Snapshot::normalized()`; everything else must not
+/// depend on the thread count.
+#[test]
+fn sequential_snapshots_normalize_identically_at_1_2_and_7_threads() {
+    let dir = workdir("dblp-snapshot");
+    write_dataset(&dir);
+    let body = request_body(&dir);
+
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 2, 7] {
+        let mut catalog = Catalog::new();
+        catalog
+            .load_dir("dblp", &dir, &ExecConfig::sequential())
+            .unwrap();
+        let handle = exq::serve::start(
+            catalog,
+            ServerConfig {
+                threads,
+                ..ServerConfig::default()
+            },
+            exq::obs::MetricsSink::recording(),
+        )
+        .unwrap();
+        let addr = handle.addr();
+
+        // Deterministic mix: explain miss + hit, report miss + hit,
+        // and a sweep of the GET endpoints.
+        for _ in 0..2 {
+            let response = client::post_json(addr, "/v1/explain", &body).unwrap();
+            assert_eq!(response.status, 200, "{}", response.text());
+        }
+        for _ in 0..2 {
+            let response = client::post_json(addr, "/v1/report", &body).unwrap();
+            assert_eq!(response.status, 200, "{}", response.text());
+        }
+        for path in ["/healthz", "/v1/datasets", "/metrics", "/v1/debug/requests"] {
+            assert_eq!(client::get(addr, path).unwrap().status, 200);
+        }
+        assert_eq!(client::get(addr, "/nope").unwrap().status, 404);
+
+        let doc = handle.shutdown().normalized().to_json();
+        match &reference {
+            None => reference = Some(doc),
+            Some(expected) => assert_eq!(
+                &doc, expected,
+                "normalized snapshot changed at {threads} threads"
+            ),
+        }
+    }
+}
+
 /// `report --format json` through the CLI matches `/v1/report` through
 /// the server the same way.
 #[test]

@@ -1,0 +1,123 @@
+//! ISSUE 5 acceptance: run a full DBLP explain (semijoin reduction,
+//! universal join, Algorithm 1) under an armed trace ring and check the
+//! Chrome trace export — parsed with the server's own JSON reader —
+//! is stack-balanced and covers every pipeline phase.
+
+use exq::core::prelude::*;
+use exq::core::prepared::PreparedDb;
+use exq::datagen::dblp;
+use exq::obs::MetricsSink;
+use exq::relstore::aggregate::AggFunc;
+use exq::relstore::{Database, ExecConfig, Predicate};
+use std::sync::Arc;
+
+/// The Figure 2 "SIGMOD com/edu bump" question.
+fn bump_question(db: &Database) -> UserQuestion {
+    let schema = db.schema();
+    let pubid = schema.attr("Publication", "pubid").unwrap();
+    let venue = schema.attr("Publication", "venue").unwrap();
+    let year = schema.attr("Publication", "year").unwrap();
+    let dom = schema.attr("Author", "dom").unwrap();
+    let q = |d: &str, w: (i32, i32)| AggregateQuery {
+        func: AggFunc::CountDistinct(pubid),
+        selection: Predicate::and([
+            Predicate::eq(venue, "SIGMOD"),
+            Predicate::eq(dom, d),
+            Predicate::between(year, w.0, w.1),
+        ]),
+    };
+    UserQuestion::new(
+        NumericalQuery::double_ratio(
+            q("com", (2000, 2004)),
+            q("com", (2007, 2011)),
+            q("edu", (2000, 2004)),
+            q("edu", (2007, 2011)),
+        )
+        .with_smoothing(1e-4),
+        Direction::High,
+    )
+}
+
+#[test]
+fn dblp_explain_trace_is_balanced_and_covers_all_phases() {
+    let sink = MetricsSink::recording();
+    sink.enable_tracing(65_536);
+    sink.set_trace(1);
+    let exec = ExecConfig::sequential().with_metrics(sink.clone());
+
+    let db = Arc::new(dblp::generate(&dblp::DblpConfig {
+        papers_per_year_base: 6,
+        authors_per_institution: 4,
+        ..dblp::DblpConfig::default()
+    }));
+    let question = bump_question(&db);
+    let prepared = PreparedDb::build_with(Arc::clone(&db), &exec);
+    let explainer = prepared
+        .explainer(question)
+        .exec(exec.clone())
+        .attr_names(&["Author.inst"])
+        .unwrap();
+    explainer.q_d().unwrap();
+    let (_, choice) = explainer.table().unwrap();
+    assert_eq!(choice, EngineChoice::Cube);
+    let top = explainer.top(DegreeKind::Intervention, 5).unwrap();
+    assert!(!top.is_empty());
+
+    let text = sink.trace_chrome_json().expect("tracing is armed");
+    let doc = exq::serve::json::parse(text.as_bytes()).expect("export must parse");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+
+    // Balanced: every E closes the innermost open B on its thread.
+    let mut stacks: std::collections::HashMap<usize, Vec<(String, usize)>> =
+        std::collections::HashMap::new();
+    let mut begin_names = std::collections::BTreeSet::new();
+    for event in events {
+        let name = event
+            .get("name")
+            .and_then(|v| v.as_str())
+            .expect("event name")
+            .to_owned();
+        let tid = event.get("tid").and_then(|v| v.as_usize()).unwrap();
+        let span_id = event
+            .get("args")
+            .and_then(|a| a.get("span_id"))
+            .and_then(|v| v.as_usize())
+            .unwrap();
+        match event.get("ph").and_then(|v| v.as_str()).unwrap() {
+            "B" => {
+                begin_names.insert(name.clone());
+                stacks.entry(tid).or_default().push((name, span_id));
+            }
+            "E" => {
+                let top = stacks
+                    .get_mut(&tid)
+                    .and_then(Vec::pop)
+                    .expect("E without open B");
+                assert_eq!(top, (name, span_id));
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for stack in stacks.values() {
+        assert!(stack.is_empty(), "unclosed B events");
+    }
+
+    // Coverage: the trace spans the whole pipeline — preparation
+    // (semijoin + universal join), the cube, and Algorithm 1.
+    for phase in [
+        "prepare",
+        "semijoin",
+        "join",
+        "cube",
+        "cube_algo",
+        "explain.table",
+    ] {
+        assert!(
+            begin_names.contains(phase),
+            "phase {phase} missing from trace; saw {begin_names:?}"
+        );
+    }
+}
