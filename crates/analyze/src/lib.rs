@@ -41,13 +41,16 @@ pub use render::{render_json, render_pretty};
 
 use exq_relstore::DatabaseSchema;
 
-/// What kind of `.exq` file a source is.
+/// What kind of source file a [`SourceFile`] holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SourceKind {
     /// Schema DSL (`relation …` / `fk …`).
     Schema,
     /// Question DSL (`agg …` / `expr …` / `dir …` / `smoothing …`).
     Question,
+    /// Rust source, analyzed by `exq-lint` (this crate only renders
+    /// its diagnostics).
+    Rust,
 }
 
 /// A named input file.
@@ -77,6 +80,15 @@ impl SourceFile {
             name: name.into(),
             text: text.into(),
             kind: SourceKind::Question,
+        }
+    }
+
+    /// A Rust source (used by `exq-lint` for rendering).
+    pub fn rust(name: impl Into<String>, text: impl Into<String>) -> SourceFile {
+        SourceFile {
+            name: name.into(),
+            text: text.into(),
+            kind: SourceKind::Rust,
         }
     }
 }

@@ -120,22 +120,11 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// Quoted JSON string literal; the escaping itself is the workspace-wide
+/// [`exq_obs::escape_json`] (one table, shared with the serve and obs
+/// emitters, so the four renderers cannot disagree on an escape).
 fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    format!("\"{}\"", exq_obs::escape_json(s))
 }
 
 #[cfg(test)]

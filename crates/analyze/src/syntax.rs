@@ -8,36 +8,12 @@
 //! AST the semantic passes can still analyze.
 
 use crate::diag::{Diagnostic, Span};
+pub(crate) use exq_relstore::text::{col_of, strip_comment};
 use exq_relstore::ValueType;
-
-/// 1-based char column of `sub` within `line` (`sub` must be a subslice
-/// of `line`; every fragment below comes from slicing the raw line).
-pub(crate) fn col_of(line: &str, sub: &str) -> usize {
-    let offset = (sub.as_ptr() as usize).saturating_sub(line.as_ptr() as usize);
-    if offset > line.len() {
-        return 1;
-    }
-    line[..offset].chars().count() + 1
-}
 
 /// Span of the subslice `sub` of `line` on line `line_no`.
 pub(crate) fn span_of(line_no: usize, line: &str, sub: &str) -> Span {
     Span::new(line_no, col_of(line, sub), sub.chars().count())
-}
-
-/// Cut `#` comments (outside quotes).
-pub(crate) fn strip_comment(line: &str) -> &str {
-    let mut in_quote: Option<char> = None;
-    for (i, c) in line.char_indices() {
-        match in_quote {
-            Some(q) if c == q => in_quote = None,
-            Some(_) => {}
-            None if c == '\'' || c == '"' => in_quote = Some(c),
-            None if c == '#' => return &line[..i],
-            None => {}
-        }
-    }
-    line
 }
 
 // ---------------------------------------------------------------------

@@ -73,8 +73,12 @@ impl EntryKind {
 fn required_entries(scope: BenchScope) -> Vec<(EntryKind, &'static str)> {
     COUNTER_CATALOGUE
         .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        // `aux ` entries are emitted by the library but not pinned by
+        // any benchmark run (data/strategy-dependent names); only the
+        // lint catalogue audit checks those.
+        .filter(|l| !l.starts_with("aux "))
         .map(|line| {
             if let Some(name) = line.strip_prefix("span:") {
                 (EntryKind::Span, name)
@@ -1193,6 +1197,40 @@ fn validate_bench(path: &str, scope: BenchScope) {
             scope.name(),
             missing.join(", ")
         ));
+    }
+    // Cross-check the catalogue against the source tree (every entry
+    // has an emit site and vice versa) when run from a workspace
+    // checkout — the same audit `exq lint` runs, so a stale
+    // counters.txt fails here too, not only in the lint job.
+    match std::env::current_dir()
+        .ok()
+        .and_then(|d| exq_lint::find_workspace_root(&d))
+    {
+        Some(root) => {
+            let sources = match exq_lint::collect_sources(&root) {
+                Ok(s) => s,
+                Err(e) => fail(format!("catalogue cross-check: {e}")),
+            };
+            let diags = match exq_lint::audit::counters_audit(&root, &sources) {
+                Ok(d) => d,
+                Err(e) => fail(format!("catalogue cross-check: {e}")),
+            };
+            if !diags.is_empty() {
+                for d in &diags {
+                    eprintln!(
+                        "{} {}:{}:{} {}",
+                        d.code, d.file, d.span.line, d.span.col, d.message
+                    );
+                }
+                fail(format!(
+                    "assets/obs/counters.txt disagrees with the source tree \
+                     ({} problem(s) above)",
+                    diags.len()
+                ));
+            }
+            println!("ok: counters.txt matches the source tree's emit sites");
+        }
+        None => println!("note: not in a workspace checkout; emit-site cross-check skipped"),
     }
     println!(
         "ok: {path} has all {} catalogued {} metrics",

@@ -138,13 +138,18 @@ impl DataCausalGraph {
                 }
             }
         }
-        for ((tj, rel_i), companion) in &companions {
+        // Drain in sorted key order: the per-node edge lists must not
+        // inherit the companion map's hash order, or sibling solid
+        // edges would come out in a different order run to run.
+        let mut ordered: Vec<_> = companions.into_iter().collect();
+        ordered.sort_unstable();
+        for ((tj, rel_i), companion) in ordered {
             if let Some(row_i) = companion {
                 let ti = TupleId {
-                    rel: *rel_i,
-                    row: *row_i,
+                    rel: rel_i,
+                    row: row_i,
                 };
-                edges[index_of[&ti]].push((index_of[tj], EdgeKind::Solid));
+                edges[index_of[&ti]].push((index_of[&tj], EdgeKind::Solid));
             }
         }
 

@@ -137,6 +137,7 @@ pub fn explanation_table(
 
     // Lines 4-5: degree columns, derived per cell in parallel blocks (the
     // helper re-sorts by coordinate, so the HashMap drain order is moot).
+    // exq-lint: allow(L001): derive_rows re-sorts by coordinate, so the drain order is unobservable
     let cells: Vec<(Coord, Vec<f64>)> = joined.into_iter().collect();
     let rows = sink.time("cube_algo.derive", || {
         table_m::derive_rows(question, &totals, &cells, &config.exec)

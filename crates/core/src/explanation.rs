@@ -170,7 +170,7 @@ pub fn enumerate_candidates(
     filter: &exq_relstore::Predicate,
 ) -> Vec<Explanation> {
     let d = dims.len();
-    let mut coords: HashSet<Coord> = HashSet::new();
+    let mut uniq: HashSet<Coord> = HashSet::new();
     let mut base: Vec<Value> = Vec::with_capacity(d);
     for t in u.iter() {
         if !filter.eval(db, t) {
@@ -191,10 +191,10 @@ pub fn enumerate_candidates(
                     }
                 })
                 .collect();
-            coords.insert(coord);
+            uniq.insert(coord);
         }
     }
-    let mut coords: Vec<Coord> = coords.into_iter().collect();
+    let mut coords: Vec<Coord> = uniq.into_iter().collect();
     coords.sort(); // deterministic order
     coords
         .iter()

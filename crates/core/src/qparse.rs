@@ -26,6 +26,7 @@ use crate::error::{Error, Result};
 use crate::question::{AggregateQuery, Direction, NumExpr, NumericalQuery, UserQuestion};
 use exq_relstore::aggregate::AggFunc;
 use exq_relstore::parse::{parse_predicate_at, resolve_attr};
+use exq_relstore::text::{off_of, strip_comment};
 use exq_relstore::{DatabaseSchema, Predicate};
 
 fn perr(line: usize, col: usize, message: impl Into<String>) -> Error {
@@ -34,17 +35,6 @@ fn perr(line: usize, col: usize, message: impl Into<String>) -> Error {
         col,
         message: message.into(),
     })
-}
-
-/// 0-based char offset of `sub` within `line` (`sub` must be a subslice
-/// of `line`, which the directive parsing below guarantees — every piece
-/// comes from `strip_prefix`/`split_once`/`trim` on the raw line).
-fn off_of(line: &str, sub: &str) -> usize {
-    let offset = (sub.as_ptr() as usize).saturating_sub(line.as_ptr() as usize);
-    if offset > line.len() {
-        return 0;
-    }
-    line[..offset].chars().count()
 }
 
 /// Parse a question file against a schema.
@@ -132,20 +122,6 @@ pub fn parse_question(schema: &DatabaseSchema, text: &str) -> Result<UserQuestio
     Ok(UserQuestion::new(query, dir))
 }
 
-fn strip_comment(line: &str) -> &str {
-    let mut in_quote: Option<char> = None;
-    for (i, c) in line.char_indices() {
-        match in_quote {
-            Some(q) if c == q => in_quote = None,
-            Some(_) => {}
-            None if c == '\'' || c == '"' => in_quote = Some(c),
-            None if c == '#' => return &line[..i],
-            None => {}
-        }
-    }
-    line
-}
-
 /// `function(args) [where predicate]`. `raw` is the full source line
 /// `spec` came from, for column reporting.
 fn parse_aggregate(
@@ -217,6 +193,7 @@ fn parse_aggregate(
 }
 
 /// Split at the top-level ` where ` keyword (outside quotes).
+// exq-lint: allow(L006): the strict variant of analyze's tolerant split_where; they must diverge (this one refuses, that one recovers)
 fn spec_split_where(spec: &str) -> Option<(&str, &str)> {
     let lower = spec.to_ascii_lowercase();
     let mut in_quote: Option<char> = None;
@@ -353,6 +330,7 @@ impl EParser<'_> {
             + self.col0
     }
 
+    // exq-lint: allow(L006): cursor advance over this parser's own ETok stream; see relstore::parse::next
     fn next(&mut self) -> Option<ETok> {
         let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
         if t.is_some() {

@@ -125,6 +125,7 @@ pub fn eliminate_back_and_forth(db: &Database, fk_idx: usize) -> Result<BfElimin
             .entry(ref_table.project(row, &fk.from_cols))
             .or_insert(0) += 1;
     }
+    // exq-lint: allow(L001): max() is order-independent
     let copies = fanout.values().copied().max().unwrap_or(1).max(1);
 
     // New schema.

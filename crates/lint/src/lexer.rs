@@ -1,0 +1,439 @@
+//! A tolerant token-level Rust lexer.
+//!
+//! The lint rules need just enough lexical structure to reason about
+//! source soundly: comments and string literals must never be mistaken
+//! for code (a `HashMap` inside a doc comment is not a violation), and
+//! spans must carry 1-based line:col positions for diagnostics. The
+//! lexer is *total*: any byte sequence — valid Rust, truncated Rust,
+//! or arbitrary garbage — produces a token stream without panicking.
+//! Unterminated strings and comments simply run to end of input, and
+//! bytes that fit no token class become single [`TokKind::Unknown`]
+//! tokens.
+//!
+//! Covered literal forms: line and (nested) block comments, string and
+//! byte-string literals with escapes, raw strings `r#"…"#` with any
+//! number of hashes, raw identifiers `r#ident`, char and byte-char
+//! literals, and lifetimes (disambiguated from char literals the same
+//! way rustc's lexer does: `'a` followed by another `'` is a char,
+//! otherwise a lifetime).
+
+/// What class of token a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// A lifetime such as `'a` (including the quote).
+    Lifetime,
+    /// String, byte-string, or raw-string literal (quotes included).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// A single punctuation character (`.`, `:`, `{`, …).
+    Punct,
+    /// `// …` or `/* … */` comment, doc comments included.
+    Comment,
+    /// Anything that fits no other class (stray bytes).
+    Unknown,
+}
+
+/// One token: kind plus byte range and 1-based position in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based char column of the first byte.
+    pub col: usize,
+}
+
+impl Tok {
+    /// The token's text, sliced out of the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Lex `src` into tokens. Total: never panics, never loses position.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.char_indices().collect(),
+        src_len: src.len(),
+        i: 0,
+        line: 1,
+        col: 1,
+    }
+    .run()
+}
+
+struct Lexer {
+    /// `(byte_offset, char)` pairs; indexing is by char position.
+    chars: Vec<(usize, char)>,
+    src_len: usize,
+    i: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).map(|&(_, c)| c)
+    }
+
+    fn offset(&self) -> usize {
+        self.chars.get(self.i).map_or(self.src_len, |&(o, _)| o)
+    }
+
+    /// Consume one char, maintaining line/col.
+    fn bump(&mut self) {
+        if let Some(&(_, c)) = self.chars.get(self.i) {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_while(&mut self, f: impl Fn(char) -> bool) {
+        while self.peek(0).is_some_and(&f) {
+            self.bump();
+        }
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        let mut toks = Vec::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            let (start, line, col) = (self.offset(), self.line, self.col);
+            let kind = self.token(c);
+            toks.push(Tok {
+                kind,
+                start,
+                end: self.offset(),
+                line,
+                col,
+            });
+        }
+        toks
+    }
+
+    /// Lex one token starting at `c`; consumes at least one char.
+    fn token(&mut self, c: char) -> TokKind {
+        match c {
+            '/' if self.peek(1) == Some('/') => {
+                self.bump_while(|c| c != '\n');
+                TokKind::Comment
+            }
+            '/' if self.peek(1) == Some('*') => {
+                self.block_comment();
+                TokKind::Comment
+            }
+            '"' => {
+                self.string();
+                TokKind::Str
+            }
+            'b' if self.peek(1) == Some('"') => {
+                self.bump();
+                self.string();
+                TokKind::Str
+            }
+            'b' if self.peek(1) == Some('\'') => {
+                self.bump();
+                self.char_lit();
+                TokKind::Char
+            }
+            'r' | 'b' if self.raw_string_ahead(c) => {
+                if c == 'b' {
+                    self.bump(); // the `b` of `br`
+                }
+                self.raw_string();
+                TokKind::Str
+            }
+            'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) => {
+                // Raw identifier `r#ident`.
+                self.bump();
+                self.bump();
+                self.bump_while(is_ident_continue);
+                TokKind::Ident
+            }
+            '\'' => self.lifetime_or_char(),
+            c if is_ident_start(c) => {
+                self.bump_while(is_ident_continue);
+                TokKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                self.number();
+                TokKind::Num
+            }
+            c if c.is_ascii_punctuation() => {
+                self.bump();
+                TokKind::Punct
+            }
+            _ => {
+                self.bump();
+                TokKind::Unknown
+            }
+        }
+    }
+
+    /// Does a raw string (not a raw identifier) start here? `r"`,
+    /// `r#…#"`, `br"`, `br#…#"`.
+    fn raw_string_ahead(&self, c: char) -> bool {
+        let mut j = 1 + usize::from(c == 'b');
+        if c == 'b' && self.peek(1) != Some('r') {
+            return false;
+        }
+        while self.peek(j) == Some('#') {
+            j += 1;
+        }
+        self.peek(j) == Some('"')
+    }
+
+    /// `/* … */` with nesting; tolerant of EOF.
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => return,
+            }
+        }
+    }
+
+    /// `"…"` with backslash escapes; tolerant of EOF.
+    fn string(&mut self) {
+        self.bump();
+        loop {
+            match self.peek(0) {
+                None => return,
+                Some('"') => {
+                    self.bump();
+                    return;
+                }
+                Some('\\') => {
+                    self.bump();
+                    self.bump();
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// `r#"…"#` with the opening hash count; tolerant of EOF.
+    fn raw_string(&mut self) {
+        self.bump(); // `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                None => return,
+                Some('"') => {
+                    self.bump();
+                    if (0..hashes).all(|k| self.peek(k) == Some('#')) {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        return;
+                    }
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// `'…'` after the opening quote was identified as a char literal.
+    fn char_lit(&mut self) {
+        self.bump(); // `'`
+        match self.peek(0) {
+            Some('\\') => {
+                self.bump();
+                self.bump();
+                // Escapes like `\u{1f600}` span until the closing quote.
+                self.bump_while(|c| c != '\'' && c != '\n');
+            }
+            Some(_) => self.bump(),
+            None => return,
+        }
+        if self.peek(0) == Some('\'') {
+            self.bump();
+        }
+    }
+
+    /// Disambiguate `'a'` (char) from `'a` (lifetime): an identifier
+    /// after the quote is a lifetime unless a closing quote follows it
+    /// immediately.
+    fn lifetime_or_char(&mut self) -> TokKind {
+        match self.peek(1) {
+            Some(c) if is_ident_start(c) => {
+                let mut j = 2;
+                while self.peek(j).is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                if self.peek(j) == Some('\'') {
+                    self.char_lit();
+                    TokKind::Char
+                } else {
+                    self.bump();
+                    self.bump_while(is_ident_continue);
+                    TokKind::Lifetime
+                }
+            }
+            _ => {
+                self.char_lit();
+                TokKind::Char
+            }
+        }
+    }
+
+    /// Numbers, tolerantly: digits, then any alphanumerics, `_`, and
+    /// single `.`s that are not the start of a `..` range.
+    fn number(&mut self) {
+        self.bump();
+        loop {
+            match self.peek(0) {
+                Some(c) if c.is_ascii_alphanumeric() || c == '_' => self.bump(),
+                Some('.') if self.peek(1) != Some('.') => self.bump(),
+                _ => return,
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn basic_stream() {
+        let src = "let mut m: HashMap<u32, f64> = HashMap::new(); // done";
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokKind::Ident, "let"));
+        assert_eq!(toks[3], (TokKind::Punct, ":"));
+        assert_eq!(toks[4], (TokKind::Ident, "HashMap"));
+        assert_eq!(toks.last().unwrap(), &(TokKind::Comment, "// done"));
+    }
+
+    #[test]
+    fn strings_and_raw_strings() {
+        let src = r####"("a \" b", r#"raw " str"#, br##"x"##, b"bytes")"####;
+        let strs: Vec<&str> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(
+            strs,
+            [
+                "\"a \\\" b\"",
+                "r#\"raw \" str\"#",
+                "br##\"x\"##",
+                "b\"bytes\""
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let q = b'q'; }";
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokKind::Lifetime, "'a")));
+        assert!(toks.contains(&(TokKind::Char, "'x'")));
+        assert!(toks.contains(&(TokKind::Char, "'\\n'")));
+        assert!(toks.contains(&(TokKind::Char, "b'q'")));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(kinds("r#fn")[0], (TokKind::Ident, "r#fn"));
+        assert_eq!(kinds("r\"s\"")[0], (TokKind::Str, "r\"s\""));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still */ b";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::Comment);
+        assert_eq!(toks[2], (TokKind::Ident, "b"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e3_f64; }");
+        assert!(toks.contains(&(TokKind::Num, "0")));
+        assert!(toks.contains(&(TokKind::Num, "10")));
+        assert!(toks.contains(&(TokKind::Num, "1.5e3_f64")));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let src = "ab\n  cd \"s\"\n/* c */ e";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!(toks[1].text(src), "cd");
+        let e = toks.last().unwrap();
+        assert_eq!((e.line, e.col), (3, 9));
+    }
+
+    #[test]
+    fn total_on_garbage() {
+        for bad in [
+            "\"unterminated",
+            "r###\"never closed",
+            "/* still open",
+            "'",
+            "'\\",
+            "b'",
+            "\u{0}\u{7f}\u{80}",
+            "🦀🦀'🦀",
+        ] {
+            let toks = lex(bad);
+            // Every byte is covered in order, nothing panics.
+            assert!(toks.windows(2).all(|w| w[0].end <= w[1].start), "{bad:?}");
+        }
+    }
+}

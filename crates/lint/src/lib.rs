@@ -1,0 +1,451 @@
+//! # exq-lint — workspace determinism & observability auditor
+//!
+//! The engine's headline guarantee — explanations bit-identical at any
+//! thread count, with a pinned semantic-counter catalogue — is easy to
+//! break silently: one `HashMap` iteration in a hot path, one
+//! `Instant::now()` folded into a result, one counter emitted without a
+//! catalogue entry. This crate checks those invariants *statically*,
+//! the same way `exq check` already lints the `.exq` DSLs, and is wired
+//! into CI as `exq lint --deny-warnings`.
+//!
+//! Three layers:
+//!
+//! 1. [`lexer`] — a tolerant token-level Rust lexer (comments, strings,
+//!    raw strings, lifetimes) that is total over arbitrary bytes.
+//! 2. [`rules`] — token-pattern rules with stable `L001`–`L006` codes
+//!    over each source file (plus one cross-file rule), rendered with
+//!    `exq-analyze`'s rustc-style/JSON renderers.
+//! 3. [`audit`] — cross-artifact audits (`L007`–`L011`) tying
+//!    `assets/obs/counters.txt`, the Prometheus naming rules, and the
+//!    `exq-analyze` diagnostic-code table to actual source.
+//!
+//! ## Code catalogue
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | L001 | `HashMap`/`HashSet` iteration in a determinism-scoped crate (`relstore`, `core`) |
+//! | L002 | wall-clock read (`Instant::now`, `SystemTime`, `UNIX_EPOCH`) outside `crates/obs` |
+//! | L003 | `thread::current()` outside `relstore/src/par.rs` / `obs/src/trace.rs` |
+//! | L004 | float accumulation over an unordered (`HashMap`/`HashSet`) iterator |
+//! | L005 | `print!`/`println!`/`eprint!`/`eprintln!`/`dbg!` in a library crate |
+//! | L006 | near-duplicate helper function defined in two crates |
+//! | L007 | `counters.txt` entry with no emit site or source mention |
+//! | L008 | metric emitted with a name missing from `counters.txt` |
+//! | L009 | `counters.txt` entry that cannot render to a legal Prometheus name |
+//! | L010 | diagnostic code in the `exq-analyze` table never constructed |
+//! | L011 | diagnostic code with no `tests/fixtures/bad` coverage |
+//!
+//! ## Suppression
+//!
+//! A violation is silenced by a justified allow comment on the same
+//! line or the line directly above it:
+//!
+//! ```text
+//! // exq-lint: allow(L001): per-level counts are order-independent sums
+//! for (coords, count) in cells.iter() { … }
+//! ```
+//!
+//! The justification after the `:` is mandatory by convention (review
+//! enforces it); the codes in `allow(…)` are what the engine honours.
+//! Tokens inside `#[cfg(test)]` items are never linted.
+
+pub mod audit;
+pub mod lexer;
+pub mod rules;
+
+pub use exq_analyze::{render_json, render_pretty, Diagnostic, Severity, SourceFile, Span};
+
+use lexer::{lex, Tok, TokKind};
+use std::path::{Path, PathBuf};
+
+/// One Rust source file prepared for linting: lexed, with test-only
+/// token ranges masked out and allow directives extracted.
+#[derive(Debug)]
+pub struct LintSource {
+    /// Display path (repo-relative when collected via
+    /// [`collect_sources`]); used in diagnostics.
+    pub path: String,
+    /// Full text.
+    pub text: String,
+    /// Crate the file belongs to (`relstore`, `core`, …; the root
+    /// binary/package is `exq`), derived from the path unless
+    /// overridden.
+    pub krate: String,
+    /// `true` for library sources — anything not under a `bin/` or
+    /// `tests/` directory. Several rules only apply to library code.
+    pub is_lib: bool,
+    /// Code tokens: the full lex stream minus comments and minus
+    /// everything inside `#[cfg(test)]` items.
+    pub code: Vec<Tok>,
+    allows: Vec<Allow>,
+}
+
+/// A parsed `// exq-lint: allow(Lxxx[, Lyyy]): reason` directive.
+#[derive(Debug)]
+struct Allow {
+    codes: Vec<String>,
+    line: usize,
+}
+
+impl LintSource {
+    /// Prepare a source, deriving the crate name from the path.
+    pub fn new(path: impl Into<String>, text: impl Into<String>) -> LintSource {
+        Self::with_crate(path, text, None)
+    }
+
+    /// Prepare a source with an explicit crate name (CLI
+    /// `--assume-crate`, and fixtures via `// exq-lint-fixture:`).
+    pub fn with_crate(
+        path: impl Into<String>,
+        text: impl Into<String>,
+        krate: Option<&str>,
+    ) -> LintSource {
+        let path = path.into();
+        let text = text.into();
+        let toks = lex(&text);
+        let directive = fixture_crate_directive(&toks, &text);
+        // A fixture pretending to live in another crate also counts as
+        // library code there, even though the file itself sits under a
+        // `tests/` directory — otherwise the lib-only rules could never
+        // be exercised from the seeded-violation corpus.
+        let is_lib = directive.is_some() || is_lib_path(&path);
+        let krate = krate
+            .map(str::to_owned)
+            .or(directive)
+            .unwrap_or_else(|| crate_of(&path));
+        let allows = parse_allows(&toks, &text);
+        let masked = test_mask(&toks, &text);
+        let code = toks
+            .iter()
+            .enumerate()
+            .filter(|&(i, t)| t.kind != TokKind::Comment && !masked[i])
+            .map(|(_, t)| *t)
+            .collect();
+        LintSource {
+            path,
+            text,
+            krate,
+            is_lib,
+            code,
+            allows,
+        }
+    }
+
+    /// The text of a token of this source.
+    pub fn tok_text(&self, t: &Tok) -> &str {
+        t.text(&self.text)
+    }
+
+    /// Is diagnostic `code` at `line` silenced by an allow directive on
+    /// that line or the line above?
+    fn suppressed(&self, code: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| (a.line == line || a.line + 1 == line) && a.codes.iter().any(|c| c == code))
+    }
+}
+
+/// `// exq-lint-fixture: crate=NAME` — lets a seeded-violation fixture
+/// pretend to live in a determinism-scoped crate.
+fn fixture_crate_directive(toks: &[Tok], text: &str) -> Option<String> {
+    for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
+        if let Some(rest) = t.text(text).split("exq-lint-fixture:").nth(1) {
+            if let Some(name) = rest.split("crate=").nth(1) {
+                let name: String = name
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '-')
+                    .collect();
+                if !name.is_empty() {
+                    return Some(name);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Extract every `exq-lint: allow(…)` directive from comment tokens.
+fn parse_allows(toks: &[Tok], text: &str) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
+        let body = t.text(text);
+        let Some(rest) = body.split("exq-lint:").nth(1) else {
+            continue;
+        };
+        let Some(args) = rest
+            .split("allow(")
+            .nth(1)
+            .and_then(|s| s.split(')').next())
+        else {
+            continue;
+        };
+        let codes: Vec<String> = args
+            .split([',', ' '])
+            .map(str::trim)
+            .filter(|c| !c.is_empty())
+            .map(str::to_owned)
+            .collect();
+        if !codes.is_empty() {
+            // A multi-line block comment allows on its *last* line so
+            // `/* … */` directly above the code behaves like `//`.
+            let end_line = t.line + body.matches('\n').count();
+            allows.push(Allow {
+                codes,
+                line: end_line,
+            });
+        }
+    }
+    allows
+}
+
+/// Mark every token inside a `#[cfg(test)]` item (`mod`, `fn`, `use`,
+/// …): the attribute tokens themselves, any stacked attributes after
+/// it, and the item up to its matching close brace (or terminating
+/// semicolon for brace-less items).
+fn test_mask(toks: &[Tok], text: &str) -> Vec<bool> {
+    let is = |i: usize, s: &str| toks.get(i).is_some_and(|t| t.text(text) == s);
+    let mut masked = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        // `# [ cfg ( test ) ]`
+        let hit = is(i, "#")
+            && is(i + 1, "[")
+            && is(i + 2, "cfg")
+            && is(i + 3, "(")
+            && is(i + 4, "test")
+            && is(i + 5, ")")
+            && is(i + 6, "]");
+        if !hit {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 7;
+        // Skip any further attributes stacked on the same item.
+        while is(j, "#") && is(j + 1, "[") {
+            let mut depth = 0usize;
+            j += 1;
+            while j < toks.len() {
+                if is(j, "[") {
+                    depth += 1;
+                } else if is(j, "]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Consume the item: to the matching `}` of its first body
+        // brace, or to a `;` if one comes first.
+        let mut depth = 0usize;
+        while j < toks.len() {
+            if toks[j].kind == TokKind::Punct {
+                match toks[j].text(text) {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let end = (j + 1).min(toks.len());
+        for m in &mut masked[start..end] {
+            *m = true;
+        }
+        i = end;
+    }
+    masked
+}
+
+/// Crate name from a repo-relative path: `crates/relstore/src/…` →
+/// `relstore`; anything under the root `src/` belongs to the umbrella
+/// package `exq`; otherwise the first path segment.
+fn crate_of(path: &str) -> String {
+    let norm = path.replace('\\', "/");
+    let parts: Vec<&str> = norm.split('/').filter(|p| !p.is_empty()).collect();
+    match parts.as_slice() {
+        ["crates", name, ..] => (*name).to_owned(),
+        ["src", ..] => "exq".to_owned(),
+        [first, ..] => (*first).to_owned(),
+        [] => String::new(),
+    }
+}
+
+/// Library source = not under a `bin/` or `tests/` directory and not a
+/// `build.rs`. `main.rs` under `src/` counts as a binary root too.
+fn is_lib_path(path: &str) -> bool {
+    let norm = path.replace('\\', "/");
+    !(norm.contains("/bin/")
+        || norm.starts_with("bin/")
+        || norm.contains("/tests/")
+        || norm.starts_with("tests/")
+        || norm.ends_with("/main.rs")
+        || norm.ends_with("build.rs"))
+}
+
+/// Run rules `L001`–`L006` over the sources, apply allow directives,
+/// and return diagnostics ordered by (file, line, col).
+pub fn lint_sources(sources: &[LintSource]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for s in sources {
+        rules::per_file(s, &mut diags);
+    }
+    rules::cross_file(sources, &mut diags);
+    apply_allows(sources, &mut diags);
+    sort_diags(&mut diags);
+    diags
+}
+
+/// Drop diagnostics silenced by `exq-lint: allow` directives.
+pub(crate) fn apply_allows(sources: &[LintSource], diags: &mut Vec<Diagnostic>) {
+    diags.retain(|d| {
+        sources
+            .iter()
+            .find(|s| s.path == d.file)
+            .is_none_or(|s| !s.suppressed(d.code, d.span.line))
+    });
+}
+
+pub(crate) fn sort_diags(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (&a.file, a.span.line, a.span.col, a.code).cmp(&(&b.file, b.span.line, b.span.col, b.code))
+    });
+}
+
+/// Walk up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Collect every lintable workspace source: `crates/*/src/**/*.rs` and
+/// the root package's `src/**/*.rs`. Vendored stubs (`vendor/`) and
+/// integration-test trees are out of scope. Deterministic order.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<LintSource>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            walk_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    walk_rs(&root.join("src"), &mut files)?;
+    files.sort();
+    let mut sources = Vec::with_capacity(files.len());
+    for f in files {
+        let text = std::fs::read_to_string(&f)?;
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        sources.push(LintSource::new(rel, text));
+    }
+    Ok(sources)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            walk_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// The sources as `exq-analyze` [`SourceFile`]s, for
+/// [`render_pretty`]'s caret output.
+pub fn to_source_files(sources: &[LintSource]) -> Vec<SourceFile> {
+    sources
+        .iter()
+        .map(|s| SourceFile::rust(s.path.clone(), s.text.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_derivation() {
+        assert_eq!(crate_of("crates/relstore/src/cube.rs"), "relstore");
+        assert_eq!(crate_of("src/bin/exq.rs"), "exq");
+        assert_eq!(crate_of("src/lib.rs"), "exq");
+    }
+
+    #[test]
+    fn lib_vs_bin_paths() {
+        assert!(is_lib_path("crates/serve/src/server.rs"));
+        assert!(!is_lib_path("src/bin/exq.rs"));
+        assert!(!is_lib_path("crates/bench/src/bin/repro.rs"));
+        assert!(!is_lib_path("crates/core/tests/x.rs"));
+    }
+
+    #[test]
+    fn allow_directive_parsing() {
+        let src = LintSource::new(
+            "crates/core/src/x.rs",
+            "// exq-lint: allow(L001, L004): sums commute\nfn f() {}\n// plain comment\n",
+        );
+        assert!(src.suppressed("L001", 1));
+        assert!(src.suppressed("L004", 2)); // line after the comment
+        assert!(!src.suppressed("L002", 1));
+        assert!(!src.suppressed("L001", 3));
+    }
+
+    #[test]
+    fn cfg_test_items_are_masked() {
+        let src = LintSource::new(
+            "crates/core/src/x.rs",
+            "fn live() { real(); }\n#[cfg(test)]\nmod tests {\n    fn t() { masked(); }\n}\n",
+        );
+        let texts: Vec<&str> = src.code.iter().map(|t| src.tok_text(t)).collect();
+        assert!(texts.contains(&"real"));
+        assert!(!texts.contains(&"masked"));
+        assert!(!texts.contains(&"cfg"));
+    }
+
+    #[test]
+    fn fixture_crate_directive_wins() {
+        let src = LintSource::new(
+            "tests/fixtures/lint/x.rs",
+            "// exq-lint-fixture: crate=relstore\nfn f() {}\n",
+        );
+        assert_eq!(src.krate, "relstore");
+    }
+}

@@ -1,0 +1,802 @@
+//! The token-pattern rules, `L001`–`L006`.
+//!
+//! Every rule works on [`LintSource::code`] — the lexed stream with
+//! comments and `#[cfg(test)]` items already removed — so string
+//! literals and doc comments can never trigger a rule. Each rule has a
+//! stable code, an error/warning severity, and (where the fix is
+//! mechanical) a help suggestion; see the crate docs for the catalogue
+//! and `tests/fixtures/lint/` for one seeded violation per rule.
+
+use crate::lexer::{Tok, TokKind};
+use crate::LintSource;
+use exq_analyze::{Diagnostic, Span};
+use std::collections::BTreeSet;
+
+/// Crates whose hot paths carry the bit-identical-explanations
+/// contract; `L001` applies only to these.
+const DETERMINISM_CRATES: &[&str] = &["relstore", "core"];
+
+/// Files allowed to reason about the current thread (`L003`).
+const THREAD_ID_EXEMPT: &[&str] = &["relstore/src/par.rs", "obs/src/trace.rs"];
+
+/// Methods whose iteration order is the hash order of the container.
+const UNORDERED_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Run the single-file rules over one source.
+pub(crate) fn per_file(s: &LintSource, out: &mut Vec<Diagnostic>) {
+    let unordered = unordered_names(s);
+    if DETERMINISM_CRATES.contains(&s.krate.as_str()) {
+        l001_unordered_iteration(s, &unordered, out);
+    }
+    l002_wall_clock(s, out);
+    l003_thread_id(s, out);
+    l004_float_accumulation(s, &unordered, out);
+    l005_prints_in_libs(s, out);
+}
+
+/// Run the cross-file rules (`L006`) over the whole source set.
+pub(crate) fn cross_file(sources: &[LintSource], out: &mut Vec<Diagnostic>) {
+    l006_duplicate_helpers(sources, out);
+}
+
+fn text(s: &LintSource, i: usize) -> &str {
+    s.code.get(i).map_or("", |t| t.text(&s.text))
+}
+
+fn is(s: &LintSource, i: usize, t: &str) -> bool {
+    text(s, i) == t
+}
+
+fn kind(s: &LintSource, i: usize) -> Option<TokKind> {
+    s.code.get(i).map(|t| t.kind)
+}
+
+fn span_of(t: &Tok, src: &LintSource) -> Span {
+    Span::new(t.line, t.col, t.text(&src.text).chars().count())
+}
+
+/// Names bound (or typed) as `HashMap`/`HashSet` in this file, with the
+/// container named for the message.
+///
+/// Two shapes are recognised:
+/// - a type ascription `name: [&][mut][std::collections::]HashMap<…>`
+///   (params, struct fields, lets with explicit types);
+/// - a `let [mut] name = … HashMap::new()/with_capacity()/default()/
+///   from_iter()` initialiser.
+fn unordered_names(s: &LintSource) -> Vec<(String, &'static str)> {
+    let mut names: Vec<(String, &'static str)> = Vec::new();
+    let mut push = |name: &str, container: &'static str| {
+        if !names.iter().any(|(n, _)| n == name) {
+            names.push((name.to_owned(), container));
+        }
+    };
+    for i in 0..s.code.len() {
+        let container = match text(s, i) {
+            "HashMap" => "HashMap",
+            "HashSet" => "HashSet",
+            _ => continue,
+        };
+        // Shape 1: walk back over `:: std collections & mut 'a dyn` to
+        // a `name :` binder.
+        let mut k = i;
+        while k > 0 {
+            let prev = text(s, k - 1);
+            let skippable = matches!(prev, ":" | "&" | "mut" | "std" | "collections" | "dyn")
+                || kind(s, k - 1) == Some(TokKind::Lifetime);
+            if !skippable {
+                break;
+            }
+            k -= 1;
+        }
+        if k > 0 && k < i && kind(s, k - 1) == Some(TokKind::Ident) && is(s, k, ":") {
+            let name = text(s, k - 1);
+            if !matches!(name, "collections" | "std") {
+                push(name, container);
+            }
+        }
+        // Shape 2: `HashMap :: new(…)` etc. — find the enclosing `let`.
+        if is(s, i + 1, ":")
+            && is(s, i + 2, ":")
+            && matches!(
+                text(s, i + 3),
+                "new" | "with_capacity" | "default" | "from_iter" | "from"
+            )
+        {
+            let mut k = i;
+            let mut budget = 40usize;
+            while k > 0 && budget > 0 {
+                match text(s, k - 1) {
+                    // `;`/braces end the statement; `!`, `[`, and `|`
+                    // mean the constructor sits inside a macro, an
+                    // array/`vec!` element, or a closure — the binding
+                    // to the left is a *container of* maps (e.g.
+                    // `let per_mask: Vec<HashMap<…>> =
+                    // (0..n).map(|_| HashMap::new()).collect()`), which
+                    // iterates in its own deterministic order.
+                    ";" | "{" | "}" | "!" | "[" | "|" => break,
+                    "let" => {
+                        let j = k + usize::from(is(s, k, "mut"));
+                        if kind(s, j) == Some(TokKind::Ident) {
+                            push(text(s, j), container);
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+                k -= 1;
+                budget -= 1;
+            }
+        }
+    }
+    names
+}
+
+/// Find `name.method(` and `for … in [&][mut] name {` iteration sites
+/// for any unordered `name`; calls `hit` with the flagged token and the
+/// container kind.
+fn for_each_unordered_iteration<'a>(
+    s: &'a LintSource,
+    unordered: &'a [(String, &'static str)],
+    mut hit: impl FnMut(usize, &'a Tok, &'static str),
+) {
+    let container_of = |name: &str| unordered.iter().find(|(n, _)| n == name).map(|&(_, c)| c);
+    for i in 0..s.code.len() {
+        if kind(s, i) != Some(TokKind::Ident) {
+            continue;
+        }
+        let Some(container) = container_of(text(s, i)) else {
+            continue;
+        };
+        // `name . iter ( …`
+        if is(s, i + 1, ".")
+            && UNORDERED_ITER_METHODS.contains(&text(s, i + 2))
+            && is(s, i + 3, "(")
+        {
+            hit(i, &s.code[i], container);
+            continue;
+        }
+        // `for pat in [&][mut] name {` — require an `in` just before
+        // (after optional `&`/`mut`) and an opening brace just after.
+        let mut k = i;
+        while k > 0 && matches!(text(s, k - 1), "&" | "mut") {
+            k -= 1;
+        }
+        if k > 0 && is(s, k - 1, "in") && is(s, i + 1, "{") {
+            hit(i, &s.code[i], container);
+        }
+    }
+}
+
+/// L001: `HashMap`/`HashSet` iteration in a determinism-scoped crate.
+///
+/// The sanctioned fix — drain into a `Vec` and sort before the order
+/// becomes observable — is recognised and not flagged: a `collect`
+/// followed by a `sort*` call within the lookahead window means the
+/// hash order dies in the sort.
+fn l001_unordered_iteration(
+    s: &LintSource,
+    unordered: &[(String, &'static str)],
+    out: &mut Vec<Diagnostic>,
+) {
+    for_each_unordered_iteration(s, unordered, |i, tok, container| {
+        if collect_then_sort(s, i) {
+            return;
+        }
+        out.push(
+            Diagnostic::error(
+                "L001",
+                &s.path,
+                span_of(tok, s),
+                format!(
+                    "iteration over unordered {container} `{}` in determinism-scoped crate `{}`",
+                    text(s, i),
+                    s.krate
+                ),
+            )
+            .with_help(
+                "collect and sort the entries before folding them into results, \
+                 or add `// exq-lint: allow(L001): <why order cannot matter>`",
+            ),
+        );
+    });
+}
+
+/// The collect-then-sort idiom: within the lookahead window after an
+/// unordered iteration site, a `collect` with a later `sort`/
+/// `sort_unstable`/`sort_by_key`/… call (possibly on the next
+/// statement) turns the hash order into a sorted order before anything
+/// can observe it.
+fn collect_then_sort(s: &LintSource, i: usize) -> bool {
+    let mut collected = false;
+    for j in i..(i + 60).min(s.code.len()) {
+        let t = text(s, j);
+        if !collected {
+            collected = t == "collect";
+        } else if t.starts_with("sort") {
+            return true;
+        }
+    }
+    false
+}
+
+/// L002: wall-clock reads outside `crates/obs` library internals.
+fn l002_wall_clock(s: &LintSource, out: &mut Vec<Diagnostic>) {
+    if s.krate == "obs" || !s.is_lib {
+        return;
+    }
+    for i in 0..s.code.len() {
+        let flagged = match text(s, i) {
+            "Instant" => is(s, i + 1, ":") && is(s, i + 2, ":") && is(s, i + 3, "now"),
+            "SystemTime" | "UNIX_EPOCH" => true,
+            _ => false,
+        };
+        if flagged {
+            out.push(
+                Diagnostic::error(
+                    "L002",
+                    &s.path,
+                    span_of(&s.code[i], s),
+                    format!(
+                        "wall-clock read (`{}`) outside `crates/obs` span internals",
+                        text(s, i)
+                    ),
+                )
+                .with_help(
+                    "time through `MetricsSink::span`/`observe_duration` so clock reads \
+                     stay behind the obs boundary, or add \
+                     `// exq-lint: allow(L002): <why this read cannot leak into results>`",
+                ),
+            );
+        }
+    }
+}
+
+/// L003: `thread::current()` outside the two files that own thread
+/// identity (`relstore/src/par.rs` work stealing, `obs/src/trace.rs`
+/// trace attribution).
+fn l003_thread_id(s: &LintSource, out: &mut Vec<Diagnostic>) {
+    if THREAD_ID_EXEMPT.iter().any(|e| s.path.ends_with(e)) {
+        return;
+    }
+    for i in 0..s.code.len() {
+        if is(s, i, "thread") && is(s, i + 1, ":") && is(s, i + 2, ":") && is(s, i + 3, "current") {
+            out.push(
+                Diagnostic::error(
+                    "L003",
+                    &s.path,
+                    span_of(&s.code[i], s),
+                    "thread-identity logic outside `relstore/src/par.rs`/`obs/src/trace.rs`",
+                )
+                .with_help(
+                    "results must not depend on which worker computed them; pass an explicit \
+                     worker index instead of `thread::current()`",
+                ),
+            );
+        }
+    }
+}
+
+/// L004: float accumulation driven by an unordered iterator — float
+/// addition does not commute in rounding, so hash-order folds make
+/// results run-dependent in *any* crate.
+fn l004_float_accumulation(
+    s: &LintSource,
+    unordered: &[(String, &'static str)],
+    out: &mut Vec<Diagnostic>,
+) {
+    for_each_unordered_iteration(s, unordered, |i, tok, container| {
+        // Look ahead over the rest of the statement for an
+        // accumulator and float evidence.
+        let mut accumulates = false;
+        let mut floaty = false;
+        for j in i..(i + 40).min(s.code.len()) {
+            match text(s, j) {
+                ";" => break,
+                "sum" | "product" | "fold" => accumulates = true,
+                "f64" | "f32" => floaty = true,
+                _ => {
+                    if kind(s, j) == Some(TokKind::Num) && text(s, j).contains('.') {
+                        floaty = true;
+                    }
+                }
+            }
+        }
+        if accumulates && floaty {
+            out.push(
+                Diagnostic::error(
+                    "L004",
+                    &s.path,
+                    span_of(tok, s),
+                    format!(
+                        "float accumulation over unordered {container} `{}`",
+                        text(s, i)
+                    ),
+                )
+                .with_help(
+                    "sort the entries before summing (float addition is not associative), \
+                     or add `// exq-lint: allow(L004): <why rounding order cannot matter>`",
+                ),
+            );
+        }
+    });
+}
+
+/// L005: `print!`-family and `dbg!` in library crates — libraries
+/// report through `Diagnostic`s or the metrics sink, never stdout.
+fn l005_prints_in_libs(s: &LintSource, out: &mut Vec<Diagnostic>) {
+    if !s.is_lib {
+        return;
+    }
+    for i in 0..s.code.len() {
+        let name = text(s, i);
+        if matches!(name, "print" | "println" | "eprint" | "eprintln" | "dbg") && is(s, i + 1, "!")
+        {
+            out.push(
+                Diagnostic::error(
+                    "L005",
+                    &s.path,
+                    span_of(&s.code[i], s),
+                    format!("`{name}!` in library crate `{}`", s.krate),
+                )
+                .with_help(
+                    "return the text to the caller or emit through `MetricsSink::note`; \
+                     only binaries own stdio",
+                ),
+            );
+        }
+    }
+}
+
+// --- L006: near-duplicate helpers across crates -------------------------
+
+/// Shingle length for the similarity fingerprint: long enough that a
+/// match means several statements in a row, short enough to survive
+/// small edits (`format!` vs `write!`).
+const SHINGLE_LEN: usize = 8;
+/// Minimum normalized body length worth comparing — below this,
+/// idiomatic one-liners collide constantly.
+const MIN_BODY_TOKENS: usize = 40;
+/// Containment (shared shingles / smaller shingle set) at which two
+/// bodies count as duplicates. Containment rather than Jaccard because
+/// a copy usually *adds* to the original (the historical
+/// `render::json_str` wrapped `obs::escape_json`'s body in quote
+/// pushes), and additions should not dilute the match. Calibrated on
+/// the workspace — see `dup_threshold_separates_real_pairs` below.
+const DUP_THRESHOLD_PERCENT: u64 = 60;
+
+struct FnDef<'a> {
+    krate: &'a str,
+    path: &'a str,
+    name: String,
+    tok: Tok,
+    body_len: usize,
+    shingles: BTreeSet<u64>,
+}
+
+/// L006: the same helper maintained in two crates drifts apart
+/// silently; flag near-identical `fn` bodies across crate boundaries.
+fn l006_duplicate_helpers(sources: &[LintSource], out: &mut Vec<Diagnostic>) {
+    let mut fns: Vec<FnDef<'_>> = Vec::new();
+    for s in sources {
+        collect_fns(s, &mut fns);
+    }
+    for a in 0..fns.len() {
+        for b in (a + 1)..fns.len() {
+            let (fa, fb) = (&fns[a], &fns[b]);
+            if fa.krate == fb.krate {
+                continue;
+            }
+            let (small, large) = if fa.body_len <= fb.body_len {
+                (fa.body_len, fb.body_len)
+            } else {
+                (fb.body_len, fa.body_len)
+            };
+            if small * 2 < large {
+                continue; // too different in size to be a copy
+            }
+            let inter = fa.shingles.intersection(&fb.shingles).count() as u64;
+            let smaller = fa.shingles.len().min(fb.shingles.len()) as u64;
+            if smaller == 0 {
+                continue;
+            }
+            let pct = inter * 100 / smaller;
+            if pct >= DUP_THRESHOLD_PERCENT {
+                let src = sources.iter().find(|s| s.path == fb.path).unwrap();
+                out.push(
+                    Diagnostic::warning(
+                        "L006",
+                        fb.path,
+                        span_of(&fb.tok, src),
+                        format!(
+                            "`{}` duplicates `{}` from `{}` ({}:{}, {pct}% token overlap)",
+                            fb.name, fa.name, fa.krate, fa.path, fa.tok.line
+                        ),
+                    )
+                    .with_help("extract one shared helper (the copies will drift apart silently)"),
+                );
+            }
+        }
+    }
+}
+
+/// Extract every `fn name(…) { body }` with a normalized-body
+/// fingerprint.
+fn collect_fns<'a>(s: &'a LintSource, out: &mut Vec<FnDef<'a>>) {
+    let mut i = 0;
+    while i < s.code.len() {
+        if !(is(s, i, "fn") && kind(s, i + 1) == Some(TokKind::Ident)) {
+            i += 1;
+            continue;
+        }
+        let name_tok = s.code[i + 1];
+        // Find the body's opening brace at paren depth 0; a `;` first
+        // means a trait-method signature without a body.
+        let mut j = i + 2;
+        let mut paren = 0usize;
+        let body_start = loop {
+            match (kind(s, j), text(s, j)) {
+                (None, _) => break None,
+                (_, "(") => paren += 1,
+                (_, ")") => paren = paren.saturating_sub(1),
+                (_, ";") if paren == 0 => break None,
+                (_, "{") if paren == 0 => break Some(j),
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(start) = body_start else {
+            i += 2;
+            continue;
+        };
+        // Match the braces.
+        let mut depth = 0usize;
+        let mut end = start;
+        while end < s.code.len() {
+            match text(s, end) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let norm = normalize(s, start + 1, end.min(s.code.len()));
+        if norm.len() >= MIN_BODY_TOKENS {
+            let mut shingles = BTreeSet::new();
+            for w in norm.windows(SHINGLE_LEN) {
+                shingles.insert(fnv1a(w));
+            }
+            out.push(FnDef {
+                krate: &s.krate,
+                path: &s.path,
+                name: s.tok_text(&name_tok).to_owned(),
+                tok: name_tok,
+                body_len: norm.len(),
+                shingles,
+            });
+        }
+        i = end.max(i + 2);
+    }
+}
+
+/// Body normalization: identifier and punctuation text verbatim,
+/// lifetimes and numbers collapsed to their kind. Identifiers are
+/// deliberately *not* α-renamed: real copy-paste keeps names, and
+/// position-sensitive renaming schemes (de Bruijn indices) shatter the
+/// whole fingerprint when one early statement differs — a copy that
+/// consistently renames every variable is out of scope (precision over
+/// recall). String literals stay verbatim because they are the
+/// *behaviour* of table-driven helpers (match arms).
+fn normalize(s: &LintSource, start: usize, end: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(end.saturating_sub(start));
+    for t in &s.code[start..end] {
+        out.push(match t.kind {
+            TokKind::Lifetime => "'_".to_owned(),
+            TokKind::Num => "N".to_owned(),
+            _ => t.text(&s.text).to_owned(),
+        });
+    }
+    out
+}
+
+fn fnv1a(window: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in window {
+        for b in part.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(path: &str, src: &str) -> Vec<Diagnostic> {
+        let s = LintSource::new(path, src);
+        let mut out = Vec::new();
+        per_file(&s, &mut out);
+        crate::apply_allows(std::slice::from_ref(&s), &mut out);
+        out
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn l001_flags_map_iteration_in_determinism_crates_only() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, u32>) -> Vec<u32> {\n\
+                   \u{20}   m.keys().copied().collect()\n\
+                   }\n";
+        assert_eq!(codes(&lint_one("crates/relstore/src/x.rs", src)), ["L001"]);
+        assert_eq!(codes(&lint_one("crates/core/src/x.rs", src)), ["L001"]);
+        assert!(codes(&lint_one("crates/serve/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn l001_flags_for_loops_and_let_bindings() {
+        let src = "use std::collections::HashSet;\n\
+                   fn f() {\n\
+                   \u{20}   let mut seen = HashSet::new();\n\
+                   \u{20}   seen.insert(1);\n\
+                   \u{20}   for x in &seen { drop(x); }\n\
+                   }\n";
+        let diags = lint_one("crates/core/src/x.rs", src);
+        assert_eq!(codes(&diags), ["L001"]);
+        assert_eq!(diags[0].span.line, 5);
+    }
+
+    #[test]
+    fn l001_collect_then_sort_is_sanctioned() {
+        let src = "fn f(m: std::collections::HashMap<u32, u32>) -> Vec<(u32, u32)> {\n\
+                   \u{20}   let mut v: Vec<_> = m.into_iter().collect();\n\
+                   \u{20}   v.sort_unstable();\n\
+                   \u{20}   v\n\
+                   }\n";
+        assert!(codes(&lint_one("crates/core/src/x.rs", src)).is_empty());
+        // A collect with no sort is still flagged.
+        let unsorted = "fn f(m: std::collections::HashMap<u32, u32>) -> Vec<(u32, u32)> {\n\
+                        \u{20}   m.into_iter().collect()\n\
+                        }\n";
+        assert_eq!(codes(&lint_one("crates/core/src/x.rs", unsorted)), ["L001"]);
+    }
+
+    #[test]
+    fn l001_allow_comment_suppresses() {
+        let src = "fn f(m: &std::collections::HashMap<u32, u32>) -> usize {\n\
+                   \u{20}   // exq-lint: allow(L001): counting is order-independent\n\
+                   \u{20}   m.keys().count()\n\
+                   }\n";
+        assert!(codes(&lint_one("crates/core/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn l001_ignores_comments_strings_and_tests() {
+        let src = "// a HashMap iter() in prose\n\
+                   const S: &str = \"m.iter()\";\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \u{20}   fn t(m: &std::collections::HashMap<u32, u32>) { m.iter().count(); }\n\
+                   }\n";
+        assert!(codes(&lint_one("crates/relstore/src/x.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn l002_flags_lib_clock_reads_outside_obs() {
+        let src = "fn f() { let t = std::time::Instant::now(); drop(t); }\n";
+        assert_eq!(codes(&lint_one("crates/serve/src/x.rs", src)), ["L002"]);
+        assert!(codes(&lint_one("crates/obs/src/x.rs", src)).is_empty());
+        assert!(codes(&lint_one("src/bin/exq.rs", src)).is_empty());
+        let sys = "fn f() -> std::time::SystemTime { std::time::SystemTime::now() }\n";
+        assert_eq!(
+            codes(&lint_one("crates/core/src/x.rs", sys)),
+            ["L002", "L002"]
+        );
+    }
+
+    #[test]
+    fn l003_flags_thread_identity_outside_par_and_trace() {
+        let src = "fn f() { let id = std::thread::current().id(); drop(id); }\n";
+        assert_eq!(codes(&lint_one("crates/core/src/x.rs", src)), ["L003"]);
+        assert!(codes(&lint_one("crates/relstore/src/par.rs", src)).is_empty());
+        assert!(codes(&lint_one("crates/obs/src/trace.rs", src)).is_empty());
+    }
+
+    #[test]
+    fn l004_flags_float_sums_over_hash_order_in_any_crate() {
+        let src = "fn f(m: &std::collections::HashMap<u32, f64>) -> f64 {\n\
+                   \u{20}   m.values().sum::<f64>()\n\
+                   }\n";
+        assert_eq!(codes(&lint_one("crates/serve/src/x.rs", src)), ["L004"]);
+        // Integer sums over hash order are not L004 (still L001 in
+        // determinism crates).
+        let int = "fn f(m: &std::collections::HashMap<u32, u64>) -> u64 {\n\
+                   \u{20}   m.values().sum::<u64>()\n\
+                   }\n";
+        assert!(codes(&lint_one("crates/serve/src/x.rs", int)).is_empty());
+    }
+
+    #[test]
+    fn l005_flags_prints_in_libs_only() {
+        let src = "fn f() { println!(\"x\"); }\n";
+        assert_eq!(codes(&lint_one("crates/core/src/x.rs", src)), ["L005"]);
+        assert!(codes(&lint_one("crates/bench/src/bin/repro.rs", src)).is_empty());
+        let dbg = "fn f() { dbg!(1 + 1); }\n";
+        assert_eq!(codes(&lint_one("crates/core/src/x.rs", dbg)), ["L005"]);
+    }
+
+    #[test]
+    fn l006_flags_near_identical_bodies_across_crates() {
+        // Same table-driven helper, different names and one different
+        // call — the shape of the json_str/escape_json duplication.
+        let body = |call: &str| {
+            format!(
+                "pub fn helper(s: &str) -> String {{\n\
+                 \u{20}   let mut out = String::with_capacity(s.len());\n\
+                 \u{20}   for c in s.chars() {{\n\
+                 \u{20}       match c {{\n\
+                 \u{20}           '\"' => out.push_str(\"\\\\\\\"\"),\n\
+                 \u{20}           '\\\\' => out.push_str(\"\\\\\\\\\"),\n\
+                 \u{20}           '\\n' => out.push_str(\"\\\\n\"),\n\
+                 \u{20}           '\\r' => out.push_str(\"\\\\r\"),\n\
+                 \u{20}           '\\t' => out.push_str(\"\\\\t\"),\n\
+                 \u{20}           c => out.{call}(c),\n\
+                 \u{20}       }}\n\
+                 \u{20}   }}\n\
+                 \u{20}   out\n\
+                 }}\n"
+            )
+        };
+        let a = LintSource::new("crates/core/src/a.rs", body("push"));
+        let b = LintSource::new("crates/serve/src/b.rs", body("write_char"));
+        let mut out = Vec::new();
+        cross_file(&[a, b], &mut out);
+        assert_eq!(codes(&out), ["L006"]);
+        assert_eq!(out[0].file, "crates/serve/src/b.rs");
+
+        // Unrelated bodies of similar length do not pair up.
+        let other = "pub fn walk(n: usize) -> usize {\n\
+                     \u{20}   let mut acc = 0;\n\
+                     \u{20}   for i in 0..n {\n\
+                     \u{20}       if i % 3 == 0 { acc += i * 7; } else { acc -= i; }\n\
+                     \u{20}       while acc > 100 { acc /= 2; }\n\
+                     \u{20}       acc += n.rotate_left(1) as usize;\n\
+                     \u{20}   }\n\
+                     \u{20}   acc\n\
+                     }\n";
+        let a = LintSource::new("crates/core/src/a.rs", body("push"));
+        let c = LintSource::new("crates/serve/src/c.rs", other);
+        let mut out = Vec::new();
+        cross_file(&[a, c], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    /// The calibration behind [`DUP_THRESHOLD_PERCENT`]: a copy that
+    /// *adds* statements around the original (the shape of the
+    /// historical `render::json_str`, which wrapped `obs::escape_json`
+    /// in quote pushes) must stay above the threshold, while two
+    /// helpers that merely share an idiomatic skeleton — a tolerant
+    /// and a strict variant of the same splitter, differing in their
+    /// error arms — must stay below it.
+    #[test]
+    fn dup_threshold_separates_real_pairs() {
+        let escape = "pub fn escape_json(s: &str) -> String {\n\
+                      \u{20}   let mut out = String::with_capacity(s.len());\n\
+                      \u{20}   for c in s.chars() {\n\
+                      \u{20}       match c {\n\
+                      \u{20}           '\\\"' => out.push_str(\"\\\\\\\"\"),\n\
+                      \u{20}           '\\\\' => out.push_str(\"\\\\\\\\\"),\n\
+                      \u{20}           '\\n' => out.push_str(\"\\\\n\"),\n\
+                      \u{20}           '\\t' => out.push_str(\"\\\\t\"),\n\
+                      \u{20}           c => out.push(c),\n\
+                      \u{20}       }\n\
+                      \u{20}   }\n\
+                      \u{20}   out\n\
+                      }\n";
+        // The copy wraps the same loop in quote pushes — extra
+        // shingles at the edges, core identical.
+        let wrapper = "pub fn json_str(s: &str) -> String {\n\
+                       \u{20}   let mut out = String::with_capacity(s.len() + 2);\n\
+                       \u{20}   out.push('\\\"');\n\
+                       \u{20}   for c in s.chars() {\n\
+                       \u{20}       match c {\n\
+                       \u{20}           '\\\"' => out.push_str(\"\\\\\\\"\"),\n\
+                       \u{20}           '\\\\' => out.push_str(\"\\\\\\\\\"),\n\
+                       \u{20}           '\\n' => out.push_str(\"\\\\n\"),\n\
+                       \u{20}           '\\t' => out.push_str(\"\\\\t\"),\n\
+                       \u{20}           c => out.push(c),\n\
+                       \u{20}       }\n\
+                       \u{20}   }\n\
+                       \u{20}   out.push('\\\"');\n\
+                       \u{20}   out\n\
+                       }\n";
+        let a = LintSource::new("crates/obs/src/a.rs", escape);
+        let b = LintSource::new("crates/analyze/src/b.rs", wrapper);
+        let mut out = Vec::new();
+        cross_file(&[a, b], &mut out);
+        assert_eq!(codes(&out), ["L006"], "wrapper-around-copy must flag");
+
+        // Structural siblings: same splitting skeleton, but the strict
+        // variant validates and errors where the tolerant one skips.
+        let tolerant = "pub fn split_parts(s: &str) -> Vec<String> {\n\
+                        \u{20}   let mut parts = Vec::new();\n\
+                        \u{20}   let mut depth = 0usize;\n\
+                        \u{20}   let mut cur = String::new();\n\
+                        \u{20}   for c in s.chars() {\n\
+                        \u{20}       match c {\n\
+                        \u{20}           '(' => { depth += 1; cur.push(c); }\n\
+                        \u{20}           ')' => { depth = depth.saturating_sub(1); cur.push(c); }\n\
+                        \u{20}           ',' if depth == 0 => { parts.push(cur.trim().to_owned()); cur.clear(); }\n\
+                        \u{20}           _ => cur.push(c),\n\
+                        \u{20}       }\n\
+                        \u{20}   }\n\
+                        \u{20}   if !cur.trim().is_empty() { parts.push(cur.trim().to_owned()); }\n\
+                        \u{20}   parts\n\
+                        }\n";
+        let strict = "pub fn split_checked(input: &str) -> Result<Vec<String>, String> {\n\
+                      \u{20}   let mut fields = Vec::new();\n\
+                      \u{20}   let mut nesting = 0i32;\n\
+                      \u{20}   let mut start = 0usize;\n\
+                      \u{20}   for (pos, ch) in input.char_indices() {\n\
+                      \u{20}       if ch == '(' {\n\
+                      \u{20}           nesting += 1;\n\
+                      \u{20}       } else if ch == ')' {\n\
+                      \u{20}           nesting -= 1;\n\
+                      \u{20}           if nesting < 0 { return Err(format!(\"unbalanced at {pos}\")); }\n\
+                      \u{20}       } else if ch == ',' && nesting == 0 {\n\
+                      \u{20}           fields.push(validate(input[start..pos].trim())?);\n\
+                      \u{20}           start = pos + 1;\n\
+                      \u{20}       }\n\
+                      \u{20}   }\n\
+                      \u{20}   if nesting != 0 { return Err(\"unbalanced\".to_owned()); }\n\
+                      \u{20}   fields.push(validate(input[start..].trim())?);\n\
+                      \u{20}   Ok(fields)\n\
+                      }\n";
+        let a = LintSource::new("crates/core/src/a.rs", tolerant);
+        let b = LintSource::new("crates/relstore/src/b.rs", strict);
+        let mut out = Vec::new();
+        cross_file(&[a, b], &mut out);
+        assert!(out.is_empty(), "structural siblings must not flag: {out:?}");
+    }
+
+    #[test]
+    fn l006_same_crate_copies_are_not_flagged() {
+        let body = "pub fn helper(s: &str) -> String {\n\
+                    \u{20}   let mut out = String::with_capacity(s.len());\n\
+                    \u{20}   for c in s.chars() {\n\
+                    \u{20}       match c {\n\
+                    \u{20}           'a' => out.push_str(\"A\"),\n\
+                    \u{20}           'b' => out.push_str(\"B\"),\n\
+                    \u{20}           'c' => out.push_str(\"C\"),\n\
+                    \u{20}           c => out.push(c),\n\
+                    \u{20}       }\n\
+                    \u{20}   }\n\
+                    \u{20}   out\n\
+                    }\n";
+        let a = LintSource::new("crates/core/src/a.rs", body);
+        let b = LintSource::new("crates/core/src/b.rs", body);
+        let mut out = Vec::new();
+        cross_file(&[a, b], &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,78 @@
+//! The linter must be *total*: arbitrary bytes, truncated source, and
+//! randomly mutated Rust all lex, mask, and lint without panicking.
+//! (A linter that crashes on the code it is pointed at is worse than
+//! no linter — it takes CI down with it.)
+
+use exq_lint::lexer::lex;
+use exq_lint::{lint_sources, LintSource};
+use proptest::prelude::*;
+
+/// A small but representative Rust-ish seed exercising every token
+/// class the lexer distinguishes.
+const SEED: &str = r####"
+//! Doc comment with `code` and "quotes".
+use std::collections::HashMap;
+
+/// Outer doc.
+pub fn f<'a>(s: &'a str, m: &HashMap<u32, f64>) -> String {
+    let raw = r#"raw "string" body"#;
+    let byte = b"bytes\xff";
+    let ch = 'x';
+    let life: &'static str = "life";
+    let num = 0x1f_u64 + 1.5e3 + 0b101;
+    /* block /* nested */ comment */
+    let range = 1..10;
+    format!("{raw}{byte:?}{ch}{life}{num}{range:?}{}", m.len())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { println!("test-only"); }
+}
+"####;
+
+fn lint_never_panics(path: &str, text: &str) {
+    let src = LintSource::new(path, text);
+    let _ = lint_sources(std::slice::from_ref(&src));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary printable-plus-specials soup: the lexer must emit
+    /// tokens covering the input and never panic; the rules must run.
+    #[test]
+    fn arbitrary_text_lints(s in "[ -~\n\t\u{3}é\"'\\\\]{0,64}") {
+        let toks = lex(&s);
+        for t in &toks {
+            prop_assert!(t.start <= t.end && t.end <= s.len());
+            prop_assert!(s.is_char_boundary(t.start) && s.is_char_boundary(t.end));
+        }
+        lint_never_panics("crates/core/src/x.rs", &s);
+    }
+
+    /// Mutated real Rust: splice arbitrary garbage into the seed at an
+    /// arbitrary char boundary, optionally truncating — unterminated
+    /// strings, half comments, and split tokens must all be tolerated.
+    #[test]
+    fn mutated_rust_lints(
+        at in 0usize..1000,
+        cut in 0usize..1000,
+        garbage in "[ -~\n\"'/*#!\\\\]{0,16}",
+    ) {
+        let boundaries: Vec<usize> = SEED
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain(std::iter::once(SEED.len()))
+            .collect();
+        let at = boundaries[at % boundaries.len()];
+        let cut = boundaries[cut % boundaries.len()];
+        let mut text = String::with_capacity(SEED.len() + garbage.len());
+        text.push_str(&SEED[..at]);
+        text.push_str(&garbage);
+        text.push_str(&SEED[at..]);
+        lint_never_panics("crates/relstore/src/x.rs", &text);
+        lint_never_panics("crates/obs/src/x.rs", &SEED[..cut]);
+    }
+}

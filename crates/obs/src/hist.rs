@@ -67,8 +67,12 @@ pub fn bucket_upper(i: usize) -> u64 {
         return i as u64;
     }
     let octave = i / SUB_BUCKETS - 1;
-    let offset = (i % SUB_BUCKETS) as u64;
-    ((offset + SUB_BUCKETS as u64 + 1) << octave) - 1
+    let offset = (i % SUB_BUCKETS) as u128;
+    // In u128: the top bucket's bound is `8 << 61`, which is exactly
+    // 2^64 — one past u64 — so the u64 shift would truncate to zero
+    // (and the `- 1` then underflow) for the bucket holding u64::MAX.
+    let upper = ((offset + SUB_BUCKETS as u128 + 1) << octave) - 1;
+    upper.min(u128::from(u64::MAX)) as u64
 }
 
 /// A fixed-layout log-bucketed histogram over `u64` samples.
@@ -200,6 +204,37 @@ mod tests {
             assert_eq!(bucket_index(v), v as usize);
             assert_eq!(bucket_upper(v as usize), v);
         }
+    }
+
+    #[test]
+    fn octave_boundaries_bucket_exactly() {
+        // At every power of two: 2^k is the first value of its octave's
+        // first sub-bucket, and 2^k - 1 the last value of the previous
+        // bucket — so the two must land in adjacent buckets and the
+        // bucket boundary must sit exactly between them.
+        for k in 2..64u32 {
+            let v = 1u64 << k;
+            let below = bucket_index(v - 1);
+            let at = bucket_index(v);
+            assert_eq!(at, below + 1, "2^{k} must open a new bucket");
+            assert_eq!(bucket_upper(below), v - 1, "boundary below 2^{k}");
+        }
+    }
+
+    #[test]
+    fn top_bucket_holds_u64_max() {
+        // The last bucket's bound is 2^64 - 1; the u64-only shift used
+        // to truncate to zero and underflow here (debug-build panic).
+        let top = bucket_index(u64::MAX);
+        assert_eq!(top, 251);
+        assert_eq!(bucket_upper(top), u64::MAX);
+        let mut hist = Histogram::new();
+        hist.record(u64::MAX);
+        hist.record(0);
+        let buckets = hist.buckets();
+        assert_eq!(buckets.first(), Some(&(0, 1)));
+        assert_eq!(buckets.last(), Some(&(u64::MAX, 1)));
+        assert_eq!(hist.quantile(1.0), u64::MAX);
     }
 
     #[test]

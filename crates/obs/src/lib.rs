@@ -65,7 +65,7 @@ mod prom;
 mod trace;
 
 pub use hist::{bucket_index, bucket_upper, HistKind, Histogram, HistogramSnapshot};
-pub use prom::{check_prometheus, sanitize_name};
+pub use prom::{check_prometheus, is_valid_metric_name, sanitize_name};
 pub use trace::{current_tid, TraceEvent, TracePhase};
 
 use std::collections::BTreeMap;

@@ -85,7 +85,12 @@ pub(crate) fn render(snapshot: &Snapshot) -> String {
     out
 }
 
-fn valid_metric_name(name: &str) -> bool {
+/// Is `name` a legal Prometheus metric name (`[a-zA-Z_:][a-zA-Z0-9_:]*`)?
+///
+/// Used by [`check_prometheus`] on every exposition line, and by
+/// `exq lint`'s catalogue audit to prove each `counters.txt` entry will
+/// render to a scrapeable name.
+pub fn is_valid_metric_name(name: &str) -> bool {
     let mut chars = name.chars();
     match chars.next() {
         Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
@@ -154,7 +159,7 @@ pub fn check_prometheus(text: &str) -> Result<(), String> {
         }
         if let Some(rest) = line.strip_prefix("# HELP ") {
             let name = rest.split(' ').next().unwrap_or("");
-            if !valid_metric_name(name) {
+            if !is_valid_metric_name(name) {
                 return Err(loc(format!("bad metric name in HELP: {name:?}")));
             }
             if helped.insert(name.to_owned(), false).is_some() {
@@ -188,7 +193,7 @@ pub fn check_prometheus(text: &str) -> Result<(), String> {
         }
 
         let (name, le, value) = parse_sample(line).map_err(loc)?;
-        if !valid_metric_name(&name) {
+        if !is_valid_metric_name(&name) {
             return Err(loc(format!("bad metric name {name:?}")));
         }
         samples += 1;

@@ -200,6 +200,7 @@ pub fn compute_with(
         // its number of specified (non-null) coordinates — the grand
         // total is level 0, finest-grain cells are level d.
         let mut per_level = vec![0u64; dims.len() + 1];
+        // exq-lint: allow(L001): per-level integer counting is order-independent
         for coord in cells.keys() {
             per_level[coord.iter().filter(|v| !v.is_null()).count()] += 1;
         }
@@ -244,6 +245,7 @@ pub fn group_by_with(
     let (cells, _selected) = accumulate(db, u, selection, dims, agg, exec, false)?;
     Ok(Cube {
         dims: dims.to_vec(),
+        // exq-lint: allow(L001): map-to-map re-keying; each cell finalizes independently, no order observable
         cells: cells.into_iter().map(|(k, s)| (k, s.finalize())).collect(),
     })
 }

@@ -66,6 +66,7 @@ pub mod schema;
 pub mod semijoin;
 pub mod stats;
 pub mod table;
+pub mod text;
 pub mod tupleset;
 pub mod value;
 

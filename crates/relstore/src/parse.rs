@@ -34,6 +34,7 @@
 use crate::error::{Error, Result};
 use crate::predicate::{CmpOp, Predicate};
 use crate::schema::{AttrRef, DatabaseSchema, SchemaBuilder};
+use crate::text::{col_of, strip_comment};
 use crate::value::{Value, ValueType};
 
 fn parse_err(line: usize, col: usize, message: impl Into<String>) -> Error {
@@ -42,18 +43,6 @@ fn parse_err(line: usize, col: usize, message: impl Into<String>) -> Error {
         col,
         message: message.into(),
     }
-}
-
-/// 1-based column of `sub` within `line`. `sub` must be a subslice of
-/// `line` (the parsers below only ever slice, never reallocate), so the
-/// pointer offset is the byte offset; columns count chars so multi-byte
-/// characters earlier in the line don't skew the caret.
-fn col_of(line: &str, sub: &str) -> usize {
-    let offset = (sub.as_ptr() as usize).saturating_sub(line.as_ptr() as usize);
-    if offset > line.len() {
-        return 1;
-    }
-    line[..offset].chars().count() + 1
 }
 
 // ---------------------------------------------------------------------
@@ -82,21 +71,6 @@ pub fn parse_schema(text: &str) -> Result<DatabaseSchema> {
         }
     }
     builder.build()
-}
-
-fn strip_comment(line: &str) -> &str {
-    // '#' outside quotes starts a comment.
-    let mut in_quote: Option<char> = None;
-    for (i, c) in line.char_indices() {
-        match in_quote {
-            Some(q) if c == q => in_quote = None,
-            Some(_) => {}
-            None if c == '\'' || c == '"' => in_quote = Some(c),
-            None if c == '#' => return &line[..i],
-            None => {}
-        }
-    }
-    line
 }
 
 /// `Name(col: type [key], …)`
@@ -492,6 +466,7 @@ impl PredParser<'_> {
         parse_err(self.line, self.here(), message)
     }
 
+    // exq-lint: allow(L006): cursor advance over this parser's own token/position types; sharing would couple the strict and loose token enums
     fn next(&mut self) -> Option<Token> {
         let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
         if t.is_some() {
@@ -500,6 +475,7 @@ impl PredParser<'_> {
         t
     }
 
+    // exq-lint: allow(L006): precedence-climbing skeleton; operates on this parser's Token/Predicate, the strict/loose pair differ in error arms
     fn expr(&mut self) -> Result<Predicate> {
         let mut parts = vec![self.conjunction()?];
         while self.peek() == Some(&Token::Or) {
@@ -513,6 +489,7 @@ impl PredParser<'_> {
         })
     }
 
+    // exq-lint: allow(L006): precedence-climbing skeleton; see `expr` above
     fn conjunction(&mut self) -> Result<Predicate> {
         let mut parts = vec![self.unary()?];
         while self.peek() == Some(&Token::And) {

@@ -1,0 +1,69 @@
+//! Line-oriented text helpers shared by every DSL parser in the
+//! workspace: the strict schema/predicate parsers here in
+//! [`crate::parse`], `exq-core`'s question parser, and `exq-analyze`'s
+//! tolerant checkers. One definition keeps the caret arithmetic and the
+//! comment rules from drifting apart between the strict and loose
+//! parsers (the drift is exactly what `exq lint`'s `L006` guards
+//! against).
+
+/// 1-based column of `sub` within `line`. `sub` must be a subslice of
+/// `line` (the parsers only ever slice, never reallocate), so the
+/// pointer offset is the byte offset; columns count chars so multi-byte
+/// characters earlier in the line don't skew the caret.
+pub fn col_of(line: &str, sub: &str) -> usize {
+    let offset = (sub.as_ptr() as usize).saturating_sub(line.as_ptr() as usize);
+    if offset > line.len() {
+        return 1;
+    }
+    line[..offset].chars().count() + 1
+}
+
+/// 0-based char offset of `sub` within `line` — [`col_of`] for callers
+/// that do their own `+ 1` when building spans.
+pub fn off_of(line: &str, sub: &str) -> usize {
+    col_of(line, sub) - 1
+}
+
+/// Cut a `#` comment (outside single- or double-quoted strings) off the
+/// end of `line`.
+pub fn strip_comment(line: &str) -> &str {
+    let mut in_quote: Option<char> = None;
+    for (i, c) in line.char_indices() {
+        match in_quote {
+            Some(q) if c == q => in_quote = None,
+            Some(_) => {}
+            None if c == '\'' || c == '"' => in_quote = Some(c),
+            None if c == '#' => return &line[..i],
+            None => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_of_counts_chars_not_bytes() {
+        let line = "αβγ rest";
+        let sub = &line[line.find("rest").unwrap()..];
+        assert_eq!(col_of(line, sub), 5);
+        assert_eq!(off_of(line, sub), 4);
+    }
+
+    #[test]
+    fn col_of_is_total_on_foreign_slices() {
+        // Not a subslice: must not panic, falls back to column 1.
+        assert_eq!(col_of("abc", "zzzzzzzz"), 1);
+        assert_eq!(off_of("abc", "zzzzzzzz"), 0);
+    }
+
+    #[test]
+    fn strip_comment_respects_quotes() {
+        assert_eq!(strip_comment("a = 1 # note"), "a = 1 ");
+        assert_eq!(strip_comment("s = '#' # real"), "s = '#' ");
+        assert_eq!(strip_comment("s = \"x # y\""), "s = \"x # y\"");
+        assert_eq!(strip_comment("no comment"), "no comment");
+    }
+}

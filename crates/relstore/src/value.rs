@@ -74,6 +74,7 @@ impl Value {
     }
 
     /// Numeric view of the value, if it has one. Integers widen to `f64`.
+    // exq-lint: allow(L006): structurally parallel to analyze's Lit::as_num, but on an unrelated enum
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Int(i) => Some(*i as f64),

@@ -266,6 +266,7 @@ fn worker_loop(inner: &Inner) {
 fn serve_connection(inner: &Inner, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    // exq-lint: allow(L002): HTTP timeout/latency bookkeeping, never reaches explanation results
     let started = Instant::now();
     let deadline = started + inner.config.request_timeout;
     let (request, response, meta) = match read_request(&mut stream, &inner.config.limits, deadline)
@@ -319,6 +320,7 @@ fn read_request(
             Ok(None) => {}
             Err(e) => return Err(parse_error_response(&e)),
         }
+        // exq-lint: allow(L002): read-deadline check, never reaches explanation results
         if Instant::now() >= deadline {
             return Err(Response::error(408, "timed out reading request"));
         }

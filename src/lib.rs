@@ -18,7 +18,11 @@
 //!   for the paper's DBLP, natality, and Geo-DBLP data;
 //! * [`serve`] (`exq-serve`) — the resident HTTP explanation server:
 //!   dataset catalog with shared pre-built intermediates, canonical-key
-//!   LRU result cache, and a std-only HTTP/1.1 front end (`exq serve`).
+//!   LRU result cache, and a std-only HTTP/1.1 front end (`exq serve`);
+//! * [`lint`] (`exq-lint`) — the `exq lint` workspace auditor: a
+//!   tolerant Rust lexer, determinism lint rules with stable `L`-codes,
+//!   and cross-artifact audits tying the counter catalogue, Prometheus
+//!   naming, and the diagnostic-code table to actual source.
 //!
 //! See the `examples/` directory for end-to-end walkthroughs
 //! (`quickstart`, `dblp_bump`, `natality`, `sigmod_pods`, `convergence`)
@@ -31,6 +35,7 @@
 pub use exq_analyze as analyze;
 pub use exq_core as core;
 pub use exq_datagen as datagen;
+pub use exq_lint as lint;
 pub use exq_obs as obs;
 pub use exq_relstore as relstore;
 pub use exq_serve as serve;

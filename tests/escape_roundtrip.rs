@@ -1,0 +1,73 @@
+//! Round-trip property for the workspace's single JSON string escaper.
+//!
+//! `exq_obs::escape_json` is the one escaping implementation — the
+//! analyzer's JSON renderer, the server's emitters, and the bench
+//! reports all call it — so one round-trip property covers every JSON
+//! producer in the workspace.
+
+use proptest::prelude::*;
+
+/// Minimal JSON string-literal unescaper (test-only reference
+/// implementation; deliberately independent of any production decoder).
+fn unescape_json(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            // An unescaped control character or quote would make the
+            // literal invalid JSON.
+            if (c as u32) < 0x20 || c == '"' {
+                return None;
+            }
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'b' => out.push('\u{8}'),
+            'f' => out.push('\u{c}'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+proptest! {
+    /// Escaping then unescaping is the identity, for arbitrary strings
+    /// including control characters, quotes, backslashes, and
+    /// multi-byte text (the class below spans all printable ASCII plus
+    /// literal newline/tab/CR, a C0 control, and two multi-byte chars).
+    #[test]
+    fn escape_json_round_trips(s in "[ -~\n\r\t\u{1}é中]{0,24}") {
+        let escaped = exq::obs::escape_json(&s);
+        prop_assert_eq!(unescape_json(&escaped), Some(s));
+    }
+
+    /// The escaped form is always safe to splice between quotes: no
+    /// raw control characters, no unescaped `"`.
+    #[test]
+    fn escape_json_output_is_literal_safe(s in "[ -~\n\r\t\u{1}é中]{0,24}") {
+        let escaped = exq::obs::escape_json(&s);
+        let mut prev_backslashes = 0usize;
+        for c in escaped.chars() {
+            prop_assert!((c as u32) >= 0x20, "raw control char in {escaped:?}");
+            if c == '"' {
+                prop_assert!(prev_backslashes % 2 == 1, "unescaped quote in {escaped:?}");
+            }
+            prev_backslashes = if c == '\\' { prev_backslashes + 1 } else { 0 };
+        }
+    }
+}

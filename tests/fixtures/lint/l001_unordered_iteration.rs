@@ -1,0 +1,18 @@
+// exq-lint-fixture: crate=relstore
+// Seeded violation for L001: hash-order iteration in a
+// determinism-scoped crate, in both recognised shapes.
+use std::collections::HashMap;
+
+pub fn keys_of(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+pub fn walk() -> u64 {
+    let mut seen = HashMap::new();
+    seen.insert(1u64, 2u64);
+    let mut total = 0;
+    for (k, v) in &seen {
+        total += k + v;
+    }
+    total
+}

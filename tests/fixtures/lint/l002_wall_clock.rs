@@ -1,0 +1,13 @@
+// exq-lint-fixture: crate=serve
+// Seeded violation for L002: wall-clock reads in library code outside
+// the obs span internals.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t = Instant::now();
+    drop(t);
+    SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos()
+}

@@ -1,0 +1,6 @@
+// exq-lint-fixture: crate=core
+// Seeded violation for L003: thread-identity logic outside par.rs /
+// trace.rs — results must not depend on which worker ran.
+pub fn worker_tag() -> String {
+    format!("{:?}", std::thread::current().id())
+}

@@ -1,0 +1,8 @@
+// exq-lint-fixture: crate=serve
+// Seeded violation for L004: float accumulation driven by hash-order
+// iteration — flagged in every crate, not just determinism-scoped ones.
+use std::collections::HashMap;
+
+pub fn total(weights: &HashMap<String, f64>) -> f64 {
+    weights.values().sum::<f64>()
+}

@@ -1,0 +1,8 @@
+// exq-lint-fixture: crate=core
+// Seeded violation for L005: stdio in a library crate.
+pub fn report(n: usize) {
+    println!("processed {n} rows");
+    if n == 0 {
+        eprintln!("nothing to do");
+    }
+}

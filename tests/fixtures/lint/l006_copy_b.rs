@@ -1,0 +1,21 @@
+// exq-lint-fixture: crate=analyze
+// The other half of the seeded L006 violation: a copy of
+// l006_copy_a.rs's helper that wraps the same loop in quotes — the
+// near-duplicate detector must pair them across the crate boundary and
+// anchor the diagnostic here (the later file in path order).
+pub fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,82 @@
+//! Golden-diagnostic tests over the seeded-violation lint corpus.
+//!
+//! Every `tests/fixtures/lint/NAME.rs` is a deliberately-bad source
+//! (its `// exq-lint-fixture: crate=…` directive places it in the crate
+//! whose rules it seeds) with the expected diagnostics in
+//! `NAME.expected` — one `CODE file:line:col` line per diagnostic, in
+//! emission order. All fixtures are linted as one source set so the
+//! cross-file rules (L006) see the pairs. Regenerate after an
+//! intentional rule change with
+//! `EXQ_BLESS=1 cargo test --test lint_fixtures`.
+
+use exq::lint::{lint_sources, LintSource};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/lint")
+}
+
+#[test]
+fn seeded_violations_produce_golden_diagnostics() {
+    let dir = fixture_dir();
+    let bless = std::env::var_os("EXQ_BLESS").is_some();
+    let mut names: Vec<String> = fs::read_dir(&dir)
+        .expect("fixture dir")
+        .filter_map(|e| {
+            e.ok()?
+                .file_name()
+                .to_str()?
+                .strip_suffix(".rs")
+                .map(str::to_string)
+        })
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 7,
+        "seeded-violation corpus went missing: {names:?}"
+    );
+
+    let sources: Vec<LintSource> = names
+        .iter()
+        .map(|name| {
+            let rel = format!("tests/fixtures/lint/{name}.rs");
+            let text = fs::read_to_string(dir.join(format!("{name}.rs"))).unwrap();
+            LintSource::new(rel, text)
+        })
+        .collect();
+    let diags = lint_sources(&sources);
+
+    // Every rule with a stable code must be exercised by the corpus.
+    for code in ["L001", "L002", "L003", "L004", "L005", "L006"] {
+        assert!(
+            diags.iter().any(|d| d.code == code),
+            "no fixture seeds {code}; emitted: {:?}",
+            diags.iter().map(|d| d.code).collect::<Vec<_>>()
+        );
+    }
+
+    let mut failures = Vec::new();
+    for name in &names {
+        let rel = format!("tests/fixtures/lint/{name}.rs");
+        let actual: String = diags
+            .iter()
+            .filter(|d| d.file == rel)
+            .map(|d| format!("{} {}:{}:{}\n", d.code, d.file, d.span.line, d.span.col))
+            .collect();
+        let expected_path = dir.join(format!("{name}.expected"));
+        if bless {
+            fs::write(&expected_path, &actual).unwrap();
+            continue;
+        }
+        let expected = fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+            panic!("missing {} (run with EXQ_BLESS=1)", expected_path.display())
+        });
+        if actual != expected {
+            failures.push(format!(
+                "{name}: expected\n{expected}\nbut the linter emitted\n{actual}"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n---\n"));
+}

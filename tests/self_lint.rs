@@ -1,0 +1,37 @@
+//! The workspace must pass its own linter: zero diagnostics from the
+//! determinism rules, the duplicate detector, and the cross-artifact
+//! audits. This is the same check CI runs via
+//! `exq lint --deny-warnings`; keeping it as a plain test means a
+//! violation fails `cargo test` locally before it reaches CI.
+
+use exq::lint::{audit, collect_sources, find_workspace_root, lint_sources};
+use std::path::Path;
+
+#[test]
+fn workspace_self_lints_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root");
+    let sources = collect_sources(&root).expect("collect workspace sources");
+    assert!(
+        sources.len() > 50,
+        "source walk collapsed ({} files) — walker regression?",
+        sources.len()
+    );
+
+    let mut diags = lint_sources(&sources);
+    let (audit_diags, _extra) =
+        audit::audit_workspace(&root, &sources).expect("cross-artifact audits");
+    diags.extend(audit_diags);
+
+    assert!(
+        diags.is_empty(),
+        "the workspace no longer self-lints clean:\n{}",
+        diags
+            .iter()
+            .map(|d| format!(
+                "{} {}:{}:{} {}",
+                d.code, d.file, d.span.line, d.span.col, d.message
+            ))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
