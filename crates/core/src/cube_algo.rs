@@ -16,7 +16,7 @@ use crate::error::{Error, Result};
 use crate::question::UserQuestion;
 use crate::table_m::{self, ExplanationTable};
 use exq_relstore::cube::{self, Coord, CubeStrategy};
-use exq_relstore::{AttrRef, Database, ExecConfig, Universal, Value};
+use exq_relstore::{AttrRef, Database, ExecConfig, MetricsSink, Universal, Value};
 use std::collections::HashMap;
 
 /// Configuration for Algorithm 1.
@@ -29,6 +29,12 @@ pub struct CubeAlgoConfig {
     /// anyway — the μ_interv column is then an *approximation* (the
     /// μ_aggr column is always exact).
     pub enforce_additivity: bool,
+    /// Force the row-oriented `Value` cube path even when every
+    /// explanation attribute is dictionary-coded. The default (`false`)
+    /// runs the columnar coded path when available; both produce
+    /// bit-identical tables, and the differential tests pin that by
+    /// setting this flag on one side.
+    pub reference_rows: bool,
     /// The executor the cubes and the degree derivation run on. Output is
     /// bit-identical at any thread count.
     pub exec: ExecConfig,
@@ -46,6 +52,7 @@ impl CubeAlgoConfig {
         CubeAlgoConfig {
             strategy: CubeStrategy::default(),
             enforce_additivity: true,
+            reference_rows: false,
             exec: ExecConfig::sequential(),
         }
     }
@@ -55,6 +62,7 @@ impl CubeAlgoConfig {
         CubeAlgoConfig {
             strategy: CubeStrategy::default(),
             enforce_additivity: false,
+            reference_rows: false,
             exec: ExecConfig::sequential(),
         }
     }
@@ -99,13 +107,52 @@ pub fn explanation_table(
         question.query.aggregate_values(db, u)
     })?;
 
-    // Line 2: per-sub-query cubes.
+    // Line 2: per-sub-query cubes, joined (line 3) in whichever space the
+    // store supports: dictionary codes when every explanation attribute is
+    // coded (the columnar fast path), cloned `Value`s otherwise.
     let m = question.query.arity();
     sink.add("cube_algo.sub_queries", m as u64);
+    let cells: Vec<(Coord, Vec<f64>)> = if config.reference_rows {
+        joined_value_cells(db, u, question, dims, &config, &sink, m)?
+    } else {
+        match joined_coded_cells(db, u, question, dims, &config, &sink, m)? {
+            Some(cells) => cells,
+            None => joined_value_cells(db, u, question, dims, &config, &sink, m)?,
+        }
+    };
+    sink.add("cube_algo.joined_cells", cells.len() as u64);
+
+    // Lines 4-5: degree columns, derived per cell in parallel blocks (the
+    // helper re-sorts by coordinate, so the HashMap drain order is moot).
+    let rows = sink.time("cube_algo.derive", || {
+        table_m::derive_rows(question, &totals, &cells, &config.exec)
+    });
+    // Same name the naive engine records, so the differential test can
+    // assert both engines evaluated the same candidate set.
+    sink.add("engine.candidates_evaluated", rows.len() as u64);
+
+    Ok(ExplanationTable {
+        dims: dims.to_vec(),
+        totals,
+        rows,
+    })
+}
+
+/// Lines 2–3 in `Value` space: one row-oriented cube per sub-query,
+/// hash-joined on dummy-substituted coordinates. The reference path.
+fn joined_value_cells(
+    db: &Database,
+    u: &Universal,
+    question: &UserQuestion,
+    dims: &[AttrRef],
+    config: &CubeAlgoConfig,
+    sink: &MetricsSink,
+    m: usize,
+) -> Result<Vec<(Coord, Vec<f64>)>> {
     let mut joined: HashMap<Coord, Vec<f64>> = HashMap::new();
     for (j, q) in question.query.aggregates.iter().enumerate() {
         let c = sink.time("cube_algo.cubes", || {
-            cube::compute_with(
+            cube::compute_rows_with(
                 db,
                 u,
                 &q.selection,
@@ -133,24 +180,59 @@ pub fn explanation_table(
             joined.entry(key).or_insert_with(|| vec![0.0; m])[j] = value;
         }
     }
-    sink.add("cube_algo.joined_cells", joined.len() as u64);
-
-    // Lines 4-5: degree columns, derived per cell in parallel blocks (the
-    // helper re-sorts by coordinate, so the HashMap drain order is moot).
     // exq-lint: allow(L001): derive_rows re-sorts by coordinate, so the drain order is unobservable
-    let cells: Vec<(Coord, Vec<f64>)> = joined.into_iter().collect();
-    let rows = sink.time("cube_algo.derive", || {
-        table_m::derive_rows(question, &totals, &cells, &config.exec)
-    });
-    // Same name the naive engine records, so the differential test can
-    // assert both engines evaluated the same candidate set.
-    sink.add("engine.candidates_evaluated", rows.len() as u64);
+    Ok(joined.into_iter().collect())
+}
 
-    Ok(ExplanationTable {
-        dims: dims.to_vec(),
-        totals,
-        rows,
-    })
+/// Lines 2–3 in code space: one coded cube per sub-query, hash-joined on
+/// `u32` coordinate tuples, decoded once at the end (don't-cares become
+/// the reserved dummy, exactly like the `Value` join). Returns `None` when
+/// some explanation attribute's column is not dictionary-coded — coded-ness
+/// is a property of the store alone, so the first sub-query's answer holds
+/// for all of them.
+fn joined_coded_cells(
+    db: &Database,
+    u: &Universal,
+    question: &UserQuestion,
+    dims: &[AttrRef],
+    config: &CubeAlgoConfig,
+    sink: &MetricsSink,
+    m: usize,
+) -> Result<Option<Vec<(Coord, Vec<f64>)>>> {
+    let mut joined: HashMap<Box<[u32]>, Vec<f64>> = HashMap::new();
+    let mut decoder: Option<cube::CodedCube> = None;
+    for (j, q) in question.query.aggregates.iter().enumerate() {
+        let c = sink.time("cube_algo.cubes", || {
+            cube::compute_coded_with(
+                db,
+                u,
+                &q.selection,
+                dims,
+                &q.func,
+                config.strategy,
+                &config.exec,
+            )
+        })?;
+        let Some(mut c) = c else {
+            debug_assert_eq!(j, 0, "coded-ness cannot change between sub-queries");
+            return Ok(None);
+        };
+        let _join_span = sink.span("cube_algo.join");
+        for (key, value) in std::mem::take(&mut c.cells) {
+            joined.entry(key).or_insert_with(|| vec![0.0; m])[j] = value;
+        }
+        decoder = Some(c);
+    }
+    let Some(decoder) = decoder else {
+        return Ok(None); // no sub-queries: let the reference path handle it
+    };
+    let dummy = Value::dummy();
+    let mut cells = Vec::with_capacity(joined.len());
+    // exq-lint: allow(L001): derive_rows re-sorts by coordinate, so the drain order is unobservable
+    for (key, values) in joined {
+        cells.push((decoder.decode_coord(&key, &dummy), values));
+    }
+    Ok(Some(cells))
 }
 
 #[cfg(test)]

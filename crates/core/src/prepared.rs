@@ -68,6 +68,10 @@ impl PreparedDb {
     /// bit-identical at every thread count.
     pub fn build_with(db: Arc<Database>, exec: &ExecConfig) -> PreparedDb {
         let _span = exec.metrics().span("prepare");
+        // Columnar projections first: the reduction and join below (and
+        // every later query) read them, and building them here attributes
+        // the one-time dictionary scan to preparation, not the first query.
+        let _ = db.columns();
         let mut view = db.full_view();
         semijoin::reduce_in_place_with(&db, &mut view, exec);
         let universal = Arc::new(Universal::compute_with(&db, &view, exec));

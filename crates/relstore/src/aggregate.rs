@@ -5,7 +5,9 @@
 //! selection`. [`AggFunc`] is the aggregate; evaluation filters universal
 //! tuples by the selection predicate and folds an [`AggState`].
 
+use crate::column::ColumnStore;
 use crate::database::Database;
+use crate::dict::Dict;
 use crate::error::{Error, Result};
 use crate::join::Universal;
 use crate::predicate::Predicate;
@@ -63,8 +65,12 @@ impl AggFunc {
         match self {
             AggFunc::CountStar => AggState::Count(0),
             AggFunc::CountDistinct(_) => AggState::Distinct(HashSet::new()),
-            AggFunc::Sum(_) => AggState::Sum(0.0),
-            AggFunc::Avg(_) => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Sum(_) => AggState::Sum { int: 0, float: 0.0 },
+            AggFunc::Avg(_) => AggState::Avg {
+                int: 0,
+                float: 0.0,
+                n: 0,
+            },
             AggFunc::Min(_) => AggState::Min(None),
             AggFunc::Max(_) => AggState::Max(None),
         }
@@ -76,20 +82,90 @@ impl AggFunc {
     pub fn mergeable(&self) -> bool {
         true
     }
+
+    /// Compile this aggregate against a column store for a hot loop.
+    ///
+    /// The only shape that changes is `COUNT(DISTINCT a)` over a
+    /// dictionary-coded column: the state keeps a `HashSet<u32>` of codes
+    /// instead of cloned `Value`s, which is exact because the dictionary
+    /// assigns one code per `Value` equivalence class (and the null class
+    /// maps to the null code, preserving the null-skipping rule). Every
+    /// other aggregate delegates to the uncompiled update path.
+    pub fn compile<'a>(&'a self, store: &'a ColumnStore) -> AggEval<'a> {
+        let distinct = match self {
+            AggFunc::CountDistinct(a) => store
+                .dict_column(*a)
+                .map(|(codes, dict)| (a.rel, codes, dict)),
+            _ => None,
+        };
+        AggEval {
+            func: self,
+            distinct,
+        }
+    }
+}
+
+/// An aggregate resolved against a column store — see [`AggFunc::compile`].
+pub struct AggEval<'a> {
+    func: &'a AggFunc,
+    /// For `CountDistinct` over a dict column: (relation, codes, dict).
+    distinct: Option<(usize, &'a [u32], &'a Dict)>,
+}
+
+impl AggEval<'_> {
+    /// A fresh accumulator matching this compiled shape.
+    pub fn new_state(&self) -> AggState {
+        if self.distinct.is_some() {
+            AggState::DistinctCodes(HashSet::new())
+        } else {
+            self.func.new_state()
+        }
+    }
+
+    /// Fold one universal tuple into `state`.
+    #[inline]
+    pub fn update(&self, state: &mut AggState, db: &Database, utuple: &[u32]) -> Result<()> {
+        match (state, self.distinct) {
+            (AggState::DistinctCodes(set), Some((rel, codes, dict))) => {
+                let code = codes[utuple[rel] as usize];
+                if !dict.is_null_code(code) {
+                    set.insert(code);
+                }
+                Ok(())
+            }
+            (state, _) => state.update(self.func, db, utuple),
+        }
+    }
 }
 
 /// A mergeable accumulator for one aggregate.
+///
+/// SUM and AVG keep integer and float contributions in **separate
+/// lanes**: `Value::Int`s accumulate exactly in an `i128` (no `i64` sum
+/// of row values can overflow it — even 2⁶³·n fits for any feasible row
+/// count) and `Value::Float`s in an `f64`. Folding every `Int` through
+/// `Value::as_f64` — the old behaviour — silently loses precision above
+/// 2⁵³: `SUM` over `[2⁵³, 1, −2⁵³]` came out 0 instead of 1. The lanes
+/// combine only in [`AggState::finalize`], with a single rounding at the
+/// end.
 #[derive(Debug, Clone)]
 pub enum AggState {
     /// COUNT(*) accumulator.
     Count(u64),
     /// SUM accumulator.
-    Sum(f64),
+    Sum {
+        /// Exact running sum of the `Value::Int` contributions.
+        int: i128,
+        /// Running sum of the `Value::Float` contributions.
+        float: f64,
+    },
     /// AVG accumulator.
     Avg {
-        /// Running sum.
-        sum: f64,
-        /// Running count.
+        /// Exact running sum of the `Value::Int` contributions.
+        int: i128,
+        /// Running sum of the `Value::Float` contributions.
+        float: f64,
+        /// Running count of non-null values.
         n: u64,
     },
     /// MIN accumulator.
@@ -99,6 +175,11 @@ pub enum AggState {
     /// COUNT DISTINCT accumulator (exact: keeps the key set so roll-up
     /// merges stay correct).
     Distinct(HashSet<Value>),
+    /// COUNT DISTINCT accumulator in code space (one code per `Value`
+    /// equivalence class, nulls already skipped); produced only by
+    /// [`AggEval`] when the aggregated column is dictionary-coded, so the
+    /// two distinct shapes never meet in one run.
+    DistinctCodes(HashSet<u32>),
 }
 
 impl AggState {
@@ -114,16 +195,24 @@ impl AggState {
                     set.insert(v.clone());
                 }
             }
-            (AggState::Sum(s), AggFunc::Sum(a)) => {
-                *s += numeric(attr_value(*a), db, *a)?;
-            }
-            (AggState::Avg { sum, n }, AggFunc::Avg(a)) => {
-                let v = attr_value(*a);
-                if !v.is_null() {
-                    *sum += numeric(v, db, *a)?;
+            (AggState::Sum { int, float }, AggFunc::Sum(a)) => match attr_value(*a) {
+                Value::Null => {}
+                Value::Int(i) => *int += i128::from(*i),
+                Value::Float(f) => *float += f,
+                _ => return Err(Error::NotNumeric(db.schema().attr_name(*a))),
+            },
+            (AggState::Avg { int, float, n }, AggFunc::Avg(a)) => match attr_value(*a) {
+                Value::Null => {}
+                Value::Int(i) => {
+                    *int += i128::from(*i);
                     *n += 1;
                 }
-            }
+                Value::Float(f) => {
+                    *float += f;
+                    *n += 1;
+                }
+                _ => return Err(Error::NotNumeric(db.schema().attr_name(*a))),
+            },
             (AggState::Min(m), AggFunc::Min(a)) => {
                 let v = attr_value(*a);
                 if !v.is_null() && m.as_ref().is_none_or(|cur| v < cur) {
@@ -145,9 +234,27 @@ impl AggState {
     pub fn merge(&mut self, other: &AggState) {
         match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
-            (AggState::Sum(a), AggState::Sum(b)) => *a += b,
-            (AggState::Avg { sum: s1, n: n1 }, AggState::Avg { sum: s2, n: n2 }) => {
-                *s1 += s2;
+            (
+                AggState::Sum { int: i1, float: f1 },
+                AggState::Sum { int: i2, float: f2 },
+            ) => {
+                *i1 += i2;
+                *f1 += f2;
+            }
+            (
+                AggState::Avg {
+                    int: i1,
+                    float: f1,
+                    n: n1,
+                },
+                AggState::Avg {
+                    int: i2,
+                    float: f2,
+                    n: n2,
+                },
+            ) => {
+                *i1 += i2;
+                *f1 += f2;
                 *n1 += n2;
             }
             (AggState::Min(a), AggState::Min(b)) => {
@@ -167,6 +274,9 @@ impl AggState {
             (AggState::Distinct(a), AggState::Distinct(b)) => {
                 a.extend(b.iter().cloned());
             }
+            (AggState::DistinctCodes(a), AggState::DistinctCodes(b)) => {
+                a.extend(b.iter().copied());
+            }
             (a, b) => unreachable!("cannot merge {a:?} with {b:?}"),
         }
     }
@@ -177,42 +287,55 @@ impl AggState {
     pub fn finalize(&self) -> f64 {
         match self {
             AggState::Count(c) => *c as f64,
-            AggState::Sum(s) => *s,
-            AggState::Avg { sum, n } => {
+            AggState::Sum { int, float } => sum_finalize(*int, *float),
+            AggState::Avg { int, float, n } => {
                 if *n == 0 {
                     0.0
                 } else {
-                    sum / *n as f64
+                    sum_finalize(*int, *float) / *n as f64
                 }
             }
             AggState::Min(v) | AggState::Max(v) => {
                 v.as_ref().and_then(Value::as_f64).unwrap_or(0.0)
             }
             AggState::Distinct(set) => set.len() as f64,
+            AggState::DistinctCodes(set) => set.len() as f64,
         }
     }
 }
 
-fn numeric(v: &Value, db: &Database, a: AttrRef) -> Result<f64> {
-    if v.is_null() {
-        return Ok(0.0);
+/// Combine the two sum lanes with one rounding. The `int == 0` branch
+/// returns the float lane untouched so pure-float sums keep their exact
+/// bit pattern (adding `0.0` would e.g. turn `-0.0` into `+0.0`).
+fn sum_finalize(int: i128, float: f64) -> f64 {
+    if int == 0 {
+        float
+    } else {
+        int as f64 + float
     }
-    v.as_f64()
-        .ok_or_else(|| Error::NotNumeric(db.schema().attr_name(a)))
 }
 
 /// Evaluate `func` over the universal tuples of `u` that satisfy
 /// `selection`.
+///
+/// The selection is compiled against the column store first
+/// ([`crate::ColumnStore::compile_predicate`]) so atoms over
+/// dictionary-coded columns cost two array loads per tuple instead of a
+/// `Value` comparison; the compiled form returns bit-identical decisions,
+/// so this is unobservable apart from speed.
 pub fn evaluate(
     db: &Database,
     u: &Universal,
     selection: &Predicate,
     func: &AggFunc,
 ) -> Result<f64> {
-    let mut state = func.new_state();
+    let store = std::sync::Arc::clone(db.columns());
+    let coded = store.compile_predicate(selection);
+    let agg = func.compile(&store);
+    let mut state = agg.new_state();
     for t in u.iter() {
-        if selection.eval(db, t) {
-            state.update(func, db, t)?;
+        if coded.eval(db, t) {
+            agg.update(&mut state, db, t)?;
         }
     }
     Ok(state.finalize())
@@ -307,6 +430,68 @@ mod tests {
         ] {
             assert_eq!(evaluate(&db, &u, &none, &f).unwrap(), 0.0);
         }
+    }
+
+    #[test]
+    fn sum_is_exact_beyond_f64_precision() {
+        // 2^53 + 1 is not representable in f64: the old f64-lane-only sum
+        // computed (2^53 + 1) - 2^53 = 0. The i128 lane gets 1 exactly.
+        let schema = SchemaBuilder::new()
+            .relation("R", &[("id", T::Int), ("x", T::Int)], &["id"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let big = 1i64 << 53;
+        for (id, x) in [(1, big), (2, 1), (3, -big)] {
+            db.insert("R", vec![id.into(), x.into()]).unwrap();
+        }
+        let u = Universal::compute(&db, &db.full_view());
+        let x = db.schema().attr("R", "x").unwrap();
+        assert_eq!(
+            evaluate(&db, &u, &Predicate::True, &AggFunc::Sum(x)).unwrap(),
+            1.0
+        );
+        assert_eq!(
+            evaluate(&db, &u, &Predicate::True, &AggFunc::Avg(x)).unwrap(),
+            1.0 / 3.0
+        );
+    }
+
+    #[test]
+    fn pure_float_sum_keeps_bit_pattern() {
+        // The zero int lane must not contaminate a float-only sum: the
+        // result is bit-identical to the plain left-to-right f64 fold the
+        // single-lane accumulator used to compute (0.1 + 0.2 + 0.3 is not
+        // 0.6, and finalize must not add any rounding of its own).
+        let schema = SchemaBuilder::new()
+            .relation("R", &[("id", T::Int), ("x", T::Float)], &["id"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for (id, x) in [(1, 0.1), (2, 0.2), (3, 0.3)] {
+            db.insert("R", vec![id.into(), Value::Float(x)]).unwrap();
+        }
+        let u = Universal::compute(&db, &db.full_view());
+        let x = db.schema().attr("R", "x").unwrap();
+        let s = evaluate(&db, &u, &Predicate::True, &AggFunc::Sum(x)).unwrap();
+        assert_eq!(s.to_bits(), (0.0f64 + 0.1 + 0.2 + 0.3).to_bits());
+    }
+
+    #[test]
+    fn mixed_int_float_sum_rounds_once() {
+        let schema = SchemaBuilder::new()
+            .relation("R", &[("id", T::Int), ("x", T::Any)], &["id"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        db.insert("R", vec![1.into(), Value::Int(1 << 53)]).unwrap();
+        db.insert("R", vec![2.into(), Value::Float(0.5)]).unwrap();
+        db.insert("R", vec![3.into(), Value::Int(1)]).unwrap();
+        let u = Universal::compute(&db, &db.full_view());
+        let x = db.schema().attr("R", "x").unwrap();
+        let s = evaluate(&db, &u, &Predicate::True, &AggFunc::Sum(x)).unwrap();
+        // Exactly ((2^53 + 1) as f64) + 0.5, one rounding at the end.
+        assert_eq!(s, ((1i128 << 53) + 1) as f64 + 0.5);
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Columnar projections of stored relations.
+//!
+//! A [`ColumnStore`] is a read-only, per-attribute re-encoding of a
+//! [`Database`](crate::Database)'s row storage, built by one sequential
+//! scan (relations in schema order, rows in insertion order) so that every
+//! derived artifact — dictionary codes in particular — is a pure function
+//! of the stored rows, independent of thread count. The row storage stays
+//! authoritative; columns are a cache the hot path (join probes, semijoin
+//! membership, cube grouping) reads instead of cloning and hashing
+//! [`Value`]s per row.
+//!
+//! Encoding rules, in order:
+//!
+//! 1. **`DictU32`** — if the column has at most [`DICT_MAX`] distinct
+//!    values (under the `Value` total order, so NULLs and mixed Int/Float
+//!    spellings participate like any other value), every row becomes a
+//!    `u32` code into a first-appearance [`Dict`].
+//! 2. **`I64`** — otherwise, if every value is strictly `Value::Int`
+//!    (no NULLs, no floats), the raw `i64`s are stored densely.
+//! 3. **`F64`** — otherwise, if every value is strictly `Value::Float`,
+//!    the raw `f64`s are stored densely.
+//! 4. **`Rows`** — otherwise the column stays row-oriented and consumers
+//!    fall back to the `Value` path.
+//!
+//! The strictness in rules 2–3 matters: a mixed Int/Float column decoded
+//! from an `I64`/`F64` array would lose which spelling each row used, so
+//! such columns take rule 4 instead.
+
+use crate::database::Database;
+use crate::dict::{Dict, DictBuilder};
+use crate::predicate::{Atom, Predicate};
+use crate::schema::AttrRef;
+use crate::table::Relation;
+use crate::value::Value;
+
+/// One attribute's column, in the densest faithful encoding available.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Dictionary-coded: `codes[row]` indexes into `dict`.
+    DictU32 {
+        /// Per-row dictionary codes, in row order.
+        codes: Vec<u32>,
+        /// The column's value dictionary.
+        dict: Dict,
+    },
+    /// Dense `i64`s; only for columns that are strictly `Value::Int`.
+    I64(Vec<i64>),
+    /// Dense `f64`s; only for columns that are strictly `Value::Float`.
+    F64(Vec<f64>),
+    /// Row-oriented fallback: read through `Relation::row` instead.
+    Rows,
+}
+
+impl ColumnData {
+    /// Reconstruct the `Value` stored at `row`, or `None` for [`Rows`]
+    /// columns (the caller should read the relation directly). For
+    /// `DictU32` columns the decoded value is the column's
+    /// first-appearance representative, which compares equal to the
+    /// stored value under the `Value` total order.
+    ///
+    /// [`Rows`]: ColumnData::Rows
+    pub fn value_at(&self, row: usize) -> Option<Value> {
+        match self {
+            ColumnData::DictU32 { codes, dict } => Some(dict.value(codes[row]).clone()),
+            ColumnData::I64(xs) => Some(Value::Int(xs[row])),
+            ColumnData::F64(xs) => Some(Value::Float(xs[row])),
+            ColumnData::Rows => None,
+        }
+    }
+
+    /// Whether this column is dictionary-coded.
+    pub fn is_dict(&self) -> bool {
+        matches!(self, ColumnData::DictU32 { .. })
+    }
+}
+
+/// Columnar re-encodings of every attribute of every relation.
+#[derive(Debug, Clone)]
+pub struct ColumnStore {
+    /// `columns[rel][col]`, mirroring the schema layout.
+    columns: Vec<Vec<ColumnData>>,
+}
+
+impl ColumnStore {
+    /// Build columns for every attribute by one deterministic sequential
+    /// scan. Cost is linear in the stored cells; orchestrators that care
+    /// about where the time is spent should trigger this once up front
+    /// (see `PreparedDb`), since `Database::columns` builds lazily.
+    pub fn build(db: &Database) -> ColumnStore {
+        let columns = db
+            .schema()
+            .relations()
+            .iter()
+            .enumerate()
+            .map(|(rel, rs)| {
+                let relation = db.relation(rel);
+                (0..rs.arity())
+                    .map(|col| build_column(relation, col))
+                    .collect()
+            })
+            .collect();
+        ColumnStore { columns }
+    }
+
+    /// The column for `attr`.
+    #[inline]
+    pub fn column(&self, attr: AttrRef) -> &ColumnData {
+        &self.columns[attr.rel][attr.col]
+    }
+
+    /// The codes and dictionary for `attr`, if it is dictionary-coded.
+    #[inline]
+    pub fn dict_column(&self, attr: AttrRef) -> Option<(&[u32], &Dict)> {
+        match self.column(attr) {
+            ColumnData::DictU32 { codes, dict } => Some((codes, dict)),
+            _ => None,
+        }
+    }
+
+    /// Compile a selection predicate against this store for repeated
+    /// evaluation over universal tuples.
+    ///
+    /// Atoms over dictionary-coded columns are pre-evaluated once per
+    /// *distinct* value into a per-code boolean mask, so the per-tuple
+    /// cost drops from a `Value` comparison (string compares, Int/Float
+    /// cross-type arithmetic) to two array loads. Atoms over other
+    /// columns fall back to row-wise `Value` evaluation, unchanged.
+    ///
+    /// The compilation is *exactly* equivalent to [`Predicate::eval`],
+    /// not merely close: `Value`'s `PartialEq`/`PartialOrd` are defined
+    /// by the total order, every [`crate::predicate::CmpOp`] therefore
+    /// depends only on a value's total-order equivalence class, and the
+    /// dictionary assigns one code per class. Constant-folding of
+    /// `True`/`False` through the combinators cannot change results
+    /// because predicates are pure.
+    pub fn compile_predicate<'a>(&'a self, p: &'a Predicate) -> CodedPredicate<'a> {
+        match p {
+            Predicate::True => CodedPredicate::Const(true),
+            Predicate::False => CodedPredicate::Const(false),
+            Predicate::Atom(a) => match self.dict_column(a.attr) {
+                Some((codes, dict)) => {
+                    let mask = (0..dict.len() as u32)
+                        .map(|code| a.op.eval(dict.value(code), &a.value))
+                        .collect();
+                    CodedPredicate::Mask(MaskAtom {
+                        rel: a.attr.rel,
+                        codes,
+                        mask,
+                    })
+                }
+                None => CodedPredicate::Row(a),
+            },
+            Predicate::And(ps) => {
+                let parts: Vec<CodedPredicate<'a>> =
+                    ps.iter().map(|p| self.compile_predicate(p)).collect();
+                if parts.iter().any(|c| matches!(c, CodedPredicate::Const(false))) {
+                    return CodedPredicate::Const(false);
+                }
+                let mut parts: Vec<CodedPredicate<'a>> = parts
+                    .into_iter()
+                    .filter(|c| !matches!(c, CodedPredicate::Const(true)))
+                    .collect();
+                match parts.len() {
+                    0 => CodedPredicate::Const(true),
+                    1 => parts.pop().expect("len checked"),
+                    // Conjunctions of mask atoms — candidate explanations
+                    // and the experiments' selections — get a flat,
+                    // dispatch-free representation.
+                    _ if parts.iter().all(|c| matches!(c, CodedPredicate::Mask(_))) => {
+                        CodedPredicate::AllMasks(
+                            parts
+                                .into_iter()
+                                .map(|c| match c {
+                                    CodedPredicate::Mask(m) => m,
+                                    _ => unreachable!("all parts checked to be masks"),
+                                })
+                                .collect(),
+                        )
+                    }
+                    _ => CodedPredicate::All(parts),
+                }
+            }
+            Predicate::Or(ps) => {
+                let parts: Vec<CodedPredicate<'a>> =
+                    ps.iter().map(|p| self.compile_predicate(p)).collect();
+                if parts.iter().any(|c| matches!(c, CodedPredicate::Const(true))) {
+                    return CodedPredicate::Const(true);
+                }
+                let mut parts: Vec<CodedPredicate<'a>> = parts
+                    .into_iter()
+                    .filter(|c| !matches!(c, CodedPredicate::Const(false)))
+                    .collect();
+                match parts.len() {
+                    0 => CodedPredicate::Const(false),
+                    1 => parts.pop().expect("len checked"),
+                    _ => CodedPredicate::Any(parts),
+                }
+            }
+            Predicate::Not(p) => match self.compile_predicate(p) {
+                CodedPredicate::Const(b) => CodedPredicate::Const(!b),
+                c => CodedPredicate::Not(Box::new(c)),
+            },
+        }
+    }
+}
+
+/// A selection predicate compiled against a [`ColumnStore`] — see
+/// [`ColumnStore::compile_predicate`]. Borrows the store's code arrays
+/// and the source predicate's atoms; owns only the per-code masks.
+#[derive(Debug)]
+pub enum CodedPredicate<'a> {
+    /// Constant result (`True`, `False`, and folded combinators).
+    Const(bool),
+    /// An atom over a dictionary-coded column, pre-evaluated per code.
+    Mask(MaskAtom<'a>),
+    /// An atom over a column without a dictionary: row-wise fallback.
+    Row(&'a Atom),
+    /// Conjunction of mask atoms only — the candidate-explanation shape —
+    /// evaluated without per-child enum dispatch.
+    AllMasks(Vec<MaskAtom<'a>>),
+    /// General conjunction (never empty or singleton after folding).
+    All(Vec<CodedPredicate<'a>>),
+    /// Disjunction (never empty or singleton after folding).
+    Any(Vec<CodedPredicate<'a>>),
+    /// Negation.
+    Not(Box<CodedPredicate<'a>>),
+}
+
+/// One dictionary-coded atom: the tuple passes iff `mask[codes[row]]`.
+#[derive(Debug)]
+pub struct MaskAtom<'a> {
+    /// The atom's relation (indexes the universal tuple).
+    rel: usize,
+    /// The column's per-row dictionary codes.
+    codes: &'a [u32],
+    /// Atom outcome per dictionary code.
+    mask: Box<[bool]>,
+}
+
+impl MaskAtom<'_> {
+    #[inline]
+    fn eval(&self, utuple: &[u32]) -> bool {
+        self.mask[self.codes[utuple[self.rel] as usize] as usize]
+    }
+}
+
+impl CodedPredicate<'_> {
+    /// Evaluate against a universal tuple (one row index per relation);
+    /// returns exactly what [`Predicate::eval`] returns on the source
+    /// predicate.
+    #[inline]
+    pub fn eval(&self, db: &Database, utuple: &[u32]) -> bool {
+        match self {
+            CodedPredicate::Const(b) => *b,
+            CodedPredicate::Mask(m) => m.eval(utuple),
+            CodedPredicate::Row(a) => a.eval(db, utuple),
+            CodedPredicate::AllMasks(ms) => ms.iter().all(|m| m.eval(utuple)),
+            CodedPredicate::All(ps) => ps.iter().all(|p| p.eval(db, utuple)),
+            CodedPredicate::Any(ps) => ps.iter().any(|p| p.eval(db, utuple)),
+            CodedPredicate::Not(p) => !p.eval(db, utuple),
+        }
+    }
+}
+
+/// Encode one relation column per the rules in the module docs.
+fn build_column(relation: &Relation, col: usize) -> ColumnData {
+    let mut builder = DictBuilder::new();
+    let mut codes = Vec::with_capacity(relation.len());
+    let mut dict_ok = true;
+    for row in relation.rows() {
+        match builder.encode(&row[col]) {
+            Some(code) => codes.push(code),
+            None => {
+                dict_ok = false;
+                break;
+            }
+        }
+    }
+    if dict_ok {
+        return ColumnData::DictU32 {
+            codes,
+            dict: builder.finish(),
+        };
+    }
+    // Too many distinct values for a dictionary: try the typed dense
+    // fallbacks, which require a single strict Value variant end to end.
+    if relation
+        .rows()
+        .all(|row| matches!(row[col], Value::Int(_)))
+    {
+        let xs = relation
+            .rows()
+            .map(|row| match row[col] {
+                Value::Int(i) => i,
+                _ => unreachable!("checked strictly Int above"),
+            })
+            .collect();
+        return ColumnData::I64(xs);
+    }
+    if relation
+        .rows()
+        .all(|row| matches!(row[col], Value::Float(_)))
+    {
+        let xs = relation
+            .rows()
+            .map(|row| match row[col] {
+                Value::Float(f) => f,
+                _ => unreachable!("checked strictly Float above"),
+            })
+            .collect();
+        return ColumnData::F64(xs);
+    }
+    ColumnData::Rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::ValueType as T;
+
+    fn one_relation_db(attr_ty: T, values: Vec<Value>) -> Database {
+        let schema = SchemaBuilder::new()
+            .relation("R", &[("a", attr_ty)], &["a"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for v in values {
+            db.insert("R", vec![v]).expect("insert");
+        }
+        db
+    }
+
+    #[test]
+    fn low_cardinality_column_dictionary_encodes() {
+        let db = one_relation_db(
+            T::Str,
+            vec![
+                Value::str("x"),
+                Value::str("y"),
+                Value::str("x"),
+                Value::Null,
+            ],
+        );
+        let store = ColumnStore::build(&db);
+        let attr = AttrRef { rel: 0, col: 0 };
+        match store.column(attr) {
+            ColumnData::DictU32 { codes, dict } => {
+                assert_eq!(codes, &[0, 1, 0, 2]);
+                assert_eq!(dict.len(), 3);
+                assert_eq!(dict.null_code(), Some(2));
+            }
+            other => panic!("expected DictU32, got {other:?}"),
+        }
+        assert!(store.dict_column(attr).is_some());
+    }
+
+    #[test]
+    fn decode_is_identity_on_stored_rows() {
+        let values = vec![
+            Value::Int(5),
+            Value::Null,
+            Value::str("s"),
+            Value::Float(-0.0),
+            Value::dummy(),
+            Value::Float(f64::NAN),
+        ];
+        let db = one_relation_db(T::Any, values.clone());
+        let store = ColumnStore::build(&db);
+        let col = store.column(AttrRef { rel: 0, col: 0 });
+        for (row, expected) in values.iter().enumerate() {
+            let got = col.value_at(row).expect("dict column decodes");
+            assert_eq!(&got, expected, "row {row}");
+        }
+    }
+
+    #[test]
+    fn column_store_mirrors_schema_layout() {
+        let schema = SchemaBuilder::new()
+            .relation("A", &[("x", T::Int), ("y", T::Str)], &["x"])
+            .relation("B", &[("z", T::Int)], &["z"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        db.insert("A", vec![Value::Int(1), Value::str("v")]).unwrap();
+        db.insert("B", vec![Value::Int(9)]).unwrap();
+        let store = ColumnStore::build(&db);
+        assert!(store.column(AttrRef { rel: 0, col: 1 }).is_dict());
+        assert!(store.column(AttrRef { rel: 1, col: 0 }).is_dict());
+    }
+}

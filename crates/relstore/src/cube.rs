@@ -37,14 +37,19 @@
 //! ```
 
 use crate::aggregate::{AggFunc, AggState};
+use crate::column::{CodedPredicate, ColumnStore};
 use crate::database::Database;
+use crate::dict::{Dict, NO_CODE};
 use crate::error::{Error, Result};
 use crate::join::Universal;
 use crate::par::{self, ExecConfig};
 use crate::predicate::Predicate;
 use crate::schema::AttrRef;
 use crate::value::Value;
+use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
 
 /// Maximum cube dimensionality. `2^16` masks per tuple is already far past
 /// anything interactive; the paper's experiments stop at 8.
@@ -164,7 +169,32 @@ pub fn compute(
 /// [`compute`] with an explicit executor. Output is bit-identical at any
 /// thread count: accumulation is blocked by `ACCUM_BLOCK` and merged in
 /// block order, and roll-up merges iterate cells in coordinate order.
+///
+/// When every dimension column is dictionary-coded this runs entirely in
+/// `u32` code space and decodes the cells at the end; otherwise it takes
+/// the row-oriented `Value` path. Both run the *same* generic grouping
+/// code over the same block structure, tuple order, and fold order, so
+/// their cells are bit-identical (see [`CubeSpace`]).
 pub fn compute_with(
+    db: &Database,
+    u: &Universal,
+    selection: &Predicate,
+    dims: &[AttrRef],
+    agg: &AggFunc,
+    strategy: CubeStrategy,
+    exec: &ExecConfig,
+) -> Result<Cube> {
+    if let Some(coded) = compute_coded_with(db, u, selection, dims, agg, strategy, exec)? {
+        return Ok(coded.decode());
+    }
+    compute_rows_with(db, u, selection, dims, agg, strategy, exec)
+}
+
+/// The retained row-oriented reference path of [`compute_with`]: groups
+/// on cloned `Value` coordinates regardless of how the dimension columns
+/// are encoded. The differential test suite asserts its cells are
+/// bit-identical to the columnar path's.
+pub fn compute_rows_with(
     db: &Database,
     u: &Universal,
     selection: &Predicate,
@@ -177,32 +207,172 @@ pub fn compute_with(
         return Err(Error::TooManyCubeDimensions(dims.len()));
     }
     agg.validate(db.schema())?;
+    let space = ValueSpace { dims };
+    let cells = compute_in(db, u, &Selection::Rows(selection), &space, agg, strategy, exec)?;
+    Ok(Cube {
+        dims: dims.to_vec(),
+        cells,
+    })
+}
+
+/// The selection evaluator for one cube run: the reference path keeps the
+/// `Value`-based [`Predicate::eval`]; the coded path pre-compiles the
+/// predicate against the column store (per-code masks), which returns
+/// bit-identical decisions (see [`ColumnStore::compile_predicate`]).
+enum Selection<'a> {
+    /// Row-oriented reference: evaluate the predicate as given.
+    Rows(&'a Predicate),
+    /// Code-space compilation of the same predicate.
+    Coded(CodedPredicate<'a>),
+}
+
+impl Selection<'_> {
+    #[inline]
+    fn eval(&self, db: &Database, t: &[u32]) -> bool {
+        match self {
+            Selection::Rows(p) => p.eval(db, t),
+            Selection::Coded(p) => p.eval(db, t),
+        }
+    }
+}
+
+/// The code-space fast path: compute the cube without materializing any
+/// `Value`, returning the cells keyed by dictionary codes (with
+/// [`NO_CODE`] as the "don't care" coordinate). Returns `Ok(None)` —
+/// before recording any counter — when some dimension column is not
+/// dictionary-coded; the caller falls back to [`compute_rows_with`].
+pub fn compute_coded_with(
+    db: &Database,
+    u: &Universal,
+    selection: &Predicate,
+    dims: &[AttrRef],
+    agg: &AggFunc,
+    strategy: CubeStrategy,
+    exec: &ExecConfig,
+) -> Result<Option<CodedCube>> {
+    if dims.len() > MAX_CUBE_DIMS {
+        return Err(Error::TooManyCubeDimensions(dims.len()));
+    }
+    agg.validate(db.schema())?;
+    let store = Arc::clone(db.columns());
+    let cells = match CodedSpace::new(&store, dims) {
+        None => return Ok(None),
+        Some(space) => {
+            let sel = Selection::Coded(store.compile_predicate(selection));
+            compute_in(db, u, &sel, &space, agg, strategy, exec)?
+        }
+    };
+    Ok(Some(CodedCube {
+        dims: dims.to_vec(),
+        store,
+        cells,
+    }))
+}
+
+/// A cube whose cells are keyed by dictionary codes instead of values:
+/// `cells[j]` holds the code of dimension `j`'s value in its column's
+/// dictionary, or [`NO_CODE`] for "don't care". Decodable at the output
+/// boundary; `core::cube_algo` joins several of these on raw code keys
+/// before decoding once.
+#[derive(Debug, Clone)]
+pub struct CodedCube {
+    dims: Vec<AttrRef>,
+    store: Arc<ColumnStore>,
+    /// Aggregate value per coded cell.
+    pub cells: HashMap<Box<[u32]>, f64>,
+}
+
+impl CodedCube {
+    /// The dimension attributes, in coordinate order.
+    pub fn dims(&self) -> &[AttrRef] {
+        &self.dims
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the cube has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Decode one coded cell key into a `Value` coordinate, substituting
+    /// `dont_care` for [`NO_CODE`] slots ([`Value::Null`] for plain cube
+    /// semantics; Algorithm 1 uses its dummy marker instead).
+    pub fn decode_coord(&self, key: &[u32], dont_care: &Value) -> Coord {
+        self.dims
+            .iter()
+            .zip(key)
+            .map(|(&a, &code)| {
+                if code == NO_CODE {
+                    dont_care.clone()
+                } else {
+                    let (_, dict) = self
+                        .store
+                        .dict_column(a)
+                        .expect("CodedCube is only built over dictionary-coded dimensions");
+                    dict.value(code).clone()
+                }
+            })
+            .collect()
+    }
+
+    /// Materialize as a value-keyed [`Cube`].
+    pub fn decode(self) -> Cube {
+        let mut cells = HashMap::with_capacity(self.cells.len());
+        // exq-lint: allow(L001): map-to-map re-keying via a bijective decode; no order observable
+        for (key, &v) in &self.cells {
+            cells.insert(self.decode_coord(key, &Value::Null), v);
+        }
+        Cube {
+            dims: self.dims,
+            cells,
+        }
+    }
+}
+
+/// The strategy dispatch and counter bookkeeping shared by both cube
+/// paths. Counter semantics are identical whichever [`CubeSpace`] runs:
+/// `cube.runs`, the strategy tag, `cube.input_tuples` (selected tuples),
+/// `cube.cells`, and per-level cell counts all describe the same
+/// stitched semantic events.
+fn compute_in<S: CubeSpace>(
+    db: &Database,
+    u: &Universal,
+    selection: &Selection<'_>,
+    space: &S,
+    agg: &AggFunc,
+    strategy: CubeStrategy,
+    exec: &ExecConfig,
+) -> Result<HashMap<S::Key, f64>> {
     let sink = exec.metrics();
     let _span = sink.span("cube");
     sink.incr("cube.runs");
-    let resolved = resolve_strategy(db, u, dims, strategy);
+    let resolved = resolve_strategy(db, u, space.dims(), strategy);
     let (states, selected) = match resolved {
         CubeStrategy::SubsetEnumeration => {
             sink.incr("cube.strategy.subset_enumeration");
-            subset_enumeration(db, u, selection, dims, agg, exec)?
+            accumulate_in(db, u, selection, space, agg, exec, true)?
         }
         CubeStrategy::LatticeRollup => {
             sink.incr("cube.strategy.lattice_rollup");
-            lattice_rollup(db, u, selection, dims, agg, exec)?
+            lattice_rollup_in(db, u, selection, space, agg, exec)?
         }
         CubeStrategy::Auto => unreachable!("resolve_strategy never returns Auto"),
     };
     sink.add("cube.input_tuples", selected);
-    let cells: HashMap<Coord, f64> = states.into_iter().map(|(k, s)| (k, s.finalize())).collect();
+    let cells: HashMap<S::Key, f64> = states.into_iter().map(|(k, s)| (k, s.finalize())).collect();
     sink.add("cube.cells", cells.len() as u64);
     if sink.is_enabled() {
         // Cells materialized per lattice level, where a cell's level is
-        // its number of specified (non-null) coordinates — the grand
-        // total is level 0, finest-grain cells are level d.
-        let mut per_level = vec![0u64; dims.len() + 1];
+        // its number of specified (non-don't-care) coordinates — the
+        // grand total is level 0, finest-grain cells are level d.
+        let mut per_level = vec![0u64; space.dims().len() + 1];
         // exq-lint: allow(L001): per-level integer counting is order-independent
-        for coord in cells.keys() {
-            per_level[coord.iter().filter(|v| !v.is_null()).count()] += 1;
+        for key in cells.keys() {
+            per_level[space.level_of(key)] += 1;
         }
         for (level, n) in per_level.iter().enumerate() {
             if *n > 0 {
@@ -210,10 +380,7 @@ pub fn compute_with(
             }
         }
     }
-    Ok(Cube {
-        dims: dims.to_vec(),
-        cells,
-    })
+    Ok(cells)
 }
 
 /// Plain `GROUP BY` (no cube): only the finest-level cells. This is the
@@ -229,7 +396,8 @@ pub fn group_by(
     group_by_with(db, u, selection, dims, agg, &ExecConfig::sequential())
 }
 
-/// [`group_by`] with an explicit executor.
+/// [`group_by`] with an explicit executor. Like [`compute_with`], runs in
+/// code space when every dimension column is dictionary-coded.
 pub fn group_by_with(
     db: &Database,
     u: &Universal,
@@ -242,12 +410,233 @@ pub fn group_by_with(
         return Err(Error::TooManyCubeDimensions(dims.len()));
     }
     agg.validate(db.schema())?;
-    let (cells, _selected) = accumulate(db, u, selection, dims, agg, exec, false)?;
+    let store = Arc::clone(db.columns());
+    if let Some(space) = CodedSpace::new(&store, dims) {
+        let sel = Selection::Coded(store.compile_predicate(selection));
+        let (cells, _selected) = accumulate_in(db, u, &sel, &space, agg, exec, false)?;
+        let mut decoded = HashMap::with_capacity(cells.len());
+        // exq-lint: allow(L001): map-to-map re-keying via a bijective decode; each cell finalizes independently
+        for (key, s) in &cells {
+            decoded.insert(space.decode_key(key), s.finalize());
+        }
+        return Ok(Cube {
+            dims: dims.to_vec(),
+            cells: decoded,
+        });
+    }
+    let space = ValueSpace { dims };
+    let (cells, _selected) =
+        accumulate_in(db, u, &Selection::Rows(selection), &space, agg, exec, false)?;
     Ok(Cube {
         dims: dims.to_vec(),
         // exq-lint: allow(L001): map-to-map re-keying; each cell finalizes independently, no order observable
         cells: cells.into_iter().map(|(k, s)| (k, s.finalize())).collect(),
     })
+}
+
+/// A coordinate representation for the generic cube machinery.
+///
+/// [`accumulate_in`] and [`lattice_rollup_in`] are written once against
+/// this trait and instantiated for two spaces: [`ValueSpace`] (keys are
+/// cloned `Value` coordinates — the reference path) and [`CodedSpace`]
+/// (keys are `u32` dictionary codes — the fast path). The bit-identity
+/// argument between the two is structural: both instantiations execute
+/// the same block partitioning, tuple order, entry/update sequence, and
+/// merge/fold order; the only difference is the key type, and the
+/// code↔value mapping is a bijection whose [`CubeSpace::cmp_keys`] orders
+/// keys exactly like the `Value` total order on decoded coordinates (the
+/// dictionary `rank` table, with "don't care" below everything, mirroring
+/// `Value::Null`). So every float addition happens between the same
+/// numbers in the same order in both spaces.
+trait CubeSpace: Sync {
+    /// One dimension's slot in an extracted base coordinate.
+    type Elem: Clone + Send;
+    /// A cell key: a full or masked coordinate.
+    type Key: Clone + Eq + Hash + Send + Sync;
+
+    /// The dimension attributes.
+    fn dims(&self) -> &[AttrRef];
+    /// Extract tuple `t`'s base coordinate into `out` (cleared first);
+    /// errors on NULL dimension values.
+    fn extract(&self, db: &Database, t: &[u32], out: &mut Vec<Self::Elem>) -> Result<()>;
+    /// The finest-level key for a base coordinate.
+    fn full_key(&self, base: &[Self::Elem]) -> Self::Key;
+    /// The key for `base` restricted to the dimensions set in `mask`.
+    fn masked_key(&self, base: &[Self::Elem], mask: u32) -> Self::Key;
+    /// Set dimension `j` of `key` to "don't care".
+    fn clear_dim(&self, key: &mut Self::Key, j: usize);
+    /// Total order on keys, equal to the lexicographic `Value` order of
+    /// the decoded coordinates.
+    fn cmp_keys(&self, a: &Self::Key, b: &Self::Key) -> Ordering;
+    /// Number of specified (non-don't-care) dimensions of `key`.
+    fn level_of(&self, key: &Self::Key) -> usize;
+}
+
+/// The row-oriented reference space: coordinates of cloned [`Value`]s.
+struct ValueSpace<'a> {
+    dims: &'a [AttrRef],
+}
+
+impl CubeSpace for ValueSpace<'_> {
+    type Elem = Value;
+    type Key = Coord;
+
+    fn dims(&self) -> &[AttrRef] {
+        self.dims
+    }
+
+    fn extract(&self, db: &Database, t: &[u32], out: &mut Vec<Value>) -> Result<()> {
+        out.clear();
+        for &a in self.dims {
+            let v = db.value(a, t[a.rel] as usize);
+            if v.is_null() {
+                return Err(null_dimension_error(db, a));
+            }
+            out.push(v.clone());
+        }
+        Ok(())
+    }
+
+    fn full_key(&self, base: &[Value]) -> Coord {
+        base.to_vec().into_boxed_slice()
+    }
+
+    fn masked_key(&self, base: &[Value], mask: u32) -> Coord {
+        base.iter()
+            .enumerate()
+            .map(|(j, v)| {
+                if mask & (1 << j) != 0 {
+                    v.clone()
+                } else {
+                    Value::Null
+                }
+            })
+            .collect()
+    }
+
+    fn clear_dim(&self, key: &mut Coord, j: usize) {
+        key[j] = Value::Null;
+    }
+
+    fn cmp_keys(&self, a: &Coord, b: &Coord) -> Ordering {
+        a.cmp(b)
+    }
+
+    fn level_of(&self, key: &Coord) -> usize {
+        key.iter().filter(|v| !v.is_null()).count()
+    }
+}
+
+/// The columnar fast space: coordinates of `u32` dictionary codes, with
+/// [`NO_CODE`] as "don't care".
+struct CodedSpace<'a> {
+    dims: &'a [AttrRef],
+    /// Per dimension: the column's codes (per row) and dictionary.
+    cols: Vec<(&'a [u32], &'a Dict)>,
+}
+
+impl<'a> CodedSpace<'a> {
+    /// `Some` iff every dimension column is dictionary-coded.
+    fn new(store: &'a ColumnStore, dims: &'a [AttrRef]) -> Option<CodedSpace<'a>> {
+        let cols = dims
+            .iter()
+            .map(|&a| store.dict_column(a))
+            .collect::<Option<Vec<_>>>()?;
+        Some(CodedSpace { dims, cols })
+    }
+
+    /// Rank of one key slot under the decoded `Value` order: "don't care"
+    /// first (as `Value::Null` sorts below everything), then dictionary
+    /// rank. Null *values* never appear in keys ([`CubeSpace::extract`]
+    /// rejects them), so the two cannot collide.
+    #[inline]
+    fn slot_rank(&self, j: usize, code: u32) -> u64 {
+        if code == NO_CODE {
+            0
+        } else {
+            u64::from(self.cols[j].1.rank(code)) + 1
+        }
+    }
+
+    /// Decode a key into a `Value` coordinate with `Null` don't-cares.
+    fn decode_key(&self, key: &[u32]) -> Coord {
+        key.iter()
+            .enumerate()
+            .map(|(j, &code)| {
+                if code == NO_CODE {
+                    Value::Null
+                } else {
+                    self.cols[j].1.value(code).clone()
+                }
+            })
+            .collect()
+    }
+}
+
+impl CubeSpace for CodedSpace<'_> {
+    type Elem = u32;
+    type Key = Box<[u32]>;
+
+    fn dims(&self) -> &[AttrRef] {
+        self.dims
+    }
+
+    fn extract(&self, db: &Database, t: &[u32], out: &mut Vec<u32>) -> Result<()> {
+        out.clear();
+        for (&a, &(codes, dict)) in self.dims.iter().zip(&self.cols) {
+            let code = codes[t[a.rel] as usize];
+            if dict.is_null_code(code) {
+                return Err(null_dimension_error(db, a));
+            }
+            out.push(code);
+        }
+        Ok(())
+    }
+
+    fn full_key(&self, base: &[u32]) -> Box<[u32]> {
+        base.into()
+    }
+
+    fn masked_key(&self, base: &[u32], mask: u32) -> Box<[u32]> {
+        base.iter()
+            .enumerate()
+            .map(|(j, &code)| {
+                if mask & (1 << j) != 0 {
+                    code
+                } else {
+                    NO_CODE
+                }
+            })
+            .collect()
+    }
+
+    fn clear_dim(&self, key: &mut Box<[u32]>, j: usize) {
+        key[j] = NO_CODE;
+    }
+
+    fn cmp_keys(&self, a: &Box<[u32]>, b: &Box<[u32]>) -> Ordering {
+        for (j, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            match self.slot_rank(j, x).cmp(&self.slot_rank(j, y)) {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn level_of(&self, key: &Box<[u32]>) -> usize {
+        key.iter().filter(|&&code| code != NO_CODE).count()
+    }
+}
+
+/// The `Error::TypeMismatch` for a NULL cube dimension value.
+fn null_dimension_error(db: &Database, a: AttrRef) -> Error {
+    Error::TypeMismatch {
+        relation: db.schema().relation(a.rel).name.clone(),
+        attribute: db.schema().relation(a.rel).attributes[a.col].name.clone(),
+        expected: "non-null cube dimension".to_string(),
+        got: "null".to_string(),
+    }
 }
 
 /// Fold the selected universal tuples into a cell map, one coordinate per
@@ -260,39 +649,41 @@ pub fn group_by_with(
 /// are independent of the thread count. Also returns the number of tuples
 /// passing `selection` (summed over blocks in block order, so the count
 /// shares the determinism guarantee).
-fn accumulate(
+fn accumulate_in<S: CubeSpace>(
     db: &Database,
     u: &Universal,
-    selection: &Predicate,
-    dims: &[AttrRef],
+    selection: &Selection<'_>,
+    space: &S,
     agg: &AggFunc,
     exec: &ExecConfig,
     enumerate_masks: bool,
-) -> Result<(HashMap<Coord, AggState>, u64)> {
-    let d = dims.len();
+) -> Result<(HashMap<S::Key, AggState>, u64)> {
+    let d = space.dims().len();
+    let store = Arc::clone(db.columns());
+    let agg_eval = agg.compile(&store);
     let parts = par::try_map_index_blocks(exec, u.len(), ACCUM_BLOCK, |_, range| {
-        let mut cells: HashMap<Coord, AggState> = HashMap::new();
+        let mut cells: HashMap<S::Key, AggState> = HashMap::new();
         let mut selected: u64 = 0;
-        let mut base = Vec::with_capacity(d);
+        let mut base: Vec<S::Elem> = Vec::with_capacity(d);
         for i in range {
             let t = u.tuple(i);
             if !selection.eval(db, t) {
                 continue;
             }
             selected += 1;
-            dim_values(db, dims, t, &mut base)?;
+            space.extract(db, t, &mut base)?;
             if enumerate_masks {
                 for mask in 0..(1u32 << d) {
-                    cells
-                        .entry(masked_coord(&base, mask))
-                        .or_insert_with(|| agg.new_state())
-                        .update(agg, db, t)?;
+                    let state = cells
+                        .entry(space.masked_key(&base, mask))
+                        .or_insert_with(|| agg_eval.new_state());
+                    agg_eval.update(state, db, t)?;
                 }
             } else {
-                cells
-                    .entry(base.clone().into_boxed_slice())
-                    .or_insert_with(|| agg.new_state())
-                    .update(agg, db, t)?;
+                let state = cells
+                    .entry(space.full_key(&base))
+                    .or_insert_with(|| agg_eval.new_state());
+                agg_eval.update(state, db, t)?;
             }
         }
         Ok((cells, selected))
@@ -313,60 +704,17 @@ fn accumulate(
     Ok((acc, selected))
 }
 
-/// Extract the dimension values of one universal tuple.
-fn dim_values(db: &Database, dims: &[AttrRef], t: &[u32], out: &mut Vec<Value>) -> Result<()> {
-    out.clear();
-    for &a in dims {
-        let v = db.value(a, t[a.rel] as usize);
-        if v.is_null() {
-            return Err(Error::TypeMismatch {
-                relation: db.schema().relation(a.rel).name.clone(),
-                attribute: db.schema().relation(a.rel).attributes[a.col].name.clone(),
-                expected: "non-null cube dimension".to_string(),
-                got: "null".to_string(),
-            });
-        }
-        out.push(v.clone());
-    }
-    Ok(())
-}
-
-/// Coordinate for `base` restricted to the dimensions set in `mask`.
-fn masked_coord(base: &[Value], mask: u32) -> Coord {
-    base.iter()
-        .enumerate()
-        .map(|(j, v)| {
-            if mask & (1 << j) != 0 {
-                v.clone()
-            } else {
-                Value::Null
-            }
-        })
-        .collect()
-}
-
-fn subset_enumeration(
+fn lattice_rollup_in<S: CubeSpace>(
     db: &Database,
     u: &Universal,
-    selection: &Predicate,
-    dims: &[AttrRef],
+    selection: &Selection<'_>,
+    space: &S,
     agg: &AggFunc,
     exec: &ExecConfig,
-) -> Result<(HashMap<Coord, AggState>, u64)> {
-    accumulate(db, u, selection, dims, agg, exec, true)
-}
-
-fn lattice_rollup(
-    db: &Database,
-    u: &Universal,
-    selection: &Predicate,
-    dims: &[AttrRef],
-    agg: &AggFunc,
-    exec: &ExecConfig,
-) -> Result<(HashMap<Coord, AggState>, u64)> {
-    let d = dims.len();
+) -> Result<(HashMap<S::Key, AggState>, u64)> {
+    let d = space.dims().len();
     // Finest-level grouping.
-    let (base_cells, selected) = accumulate(db, u, selection, dims, agg, exec, false)?;
+    let (base_cells, selected) = accumulate_in(db, u, selection, space, agg, exec, false)?;
 
     // Roll up level by level (decreasing popcount). Each mask M (≠ full)
     // aggregates from its parent P = M | lowest unset bit, which has
@@ -376,7 +724,7 @@ fn lattice_rollup(
     // order, which fixes the float-addition order no matter how the
     // parent's HashMap happens to be laid out.
     let full = (1u32 << d) - 1;
-    let mut per_mask: Vec<HashMap<Coord, AggState>> = (0..=full).map(|_| HashMap::new()).collect();
+    let mut per_mask: Vec<HashMap<S::Key, AggState>> = (0..=full).map(|_| HashMap::new()).collect();
     per_mask[full as usize] = base_cells;
 
     for level in (0..d as u32).rev() {
@@ -384,7 +732,7 @@ fn lattice_rollup(
         let computed = par::map_blocks(exec, &level_masks, 1, |_, masks| {
             masks
                 .iter()
-                .map(|&mask| (mask, rollup_one_mask(&per_mask, mask, d)))
+                .map(|&mask| (mask, rollup_one_mask_in(space, &per_mask, mask, d)))
                 .collect::<Vec<_>>()
         });
         for group in computed {
@@ -404,22 +752,23 @@ fn lattice_rollup(
 }
 
 /// Compute one roll-up mask's cell map from its (read-only) parent level.
-fn rollup_one_mask(
-    per_mask: &[HashMap<Coord, AggState>],
+fn rollup_one_mask_in<S: CubeSpace>(
+    space: &S,
+    per_mask: &[HashMap<S::Key, AggState>],
     mask: u32,
     d: usize,
-) -> HashMap<Coord, AggState> {
+) -> HashMap<S::Key, AggState> {
     let lowest_unset = (0..d as u32)
         .find(|j| mask & (1 << j) == 0)
         .expect("mask != full");
     let parent = mask | (1 << lowest_unset);
     let parent_cells = &per_mask[parent as usize];
-    let mut entries: Vec<(&Coord, &AggState)> = parent_cells.iter().collect();
-    entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
-    let mut child: HashMap<Coord, AggState> = HashMap::with_capacity(parent_cells.len());
+    let mut entries: Vec<(&S::Key, &AggState)> = parent_cells.iter().collect();
+    entries.sort_unstable_by(|a, b| space.cmp_keys(a.0, b.0));
+    let mut child: HashMap<S::Key, AggState> = HashMap::with_capacity(parent_cells.len());
     for (coord, state) in entries {
         let mut child_coord = coord.clone();
-        child_coord[lowest_unset as usize] = Value::Null;
+        space.clear_dim(&mut child_coord, lowest_unset as usize);
         match child.get_mut(&child_coord) {
             Some(existing) => existing.merge(state),
             None => {

@@ -1,13 +1,14 @@
 //! A database instance: a schema plus one [`Relation`] per declared
 //! relation, and *views* (live-row subsets) over it.
 
+use crate::column::ColumnStore;
 use crate::error::{Error, Result};
 use crate::schema::{AttrRef, DatabaseSchema};
 use crate::table::Relation;
 use crate::tupleset::TupleSet;
 use crate::value::Value;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A database instance.
 ///
@@ -17,6 +18,10 @@ use std::sync::Arc;
 pub struct Database {
     schema: Arc<DatabaseSchema>,
     relations: Vec<Relation>,
+    /// Lazily built columnar projections (see [`ColumnStore`]); shared by
+    /// clones until either side mutates, and rebuilt on demand after any
+    /// insert. Cloning the cell clones only the `Arc`.
+    columns: OnceLock<Arc<ColumnStore>>,
 }
 
 impl Database {
@@ -28,6 +33,7 @@ impl Database {
         Database {
             schema: Arc::new(schema),
             relations,
+            columns: OnceLock::new(),
         }
     }
 
@@ -66,8 +72,20 @@ impl Database {
 
     /// Insert a row into relation index `rel`.
     pub fn insert_at(&mut self, rel: usize, row: Vec<Value>) -> Result<usize> {
+        // Row storage is about to change, so any built columns are stale.
+        self.columns.take();
         let schema = self.schema.relation(rel).clone();
         self.relations[rel].push_checked(&schema, row)
+    }
+
+    /// The columnar projections of this instance, built on first use by one
+    /// deterministic sequential scan (so dictionary codes depend only on
+    /// the stored rows — see [`ColumnStore`]). Orchestrators that want the
+    /// build cost attributed to preparation rather than the first query
+    /// should call this eagerly (`PreparedDb` does).
+    pub fn columns(&self) -> &Arc<ColumnStore> {
+        self.columns
+            .get_or_init(|| Arc::new(ColumnStore::build(self)))
     }
 
     /// The value of attribute `attr` in row `row` of its relation.

@@ -9,11 +9,16 @@
 //! per relation — so no attribute values are copied; accessors project on
 //! demand.
 
+use crate::column::ColumnStore;
 use crate::database::{Database, View};
+use crate::dict::{Dict, NO_CODE};
 use crate::index::HashIndex;
 use crate::par::{self, ExecConfig};
-use crate::schema::DatabaseSchema;
+use crate::schema::{AttrRef, DatabaseSchema};
+use crate::table::Relation;
 use crate::tupleset::TupleSet;
+use crate::value::Value;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Root-row partitions smaller than this run inline — the per-thread
@@ -197,6 +202,153 @@ impl Universal {
     }
 }
 
+/// A per-edge probe mapping a parent row to its matching child rows.
+///
+/// When every join column on both sides is dictionary-coded, the probe
+/// works entirely in `u32` code space: parent codes are translated into
+/// the child's dictionary once per *code* (not per row), and child rows
+/// are bucketed per code (single-column edges) or keyed by code tuples
+/// (composite edges) — the inner probe loop then never clones or hashes a
+/// [`Value`]. Otherwise the edge falls back to the `Value`-keyed
+/// [`HashIndex`]. Bucket contents are pushed in live-row ascending order
+/// in every variant, exactly like [`HashIndex::build`], so the probe
+/// order — and hence the universal tuple order — is identical across
+/// variants and thread counts.
+enum EdgeProbe<'a> {
+    /// One coded join column: `buckets[child_code]` lists child rows.
+    Single {
+        /// Parent-side codes, per parent row.
+        parent_codes: &'a [u32],
+        /// Parent code → child code, or [`NO_CODE`].
+        translate: Vec<u32>,
+        /// Child code → live child rows, ascending.
+        buckets: Vec<Vec<u32>>,
+    },
+    /// Composite coded join columns: child rows keyed by code tuples.
+    Multi {
+        /// Per join column: parent-side codes per parent row.
+        parent_codes: Vec<&'a [u32]>,
+        /// Per join column: parent code → child code, or [`NO_CODE`].
+        translations: Vec<Vec<u32>>,
+        /// Child code tuple → live child rows, ascending.
+        map: HashMap<Box<[u32]>, Vec<u32>>,
+    },
+    /// Fallback for undictionarized columns: `Value`-keyed hash index.
+    Values(HashIndex),
+}
+
+impl EdgeProbe<'_> {
+    /// Build the probe for `edge` over the live child rows of `view`.
+    fn build<'a>(
+        db: &Database,
+        store: &'a ColumnStore,
+        view: &View,
+        edge: &TreeEdge,
+    ) -> EdgeProbe<'a> {
+        let parent: Option<Vec<(&[u32], &Dict)>> = edge
+            .parent_cols
+            .iter()
+            .map(|&col| store.dict_column(AttrRef { rel: edge.parent, col }))
+            .collect();
+        let child: Option<Vec<(&[u32], &Dict)>> = edge
+            .child_cols
+            .iter()
+            .map(|&col| store.dict_column(AttrRef { rel: edge.child, col }))
+            .collect();
+        match (parent, child) {
+            (Some(parent), Some(child)) if parent.len() == 1 => {
+                let (parent_codes, pdict) = parent[0];
+                let (child_codes, cdict) = child[0];
+                let translate = pdict.translate_to(cdict);
+                let mut buckets = vec![Vec::new(); cdict.len()];
+                for row in view.live(edge.child).iter() {
+                    buckets[child_codes[row] as usize].push(row as u32);
+                }
+                EdgeProbe::Single {
+                    parent_codes,
+                    translate,
+                    buckets,
+                }
+            }
+            (Some(parent), Some(child)) => {
+                let translations = parent
+                    .iter()
+                    .zip(&child)
+                    .map(|(&(_, pd), &(_, cd))| pd.translate_to(cd))
+                    .collect();
+                let parent_codes = parent.iter().map(|&(codes, _)| codes).collect();
+                let mut map: HashMap<Box<[u32]>, Vec<u32>> = HashMap::new();
+                let mut key: Vec<u32> = Vec::with_capacity(child.len());
+                for row in view.live(edge.child).iter() {
+                    key.clear();
+                    key.extend(child.iter().map(|&(codes, _)| codes[row]));
+                    map.entry(key.as_slice().into())
+                        .or_default()
+                        .push(row as u32);
+                }
+                EdgeProbe::Multi {
+                    parent_codes,
+                    translations,
+                    map,
+                }
+            }
+            _ => EdgeProbe::Values(HashIndex::build(
+                db,
+                edge.child,
+                &edge.child_cols,
+                view.live(edge.child),
+            )),
+        }
+    }
+
+    /// The live child rows matching `parent_row`, in ascending order.
+    /// `vkey`/`ckey` are reusable scratch buffers for the `Values` and
+    /// `Multi` variants.
+    #[inline]
+    fn child_rows<'s>(
+        &'s self,
+        parent_rel: &Relation,
+        parent_cols: &[usize],
+        parent_row: usize,
+        vkey: &mut Vec<Value>,
+        ckey: &mut Vec<u32>,
+    ) -> &'s [u32] {
+        match self {
+            EdgeProbe::Single {
+                parent_codes,
+                translate,
+                buckets,
+            } => {
+                let code = translate[parent_codes[parent_row] as usize];
+                if code == NO_CODE {
+                    &[]
+                } else {
+                    &buckets[code as usize]
+                }
+            }
+            EdgeProbe::Multi {
+                parent_codes,
+                translations,
+                map,
+            } => {
+                ckey.clear();
+                for (codes, translate) in parent_codes.iter().zip(translations) {
+                    let code = translate[codes[parent_row] as usize];
+                    if code == NO_CODE {
+                        return &[];
+                    }
+                    ckey.push(code);
+                }
+                map.get(ckey.as_slice()).map_or(&[][..], Vec::as_slice)
+            }
+            EdgeProbe::Values(index) => {
+                parent_rel.project_into(parent_row, parent_cols, vkey);
+                index.get(vkey)
+            }
+        }
+    }
+}
+
 /// Join one component along its BFS tree; returns flat tuples of `stride`
 /// row indices where slots outside the component hold `u32::MAX`.
 ///
@@ -217,10 +369,9 @@ fn join_component(
     // Counter discipline: counts are derived from the inputs and the
     // stitched outputs on this (orchestrating) thread, never from
     // per-worker progress, so they are bit-identical at any thread
-    // count. `build_rows` counts the rows *entering* each edge's hash
-    // index as a function of the view alone — the sequential path may
-    // skip building an index when the frontier empties early, which
-    // would otherwise make the count depend on the execution path.
+    // count. `build_rows` counts the rows *entering* each edge's probe
+    // structure as a function of the view alone, regardless of which
+    // probe variant the edge's columns allow.
     let sink = exec.metrics();
     sink.add("join.root_rows", roots.len() as u64);
     sink.add(
@@ -234,23 +385,24 @@ fn join_component(
         sink.add("join.probe_matches", (data.len() / stride.max(1)) as u64);
     };
 
+    // Build each edge's probe once, up front, and share it read-only
+    // across the sequential loop or the parallel workers alike.
+    let store = Arc::clone(db.columns());
+    let probes: Vec<EdgeProbe<'_>> = comp
+        .edges
+        .iter()
+        .map(|e| EdgeProbe::build(db, &store, view, e))
+        .collect();
+
     if !exec.is_parallel() || roots.len() < MIN_PARALLEL_ROOTS {
-        let data = expand_roots(db, view, comp, stride, &roots, None);
+        let data = expand_roots(db, comp, stride, &roots, &probes);
         record_matches(&data);
         return data;
     }
 
-    // Build each edge's hash index once, up front, and share it read-only
-    // across the workers (the sequential path builds lazily per edge so an
-    // early-empty frontier can skip the rest).
-    let indexes: Vec<HashIndex> = comp
-        .edges
-        .iter()
-        .map(|e| HashIndex::build(db, e.child, &e.child_cols, view.live(e.child)))
-        .collect();
     let block = par::even_block_size(exec, roots.len());
     let parts = par::map_blocks(exec, &roots, block, |_, chunk| {
-        expand_roots(db, view, comp, stride, chunk, Some(&indexes))
+        expand_roots(db, comp, stride, chunk, &probes)
     });
     let mut data = Vec::with_capacity(parts.iter().map(Vec::len).sum());
     for part in parts {
@@ -260,16 +412,14 @@ fn join_component(
     data
 }
 
-/// Expand a slice of root rows through every edge of the component.
-/// `indexes` carries prebuilt per-edge hash indexes for the parallel
-/// path; the sequential path passes `None` and builds them lazily.
+/// Expand a slice of root rows through every edge of the component,
+/// against the shared prebuilt per-edge probes.
 fn expand_roots(
     db: &Database,
-    view: &View,
     comp: &Component,
     stride: usize,
     roots: &[u32],
-    indexes: Option<&[HashIndex]>,
+    probes: &[EdgeProbe<'_>],
 ) -> Vec<u32> {
     let mut partials: Vec<u32> = Vec::with_capacity(roots.len() * stride);
     for &row in roots {
@@ -278,30 +428,19 @@ fn expand_roots(
         partials[base + comp.root] = row;
     }
 
-    let mut key = Vec::new();
-    let mut lazy: Option<HashIndex>;
-    for (i, edge) in comp.edges.iter().enumerate() {
+    let mut vkey: Vec<Value> = Vec::new();
+    let mut ckey: Vec<u32> = Vec::new();
+    for (edge, probe) in comp.edges.iter().zip(probes) {
         if partials.is_empty() {
             break;
         }
-        let index = match indexes {
-            Some(built) => &built[i],
-            None => {
-                lazy = Some(HashIndex::build(
-                    db,
-                    edge.child,
-                    &edge.child_cols,
-                    view.live(edge.child),
-                ));
-                lazy.as_ref().expect("just built")
-            }
-        };
         let parent_rel = db.relation(edge.parent);
         let mut next: Vec<u32> = Vec::with_capacity(partials.len());
         for t in partials.chunks_exact(stride) {
             let parent_row = t[edge.parent] as usize;
-            parent_rel.project_into(parent_row, &edge.parent_cols, &mut key);
-            for &child_row in index.get(&key) {
+            let matches =
+                probe.child_rows(parent_rel, &edge.parent_cols, parent_row, &mut vkey, &mut ckey);
+            for &child_row in matches {
                 let base = next.len();
                 next.extend_from_slice(t);
                 next[base + edge.child] = child_row;

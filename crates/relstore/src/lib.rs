@@ -53,9 +53,11 @@
 #![forbid(unsafe_code)]
 
 pub mod aggregate;
+pub mod column;
 pub mod csv;
 pub mod cube;
 pub mod database;
+pub mod dict;
 pub mod error;
 pub mod index;
 pub mod join;
@@ -70,7 +72,9 @@ pub mod text;
 pub mod tupleset;
 pub mod value;
 
+pub use column::{CodedPredicate, ColumnData, ColumnStore};
 pub use database::{Database, View};
+pub use dict::{Dict, DictBuilder};
 pub use error::{Error, Result};
 pub use exq_obs::MetricsSink;
 pub use join::Universal;

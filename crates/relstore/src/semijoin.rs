@@ -31,10 +31,13 @@
 //! ```
 
 use crate::database::{Database, View};
+use crate::dict::{Dict, NO_CODE};
 use crate::index::key_set;
 use crate::join::{join_forest, Component};
 use crate::par::{self, ExecConfig};
+use crate::schema::AttrRef;
 use crate::tupleset::TupleSet;
+use std::collections::HashSet;
 
 /// Fully reduce `view`: the returned view keeps exactly the rows that
 /// appear in `U` computed over `view`.
@@ -188,6 +191,9 @@ fn apply_steps(db: &Database, view: &mut View, steps: &[Step<'_>], exec: &ExecCo
 
 /// Live rows of `step.target` whose join key has no live `step.source` row.
 fn compute_drops(db: &Database, view: &View, step: &Step<'_>) -> Vec<usize> {
+    if let Some(drops) = compute_drops_coded(db, view, step) {
+        return drops;
+    }
     let keys = key_set(db, step.source, step.source_cols, view.live(step.source));
     let relation = db.relation(step.target);
     let mut key = Vec::with_capacity(step.target_cols.len());
@@ -199,6 +205,76 @@ fn compute_drops(db: &Database, view: &View, step: &Step<'_>) -> Vec<usize> {
         }
     }
     to_drop
+}
+
+/// Code-space variant of [`compute_drops`], applicable when every join
+/// column on both sides is dictionary-coded: live source rows are marked
+/// per target-side code (translating source codes via the dictionaries,
+/// once per code), and target rows whose code was never marked drop. The
+/// drop set — and its row order, ascending — is identical to the `Value`
+/// path, since a code translation exists exactly when the `Value` key
+/// occurs in the source dictionary.
+fn compute_drops_coded(db: &Database, view: &View, step: &Step<'_>) -> Option<Vec<usize>> {
+    let store = db.columns();
+    let source: Vec<(&[u32], &Dict)> = step
+        .source_cols
+        .iter()
+        .map(|&col| store.dict_column(AttrRef { rel: step.source, col }))
+        .collect::<Option<_>>()?;
+    let target: Vec<(&[u32], &Dict)> = step
+        .target_cols
+        .iter()
+        .map(|&col| store.dict_column(AttrRef { rel: step.target, col }))
+        .collect::<Option<_>>()?;
+    let translations: Vec<Vec<u32>> = source
+        .iter()
+        .zip(&target)
+        .map(|(&(_, sd), &(_, td))| sd.translate_to(td))
+        .collect();
+
+    let mut to_drop = Vec::new();
+    if let ([(source_codes, _)], [(target_codes, td)]) = (&source[..], &target[..]) {
+        // Single column: membership is a dense bitmap over the target's
+        // code space.
+        let mut live_code = vec![false; td.len()];
+        for row in view.live(step.source).iter() {
+            let code = translations[0][source_codes[row] as usize];
+            if code != NO_CODE {
+                live_code[code as usize] = true;
+            }
+        }
+        for row in view.live(step.target).iter() {
+            if !live_code[target_codes[row] as usize] {
+                to_drop.push(row);
+            }
+        }
+    } else {
+        // Composite key: membership set of translated code tuples. A
+        // source key with any untranslatable column can't match a target
+        // row, so it is skipped.
+        let mut keys: HashSet<Box<[u32]>> = HashSet::new();
+        let mut key: Vec<u32> = Vec::with_capacity(source.len());
+        'source: for row in view.live(step.source).iter() {
+            key.clear();
+            for ((codes, _), translate) in source.iter().zip(&translations) {
+                let code = translate[codes[row] as usize];
+                if code == NO_CODE {
+                    continue 'source;
+                }
+                key.push(code);
+            }
+            keys.insert(key.as_slice().into());
+        }
+        let mut probe: Vec<u32> = Vec::with_capacity(target.len());
+        for row in view.live(step.target).iter() {
+            probe.clear();
+            probe.extend(target.iter().map(|&(codes, _)| codes[row]));
+            if !keys.contains(probe.as_slice()) {
+                to_drop.push(row);
+            }
+        }
+    }
+    Some(to_drop)
 }
 
 #[cfg(test)]

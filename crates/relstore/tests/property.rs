@@ -187,6 +187,217 @@ fn hash_of(v: &Value) -> u64 {
 }
 
 // ---------------------------------------------------------------------
+// Aggregate exactness on the 2^53 precision cliff
+// ---------------------------------------------------------------------
+
+/// Integers biased toward the f64 precision cliff: full-range `i64`s mixed
+/// with values around ±2^53, where a lossy `as f64` fold collapses ±1s.
+fn arb_cliff_int() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        any::<i64>(),
+        (1i64 << 53) - 2..(1i64 << 53) + 100,
+        -(1i64 << 53) - 100..-(1i64 << 53) + 2,
+        -3i64..3,
+    ]
+}
+
+proptest! {
+    /// SUM over an integer column equals the exact `i128` sum converted to
+    /// `f64` once — the same guarantee `Value::hash` got for the Int/Float
+    /// collapse in the ordering fix, now for accumulation. The old
+    /// accumulator folded every row through `Value::as_f64`, so e.g.
+    /// `[2^53, 1, -2^53]` summed to 0 instead of 1.
+    #[test]
+    fn int_sum_and_avg_are_exact(xs in proptest::collection::vec(arb_cliff_int(), 1..40)) {
+        let schema = SchemaBuilder::new()
+            .relation("R", &[("id", T::Int), ("x", T::Int)], &["id"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for (i, &x) in xs.iter().enumerate() {
+            db.insert("R", vec![(i as i64).into(), x.into()]).unwrap();
+        }
+        let u = Universal::compute(&db, &db.full_view());
+        let x = db.schema().attr("R", "x").unwrap();
+        let exact: i128 = xs.iter().map(|&v| i128::from(v)).sum();
+        let sum = exq_relstore::aggregate::evaluate(&db, &u, &Predicate::True, &AggFunc::Sum(x)).unwrap();
+        prop_assert_eq!(sum.to_bits(), (exact as f64).to_bits());
+        let avg = exq_relstore::aggregate::evaluate(&db, &u, &Predicate::True, &AggFunc::Avg(x)).unwrap();
+        prop_assert_eq!(avg.to_bits(), (exact as f64 / xs.len() as f64).to_bits());
+
+        // The cube's grand-total cell carries the same exact sum (its
+        // accumulator merges per-block states; all lanes are integers, so
+        // merging stays exact too).
+        let g = db.schema().attr("R", "id").unwrap();
+        let c = cube::compute(&db, &u, &Predicate::True, &[g], &AggFunc::Sum(x), CubeStrategy::Auto).unwrap();
+        let total = c.cells.get(&vec![Value::Null].into_boxed_slice()).copied().unwrap();
+        prop_assert_eq!(total.to_bits(), (exact as f64).to_bits());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dictionary round-trip (columnar store)
+// ---------------------------------------------------------------------
+
+/// Column values for the dictionary round-trip: every variant, the
+/// reserved dummy, NaN (the quiet payload), signed zeros, and the
+/// Int/Float spelling seam.
+fn arb_dict_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        Just(Value::dummy()),
+        Just(Value::Float(f64::NAN)),
+        Just(Value::Float(0.0)),
+        Just(Value::Float(-0.0)),
+        Just(Value::Int(0)),
+        Just(Value::Int(7)),
+        Just(Value::Float(7.0)),
+        any::<bool>().prop_map(Value::Bool),
+        (-20i64..20).prop_map(Value::Int),
+        (-20i64..20).prop_map(|i| Value::Float(i as f64)),
+        any::<f64>().prop_map(Value::Float),
+        "[a-z]{0,4}".prop_map(Value::str),
+    ]
+}
+
+proptest! {
+    /// Dictionary encode→decode is the identity up to `Value` equality
+    /// (`Int(7)` and `Float(7.0)` share a code, so the decoded spelling is
+    /// the first-appearance representative — exactly the key the old
+    /// row-oriented `HashMap` accumulation would have retained), the
+    /// first occurrence of every equivalence class round-trips
+    /// bit-exactly, and code assignment is first-appearance order, stable
+    /// across rebuilds.
+    #[test]
+    fn dict_column_round_trips(values in proptest::collection::vec(arb_dict_value(), 1..60)) {
+        let schema = SchemaBuilder::new()
+            .relation("R", &[("id", T::Int), ("x", T::Any)], &["id"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for (i, v) in values.iter().enumerate() {
+            db.insert("R", vec![(i as i64).into(), v.clone()]).unwrap();
+        }
+        let x = db.schema().attr("R", "x").unwrap();
+
+        let store = std::sync::Arc::clone(db.columns());
+        let (codes, dict) = store.dict_column(x).expect("low-cardinality column dict-encodes");
+        prop_assert_eq!(codes.len(), values.len());
+
+        let mut first_code_of: std::collections::HashMap<&Value, u32> = std::collections::HashMap::new();
+        let mut next_fresh = 0u32;
+        for (i, v) in values.iter().enumerate() {
+            let code = codes[i];
+            // Decode is the identity up to Value equality (NaN == NaN with
+            // the same payload under the total order).
+            prop_assert_eq!(
+                dict.value(code).cmp(v),
+                std::cmp::Ordering::Equal,
+                "row {} decodes {:?}, stored {:?}", i, dict.value(code), v
+            );
+            match first_code_of.get(v) {
+                Some(&seen) => prop_assert_eq!(code, seen, "repeat of {:?} re-coded", v),
+                None => {
+                    // First appearance: fresh codes are dense and ascending
+                    // in table order, and decode bit-exactly.
+                    prop_assert_eq!(code, next_fresh, "fresh code out of order for {:?}", v);
+                    next_fresh += 1;
+                    first_code_of.insert(v, code);
+                    if let (Value::Float(a), Value::Float(b)) = (dict.value(code), v) {
+                        prop_assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+            }
+            // Null maps to the dictionary's null code and nothing else does.
+            prop_assert_eq!(dict.is_null_code(code), v.is_null());
+        }
+
+        // Rebuilding the store from scratch reproduces the codes bit for
+        // bit — assignment depends only on stored row order.
+        let rebuilt = exq_relstore::ColumnStore::build(&db);
+        let (codes2, _) = rebuilt.dict_column(x).unwrap();
+        prop_assert_eq!(codes, codes2);
+
+        // The rank table recovers the exact Value total order.
+        let mut by_rank: Vec<u32> = (0..dict.len() as u32).collect();
+        by_rank.sort_unstable_by_key(|&c| dict.rank(c));
+        for pair in by_rank.windows(2) {
+            prop_assert!(dict.value(pair[0]) < dict.value(pair[1]));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compiled predicates vs the Predicate interpreter
+// ---------------------------------------------------------------------
+
+fn arb_cmp_op() -> impl Strategy<Value = exq_relstore::CmpOp> {
+    use exq_relstore::CmpOp;
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+proptest! {
+    /// `ColumnStore::compile_predicate` is observationally identical to
+    /// `Predicate::eval` on every tuple — masks over dictionary codes,
+    /// boolean combinators, and the `True`/`False` constant folding all
+    /// included. This is the exactness the coded cube and `evaluate`
+    /// hot paths rely on.
+    #[test]
+    fn compiled_predicate_matches_interpreter(
+        values in proptest::collection::vec(arb_dict_value(), 1..40),
+        atoms in proptest::collection::vec((arb_cmp_op(), arb_dict_value()), 1..6),
+        shape in 0u8..4,
+    ) {
+        let schema = SchemaBuilder::new()
+            .relation("R", &[("id", T::Int), ("x", T::Any)], &["id"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        for (i, v) in values.iter().enumerate() {
+            db.insert("R", vec![(i as i64).into(), v.clone()]).unwrap();
+        }
+        let x = db.schema().attr("R", "x").unwrap();
+
+        let parts: Vec<Predicate> = atoms
+            .iter()
+            .map(|(op, rhs)| Predicate::cmp(x, *op, rhs.clone()))
+            .collect();
+        let mid = parts.len() / 2;
+        let p = match shape {
+            0 => Predicate::and(parts),
+            1 => Predicate::or(parts),
+            2 => Predicate::not(Predicate::and(parts)),
+            _ => Predicate::and([
+                Predicate::or(parts[..mid].to_vec()),
+                Predicate::not(Predicate::or(parts[mid..].to_vec())),
+            ]),
+        };
+        // Constant operands exercise the compile-time folding.
+        let folded = Predicate::and([
+            Predicate::True,
+            p.clone(),
+            Predicate::or([Predicate::False, p.clone()]),
+        ]);
+
+        let u = Universal::compute(&db, &db.full_view());
+        let store = std::sync::Arc::clone(db.columns());
+        for q in [&p, &folded] {
+            let coded = store.compile_predicate(q);
+            for t in u.iter() {
+                prop_assert_eq!(coded.eval(&db, t), q.eval(&db, t), "{:?} on {:?}", q, t);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Cube vs brute-force reference
 // ---------------------------------------------------------------------
 

@@ -342,11 +342,26 @@ fn zero_queue_depth_sheds_load_with_503_and_retry_after() {
         queue_depth: 0,
         ..ServerConfig::default()
     });
-    let response = client::get(handle.addr(), "/healthz").unwrap();
-    assert_eq!(response.status, 503);
-    assert_eq!(response.header("retry-after"), Some("1"));
+    // The busy rejection is the server's only 503 source (shutdown drains
+    // the queue instead of shedding it), so hammering a zero-depth queue
+    // covers every 503 the server can emit. Each one must carry a
+    // `Retry-After` in RFC 9110 delay-seconds form: a non-empty unsigned
+    // ASCII-digit integer — no sign, no unit suffix, no HTTP-date.
+    for path in ["/healthz", "/v1/datasets", "/metrics"] {
+        let response = client::get(handle.addr(), path).unwrap();
+        assert_eq!(response.status, 503, "{path}");
+        let retry = response
+            .header("retry-after")
+            .unwrap_or_else(|| panic!("503 for {path} lacks Retry-After"));
+        assert!(
+            !retry.is_empty() && retry.bytes().all(|b| b.is_ascii_digit()),
+            "Retry-After {retry:?} is not RFC 9110 delay-seconds"
+        );
+        let delay: u64 = retry.parse().expect("delay-seconds parses as u64");
+        assert!(delay >= 1, "a zero delay would invite an immediate retry");
+    }
     let snapshot = handle.shutdown();
-    assert_eq!(snapshot.counter("server.rejected_busy"), 1);
+    assert_eq!(snapshot.counter("server.rejected_busy"), 3);
     assert_eq!(snapshot.counter("server.requests"), 0);
 }
 
