@@ -190,6 +190,7 @@ fn joined_value_cells(
 /// some explanation attribute's column is not dictionary-coded — coded-ness
 /// is a property of the store alone, so the first sub-query's answer holds
 /// for all of them.
+#[allow(clippy::type_complexity)] // the Option layer is the coded-ness signal, the Vec the join
 fn joined_coded_cells(
     db: &Database,
     u: &Universal,

@@ -234,10 +234,7 @@ impl AggState {
     pub fn merge(&mut self, other: &AggState) {
         match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
-            (
-                AggState::Sum { int: i1, float: f1 },
-                AggState::Sum { int: i2, float: f2 },
-            ) => {
+            (AggState::Sum { int: i1, float: f1 }, AggState::Sum { int: i2, float: f2 }) => {
                 *i1 += i2;
                 *f1 += f2;
             }

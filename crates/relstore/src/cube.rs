@@ -208,7 +208,15 @@ pub fn compute_rows_with(
     }
     agg.validate(db.schema())?;
     let space = ValueSpace { dims };
-    let cells = compute_in(db, u, &Selection::Rows(selection), &space, agg, strategy, exec)?;
+    let cells = compute_in(
+        db,
+        u,
+        &Selection::Rows(selection),
+        &space,
+        agg,
+        strategy,
+        exec,
+    )?;
     Ok(Cube {
         dims: dims.to_vec(),
         cells,
@@ -600,13 +608,15 @@ impl CubeSpace for CodedSpace<'_> {
     fn masked_key(&self, base: &[u32], mask: u32) -> Box<[u32]> {
         base.iter()
             .enumerate()
-            .map(|(j, &code)| {
-                if mask & (1 << j) != 0 {
-                    code
-                } else {
-                    NO_CODE
-                }
-            })
+            .map(
+                |(j, &code)| {
+                    if mask & (1 << j) != 0 {
+                        code
+                    } else {
+                        NO_CODE
+                    }
+                },
+            )
             .collect()
     }
 

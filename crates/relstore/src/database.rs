@@ -7,8 +7,14 @@ use crate::schema::{AttrRef, DatabaseSchema};
 use crate::table::Relation;
 use crate::tupleset::TupleSet;
 use crate::value::Value;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
+
+/// A batch of rows to append, pairing relation names with their new
+/// rows; a relation may appear more than once. The unit of atomicity
+/// for [`Database::append_batch`] and everything layered on top of it
+/// (prepared-database maintenance, the server's ingestion endpoint).
+pub type AppendBatch = Vec<(String, Vec<Vec<Value>>)>;
 
 /// A database instance.
 ///
@@ -17,7 +23,13 @@ use std::sync::{Arc, OnceLock};
 #[derive(Debug, Clone)]
 pub struct Database {
     schema: Arc<DatabaseSchema>,
-    relations: Vec<Relation>,
+    /// Row storage is structurally shared between clones: cloning the
+    /// instance bumps one reference count per relation, and a mutation
+    /// deep-copies only the relations it actually touches
+    /// ([`Arc::make_mut`]). This is what makes epoch snapshots cheap for
+    /// the live-append path — the old epoch keeps the old rows, the new
+    /// epoch pays for the grown relations only.
+    relations: Vec<Arc<Relation>>,
     /// Lazily built columnar projections (see [`ColumnStore`]); shared by
     /// clones until either side mutates, and rebuilt on demand after any
     /// insert. Cloning the cell clones only the `Arc`.
@@ -28,7 +40,7 @@ impl Database {
     /// An empty instance of `schema`.
     pub fn new(schema: DatabaseSchema) -> Database {
         let relations = (0..schema.relation_count())
-            .map(|_| Relation::new())
+            .map(|_| Arc::new(Relation::new()))
             .collect();
         Database {
             schema: Arc::new(schema),
@@ -49,7 +61,7 @@ impl Database {
 
     /// The stored relation at index `rel`.
     pub fn relation(&self, rel: usize) -> &Relation {
-        &self.relations[rel]
+        self.relations[rel].as_ref()
     }
 
     /// Number of rows in relation `rel`.
@@ -59,7 +71,7 @@ impl Database {
 
     /// Total number of tuples, the `n` of Proposition 3.4.
     pub fn total_tuples(&self) -> usize {
-        self.relations.iter().map(Relation::len).sum()
+        self.relations.iter().map(|r| r.len()).sum()
     }
 
     /// Insert a row into the relation named `relation`. Checks arity and
@@ -75,7 +87,226 @@ impl Database {
         // Row storage is about to change, so any built columns are stale.
         self.columns.take();
         let schema = self.schema.relation(rel).clone();
-        self.relations[rel].push_checked(&schema, row)
+        Arc::make_mut(&mut self.relations[rel]).push_checked(&schema, row)
+    }
+
+    /// Append a batch of rows atomically: either every row lands and
+    /// constraints still hold, or the instance is byte-identical to its
+    /// pre-call state. `batch` pairs relation names with their new rows;
+    /// a relation may appear more than once.
+    ///
+    /// Validation is incremental — appends can only introduce violations
+    /// *at* the new rows, so primary keys are re-checked per grown
+    /// relation and foreign keys only for the new rows of grown source
+    /// relations (against the post-append targets, so a batch may insert
+    /// a referencing row and its referent together). Already-built
+    /// columns are extended in place via
+    /// [`ColumnStore::extend_for_append`] instead of being dropped, so
+    /// existing dictionary codes and column prefixes never change.
+    ///
+    /// Returns the number of rows appended.
+    pub fn append_batch(&mut self, batch: AppendBatch) -> Result<usize> {
+        // Resolve names up front so an unknown relation mutates nothing.
+        let mut resolved: Vec<(usize, Vec<Vec<Value>>)> = Vec::with_capacity(batch.len());
+        for (name, rows) in batch {
+            resolved.push((self.schema.relation_index(&name)?, rows));
+        }
+        let old_lens: Vec<usize> = self.relations.iter().map(|r| r.len()).collect();
+        let old_columns = self.columns.take();
+        match self.apply_append(resolved, &old_lens, old_columns.as_deref()) {
+            Ok(appended) => {
+                if let Some(old) = old_columns {
+                    let extended = ColumnStore::extend_for_append(&old, self, &old_lens);
+                    let _ = self.columns.set(Arc::new(extended));
+                }
+                Ok(appended)
+            }
+            Err(e) => {
+                for (rel, &len) in self.relations.iter_mut().zip(&old_lens) {
+                    // Untouched relations may still be shared with other
+                    // epochs — only unshare the ones that actually grew.
+                    if rel.len() != len {
+                        Arc::make_mut(rel).truncate(len);
+                    }
+                }
+                // The pre-batch columns still describe the rolled-back rows.
+                if let Some(old) = old_columns {
+                    let _ = self.columns.set(old);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible middle of [`Database::append_batch`]: push rows, then
+    /// re-check the constraints an append can break. The caller rolls back
+    /// on error.
+    fn apply_append(
+        &mut self,
+        batch: Vec<(usize, Vec<Vec<Value>>)>,
+        old_lens: &[usize],
+        old_cols: Option<&ColumnStore>,
+    ) -> Result<usize> {
+        let mut appended = 0usize;
+        for (rel, rows) in batch {
+            let schema = self.schema.relation(rel).clone();
+            let relation = Arc::make_mut(&mut self.relations[rel]);
+            for row in rows {
+                relation.push_checked(&schema, row)?;
+                appended += 1;
+            }
+        }
+        // Primary keys: a new row can collide with another new row or
+        // with an old one. Only the *new* keys are hashed (the delta is
+        // small); the old prefix is swept once probing that set. When
+        // every key column is dictionary-coded in the pre-append column
+        // store, the probe compares u32 code tuples — and a new key
+        // holding a value no old row ever stored cannot collide, so it
+        // drops out of the sweep entirely. Otherwise the sweep falls
+        // back to borrowed value refs; either way the O(old) side
+        // allocates nothing per row.
+        for (rel_idx, &old_len) in old_lens.iter().enumerate() {
+            let rel = self.relations[rel_idx].as_ref();
+            if rel.len() == old_len {
+                continue;
+            }
+            let schema = self.schema.relation(rel_idx);
+            let pk = &schema.primary_key;
+            let mut new_keys: HashSet<Vec<&Value>> = HashSet::with_capacity(rel.len() - old_len);
+            for i in old_len..rel.len() {
+                let row = rel.row(i);
+                if !new_keys.insert(pk.iter().map(|&c| &row[c]).collect()) {
+                    return Err(Error::DuplicateKey {
+                        relation: schema.name.clone(),
+                        key: format_key(&rel.project(i, pk)),
+                    });
+                }
+            }
+            let dict_cols: Option<Vec<_>> = old_cols.and_then(|store| {
+                pk.iter()
+                    .map(|&col| store.dict_column(AttrRef { rel: rel_idx, col }))
+                    .collect()
+            });
+            match dict_cols {
+                Some(cols) if cols.iter().all(|&(codes, _)| codes.len() == old_len) => {
+                    let mut coded: HashSet<Vec<u32>> = HashSet::new();
+                    'key: for i in old_len..rel.len() {
+                        let row = rel.row(i);
+                        let mut key = Vec::with_capacity(pk.len());
+                        for (&c, &(_, dict)) in pk.iter().zip(&cols) {
+                            match dict.code(&row[c]) {
+                                Some(code) => key.push(code),
+                                None => continue 'key,
+                            }
+                        }
+                        coded.insert(key);
+                    }
+                    if !coded.is_empty() {
+                        let mut probe: Vec<u32> = Vec::with_capacity(pk.len());
+                        for i in 0..old_len {
+                            probe.clear();
+                            probe.extend(cols.iter().map(|&(codes, _)| codes[i]));
+                            if coded.contains(&probe) {
+                                return Err(Error::DuplicateKey {
+                                    relation: schema.name.clone(),
+                                    key: format_key(&rel.project(i, pk)),
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let mut probe: Vec<&Value> = Vec::with_capacity(pk.len());
+                    for i in 0..old_len {
+                        let row = rel.row(i);
+                        probe.clear();
+                        probe.extend(pk.iter().map(|&c| &row[c]));
+                        if new_keys.contains(&probe) {
+                            return Err(Error::DuplicateKey {
+                                relation: schema.name.clone(),
+                                key: format_key(&rel.project(i, pk)),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Foreign keys: only the new rows of grown source relations can
+        // dangle (appending targets never invalidates existing edges).
+        // Single-column edges whose target column is dictionary-coded
+        // check each new row with one dictionary lookup (a value has a
+        // code iff some old target row stores it), plus a small set of
+        // the target's own new keys for intra-batch referents. Other
+        // edges collect the distinct keys the new rows need and sweep
+        // the post-append target crossing them off, stopping as soon as
+        // every needed key has resolved.
+        for fk in self.schema.foreign_keys() {
+            let from = self.relations[fk.from_rel].as_ref();
+            let old_len = old_lens[fk.from_rel];
+            if from.len() == old_len {
+                continue;
+            }
+            let to = self.relations[fk.to_rel].as_ref();
+            let to_old_len = old_lens[fk.to_rel];
+            let target_dict = old_cols
+                .filter(|_| fk.from_cols.len() == 1)
+                .and_then(|store| {
+                    store.dict_column(AttrRef {
+                        rel: fk.to_rel,
+                        col: fk.to_cols[0],
+                    })
+                })
+                .filter(|&(codes, _)| codes.len() == to_old_len);
+            if let Some((_, dict)) = target_dict {
+                let new_targets: HashSet<&Value> = (to_old_len..to.len())
+                    .map(|i| &to.row(i)[fk.to_cols[0]])
+                    .collect();
+                let c = fk.from_cols[0];
+                for i in old_len..from.len() {
+                    let v = &from.row(i)[c];
+                    if dict.code(v).is_none() && !new_targets.contains(v) {
+                        return Err(Error::DanglingForeignKey {
+                            from: self.schema.relation(fk.from_rel).name.clone(),
+                            to: self.schema.relation(fk.to_rel).name.clone(),
+                            key: format_key(&from.project(i, &fk.from_cols)),
+                        });
+                    }
+                }
+                continue;
+            }
+            let mut missing: HashSet<Vec<&Value>> = HashSet::new();
+            for i in old_len..from.len() {
+                let row = from.row(i);
+                missing.insert(fk.from_cols.iter().map(|&c| &row[c]).collect());
+            }
+            let mut probe: Vec<&Value> = Vec::with_capacity(fk.to_cols.len());
+            for i in 0..to.len() {
+                if missing.is_empty() {
+                    break;
+                }
+                let row = to.row(i);
+                probe.clear();
+                probe.extend(fk.to_cols.iter().map(|&c| &row[c]));
+                missing.remove(&probe);
+            }
+            if !missing.is_empty() {
+                // Report the first dangling row in insertion order, not
+                // hash order, so the error is deterministic.
+                for i in old_len..from.len() {
+                    let row = from.row(i);
+                    probe.clear();
+                    probe.extend(fk.from_cols.iter().map(|&c| &row[c]));
+                    if missing.contains(&probe) {
+                        return Err(Error::DanglingForeignKey {
+                            from: self.schema.relation(fk.from_rel).name.clone(),
+                            to: self.schema.relation(fk.to_rel).name.clone(),
+                            key: format_key(&from.project(i, &fk.from_cols)),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(appended)
     }
 
     /// The columnar projections of this instance, built on first use by one
@@ -168,8 +399,9 @@ impl Database {
     pub fn materialize(&self, view: &View) -> Database {
         let mut out = Database::new((*self.schema).clone());
         for (rel, live) in view.live.iter().enumerate() {
+            let target = Arc::make_mut(&mut out.relations[rel]);
             for row in live.iter() {
-                out.relations[rel]
+                target
                     .push_checked(
                         self.schema.relation(rel),
                         self.relations[rel].row(row).to_vec(),
@@ -292,6 +524,113 @@ mod tests {
         // Materializing the full view clones the instance.
         let full = db.materialize(&db.full_view());
         assert_eq!(full.total_tuples(), db.total_tuples());
+    }
+
+    #[test]
+    fn append_batch_success_and_column_extension() {
+        let mut db = two_table_db();
+        // Force the columnar build so the append has something to extend.
+        let old_store = Arc::clone(db.columns());
+        let n = db
+            .append_batch(vec![
+                ("A".into(), vec![vec![3.into(), "three".into()]]),
+                (
+                    "B".into(),
+                    vec![vec![11.into(), 3.into()], vec![12.into(), 1.into()]],
+                ),
+            ])
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(db.relation_len(0), 3);
+        assert_eq!(db.relation_len(1), 3);
+        db.validate().unwrap();
+        // Columns were extended, not dropped: the new store exists already
+        // and old code prefixes survive.
+        let x = db.schema().attr("A", "x").unwrap();
+        let (codes, dict) = db.columns().dict_column(x).expect("dict column");
+        assert_eq!(codes.len(), 3);
+        let (old_codes, _) = old_store.dict_column(x).expect("dict column");
+        assert_eq!(&codes[..2], old_codes);
+        assert_eq!(dict.code(&Value::str("three")), Some(2));
+    }
+
+    #[test]
+    fn append_batch_intra_batch_fk_reference_works() {
+        let mut db = two_table_db();
+        // B row referencing an A row inserted by the same batch, with the
+        // referent listed *after* the referencing rows.
+        db.append_batch(vec![
+            ("B".into(), vec![vec![20.into(), 9.into()]]),
+            ("A".into(), vec![vec![9.into(), "nine".into()]]),
+        ])
+        .unwrap();
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn append_batch_rolls_back_atomically() {
+        let mut db = two_table_db();
+        let old_store = Arc::clone(db.columns());
+        let snapshot: Vec<Vec<Vec<Value>>> = (0..2)
+            .map(|r| db.relation(r).rows().map(|row| row.to_vec()).collect())
+            .collect();
+
+        // Duplicate PK (against an old row), after a valid A row.
+        let err = db
+            .append_batch(vec![
+                ("A".into(), vec![vec![5.into(), "five".into()]]),
+                ("B".into(), vec![vec![10.into(), 1.into()]]),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateKey { .. }));
+
+        // Dangling FK.
+        let err = db
+            .append_batch(vec![("B".into(), vec![vec![21.into(), 99.into()]])])
+            .unwrap_err();
+        assert!(matches!(err, Error::DanglingForeignKey { .. }));
+
+        // Duplicate PK inside the batch itself.
+        let err = db
+            .append_batch(vec![(
+                "A".into(),
+                vec![vec![7.into(), "a".into()], vec![7.into(), "b".into()]],
+            )])
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateKey { .. }));
+
+        // Arity and type failures mid-batch.
+        assert!(db
+            .append_batch(vec![("A".into(), vec![vec![8.into()]])])
+            .is_err());
+        assert!(db
+            .append_batch(vec![("A".into(), vec![vec!["s".into(), "x".into()]])])
+            .is_err());
+        // Unknown relation fails before mutating.
+        assert!(matches!(
+            db.append_batch(vec![("Zzz".into(), vec![vec![1.into()]])]),
+            Err(Error::UnknownRelation(_))
+        ));
+
+        // Nothing changed: same rows, and the original column store was
+        // put back untouched.
+        for (r, expected) in snapshot.iter().enumerate() {
+            let now: Vec<Vec<Value>> = db.relation(r).rows().map(|row| row.to_vec()).collect();
+            assert_eq!(&now, expected, "relation {r} rows");
+        }
+        assert!(Arc::ptr_eq(db.columns(), &old_store));
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn append_batch_without_built_columns_stays_lazy() {
+        let mut db = two_table_db();
+        db.append_batch(vec![("A".into(), vec![vec![3.into(), "three".into()]])])
+            .unwrap();
+        // Columns build fine on demand afterwards.
+        let x = db.schema().attr("A", "x").unwrap();
+        let (codes, _) = db.columns().dict_column(x).expect("dict column");
+        assert_eq!(codes.len(), 3);
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub mod tupleset;
 pub mod value;
 
 pub use column::{CodedPredicate, ColumnData, ColumnStore};
-pub use database::{Database, View};
+pub use database::{AppendBatch, Database, View};
 pub use dict::{Dict, DictBuilder};
 pub use error::{Error, Result};
 pub use exq_obs::MetricsSink;

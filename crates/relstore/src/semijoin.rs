@@ -219,12 +219,22 @@ fn compute_drops_coded(db: &Database, view: &View, step: &Step<'_>) -> Option<Ve
     let source: Vec<(&[u32], &Dict)> = step
         .source_cols
         .iter()
-        .map(|&col| store.dict_column(AttrRef { rel: step.source, col }))
+        .map(|&col| {
+            store.dict_column(AttrRef {
+                rel: step.source,
+                col,
+            })
+        })
         .collect::<Option<_>>()?;
     let target: Vec<(&[u32], &Dict)> = step
         .target_cols
         .iter()
-        .map(|&col| store.dict_column(AttrRef { rel: step.target, col }))
+        .map(|&col| {
+            store.dict_column(AttrRef {
+                rel: step.target,
+                col,
+            })
+        })
         .collect::<Option<_>>()?;
     let translations: Vec<Vec<u32>> = source
         .iter()

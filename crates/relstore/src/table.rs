@@ -10,9 +10,14 @@
 use crate::error::{Error, Result};
 use crate::schema::RelationSchema;
 use crate::value::Value;
+use std::sync::Arc;
 
-/// A stored row: one `Value` per attribute, in schema order.
-pub type Row = Box<[Value]>;
+/// A stored row: one `Value` per attribute, in schema order. Shared
+/// (`Arc`) rather than owned (`Box`) so cloning a [`Relation`] — which
+/// the epoch-snapshot append path does to unshare a grown relation from
+/// the previous epoch — copies one pointer per row instead of
+/// reallocating every row.
+pub type Row = Arc<[Value]>;
 
 /// The rows of one relation.
 #[derive(Debug, Clone, Default)]
@@ -74,8 +79,17 @@ impl Relation {
                 });
             }
         }
-        self.rows.push(row.into_boxed_slice());
+        self.rows.push(row.into());
         Ok(self.rows.len() - 1)
+    }
+
+    /// Roll back to the first `len` rows. Only the append path uses this,
+    /// to restore the pre-batch state when a later row of the same batch
+    /// fails validation — appends are atomic per batch, and indices of
+    /// surviving rows never move.
+    pub fn truncate(&mut self, len: usize) {
+        assert!(len <= self.rows.len(), "truncate cannot grow a relation");
+        self.rows.truncate(len);
     }
 
     /// Project `cols` of row `idx` into `out` (cleared first). A reusable

@@ -139,6 +139,30 @@ impl TupleSet {
         self.words.fill(0);
     }
 
+    /// Grow the capacity to `new_len` rows, leaving every new bit clear.
+    /// Existing membership is untouched; this is the append path's way of
+    /// extending a live set over a relation that just gained rows.
+    pub fn grow(&mut self, new_len: usize) {
+        assert!(new_len >= self.len, "grow cannot shrink a TupleSet");
+        self.len = new_len;
+        self.words.resize(new_len.div_ceil(64), 0);
+    }
+
+    /// A set over `len` rows with exactly the first `k` bits set — the
+    /// "pre-append rows" view of a relation that grew from `k` to `len`.
+    pub fn prefix(len: usize, k: usize) -> TupleSet {
+        assert!(k <= len, "prefix length exceeds capacity");
+        let mut s = TupleSet::empty(len);
+        for w in 0..k / 64 {
+            s.words[w] = !0u64;
+        }
+        let tail = k % 64;
+        if tail != 0 {
+            s.words[k / 64] = (1u64 << tail) - 1;
+        }
+        s
+    }
+
     /// Iterator over the set row indices, ascending.
     pub fn iter(&self) -> TupleSetIter<'_> {
         TupleSetIter {
@@ -283,6 +307,45 @@ mod tests {
         let empty: TupleSet = std::iter::empty::<usize>().collect();
         assert_eq!(empty.capacity(), 0);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn grow_preserves_members_and_clears_new_bits() {
+        let mut s = TupleSet::empty(70);
+        s.insert(0);
+        s.insert(69);
+        s.grow(200);
+        assert_eq!(s.capacity(), 200);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 69]);
+        assert!(!s.contains(70) && !s.contains(199));
+        s.insert(199);
+        assert_eq!(s.count(), 3);
+        // Growing by zero is a no-op.
+        s.grow(200);
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn grow_from_full_keeps_tail_clean() {
+        let mut s = TupleSet::full(65);
+        s.grow(130);
+        assert_eq!(s.count(), 65, "bits 65..130 must stay clear");
+        assert_eq!(s.iter().collect::<Vec<_>>(), (0..65).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prefix_sets_exactly_first_k() {
+        for (len, k) in [(0, 0), (10, 0), (10, 10), (130, 64), (130, 65), (130, 129)] {
+            let s = TupleSet::prefix(len, k);
+            assert_eq!(s.capacity(), len);
+            assert_eq!(s.count(), k, "len={len} k={k}");
+            assert_eq!(s.iter().collect::<Vec<_>>(), (0..k).collect::<Vec<_>>());
+            let suffix = s.complement();
+            assert_eq!(
+                suffix.iter().collect::<Vec<_>>(),
+                (k..len).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

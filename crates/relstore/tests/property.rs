@@ -769,3 +769,137 @@ fn join_counters_deterministic_on_large_single_component() {
     assert_eq!(snapshots[0], snapshots[1]);
     assert_eq!(snapshots[0], snapshots[2]);
 }
+
+// ---------------------------------------------------------------------
+// Append stability (live ingestion)
+// ---------------------------------------------------------------------
+
+use exq_relstore::{ColumnStore, DictBuilder};
+
+proptest! {
+    /// A chain of `DictBuilder::resume` appends is indistinguishable from
+    /// one from-scratch scan of all the rows: codes assigned at any epoch
+    /// are never reassigned by a later append, and the final dictionary
+    /// (values, ranks, null code) equals the rebuild exactly. This is the
+    /// contract that lets `ColumnStore::extend_for_append` keep old coded
+    /// columns byte-stable under live ingestion.
+    #[test]
+    fn dict_resume_chain_never_recodes_and_matches_scratch(
+        initial in proptest::collection::vec(arb_dict_value(), 0..30),
+        appends in proptest::collection::vec(
+            proptest::collection::vec(arb_dict_value(), 0..12),
+            1..5,
+        ),
+    ) {
+        use std::cmp::Ordering;
+        let mut builder = DictBuilder::new();
+        for v in &initial {
+            builder.encode(v).expect("under DICT_MAX");
+        }
+        let mut current = builder.finish();
+        let mut all = initial.clone();
+        for batch in &appends {
+            let before: Vec<Value> =
+                (0..current.len() as u32).map(|c| current.value(c).clone()).collect();
+            let mut resumed = DictBuilder::resume(&current);
+            for v in batch {
+                resumed.encode(v).expect("under DICT_MAX");
+            }
+            current = resumed.finish();
+            all.extend(batch.iter().cloned());
+            // Codes never change: the pre-append code→value table is a
+            // verbatim prefix of the post-append one.
+            prop_assert!(current.len() >= before.len());
+            for (code, v) in before.iter().enumerate() {
+                prop_assert_eq!(
+                    current.value(code as u32).cmp(v),
+                    Ordering::Equal,
+                    "append reassigned code {}", code
+                );
+            }
+        }
+        // Append-then-rebuild identity.
+        let mut scratch = DictBuilder::new();
+        for v in &all {
+            scratch.encode(v).expect("under DICT_MAX");
+        }
+        let scratch = scratch.finish();
+        prop_assert_eq!(current.len(), scratch.len());
+        for code in 0..current.len() as u32 {
+            prop_assert_eq!(
+                current.value(code).cmp(scratch.value(code)),
+                Ordering::Equal
+            );
+            prop_assert_eq!(current.rank(code), scratch.rank(code));
+        }
+        prop_assert_eq!(current.null_code(), scratch.null_code());
+    }
+
+    /// Random append sequences through `Database::append_batch` keep the
+    /// columnar store append-stable: every epoch's code column is a
+    /// verbatim prefix of the next epoch's, and the final extended store
+    /// is bit-identical (codes, dictionary values, ranks, null code) to a
+    /// cold `ColumnStore::build` over the post-append rows.
+    #[test]
+    fn column_store_appends_are_prefix_stable_and_match_rebuild(
+        initial in proptest::collection::vec(arb_dict_value(), 1..30),
+        appends in proptest::collection::vec(
+            proptest::collection::vec(arb_dict_value(), 1..12),
+            1..4,
+        ),
+    ) {
+        use std::cmp::Ordering;
+        let schema = SchemaBuilder::new()
+            .relation("R", &[("id", T::Int), ("x", T::Any)], &["id"])
+            .build()
+            .unwrap();
+        let mut db = Database::new(schema);
+        let mut next_id = 0i64;
+        for v in &initial {
+            db.insert("R", vec![next_id.into(), v.clone()]).unwrap();
+            next_id += 1;
+        }
+        let x = db.schema().attr("R", "x").unwrap();
+
+        // Force the columnar build, then append batch by batch, capturing
+        // the code column at every epoch.
+        let mut epoch_codes: Vec<Vec<u32>> =
+            vec![db.columns().dict_column(x).unwrap().0.to_vec()];
+        for batch in &appends {
+            let rows: Vec<Vec<Value>> = batch
+                .iter()
+                .map(|v| {
+                    let row = vec![Value::Int(next_id), v.clone()];
+                    next_id += 1;
+                    row
+                })
+                .collect();
+            db.append_batch(vec![("R".into(), rows)]).unwrap();
+            epoch_codes.push(db.columns().dict_column(x).unwrap().0.to_vec());
+        }
+
+        // Prefix stability across every consecutive epoch pair.
+        for (epoch, w) in epoch_codes.windows(2).enumerate() {
+            prop_assert_eq!(
+                &w[1][..w[0].len()],
+                &w[0][..],
+                "epoch {} codes rewritten by the following append", epoch
+            );
+        }
+
+        // Rebuild-from-scratch identity on the final rows.
+        let rebuilt = ColumnStore::build(&db);
+        let (codes, dict) = db.columns().dict_column(x).unwrap();
+        let (codes2, dict2) = rebuilt.dict_column(x).unwrap();
+        prop_assert_eq!(codes, codes2);
+        prop_assert_eq!(dict.len(), dict2.len());
+        for code in 0..dict.len() as u32 {
+            prop_assert_eq!(
+                dict.value(code).cmp(dict2.value(code)),
+                Ordering::Equal
+            );
+            prop_assert_eq!(dict.rank(code), dict2.rank(code));
+        }
+        prop_assert_eq!(dict.null_code(), dict2.null_code());
+    }
+}

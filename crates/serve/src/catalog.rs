@@ -6,28 +6,83 @@
 //! is the amortization the paper's own prototype got from a resident
 //! SQL Server instance (§6): the join work that dominates a cold
 //! one-shot `explain` disappears from the request path entirely.
+//!
+//! Datasets are **epoch-versioned**: appending rows produces a *new*
+//! [`PreparedDb`] (maintained incrementally from the old one) and bumps
+//! a monotone epoch counter. Readers take an atomic
+//! [`Dataset::snapshot`] of `(Arc<PreparedDb>, epoch)` once per request
+//! and never see a half-applied batch; requests that started on the old
+//! epoch keep its intermediates alive through their `Arc` while new
+//! requests see the new epoch. The epoch is part of the response-cache
+//! key, so a cached answer can never leak across an append.
 
 use exq_core::prepared::PreparedDb;
 use exq_obs::escape_json;
-use exq_relstore::{csv, parse, Database, ExecConfig};
+use exq_relstore::{csv, parse, AppendBatch, Database, ExecConfig};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
-/// One named, prepared dataset.
+/// One named dataset: immutable identity plus epoch-versioned state.
 pub struct Dataset {
     /// Catalog name (URL-visible).
     pub name: String,
-    /// The database plus its shared intermediates.
-    pub prepared: PreparedDb,
+    /// Current intermediates and epoch. Appends hold the write lock for
+    /// the whole delta maintenance (serializing appends per dataset);
+    /// readers only clone the `Arc` out, so request handlers never block
+    /// on each other.
+    state: RwLock<(Arc<PreparedDb>, u64)>,
     /// Load provenance ("loaded N rows into Rel", …).
     pub notes: Vec<String>,
 }
 
-/// A catalog of datasets, keyed by name. Built once before the server
-/// starts accepting; immutable afterwards, so handlers read it without
-/// locks.
+impl Dataset {
+    /// Wrap freshly built intermediates as epoch 0.
+    pub fn new(name: impl Into<String>, prepared: PreparedDb, notes: Vec<String>) -> Dataset {
+        Dataset {
+            name: name.into(),
+            state: RwLock::new((Arc::new(prepared), 0)),
+            notes,
+        }
+    }
+
+    /// The current intermediates and epoch, read atomically. Handlers
+    /// call this once per request so every step of the request (schema
+    /// resolution, cache key, pipeline) sees one consistent epoch.
+    pub fn snapshot(&self) -> (Arc<PreparedDb>, u64) {
+        let guard = self.state.read().expect("dataset state poisoned");
+        (Arc::clone(&guard.0), guard.1)
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.state.read().expect("dataset state poisoned").1
+    }
+
+    /// Append `batch` (relation name → rows), maintaining the universal
+    /// relation and semijoin reduction incrementally, and bump the
+    /// epoch. All-or-nothing: on any error the current epoch is
+    /// untouched. Returns `(new_epoch, rows_appended)` and records
+    /// `ingest.rows_appended` / `ingest.epoch_bumps` on `exec`'s sink.
+    pub fn append(&self, batch: AppendBatch, exec: &ExecConfig) -> Result<(u64, usize), String> {
+        let mut guard = self.state.write().expect("dataset state poisoned");
+        let (next, appended) = guard
+            .0
+            .append_with(batch, exec)
+            .map_err(|e| e.to_string())?;
+        let sink = exec.metrics();
+        sink.add("ingest.rows_appended", appended as u64);
+        sink.incr("ingest.epoch_bumps");
+        *guard = (Arc::new(next), guard.1 + 1);
+        Ok((guard.1, appended))
+    }
+}
+
+/// A catalog of datasets, keyed by name. The name → dataset map is
+/// built once before the server starts accepting and immutable
+/// afterwards, so handlers resolve names without locks; the mutable,
+/// epoch-versioned part lives inside each [`Dataset`].
 #[derive(Default)]
 pub struct Catalog {
     datasets: BTreeMap<String, Arc<Dataset>>,
@@ -59,11 +114,7 @@ impl Catalog {
         let prepared = PreparedDb::build_with(db, exec);
         self.datasets.insert(
             name.to_string(),
-            Arc::new(Dataset {
-                name: name.to_string(),
-                prepared,
-                notes,
-            }),
+            Arc::new(Dataset::new(name, prepared, notes)),
         );
         Ok(())
     }
@@ -95,11 +146,7 @@ impl Catalog {
         let prepared = PreparedDb::build_with(Arc::new(db), exec);
         self.datasets.insert(
             name.to_string(),
-            Arc::new(Dataset {
-                name: name.to_string(),
-                prepared,
-                notes,
-            }),
+            Arc::new(Dataset::new(name, prepared, notes)),
         );
         Ok(())
     }
@@ -125,20 +172,23 @@ impl Catalog {
     }
 
     /// The `GET /v1/datasets` document: per-dataset relation/tuple
-    /// counts and how many tuples survive the semijoin reduction.
+    /// counts, how many tuples survive the semijoin reduction, and the
+    /// current epoch.
     pub fn datasets_doc(&self) -> String {
         let mut out = String::from("{\n  \"datasets\": [\n");
         let n = self.datasets.len();
         for (i, ds) in self.datasets.values().enumerate() {
             let sep = if i + 1 == n { "" } else { "," };
-            let db = ds.prepared.db();
+            let (prepared, epoch) = ds.snapshot();
+            let db = prepared.db();
             let _ = writeln!(
                 out,
-                "    {{ \"name\": \"{}\", \"relations\": {}, \"tuples\": {}, \"surviving_tuples\": {} }}{sep}",
+                "    {{ \"name\": \"{}\", \"relations\": {}, \"tuples\": {}, \"surviving_tuples\": {}, \"epoch\": {} }}{sep}",
                 escape_json(&ds.name),
                 db.schema().relation_count(),
                 db.total_tuples(),
-                ds.prepared.surviving_tuples(),
+                prepared.surviving_tuples(),
+                epoch,
             );
         }
         out.push_str("  ]\n}");
@@ -221,9 +271,37 @@ mod tests {
             .load_dir("disk", &dir, &ExecConfig::sequential())
             .unwrap();
         let ds = catalog.get("disk").unwrap();
-        assert_eq!(ds.prepared.db().total_tuples(), 3);
+        assert_eq!(ds.snapshot().0.db().total_tuples(), 3);
+        assert_eq!(ds.epoch(), 0);
         assert_eq!(ds.notes, vec!["loaded 3 rows into R"]);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_bumps_epoch_and_preserves_old_snapshot() {
+        let mut catalog = Catalog::new();
+        let exec = ExecConfig::sequential();
+        catalog
+            .insert_database("tiny", Arc::new(tiny_db()), &exec)
+            .unwrap();
+        let ds = catalog.get("tiny").unwrap();
+        let (old_prepared, old_epoch) = ds.snapshot();
+        assert_eq!(old_epoch, 0);
+
+        let batch = vec![("R".to_string(), vec![vec![3.into(), "c".into()]])];
+        let (epoch, appended) = ds.append(batch, &exec).unwrap();
+        assert_eq!((epoch, appended), (1, 1));
+        assert_eq!(ds.epoch(), 1);
+        assert_eq!(ds.snapshot().0.db().total_tuples(), 3);
+        // The pre-append snapshot is untouched: in-flight requests on the
+        // old epoch keep reading consistent data.
+        assert_eq!(old_prepared.db().total_tuples(), 2);
+
+        // A failing append (duplicate primary key) leaves the epoch alone.
+        let dup = vec![("R".to_string(), vec![vec![1.into(), "x".into()]])];
+        assert!(ds.append(dup, &exec).is_err());
+        assert_eq!(ds.epoch(), 1);
+        assert_eq!(ds.snapshot().0.db().total_tuples(), 3);
     }
 
     #[test]

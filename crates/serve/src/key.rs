@@ -42,6 +42,10 @@ pub struct CanonicalRequest<'a> {
     pub endpoint: &'a str,
     /// Catalog dataset name.
     pub dataset: &'a str,
+    /// Dataset epoch the request was evaluated against. Appends bump
+    /// the epoch, so answers computed before an append can never be
+    /// served after it — same question, new data, different key.
+    pub epoch: u64,
     /// The parsed user question.
     pub question: &'a UserQuestion,
     /// Explanation attributes (cube dimensions).
@@ -65,9 +69,10 @@ pub fn cache_key(schema: &DatabaseSchema, req: &CanonicalRequest<'_>) -> String 
     let mut key = String::with_capacity(256);
     let _ = write!(
         key,
-        "v1;endpoint={};dataset={};dir={:?};smoothing={};",
+        "v1;endpoint={};dataset={};epoch={};dir={:?};smoothing={};",
         req.endpoint,
         escape(req.dataset),
+        req.epoch,
         req.question.direction,
         canon_f64(req.question.query.smoothing),
     );
@@ -225,6 +230,7 @@ mod tests {
         CanonicalRequest {
             endpoint: "explain",
             dataset: "test",
+            epoch: 0,
             question,
             attrs,
             top_k: 5,
@@ -340,6 +346,10 @@ mod tests {
             },
             CanonicalRequest {
                 endpoint: "report",
+                ..base_request(&q, &g)
+            },
+            CanonicalRequest {
+                epoch: 1,
                 ..base_request(&q, &g)
             },
         ];

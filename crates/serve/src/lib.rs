@@ -7,8 +7,9 @@
 //!
 //! * a [`catalog::Catalog`] of named datasets whose expensive
 //!   intermediates (semijoin reduction, universal relation) are built
-//!   **once** at startup via [`exq_core::prepared::PreparedDb`] and
-//!   shared across requests;
+//!   **once** at startup via [`exq_core::prepared::PreparedDb`], shared
+//!   across requests, and maintained *incrementally* as live appends
+//!   arrive (each append bumps the dataset's epoch);
 //! * a [`cache::ResultCache`] — sharded, byte-budgeted LRU over
 //!   rendered response documents, keyed by the collision-free canonical
 //!   encodings of [`key`] (a cache-hit `POST /v1/explain` is a hash
@@ -28,7 +29,8 @@
 //! |---|---|
 //! | `POST /v1/explain` | ranked top-K explanations for a question |
 //! | `POST /v1/report`  | full report: both rankings, tau, drill-down |
-//! | `GET /v1/datasets` | catalog listing with tuple counts |
+//! | `POST /v1/datasets/{name}/rows` | append rows, bump the dataset epoch |
+//! | `GET /v1/datasets` | catalog listing with tuple counts and epochs |
 //! | `GET /v1/metrics`  | live counters/spans/histograms snapshot (`?format=prometheus` for text exposition) |
 //! | `GET /metrics`     | Prometheus text exposition 0.0.4 (scrape target) |
 //! | `GET /v1/debug/requests` | flight recorder: last N request summaries |
@@ -52,4 +54,4 @@ pub mod signal;
 pub use cache::ResultCache;
 pub use catalog::{Catalog, Dataset};
 pub use flight::{FlightRecorder, RequestSummary};
-pub use server::{start, start_on, Handle, ServerConfig, SERVER_COUNTERS};
+pub use server::{start, start_on, Handle, ServerConfig, INGEST_COUNTERS, SERVER_COUNTERS};

@@ -47,7 +47,26 @@ pub const SERVER_COUNTERS: &[&str] = &[
     "server.cache.evictions",
     "server.explain.runs",
     "server.report.runs",
+    "server.append.runs",
 ];
+
+/// Ingestion counters recorded on the append path. `rows_appended` and
+/// `epoch_bumps` fire in [`Dataset::append`]; the `delta.*` pair fires
+/// inside `exq_relstore`'s incremental join maintenance through the
+/// append's `ExecConfig` sink. Pre-registered alongside
+/// [`SERVER_COUNTERS`] so an idle server exposes them at 0.
+pub const INGEST_COUNTERS: &[&str] = &[
+    "ingest.rows_appended",
+    "ingest.epoch_bumps",
+    "ingest.delta.tuples",
+    "ingest.delta.full_rebuilds",
+];
+
+/// Largest number of rows one append request may carry. Bounds the work
+/// a single `POST .../rows` can queue behind a dataset's write lock;
+/// bigger loads should go through repeated batches (the CLI's
+/// `--batch` flag does exactly that).
+pub const MAX_APPEND_ROWS: usize = 100_000;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -150,7 +169,7 @@ pub fn start_on(
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
-    for counter in SERVER_COUNTERS {
+    for counter in SERVER_COUNTERS.iter().chain(INGEST_COUNTERS) {
         sink.add(counter, 0);
     }
     let inner = Arc::new(Inner {
@@ -389,6 +408,21 @@ fn route(inner: &Inner, request: &Request) -> (Response, RouteMeta) {
         Some((path, query)) => (path, query),
         None => (request.path.as_str(), ""),
     };
+    // `POST /v1/datasets/{name}/rows` — the only parameterized path, so
+    // it gets a prefix match ahead of the exact-path table.
+    if let Some(name) = path
+        .strip_prefix("/v1/datasets/")
+        .and_then(|rest| rest.strip_suffix("/rows"))
+        .filter(|name| !name.is_empty() && !name.contains('/'))
+    {
+        return match request.method.as_str() {
+            "POST" => handle_append(inner, request, name),
+            _ => (
+                Response::error(405, "method not allowed"),
+                RouteMeta::other(),
+            ),
+        };
+    }
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => (
             Response::json(200, "{\n  \"status\": \"ok\"\n}\n"),
@@ -438,6 +472,11 @@ enum Endpoint {
 /// Fields shared by `/v1/explain` and `/v1/report` bodies.
 struct QuestionParams {
     dataset: Arc<Dataset>,
+    /// The dataset state this request runs against, snapshotted once at
+    /// parse time: every step (schema resolution, cache key, pipeline)
+    /// sees one consistent epoch even if an append lands mid-request.
+    prepared: Arc<exq_core::prepared::PreparedDb>,
+    epoch: u64,
     question: UserQuestion,
     attrs: Vec<exq_relstore::AttrRef>,
     top_k: usize,
@@ -461,7 +500,8 @@ fn parse_params(inner: &Inner, body: &[u8]) -> Result<QuestionParams, Response> 
         .catalog
         .get(&dataset_name)
         .ok_or_else(|| Response::error(404, &format!("unknown dataset `{dataset_name}`")))?;
-    let schema = dataset.prepared.db().schema();
+    let (prepared, epoch) = dataset.snapshot();
+    let schema = prepared.db().schema();
 
     let question_text = field_str("question")?;
     let question = qparse::parse_question(schema, &question_text)
@@ -533,6 +573,8 @@ fn parse_params(inner: &Inner, body: &[u8]) -> Result<QuestionParams, Response> 
     };
     Ok(QuestionParams {
         dataset,
+        prepared,
+        epoch,
         question,
         attrs,
         top_k,
@@ -560,12 +602,13 @@ fn handle_question(inner: &Inner, request: &Request, endpoint: Endpoint) -> (Res
         Ok(params) => params,
         Err(response) => return (response, meta("-")),
     };
-    let schema = params.dataset.prepared.db().schema();
+    let schema = params.prepared.db().schema();
     let key = cache_key(
         schema,
         &CanonicalRequest {
             endpoint: endpoint_name,
             dataset: &params.dataset.name,
+            epoch: params.epoch,
             question: &params.question,
             attrs: &params.attrs,
             top_k: params.top_k,
@@ -597,16 +640,13 @@ fn handle_question(inner: &Inner, request: &Request, endpoint: Endpoint) -> (Res
     (response, meta("miss"))
 }
 
-/// A request-scoped explainer over the dataset's shared intermediates.
-/// Each request gets its own recording sink, so the metrics embedded in
-/// the response describe that request's work alone (deterministic →
-/// cacheable); the pipeline itself runs sequentially per request.
-fn request_explainer<'a>(
-    params: &QuestionParams,
-    dataset: &'a Dataset,
-    sink: &MetricsSink,
-) -> Explainer<'a> {
-    let mut explainer = dataset
+/// A request-scoped explainer over the dataset's shared intermediates
+/// (the epoch snapshot taken at parse time). Each request gets its own
+/// recording sink, so the metrics embedded in the response describe
+/// that request's work alone (deterministic → cacheable); the pipeline
+/// itself runs sequentially per request.
+fn request_explainer<'a>(params: &'a QuestionParams, sink: &MetricsSink) -> Explainer<'a> {
+    let mut explainer = params
         .prepared
         .explainer(params.question.clone())
         .exec(exq_relstore::ExecConfig::sequential().with_metrics(sink.clone()))
@@ -625,8 +665,8 @@ fn request_explainer<'a>(
 fn run_explain(inner: &Inner, params: &QuestionParams) -> Result<String, String> {
     inner.sink.incr("server.explain.runs");
     let request_sink = MetricsSink::recording();
-    let db = params.dataset.prepared.db();
-    let explainer = request_explainer(params, &params.dataset, &request_sink);
+    let db = params.prepared.db();
+    let explainer = request_explainer(params, &request_sink);
     let (q_d, table_len, choice, ranked) = {
         let _span = inner.sink.span("server.request.explain");
         let q_d = explainer.q_d().map_err(|e| e.to_string())?;
@@ -653,7 +693,7 @@ fn run_explain(inner: &Inner, params: &QuestionParams) -> Result<String, String>
 fn run_report(inner: &Inner, params: &QuestionParams) -> Result<String, String> {
     inner.sink.incr("server.report.runs");
     let request_sink = MetricsSink::recording();
-    let explainer = request_explainer(params, &params.dataset, &request_sink);
+    let explainer = request_explainer(params, &request_sink);
     let config = ReportConfig {
         top_k: params.top_k,
         drill_best: true,
@@ -665,4 +705,159 @@ fn run_report(inner: &Inner, params: &QuestionParams) -> Result<String, String> 
     let mut doc = jsonout::report_doc(&explainer, &config).map_err(|e| e.to_string())?;
     doc.push('\n');
     Ok(doc)
+}
+
+/// `POST /v1/datasets/{name}/rows`: append a batch of rows and bump the
+/// dataset's epoch. Body shape:
+///
+/// ```json
+/// { "rows": { "Author": [[1, "Ada", "MIT"], ...], "Authored": [...] } }
+/// ```
+///
+/// Errors: malformed JSON → 400, unknown dataset → 404, over
+/// [`MAX_APPEND_ROWS`] → 413, everything semantic (unknown relation,
+/// arity or type mismatch, key violations) → 422. Success answers 200
+/// with the new epoch in both the body and the `X-Exq-Epoch` header.
+fn handle_append(inner: &Inner, request: &Request, name: &str) -> (Response, RouteMeta) {
+    let meta = RouteMeta::uncached("append");
+    let dataset = match inner.catalog.get(name) {
+        Some(dataset) => dataset,
+        None => {
+            return (
+                Response::error(404, &format!("unknown dataset `{name}`")),
+                meta,
+            )
+        }
+    };
+    let doc = match crate::json::parse(&request.body) {
+        Ok(doc) => doc,
+        Err(e) => return (Response::error(400, &e.to_string()), meta),
+    };
+    // Parse against the *current* schema; the schema never changes
+    // across epochs, so racing with a concurrent append is harmless.
+    let (prepared, _epoch) = dataset.snapshot();
+    let batch = match parse_append_batch(prepared.db().schema(), &doc) {
+        Ok(batch) => batch,
+        Err(response) => return (response, meta),
+    };
+    drop(prepared);
+    let total: usize = batch.iter().map(|(_, rows)| rows.len()).sum();
+    if total == 0 {
+        return (Response::error(422, "batch appends no rows"), meta);
+    }
+    if total > MAX_APPEND_ROWS {
+        return (
+            Response::error(
+                413,
+                &format!("batch of {total} rows exceeds the {MAX_APPEND_ROWS}-row limit"),
+            ),
+            meta,
+        );
+    }
+    inner.sink.incr("server.append.runs");
+    let exec = exq_relstore::ExecConfig::sequential().with_metrics(inner.sink.clone());
+    let appended = inner
+        .sink
+        .time("server.request.append", || dataset.append(batch, &exec));
+    match appended {
+        Ok((epoch, rows)) => {
+            let body = format!(
+                "{{\n  \"dataset\": \"{}\",\n  \"epoch\": {epoch},\n  \"rows_appended\": {rows}\n}}\n",
+                exq_obs::escape_json(name),
+            );
+            (
+                Response::json(200, body).with_header("x-exq-epoch", &epoch.to_string()),
+                meta,
+            )
+        }
+        Err(message) => (Response::error(422, &message), meta),
+    }
+}
+
+/// Decode the `rows` object of an append body into `(relation, rows)`
+/// pairs, coercing each JSON cell to the column's declared type.
+fn parse_append_batch(
+    schema: &exq_relstore::DatabaseSchema,
+    doc: &Json,
+) -> Result<exq_relstore::AppendBatch, Response> {
+    let rows = doc
+        .get("rows")
+        .ok_or_else(|| Response::error(422, "missing `rows`"))?;
+    let map = match rows {
+        Json::Obj(map) => map,
+        _ => {
+            return Err(Response::error(
+                422,
+                "`rows` must be an object mapping relation names to arrays of rows",
+            ))
+        }
+    };
+    let mut batch = Vec::with_capacity(map.len());
+    // `map` is a BTreeMap, so batch order is the sorted relation-name
+    // order regardless of how the request spelled the object.
+    for (rel_name, rel_rows) in map {
+        let rel_idx = schema
+            .relation_index(rel_name)
+            .map_err(|e| Response::error(422, &e.to_string()))?;
+        let rel = schema.relation(rel_idx);
+        let items = rel_rows.as_array().ok_or_else(|| {
+            Response::error(422, &format!("rows for `{rel_name}` must be an array"))
+        })?;
+        let mut decoded = Vec::with_capacity(items.len());
+        for item in items {
+            let cells = item.as_array().ok_or_else(|| {
+                Response::error(422, &format!("each `{rel_name}` row must be an array"))
+            })?;
+            if cells.len() != rel.arity() {
+                return Err(Response::error(
+                    422,
+                    &format!(
+                        "`{rel_name}` rows have {} columns, got {}",
+                        rel.arity(),
+                        cells.len()
+                    ),
+                ));
+            }
+            let mut row = Vec::with_capacity(cells.len());
+            for (col, cell) in cells.iter().enumerate() {
+                let attr = &rel.attributes[col];
+                row.push(json_cell_to_value(cell, attr.ty).map_err(|why| {
+                    Response::error(422, &format!("{rel_name}.{}: {why}", attr.name))
+                })?);
+            }
+            decoded.push(row);
+        }
+        batch.push((rel_name.clone(), decoded));
+    }
+    Ok(batch)
+}
+
+/// One JSON cell as a [`Value`](exq_relstore::Value) of declared type
+/// `ty`. Native JSON values are used directly; strings on typed columns
+/// are parsed with the same rules the CSV loader applies, so the HTTP
+/// and CSV ingestion paths accept the same spellings.
+fn json_cell_to_value(
+    cell: &Json,
+    ty: exq_relstore::ValueType,
+) -> Result<exq_relstore::Value, String> {
+    use exq_relstore::{Value, ValueType};
+    // JSON has one number type; integers are exact only within 2^53.
+    let as_exact_int =
+        |n: f64| (n.fract() == 0.0 && n.abs() <= 9_007_199_254_740_992.0).then_some(n as i64);
+    match (cell, ty) {
+        (Json::Null, _) => Ok(Value::Null),
+        (Json::Bool(b), ValueType::Bool | ValueType::Any) => Ok(Value::Bool(*b)),
+        (Json::Num(n), ValueType::Int) => as_exact_int(*n)
+            .map(Value::Int)
+            .ok_or_else(|| format!("`{n}` is not an exact integer")),
+        (Json::Num(n), ValueType::Float) => Ok(Value::Float(*n)),
+        (Json::Num(n), ValueType::Any) => {
+            Ok(as_exact_int(*n).map(Value::Int).unwrap_or(Value::Float(*n)))
+        }
+        (Json::Str(s), ValueType::Str | ValueType::Any) => Ok(Value::str(s)),
+        (Json::Str(s), _) => {
+            exq_relstore::csv::parse_value(s, ty).map_err(|_| format!("cannot parse `{s}` as {ty}"))
+        }
+        (_, _) => Err(format!("expected a {ty} value")),
+    }
 }

@@ -336,6 +336,154 @@ fn tracing_metrics_and_flight_recorder() {
     }
 }
 
+/// ISSUE 8 surface: malformed append bodies get the right 4xx without
+/// touching the dataset, and the epoch never moves on a failure.
+#[test]
+fn append_error_paths_leave_the_epoch_alone() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.addr();
+    let path = "/v1/datasets/test/rows";
+
+    // Method and path shape.
+    assert_eq!(client::get(addr, path).unwrap().status, 405);
+    assert_eq!(
+        client::post_json(
+            addr,
+            "/v1/datasets/absent/rows",
+            r#"{"rows":{"A":[[9,"q"]]}}"#
+        )
+        .unwrap()
+        .status,
+        404
+    );
+
+    // Body shape: bad JSON → 400, everything semantic → 422.
+    assert_eq!(
+        client::post_json(addr, path, "{not json").unwrap().status,
+        400
+    );
+    for (body, why) in [
+        (r#"{}"#, "missing rows"),
+        (r#"{"rows": []}"#, "rows not an object"),
+        (r#"{"rows": {}}"#, "empty batch"),
+        (r#"{"rows": {"Nope": [[1]]}}"#, "unknown relation"),
+        (r#"{"rows": {"A": [[9]]}}"#, "arity mismatch"),
+        (r#"{"rows": {"A": [[9, 7]]}}"#, "type mismatch"),
+        (r#"{"rows": {"A": [[1, "dup"]]}}"#, "duplicate primary key"),
+        (
+            r#"{"rows": {"B": [[99, 42, "y"]]}}"#,
+            "dangling foreign key",
+        ),
+    ] {
+        let response = client::post_json(addr, path, body).unwrap();
+        assert_eq!(response.status, 422, "{why}: {}", response.text());
+    }
+
+    // Nothing above changed the data or the epoch.
+    let datasets = client::get(addr, "/v1/datasets").unwrap();
+    assert!(
+        datasets.text().contains("\"tuples\": 9"),
+        "{}",
+        datasets.text()
+    );
+    assert!(
+        datasets.text().contains("\"epoch\": 0"),
+        "{}",
+        datasets.text()
+    );
+
+    let snapshot = handle.shutdown();
+    assert_eq!(snapshot.counter("ingest.rows_appended"), 0);
+    assert_eq!(snapshot.counter("ingest.epoch_bumps"), 0);
+}
+
+/// A body over the HTTP limit answers 413 before any parsing happens.
+#[test]
+fn oversized_append_batch_is_rejected_with_413() {
+    let handle = start(ServerConfig {
+        limits: exq_serve::http::Limits {
+            max_body: 256,
+            ..exq_serve::http::Limits::default()
+        },
+        ..ServerConfig::default()
+    });
+    let rows: Vec<String> = (0..50).map(|i| format!("[{},\"g\"]", 100 + i)).collect();
+    let big = format!(r#"{{"rows":{{"A":[{}]}}}}"#, rows.join(","));
+    assert!(big.len() > 256);
+    let response = client::post_json(handle.addr(), "/v1/datasets/test/rows", &big).unwrap();
+    assert_eq!(response.status, 413);
+    handle.shutdown();
+}
+
+/// A successful append bumps the epoch (header and catalog listing) and
+/// invalidates cached answers: the same question misses the cache after
+/// the append because the epoch is part of the key, and the fresh
+/// answer reflects the new rows.
+#[test]
+fn append_bumps_epoch_and_epoch_keys_the_cache() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.addr();
+
+    let cold = client::post_json(addr, "/v1/explain", EXPLAIN_BODY).unwrap();
+    assert_eq!(cold.status, 200);
+    let warm = client::post_json(addr, "/v1/explain", EXPLAIN_BODY).unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(
+        cold.body, warm.body,
+        "pre-append repeat must be a cache hit"
+    );
+
+    // Give dangling A(3) two 'y' children — flips the signal for A.g = z.
+    let appended = client::post_json(
+        addr,
+        "/v1/datasets/test/rows",
+        r#"{"rows": {"B": [[16, 3, "y"], [17, 3, "y"]]}}"#,
+    )
+    .unwrap();
+    assert_eq!(appended.status, 200, "{}", appended.text());
+    assert_eq!(appended.header("x-exq-epoch"), Some("1"));
+    assert!(
+        appended.text().contains("\"epoch\": 1"),
+        "{}",
+        appended.text()
+    );
+    assert!(
+        appended.text().contains("\"rows_appended\": 2"),
+        "{}",
+        appended.text()
+    );
+
+    let datasets = client::get(addr, "/v1/datasets").unwrap();
+    assert!(
+        datasets.text().contains("\"epoch\": 1"),
+        "{}",
+        datasets.text()
+    );
+    assert!(
+        datasets.text().contains("\"tuples\": 11"),
+        "{}",
+        datasets.text()
+    );
+
+    // Same question, new epoch: a cache miss computed over the new data.
+    let fresh = client::post_json(addr, "/v1/explain", EXPLAIN_BODY).unwrap();
+    assert_eq!(fresh.status, 200);
+    assert_ne!(
+        cold.body, fresh.body,
+        "post-append answer must reflect the appended rows"
+    );
+
+    let snapshot = handle.shutdown();
+    // One hit before the append, two misses (cold + post-append).
+    assert_eq!(snapshot.counter("server.cache.hits"), 1);
+    assert_eq!(snapshot.counter("server.cache.misses"), 2);
+    assert_eq!(snapshot.counter("server.append.runs"), 1);
+    // Conservation: every row the endpoint accepted is stored (tuples
+    // went 9 → 11 above) and counted exactly once.
+    assert_eq!(snapshot.counter("ingest.rows_appended"), 2);
+    assert_eq!(snapshot.counter("ingest.epoch_bumps"), 1);
+}
+
 #[test]
 fn zero_queue_depth_sheds_load_with_503_and_retry_after() {
     let handle = start(ServerConfig {

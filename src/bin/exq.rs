@@ -517,6 +517,111 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Render one stored [`Value`](exq::relstore::Value) as a JSON cell for
+/// an append request. Numbers use Rust's shortest round-trip `Display`;
+/// non-finite floats fall back to strings, which the server re-parses
+/// with the CSV rules.
+fn value_to_json_cell(v: &exq::relstore::Value) -> String {
+    use exq::relstore::Value;
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) if f.is_finite() => f.to_string(),
+        Value::Float(f) => format!("\"{f}\""),
+        Value::Str(s) => format!("\"{}\"", exq::obs::escape_json(s)),
+    }
+}
+
+/// `exq append`: batch-append CSV rows to a running server's dataset.
+///
+/// Loads the schema and CSVs locally (same parser as `exq explain`, but
+/// without whole-database key validation — the *server* validates each
+/// batch against its live data), then posts
+/// `POST /v1/datasets/{name}/rows` requests of at most `--batch` rows,
+/// one relation at a time in `--table` order. List referenced relations
+/// before referencing ones so foreign keys resolve batch by batch.
+fn cmd_append(args: &Args) -> Result<(), String> {
+    let addr = args.one("addr")?;
+    let dataset = args.one("dataset")?;
+    let batch_size: usize = args.optional("batch").map_or(Ok(5000), |s| {
+        s.parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or(format!("bad --batch `{s}` (need an integer >= 1)"))
+    })?;
+    let schema_file = args.one("schema")?;
+    let schema_text = fs::read_to_string(schema_file).map_err(|e| format!("{schema_file}: {e}"))?;
+    let schema = parse::parse_schema(&schema_text).map_err(|e| e.to_string())?;
+
+    let sock_addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| format!("bad --addr `{addr}` (need HOST:PORT)"))?;
+
+    // A scratch database gives us the CSV reader's type coercion; key
+    // and foreign-key checks happen server-side against the live data.
+    let mut scratch = Database::new(schema);
+    let mut loaded: Vec<(String, usize)> = Vec::new();
+    for spec in args.many("table") {
+        let (rel, file) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--table takes Rel=FILE, got `{spec}`"))?;
+        let reader = fs::File::open(file)
+            .map_err(|e| format!("{file}: {e}"))
+            .map(std::io::BufReader::new)?;
+        let n = csv::load_relation(&mut scratch, rel, reader).map_err(|e| e.to_string())?;
+        loaded.push((rel.to_string(), n));
+    }
+    if loaded.iter().all(|(_, n)| *n == 0) {
+        return Err("nothing to append (no --table rows)".to_string());
+    }
+
+    let path = format!("/v1/datasets/{dataset}/rows");
+    let mut total = 0usize;
+    let mut last_epoch = 0u64;
+    for (rel, _) in &loaded {
+        let rel_idx = scratch
+            .schema()
+            .relation_index(rel)
+            .map_err(|e| e.to_string())?;
+        let rows: Vec<String> = scratch
+            .relation(rel_idx)
+            .rows()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(value_to_json_cell).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        for chunk in rows.chunks(batch_size) {
+            let body = format!(
+                "{{\"rows\":{{\"{}\":[{}]}}}}",
+                exq::obs::escape_json(rel),
+                chunk.join(",")
+            );
+            let response = exq::serve::client::post_json(sock_addr, &path, &body)
+                .map_err(|e| format!("POST {path}: {e}"))?;
+            if response.status != 200 {
+                return Err(format!(
+                    "POST {path} failed with {}: {}",
+                    response.status,
+                    response.text().trim()
+                ));
+            }
+            last_epoch = response
+                .header("x-exq-epoch")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(last_epoch);
+            total += chunk.len();
+            eprintln!(
+                "appended {} rows to {rel} (epoch {last_epoch})",
+                chunk.len()
+            );
+        }
+    }
+    println!("appended {total} rows to {dataset}; epoch is now {last_epoch}");
+    Ok(())
+}
+
 /// `exq check SCHEMA [QUESTION…] [--format pretty|json]`.
 ///
 /// Positional arguments (unlike the other subcommands): the first path
@@ -720,7 +825,7 @@ fn cmd_lint(argv: &[String]) -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: exq <check|lint|schema|validate|profile|explain|report|drill|serve> [--flags]
+    "usage: exq <check|lint|schema|validate|profile|explain|report|drill|serve|append> [--flags]
   exq check    SCHEMA [QUESTION...] [--format pretty|json]
   exq lint     [PATHS...] [--format pretty|json] [--deny-warnings] [--assume-crate NAME]
   exq schema   --schema FILE
@@ -740,6 +845,8 @@ const USAGE: &str =
                [--trace] [--trace-out PATH]
   exq serve    --addr HOST:PORT --preload NAME=DIR|NAME=gen:SPEC... \\
                [--threads N] [--cache-mb MB] [--queue-depth N] [--metrics PATH|-]
+  exq append   --addr HOST:PORT --dataset NAME --schema FILE --table Rel=FILE... \\
+               [--batch N]
 
 --threads N pins the executor to N OS threads (default: all available
 cores). Results are bit-identical at every thread count.
@@ -759,7 +866,12 @@ the files lived in crates/NAME (used by CI's injected-violation test).
 serve runs until SIGINT/SIGTERM, then drains in-flight requests and
 flushes a final metrics snapshot (--metrics PATH) plus the flight
 recorder's last-requests ring (PATH.requests.json); while running it
-exposes GET /metrics (Prometheus) and GET /v1/debug/requests.";
+exposes GET /metrics (Prometheus) and GET /v1/debug/requests.
+append posts CSV rows to a running server (POST /v1/datasets/NAME/rows)
+in --batch-row chunks (default 5000), one relation per request in
+--table order; each accepted batch bumps the dataset's epoch and the
+server maintains its join intermediates incrementally. List referenced
+relations before referencing ones so foreign keys resolve.";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -786,6 +898,7 @@ fn main() -> ExitCode {
         "report" => cmd_report(&args),
         "drill" => cmd_drill(&args),
         "serve" => cmd_serve(&args),
+        "append" => cmd_append(&args),
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
     match result {

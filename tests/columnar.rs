@@ -60,11 +60,7 @@ fn natality_question(db: &Database) -> UserQuestion {
 /// `explanation_table` through the coded path (`reference_rows: false`)
 /// and through the row-oriented reference (`reference_rows: true`),
 /// requiring full bit-identity, at every thread count.
-fn assert_coded_matches_reference(
-    db: &Database,
-    question: &UserQuestion,
-    dims: &[AttrRef],
-) {
+fn assert_coded_matches_reference(db: &Database, question: &UserQuestion, dims: &[AttrRef]) {
     let u = Universal::compute(db, &db.full_view());
     for threads in THREADS {
         let config = |reference_rows: bool| CubeAlgoConfig {
@@ -73,8 +69,7 @@ fn assert_coded_matches_reference(
             ..CubeAlgoConfig::checked()
         };
         let coded = cube_algo::explanation_table(db, &u, question, dims, config(false)).unwrap();
-        let reference =
-            cube_algo::explanation_table(db, &u, question, dims, config(true)).unwrap();
+        let reference = cube_algo::explanation_table(db, &u, question, dims, config(true)).unwrap();
         assert!(!coded.is_empty());
         assert_eq!(coded, reference, "threads = {threads}");
     }
@@ -127,28 +122,14 @@ fn coded_cube_is_bit_identical_to_row_cube_per_strategy() {
     for strategy in [CubeStrategy::SubsetEnumeration, CubeStrategy::LatticeRollup] {
         for agg in [AggFunc::CountStar, AggFunc::Avg(id)] {
             let exec = ExecConfig::with_threads(3);
-            let coded = cube::compute_coded_with(
-                &db,
-                &u,
-                &Predicate::True,
-                &dims,
-                &agg,
-                strategy,
-                &exec,
-            )
-            .unwrap()
-            .expect("generated string/int dimensions dictionary-encode")
-            .decode();
-            let rows = cube::compute_rows_with(
-                &db,
-                &u,
-                &Predicate::True,
-                &dims,
-                &agg,
-                strategy,
-                &exec,
-            )
-            .unwrap();
+            let coded =
+                cube::compute_coded_with(&db, &u, &Predicate::True, &dims, &agg, strategy, &exec)
+                    .unwrap()
+                    .expect("generated string/int dimensions dictionary-encode")
+                    .decode();
+            let rows =
+                cube::compute_rows_with(&db, &u, &Predicate::True, &dims, &agg, strategy, &exec)
+                    .unwrap();
             assert_eq!(coded.len(), rows.len(), "{strategy:?} / {agg:?}");
             for (coord, value) in &rows.cells {
                 let c = coded
@@ -174,9 +155,7 @@ fn dictionary_codes_are_stable_across_thread_counts() {
     let all_attrs: Vec<AttrRef> = {
         let schema = db.schema();
         (0..schema.relation_count())
-            .flat_map(|rel| {
-                (0..schema.relation(rel).arity()).map(move |col| AttrRef { rel, col })
-            })
+            .flat_map(|rel| (0..schema.relation(rel).arity()).map(move |col| AttrRef { rel, col }))
             .collect()
     };
     let codes_at = |threads: usize| -> Vec<Option<Vec<u32>>> {
