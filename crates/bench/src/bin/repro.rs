@@ -12,7 +12,10 @@
 //! dump (e.g. a curl of `GET /metrics`) for well-formedness. The
 //! optional `full` flag runs the timing sweeps at
 //! paper scale (millions of rows); the default keeps every experiment
-//! under a few seconds. Build with `--release` for meaningful timings.
+//! under a few seconds. `loadtest` additionally accepts `--router`,
+//! which asserts the router tier's ≥3x 1→4-worker throughput scaling
+//! bar (the router phase itself always runs and lands its section in
+//! `BENCH_serve.json`). Build with `--release` for meaningful timings.
 
 use exq_bench::{natality_db, natality_dims, q_marital, q_race, q_race_prime};
 use exq_core::causal::DataCausalGraph;
@@ -60,7 +63,7 @@ impl BenchScope {
 /// live appends emit them), but they are pinned by the incremental
 /// scope; `validate-bench` only checks presence, never absence.
 fn scope_of(name: &str) -> BenchScope {
-    if name.starts_with("server.") {
+    if name.starts_with("server.") || name.starts_with("router.") {
         BenchScope::Serve
     } else if name.starts_with("ingest.") {
         BenchScope::Incremental
@@ -1122,7 +1125,12 @@ fn pipeline(full: bool) {
 /// and the server's final metrics snapshot. Asserts the ISSUE 4
 /// acceptance bar: a cache-hit request is ≥10x faster than a cold
 /// explain run over the same data.
-fn loadtest(full: bool) {
+///
+/// Always follows up with [`router_phase`] — sharded workers behind an
+/// in-process `exq-router` front — so the `router.*` catalogue scope
+/// lands in `BENCH_serve.json`; the `--router` flag additionally
+/// asserts the ISSUE 9 bar of ≥3x throughput at 4 workers vs 1.
+fn loadtest(full: bool, router: bool) {
     header("Serve loadtest — /v1/explain latency and cache effectiveness (DBLP)");
     use exq_serve::{client, Catalog, ServerConfig};
     use std::fmt::Write as _;
@@ -1211,7 +1219,13 @@ fn loadtest(full: bool) {
         let response = client::post_json(addr, "/v1/report", &body_for(1)).unwrap();
         assert_eq!(response.status, 200, "{}", response.text());
     }
-    for path in ["/healthz", "/v1/datasets", "/metrics", "/v1/debug/requests"] {
+    for path in [
+        "/healthz",
+        "/v1/health",
+        "/v1/datasets",
+        "/metrics",
+        "/v1/debug/requests",
+    ] {
         let response = client::get(addr, path).unwrap();
         assert_eq!(response.status, 200, "{}", response.text());
     }
@@ -1306,6 +1320,10 @@ fn loadtest(full: bool) {
 
     let snapshot = handle.shutdown();
 
+    // Router tier: run the sharded-front phase now so its section (and
+    // the full `router.*` catalogue scope) lands in BENCH_serve.json.
+    let router_doc = router_phase(full, router);
+
     // Client-observed latency distribution through the obs histogram —
     // the same log-bucketed sketch the server keeps per endpoint, so
     // the client and server sides of BENCH_serve.json are comparable.
@@ -1358,6 +1376,7 @@ fn loadtest(full: bool) {
         doc,
         "  \"cache\": {{ \"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.4} }},"
     );
+    doc.push_str(&router_doc);
     let snap = snapshot
         .to_json()
         .lines()
@@ -1387,7 +1406,7 @@ fn loadtest(full: bool) {
     // Question POSTs: cache fill + two reports + the hammer loop + one
     // explain per append + the final byte-identity re-ask.
     let posts = (distinct + 2 + clients * per_client) as u64 + appends + 1;
-    let gets = 5u64;
+    let gets = 6u64;
     let parse_spans = snapshot
         .spans
         .get("server.request.parse")
@@ -1421,6 +1440,300 @@ fn loadtest(full: bool) {
         "cache-hit /v1/explain must be >= 10x faster than a cold explain \
          (cold {t_cold:?}, hit p50 {p50:?}, speedup {speedup:.1}x)"
     );
+}
+
+/// The router tier phase of `repro loadtest`: boot W sharded workers
+/// behind an in-process `exq-router` front (worker addresses published
+/// straight into the front's upstream pools — no child processes, so
+/// the phase is hermetic and fast), then
+///
+/// 1. hammer `/v1/explain` with all-miss requests at W=1 and W=4 and
+///    measure throughput (the ≥3x scaling bar is asserted under
+///    `--router`),
+/// 2. prove responses through the front are byte-identical to a
+///    single-process server holding the whole catalog,
+/// 3. kill one worker mid-run and show the storm yields only bounded
+///    `503 Retry-After` answers — never a wrong one — then full
+///    recovery once a replacement worker is published.
+///
+/// Returns the `"router": {…}` section for `BENCH_serve.json`,
+/// including the 4-worker front's final metrics snapshot (which pins
+/// the whole fixed-name `router.*` catalogue scope).
+fn router_phase(full: bool, assert_scaling: bool) -> String {
+    use exq_router::{Front, FrontConfig, ShardMap};
+    use exq_serve::{client, Catalog, ServerConfig};
+    use std::fmt::Write as _;
+    use std::net::SocketAddr;
+    use std::sync::Arc;
+
+    println!();
+    header("Router tier — sharded workers behind one front (1 vs 4 workers)");
+
+    let gen_config = dblp::DblpConfig {
+        papers_per_year_base: if full { 24 } else { 12 },
+        authors_per_institution: if full { 8 } else { 6 },
+        ..dblp::DblpConfig::default()
+    };
+    let db = Arc::new(dblp::generate(&gen_config));
+    let question_text = include_str!("../../../../assets/questions/bump.exq");
+    let body_for = |dataset: &str, top: usize| {
+        format!(
+            "{{\"dataset\": \"{dataset}\", \"question\": \"{}\", \"attrs\": [\"Author.inst\"], \"top\": {top}}}",
+            exq_obs::escape_json(question_text)
+        )
+    };
+
+    // Four dataset names chosen so the 4-worker hash ring gives each
+    // worker exactly one: the hammer then spreads evenly and the 1 → 4
+    // ratio measures worker parallelism, not ring luck.
+    const WORKERS_HIGH: usize = 4;
+    let map = ShardMap::new(WORKERS_HIGH);
+    let mut names: Vec<String> = Vec::new();
+    let mut owned = [false; WORKERS_HIGH];
+    for i in 0.. {
+        if names.len() == WORKERS_HIGH {
+            break;
+        }
+        let candidate = format!("dblp-{i}");
+        let shard = map.shard_of(&candidate);
+        if !owned[shard] {
+            owned[shard] = true;
+            names.push(candidate);
+        }
+    }
+
+    // Boot a W-worker topology: each worker is a real `exq_serve`
+    // server (1 thread, so capacity scales with W alone) owning its
+    // ring-assigned slice of the catalog.
+    let boot = |workers: usize, sink: MetricsSink| {
+        let front = Front::start_on(
+            "127.0.0.1:0",
+            FrontConfig {
+                threads: 8,
+                workers,
+                per_worker_connections: 1,
+                // The hammer intentionally queues 8 clients on 1-thread
+                // workers; prefer queueing to shedding so throughput is
+                // measured, not 503 counts.
+                upstream_wait: Duration::from_secs(30),
+                datasets: names.clone(),
+                ..FrontConfig::default()
+            },
+            sink,
+        )
+        .expect("bind router front");
+        let map = ShardMap::new(workers);
+        let mut handles: Vec<Option<exq_serve::Handle>> = Vec::new();
+        for (shard, group) in map
+            .partition(names.iter().map(String::as_str))
+            .into_iter()
+            .enumerate()
+        {
+            let mut catalog = Catalog::new();
+            for name in group {
+                catalog
+                    .insert_database(name, Arc::clone(&db), &ExecConfig::auto())
+                    .unwrap();
+            }
+            let handle = exq_serve::start(
+                catalog,
+                ServerConfig {
+                    threads: 1,
+                    shard_id: Some(shard as u64),
+                    ..ServerConfig::default()
+                },
+                MetricsSink::recording(),
+            )
+            .expect("bind shard worker");
+            front.upstreams().set_addr(shard, Some(handle.addr()));
+            handles.push(Some(handle));
+        }
+        (handles, front)
+    };
+
+    // All-miss hammer: every request carries a fresh top-K, so every
+    // request runs a real explain on its worker — the per-request work
+    // the extra workers are supposed to parallelize.
+    let clients = 8usize;
+    let per_client = if full { 40 } else { 12 };
+    let hammer = |front_addr: SocketAddr, tag: &str| {
+        let names = &names;
+        let body_for = &body_for;
+        let (total, elapsed) = timed(|| {
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..clients)
+                    .map(|c| {
+                        scope.spawn(move || {
+                            for i in 0..per_client {
+                                let dataset = &names[(c + i) % names.len()];
+                                let top = 1 + c * per_client + i;
+                                let body = body_for(dataset, top);
+                                let response =
+                                    client::post_json(front_addr, "/v1/explain", &body).unwrap();
+                                assert_eq!(response.status, 200, "{}", response.text());
+                            }
+                        })
+                    })
+                    .collect();
+                for w in workers {
+                    w.join().unwrap();
+                }
+            });
+            clients * per_client
+        });
+        let rps = total as f64 / elapsed.as_secs_f64().max(1e-9);
+        println!("{tag}: {total} all-miss explains in {elapsed:?} ({rps:.0} req/s)");
+        (total, rps)
+    };
+
+    let (handles1, front1) = boot(1, MetricsSink::recording());
+    let (total, rps1) = hammer(front1.addr(), "1 worker ");
+    for handle in handles1.into_iter().flatten() {
+        handle.shutdown();
+    }
+    front1.shutdown();
+
+    let (mut handles4, front4) = boot(WORKERS_HIGH, MetricsSink::recording());
+    let (_, rps4) = hammer(front4.addr(), "4 workers");
+    let speedup = rps4 / rps1.max(1e-9);
+    println!("router scaling 1 -> {WORKERS_HIGH} workers: {speedup:.2}x throughput");
+    if assert_scaling {
+        assert!(
+            speedup >= 3.0,
+            "--router demands >=3x throughput at {WORKERS_HIGH} workers vs 1 (got {speedup:.2}x)"
+        );
+    }
+
+    // Byte-identity: the same question through the front must yield the
+    // very bytes a single-process server holding the whole catalog
+    // serves (span durations scrubbed, as elsewhere).
+    let mut reference_catalog = Catalog::new();
+    for name in &names {
+        reference_catalog
+            .insert_database(name, Arc::clone(&db), &ExecConfig::auto())
+            .unwrap();
+    }
+    let reference = exq_serve::start(
+        reference_catalog,
+        ServerConfig {
+            threads: 1,
+            ..ServerConfig::default()
+        },
+        MetricsSink::recording(),
+    )
+    .expect("bind reference server");
+    let mut reference_bodies = Vec::new();
+    for name in &names {
+        let body = body_for(name, 3);
+        let through = client::post_json(front4.addr(), "/v1/explain", &body).unwrap();
+        let direct = client::post_json(reference.addr(), "/v1/explain", &body).unwrap();
+        assert_eq!(through.status, 200, "{}", through.text());
+        assert_eq!(direct.status, 200, "{}", direct.text());
+        assert_eq!(
+            scrub_total_ns(&through.text()),
+            scrub_total_ns(&direct.text()),
+            "{name}: routed explain must be byte-identical to a single-process server"
+        );
+        reference_bodies.push(scrub_total_ns(&direct.text()));
+    }
+    reference.shutdown();
+    println!("byte-identity: all {WORKERS_HIGH} routed explains match a single-process server");
+
+    // Kill-storm: take the worker owning names[0] down mid-run. Every
+    // answer during the outage must be a bounded 503 + Retry-After
+    // (clients' retry dialect) — never a wrong answer, never a hang —
+    // and the surviving shards must keep serving.
+    let victim = map.shard_of(&names[0]);
+    handles4[victim].take().unwrap().shutdown();
+    front4.upstreams().set_addr(victim, None);
+    let storm = 20usize;
+    let mut storm_503s = 0usize;
+    for _ in 0..storm {
+        let down =
+            client::post_json(front4.addr(), "/v1/explain", &body_for(&names[0], 3)).unwrap();
+        assert_eq!(down.status, 503, "{}", down.text());
+        assert!(down.header("retry-after").is_some());
+        storm_503s += 1;
+        let alive =
+            client::post_json(front4.addr(), "/v1/explain", &body_for(&names[1], 3)).unwrap();
+        assert_eq!(alive.status, 200, "{}", alive.text());
+    }
+
+    // Recovery: publish a replacement worker (fresh catalog slice, same
+    // data) and probe until the shard answers again — with the very
+    // bytes it served before the kill.
+    let mut catalog = Catalog::new();
+    for name in map.partition(names.iter().map(String::as_str))[victim].iter() {
+        catalog
+            .insert_database(name, Arc::clone(&db), &ExecConfig::auto())
+            .unwrap();
+    }
+    let replacement = exq_serve::start(
+        catalog,
+        ServerConfig {
+            threads: 1,
+            shard_id: Some(victim as u64),
+            ..ServerConfig::default()
+        },
+        MetricsSink::recording(),
+    )
+    .expect("bind replacement worker");
+    front4
+        .upstreams()
+        .set_addr(victim, Some(replacement.addr()));
+    handles4[victim] = Some(replacement);
+    let mut recovery_probes = 0usize;
+    loop {
+        recovery_probes += 1;
+        let probe =
+            client::post_json(front4.addr(), "/v1/explain", &body_for(&names[0], 3)).unwrap();
+        if probe.status == 200 {
+            assert_eq!(
+                scrub_total_ns(&probe.text()),
+                reference_bodies[0],
+                "post-recovery explain must match the pre-kill bytes"
+            );
+            break;
+        }
+        assert_eq!(probe.status, 503, "{}", probe.text());
+        assert!(recovery_probes < 50, "shard never recovered");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    println!(
+        "kill-storm: {storm_503s} bounded 503s while down, recovered in {recovery_probes} probe(s), 0 wrong answers"
+    );
+
+    for handle in handles4.into_iter().flatten() {
+        handle.shutdown();
+    }
+    let front_snapshot = front4.shutdown();
+
+    let mut doc = String::new();
+    let _ = writeln!(doc, "  \"router\": {{");
+    let _ = writeln!(
+        doc,
+        "    \"scaling\": {{ \"workers\": [1, {WORKERS_HIGH}], \"requests_per_run\": {total}, \"rps_1_worker\": {rps1:.1}, \"rps_{WORKERS_HIGH}_workers\": {rps4:.1}, \"speedup\": {speedup:.2} }},"
+    );
+    let _ = writeln!(
+        doc,
+        "    \"storm\": {{ \"throttled_503s\": {storm_503s}, \"recovery_probes\": {recovery_probes}, \"wrong_answers\": 0 }},"
+    );
+    let snap = front_snapshot
+        .to_json()
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 0 {
+                l.to_string()
+            } else {
+                format!("    {l}")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let _ = writeln!(doc, "    \"snapshot\": {snap}");
+    doc.push_str("  },\n");
+    doc
 }
 
 /// `repro incremental` — live-append amortized cost and incremental-vs-
@@ -1746,7 +2059,8 @@ fn validate_prom(path: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let which = args.get(1).map(String::as_str).unwrap_or("all");
-    let full = args.get(2).map(String::as_str) == Some("full");
+    let full = args.iter().skip(2).any(|a| a == "full");
+    let router = args.iter().skip(2).any(|a| a == "--router");
     let nat_rows = if full { 4_000_000 } else { 200_000 };
 
     match which {
@@ -1766,7 +2080,7 @@ fn main() {
         "hybrid" => hybrid_table(),
         "agreement" => agreement_table(nat_rows),
         "pipeline" => pipeline(full),
-        "loadtest" => loadtest(full),
+        "loadtest" => loadtest(full, router),
         "incremental" => incremental(full),
         "validate-bench" => match args.get(2) {
             Some(path) => {
@@ -1815,7 +2129,7 @@ fn main() {
             hybrid_table();
             agreement_table(nat_rows);
             pipeline(full);
-            loadtest(full);
+            loadtest(full, router);
             incremental(full);
         }
         other => {

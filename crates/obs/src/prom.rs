@@ -8,6 +8,12 @@
 //! samples, a terminal `le="+Inf"` bucket, and `_sum`/`_count` samples —
 //! the shape Prometheus' scraper and `promtool check metrics` expect.
 //!
+//! Counters named `<prefix>.shard.<digits>` (the router's per-worker
+//! series) collapse into one labelled family:
+//! `exq_<prefix>_shard{shard="<digits>"}`. One family with a `shard`
+//! label is what dashboards want to sum and facet over; N families
+//! differing only in a trailing integer is what they get by accident.
+//!
 //! [`check_prometheus`] validates that shape without any dependency: it
 //! is what CI runs against a live `GET /metrics` scrape.
 
@@ -39,9 +45,36 @@ fn escape_label(value: &str) -> String {
     out
 }
 
+/// Split `<prefix>.shard.<digits>` into `(prefix.shard, digits)`; `None`
+/// for every other counter name. Requiring the literal `.shard.` hop
+/// keeps ordinary counters that merely end in a number out of the
+/// labelled path.
+fn shard_split(name: &str) -> Option<(&str, &str)> {
+    let (family, digits) = name.rsplit_once('.')?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    family.ends_with(".shard").then_some((family, digits))
+}
+
 pub(crate) fn render(snapshot: &Snapshot) -> String {
     let mut out = String::new();
+    // BTreeMap iteration keeps every `<prefix>.shard.<n>` member of a
+    // family contiguous (they share the `<prefix>.shard.` string
+    // prefix), so one HELP/TYPE header per family is enough.
+    let mut open_family: Option<String> = None;
     for (name, value) in &snapshot.counters {
+        if let Some((family, shard)) = shard_split(name) {
+            let prom = sanitize_name(family);
+            if open_family.as_deref() != Some(family) {
+                let _ = writeln!(out, "# HELP {prom} exq counter {family} by shard");
+                let _ = writeln!(out, "# TYPE {prom} counter");
+                open_family = Some(family.to_owned());
+            }
+            let _ = writeln!(out, "{prom}{{shard=\"{}\"}} {value}", escape_label(shard));
+            continue;
+        }
+        open_family = None;
         let prom = sanitize_name(name);
         let _ = writeln!(out, "# HELP {prom} exq counter {name}");
         let _ = writeln!(out, "# TYPE {prom} counter");
@@ -405,6 +438,46 @@ mod tests {
         assert!(check_prometheus(text)
             .unwrap_err()
             .contains("not strictly increasing"));
+    }
+
+    #[test]
+    fn shard_counters_render_as_one_labelled_family() {
+        let sink = MetricsSink::recording();
+        sink.add("router.proxied.shard.0", 7);
+        sink.add("router.proxied.shard.1", 3);
+        sink.add("router.requests", 10);
+        let text = render(&sink.snapshot());
+        assert!(
+            text.contains("# TYPE exq_router_proxied_shard counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("exq_router_proxied_shard{shard=\"0\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("exq_router_proxied_shard{shard=\"1\"} 3"),
+            "{text}"
+        );
+        // One header for the family, not one per shard.
+        assert_eq!(text.matches("# HELP exq_router_proxied_shard ").count(), 1);
+        assert!(!text.contains("exq_router_proxied_shard_0"), "{text}");
+        // The plain counter is untouched.
+        assert!(text.contains("exq_router_requests 10"), "{text}");
+        check_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n---\n{text}"));
+    }
+
+    #[test]
+    fn shard_split_requires_the_literal_shard_hop() {
+        assert_eq!(
+            shard_split("router.proxied.shard.12"),
+            Some(("router.proxied.shard", "12"))
+        );
+        assert_eq!(shard_split("router.proxied.shard.x"), None);
+        assert_eq!(shard_split("server.requests.2"), None);
+        assert_eq!(shard_split("router.proxied.shard."), None);
+        assert_eq!(shard_split("shard.0"), None);
+        assert_eq!(shard_split("plain"), None);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Columnar projections of stored relations.
 //!
 //! A [`ColumnStore`] is a read-only, per-attribute re-encoding of a
-//! [`Database`](crate::Database)'s row storage, built by one sequential
+//! [`Database`]'s row storage, built by one sequential
 //! scan (relations in schema order, rows in insertion order) so that every
 //! derived artifact — dictionary codes in particular — is a pure function
 //! of the stored rows, independent of thread count. The row storage stays
@@ -11,7 +11,7 @@
 //!
 //! Encoding rules, in order:
 //!
-//! 1. **`DictU32`** — if the column has at most [`DICT_MAX`] distinct
+//! 1. **`DictU32`** — if the column has at most [`DICT_MAX`](crate::dict::DICT_MAX) distinct
 //!    values (under the `Value` total order, so NULLs and mixed Int/Float
 //!    spellings participate like any other value), every row becomes a
 //!    `u32` code into a first-appearance [`Dict`].
@@ -119,7 +119,7 @@ impl ColumnStore {
     /// dictionary that gained values), not to the whole database.
     ///
     /// Parity holds per encoding variant because every encoding decision
-    /// in [`build_column`] fails *monotonically* under append:
+    /// in `build_column` fails *monotonically* under append:
     ///
     /// - `DictU32`: codes are first-appearance order, so resuming the old
     ///   dictionary and encoding only new rows reproduces the full-scan

@@ -174,7 +174,7 @@ pub fn compute(
 /// `u32` code space and decodes the cells at the end; otherwise it takes
 /// the row-oriented `Value` path. Both run the *same* generic grouping
 /// code over the same block structure, tuple order, and fold order, so
-/// their cells are bit-identical (see [`CubeSpace`]).
+/// their cells are bit-identical (see `CubeSpace`).
 pub fn compute_with(
     db: &Database,
     u: &Universal,

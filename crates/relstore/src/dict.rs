@@ -44,7 +44,7 @@ struct DictBase {
 
 /// An immutable value dictionary for one column.
 ///
-/// Storage is split in two layers: a shared [`DictBase`] holding codes
+/// Storage is split in two layers: a shared `DictBase` holding codes
 /// `0..base.values.len()`, and a small owned overlay holding the codes
 /// live appends added past it ([`Dict::extended`] keeps the overlay
 /// below a fraction of the base, consolidating when it grows past

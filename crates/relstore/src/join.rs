@@ -181,7 +181,7 @@ impl Universal {
     /// holds a new row: for pivot `i`, relations before `i` are
     /// restricted to their old rows, relation `i` to its new rows, and
     /// later relations are unrestricted. Each partition runs through the
-    /// ordinary [`join_component`] machinery, so every new tuple is
+    /// ordinary `join_component` machinery, so every new tuple is
     /// produced exactly once. Because the component's output order is
     /// strictly lexicographic in (root row, edge-child rows…) — a key in
     /// which every component relation appears exactly once — sorting the

@@ -1,0 +1,694 @@
+//! The front process: parse a sliver, admit, route, proxy, observe.
+//!
+//! The front is deliberately thin. It parses each request only far
+//! enough to learn **which dataset** it names — the path segment for
+//! appends, the `"dataset"` field for explain/report — then proxies the
+//! request verbatim to the owning worker over a pooled keep-alive
+//! connection and streams the worker's body back unchanged, so a
+//! response through the router is byte-identical to one from a
+//! single-process server. Requests the front cannot attribute to a
+//! dataset still go to a worker (shard 0), which renders the same
+//! canonical error body a direct client would see.
+//!
+//! What the front *adds*: per-tenant admission control (the
+//! [`crate::bucket`] gate, `X-Exq-Tenant` header), trace-id propagation
+//! (the front allocates the id and passes it down in `X-Exq-Trace-Id`,
+//! so one trace names the request in both tiers), an `X-Exq-Shard`
+//! response header naming the worker that answered, and the `router.*`
+//! counter family with a front-latency histogram.
+
+use crate::bucket::TokenBuckets;
+use crate::shard::ShardMap;
+use crate::upstream::{CheckoutError, Upstreams};
+use exq_obs::{MetricsSink, Snapshot};
+use exq_serve::client::ClientResponse;
+use exq_serve::http::{Limits, Request, Response};
+use exq_serve::{json, pump};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Every fixed-name `router.*` counter the front and supervisor record,
+/// pre-registered at startup and catalogued in `assets/obs/counters.txt`.
+/// The per-shard `router.proxied.shard.{i}` family is registered
+/// dynamically (one per worker) and catalogued as a wildcard.
+pub const ROUTER_COUNTERS: &[&str] = &[
+    "router.requests",
+    "router.responses.ok",
+    "router.responses.client_error",
+    "router.responses.server_error",
+    "router.throttled",
+    "router.proxy.errors",
+    "router.upstream.connects",
+    "router.upstream.reuses",
+    "router.health.checks",
+    "router.health.failures",
+    "router.worker.restarts",
+];
+
+/// Front tuning knobs.
+#[derive(Debug, Clone)]
+pub struct FrontConfig {
+    /// Front worker threads serving client connections.
+    pub threads: usize,
+    /// Pending-connection queue depth; beyond it, `503` + `Retry-After`.
+    pub queue_depth: usize,
+    /// How many worker processes sit behind the front.
+    pub workers: usize,
+    /// Connection-pool capacity per worker. Must not exceed the
+    /// worker's thread count: a keep-alive connection pins a worker
+    /// thread.
+    pub per_worker_connections: usize,
+    /// Per-tenant admitted requests per second (`None` disables
+    /// admission control).
+    pub rate_limit: Option<f64>,
+    /// How long a proxying thread may wait for a pooled upstream
+    /// connection before answering `503` (saturated worker). The
+    /// default keeps the front snappy under overload; embedders that
+    /// prefer queueing to shedding (the bench harness) raise it.
+    pub upstream_wait: Duration,
+    /// Per-request wall-clock budget for reading the client's request.
+    pub request_timeout: Duration,
+    /// HTTP parser limits for client requests.
+    pub limits: Limits,
+    /// Every dataset name in the catalog, for the front's
+    /// `GET /v1/health` topology document.
+    pub datasets: Vec<String>,
+}
+
+impl Default for FrontConfig {
+    fn default() -> FrontConfig {
+        FrontConfig {
+            threads: 4,
+            queue_depth: 64,
+            workers: 1,
+            per_worker_connections: 4,
+            rate_limit: None,
+            upstream_wait: Duration::from_millis(500),
+            request_timeout: Duration::from_secs(10),
+            limits: Limits::default(),
+            datasets: Vec::new(),
+        }
+    }
+}
+
+struct FrontInner {
+    shards: ShardMap,
+    upstreams: Arc<Upstreams>,
+    buckets: Option<TokenBuckets>,
+    sink: MetricsSink,
+    shutdown: Arc<AtomicBool>,
+    next_trace: AtomicU64,
+    config: FrontConfig,
+}
+
+/// A running front. Workers are *not* started here: the supervisor (or
+/// an embedding test) publishes their addresses through
+/// [`Front::upstreams`].
+pub struct Front {
+    addr: SocketAddr,
+    inner: Arc<FrontInner>,
+    pump: pump::Pump,
+}
+
+impl Front {
+    /// Bind `addr` and start the front's accept and worker threads.
+    /// Pre-registers the full `router.*` catalogue (idle fronts expose
+    /// every counter at 0).
+    pub fn start_on(
+        addr: impl ToSocketAddrs,
+        config: FrontConfig,
+        sink: MetricsSink,
+    ) -> std::io::Result<Front> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        for counter in ROUTER_COUNTERS {
+            sink.add(counter, 0);
+        }
+        for shard in 0..config.workers.max(1) {
+            sink.add(&format!("router.proxied.shard.{shard}"), 0);
+        }
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let inner = Arc::new(FrontInner {
+            shards: ShardMap::new(config.workers),
+            upstreams: Arc::new(Upstreams::new(
+                config.workers,
+                config.per_worker_connections,
+                config.upstream_wait,
+            )),
+            buckets: config.rate_limit.map(TokenBuckets::new),
+            sink,
+            shutdown: Arc::clone(&shutdown),
+            next_trace: AtomicU64::new(0),
+            config,
+        });
+        let options = pump::PumpOptions {
+            threads: inner.config.threads,
+            queue_depth: inner.config.queue_depth,
+            name: "exq-front",
+        };
+        let reject_inner = Arc::clone(&inner);
+        let serve_inner = Arc::clone(&inner);
+        let pump = pump::start(
+            listener,
+            &options,
+            shutdown,
+            move |stream| {
+                reject_inner.sink.incr("router.throttled");
+                pump::reject(stream, &pump::busy_response());
+            },
+            move |stream| {
+                let inner = Arc::clone(&serve_inner);
+                pump::serve_connection(stream, move |stream, carry| {
+                    serve_one(&inner, stream, carry)
+                })
+            },
+        )?;
+        Ok(Front {
+            addr: local,
+            inner,
+            pump,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The per-shard connection pools — the supervisor publishes worker
+    /// addresses here as they come up, move, or die.
+    pub fn upstreams(&self) -> Arc<Upstreams> {
+        Arc::clone(&self.inner.upstreams)
+    }
+
+    /// Stop accepting, drain in-flight client connections, join all
+    /// threads, and return the front's final metrics snapshot.
+    pub fn shutdown(self) -> Snapshot {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.pump.join();
+        self.inner.sink.snapshot()
+    }
+}
+
+/// One front request: read, admit, route, proxy, respond. Runs inside
+/// [`pump::serve_connection`], exactly like the worker tier: keep-alive
+/// on request, silent idle close.
+fn serve_one(inner: &FrontInner, stream: &mut TcpStream, carry: &mut Vec<u8>) -> bool {
+    // exq-lint: allow(L002): HTTP timeout/latency bookkeeping, never reaches explanation results
+    let started = Instant::now();
+    let deadline = started + inner.config.request_timeout;
+    let read = pump::read_request(
+        stream,
+        &inner.config.limits,
+        deadline,
+        carry,
+        &inner.shutdown,
+    );
+    let (request, response) = match read {
+        Ok(Some(request)) => {
+            inner.sink.incr("router.requests");
+            // The front allocates the trace id (honoring one the client
+            // already sent) and hands it to the worker, so both tiers
+            // log the same id for one request — and stamps it onto its
+            // own trace events for the merged Chrome timeline.
+            let trace_id = request
+                .header("x-exq-trace-id")
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .filter(|&id| id > 0)
+                .unwrap_or_else(|| inner.next_trace.fetch_add(1, Ordering::Relaxed) + 1);
+            inner.sink.set_trace(trace_id);
+            let response = {
+                let _span = inner.sink.span("router.request");
+                route(inner, &request, trace_id)
+            }
+            .with_header("x-exq-trace-id", &trace_id.to_string());
+            (Some(request), response)
+        }
+        Ok(None) => return false,
+        Err(response) => (None, response),
+    };
+    match response.status {
+        200 => inner.sink.incr("router.responses.ok"),
+        400..=499 => inner.sink.incr("router.responses.client_error"),
+        _ => inner.sink.incr("router.responses.server_error"),
+    }
+    let keep_alive = request.as_ref().is_some_and(|r| {
+        r.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+    }) && response.status != 408
+        && !inner.shutdown.load(Ordering::SeqCst);
+    let written = stream
+        .write_all(&response.to_bytes_with(keep_alive))
+        .and_then(|()| stream.flush());
+    inner
+        .sink
+        .observe_duration("router.latency.front", started.elapsed());
+    keep_alive && written.is_ok()
+}
+
+fn route(inner: &FrontInner, request: &Request, trace_id: u64) -> Response {
+    let path = request
+        .path
+        .split_once('?')
+        .map_or(request.path.as_str(), |(p, _)| p);
+    // Work-bearing routes pass admission control, then proxy to the
+    // dataset's shard.
+    if request.method == "POST" {
+        let dataset = match path {
+            "/v1/explain" | "/v1/report" => dataset_from_body(&request.body),
+            _ => dataset_from_append_path(path).map(str::to_string),
+        };
+        let routable = matches!(path, "/v1/explain" | "/v1/report")
+            || dataset_from_append_path(path).is_some();
+        if routable {
+            if let Some(throttled) = admit(inner, request) {
+                return throttled;
+            }
+            // No dataset parsed (bad JSON, missing field): any worker
+            // renders the same canonical error body a single-process
+            // server would, so shard 0 serves it.
+            let shard = dataset.map_or(0, |name| inner.shards.shard_of(&name));
+            return proxy(inner, request, shard, trace_id);
+        }
+    }
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            Response::json(200, "{\n  \"status\": \"ok\",\n  \"role\": \"front\"\n}\n")
+        }
+        ("GET", "/v1/health") => Response::json(200, health_doc(inner)),
+        ("GET", "/metrics") => Response::text(200, inner.sink.snapshot().to_prometheus()),
+        ("GET", "/v1/metrics") => {
+            let query = request.path.split_once('?').map_or("", |(_, q)| q);
+            if query.split('&').any(|pair| pair == "format=prometheus") {
+                Response::text(200, inner.sink.snapshot().to_prometheus())
+            } else {
+                Response::json(200, inner.sink.snapshot().to_json() + "\n")
+            }
+        }
+        ("GET", "/v1/datasets") => merged_datasets(inner, trace_id),
+        (
+            _,
+            "/healthz" | "/v1/health" | "/v1/datasets" | "/metrics" | "/v1/metrics" | "/v1/explain"
+            | "/v1/report",
+        ) => Response::error(405, "method not allowed"),
+        // Worker-local debug endpoints (the flight recorder) are not
+        // meaningful through the front; hit a worker's port directly.
+        _ => Response::error(404, "no such endpoint"),
+    }
+}
+
+/// Apply admission control; `Some` is the throttle response.
+fn admit(inner: &FrontInner, request: &Request) -> Option<Response> {
+    let buckets = inner.buckets.as_ref()?;
+    let tenant = request.header("x-exq-tenant").unwrap_or("");
+    if buckets.try_take(tenant) {
+        None
+    } else {
+        inner.sink.incr("router.throttled");
+        Some(
+            Response::error(503, "rate limit exceeded; retry shortly")
+                .with_header("retry-after", "1"),
+        )
+    }
+}
+
+/// The `"dataset"` field of an explain/report body, if it parses.
+fn dataset_from_body(body: &[u8]) -> Option<String> {
+    let doc = json::parse(body).ok()?;
+    doc.get("dataset")?.as_str().map(str::to_string)
+}
+
+/// The `{name}` of `/v1/datasets/{name}/rows`.
+fn dataset_from_append_path(path: &str) -> Option<&str> {
+    path.strip_prefix("/v1/datasets/")
+        .and_then(|rest| rest.strip_suffix("/rows"))
+        .filter(|name| !name.is_empty() && !name.contains('/'))
+}
+
+/// Forward `request` to `shard`'s worker and convert the reply. Any
+/// failure to reach the worker is a `503` + `Retry-After` — the
+/// supervisor is restarting it, and clients already speak that dialect
+/// — never a hang and never a made-up answer.
+fn proxy(inner: &FrontInner, request: &Request, shard: usize, trace_id: u64) -> Response {
+    let mut lease = match inner.upstreams.checkout(shard) {
+        Ok(lease) => lease,
+        Err(CheckoutError::Down) => {
+            return Response::error(503, "shard worker unavailable; retry shortly")
+                .with_header("retry-after", "1");
+        }
+        Err(CheckoutError::Busy) => {
+            return Response::error(503, "shard worker saturated; retry shortly")
+                .with_header("retry-after", "1");
+        }
+    };
+    inner.sink.incr(if lease.was_pooled() {
+        "router.upstream.reuses"
+    } else {
+        "router.upstream.connects"
+    });
+    let trace = trace_id.to_string();
+    let sent = lease.conn.request_with(
+        &request.method,
+        &request.path,
+        Some(&request.body),
+        &[("x-exq-trace-id", &trace)],
+    );
+    match sent {
+        Ok(upstream) => {
+            inner.sink.incr(&format!("router.proxied.shard.{shard}"));
+            inner.upstreams.checkin(shard, lease);
+            convert(upstream, shard)
+        }
+        Err(_) => {
+            inner.sink.incr("router.proxy.errors");
+            inner.upstreams.discard(shard, lease);
+            Response::error(503, "shard worker failed mid-request; retry shortly")
+                .with_header("retry-after", "1")
+        }
+    }
+}
+
+/// A worker's reply as a front [`Response`]: body bytes verbatim,
+/// meaningful headers (`X-Exq-Epoch`, `Retry-After`) copied through,
+/// plus an `X-Exq-Shard` header naming the worker that answered. The
+/// worker's own trace-id header is dropped — the front stamps the same
+/// id on its way out.
+fn convert(upstream: ClientResponse, shard: usize) -> Response {
+    let content_type = match upstream.header("content-type") {
+        Some(value) if value.starts_with("text/plain") => {
+            "text/plain; version=0.0.4; charset=utf-8"
+        }
+        _ => "application/json",
+    };
+    let mut extra_headers = Vec::new();
+    for name in ["x-exq-epoch", "retry-after"] {
+        if let Some(value) = upstream.header(name) {
+            extra_headers.push((name.to_string(), value.to_string()));
+        }
+    }
+    extra_headers.push(("x-exq-shard".to_string(), shard.to_string()));
+    Response {
+        status: upstream.status,
+        body: upstream.body,
+        content_type,
+        extra_headers,
+    }
+}
+
+/// `GET /v1/datasets` through the front: every worker holds only its
+/// shard of the catalog, so the front fans out and merges. Entry lines
+/// are re-sorted by dataset name so the merged document is byte-for-byte
+/// what a single-process server holding the full catalog would emit.
+/// Any unreachable worker fails the whole listing (a partial catalog
+/// silently missing datasets is worse than a retryable error).
+fn merged_datasets(inner: &FrontInner, trace_id: u64) -> Response {
+    let mut entries: Vec<(String, String)> = Vec::new();
+    for shard in 0..inner.shards.workers() {
+        let mut lease = match inner.upstreams.checkout(shard) {
+            Ok(lease) => lease,
+            Err(_) => {
+                return Response::error(503, "shard worker unavailable; retry shortly")
+                    .with_header("retry-after", "1");
+            }
+        };
+        inner.sink.incr(if lease.was_pooled() {
+            "router.upstream.reuses"
+        } else {
+            "router.upstream.connects"
+        });
+        let trace = trace_id.to_string();
+        let fetched =
+            lease
+                .conn
+                .request_with("GET", "/v1/datasets", None, &[("x-exq-trace-id", &trace)]);
+        let body = match fetched {
+            Ok(response) if response.status == 200 => {
+                inner.sink.incr(&format!("router.proxied.shard.{shard}"));
+                inner.upstreams.checkin(shard, lease);
+                response.text()
+            }
+            Ok(_) | Err(_) => {
+                inner.sink.incr("router.proxy.errors");
+                inner.upstreams.discard(shard, lease);
+                return Response::error(503, "shard catalog listing failed; retry shortly")
+                    .with_header("retry-after", "1");
+            }
+        };
+        for line in body.lines() {
+            if let Some(rest) = line.strip_prefix("    { \"name\": \"") {
+                let name = json_string_prefix(rest);
+                entries.push((name, line.trim_end_matches(',').to_string()));
+            }
+        }
+    }
+    entries.sort();
+    let mut doc = String::from("{\n  \"datasets\": [\n");
+    let last = entries.len();
+    for (i, (_, line)) in entries.iter().enumerate() {
+        doc.push_str(line);
+        if i + 1 != last {
+            doc.push(',');
+        }
+        doc.push('\n');
+    }
+    doc.push_str("  ]\n}\n");
+    Response::json(200, doc)
+}
+
+/// The decoded content of a JSON string whose opening quote was already
+/// consumed: scan to the closing quote (backslash-escape aware) and
+/// unescape. Used to sort merged catalog entries by their *actual*
+/// dataset name, matching the BTreeMap order a single process uses.
+fn json_string_prefix(rest: &str) -> String {
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => break,
+            '\\' => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    if let Some(decoded) =
+                        u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32)
+                    {
+                        out.push(decoded);
+                    }
+                }
+                Some(other) => out.push(other),
+                None => break,
+            },
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// The front's `GET /v1/health`: topology at a glance — worker count,
+/// which shards are currently routable, and which datasets the
+/// consistent-hash ring assigns to each.
+fn health_doc(inner: &FrontInner) -> String {
+    use std::fmt::Write as _;
+    let workers = inner.shards.workers();
+    let mut groups: Vec<Vec<&str>> = vec![Vec::new(); workers];
+    for name in &inner.config.datasets {
+        groups[inner.shards.shard_of(name)].push(name);
+    }
+    let mut out = format!(
+        "{{\n  \"status\": \"ok\",\n  \"role\": \"front\",\n  \"workers\": {workers},\n  \"shards\": [\n"
+    );
+    for (shard, group) in groups.iter().enumerate() {
+        let alive = inner.upstreams.addr(shard).is_some();
+        let sep = if shard + 1 == workers { "" } else { "," };
+        let names: Vec<String> = group
+            .iter()
+            .map(|n| format!("\"{}\"", exq_obs::escape_json(n)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "    {{ \"shard\": {shard}, \"alive\": {alive}, \"datasets\": [{}{}{}] }}{sep}",
+            if names.is_empty() { "" } else { " " },
+            names.join(", "),
+            if names.is_empty() { "" } else { " " },
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exq_serve::client;
+    use exq_serve::http;
+    use std::io::Read;
+    use std::sync::atomic::AtomicUsize;
+
+    /// A stub worker: parses real HTTP, answers via `handler`, honors
+    /// keep-alive. Good enough to test routing, proxying, and header
+    /// conversion without building a catalog.
+    fn stub_worker(handler: impl Fn(&Request) -> Response + Send + 'static) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                let mut carry = Vec::new();
+                let mut chunk = [0u8; 4096];
+                loop {
+                    let request = loop {
+                        match http::parse_request(&carry, &Limits::default()) {
+                            Ok(Some((request, consumed))) => {
+                                carry.drain(..consumed);
+                                break Some(request);
+                            }
+                            Ok(None) => match stream.read(&mut chunk) {
+                                Ok(0) => break None,
+                                Ok(n) => carry.extend_from_slice(&chunk[..n]),
+                                Err(_) => break None,
+                            },
+                            Err(_) => break None,
+                        }
+                    };
+                    let Some(request) = request else { break };
+                    let keep = request
+                        .header("connection")
+                        .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"));
+                    let response = handler(&request);
+                    if stream.write_all(&response.to_bytes_with(keep)).is_err() || !keep {
+                        break;
+                    }
+                }
+            }
+        });
+        addr
+    }
+
+    fn front_with(config: FrontConfig, worker: Option<SocketAddr>) -> Front {
+        let front =
+            Front::start_on(("127.0.0.1", 0), config, MetricsSink::recording()).expect("front");
+        if let Some(addr) = worker {
+            front.upstreams().set_addr(0, Some(addr));
+        }
+        front
+    }
+
+    #[test]
+    fn front_serves_its_own_endpoints() {
+        let front = front_with(
+            FrontConfig {
+                datasets: vec!["dblp".to_string()],
+                ..FrontConfig::default()
+            },
+            None,
+        );
+        let healthz = client::get(front.addr(), "/healthz").unwrap();
+        assert_eq!(healthz.status, 200);
+        assert!(healthz.text().contains("\"role\": \"front\""));
+        let health = client::get(front.addr(), "/v1/health").unwrap();
+        assert!(health.text().contains("\"alive\": false"));
+        assert!(health.text().contains("\"dblp\""));
+        let metrics = client::get(front.addr(), "/metrics").unwrap();
+        let exposition = metrics.text();
+        assert!(exposition.contains("router_requests"), "{exposition}");
+        let missing = client::get(front.addr(), "/v1/debug/requests").unwrap();
+        assert_eq!(missing.status, 404);
+        let snapshot = front.shutdown();
+        assert_eq!(snapshot.counter("router.requests"), 4);
+        assert_eq!(snapshot.counter("router.responses.ok"), 3);
+    }
+
+    #[test]
+    fn proxy_round_trips_bodies_and_tags_the_shard() {
+        let body = "{\n  \"explanations\": []\n}\n";
+        let worker = stub_worker(move |request| {
+            assert!(
+                request.header("x-exq-trace-id").is_some(),
+                "front must propagate a trace id"
+            );
+            Response::json(200, body).with_header("x-exq-epoch", "7")
+        });
+        let front = front_with(FrontConfig::default(), Some(worker));
+        let reply = client::post_json(
+            front.addr(),
+            "/v1/explain",
+            "{ \"dataset\": \"dblp\", \"question\": \"?\" }",
+        )
+        .unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.text(), body, "proxied body is byte-identical");
+        assert_eq!(reply.header("x-exq-shard"), Some("0"));
+        assert_eq!(reply.header("x-exq-epoch"), Some("7"));
+        assert!(reply.header("x-exq-trace-id").is_some());
+        let snapshot = front.shutdown();
+        assert_eq!(snapshot.counter("router.proxied.shard.0"), 1);
+        assert_eq!(snapshot.counter("router.upstream.connects"), 1);
+    }
+
+    #[test]
+    fn down_worker_means_bounded_503_not_a_hang() {
+        let front = front_with(FrontConfig::default(), None);
+        let reply =
+            client::post_json(front.addr(), "/v1/explain", "{ \"dataset\": \"x\" }").unwrap();
+        assert_eq!(reply.status, 503);
+        assert_eq!(reply.header("retry-after"), Some("1"));
+        front.shutdown();
+    }
+
+    #[test]
+    fn admission_control_throttles_past_the_burst() {
+        let served = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::clone(&served);
+        let worker = stub_worker(move |_| {
+            counted.fetch_add(1, Ordering::SeqCst);
+            Response::json(200, "{}\n")
+        });
+        let front = front_with(
+            FrontConfig {
+                // rate 0.5/s → burst max(1.0) = 1 token: first request
+                // admitted, second throttled (no refill that fast).
+                rate_limit: Some(0.5),
+                ..FrontConfig::default()
+            },
+            Some(worker),
+        );
+        let first =
+            client::post_json(front.addr(), "/v1/explain", "{ \"dataset\": \"x\" }").unwrap();
+        assert_eq!(first.status, 200);
+        let second =
+            client::post_json(front.addr(), "/v1/explain", "{ \"dataset\": \"x\" }").unwrap();
+        assert_eq!(second.status, 503);
+        assert_eq!(second.header("retry-after"), Some("1"));
+        // A different tenant has its own bucket.
+        let mut conn = client::Connection::new(front.addr());
+        let other = conn
+            .request_with(
+                "POST",
+                "/v1/explain",
+                Some(b"{ \"dataset\": \"x\" }"),
+                &[("x-exq-tenant", "other")],
+            )
+            .unwrap();
+        assert_eq!(other.status, 200);
+        let snapshot = front.shutdown();
+        assert_eq!(snapshot.counter("router.throttled"), 1);
+        assert_eq!(served.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn unparseable_bodies_still_reach_a_worker_for_the_canonical_error() {
+        let worker = stub_worker(|_| Response::error(400, "bad json"));
+        let front = front_with(FrontConfig::default(), Some(worker));
+        let reply = client::post_json(front.addr(), "/v1/explain", "not json at all").unwrap();
+        assert_eq!(reply.status, 400, "the worker's error comes through");
+        assert_eq!(reply.header("x-exq-shard"), Some("0"));
+        front.shutdown();
+    }
+}

@@ -1,0 +1,397 @@
+//! Worker process supervision: spawn, health-check, restart, drain.
+//!
+//! Each worker is an ordinary `exq serve` child process. The supervisor
+//! parses its machine-readable ready line (`ready: listening on
+//! http://ADDR ...`) to learn the bound port, publishes the address
+//! into the front's [`Upstreams`] table, and then watches two signals:
+//!
+//! * **exit** — a crashed worker is restarted up to a bounded number of
+//!   times (`router.worker.restarts`); while it warm-starts, its shard
+//!   reads `Down` and the front answers bounded `503`s. A worker that
+//!   keeps dying is marked dead and its shard stays down — bounded
+//!   errors, never a crash loop.
+//! * **health** — periodic `GET /v1/health` probes
+//!   (`router.health.checks` / `router.health.failures`); a worker that
+//!   fails several consecutive probes while still running is presumed
+//!   wedged and sent SIGTERM, which turns the case into an exit and
+//!   re-enters the restart path. Its result cache persists across the
+//!   restart ([`exq_serve::persist`]), so recovery starts warm.
+//!
+//! Shutdown is cooperative and ordered: stop monitoring, SIGTERM every
+//! child (each drains in flight work and dumps its warm-start
+//! snapshot), wait bounded, then kill stragglers.
+
+use crate::upstream::Upstreams;
+use exq_obs::MetricsSink;
+use exq_serve::client::Connection;
+use exq_serve::signal;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Monitor cadence. Exits are noticed within one tick; health probes
+/// run every [`HEALTH_EVERY_TICKS`]th tick.
+const TICK: Duration = Duration::from_millis(250);
+const HEALTH_EVERY_TICKS: u64 = 4;
+/// Consecutive failed probes before a running worker is presumed wedged
+/// and SIGTERMed into the restart path.
+const HEALTH_FAILURES_TO_RESTART: u32 = 3;
+
+/// How to (re)start one worker process.
+pub struct WorkerSpec {
+    /// The shard this worker owns (its [`Upstreams`] slot).
+    pub shard: usize,
+    /// Arguments after the executable, e.g.
+    /// `["serve", "--addr", "127.0.0.1:0", "--preload", ...]`.
+    pub args: Vec<String>,
+}
+
+struct Worker {
+    spec: WorkerSpec,
+    child: Option<Child>,
+    restarts: u32,
+    health_failures: u32,
+    /// Restart budget exhausted; the shard stays down.
+    dead: bool,
+}
+
+/// A running supervisor: one monitor thread over N child processes.
+pub struct Supervisor {
+    exe: PathBuf,
+    upstreams: Arc<Upstreams>,
+    sink: MetricsSink,
+    max_restarts: u32,
+    stop: Arc<AtomicBool>,
+    workers: Arc<Mutex<Vec<Worker>>>,
+    monitor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Supervisor {
+    /// Spawn every worker in `specs` from `exe`, wait for each ready
+    /// line, publish addresses into `upstreams`, and start the monitor
+    /// thread. Fails if any worker refuses to boot — a router that
+    /// starts degraded is a misconfiguration, not a runtime condition.
+    pub fn start(
+        exe: PathBuf,
+        specs: Vec<WorkerSpec>,
+        upstreams: Arc<Upstreams>,
+        sink: MetricsSink,
+        max_restarts: u32,
+    ) -> std::io::Result<Supervisor> {
+        let mut workers = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let (child, addr) = spawn_worker(&exe, &spec)?;
+            upstreams.set_addr(spec.shard, Some(addr));
+            workers.push(Worker {
+                spec,
+                child: Some(child),
+                restarts: 0,
+                health_failures: 0,
+                dead: false,
+            });
+        }
+        let mut supervisor = Supervisor {
+            exe,
+            upstreams,
+            sink,
+            max_restarts,
+            stop: Arc::new(AtomicBool::new(false)),
+            workers: Arc::new(Mutex::new(workers)),
+            monitor: None,
+        };
+        let exe = supervisor.exe.clone();
+        let upstreams = Arc::clone(&supervisor.upstreams);
+        let sink = supervisor.sink.clone();
+        let stop = Arc::clone(&supervisor.stop);
+        let workers = Arc::clone(&supervisor.workers);
+        let max_restarts = supervisor.max_restarts;
+        supervisor.monitor = Some(
+            std::thread::Builder::new()
+                .name("exq-router-monitor".to_string())
+                .spawn(move || {
+                    monitor_loop(&exe, &workers, &upstreams, &sink, &stop, max_restarts)
+                })?,
+        );
+        Ok(supervisor)
+    }
+
+    /// Worker process ids, by shard (None for a dead shard). The CLI
+    /// reports these next to the ready line.
+    pub fn pids(&self) -> Vec<Option<u32>> {
+        let workers = self.workers.lock().expect("supervisor state poisoned");
+        workers
+            .iter()
+            .map(|w| w.child.as_ref().map(Child::id))
+            .collect()
+    }
+
+    /// Stop the restart machinery without touching the workers. Called
+    /// the moment shutdown begins: a terminal-delivered SIGINT reaches
+    /// the whole process group, and a monitor that kept running would
+    /// "helpfully" restart workers that are busy draining.
+    pub fn halt_restarts(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Stop monitoring, SIGTERM every worker, and wait (bounded) for
+    /// each to drain and exit; stragglers past the budget are killed.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(monitor) = self.monitor.take() {
+            let _ = monitor.join();
+        }
+        let mut workers = self.workers.lock().expect("supervisor state poisoned");
+        for worker in workers.iter_mut() {
+            self.upstreams.set_addr(worker.spec.shard, None);
+            if let Some(child) = &worker.child {
+                signal::terminate(child.id());
+            }
+        }
+        for worker in workers.iter_mut() {
+            let Some(mut child) = worker.child.take() else {
+                continue;
+            };
+            // ~10s per worker to drain in-flight requests and dump its
+            // warm-start snapshot.
+            let mut waited = 0u32;
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    Ok(None) if waited < 200 => {
+                        waited += 1;
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    _ => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Spawn one worker and block until its ready line names an address.
+/// The worker's stdout is piped (the ready line is for us); stderr
+/// passes through so worker logs land with the front's.
+fn spawn_worker(exe: &PathBuf, spec: &WorkerSpec) -> std::io::Result<(Child, SocketAddr)> {
+    let mut child = Command::new(exe)
+        .args(&spec.args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!(
+                    "worker for shard {} exited before its ready line",
+                    spec.shard
+                ),
+            ));
+        }
+        if let Some(rest) = line.trim().strip_prefix("ready: listening on http://") {
+            let addr_text = rest.split_whitespace().next().unwrap_or("");
+            match addr_text.parse::<SocketAddr>() {
+                Ok(addr) => break addr,
+                Err(_) => {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unparseable worker address `{addr_text}`"),
+                    ));
+                }
+            }
+        }
+    };
+    // Keep draining stdout so the worker never blocks on a full pipe;
+    // anything after the ready line is informational.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        loop {
+            sink.clear();
+            match reader.read_line(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    });
+    Ok((child, addr))
+}
+
+fn monitor_loop(
+    exe: &PathBuf,
+    workers: &Mutex<Vec<Worker>>,
+    upstreams: &Upstreams,
+    sink: &MetricsSink,
+    stop: &AtomicBool,
+    max_restarts: u32,
+) {
+    let mut tick = 0u64;
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(TICK);
+        // Re-check after the nap: during shutdown the workers exit on
+        // purpose, and acting on this tick's stale view would restart
+        // one mid-drain.
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        tick += 1;
+        let probe = tick.is_multiple_of(HEALTH_EVERY_TICKS);
+        let mut workers = workers.lock().expect("supervisor state poisoned");
+        for worker in workers.iter_mut() {
+            if worker.dead {
+                continue;
+            }
+            let exited = match &mut worker.child {
+                Some(child) => matches!(child.try_wait(), Ok(Some(_)) | Err(_)),
+                None => true,
+            };
+            if exited {
+                upstreams.set_addr(worker.spec.shard, None);
+                worker.child = None;
+                worker.health_failures = 0;
+                if worker.restarts < max_restarts {
+                    worker.restarts += 1;
+                    sink.incr("router.worker.restarts");
+                    match spawn_worker(exe, &worker.spec) {
+                        Ok((child, addr)) => {
+                            upstreams.set_addr(worker.spec.shard, Some(addr));
+                            worker.child = Some(child);
+                        }
+                        Err(_) => {
+                            // Count the failed respawn against the
+                            // budget and retry next tick.
+                        }
+                    }
+                } else {
+                    worker.dead = true;
+                }
+                continue;
+            }
+            if probe {
+                let Some(addr) = upstreams.addr(worker.spec.shard) else {
+                    continue;
+                };
+                sink.incr("router.health.checks");
+                let healthy = Connection::new(addr)
+                    .with_read_timeout(Duration::from_secs(1))
+                    .get("/v1/health")
+                    .map(|r| r.status == 200)
+                    .unwrap_or(false);
+                if healthy {
+                    worker.health_failures = 0;
+                } else {
+                    sink.incr("router.health.failures");
+                    worker.health_failures += 1;
+                    if worker.health_failures >= HEALTH_FAILURES_TO_RESTART {
+                        // Presumed wedged: force an exit; the next tick
+                        // notices and restarts it warm.
+                        if let Some(child) = &worker.child {
+                            signal::terminate(child.id());
+                        }
+                        worker.health_failures = 0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    fn sh_spec(shard: usize, script: &str) -> WorkerSpec {
+        WorkerSpec {
+            shard,
+            args: vec!["-c".to_string(), script.to_string()],
+        }
+    }
+
+    #[test]
+    fn parses_the_ready_line_and_terminates_on_shutdown() {
+        let upstreams = Arc::new(Upstreams::new(1, 2, Duration::from_millis(20)));
+        let supervisor = Supervisor::start(
+            PathBuf::from("/bin/sh"),
+            vec![sh_spec(
+                0,
+                "echo 'noise before ready'; \
+                 echo 'ready: listening on http://127.0.0.1:6553 (1 workers)'; \
+                 exec sleep 30",
+            )],
+            Arc::clone(&upstreams),
+            MetricsSink::recording(),
+            0,
+        )
+        .expect("supervisor starts");
+        assert_eq!(
+            upstreams.addr(0),
+            Some("127.0.0.1:6553".parse().unwrap()),
+            "ready line parsed and published"
+        );
+        assert_eq!(supervisor.pids().len(), 1);
+        supervisor.shutdown(); // must not hang on the sleeping child
+        assert_eq!(upstreams.addr(0), None);
+    }
+
+    #[test]
+    fn crashed_worker_is_restarted_a_bounded_number_of_times() {
+        let upstreams = Arc::new(Upstreams::new(1, 2, Duration::from_millis(20)));
+        let sink = MetricsSink::recording();
+        let supervisor = Supervisor::start(
+            PathBuf::from("/bin/sh"),
+            // Announces readiness, then exits immediately: a crash loop.
+            vec![sh_spec(
+                0,
+                "echo 'ready: listening on http://127.0.0.1:6553 (1 workers)'",
+            )],
+            Arc::clone(&upstreams),
+            sink.clone(),
+            2,
+        )
+        .expect("supervisor starts");
+        // Two ticks per crash cycle at most; give it a generous window.
+        for _ in 0..40 {
+            if sink.snapshot().counter("router.worker.restarts") >= 2 && upstreams.addr(0).is_none()
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        let snapshot = sink.snapshot();
+        assert_eq!(
+            snapshot.counter("router.worker.restarts"),
+            2,
+            "restart budget spent exactly"
+        );
+        assert_eq!(upstreams.addr(0), None, "exhausted shard stays down");
+        supervisor.shutdown();
+    }
+
+    #[test]
+    fn boot_failure_is_an_error_not_a_degraded_router() {
+        let upstreams = Arc::new(Upstreams::new(1, 2, Duration::from_millis(20)));
+        let result = Supervisor::start(
+            PathBuf::from("/bin/sh"),
+            vec![sh_spec(0, "echo 'no ready line here'")],
+            upstreams,
+            MetricsSink::recording(),
+            0,
+        );
+        assert!(result.is_err());
+    }
+}

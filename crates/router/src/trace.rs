@@ -1,0 +1,108 @@
+//! Merging per-process Chrome traces into one two-tier timeline.
+//!
+//! Every process in the router topology — the front and each worker —
+//! writes its own Chrome trace file through `exq-obs` (`--trace`), and
+//! trace ids propagate front → worker, so the *events* already share
+//! request identity. What they do not share is a file: `about:tracing`
+//! wants one JSON document. This module splices the per-process
+//! documents together, remapping each worker's `pid` (exq-obs hardcodes
+//! `1`) to `shard + 2` so the viewer shows the front (`pid 1`) above
+//! one labeled row group per worker.
+//!
+//! The splice is textual, by the same line discipline `exq-obs` emits
+//! (one event per `    {"name": ...}` line): parsing and re-rendering
+//! JSON here would risk drifting from the obs crate's exact float
+//! formatting, and byte-stable artifacts are a workspace rule.
+
+/// The `pid` the merged document assigns to a worker's events.
+/// `shard + 2` keeps the front's hardcoded `pid 1` unshadowed.
+pub fn worker_pid(shard: usize) -> usize {
+    shard + 2
+}
+
+/// One merged Chrome trace document: the front's events verbatim, every
+/// worker's events re-homed under [`worker_pid`], `dropped_events`
+/// summed across all inputs.
+pub fn merge_chrome_traces(front: &str, workers: &[(usize, String)]) -> String {
+    let mut events: Vec<String> = event_lines(front).map(str::to_string).collect();
+    let mut dropped = dropped_events(front);
+    for (shard, doc) in workers {
+        let pid = format!("\"pid\": {},", worker_pid(*shard));
+        events.extend(event_lines(doc).map(|line| line.replace("\"pid\": 1,", &pid)));
+        dropped += dropped_events(doc);
+    }
+    let mut out = String::from("{\n  \"traceEvents\": [\n");
+    let last = events.len();
+    for (i, line) in events.iter().enumerate() {
+        out.push_str(line.trim_end_matches(','));
+        if i + 1 != last {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"displayTimeUnit\": \"ns\",\n  \"metadata\": {\"dropped_events\": ");
+    out.push_str(&dropped.to_string());
+    out.push_str("}\n}\n");
+    out
+}
+
+/// The event lines of an exq-obs Chrome trace document, trailing commas
+/// included as emitted.
+fn event_lines(doc: &str) -> impl Iterator<Item = &str> {
+    doc.lines()
+        .filter(|line| line.starts_with("    {\"name\": "))
+}
+
+/// The document's `dropped_events` metadata count (0 if absent).
+fn dropped_events(doc: &str) -> u64 {
+    doc.split("\"dropped_events\": ")
+        .nth(1)
+        .and_then(|rest| {
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(events: &[&str], dropped: u64) -> String {
+        format!(
+            "{{\n  \"traceEvents\": [\n{}\n  ],\n  \"displayTimeUnit\": \"ns\",\n  \"metadata\": {{\"dropped_events\": {dropped}}}\n}}\n",
+            events.join(",\n")
+        )
+    }
+
+    const FRONT_EVENT: &str = r#"    {"name": "router.request", "ph": "B", "ts": 1.000, "pid": 1, "tid": 1, "args": {"trace_id": 7, "span_id": 1}}"#;
+    const WORKER_EVENT: &str = r#"    {"name": "server.request", "ph": "B", "ts": 2.000, "pid": 1, "tid": 1, "args": {"trace_id": 7, "span_id": 1}}"#;
+
+    #[test]
+    fn workers_are_rehomed_under_their_shard_pid() {
+        let merged = merge_chrome_traces(
+            &doc(&[FRONT_EVENT], 0),
+            &[(0, doc(&[WORKER_EVENT], 0)), (1, doc(&[WORKER_EVENT], 0))],
+        );
+        assert!(merged
+            .contains("\"name\": \"router.request\", \"ph\": \"B\", \"ts\": 1.000, \"pid\": 1,"));
+        assert!(merged.contains("\"pid\": 2,"), "shard 0 → pid 2:\n{merged}");
+        assert!(merged.contains("\"pid\": 3,"), "shard 1 → pid 3:\n{merged}");
+        // Exactly three events, comma-separated, valid structure.
+        assert_eq!(merged.matches("\"name\": ").count(), 3);
+        assert!(merged.ends_with("\"metadata\": {\"dropped_events\": 0}\n}\n"));
+    }
+
+    #[test]
+    fn dropped_events_are_summed() {
+        let merged = merge_chrome_traces(&doc(&[FRONT_EVENT], 2), &[(0, doc(&[WORKER_EVENT], 3))]);
+        assert!(merged.contains("\"dropped_events\": 5"), "{merged}");
+    }
+
+    #[test]
+    fn empty_inputs_still_render_a_valid_document() {
+        let merged = merge_chrome_traces(&doc(&[], 0), &[]);
+        assert!(merged.starts_with("{\n  \"traceEvents\": [\n"));
+        assert!(merged.contains("\"dropped_events\": 0"));
+    }
+}

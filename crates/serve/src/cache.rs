@@ -98,35 +98,84 @@ impl ResultCache {
     /// until the shard fits its budget. Entries larger than the whole
     /// shard budget are not cached at all.
     pub fn insert(&self, key: &str, doc: std::sync::Arc<String>) {
+        let Some(evicted) = self.put(key, doc) else {
+            return;
+        };
+        self.sink.incr("server.cache.inserts");
+        self.sink.add("server.cache.evictions", evicted);
+    }
+
+    /// Store an entry, returning the number of evictions it caused, or
+    /// `None` if the entry was too large to cache. Shared by [`insert`]
+    /// (cold path, counts as an insert) and [`load`] (warm start,
+    /// counts as a warm load) so the budget/LRU mechanics stay in one
+    /// place.
+    ///
+    /// [`insert`]: ResultCache::insert
+    /// [`load`]: ResultCache::load
+    fn put(&self, key: &str, doc: std::sync::Arc<String>) -> Option<u64> {
         let cost = key.len() + doc.len() + ENTRY_OVERHEAD;
         if cost > self.per_shard_budget {
-            return;
+            return None;
         }
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut evicted = 0u64;
-        {
-            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
-            if let Some(old) = shard.entries.remove(key) {
-                // Same key re-rendered (e.g. two racing misses): replace.
-                shard.recency.remove(&old.seq);
-                shard.bytes -= key.len() + old.doc.len() + ENTRY_OVERHEAD;
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        if let Some(old) = shard.entries.remove(key) {
+            // Same key re-rendered (e.g. two racing misses): replace.
+            shard.recency.remove(&old.seq);
+            shard.bytes -= key.len() + old.doc.len() + ENTRY_OVERHEAD;
+        }
+        shard.bytes += cost;
+        shard.entries.insert(key.to_string(), Entry { doc, seq });
+        shard.recency.insert(seq, key.to_string());
+        while shard.bytes > self.per_shard_budget {
+            let Some((&oldest, _)) = shard.recency.iter().next() else {
+                break;
+            };
+            let victim = shard.recency.remove(&oldest).expect("recency desync");
+            if let Some(old) = shard.entries.remove(&victim) {
+                shard.bytes -= victim.len() + old.doc.len() + ENTRY_OVERHEAD;
             }
-            shard.bytes += cost;
-            shard.entries.insert(key.to_string(), Entry { doc, seq });
-            shard.recency.insert(seq, key.to_string());
-            while shard.bytes > self.per_shard_budget {
-                let Some((&oldest, _)) = shard.recency.iter().next() else {
-                    break;
-                };
-                let victim = shard.recency.remove(&oldest).expect("recency desync");
-                if let Some(old) = shard.entries.remove(&victim) {
-                    shard.bytes -= victim.len() + old.doc.len() + ENTRY_OVERHEAD;
-                }
-                evicted += 1;
+            evicted += 1;
+        }
+        Some(evicted)
+    }
+
+    /// Bulk-load persisted entries at boot (warm start). Entries flow
+    /// through the same budget/LRU machinery as [`ResultCache::insert`]
+    /// but are booked under `server.cache.warm_loaded` rather than the
+    /// insert/eviction counters, so a warm boot is distinguishable from
+    /// organic traffic in the snapshot. Returns how many entries were
+    /// actually stored.
+    pub fn load(&self, entries: impl IntoIterator<Item = (String, String)>) -> u64 {
+        let mut loaded = 0u64;
+        for (key, doc) in entries {
+            if self.put(&key, std::sync::Arc::new(doc)).is_some() {
+                loaded += 1;
             }
         }
-        self.sink.incr("server.cache.inserts");
-        self.sink.add("server.cache.evictions", evicted);
+        self.sink.add("server.cache.warm_loaded", loaded);
+        loaded
+    }
+
+    /// Every live entry as `(key, document)` pairs in sorted-key order —
+    /// the deterministic order the warm-start snapshot is written in.
+    pub fn entries_sorted(&self) -> Vec<(String, std::sync::Arc<String>)> {
+        let mut all: Vec<(String, std::sync::Arc<String>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .entries
+                    .iter()
+                    .map(|(k, e)| (k.clone(), std::sync::Arc::clone(&e.doc)))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
     }
 
     /// Number of live entries across all shards.
@@ -210,6 +259,40 @@ mod tests {
         let c = cache(0, &sink);
         c.insert("a", Arc::new("doc".to_string()));
         assert!(c.get("a").is_none());
+    }
+
+    #[test]
+    fn warm_load_round_trips_through_entries_sorted() {
+        let sink = MetricsSink::recording();
+        let c = ResultCache::new(1 << 20, 4, sink.clone());
+        c.insert("b", Arc::new("doc-b".to_string()));
+        c.insert("a", Arc::new("doc-a".to_string()));
+        let dumped: Vec<(String, String)> = c
+            .entries_sorted()
+            .into_iter()
+            .map(|(k, d)| (k, d.as_str().to_string()))
+            .collect();
+        assert_eq!(
+            dumped.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b"],
+            "entries_sorted must be key-ordered"
+        );
+        let warm = ResultCache::new(1 << 20, 4, sink.clone());
+        assert_eq!(warm.load(dumped), 2);
+        assert_eq!(warm.get("a").as_deref().map(String::as_str), Some("doc-a"));
+        assert_eq!(warm.get("b").as_deref().map(String::as_str), Some("doc-b"));
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter("server.cache.warm_loaded"), 2);
+        // Warm loads are not inserts: only the two originals count.
+        assert_eq!(snap.counter("server.cache.inserts"), 2);
+    }
+
+    #[test]
+    fn warm_load_respects_the_byte_budget() {
+        let sink = MetricsSink::recording();
+        let c = cache(100, &sink);
+        assert_eq!(c.load(vec![("big".to_string(), "x".repeat(200))]), 0);
+        assert!(c.is_empty());
     }
 
     #[test]

@@ -1,8 +1,21 @@
-//! A tiny blocking HTTP/1.1 client for tests and the loadtest harness.
+//! A tiny blocking HTTP/1.1 client for tests, the CLI, and the
+//! loadtest harness.
 //!
-//! One request per connection, mirroring the server's `Connection:
-//! close` policy. Not a general client — just enough to exercise the
-//! endpoints in-process without external tooling.
+//! Two shapes:
+//!
+//! * the free functions ([`request`], [`get`], [`post_json`]) open one
+//!   connection per request, mirroring the server's default
+//!   `Connection: close` policy — right for one-shot probes;
+//! * [`Connection`] holds a keep-alive stream open across requests
+//!   (batch appends, the router front's upstream pool). It counts its
+//!   TCP connects ([`Connection::connects`]) so tests can assert reuse,
+//!   transparently reconnects when a reused stream turns out to be
+//!   stale (the server idle-closes at its request timeout), and offers
+//!   [`Connection::post_json_retry`] — bounded retry honoring the
+//!   server's `503` + `Retry-After` backpressure.
+//!
+//! Not a general client — just enough to exercise the endpoints
+//! without external tooling.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -76,6 +89,234 @@ pub fn post_json(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<Cl
     request(addr, "POST", path, Some(body.as_bytes()))
 }
 
+/// A persistent keep-alive connection to one server.
+///
+/// Requests carry `Connection: keep-alive`, so the server leaves the
+/// stream open and the next request skips the TCP handshake (and, on
+/// the server side, the accept queue). Responses are framed by
+/// `content-length`; a response announcing `connection: close` drops
+/// the stream so the next request reconnects.
+///
+/// Staleness: a server closes idle keep-alive connections at its
+/// request timeout, which can race a request being written. When a
+/// request on a *reused* stream fails with **zero response bytes**
+/// received, the server cannot have started answering it — so the
+/// client reconnects and resends once, transparently. Failures on a
+/// fresh connection, or after response bytes arrived, propagate.
+#[derive(Debug)]
+pub struct Connection {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    connects: u64,
+    read_timeout: Duration,
+}
+
+impl Connection {
+    /// A connection handle to `addr`; nothing is dialed until the first
+    /// request.
+    pub fn new(addr: SocketAddr) -> Connection {
+        Connection {
+            addr,
+            stream: None,
+            connects: 0,
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+
+    /// Override the per-response read timeout (default 30s).
+    pub fn with_read_timeout(mut self, timeout: Duration) -> Connection {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// How many TCP connections this handle has opened — 1 for any
+    /// number of requests against a healthy keep-alive server.
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Send one request over the held stream (dialing or re-dialing as
+    /// needed) and read the full response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
+        self.request_with(method, path, body, &[])
+    }
+
+    /// [`Connection::request`] with extra request headers (name, value).
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        let body = body.unwrap_or(&[]);
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: exq\r\nconnection: keep-alive\r\ncontent-length: {}\r\n",
+            body.len()
+        );
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        let reused = self.stream.is_some();
+        match self.try_once(head.as_bytes(), body) {
+            Ok(response) => Ok(response),
+            Err((error, received)) => {
+                self.stream = None;
+                if reused && received == 0 {
+                    // Stale keep-alive stream: reconnect and resend.
+                    self.try_once(head.as_bytes(), body).map_err(|(e, _)| e)
+                } else {
+                    Err(error)
+                }
+            }
+        }
+    }
+
+    /// `GET` over the held stream.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// `POST` a JSON body over the held stream.
+    pub fn post_json(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body.as_bytes()))
+    }
+
+    /// `POST` with bounded retry on `503`: sleeps for the server's
+    /// `Retry-After` (seconds, capped at 5s; exponential backoff from
+    /// 50ms when absent) and resends, up to `max_retries` retries. The
+    /// final response is returned either way — callers inspect
+    /// `status` to tell recovery from exhaustion. Non-503 responses
+    /// and transport errors end the loop immediately.
+    pub fn post_json_retry(
+        &mut self,
+        path: &str,
+        body: &str,
+        max_retries: u32,
+    ) -> std::io::Result<ClientResponse> {
+        let mut backoff = Duration::from_millis(50);
+        let mut attempt = 0u32;
+        loop {
+            let response = self.post_json(path, body)?;
+            if response.status != 503 || attempt >= max_retries {
+                return Ok(response);
+            }
+            let wait = response
+                .header("retry-after")
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(Duration::from_secs)
+                .unwrap_or(backoff)
+                .min(Duration::from_secs(5));
+            std::thread::sleep(wait);
+            backoff = (backoff * 2).min(Duration::from_secs(1));
+            attempt += 1;
+        }
+    }
+
+    /// One send/receive over the current stream (dialing if absent).
+    /// Errors carry how many response bytes had arrived, so the caller
+    /// can tell a stale idle-closed stream (zero) from a mid-response
+    /// failure.
+    fn try_once(
+        &mut self,
+        head: &[u8],
+        body: &[u8],
+    ) -> Result<ClientResponse, (std::io::Error, usize)> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5))
+                .map_err(|e| (e, 0))?;
+            stream
+                .set_read_timeout(Some(self.read_timeout))
+                .map_err(|e| (e, 0))?;
+            stream
+                .set_write_timeout(Some(Duration::from_secs(5)))
+                .map_err(|e| (e, 0))?;
+            self.connects += 1;
+            self.stream = Some(stream);
+        }
+        let stream = self.stream.as_mut().expect("stream just ensured");
+        // As in `request`: a shedding server may answer and close before
+        // reading everything we wrote, so don't let the write error mask
+        // a response that did arrive.
+        let sent = stream
+            .write_all(head)
+            .and_then(|()| stream.write_all(body))
+            .and_then(|()| stream.flush());
+        let mut raw = Vec::new();
+        let received = read_framed(stream, &mut raw);
+        if let Err(error) = received {
+            return Err((error, raw.len()));
+        }
+        if raw.is_empty() {
+            if let Err(error) = sent {
+                return Err((error, 0));
+            }
+            return Err((
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "connection closed"),
+                0,
+            ));
+        }
+        sent.map_err(|e| (e, raw.len()))?;
+        let response = parse_response(&raw).ok_or_else(|| {
+            (
+                std::io::Error::new(std::io::ErrorKind::InvalidData, "bad response"),
+                raw.len(),
+            )
+        })?;
+        let keep = response
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"));
+        if !keep {
+            self.stream = None;
+        }
+        Ok(response)
+    }
+}
+
+/// Read one `content-length`-framed response into `raw`. Responses
+/// without a `content-length` header are read to EOF (close-mode
+/// framing).
+fn read_framed(stream: &mut TcpStream, raw: &mut Vec<u8>) -> std::io::Result<()> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(head_end) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head_end = head_end + 4;
+            match content_length(&raw[..head_end]) {
+                Some(len) if raw.len() >= head_end + len => {
+                    raw.truncate(head_end + len);
+                    return Ok(());
+                }
+                Some(_) => {}
+                None => {} // close-framed: run to EOF below
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn content_length(head: &[u8]) -> Option<usize> {
+    let head = std::str::from_utf8(head).ok()?;
+    head.split("\r\n").find_map(|line| {
+        let (name, value) = line.split_once(':')?;
+        name.trim()
+            .eq_ignore_ascii_case("content-length")
+            .then(|| value.trim().parse().ok())?
+    })
+}
+
 fn parse_response(raw: &[u8]) -> Option<ClientResponse> {
     let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
     let head = std::str::from_utf8(&raw[..head_end]).ok()?;
@@ -93,4 +334,131 @@ fn parse_response(raw: &[u8]) -> Option<ClientResponse> {
         headers,
         body: raw[head_end..].to_vec(),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{parse_request, Limits, Response};
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A minimal keep-alive-capable stub server. Accepts connections
+    /// sequentially, answers each request with `handler(request_index)`,
+    /// and closes after a `503` (mirroring the real server's
+    /// load-shedding path). With `lie_and_close`, it *claims*
+    /// `keep-alive` but closes the stream after every response —
+    /// simulating the server idle-closing a connection between
+    /// requests, the race [`Connection`] must absorb.
+    fn stub(
+        lie_and_close: bool,
+        handler: impl Fn(usize) -> Response + Send + 'static,
+    ) -> (SocketAddr, Arc<AtomicUsize>, Arc<AtomicUsize>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let conns = Arc::new(AtomicUsize::new(0));
+        let served = Arc::new(AtomicUsize::new(0));
+        let (conns_in, served_in) = (Arc::clone(&conns), Arc::clone(&served));
+        std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                conns_in.fetch_add(1, Ordering::SeqCst);
+                let mut buf = Vec::new();
+                let mut chunk = [0u8; 4096];
+                loop {
+                    let request = loop {
+                        match parse_request(&buf, &Limits::default()) {
+                            Ok(Some((request, consumed))) => {
+                                buf.drain(..consumed);
+                                break Some(request);
+                            }
+                            Ok(None) => {}
+                            Err(_) => break None,
+                        }
+                        match stream.read(&mut chunk) {
+                            Ok(0) | Err(_) => break None,
+                            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                        }
+                    };
+                    let Some(request) = request else { break };
+                    let asked = request
+                        .header("connection")
+                        .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"));
+                    let response = handler(served_in.fetch_add(1, Ordering::SeqCst));
+                    let keep = asked && response.status != 503 && !lie_and_close;
+                    let claim = asked && response.status != 503;
+                    if stream.write_all(&response.to_bytes_with(claim)).is_err() {
+                        break;
+                    }
+                    if !keep {
+                        break;
+                    }
+                }
+            }
+        });
+        (addr, conns, served)
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_connection_across_requests() {
+        let (addr, conns, served) = stub(false, |_| Response::json(200, "{\"ok\": true}\n"));
+        let mut conn = Connection::new(addr);
+        for _ in 0..3 {
+            let response = conn.post_json("/v1/explain", "{}").unwrap();
+            assert_eq!(response.status, 200);
+            assert_eq!(response.text(), "{\"ok\": true}\n");
+        }
+        assert_eq!(conn.connects(), 1, "client must reuse its stream");
+        assert_eq!(conns.load(Ordering::SeqCst), 1, "server saw one connection");
+        assert_eq!(served.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn retry_honors_retry_after_and_recovers() {
+        let (addr, _conns, served) = stub(false, |i| {
+            if i == 0 {
+                Response::error(503, "busy").with_header("retry-after", "0")
+            } else {
+                Response::json(200, "{\"epoch\": 1}\n")
+            }
+        });
+        let mut conn = Connection::new(addr);
+        let response = conn
+            .post_json_retry("/v1/datasets/d/rows", "{}", 3)
+            .unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(served.load(Ordering::SeqCst), 2, "one 503, one success");
+    }
+
+    #[test]
+    fn retry_is_bounded_and_surfaces_the_final_503() {
+        let (addr, _conns, served) = stub(false, |_| {
+            Response::error(503, "busy").with_header("retry-after", "0")
+        });
+        let mut conn = Connection::new(addr);
+        let response = conn
+            .post_json_retry("/v1/datasets/d/rows", "{}", 2)
+            .unwrap();
+        assert_eq!(response.status, 503);
+        assert_eq!(
+            served.load(Ordering::SeqCst),
+            3,
+            "initial attempt plus exactly max_retries retries"
+        );
+    }
+
+    #[test]
+    fn stale_keep_alive_stream_is_transparently_redialed() {
+        let (addr, conns, served) = stub(true, |_| Response::json(200, "{}"));
+        let mut conn = Connection::new(addr);
+        assert_eq!(conn.get("/healthz").unwrap().status, 200);
+        // The stub closed the stream after responding; the next request
+        // hits EOF with zero response bytes and must resend on a fresh
+        // connection rather than erroring.
+        assert_eq!(conn.get("/healthz").unwrap().status, 200);
+        assert_eq!(conn.connects(), 2);
+        assert_eq!(conns.load(Ordering::SeqCst), 2);
+        assert_eq!(served.load(Ordering::SeqCst), 2);
+    }
 }

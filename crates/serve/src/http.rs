@@ -192,9 +192,11 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
 }
 
-/// A response ready for serialization. Always `Connection: close`: the
-/// server handles one request per connection, which keeps the worker
-/// pool fair under load and the parser state trivial.
+/// A response ready for serialization. [`Response::to_bytes`] emits
+/// `Connection: close` (the historical one-request-per-connection
+/// policy); [`Response::to_bytes_with`] can emit `keep-alive` instead,
+/// which the server uses when the *request* explicitly asked for
+/// connection reuse (the router front and the batch CLI client do).
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
@@ -247,8 +249,15 @@ impl Response {
         self
     }
 
-    /// Serialize status line + headers + body.
+    /// Serialize status line + headers + body with `Connection: close`.
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_with(false)
+    }
+
+    /// Serialize with an explicit connection policy: `keep_alive` emits
+    /// `connection: keep-alive` so the peer knows the stream stays open
+    /// for the next request; otherwise `connection: close`.
+    pub fn to_bytes_with(&self, keep_alive: bool) -> Vec<u8> {
         let reason = match self.status {
             200 => "OK",
             400 => "Bad Request",
@@ -263,8 +272,9 @@ impl Response {
             503 => "Service Unavailable",
             _ => "Response",
         };
+        let connection = if keep_alive { "keep-alive" } else { "close" };
         let mut out = format!(
-            "HTTP/1.1 {} {reason}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            "HTTP/1.1 {} {reason}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {connection}\r\n",
             self.status,
             self.content_type,
             self.body.len()
@@ -361,5 +371,17 @@ mod tests {
         assert!(String::from_utf8(busy.to_bytes())
             .unwrap()
             .contains("retry-after: 1\r\n"));
+    }
+
+    #[test]
+    fn connection_policy_is_explicit() {
+        let response = Response::json(200, "{}");
+        let close = String::from_utf8(response.to_bytes()).unwrap();
+        assert!(close.contains("connection: close\r\n"));
+        let close = String::from_utf8(response.to_bytes_with(false)).unwrap();
+        assert!(close.contains("connection: close\r\n"));
+        let keep = String::from_utf8(response.to_bytes_with(true)).unwrap();
+        assert!(keep.contains("connection: keep-alive\r\n"));
+        assert!(!keep.contains("connection: close\r\n"));
     }
 }

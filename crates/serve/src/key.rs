@@ -118,6 +118,16 @@ pub fn canon_f64(v: f64) -> String {
     format!("f64:{canon:016x}")
 }
 
+/// The `;dataset=…;epoch=…;` fragment every key for `dataset` at
+/// `epoch` contains (and, because delimiters are escaped, no other
+/// key can). The warm-start loader matches persisted entries against
+/// the booted catalog with it: an entry whose dataset/epoch fragment
+/// matches no current dataset was computed against data this process
+/// does not hold and must be dropped, never served.
+pub(crate) fn dataset_epoch_fragment(dataset: &str, epoch: u64) -> String {
+    format!(";dataset={};epoch={};", escape(dataset), epoch)
+}
+
 fn escape(s: &str) -> String {
     // Keep the key unambiguous: escape the delimiters the encoding uses.
     s.replace('\\', "\\\\")

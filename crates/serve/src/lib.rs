@@ -17,9 +17,13 @@
 //! * a std-only HTTP/1.1 server ([`server`]) — hand-rolled parser
 //!   ([`http`]), thread-per-connection worker pool, bounded accept
 //!   queue with `503` + `Retry-After` backpressure, per-request read
-//!   timeouts, and cooperative SIGINT/SIGTERM shutdown ([`signal`])
-//!   that drains in-flight work and hands back a final metrics
-//!   snapshot.
+//!   timeouts, opt-in keep-alive (a client sending `Connection:
+//!   keep-alive` — the router front, the CLI batch client — keeps its
+//!   stream open across requests), and cooperative SIGINT/SIGTERM
+//!   shutdown ([`signal`]) that drains in-flight work and hands back a
+//!   final metrics snapshot. With [`ServerConfig::cache_persist`] set,
+//!   the cache is dumped at shutdown and reloaded (epoch-filtered) at
+//!   boot ([`persist`]) so restarts start warm.
 //!
 //! Endpoints (JSON unless noted, same document shapes as
 //! `exq --format json`; every response carries an `X-Exq-Trace-Id`
@@ -35,6 +39,7 @@
 //! | `GET /metrics`     | Prometheus text exposition 0.0.4 (scrape target) |
 //! | `GET /v1/debug/requests` | flight recorder: last N request summaries |
 //! | `GET /healthz`     | liveness probe |
+//! | `GET /v1/health`   | worker identity: shard id, dataset epochs, cache occupancy |
 //!
 //! Everything stays zero-new-dependency (vendored-stub policy from
 //! PR 1): no async runtime, no HTTP crate, no JSON crate, no libc.
@@ -48,6 +53,8 @@ pub mod flight;
 pub mod http;
 pub mod json;
 pub mod key;
+pub mod persist;
+pub mod pump;
 pub mod server;
 pub mod signal;
 

@@ -1,0 +1,180 @@
+//! Warm-start snapshots of the [`ResultCache`](crate::cache::ResultCache).
+//!
+//! A worker that restarts (rolling deploy, crash recovery under the
+//! router supervisor) would otherwise boot with a cold cache and
+//! stampede the expensive explain path. Instead the server dumps its
+//! cache to disk at shutdown and reloads it at boot.
+//!
+//! Snapshot format (length-prefixed so keys and bodies can contain
+//! anything, including newlines):
+//!
+//! ```text
+//! exq-cache v1\n
+//! <key-len> <doc-len>\n<key bytes><doc bytes>
+//! <key-len> <doc-len>\n<key bytes><doc bytes>
+//! ...
+//! ```
+//!
+//! Records are written in sorted-key order, so the snapshot bytes are a
+//! deterministic function of the cache contents. Keys are the canonical
+//! strings from [`crate::key`] and therefore carry the dataset epoch
+//! they were computed at; the *loader* does not interpret them — the
+//! server filters entries against its booted catalog epochs before
+//! calling [`ResultCache::load`](crate::cache::ResultCache::load), so a
+//! snapshot from a previous life can never resurrect answers for data
+//! the process no longer holds.
+//!
+//! Corruption policy: a snapshot is advisory. Any malformed byte makes
+//! [`read_entries`] return an error; the caller logs and boots cold
+//! rather than guessing at partial contents.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic first line of a snapshot file.
+pub const MAGIC: &str = "exq-cache v1";
+
+/// Largest single record (key + doc) [`read_entries`] accepts, a
+/// corruption guard so a damaged length prefix cannot ask for a
+/// multi-gigabyte allocation.
+pub const MAX_RECORD_BYTES: usize = 64 * 1024 * 1024;
+
+/// Write `entries` as a snapshot at `path`, atomically: the bytes go to
+/// `<path>.tmp` first and are renamed into place, so a crash mid-dump
+/// leaves either the old snapshot or none — never a torn file. Returns
+/// the number of records written.
+pub fn write_entries<K, D>(path: &Path, entries: &[(K, D)]) -> io::Result<u64>
+where
+    K: AsRef<str>,
+    D: AsRef<str>,
+{
+    let mut bytes = Vec::with_capacity(64 + entries.len() * 256);
+    bytes.extend_from_slice(MAGIC.as_bytes());
+    bytes.push(b'\n');
+    for (key, doc) in entries {
+        let (key, doc) = (key.as_ref(), doc.as_ref());
+        bytes.extend_from_slice(format!("{} {}\n", key.len(), doc.len()).as_bytes());
+        bytes.extend_from_slice(key.as_bytes());
+        bytes.extend_from_slice(doc.as_bytes());
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(entries.len() as u64)
+}
+
+/// Read every record of the snapshot at `path`. Strict: a bad magic
+/// line, malformed length prefix, truncated record, or non-UTF-8
+/// payload is an `InvalidData` error — the caller treats the whole
+/// snapshot as unusable and boots cold.
+pub fn read_entries(path: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let bad = |why: &str| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {why}"));
+    let header_len = MAGIC.len() + 1;
+    if bytes.len() < header_len || &bytes[..MAGIC.len()] != MAGIC.as_bytes() {
+        return Err(bad("missing `exq-cache v1` magic"));
+    }
+    if bytes[MAGIC.len()] != b'\n' {
+        return Err(bad("malformed magic line"));
+    }
+    let mut at = header_len;
+    let mut entries = Vec::new();
+    while at < bytes.len() {
+        let line_end = bytes[at..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| bad("truncated length prefix"))?
+            + at;
+        let prefix = std::str::from_utf8(&bytes[at..line_end])
+            .map_err(|_| bad("non-UTF-8 length prefix"))?;
+        let (key_len, doc_len) = prefix
+            .split_once(' ')
+            .and_then(|(k, d)| Some((k.parse::<usize>().ok()?, d.parse::<usize>().ok()?)))
+            .ok_or_else(|| bad("malformed length prefix"))?;
+        if key_len.saturating_add(doc_len) > MAX_RECORD_BYTES {
+            return Err(bad("record exceeds the size guard"));
+        }
+        let key_start = line_end + 1;
+        let doc_start = key_start
+            .checked_add(key_len)
+            .ok_or_else(|| bad("length overflow"))?;
+        let end = doc_start
+            .checked_add(doc_len)
+            .ok_or_else(|| bad("length overflow"))?;
+        if end > bytes.len() {
+            return Err(bad("truncated record"));
+        }
+        let key = std::str::from_utf8(&bytes[key_start..doc_start])
+            .map_err(|_| bad("non-UTF-8 key"))?
+            .to_string();
+        let doc = std::str::from_utf8(&bytes[doc_start..end])
+            .map_err(|_| bad("non-UTF-8 document"))?
+            .to_string();
+        entries.push((key, doc));
+        at = end;
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("exq-persist-test-{}-{name}", process_id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("cache.snapshot")
+    }
+
+    fn process_id() -> u32 {
+        std::process::id()
+    }
+
+    #[test]
+    fn round_trips_entries_with_delimiters_and_newlines() {
+        let path = temp_path("roundtrip");
+        let entries = vec![
+            (
+                "k;with\\delims".to_string(),
+                "{\n \"a\": 1\n}\n".to_string(),
+            ),
+            ("plain".to_string(), String::new()),
+        ];
+        assert_eq!(write_entries(&path, &entries).unwrap(), 2);
+        assert_eq!(read_entries(&path).unwrap(), entries);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let path = temp_path("empty");
+        let entries: Vec<(String, String)> = Vec::new();
+        assert_eq!(write_entries(&path, &entries).unwrap(), 0);
+        assert!(read_entries(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = temp_path("badmagic");
+        std::fs::write(&path, "not a snapshot\n").unwrap();
+        assert!(read_entries(&path).is_err());
+    }
+
+    #[test]
+    fn truncated_record_is_rejected() {
+        let path = temp_path("truncated");
+        std::fs::write(&path, format!("{MAGIC}\n5 100\nabcde short")).unwrap();
+        assert!(read_entries(&path).is_err());
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected() {
+        let path = temp_path("absurd");
+        std::fs::write(&path, format!("{MAGIC}\n99999999999 1\nx")).unwrap();
+        assert!(read_entries(&path).is_err());
+    }
+}

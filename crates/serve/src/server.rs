@@ -1,8 +1,12 @@
 //! The HTTP server: accept loop, bounded worker pool, request routing.
 //!
 //! Threading model: one nonblocking accept thread pushes connections
-//! into a bounded queue; `threads` workers pop and serve **one request
-//! per connection**. When the queue is full the accept thread answers
+//! into a bounded queue; `threads` workers pop and serve a connection
+//! to completion — one request by default, or a whole keep-alive
+//! session when the client asks for one (so a persistent connection
+//! pins a worker thread: peers that hold many open connections, like
+//! the router front, must cap them at the worker's thread count).
+//! When the queue is full the accept thread answers
 //! `503` + `Retry-After` immediately instead of letting latency grow
 //! unbounded (load-shedding backpressure). Shutdown is cooperative: a
 //! flag stops the accept loop, workers drain the queue and finish
@@ -17,19 +21,19 @@
 use crate::cache::ResultCache;
 use crate::catalog::{Catalog, Dataset};
 use crate::flight::FlightRecorder;
-use crate::http::{self, Limits, ParseError, Request, Response};
+use crate::http::{Limits, Request, Response};
 use crate::json::Json;
 use crate::key::{cache_key, CanonicalRequest};
+use crate::pump;
 use exq_core::jsonout;
 use exq_core::prelude::*;
 use exq_core::qparse;
 use exq_core::report::ReportConfig;
 use exq_obs::{MetricsSink, Snapshot};
-use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Every `server.*` counter the server records, in one place so they
@@ -48,6 +52,7 @@ pub const SERVER_COUNTERS: &[&str] = &[
     "server.explain.runs",
     "server.report.runs",
     "server.append.runs",
+    "server.cache.warm_loaded",
 ];
 
 /// Ingestion counters recorded on the append path. `rows_appended` and
@@ -85,6 +90,15 @@ pub struct ServerConfig {
     /// Flight-recorder depth: how many recent request summaries
     /// `GET /v1/debug/requests` retains.
     pub flight_capacity: usize,
+    /// Which router shard this process serves, if any. Surfaced by
+    /// `GET /v1/health` so the front (and CI) can verify the topology.
+    pub shard_id: Option<u64>,
+    /// Warm-start snapshot path. When set, the server reloads the
+    /// [`ResultCache`] from this file at boot (dropping entries whose
+    /// dataset/epoch no longer matches the catalog) and dumps the cache
+    /// back on shutdown, so a rolling restart does not stampede the
+    /// cold explain path.
+    pub cache_persist: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +110,8 @@ impl Default for ServerConfig {
             request_timeout: Duration::from_secs(10),
             limits: Limits::default(),
             flight_capacity: 128,
+            shard_id: None,
+            cache_persist: None,
         }
     }
 }
@@ -105,9 +121,7 @@ struct Inner {
     cache: ResultCache,
     sink: MetricsSink,
     config: ServerConfig,
-    shutdown: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
-    queue_cv: Condvar,
+    shutdown: Arc<AtomicBool>,
     flight: FlightRecorder,
     /// Monotone per-request trace-id allocator (first request gets 1).
     next_trace: AtomicU64,
@@ -119,7 +133,7 @@ struct Inner {
 pub struct Handle {
     addr: SocketAddr,
     inner: Arc<Inner>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    pump: pump::Pump,
 }
 
 impl Handle {
@@ -141,15 +155,51 @@ impl Handle {
     }
 
     /// Stop accepting, drain queued and in-flight requests, join all
-    /// threads, and return the final metrics snapshot.
+    /// threads, dump the warm-start snapshot (if configured), and
+    /// return the final metrics snapshot.
     pub fn shutdown(self) -> Snapshot {
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        self.inner.queue_cv.notify_all();
-        for t in self.threads {
-            let _ = t.join();
+        self.pump.join();
+        if let Some(path) = &self.inner.config.cache_persist {
+            let dump = self.inner.cache.entries_sorted();
+            let entries: Vec<(&str, &str)> =
+                dump.iter().map(|(k, d)| (k.as_str(), d.as_str())).collect();
+            // Best-effort: a failed dump costs the next boot its warm
+            // cache, nothing more.
+            let _ = crate::persist::write_entries(path, &entries);
         }
         self.inner.sink.snapshot()
     }
+}
+
+/// Reload the warm-start snapshot, if configured and present. Entries
+/// are filtered against the *booted* catalog: a persisted key whose
+/// `dataset`/`epoch` fragment matches no current dataset was computed
+/// against state this process does not hold (the epoch counter restarts
+/// at the loaded data), so serving it could be a wrong answer — those
+/// entries are dropped. Unreadable or corrupt snapshots mean a cold
+/// boot, never an error.
+fn warm_start(inner: &Inner) {
+    let Some(path) = &inner.config.cache_persist else {
+        return;
+    };
+    if !path.exists() {
+        return;
+    }
+    let Ok(entries) = crate::persist::read_entries(path) else {
+        return;
+    };
+    let fragments: Vec<String> = inner
+        .catalog
+        .names()
+        .iter()
+        .filter_map(|name| inner.catalog.get(name))
+        .map(|ds| crate::key::dataset_epoch_fragment(&ds.name, ds.epoch()))
+        .collect();
+    let live = entries
+        .into_iter()
+        .filter(|(key, _)| fragments.iter().any(|f| key.contains(f.as_str())));
+    inner.cache.load(live);
 }
 
 /// Bind `addr` and start the accept and worker threads. All `server.*`
@@ -172,142 +222,109 @@ pub fn start_on(
     for counter in SERVER_COUNTERS.iter().chain(INGEST_COUNTERS) {
         sink.add(counter, 0);
     }
+    let shutdown = Arc::new(AtomicBool::new(false));
     let inner = Arc::new(Inner {
         cache: ResultCache::new(config.cache_bytes, config.threads.max(1) * 2, sink.clone()),
         catalog,
         sink,
         flight: FlightRecorder::new(config.flight_capacity),
         next_trace: AtomicU64::new(0),
+        shutdown: Arc::clone(&shutdown),
         config: config.clone(),
-        shutdown: AtomicBool::new(false),
-        queue: Mutex::new(VecDeque::new()),
-        queue_cv: Condvar::new(),
     });
-    let mut threads = Vec::with_capacity(config.threads + 1);
-    {
-        let inner = Arc::clone(&inner);
-        threads.push(
-            std::thread::Builder::new()
-                .name("exq-serve-accept".into())
-                .spawn(move || accept_loop(&listener, &inner))?,
-        );
-    }
-    for i in 0..config.threads.max(1) {
-        let inner = Arc::clone(&inner);
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("exq-serve-worker-{i}"))
-                .spawn(move || worker_loop(&inner))?,
-        );
-    }
+    warm_start(&inner);
+    let options = pump::PumpOptions {
+        threads: config.threads,
+        queue_depth: config.queue_depth,
+        name: "exq-serve",
+    };
+    let reject_inner = Arc::clone(&inner);
+    let serve_inner = Arc::clone(&inner);
+    let pump = pump::start(
+        listener,
+        &options,
+        shutdown,
+        move |stream| {
+            reject_inner.sink.incr("server.rejected_busy");
+            pump::reject(stream, &pump::busy_response());
+        },
+        // Keep-alive lifecycle: a client that sends
+        // `Connection: keep-alive` (the router front, the CLI batch
+        // client) gets the stream kept open and its next request served
+        // by the *same* worker thread — which is why the front caps
+        // per-worker connections at the worker's thread count.
+        move |stream| {
+            let inner = Arc::clone(&serve_inner);
+            pump::serve_connection(stream, move |stream, carry| {
+                serve_one(&inner, stream, carry)
+            })
+        },
+    )?;
     Ok(Handle {
         addr: local,
         inner,
-        threads,
+        pump,
     })
-}
-
-fn accept_loop(listener: &TcpListener, inner: &Inner) {
-    // Adaptive poll: the listener is nonblocking (so shutdown can
-    // interrupt the loop), which makes the nap below a floor on request
-    // latency. Poll hot for ~50ms after the last connection so a busy
-    // server answers in microseconds, then back off to 5ms when idle.
-    let mut idle_polls = 0u32;
-    while !inner.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                idle_polls = 0;
-                let mut queue = inner.queue.lock().expect("conn queue poisoned");
-                if queue.len() >= inner.config.queue_depth {
-                    drop(queue);
-                    inner.sink.incr("server.rejected_busy");
-                    reject_busy(stream);
-                } else {
-                    queue.push_back(stream);
-                    drop(queue);
-                    inner.queue_cv.notify_one();
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                idle_polls = idle_polls.saturating_add(1);
-                std::thread::sleep(if idle_polls < 256 {
-                    Duration::from_micros(200)
-                } else {
-                    Duration::from_millis(5)
-                });
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-}
-
-fn reject_busy(mut stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(20)));
-    let response =
-        Response::error(503, "server busy; retry shortly").with_header("retry-after", "1");
-    let _ = stream.write_all(&response.to_bytes());
-    let _ = stream.shutdown(std::net::Shutdown::Write);
-    // Drain whatever request bytes are in flight before closing, so the
-    // close is a FIN rather than an RST that races the 503 off the wire.
-    let mut sink = [0u8; 512];
-    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
-}
-
-fn worker_loop(inner: &Inner) {
-    loop {
-        let stream = {
-            let mut queue = inner.queue.lock().expect("conn queue poisoned");
-            loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
-                }
-                if inner.shutdown.load(Ordering::SeqCst) {
-                    break None;
-                }
-                let (guard, _) = inner
-                    .queue_cv
-                    .wait_timeout(queue, Duration::from_millis(50))
-                    .expect("conn queue poisoned");
-                queue = guard;
-            }
-        };
-        match stream {
-            Some(stream) => serve_connection(inner, stream),
-            None => return,
-        }
-    }
 }
 
 /// Read one request (within the timeout budget), route it, write the
 /// response (stamped with its `X-Exq-Trace-Id`), record latency into
-/// the per-endpoint histogram and the flight recorder, close.
-fn serve_connection(inner: &Inner, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+/// the per-endpoint histogram and the flight recorder. Returns whether
+/// the connection should be kept open for another request.
+// exq-lint: allow(L006): shares only the read-one/write-one shape with the front's serve_one; the common machinery lives in pump, the rest is worker-only routing
+fn serve_one(inner: &Inner, stream: &mut TcpStream, carry: &mut Vec<u8>) -> bool {
     // exq-lint: allow(L002): HTTP timeout/latency bookkeeping, never reaches explanation results
     let started = Instant::now();
     let deadline = started + inner.config.request_timeout;
-    let (request, response, meta) = match read_request(&mut stream, &inner.config.limits, deadline)
-    {
+    let read = pump::read_request(
+        stream,
+        &inner.config.limits,
+        deadline,
+        carry,
+        &inner.shutdown,
+    );
+    let (request, response, meta, trace_id) = match read {
         Ok(Some(request)) => {
-            let _span = inner.sink.span("server.request");
-            let (response, meta) = route(inner, &request);
-            (Some(request), response, meta)
+            // Trace ids are normally allocated here, but a front tier
+            // that already assigned one passes it down in
+            // `x-exq-trace-id` so one trace identifies the request
+            // across both tiers — stamped onto trace events too, so a
+            // merged Chrome trace correlates the front's span with the
+            // worker's.
+            let trace_id = request
+                .header("x-exq-trace-id")
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .filter(|&id| id > 0)
+                .unwrap_or_else(|| inner.next_trace.fetch_add(1, Ordering::Relaxed) + 1);
+            inner.sink.set_trace(trace_id);
+            let (response, meta) = {
+                let _span = inner.sink.span("server.request");
+                route(inner, &request)
+            };
+            (Some(request), response, meta, trace_id)
         }
-        Ok(None) => return, // peer closed without sending anything
-        Err(response) => (None, response, RouteMeta::other()),
+        Ok(None) => return false, // peer closed / idle timeout: no request started
+        Err(response) => (
+            None,
+            response,
+            RouteMeta::other(),
+            inner.next_trace.fetch_add(1, Ordering::Relaxed) + 1,
+        ),
     };
-    let trace_id = inner.next_trace.fetch_add(1, Ordering::Relaxed) + 1;
+    let keep_alive = request.as_ref().is_some_and(|r| {
+        r.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+    }) && response.status != 408
+        && !inner.shutdown.load(Ordering::SeqCst);
     let response = response.with_header("x-exq-trace-id", &trace_id.to_string());
     match response.status {
         200 => inner.sink.incr("server.responses.ok"),
         400..=499 => inner.sink.incr("server.responses.client_error"),
         _ => inner.sink.incr("server.responses.server_error"),
     }
-    let _ = stream.write_all(&response.to_bytes());
-    let _ = stream.flush();
-    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let written = stream
+        .write_all(&response.to_bytes_with(keep_alive))
+        .and_then(|()| stream.flush());
     let latency = started.elapsed();
     inner
         .sink
@@ -324,48 +341,7 @@ fn serve_connection(inner: &Inner, mut stream: TcpStream) {
         u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
         meta.cache,
     );
-}
-
-fn read_request(
-    stream: &mut TcpStream,
-    limits: &Limits,
-    deadline: Instant,
-) -> Result<Option<Request>, Response> {
-    let mut buf = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    loop {
-        match http::parse_request(&buf, limits) {
-            Ok(Some((request, _consumed))) => return Ok(Some(request)),
-            Ok(None) => {}
-            Err(e) => return Err(parse_error_response(&e)),
-        }
-        // exq-lint: allow(L002): read-deadline check, never reaches explanation results
-        if Instant::now() >= deadline {
-            return Err(Response::error(408, "timed out reading request"));
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                return if buf.is_empty() {
-                    Ok(None)
-                } else {
-                    Err(Response::error(400, "connection closed mid-request"))
-                };
-            }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
-                ) => {}
-            Err(_) => return Err(Response::error(400, "read error")),
-        }
-    }
-}
-
-fn parse_error_response(e: &ParseError) -> Response {
-    Response::error(e.status(), &e.to_string())
+    keep_alive && written.is_ok()
 }
 
 /// What a routed request was, for latency attribution: which endpoint
@@ -428,6 +404,10 @@ fn route(inner: &Inner, request: &Request) -> (Response, RouteMeta) {
             Response::json(200, "{\n  \"status\": \"ok\"\n}\n"),
             RouteMeta::uncached("healthz"),
         ),
+        ("GET", "/v1/health") => (
+            Response::json(200, health_doc(inner)),
+            RouteMeta::uncached("health"),
+        ),
         ("GET", "/v1/datasets") => {
             let mut doc = inner.catalog.datasets_doc();
             doc.push('\n');
@@ -453,14 +433,49 @@ fn route(inner: &Inner, request: &Request) -> (Response, RouteMeta) {
         ("POST", "/v1/report") => handle_question(inner, request, Endpoint::Report),
         (
             _,
-            "/healthz" | "/v1/datasets" | "/metrics" | "/v1/metrics" | "/v1/debug/requests"
-            | "/v1/explain" | "/v1/report",
+            "/healthz" | "/v1/health" | "/v1/datasets" | "/metrics" | "/v1/metrics"
+            | "/v1/debug/requests" | "/v1/explain" | "/v1/report",
         ) => (
             Response::error(405, "method not allowed"),
             RouteMeta::other(),
         ),
         _ => (Response::error(404, "no such endpoint"), RouteMeta::other()),
     }
+}
+
+/// The `GET /v1/health` document: worker identity and readiness at a
+/// glance — shard id (when running under the router, else `null`),
+/// per-dataset epochs, and live cache occupancy.
+fn health_doc(inner: &Inner) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"status\": \"ok\",\n  \"shard\": ");
+    match inner.config.shard_id {
+        Some(id) => {
+            let _ = write!(out, "{id}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\n  \"epochs\": {");
+    let names = inner.catalog.names();
+    let last = names.len();
+    for (i, name) in names.iter().enumerate() {
+        let Some(ds) = inner.catalog.get(name) else {
+            continue;
+        };
+        let sep = if i + 1 == last { "" } else { "," };
+        let _ = write!(
+            out,
+            " \"{}\": {}{sep}",
+            exq_obs::escape_json(name),
+            ds.epoch()
+        );
+    }
+    let _ = write!(
+        out,
+        " }},\n  \"cache\": {{ \"entries\": {} }}\n}}\n",
+        inner.cache.len()
+    );
+    out
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]

@@ -57,6 +57,31 @@ pub fn install() {
 #[cfg(not(unix))]
 pub fn install() {}
 
+/// Send SIGTERM to another process — how the router front propagates
+/// its own shutdown to worker processes so they drain cooperatively.
+/// Same zero-libc treatment as [`install`]: declare the one C symbol
+/// needed. Errors (dead pid, permission) are ignored; the supervisor's
+/// `wait` loop is what actually observes worker exit.
+#[cfg(unix)]
+pub fn terminate(pid: u32) {
+    #[allow(unsafe_code)]
+    {
+        extern "C" {
+            fn kill(pid: i32, sig: i32) -> i32;
+        }
+        const SIGTERM: i32 = 15;
+        if let Ok(pid) = i32::try_from(pid) {
+            unsafe {
+                kill(pid, SIGTERM);
+            }
+        }
+    }
+}
+
+/// No-op off Unix.
+#[cfg(not(unix))]
+pub fn terminate(_pid: u32) {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

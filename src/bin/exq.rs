@@ -440,7 +440,12 @@ fn preload_dataset(
 
 /// `exq serve`: load the catalog, bind, serve until SIGINT/SIGTERM,
 /// then drain in-flight requests and flush the final metrics snapshot.
+/// With `--router N` the process instead becomes the front of a sharded
+/// multi-process tier (see [`cmd_serve_router`]).
 fn cmd_serve(args: &Args) -> Result<(), String> {
+    if args.optional("router").is_some() {
+        return cmd_serve_router(args);
+    }
     let obs = Obs::from_args(args)?;
     let addr = args.optional("addr").unwrap_or("127.0.0.1:8080");
     let exec = args.exec()?;
@@ -450,8 +455,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let queue_depth: usize = args.optional("queue-depth").map_or(Ok(64), |s| {
         s.parse().map_err(|_| format!("bad --queue-depth `{s}`"))
     })?;
+    let shard_id: Option<u64> = match args.optional("shard-id") {
+        None => None,
+        Some(s) => Some(
+            s.parse()
+                .map_err(|_| format!("bad --shard-id `{s}` (need an integer)"))?,
+        ),
+    };
     let preloads = args.many("preload");
-    if preloads.is_empty() {
+    // A router worker may legitimately own zero datasets (the hash ring
+    // assigned it none); standalone serve still demands a catalog.
+    if preloads.is_empty() && shard_id.is_none() {
         return Err("serve needs at least one --preload NAME=DIR or NAME=gen:SPEC".to_string());
     }
     let mut catalog = exq::serve::Catalog::new();
@@ -463,6 +477,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
     exq::serve::signal::install();
     let sink = MetricsSink::recording();
+    if obs.trace_out.is_some() {
+        sink.enable_tracing(TRACE_RING_CAPACITY);
+    }
     let config = exq::serve::ServerConfig {
         threads: match args.optional("threads") {
             // `--threads` controls the worker pool here; dataset
@@ -472,10 +489,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         },
         cache_bytes: cache_mb * 1024 * 1024,
         queue_depth,
+        shard_id,
+        cache_persist: args.optional("cache-persist").map(std::path::PathBuf::from),
         ..exq::serve::ServerConfig::default()
     };
     let threads = config.threads;
-    let handle = exq::serve::start_on(addr, catalog, config, sink)
+    let handle = exq::serve::start_on(addr, catalog, config, sink.clone())
         .map_err(|e| format!("bind {addr}: {e}"))?;
     // Machine-readable ready line (the CI smoke job and loadtest parse
     // the port from it), then serve until a signal lands.
@@ -508,11 +527,203 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             eprintln!("wrote flight recorder to {flight_path}");
         }
     }
+    if let Some(path) = &obs.trace_out {
+        let json = sink
+            .trace_chrome_json()
+            .ok_or("tracing was not armed (internal error)")?;
+        fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("wrote Chrome trace to {path}");
+    }
     eprintln!(
         "shutdown complete: {} requests served, {} cache hits / {} misses",
         snapshot.counter("server.requests"),
         snapshot.counter("server.cache.hits"),
         snapshot.counter("server.cache.misses"),
+    );
+    Ok(())
+}
+
+/// A per-shard sibling of a `--metrics`/`--trace-out` path:
+/// `bench/serve.json` → `bench/serve.shard0.json`.
+fn shard_sibling_path(path: &str, shard: usize) -> String {
+    match path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.shard{shard}.json"),
+        None => format!("{path}.shard{shard}"),
+    }
+}
+
+/// `exq serve --router N`: the sharded multi-process serving tier.
+///
+/// This process becomes the *front*: it partitions the `--preload`
+/// specs over N shards with the consistent-hash ring, spawns one
+/// ordinary `exq serve` worker process per shard (loopback, port 0,
+/// `--shard-id`, and — under `--state-dir` — a per-shard warm-start
+/// cache file), and proxies requests to the owning worker. The
+/// supervisor health-checks and restarts crashed workers with the
+/// front answering bounded `503`s meanwhile. SIGTERM drains front
+/// first, then the workers (each dumps its cache snapshot and metrics
+/// file); with `--trace-out` the per-process Chrome traces are merged
+/// into one two-tier timeline.
+fn cmd_serve_router(args: &Args) -> Result<(), String> {
+    let obs = Obs::from_args(args)?;
+    let workers: usize = {
+        let s = args.one("router")?;
+        s.parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or(format!("bad --router `{s}` (need an integer >= 1)"))?
+    };
+    let addr = args.optional("addr").unwrap_or("127.0.0.1:8080");
+    let queue_depth: usize = args.optional("queue-depth").map_or(Ok(64), |s| {
+        s.parse().map_err(|_| format!("bad --queue-depth `{s}`"))
+    })?;
+    let rate_limit: Option<f64> = match args.optional("rate-limit") {
+        None => None,
+        Some(s) => Some(
+            s.parse::<f64>()
+                .ok()
+                .filter(|&r| r > 0.0)
+                .ok_or(format!("bad --rate-limit `{s}` (need a rate > 0)"))?,
+        ),
+    };
+    let worker_threads: usize = args.optional("threads").map_or(Ok(4), |s| {
+        s.parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or(format!("bad --threads `{s}` (need an integer >= 1)"))
+    })?;
+    let preloads = args.many("preload");
+    if preloads.is_empty() {
+        return Err("serve needs at least one --preload NAME=DIR or NAME=gen:SPEC".to_string());
+    }
+    let mut names = Vec::new();
+    for spec in preloads {
+        let (name, _) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--preload takes NAME=DIR or NAME=gen:SPEC, got `{spec}`"))?;
+        names.push(name.to_string());
+    }
+    let shards = exq::router::ShardMap::new(workers);
+    let mut groups: Vec<Vec<&str>> = vec![Vec::new(); workers];
+    for (spec, name) in preloads.iter().zip(&names) {
+        groups[shards.shard_of(name)].push(spec);
+    }
+    let state_dir = args.optional("state-dir");
+    if let Some(dir) = state_dir {
+        fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut specs = Vec::with_capacity(workers);
+    for (shard, group) in groups.iter().enumerate() {
+        let mut wargs: Vec<String> = [
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            &worker_threads.to_string(),
+            "--shard-id",
+            &shard.to_string(),
+        ]
+        .map(str::to_string)
+        .into();
+        for flag in ["cache-mb", "queue-depth"] {
+            if let Some(value) = args.optional(flag) {
+                wargs.push(format!("--{flag}"));
+                wargs.push(value.to_string());
+            }
+        }
+        if let Some(dir) = state_dir {
+            wargs.push("--cache-persist".to_string());
+            wargs.push(format!("{dir}/shard-{shard}.cache"));
+        }
+        if let Some(path) = obs.metrics_out.as_deref().filter(|p| *p != "-") {
+            wargs.push("--metrics".to_string());
+            wargs.push(shard_sibling_path(path, shard));
+        }
+        if let Some(path) = &obs.trace_out {
+            wargs.push("--trace-out".to_string());
+            wargs.push(shard_sibling_path(path, shard));
+        }
+        for spec in group {
+            wargs.push("--preload".to_string());
+            wargs.push((*spec).to_string());
+        }
+        specs.push(exq::router::WorkerSpec { shard, args: wargs });
+    }
+
+    exq::serve::signal::install();
+    let sink = MetricsSink::recording();
+    if obs.trace_out.is_some() {
+        sink.enable_tracing(TRACE_RING_CAPACITY);
+    }
+    let config = exq::router::FrontConfig {
+        threads: 4,
+        queue_depth,
+        workers,
+        // A pooled keep-alive connection pins a worker thread; never
+        // hold more than the worker can serve concurrently.
+        per_worker_connections: worker_threads,
+        rate_limit,
+        datasets: names,
+        ..exq::router::FrontConfig::default()
+    };
+    let front = exq::router::Front::start_on(addr, config, sink.clone())
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    let supervisor = exq::router::Supervisor::start(exe, specs, front.upstreams(), sink.clone(), 3)
+        .map_err(|e| format!("spawning workers: {e}"))?;
+    let pids: Vec<String> = supervisor
+        .pids()
+        .iter()
+        .map(|p| p.map_or("-".to_string(), |pid| pid.to_string()))
+        .collect();
+    println!(
+        "ready: listening on http://{} (router, {workers} shards, worker pids {})",
+        front.addr(),
+        pids.join(",")
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    while !exq::serve::signal::requested() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("signal received; draining front, then workers");
+    // A terminal SIGINT reaches the whole process group: stop the
+    // restart machinery *before* workers start exiting on their own.
+    supervisor.halt_restarts();
+    let snapshot = front.shutdown();
+    supervisor.shutdown();
+    if let Some(path) = &obs.metrics_out {
+        let json = snapshot.to_json();
+        if path == "-" {
+            println!("{json}");
+        } else {
+            fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote front metrics snapshot to {path}");
+        }
+    }
+    if let Some(path) = &obs.trace_out {
+        let front_json = sink
+            .trace_chrome_json()
+            .ok_or("tracing was not armed (internal error)")?;
+        let mut worker_traces = Vec::new();
+        for shard in 0..workers {
+            let shard_path = shard_sibling_path(path, shard);
+            if let Ok(doc) = fs::read_to_string(&shard_path) {
+                worker_traces.push((shard, doc));
+            }
+        }
+        let merged = exq::router::trace::merge_chrome_traces(&front_json, &worker_traces);
+        fs::write(path, merged).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "wrote merged two-tier Chrome trace to {path} ({} worker traces)",
+            worker_traces.len()
+        );
+    }
+    eprintln!(
+        "router shutdown complete: {} requests fronted, {} proxy errors, {} worker restarts",
+        snapshot.counter("router.requests"),
+        snapshot.counter("router.proxy.errors"),
+        snapshot.counter("router.worker.restarts"),
     );
     Ok(())
 }
@@ -550,6 +761,10 @@ fn cmd_append(args: &Args) -> Result<(), String> {
             .filter(|&n| n >= 1)
             .ok_or(format!("bad --batch `{s}` (need an integer >= 1)"))
     })?;
+    let max_retries: u32 = args.optional("max-retries").map_or(Ok(5), |s| {
+        s.parse()
+            .map_err(|_| format!("bad --max-retries `{s}` (need an integer >= 0)"))
+    })?;
     let schema_file = args.one("schema")?;
     let schema_text = fs::read_to_string(schema_file).map_err(|e| format!("{schema_file}: {e}"))?;
     let schema = parse::parse_schema(&schema_text).map_err(|e| e.to_string())?;
@@ -577,6 +792,11 @@ fn cmd_append(args: &Args) -> Result<(), String> {
     }
 
     let path = format!("/v1/datasets/{dataset}/rows");
+    // One keep-alive connection for the whole run: every batch reuses
+    // the same TCP stream (and the same server worker thread) instead
+    // of re-dialing per request. A busy server's `503` + `Retry-After`
+    // is honored with bounded backoff rather than failing the run.
+    let mut conn = exq::serve::client::Connection::new(sock_addr);
     let mut total = 0usize;
     let mut last_epoch = 0u64;
     for (rel, _) in &loaded {
@@ -598,8 +818,15 @@ fn cmd_append(args: &Args) -> Result<(), String> {
                 exq::obs::escape_json(rel),
                 chunk.join(",")
             );
-            let response = exq::serve::client::post_json(sock_addr, &path, &body)
+            let response = conn
+                .post_json_retry(&path, &body, max_retries)
                 .map_err(|e| format!("POST {path}: {e}"))?;
+            if response.status == 503 {
+                return Err(format!(
+                    "POST {path} still busy after {max_retries} retries: {}",
+                    response.text().trim()
+                ));
+            }
             if response.status != 200 {
                 return Err(format!(
                     "POST {path} failed with {}: {}",
@@ -844,9 +1071,11 @@ const USAGE: &str =
                [--threads N] [--format pretty|json] [--metrics PATH|-] \\
                [--trace] [--trace-out PATH]
   exq serve    --addr HOST:PORT --preload NAME=DIR|NAME=gen:SPEC... \\
-               [--threads N] [--cache-mb MB] [--queue-depth N] [--metrics PATH|-]
+               [--threads N] [--cache-mb MB] [--queue-depth N] [--metrics PATH|-] \\
+               [--router N] [--state-dir DIR] [--rate-limit R] [--trace-out PATH] \\
+               [--shard-id I] [--cache-persist PATH]
   exq append   --addr HOST:PORT --dataset NAME --schema FILE --table Rel=FILE... \\
-               [--batch N]
+               [--batch N] [--max-retries N]
 
 --threads N pins the executor to N OS threads (default: all available
 cores). Results are bit-identical at every thread count.
@@ -867,10 +1096,20 @@ serve runs until SIGINT/SIGTERM, then drains in-flight requests and
 flushes a final metrics snapshot (--metrics PATH) plus the flight
 recorder's last-requests ring (PATH.requests.json); while running it
 exposes GET /metrics (Prometheus) and GET /v1/debug/requests.
+serve --router N spawns N worker processes, each owning a
+consistent-hash shard of the --preload catalog, behind this process as
+a routing front with per-tenant admission control (--rate-limit R
+requests/s per X-Exq-Tenant), worker health checks and bounded
+restarts; --state-dir DIR persists each worker's result cache for warm
+restarts, --metrics/--trace-out write per-shard sibling files plus the
+front's (traces are merged into one two-tier timeline). --shard-id and
+--cache-persist are the worker-side halves of those flags.
 append posts CSV rows to a running server (POST /v1/datasets/NAME/rows)
-in --batch-row chunks (default 5000), one relation per request in
---table order; each accepted batch bumps the dataset's epoch and the
-server maintains its join intermediates incrementally. List referenced
+in --batch-row chunks (default 5000) over one keep-alive connection,
+one relation per request in --table order; each accepted batch bumps
+the dataset's epoch and the server maintains its join intermediates
+incrementally. A 503 (busy/throttled) is retried with Retry-After-aware
+backoff up to --max-retries times (default 5). List referenced
 relations before referencing ones so foreign keys resolve.";
 
 fn main() -> ExitCode {

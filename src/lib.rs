@@ -19,6 +19,9 @@
 //! * [`serve`] (`exq-serve`) — the resident HTTP explanation server:
 //!   dataset catalog with shared pre-built intermediates, canonical-key
 //!   LRU result cache, and a std-only HTTP/1.1 front end (`exq serve`);
+//! * [`router`] (`exq-router`) — the sharded multi-process serving tier
+//!   (`exq serve --router N`): consistent-hash routing front, per-tenant
+//!   admission control, worker supervision with warm restarts;
 //! * [`lint`] (`exq-lint`) — the `exq lint` workspace auditor: a
 //!   tolerant Rust lexer, determinism lint rules with stable `L`-codes,
 //!   and cross-artifact audits tying the counter catalogue, Prometheus
@@ -38,6 +41,7 @@ pub use exq_datagen as datagen;
 pub use exq_lint as lint;
 pub use exq_obs as obs;
 pub use exq_relstore as relstore;
+pub use exq_router as router;
 pub use exq_serve as serve;
 
 /// Everything an application typically needs.

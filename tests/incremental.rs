@@ -220,6 +220,164 @@ fn natality_appends_are_indistinguishable_from_rebuild_at_every_epoch() {
     );
 }
 
+/// A `POST /v1/datasets/{name}/rows` body for one append batch.
+fn append_body(batch: &AppendBatch) -> String {
+    use std::fmt::Write as _;
+    let cell = |v: &Value| match v {
+        Value::Str(s) => format!("\"{}\"", exq::obs::escape_json(s)),
+        other => other.to_string(),
+    };
+    let mut body = String::from("{\"rows\": {");
+    for (i, (rel, rows)) in batch.iter().enumerate() {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        let _ = write!(body, "\"{}\": [", exq::obs::escape_json(rel));
+        for (j, row) in rows.iter().enumerate() {
+            if j > 0 {
+                body.push(',');
+            }
+            let cells: Vec<String> = row.iter().map(cell).collect();
+            let _ = write!(body, "[{}]", cells.join(","));
+        }
+        body.push(']');
+    }
+    body.push_str("}}");
+    body
+}
+
+/// Zero every `"total_ns": N` so two servers' explain documents compare
+/// byte-for-byte (span durations are the only wall-clock content).
+fn scrub_total_ns(body: &str) -> String {
+    let mut out = String::with_capacity(body.len());
+    let mut rest = body;
+    while let Some(at) = rest.find("\"total_ns\": ") {
+        let (head, tail) = rest.split_at(at + "\"total_ns\": ".len());
+        out.push_str(head);
+        out.push('0');
+        rest = tail.trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// ISSUE 9 satellite: concurrent appends to the *same* dataset from
+/// multiple HTTP clients serialize cleanly. The N responses must carry
+/// epochs `1..=N` exactly once each (the server's write lock makes the
+/// bumps strictly monotonic — no epoch is skipped or handed out twice),
+/// and the final state must be byte-identical to replaying the same
+/// batches serially in the order the server chose.
+#[test]
+fn concurrent_http_appends_serialize_into_monotonic_epochs() {
+    use exq::serve::{client, Catalog, ServerConfig};
+
+    let full = dblp_db();
+    let authored = full.schema().relation_index("Authored").unwrap();
+    let keep = full.relation(authored).len() * 8 / 10;
+    let (initial, held) = hold_back(&full, "Authored", keep);
+    let clients = 4usize;
+    let batches = batches_of("Authored", held, clients);
+    assert_eq!(batches.len(), clients, "need one batch per client");
+
+    let question = include_str!("../assets/questions/bump.exq");
+    let explain_request = format!(
+        "{{\"dataset\": \"dblp\", \"question\": \"{}\", \"attrs\": [\"Author.inst\"], \"top\": 3}}",
+        exq::obs::escape_json(question)
+    );
+    let boot = |db: &Database| {
+        let mut catalog = Catalog::new();
+        catalog
+            .insert_database("dblp", Arc::new(db.clone()), &ExecConfig::auto())
+            .unwrap();
+        exq::serve::start(
+            catalog,
+            ServerConfig {
+                threads: clients,
+                ..ServerConfig::default()
+            },
+            exq::obs::MetricsSink::recording(),
+        )
+        .expect("bind append server")
+    };
+
+    // Fire all batches at once, one keep-alive connection per client.
+    let concurrent = boot(&initial);
+    let addr = concurrent.addr();
+    let mut outcomes: Vec<(usize, u64)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = batches
+            .iter()
+            .enumerate()
+            .map(|(i, batch)| {
+                scope.spawn(move || {
+                    let mut conn = client::Connection::new(addr);
+                    let response = conn
+                        .post_json("/v1/datasets/dblp/rows", &append_body(batch))
+                        .unwrap();
+                    assert_eq!(response.status, 200, "{}", response.text());
+                    let epoch: u64 = response
+                        .header("x-exq-epoch")
+                        .expect("append response must carry X-Exq-Epoch")
+                        .parse()
+                        .unwrap();
+                    (i, epoch)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+
+    // Epochs are a permutation of 1..=N: strictly monotonic bumps, none
+    // skipped, none duplicated.
+    outcomes.sort_by_key(|&(_, epoch)| epoch);
+    let epochs: Vec<u64> = outcomes.iter().map(|&(_, e)| e).collect();
+    assert_eq!(
+        epochs,
+        (1..=clients as u64).collect::<Vec<_>>(),
+        "concurrent appends must serialize into consecutive epochs"
+    );
+
+    // Replay the batches serially in the server's chosen order on a
+    // fresh server: the two must now be indistinguishable — catalog
+    // listing and explain document, byte for byte.
+    let replay = boot(&initial);
+    for &(batch_idx, _) in &outcomes {
+        let response = client::post_json(
+            replay.addr(),
+            "/v1/datasets/dblp/rows",
+            &append_body(&batches[batch_idx]),
+        )
+        .unwrap();
+        assert_eq!(response.status, 200, "{}", response.text());
+    }
+    let listing = client::get(addr, "/v1/datasets").unwrap();
+    let replay_listing = client::get(replay.addr(), "/v1/datasets").unwrap();
+    assert_eq!(listing.status, 200);
+    assert_eq!(
+        listing.text(),
+        replay_listing.text(),
+        "catalog listing must match a serial replay"
+    );
+    assert!(listing.text().contains(&format!("\"epoch\": {clients}")));
+
+    let concurrent_explain = client::post_json(addr, "/v1/explain", &explain_request).unwrap();
+    let replay_explain = client::post_json(replay.addr(), "/v1/explain", &explain_request).unwrap();
+    assert_eq!(
+        concurrent_explain.status,
+        200,
+        "{}",
+        concurrent_explain.text()
+    );
+    assert_eq!(replay_explain.status, 200, "{}", replay_explain.text());
+    assert_eq!(
+        scrub_total_ns(&concurrent_explain.text()),
+        scrub_total_ns(&replay_explain.text()),
+        "post-append explain must be byte-identical to a serial replay"
+    );
+
+    concurrent.shutdown();
+    replay.shutdown();
+}
+
 /// The append path's own metrics obey the observability contract: the
 /// normalized snapshot (counters and span counts, wall-clock zeroed) is
 /// bit-identical at every thread count, and DBLP's single join
