@@ -186,13 +186,9 @@ fn append_body(batch: &[(String, Vec<Vec<Value>>)]) -> String {
     body
 }
 
-/// Zero every `"total_ns": N` in a response body. Explain documents
-/// embed their per-request metrics block, whose span durations are
-/// wall-clock; scrubbing them (and nothing else) is what makes two
-/// servers' answers comparable byte for byte.
-fn scrub_total_ns(body: &str) -> String {
+/// Zero every `"MARKER": N` integer in a response body.
+fn zero_json_int(body: &str, marker: &str) -> String {
     let mut out = String::with_capacity(body.len());
-    let marker = "\"total_ns\": ";
     let mut rest = body;
     while let Some(at) = rest.find(marker) {
         let digits_from = at + marker.len();
@@ -202,6 +198,23 @@ fn scrub_total_ns(body: &str) -> String {
     }
     out.push_str(rest);
     out
+}
+
+/// Zero every `"total_ns": N` in a response body. Explain documents
+/// embed their per-request metrics block, whose span durations are
+/// wall-clock; scrubbing them (and nothing else) is what makes two
+/// servers' answers comparable byte for byte.
+fn scrub_total_ns(body: &str) -> String {
+    zero_json_int(body, "\"total_ns\": ")
+}
+
+/// Zero the cost block's `"epoch": N` on top of [`scrub_total_ns`].
+/// Used only where the compared servers legitimately sit at different
+/// epochs (a live-appended dataset vs a rebuild-from-scratch): the
+/// explanation must still match byte for byte, but the cost block
+/// truthfully reports each server's own epoch.
+fn scrub_total_ns_and_epoch(body: &str) -> String {
+    zero_json_int(&scrub_total_ns(body), "\"epoch\": ")
 }
 
 fn header(title: &str) {
@@ -1296,10 +1309,10 @@ fn loadtest(full: bool, router: bool) {
         reference.shutdown();
         assert_eq!(expected.status, 200, "{}", expected.text());
         assert_eq!(
-            scrub_total_ns(&final_response.text()),
-            scrub_total_ns(&expected.text()),
+            scrub_total_ns_and_epoch(&final_response.text()),
+            scrub_total_ns_and_epoch(&expected.text()),
             "incremental dataset must serve byte-identical explains \
-             (wall-clock span durations scrubbed) to a rebuild-from-scratch"
+             (wall-clock span durations and cost epochs scrubbed) to a rebuild-from-scratch"
         );
         println!(
             "post-append explain is byte-identical to a rebuilt-from-scratch server \
@@ -1540,6 +1553,10 @@ fn router_phase(full: bool, assert_scaling: bool) -> String {
                 ServerConfig {
                     threads: 1,
                     shard_id: Some(shard as u64),
+                    // A zero slow bound retains every trace: the fleet
+                    // phase below asserts a retained trace is
+                    // retrievable by its Prometheus exemplar id.
+                    trace_slow_ms: Some(0),
                     ..ServerConfig::default()
                 },
                 MetricsSink::recording(),
@@ -1673,6 +1690,7 @@ fn router_phase(full: bool, assert_scaling: bool) -> String {
         ServerConfig {
             threads: 1,
             shard_id: Some(victim as u64),
+            trace_slow_ms: Some(0),
             ..ServerConfig::default()
         },
         MetricsSink::recording(),
@@ -1703,6 +1721,72 @@ fn router_phase(full: bool, assert_scaling: bool) -> String {
         "kill-storm: {storm_503s} bounded 503s while down, recovered in {recovery_probes} probe(s), 0 wrong answers"
     );
 
+    // Fleet observability: one scrape through the front, then each
+    // worker directly, and exact counter conservation between the two.
+    // The offset is deterministic: `server.requests` is incremented
+    // before the snapshot is taken, so a worker's own scrape GET counts
+    // itself — each direct scrape therefore reads its fleet-scrape
+    // value plus exactly one.
+    let fleet_response = client::get(front4.addr(), "/v1/metrics?format=snapshot").unwrap();
+    assert_eq!(fleet_response.status, 200, "{}", fleet_response.text());
+    let (fleet, _) =
+        exq_obs::decode_snapshot(&fleet_response.text()).expect("fleet snapshot must decode");
+    let fleet_requests = fleet.counter("server.requests");
+    assert_eq!(
+        fleet.counter("router.scrape.partial"),
+        0,
+        "all shards are live: the fleet scrape must be complete"
+    );
+    let shard_sum: u64 = (0..WORKERS_HIGH)
+        .map(|shard| fleet.counter(&format!("server.requests.shard.{shard}")))
+        .sum();
+    assert_eq!(
+        shard_sum, fleet_requests,
+        "per-shard labelled copies must sum to the fleet aggregate"
+    );
+    let mut direct_sum = 0u64;
+    for handle in handles4.iter().flatten() {
+        let direct = client::get(handle.addr(), "/v1/metrics?format=snapshot").unwrap();
+        assert_eq!(direct.status, 200, "{}", direct.text());
+        let (snap, _) =
+            exq_obs::decode_snapshot(&direct.text()).expect("worker snapshot must decode");
+        direct_sum += snap.counter("server.requests");
+    }
+    assert_eq!(
+        direct_sum,
+        fleet_requests + WORKERS_HIGH as u64,
+        "fleet scrape must conserve server.requests across shards"
+    );
+
+    // The fleet exposition is checker-clean and carries a retained
+    // trace's exemplar; that very trace must be retrievable through the
+    // front's merged /v1/debug/traces fan-in.
+    let prom = client::get(front4.addr(), "/metrics").unwrap();
+    assert_eq!(prom.status, 200, "{}", prom.text());
+    let prom_text = prom.text();
+    exq_obs::check_prometheus(&prom_text)
+        .unwrap_or_else(|e| panic!("fleet exposition must be checker-clean: {e}\n{prom_text}"));
+    let exemplar_id: u64 = prom_text
+        .lines()
+        .find_map(|line| {
+            line.strip_prefix("# exemplar ")?
+                .rsplit_once("trace_id=")?
+                .1
+                .parse()
+                .ok()
+        })
+        .expect("fleet exposition must carry at least one exemplar");
+    let traces = client::get(front4.addr(), "/v1/debug/traces").unwrap();
+    assert_eq!(traces.status, 200, "{}", traces.text());
+    assert!(
+        traces.text().contains(&format!("\"trace_id\": {exemplar_id}")),
+        "exemplar trace {exemplar_id} must be retrievable through the front"
+    );
+    println!(
+        "fleet scrape: server.requests {fleet_requests} conserved across {WORKERS_HIGH} shards \
+         (+{WORKERS_HIGH} self-scrapes), exemplar trace {exemplar_id} retained and retrievable"
+    );
+
     for handle in handles4.into_iter().flatten() {
         handle.shutdown();
     }
@@ -1717,6 +1801,10 @@ fn router_phase(full: bool, assert_scaling: bool) -> String {
     let _ = writeln!(
         doc,
         "    \"storm\": {{ \"throttled_503s\": {storm_503s}, \"recovery_probes\": {recovery_probes}, \"wrong_answers\": 0 }},"
+    );
+    let _ = writeln!(
+        doc,
+        "    \"fleet\": {{ \"shards\": {WORKERS_HIGH}, \"requests_at_scrape\": {fleet_requests}, \"scrape_partial\": 0 }},"
     );
     let snap = front_snapshot
         .to_json()

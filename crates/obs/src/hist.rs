@@ -38,6 +38,15 @@ impl HistKind {
             HistKind::WallClock => "wall_clock",
         }
     }
+
+    /// Inverse of [`HistKind::as_str`], used by the snapshot wire codec.
+    pub fn parse(tag: &str) -> Option<HistKind> {
+        match tag {
+            "values" => Some(HistKind::Values),
+            "wall_clock" => Some(HistKind::WallClock),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for HistKind {
@@ -160,6 +169,55 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
+    /// Merge another snapshot of the same histogram family into this
+    /// one. Exact by construction: the bucket *layout* is fixed, so two
+    /// buckets with equal upper bounds describe the same value range and
+    /// their counts simply add — the result is bit-identical to a
+    /// histogram fed the concatenation of both sample streams. The
+    /// operation is associative and commutative. A kind mismatch (one
+    /// side values, the other wall-clock) quarantines the merged
+    /// histogram as [`HistKind::WallClock`] so normalization collapses
+    /// it rather than laundering timing data into the deterministic set.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.kind != other.kind {
+            self.kind = HistKind::WallClock;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().copied().peekable(),
+            other.buckets.iter().copied().peekable(),
+        );
+        loop {
+            match (a.peek().copied(), b.peek().copied()) {
+                (Some((ua, ca)), Some((ub, cb))) if ua == ub => {
+                    merged.push((ua, ca + cb));
+                    a.next();
+                    b.next();
+                }
+                (Some((ua, ca)), Some((ub, _))) if ua < ub => {
+                    merged.push((ua, ca));
+                    a.next();
+                }
+                (Some(_), Some((ub, cb))) => {
+                    merged.push((ub, cb));
+                    b.next();
+                }
+                (Some(x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+
     /// Same nearest-rank quantile as [`Histogram::quantile`].
     pub fn quantile(&self, q: f64) -> u64 {
         quantile_over(
@@ -328,6 +386,65 @@ mod tests {
                 "q={q}: estimate {est} outside [{exact}, {upper}] (bucket [{lower}, {upper}])"
             );
         }
+    }
+
+    #[test]
+    fn merge_is_bucket_exact_against_concatenated_samples() {
+        // merge(hist(A), hist(B)) must equal hist(A ++ B), bucket for
+        // bucket, on an LCG stream spanning many octaves.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> (state % 48)
+        };
+        let a_samples: Vec<u64> = (0..700).map(|_| next()).collect();
+        let b_samples: Vec<u64> = (0..300).map(|_| next()).collect();
+        let (mut a, mut b, mut all) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &a_samples {
+            a.record(v);
+            all.record(v);
+        }
+        for &v in &b_samples {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot(HistKind::Values);
+        merged.merge(&b.snapshot(HistKind::Values));
+        assert_eq!(merged, all.snapshot(HistKind::Values));
+        // Commutative: the other order gives the identical snapshot.
+        let mut flipped = b.snapshot(HistKind::Values);
+        flipped.merge(&a.snapshot(HistKind::Values));
+        assert_eq!(flipped, merged);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_and_kind_mismatch_quarantines() {
+        let mut hist = Histogram::new();
+        for v in [1u64, 5, 5, 900] {
+            hist.record(v);
+        }
+        let reference = hist.snapshot(HistKind::Values);
+        let mut merged = reference.clone();
+        merged.merge(&Histogram::new().snapshot(HistKind::Values));
+        assert_eq!(merged, reference);
+        // A wall-clock side poisons the result's kind but not its math.
+        let mut other = Histogram::new();
+        other.record(7);
+        let mut mixed = reference.clone();
+        mixed.merge(&other.snapshot(HistKind::WallClock));
+        assert_eq!(mixed.kind, HistKind::WallClock);
+        assert_eq!(mixed.count, 5);
+        assert_eq!(mixed.sum, reference.sum + 7);
+    }
+
+    #[test]
+    fn hist_kind_round_trips_through_parse() {
+        for kind in [HistKind::Values, HistKind::WallClock] {
+            assert_eq!(HistKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(HistKind::parse("bogus"), None);
     }
 
     #[test]

@@ -63,10 +63,12 @@
 mod hist;
 mod prom;
 mod trace;
+mod wire;
 
 pub use hist::{bucket_index, bucket_upper, HistKind, Histogram, HistogramSnapshot};
 pub use prom::{check_prometheus, is_valid_metric_name, sanitize_name};
 pub use trace::{current_tid, TraceEvent, TracePhase};
+pub use wire::{decode_snapshot, encode_snapshot, Exemplar, WIRE_MAGIC};
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -402,6 +404,37 @@ impl Snapshot {
     /// The value of a counter, 0 if never recorded.
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merge `other` into `self` — the fleet fan-in operation. Exact,
+    /// associative, and commutative: counters sum; span call counts and
+    /// wall-clock totals sum (durations stay quarantined, exactly as
+    /// before — [`Snapshot::normalized`] still zeroes them); histograms
+    /// merge bucket-wise via [`HistogramSnapshot::merge`], so merged
+    /// [`HistKind::Values`] data is bit-identical to a single histogram
+    /// fed the concatenated sample streams and fleet quantiles come from
+    /// merged buckets, never averaged percentiles. Notes become the
+    /// sorted set union, which is what keeps the operation commutative.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, stat) in &other.spans {
+            let slot = self.spans.entry(name.clone()).or_default();
+            slot.count += stat.count;
+            slot.total_ns += stat.total_ns;
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(hist),
+                None => {
+                    self.histograms.insert(name.clone(), hist.clone());
+                }
+            }
+        }
+        self.notes.extend(other.notes.iter().cloned());
+        self.notes.sort();
+        self.notes.dedup();
     }
 
     /// A copy with every wall-clock quantity zeroed, keeping everything
@@ -853,6 +886,119 @@ mod tests {
         // The export still balances despite the evictions.
         let json = sink.trace_chrome_json().unwrap();
         assert!(json.contains("\"dropped_events\": 16"), "{json}");
+    }
+
+    /// Deterministic pseudo-random snapshot generator for the merge
+    /// property tests (no external proptest dependency): an LCG drives
+    /// a random mix of counter adds, span records, histogram samples,
+    /// and notes over a small shared name pool so merges collide.
+    fn random_snapshot(seed: u64, ops: usize) -> Snapshot {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        let sink = MetricsSink::recording();
+        for _ in 0..ops {
+            let r = next();
+            let name = format!("m.{}", r % 7);
+            match r % 4 {
+                0 => sink.add(&name, next() >> (next() % 32)),
+                1 => sink.record_span(&name, Duration::from_nanos(next() % 1_000_000)),
+                2 => sink.observe(&name, next() >> (next() % 50)),
+                _ => sink.note(format!("note {}", next() % 5)),
+            }
+        }
+        sink.snapshot()
+    }
+
+    fn merged(a: &Snapshot, b: &Snapshot) -> Snapshot {
+        let mut out = a.clone();
+        out.merge(b);
+        out
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        for seed in 0..24u64 {
+            let a = random_snapshot(seed * 3 + 1, 60);
+            let b = random_snapshot(seed * 3 + 2, 45);
+            let c = random_snapshot(seed * 3 + 3, 30);
+            let ab_c = merged(&merged(&a, &b), &c);
+            let a_bc = merged(&a, &merged(&b, &c));
+            assert_eq!(
+                ab_c.to_json(),
+                a_bc.to_json(),
+                "associativity broke at seed {seed}"
+            );
+            assert_eq!(
+                merged(&a, &b).to_json(),
+                merged(&b, &a).to_json(),
+                "commutativity broke at seed {seed}"
+            );
+            // Identity: merging an empty snapshot changes nothing but
+            // note ordering, which merge canonicalizes either way.
+            let mut canonical = a.clone();
+            canonical.merge(&Snapshot::default());
+            assert_eq!(merged(&canonical, &Snapshot::default()), canonical);
+        }
+    }
+
+    #[test]
+    fn merge_conserves_counters_and_histogram_mass() {
+        for seed in 0..16u64 {
+            let parts: Vec<Snapshot> = (0..4)
+                .map(|i| random_snapshot(seed * 5 + i, 40))
+                .collect();
+            let mut fleet = Snapshot::default();
+            for part in &parts {
+                fleet.merge(part);
+            }
+            for name in fleet.counters.keys() {
+                let sum: u64 = parts.iter().map(|p| p.counter(name)).sum();
+                assert_eq!(fleet.counter(name), sum, "counter {name} not conserved");
+            }
+            for (name, hist) in &fleet.histograms {
+                let count: u64 = parts
+                    .iter()
+                    .filter_map(|p| p.histograms.get(name))
+                    .map(|h| h.count)
+                    .sum();
+                let mass: u64 = hist.buckets.iter().map(|&(_, c)| c).sum();
+                assert_eq!(hist.count, count, "histogram {name} count not conserved");
+                assert_eq!(mass, count, "histogram {name} lost bucket mass");
+            }
+            for (name, span) in &fleet.spans {
+                let calls: u64 = parts
+                    .iter()
+                    .filter_map(|p| p.spans.get(name))
+                    .map(|s| s.count)
+                    .sum();
+                assert_eq!(span.count, calls, "span {name} calls not conserved");
+            }
+        }
+    }
+
+    #[test]
+    fn merged_values_histograms_stay_deterministic_under_normalize() {
+        // Values histograms merged across "shards" survive normalization
+        // untouched; wall-clock ones still collapse.
+        let a = MetricsSink::recording();
+        let b = MetricsSink::recording();
+        for (sink, values) in [(&a, [1u64, 9, 100]), (&b, [9, 500, 4])] {
+            for v in values {
+                sink.observe("rows", v);
+                sink.observe_duration("lat", Duration::from_nanos(v));
+            }
+        }
+        let mut fleet = a.snapshot();
+        fleet.merge(&b.snapshot());
+        let norm = fleet.normalized();
+        assert_eq!(norm.histograms["rows"], fleet.histograms["rows"]);
+        assert_eq!(norm.histograms["lat"].count, 6);
+        assert!(norm.histograms["lat"].buckets.is_empty());
     }
 
     #[test]

@@ -20,7 +20,8 @@
 use crate::bucket::TokenBuckets;
 use crate::shard::ShardMap;
 use crate::upstream::{CheckoutError, Upstreams};
-use exq_obs::{MetricsSink, Snapshot};
+use exq_obs::{Exemplar, MetricsSink, Snapshot};
+use exq_serve::accesslog::{AccessEntry, AccessLog};
 use exq_serve::client::ClientResponse;
 use exq_serve::http::{Limits, Request, Response};
 use exq_serve::{json, pump};
@@ -46,6 +47,7 @@ pub const ROUTER_COUNTERS: &[&str] = &[
     "router.health.checks",
     "router.health.failures",
     "router.worker.restarts",
+    "router.scrape.partial",
 ];
 
 /// Front tuning knobs.
@@ -76,6 +78,10 @@ pub struct FrontConfig {
     /// Every dataset name in the catalog, for the front's
     /// `GET /v1/health` topology document.
     pub datasets: Vec<String>,
+    /// Structured access log destination (same line shape as the
+    /// workers', with `shard` naming the worker that answered).
+    /// Defaults to disabled.
+    pub access_log: AccessLog,
 }
 
 impl Default for FrontConfig {
@@ -90,6 +96,7 @@ impl Default for FrontConfig {
             request_timeout: Duration::from_secs(10),
             limits: Limits::default(),
             datasets: Vec::new(),
+            access_log: AccessLog::disabled(),
         }
     }
 }
@@ -208,7 +215,7 @@ fn serve_one(inner: &FrontInner, stream: &mut TcpStream, carry: &mut Vec<u8>) ->
         carry,
         &inner.shutdown,
     );
-    let (request, response) = match read {
+    let (request, response, trace_id) = match read {
         Ok(Some(request)) => {
             inner.sink.incr("router.requests");
             // The front allocates the trace id (honoring one the client
@@ -226,10 +233,10 @@ fn serve_one(inner: &FrontInner, stream: &mut TcpStream, carry: &mut Vec<u8>) ->
                 route(inner, &request, trace_id)
             }
             .with_header("x-exq-trace-id", &trace_id.to_string());
-            (Some(request), response)
+            (Some(request), response, trace_id)
         }
         Ok(None) => return false,
-        Err(response) => (None, response),
+        Err(response) => (None, response, 0),
     };
     match response.status {
         200 => inner.sink.incr("router.responses.ok"),
@@ -244,9 +251,34 @@ fn serve_one(inner: &FrontInner, stream: &mut TcpStream, carry: &mut Vec<u8>) ->
     let written = stream
         .write_all(&response.to_bytes_with(keep_alive))
         .and_then(|()| stream.flush());
-    inner
-        .sink
-        .observe_duration("router.latency.front", started.elapsed());
+    let latency = started.elapsed();
+    inner.sink.observe_duration("router.latency.front", latency);
+    if inner.config.access_log.is_enabled() {
+        let header_of = |name: &str| {
+            response
+                .extra_headers
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| v.as_str())
+        };
+        // The worker that answered, as stamped by the proxy; the cache
+        // outcome rides in the `X-Exq-Cost` header it copied through.
+        let shard = header_of("x-exq-shard").and_then(|v| v.parse::<u64>().ok());
+        let cache = header_of("x-exq-cost")
+            .and_then(|v| v.split(';').find_map(|kv| kv.strip_prefix("cache=")))
+            .unwrap_or("-");
+        inner.config.access_log.record(&AccessEntry {
+            tenant: request.as_ref().and_then(|r| r.header("x-exq-tenant")),
+            shard,
+            endpoint: request
+                .as_ref()
+                .map_or("-", |r| r.path.split_once('?').map_or(r.path.as_str(), |(p, _)| p)),
+            status: response.status,
+            latency_ns: u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
+            trace_id,
+            cache,
+        });
+    }
     keep_alive && written.is_ok()
 }
 
@@ -280,23 +312,28 @@ fn route(inner: &FrontInner, request: &Request, trace_id: u64) -> Response {
             Response::json(200, "{\n  \"status\": \"ok\",\n  \"role\": \"front\"\n}\n")
         }
         ("GET", "/v1/health") => Response::json(200, health_doc(inner)),
-        ("GET", "/metrics") => Response::text(200, inner.sink.snapshot().to_prometheus()),
+        ("GET", "/metrics") => Response::text(200, fleet_prometheus(inner, trace_id)),
         ("GET", "/v1/metrics") => {
             let query = request.path.split_once('?').map_or("", |(_, q)| q);
             if query.split('&').any(|pair| pair == "format=prometheus") {
-                Response::text(200, inner.sink.snapshot().to_prometheus())
+                Response::text(200, fleet_prometheus(inner, trace_id))
+            } else if query.split('&').any(|pair| pair == "format=snapshot") {
+                let (fleet, exemplars) = fleet_snapshot(inner, trace_id);
+                let plain: Vec<Exemplar> = exemplars.into_iter().map(|(_, e)| e).collect();
+                Response::text(200, exq_obs::encode_snapshot(&fleet, &plain))
             } else {
-                Response::json(200, inner.sink.snapshot().to_json() + "\n")
+                let (fleet, _) = fleet_snapshot(inner, trace_id);
+                Response::json(200, fleet.to_json() + "\n")
             }
         }
         ("GET", "/v1/datasets") => merged_datasets(inner, trace_id),
+        ("GET", "/v1/debug/requests") => merged_debug(inner, "/v1/debug/requests", trace_id),
+        ("GET", "/v1/debug/traces") => merged_debug(inner, "/v1/debug/traces", trace_id),
         (
             _,
-            "/healthz" | "/v1/health" | "/v1/datasets" | "/metrics" | "/v1/metrics" | "/v1/explain"
-            | "/v1/report",
+            "/healthz" | "/v1/health" | "/v1/datasets" | "/metrics" | "/v1/metrics"
+            | "/v1/debug/requests" | "/v1/debug/traces" | "/v1/explain" | "/v1/report",
         ) => Response::error(405, "method not allowed"),
-        // Worker-local debug endpoints (the flight recorder) are not
-        // meaningful through the front; hit a worker's port directly.
         _ => Response::error(404, "no such endpoint"),
     }
 }
@@ -351,11 +388,17 @@ fn proxy(inner: &FrontInner, request: &Request, shard: usize, trace_id: u64) -> 
         "router.upstream.connects"
     });
     let trace = trace_id.to_string();
+    // Forward the tenant too: the worker's per-tenant cost accounting
+    // keys off the same header the front's admission control uses.
+    let mut headers: Vec<(&str, &str)> = vec![("x-exq-trace-id", &trace)];
+    if let Some(tenant) = request.header("x-exq-tenant") {
+        headers.push(("x-exq-tenant", tenant));
+    }
     let sent = lease.conn.request_with(
         &request.method,
         &request.path,
         Some(&request.body),
-        &[("x-exq-trace-id", &trace)],
+        &headers,
     );
     match sent {
         Ok(upstream) => {
@@ -385,7 +428,7 @@ fn convert(upstream: ClientResponse, shard: usize) -> Response {
         _ => "application/json",
     };
     let mut extra_headers = Vec::new();
-    for name in ["x-exq-epoch", "retry-after"] {
+    for name in ["x-exq-epoch", "x-exq-cost", "retry-after"] {
         if let Some(value) = upstream.header(name) {
             extra_headers.push((name.to_string(), value.to_string()));
         }
@@ -457,6 +500,136 @@ fn merged_datasets(inner: &FrontInner, trace_id: u64) -> Response {
     }
     doc.push_str("  ]\n}\n");
     Response::json(200, doc)
+}
+
+/// Fetch one worker's GET endpoint over a pooled connection, returning
+/// the body on a 200. Scrape traffic is the front's own observability
+/// fan-in, not routed client work, so it books neither
+/// `router.proxied.shard.*` nor — crucially — `router.proxy.errors`:
+/// a worker mid-restart must degrade a scrape (the caller counts
+/// `router.scrape.partial`), never fail it or dirty the proxy-error
+/// budget the supervisor's drain report asserts on.
+fn fetch_from_worker(
+    inner: &FrontInner,
+    shard: usize,
+    path: &str,
+    trace_id: u64,
+) -> Result<String, ()> {
+    let mut lease = inner.upstreams.checkout(shard).map_err(|_| ())?;
+    inner.sink.incr(if lease.was_pooled() {
+        "router.upstream.reuses"
+    } else {
+        "router.upstream.connects"
+    });
+    let trace = trace_id.to_string();
+    let fetched = lease
+        .conn
+        .request_with("GET", path, None, &[("x-exq-trace-id", &trace)]);
+    match fetched {
+        Ok(response) if response.status == 200 => {
+            inner.upstreams.checkin(shard, lease);
+            Ok(response.text())
+        }
+        Ok(_) => {
+            inner.upstreams.checkin(shard, lease);
+            Err(())
+        }
+        Err(_) => {
+            inner.upstreams.discard(shard, lease);
+            Err(())
+        }
+    }
+}
+
+/// Scrape-time fan-in: pull every live worker's mergeable snapshot and
+/// fold them into the front's own. The merged result carries
+///
+/// * **fleet-aggregate** counters and histograms — exact sums and
+///   bucket-wise histogram merges, so a fleet p99 read off the merged
+///   buckets is the true quantile bound of the concatenated samples,
+///   not an average of per-shard percentiles;
+/// * **per-shard labelled copies** of every worker counter, named
+///   `<counter>.shard.<i>` so the Prometheus renderer's shard-family
+///   rule turns them into `exq_<counter>_shard{shard="i"}`.
+///
+/// Downed or mid-restart shards are skipped and tallied in
+/// `router.scrape.partial`; a scrape never fails outright. Returns the
+/// merged snapshot and each retained exemplar tagged with its shard.
+fn fleet_snapshot(inner: &FrontInner, trace_id: u64) -> (Snapshot, Vec<(usize, Exemplar)>) {
+    let mut scraped: Vec<(usize, Snapshot, Vec<Exemplar>)> = Vec::new();
+    let mut partial = 0u64;
+    for shard in 0..inner.shards.workers() {
+        match fetch_from_worker(inner, shard, "/v1/metrics?format=snapshot", trace_id)
+            .and_then(|text| exq_obs::decode_snapshot(&text).map_err(|_| ()))
+        {
+            Ok((snapshot, exemplars)) => scraped.push((shard, snapshot, exemplars)),
+            Err(()) => partial += 1,
+        }
+    }
+    if partial > 0 {
+        inner.sink.add("router.scrape.partial", partial);
+    }
+    // The front's own snapshot is the merge base, taken *after* the
+    // fan-out so the scrape bookkeeping above is already in it.
+    let mut fleet = inner.sink.snapshot();
+    let mut tagged = Vec::new();
+    for (shard, snapshot, exemplars) in scraped {
+        for (name, value) in &snapshot.counters {
+            fleet.counters.insert(format!("{name}.shard.{shard}"), *value);
+        }
+        fleet.merge(&snapshot);
+        tagged.extend(exemplars.into_iter().map(|e| (shard, e)));
+    }
+    (fleet, tagged)
+}
+
+/// The fleet Prometheus exposition: merged families plus one
+/// shard-labelled exemplar comment per retained trace.
+fn fleet_prometheus(inner: &FrontInner, trace_id: u64) -> String {
+    let (fleet, exemplars) = fleet_snapshot(inner, trace_id);
+    let mut text = fleet.to_prometheus();
+    for (shard, exemplar) in &exemplars {
+        text.push_str(&exemplar.to_prometheus_comment(Some(*shard as u64)));
+        text.push('\n');
+    }
+    text
+}
+
+/// Debug fan-in (`/v1/debug/requests`, `/v1/debug/traces`): each live
+/// worker's document embedded verbatim under its shard id, downed
+/// shards counted in `"partial"` (and `router.scrape.partial`). Always
+/// answers 200 — a half-degraded fleet is exactly when the flight
+/// recorders are most wanted.
+fn merged_debug(inner: &FrontInner, path: &str, trace_id: u64) -> Response {
+    use std::fmt::Write as _;
+    let mut shard_docs: Vec<(usize, String)> = Vec::new();
+    let mut partial = 0u64;
+    for shard in 0..inner.shards.workers() {
+        match fetch_from_worker(inner, shard, path, trace_id) {
+            Ok(doc) => shard_docs.push((shard, doc)),
+            Err(()) => partial += 1,
+        }
+    }
+    if partial > 0 {
+        inner.sink.add("router.scrape.partial", partial);
+    }
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"partial\": {partial},");
+    out.push_str("  \"shards\": {");
+    let last = shard_docs.len();
+    for (i, (shard, doc)) in shard_docs.iter().enumerate() {
+        let sep = if i + 1 == last { "" } else { "," };
+        // Worker documents are single JSON objects; embed them verbatim
+        // (re-indenting would mean re-serializing, and byte fidelity is
+        // worth more than pretty nesting here).
+        let _ = write!(out, "\n    \"{shard}\": {}{sep}", doc.trim_end());
+    }
+    out.push_str(if shard_docs.is_empty() {
+        "}\n}\n"
+    } else {
+        "\n  }\n}\n"
+    });
+    Response::json(200, out)
 }
 
 /// The decoded content of a JSON string whose opening quote was already
@@ -595,14 +768,157 @@ mod tests {
         let health = client::get(front.addr(), "/v1/health").unwrap();
         assert!(health.text().contains("\"alive\": false"));
         assert!(health.text().contains("\"dblp\""));
+        // With its only worker down, the fleet scrape degrades to the
+        // front's own families — a valid exposition, never a failure.
         let metrics = client::get(front.addr(), "/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
         let exposition = metrics.text();
+        exq_obs::check_prometheus(&exposition).unwrap_or_else(|e| panic!("{e}\n{exposition}"));
         assert!(exposition.contains("router_requests"), "{exposition}");
-        let missing = client::get(front.addr(), "/v1/debug/requests").unwrap();
-        assert_eq!(missing.status, 404);
+        // Debug fan-in likewise: 200 with the downed shard tallied.
+        let debug = client::get(front.addr(), "/v1/debug/requests").unwrap();
+        assert_eq!(debug.status, 200);
+        let doc = json::parse(debug.text().as_bytes()).unwrap();
+        assert_eq!(doc.get("partial").and_then(|v| v.as_usize()), Some(1));
         let snapshot = front.shutdown();
         assert_eq!(snapshot.counter("router.requests"), 4);
-        assert_eq!(snapshot.counter("router.responses.ok"), 3);
+        assert_eq!(snapshot.counter("router.responses.ok"), 4);
+        // One partial per degraded fan-out: /metrics and the debug fan-in.
+        assert_eq!(snapshot.counter("router.scrape.partial"), 2);
+        assert_eq!(snapshot.counter("router.proxy.errors"), 0);
+    }
+
+    /// ISSUE 10 regression: every GET endpoint a worker serves must be
+    /// reachable *through* the front — either answered by the front
+    /// itself or fanned in from the workers. `/v1/debug/requests`
+    /// 404ing at the front was the original bug.
+    #[test]
+    fn every_worker_get_endpoint_is_reachable_through_the_front() {
+        let worker = exq_serve::start(
+            exq_serve::Catalog::new(),
+            exq_serve::ServerConfig {
+                threads: 1,
+                shard_id: Some(0),
+                ..exq_serve::ServerConfig::default()
+            },
+            MetricsSink::recording(),
+        )
+        .unwrap();
+        let front = front_with(FrontConfig::default(), Some(worker.addr()));
+        for path in [
+            "/healthz",
+            "/v1/health",
+            "/v1/datasets",
+            "/metrics",
+            "/v1/metrics",
+            "/v1/metrics?format=prometheus",
+            "/v1/metrics?format=snapshot",
+            "/v1/debug/requests",
+            "/v1/debug/traces",
+        ] {
+            let reply = client::get(front.addr(), path).unwrap();
+            assert_eq!(reply.status, 200, "GET {path} through the front");
+        }
+        front.shutdown();
+        worker.shutdown();
+    }
+
+    /// Fleet scrape: merged counters conserve the per-worker values,
+    /// per-shard labelled families appear, fleet histograms merge
+    /// bucket-wise, and retained-trace exemplars ride along
+    /// shard-tagged. Uses two *real* workers so the wire format, the
+    /// merge, and the exposition are all exercised end to end.
+    #[test]
+    fn fleet_scrape_merges_workers_with_conservation_and_exemplars() {
+        let start_worker = |shard: u64| {
+            exq_serve::start(
+                exq_serve::Catalog::new(),
+                exq_serve::ServerConfig {
+                    threads: 1,
+                    shard_id: Some(shard),
+                    trace_slow_ms: Some(0), // retain everything → exemplars exist
+                    ..exq_serve::ServerConfig::default()
+                },
+                MetricsSink::recording(),
+            )
+            .unwrap()
+        };
+        let workers = [start_worker(0), start_worker(1)];
+        let front = front_with(
+            FrontConfig {
+                workers: 2,
+                ..FrontConfig::default()
+            },
+            None,
+        );
+        for (shard, worker) in workers.iter().enumerate() {
+            front.upstreams().set_addr(shard, Some(worker.addr()));
+        }
+        // Touch both workers through the front (the datasets fan-out
+        // hits every shard) so they have non-trivial counters and at
+        // least one retained trace each before the first scrape.
+        let listing = client::get(front.addr(), "/v1/datasets").unwrap();
+        assert_eq!(listing.status, 200);
+
+        // Fleet exposition: checker-clean, with per-shard families for
+        // worker counters and shard-tagged exemplar comments.
+        let prom = client::get(front.addr(), "/metrics").unwrap();
+        let text = prom.text();
+        exq_obs::check_prometheus(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        for family in [
+            "exq_server_requests_shard{shard=\"0\"}",
+            "exq_server_requests_shard{shard=\"1\"}",
+            "exq_server_requests ",
+            "exq_server_latency_other_bucket",
+        ] {
+            assert!(text.contains(family), "missing {family} in {text}");
+        }
+        assert!(
+            text.lines().any(|l| l.starts_with("# exemplar ") && l.contains("shard=\"")),
+            "no shard-tagged exemplar comment in {text}"
+        );
+
+        // Conservation: fleet server.requests == Σ per-worker values,
+        // accounting for the deterministic self-counting offsets (a
+        // worker's scrape GET increments its own counter before the
+        // snapshot is taken, so each later direct scrape reads one
+        // more than the fleet scrape saw).
+        let wire = client::get(front.addr(), "/v1/metrics?format=snapshot").unwrap();
+        let (fleet, _) = exq_obs::decode_snapshot(&wire.text()).unwrap();
+        let fleet_requests = fleet.counter("server.requests");
+        let mut direct_sum = 0;
+        for worker in &workers {
+            let direct = client::get(worker.addr(), "/v1/metrics?format=snapshot").unwrap();
+            let (snapshot, _) = exq_obs::decode_snapshot(&direct.text()).unwrap();
+            direct_sum += snapshot.counter("server.requests");
+        }
+        assert_eq!(
+            direct_sum,
+            fleet_requests + 2,
+            "fleet scrape must conserve per-worker request counts"
+        );
+        // The per-shard labelled copies sum to the fleet aggregate too.
+        assert_eq!(
+            fleet.counter("server.requests.shard.0") + fleet.counter("server.requests.shard.1"),
+            fleet_requests,
+        );
+        // Histogram mass conserves bucket-wise: the merged histogram's
+        // count equals its bucket-count total.
+        let merged = fleet
+            .histograms
+            .get("server.latency.other")
+            .expect("fleet latency histogram");
+        assert_eq!(
+            merged.count,
+            merged.buckets.iter().map(|(_, c)| c).sum::<u64>()
+        );
+
+        let snapshot = front.shutdown();
+        assert_eq!(snapshot.counter("router.scrape.partial"), 0);
+        assert_eq!(snapshot.counter("router.proxy.errors"), 0);
+        for worker in workers {
+            worker.shutdown();
+        }
     }
 
     #[test]

@@ -35,9 +35,10 @@
 //! | `POST /v1/report`  | full report: both rankings, tau, drill-down |
 //! | `POST /v1/datasets/{name}/rows` | append rows, bump the dataset epoch |
 //! | `GET /v1/datasets` | catalog listing with tuple counts and epochs |
-//! | `GET /v1/metrics`  | live counters/spans/histograms snapshot (`?format=prometheus` for text exposition) |
-//! | `GET /metrics`     | Prometheus text exposition 0.0.4 (scrape target) |
+//! | `GET /v1/metrics`  | live counters/spans/histograms snapshot (`?format=prometheus` for text exposition, `?format=snapshot` for the mergeable wire encoding) |
+//! | `GET /metrics`     | Prometheus text exposition 0.0.4 (scrape target), exemplar comments included |
 //! | `GET /v1/debug/requests` | flight recorder: last N request summaries |
+//! | `GET /v1/debug/traces` | tail-sampled retention: slow/error traces kept past the ring ([`retain`]) |
 //! | `GET /healthz`     | liveness probe |
 //! | `GET /v1/health`   | worker identity: shard id, dataset epochs, cache occupancy |
 //!
@@ -46,6 +47,7 @@
 
 #![warn(missing_docs)]
 
+pub mod accesslog;
 pub mod cache;
 pub mod catalog;
 pub mod client;
@@ -55,10 +57,13 @@ pub mod json;
 pub mod key;
 pub mod persist;
 pub mod pump;
+pub mod retain;
 pub mod server;
 pub mod signal;
 
+pub use accesslog::{AccessEntry, AccessLog};
 pub use cache::ResultCache;
 pub use catalog::{Catalog, Dataset};
 pub use flight::{FlightRecorder, RequestSummary};
+pub use retain::{RetainedTrace, TraceRetention};
 pub use server::{start, start_on, Handle, ServerConfig, INGEST_COUNTERS, SERVER_COUNTERS};

@@ -18,9 +18,11 @@
 //! results are bit-identical at every thread count anyway (the PR 2
 //! contract), which is what makes the response cache sound.
 
+use crate::accesslog::{AccessEntry, AccessLog};
 use crate::cache::ResultCache;
 use crate::catalog::{Catalog, Dataset};
 use crate::flight::FlightRecorder;
+use crate::retain::TraceRetention;
 use crate::http::{Limits, Request, Response};
 use crate::json::Json;
 use crate::key::{cache_key, CanonicalRequest};
@@ -53,6 +55,7 @@ pub const SERVER_COUNTERS: &[&str] = &[
     "server.report.runs",
     "server.append.runs",
     "server.cache.warm_loaded",
+    "server.trace.retained",
 ];
 
 /// Ingestion counters recorded on the append path. `rows_appended` and
@@ -99,6 +102,16 @@ pub struct ServerConfig {
     /// back on shutdown, so a rolling restart does not stampede the
     /// cold explain path.
     pub cache_persist: Option<std::path::PathBuf>,
+    /// Static slow-trace threshold in milliseconds. Requests at or over
+    /// it are retained by the tail sampler ([`crate::retain`]); `None`
+    /// selects the adaptive policy (above the endpoint's own p99 bucket
+    /// bound, once armed).
+    pub trace_slow_ms: Option<u64>,
+    /// Where retained traces are appended as JSONL (the CLI points this
+    /// into `--state-dir`); `None` keeps them in memory only.
+    pub trace_retain: Option<std::path::PathBuf>,
+    /// Structured access log destination. Defaults to disabled.
+    pub access_log: AccessLog,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +125,9 @@ impl Default for ServerConfig {
             flight_capacity: 128,
             shard_id: None,
             cache_persist: None,
+            trace_slow_ms: None,
+            trace_retain: None,
+            access_log: AccessLog::disabled(),
         }
     }
 }
@@ -123,6 +139,8 @@ struct Inner {
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
     flight: FlightRecorder,
+    /// Tail-sampling policy: which traces outlive the flight ring.
+    retention: TraceRetention,
     /// Monotone per-request trace-id allocator (first request gets 1).
     next_trace: AtomicU64,
 }
@@ -228,6 +246,7 @@ pub fn start_on(
         catalog,
         sink,
         flight: FlightRecorder::new(config.flight_capacity),
+        retention: TraceRetention::new(config.trace_slow_ms, config.trace_retain.clone()),
         next_trace: AtomicU64::new(0),
         shutdown: Arc::clone(&shutdown),
         config: config.clone(),
@@ -329,18 +348,33 @@ fn serve_one(inner: &Inner, stream: &mut TcpStream, carry: &mut Vec<u8>) -> bool
     inner
         .sink
         .observe_duration(meta.latency_histogram(), latency);
+    let latency_ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
     let (method, path) = match &request {
         Some(r) => (r.method.as_str(), r.path.as_str()),
         None => ("-", "-"),
     };
-    inner.flight.record(
+    inner
+        .flight
+        .record(trace_id, method, path, response.status, latency_ns, meta.cache);
+    if inner.retention.observe(
         trace_id,
         method,
         path,
         response.status,
-        u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX),
-        meta.cache,
-    );
+        latency_ns,
+        meta.latency_histogram(),
+    ) {
+        inner.sink.incr("server.trace.retained");
+    }
+    inner.config.access_log.record(&AccessEntry {
+        tenant: request.as_ref().and_then(|r| r.header("x-exq-tenant")),
+        shard: inner.config.shard_id,
+        endpoint: meta.endpoint,
+        status: response.status,
+        latency_ns,
+        trace_id,
+        cache: meta.cache,
+    });
     keep_alive && written.is_ok()
 }
 
@@ -414,12 +448,23 @@ fn route(inner: &Inner, request: &Request) -> (Response, RouteMeta) {
             (Response::json(200, doc), RouteMeta::uncached("datasets"))
         }
         ("GET", "/metrics") => (
-            Response::text(200, inner.sink.snapshot().to_prometheus()),
+            Response::text(200, prometheus_doc(inner)),
             RouteMeta::uncached("metrics"),
         ),
         ("GET", "/v1/metrics") => {
             let response = if query.split('&').any(|pair| pair == "format=prometheus") {
-                Response::text(200, inner.sink.snapshot().to_prometheus())
+                Response::text(200, prometheus_doc(inner))
+            } else if query.split('&').any(|pair| pair == "format=snapshot") {
+                // The mergeable wire encoding: exact integers (the JSON
+                // path goes through f64), exemplars included — what the
+                // router front scrapes and merges into the fleet view.
+                Response::text(
+                    200,
+                    exq_obs::encode_snapshot(
+                        &inner.sink.snapshot(),
+                        &inner.retention.exemplars(),
+                    ),
+                )
             } else {
                 Response::json(200, inner.sink.snapshot().to_json() + "\n")
             };
@@ -429,18 +474,36 @@ fn route(inner: &Inner, request: &Request) -> (Response, RouteMeta) {
             Response::json(200, inner.flight.to_json() + "\n"),
             RouteMeta::uncached("debug"),
         ),
+        ("GET", "/v1/debug/traces") => (
+            Response::json(200, inner.retention.to_json() + "\n"),
+            RouteMeta::uncached("debug"),
+        ),
         ("POST", "/v1/explain") => handle_question(inner, request, Endpoint::Explain),
         ("POST", "/v1/report") => handle_question(inner, request, Endpoint::Report),
         (
             _,
             "/healthz" | "/v1/health" | "/v1/datasets" | "/metrics" | "/v1/metrics"
-            | "/v1/debug/requests" | "/v1/explain" | "/v1/report",
+            | "/v1/debug/requests" | "/v1/debug/traces" | "/v1/explain" | "/v1/report",
         ) => (
             Response::error(405, "method not allowed"),
             RouteMeta::other(),
         ),
         _ => (Response::error(404, "no such endpoint"), RouteMeta::other()),
     }
+}
+
+/// The Prometheus exposition plus one exemplar comment per histogram
+/// that has a retained trace: the breadcrumb linking a latency bucket
+/// to a concrete trace id fetchable from `/v1/debug/traces`. Comment
+/// lines that are not `HELP`/`TYPE` are legal exposition-format free
+/// text, so scrapers that don't understand exemplars ignore them.
+fn prometheus_doc(inner: &Inner) -> String {
+    let mut text = inner.sink.snapshot().to_prometheus();
+    for exemplar in inner.retention.exemplars() {
+        text.push_str(&exemplar.to_prometheus_comment(inner.config.shard_id));
+        text.push('\n');
+    }
+    text
 }
 
 /// The `GET /v1/health` document: worker identity and readiness at a
@@ -482,6 +545,104 @@ fn health_doc(inner: &Inner) -> String {
 enum Endpoint {
     Explain,
     Report,
+}
+
+/// Per-request cost accounting: the engine-phase counters that say how
+/// much work an answer took, extracted from the request-scoped sink
+/// (the same recording sink whose snapshot is embedded in the response
+/// document, so the numbers are deterministic and cache-safe).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Cost {
+    /// Base rows the join/semijoin phases touched: root scan + hash
+    /// build inputs + semijoin reduction inputs.
+    rows_scanned: u64,
+    /// Candidate explanations the engine scored.
+    candidates: u64,
+    /// Data-cube cells materialized for the candidate lattice.
+    cube_cells: u64,
+}
+
+impl Cost {
+    fn from_snapshot(snapshot: &Snapshot) -> Cost {
+        let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+        Cost {
+            rows_scanned: counter("join.root_rows")
+                + counter("join.build_rows")
+                + counter("semijoin.rows_in"),
+            candidates: counter("engine.candidates_evaluated"),
+            cube_cells: counter("cube.cells"),
+        }
+    }
+
+    /// The JSON object spliced into the response document.
+    fn to_json(&self, cache: &str, epoch: u64) -> String {
+        format!(
+            "{{ \"rows_scanned\": {}, \"candidates\": {}, \"cube_cells\": {}, \
+             \"cache\": \"{cache}\", \"epoch\": {epoch} }}",
+            self.rows_scanned, self.candidates, self.cube_cells,
+        )
+    }
+
+    /// The `X-Exq-Cost` header value: same facts, flat `k=v` pairs.
+    fn to_header(&self, cache: &str, epoch: u64) -> String {
+        format!(
+            "rows={};candidates={};cells={};cache={cache};epoch={epoch}",
+            self.rows_scanned, self.candidates, self.cube_cells,
+        )
+    }
+}
+
+/// Splice `"cost": {...}` in as the last member of a rendered response
+/// document (which always ends `…}\n` with the metrics block as its
+/// final member). Done at render time, so the cost block is baked into
+/// the cached bytes — a cache hit replays the *production* cost of the
+/// answer it serves, while the `X-Exq-Cost` header reports the
+/// (near-zero) cost of the hit itself.
+fn with_cost_block(doc: &str, cost_json: &str) -> String {
+    let trimmed = doc.trim_end();
+    match trimmed.strip_suffix('}') {
+        Some(body) => format!("{},\n  \"cost\": {cost_json}\n}}\n", body.trim_end()),
+        None => doc.to_owned(), // not an object; leave untouched
+    }
+}
+
+/// Fold a request's cost into the per-tenant accounting counters, keyed
+/// by a sanitized `X-Exq-Tenant` value. Tenant names are normalized to
+/// `[a-z0-9_]` (other characters become `_`) and capped, so arbitrary
+/// header bytes cannot mint unbounded or exposition-breaking counter
+/// names. Requests without the header are not accounted.
+fn account_tenant(inner: &Inner, tenant: Option<&str>, cost: &Cost) {
+    let Some(tenant) = tenant.and_then(sanitize_tenant) else {
+        return;
+    };
+    inner
+        .sink
+        .add(&format!("server.tenant.cost.{tenant}.requests"), 1);
+    inner
+        .sink
+        .add(&format!("server.tenant.cost.{tenant}.rows"), cost.rows_scanned);
+    inner.sink.add(
+        &format!("server.tenant.cost.{tenant}.candidates"),
+        cost.candidates,
+    );
+    inner
+        .sink
+        .add(&format!("server.tenant.cost.{tenant}.cells"), cost.cube_cells);
+}
+
+/// Normalize a tenant header value into a counter-name-safe token.
+fn sanitize_tenant(raw: &str) -> Option<String> {
+    const MAX_TENANT_LEN: usize = 32;
+    let token: String = raw
+        .trim()
+        .chars()
+        .take(MAX_TENANT_LEN)
+        .map(|c| match c.to_ascii_lowercase() {
+            c @ ('a'..='z' | '0'..='9' | '_') => c,
+            _ => '_',
+        })
+        .collect();
+    (!token.is_empty()).then_some(token)
 }
 
 /// Fields shared by `/v1/explain` and `/v1/report` bodies.
@@ -634,21 +795,31 @@ fn handle_question(inner: &Inner, request: &Request, endpoint: Endpoint) -> (Res
             naive: params.naive,
         },
     );
+    let tenant = request.header("x-exq-tenant");
     let cached = inner
         .sink
         .time("server.request.cache", || inner.cache.get(&key));
     if let Some(doc) = cached {
-        return (Response::json(200, doc.as_bytes().to_vec()), meta("hit"));
+        // The body already carries the production cost (baked in at
+        // miss time, so hits stay byte-identical); the header reports
+        // this request's own near-zero cost.
+        let hit_cost = Cost::default();
+        account_tenant(inner, tenant, &hit_cost);
+        let response = Response::json(200, doc.as_bytes().to_vec())
+            .with_header("x-exq-cost", &hit_cost.to_header("hit", params.epoch));
+        return (response, meta("hit"));
     }
     let rendered = match endpoint {
         Endpoint::Explain => run_explain(inner, &params),
         Endpoint::Report => run_report(inner, &params),
     };
     let response = match rendered {
-        Ok(doc) => {
-            let doc = Arc::new(doc);
+        Ok((doc, cost)) => {
+            let doc = Arc::new(with_cost_block(&doc, &cost.to_json("miss", params.epoch)));
             inner.cache.insert(&key, Arc::clone(&doc));
+            account_tenant(inner, tenant, &cost);
             Response::json(200, doc.as_bytes().to_vec())
+                .with_header("x-exq-cost", &cost.to_header("miss", params.epoch))
         }
         Err(message) => Response::error(422, &message),
     };
@@ -677,7 +848,7 @@ fn request_explainer<'a>(params: &'a QuestionParams, sink: &MetricsSink) -> Expl
     explainer
 }
 
-fn run_explain(inner: &Inner, params: &QuestionParams) -> Result<String, String> {
+fn run_explain(inner: &Inner, params: &QuestionParams) -> Result<(String, Cost), String> {
     inner.sink.incr("server.explain.runs");
     let request_sink = MetricsSink::recording();
     let db = params.prepared.db();
@@ -691,21 +862,15 @@ fn run_explain(inner: &Inner, params: &QuestionParams) -> Result<String, String>
             .map_err(|e| e.to_string())?;
         (q_d, table.len(), choice, ranked)
     };
+    let snapshot = request_sink.snapshot();
     let mut doc = inner.sink.time("server.request.render", || {
-        jsonout::explain_doc(
-            db,
-            q_d,
-            choice,
-            table_len,
-            &ranked,
-            &request_sink.snapshot(),
-        )
+        jsonout::explain_doc(db, q_d, choice, table_len, &ranked, &snapshot)
     });
     doc.push('\n');
-    Ok(doc)
+    Ok((doc, Cost::from_snapshot(&snapshot)))
 }
 
-fn run_report(inner: &Inner, params: &QuestionParams) -> Result<String, String> {
+fn run_report(inner: &Inner, params: &QuestionParams) -> Result<(String, Cost), String> {
     inner.sink.incr("server.report.runs");
     let request_sink = MetricsSink::recording();
     let explainer = request_explainer(params, &request_sink);
@@ -719,7 +884,7 @@ fn run_report(inner: &Inner, params: &QuestionParams) -> Result<String, String> 
     let _span = inner.sink.span("server.request.explain");
     let mut doc = jsonout::report_doc(&explainer, &config).map_err(|e| e.to_string())?;
     doc.push('\n');
-    Ok(doc)
+    Ok((doc, Cost::from_snapshot(&request_sink.snapshot())))
 }
 
 /// `POST /v1/datasets/{name}/rows`: append a batch of rows and bump the
@@ -874,5 +1039,69 @@ fn json_cell_to_value(
             exq_relstore::csv::parse_value(s, ty).map_err(|_| format!("cannot parse `{s}` as {ty}"))
         }
         (_, _) => Err(format!("expected a {ty} value")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_block_splices_as_last_member() {
+        let doc = "{\n  \"answer\": 1,\n  \"metrics\": {\n    \"x\": 2\n  }\n}\n";
+        let cost = Cost {
+            rows_scanned: 10,
+            candidates: 3,
+            cube_cells: 7,
+        };
+        let spliced = with_cost_block(doc, &cost.to_json("miss", 4));
+        let parsed = crate::json::parse(spliced.as_bytes()).expect("spliced doc must parse");
+        let block = parsed.get("cost").expect("cost present");
+        assert_eq!(block.get("rows_scanned").and_then(Json::as_usize), Some(10));
+        assert_eq!(block.get("cache").and_then(Json::as_str), Some("miss"));
+        assert_eq!(block.get("epoch").and_then(Json::as_usize), Some(4));
+        // Original members survive the splice.
+        assert_eq!(parsed.get("answer").and_then(Json::as_usize), Some(1));
+        assert!(spliced.ends_with("}\n"));
+    }
+
+    #[test]
+    fn cost_reads_engine_counters_from_snapshot() {
+        let sink = MetricsSink::recording();
+        sink.add("join.root_rows", 5);
+        sink.add("join.build_rows", 7);
+        sink.add("semijoin.rows_in", 11);
+        sink.add("engine.candidates_evaluated", 13);
+        sink.add("cube.cells", 17);
+        let cost = Cost::from_snapshot(&sink.snapshot());
+        assert_eq!(
+            cost,
+            Cost {
+                rows_scanned: 23,
+                candidates: 13,
+                cube_cells: 17,
+            }
+        );
+        assert_eq!(
+            cost.to_header("hit", 2),
+            "rows=23;candidates=13;cells=17;cache=hit;epoch=2"
+        );
+    }
+
+    #[test]
+    fn tenant_names_are_sanitized_and_bounded() {
+        assert_eq!(sanitize_tenant("Acme"), Some("acme".to_string()));
+        assert_eq!(sanitize_tenant("  a-b.c  "), Some("a_b_c".to_string()));
+        assert_eq!(sanitize_tenant(""), None);
+        assert_eq!(sanitize_tenant("   "), None);
+        let long = sanitize_tenant(&"x".repeat(100)).unwrap();
+        assert_eq!(long.len(), 32);
+        // Sanitized names render as legal Prometheus counter names.
+        let sink = MetricsSink::recording();
+        sink.add(
+            &format!("server.tenant.cost.{}.requests", sanitize_tenant("we?ird").unwrap()),
+            1,
+        );
+        assert!(sink.snapshot().to_prometheus().contains("we_ird"));
     }
 }

@@ -552,6 +552,141 @@ fn slow_request_times_out_with_408() {
     handle.shutdown();
 }
 
+/// ISSUE 10 surface: per-request cost accounting (header, body block,
+/// per-tenant counters), the mergeable snapshot wire format, and
+/// tail-sampled trace retention with exemplars.
+#[test]
+fn cost_accounting_snapshot_wire_and_trace_retention() {
+    let dir = std::env::temp_dir().join(format!("exq-obsplane-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let traces_path = dir.join("traces.jsonl");
+    let access_path = dir.join("access.log");
+    let handle = start(ServerConfig {
+        shard_id: Some(7),
+        trace_slow_ms: Some(0), // retain every request deterministically
+        trace_retain: Some(traces_path.clone()),
+        access_log: exq_serve::AccessLog::open(&access_path, true).unwrap(),
+        ..ServerConfig::default()
+    });
+    let mut conn = client::Connection::new(handle.addr());
+    let tenant_headers = [("x-exq-tenant", "Acme-Corp")];
+
+    // Cold explain: the cost header describes the work actually done,
+    // and the body carries the same facts as a `cost` block.
+    let cold = conn
+        .request_with(
+            "POST",
+            "/v1/explain",
+            Some(EXPLAIN_BODY.as_bytes()),
+            &tenant_headers,
+        )
+        .unwrap();
+    assert_eq!(cold.status, 200);
+    let cold_trace: u64 = cold.header("x-exq-trace-id").unwrap().parse().unwrap();
+    let cost_header = cold.header("x-exq-cost").unwrap().to_string();
+    assert!(
+        cost_header.contains("cache=miss") && cost_header.contains("epoch=0"),
+        "{cost_header}"
+    );
+    let doc = exq_serve::json::parse(cold.text().as_bytes()).unwrap();
+    let cost = doc.get("cost").expect("response body carries a cost block");
+    assert_eq!(cost.get("cache").and_then(|v| v.as_str()), Some("miss"));
+    assert_eq!(cost.get("epoch").and_then(|v| v.as_usize()), Some(0));
+    let candidates = cost.get("candidates").and_then(|v| v.as_usize()).unwrap();
+    let cube_cells = cost.get("cube_cells").and_then(|v| v.as_usize()).unwrap();
+    assert!(candidates > 0, "explain evaluated no candidates?");
+    assert!(cube_cells > 0, "explain materialized no cube cells?");
+    assert!(cost_header.contains(&format!("candidates={candidates}")));
+
+    // Warm repeat: byte-identical body (the cost block is baked into
+    // the cached bytes), while the header reports the hit's own cost.
+    let warm = conn
+        .request_with(
+            "POST",
+            "/v1/explain",
+            Some(EXPLAIN_BODY.as_bytes()),
+            &tenant_headers,
+        )
+        .unwrap();
+    assert_eq!(warm.status, 200);
+    assert_eq!(cold.body, warm.body, "hit must replay the cold bytes");
+    assert_eq!(
+        warm.header("x-exq-cost"),
+        Some("rows=0;candidates=0;cells=0;cache=hit;epoch=0")
+    );
+
+    // The mergeable wire encoding round-trips through the decoder and
+    // carries the exemplar of the retained cold request.
+    let wire = conn.get("/v1/metrics?format=snapshot").unwrap();
+    assert_eq!(wire.status, 200);
+    let wire_text = wire.text();
+    assert!(wire_text.starts_with(exq_obs::WIRE_MAGIC), "{wire_text}");
+    let (snapshot, exemplars) = exq_obs::decode_snapshot(&wire_text).unwrap();
+    assert!(snapshot.counter("server.requests") >= 2);
+    let explain_exemplar = exemplars
+        .iter()
+        .find(|e| e.hist == "server.latency.explain.miss")
+        .expect("retained cold request must be the explain.miss exemplar");
+    assert_eq!(explain_exemplar.trace_id, cold_trace);
+
+    // The Prometheus exposition stays checker-clean with the exemplar
+    // comments appended, shard-labelled.
+    let prom = conn.get("/metrics").unwrap();
+    let prom_text = prom.text();
+    exq_obs::check_prometheus(&prom_text).unwrap_or_else(|e| panic!("{e}\n{prom_text}"));
+    assert!(
+        prom_text.contains(&format!(
+            "# exemplar exq_server_latency_explain_miss_bucket{{le=\"{}\",shard=\"7\"}} trace_id={cold_trace}",
+            explain_exemplar.bucket_upper
+        )),
+        "{prom_text}"
+    );
+
+    // Retained traces are fetchable by the exemplar's trace id.
+    let traces = conn.get("/v1/debug/traces").unwrap();
+    assert_eq!(traces.status, 200);
+    let traces_doc = exq_serve::json::parse(traces.text().as_bytes()).unwrap();
+    let entries = traces_doc.get("traces").and_then(|v| v.as_array()).unwrap();
+    let retained = entries
+        .iter()
+        .find(|t| t.get("trace_id").and_then(|v| v.as_usize()) == Some(cold_trace as usize))
+        .expect("cold request retained");
+    assert_eq!(retained.get("reason").and_then(|v| v.as_str()), Some("slow"));
+
+    let snapshot = handle.shutdown();
+    // Tenant accounting: both requests billed to the sanitized tenant;
+    // the hit added zero work on top of the miss's engine counters.
+    assert_eq!(snapshot.counter("server.tenant.cost.acme_corp.requests"), 2);
+    assert_eq!(
+        snapshot.counter("server.tenant.cost.acme_corp.candidates"),
+        candidates as u64
+    );
+    assert_eq!(
+        snapshot.counter("server.tenant.cost.acme_corp.cells"),
+        cube_cells as u64
+    );
+    assert!(snapshot.counter("server.trace.retained") >= 2);
+    // Retention persisted JSONL, and the deterministic access log tagged
+    // every line with tenant and shard.
+    let persisted = std::fs::read_to_string(&traces_path).unwrap();
+    assert!(
+        persisted.lines().any(|l| l.contains(&format!("\"trace_id\": {cold_trace}"))),
+        "{persisted}"
+    );
+    let access = std::fs::read_to_string(&access_path).unwrap();
+    let explain_lines: Vec<&str> = access
+        .lines()
+        .filter(|l| l.contains("\"endpoint\": \"explain\""))
+        .collect();
+    assert_eq!(explain_lines.len(), 2, "{access}");
+    assert!(explain_lines[0].contains("\"tenant\": \"Acme-Corp\""));
+    assert!(explain_lines[0].contains("\"shard\": 7"));
+    assert!(explain_lines[0].contains("\"ts_bucket\": 0"));
+    assert!(explain_lines[1].contains("\"cache\": \"hit\""));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Shutdown drains: requests accepted before the signal complete.
 #[test]
 fn shutdown_completes_queued_work() {

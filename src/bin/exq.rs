@@ -462,6 +462,31 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 .map_err(|_| format!("bad --shard-id `{s}` (need an integer)"))?,
         ),
     };
+    let trace_slow_ms: Option<u64> = match args.optional("trace-slow-ms") {
+        None => None,
+        Some(s) => Some(
+            s.parse()
+                .map_err(|_| format!("bad --trace-slow-ms `{s}` (need milliseconds)"))?,
+        ),
+    };
+    // Under `--state-dir` the worker persists retained traces next to
+    // its warm-start cache file; shard-tagged so a fleet's files can
+    // share one directory.
+    let trace_retain: Option<std::path::PathBuf> = match args.optional("state-dir") {
+        None => None,
+        Some(dir) => {
+            fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+            Some(std::path::PathBuf::from(match shard_id {
+                Some(id) => format!("{dir}/shard-{id}.traces.jsonl"),
+                None => format!("{dir}/traces.jsonl"),
+            }))
+        }
+    };
+    let access_log = match args.optional("access-log") {
+        None => exq::serve::AccessLog::disabled(),
+        Some(path) => exq::serve::AccessLog::open(std::path::Path::new(path), false)
+            .map_err(|e| format!("{path}: {e}"))?,
+    };
     let preloads = args.many("preload");
     // A router worker may legitimately own zero datasets (the hash ring
     // assigned it none); standalone serve still demands a catalog.
@@ -491,6 +516,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         queue_depth,
         shard_id,
         cache_persist: args.optional("cache-persist").map(std::path::PathBuf::from),
+        trace_slow_ms,
+        trace_retain,
+        access_log,
         ..exq::serve::ServerConfig::default()
     };
     let threads = config.threads;
@@ -626,7 +654,7 @@ fn cmd_serve_router(args: &Args) -> Result<(), String> {
         ]
         .map(str::to_string)
         .into();
-        for flag in ["cache-mb", "queue-depth"] {
+        for flag in ["cache-mb", "queue-depth", "trace-slow-ms"] {
             if let Some(value) = args.optional(flag) {
                 wargs.push(format!("--{flag}"));
                 wargs.push(value.to_string());
@@ -635,6 +663,14 @@ fn cmd_serve_router(args: &Args) -> Result<(), String> {
         if let Some(dir) = state_dir {
             wargs.push("--cache-persist".to_string());
             wargs.push(format!("{dir}/shard-{shard}.cache"));
+            // The worker derives its own `shard-N.traces.jsonl` from
+            // the directory plus its `--shard-id`.
+            wargs.push("--state-dir".to_string());
+            wargs.push(dir.to_string());
+        }
+        if let Some(path) = args.optional("access-log").filter(|p| *p != "-") {
+            wargs.push("--access-log".to_string());
+            wargs.push(shard_sibling_path(path, shard));
         }
         if let Some(path) = obs.metrics_out.as_deref().filter(|p| *p != "-") {
             wargs.push("--metrics".to_string());
@@ -665,6 +701,14 @@ fn cmd_serve_router(args: &Args) -> Result<(), String> {
         per_worker_connections: worker_threads,
         rate_limit,
         datasets: names,
+        // The front logs every request it answers (with the shard that
+        // served it); workers log their own shard-sibling files. `-`
+        // stays front-only: worker stdout is the supervisor's.
+        access_log: match args.optional("access-log") {
+            None => exq::serve::AccessLog::disabled(),
+            Some(path) => exq::serve::AccessLog::open(std::path::Path::new(path), false)
+                .map_err(|e| format!("{path}: {e}"))?,
+        },
         ..exq::router::FrontConfig::default()
     };
     let front = exq::router::Front::start_on(addr, config, sink.clone())
@@ -1073,7 +1117,8 @@ const USAGE: &str =
   exq serve    --addr HOST:PORT --preload NAME=DIR|NAME=gen:SPEC... \\
                [--threads N] [--cache-mb MB] [--queue-depth N] [--metrics PATH|-] \\
                [--router N] [--state-dir DIR] [--rate-limit R] [--trace-out PATH] \\
-               [--shard-id I] [--cache-persist PATH]
+               [--shard-id I] [--cache-persist PATH] [--trace-slow-ms MS] \\
+               [--access-log PATH|-]
   exq append   --addr HOST:PORT --dataset NAME --schema FILE --table Rel=FILE... \\
                [--batch N] [--max-retries N]
 
@@ -1096,13 +1141,28 @@ serve runs until SIGINT/SIGTERM, then drains in-flight requests and
 flushes a final metrics snapshot (--metrics PATH) plus the flight
 recorder's last-requests ring (PATH.requests.json); while running it
 exposes GET /metrics (Prometheus) and GET /v1/debug/requests.
+Every serve response carries an X-Exq-Cost header (rows, candidates,
+cube cells, cache outcome, epoch) and the JSON body a matching `cost`
+block; requests tagged X-Exq-Tenant accumulate per-tenant
+server.tenant.cost.* counters. --trace-slow-ms MS retains traces of
+requests slower than MS (or any 5xx) under --state-dir as
+traces.jsonl, browsable at GET /v1/debug/traces and flagged as
+Prometheus exemplar comments; without the flag the slow bound adapts
+to the live p99. --access-log PATH appends one JSON line per request
+(`-` for stdout).
 serve --router N spawns N worker processes, each owning a
 consistent-hash shard of the --preload catalog, behind this process as
 a routing front with per-tenant admission control (--rate-limit R
 requests/s per X-Exq-Tenant), worker health checks and bounded
 restarts; --state-dir DIR persists each worker's result cache for warm
-restarts, --metrics/--trace-out write per-shard sibling files plus the
-front's (traces are merged into one two-tier timeline). --shard-id and
+restarts plus its retained traces (shard-N.traces.jsonl),
+--metrics/--trace-out/--access-log write per-shard sibling files plus
+the front's (traces are merged into one two-tier timeline). The
+front's GET /metrics fans out to every live worker and renders one
+fleet exposition: per-shard labelled families plus exact
+bucket-merged aggregate histograms (a downed shard degrades the
+scrape — router.scrape.partial — never fails it); /v1/debug/requests
+and /v1/debug/traces are merged shard-tagged fan-ins. --shard-id and
 --cache-persist are the worker-side halves of those flags.
 append posts CSV rows to a running server (POST /v1/datasets/NAME/rows)
 in --batch-row chunks (default 5000) over one keep-alive connection,
